@@ -1,0 +1,705 @@
+(* Benchmark harness: one subcommand per table/figure of the paper's
+   evaluation (section 6), plus bechamel micro-benchmarks and ablations.
+
+     dune exec bench/main.exe            -- run everything, scaled down
+     dune exec bench/main.exe -- fig5    -- a single experiment
+     dune exec bench/main.exe -- all --full --duration 1.0
+
+   Absolute numbers depend on this machine and the injected NVRAM latency;
+   the paper's claims are throughput *ratios* between systems at equal thread
+   counts, which is what every table prints (see EXPERIMENTS.md). *)
+
+open Workload
+module I = Harness.Instance
+
+let pr fmt = Printf.printf fmt
+
+type opts = {
+  duration : float;
+  threads : int list;
+  full : bool;
+  seed : int;
+  write_ns : int;
+}
+
+(* --write-ns 0 (the default) auto-calibrates the injected latency to this
+   machine's simulated-heap load cost (see Harness.Calibrate). *)
+let base_write_ns opts =
+  if opts.write_ns > 0 then opts.write_ns else Harness.Calibrate.write_ns ()
+
+let latency opts =
+  let l = Nvm.Latency_model.default () in
+  l.nvram_write_ns <- base_write_ns opts;
+  l
+
+(* Build an instance, prefill to steady state, run the update workload, and
+   return throughput (ops/s). *)
+let throughput_point opts ~structure ~flavor ~size ~nthreads ~mix =
+  let inst =
+    I.create ~nthreads ~size_hint:size ~latency:(latency opts) ~structure ~flavor ()
+  in
+  Keygen.prefill inst.ops ~size ~seed:opts.seed;
+  let range = Keygen.range_for ~size in
+  let r =
+    Run.throughput ~nthreads ~duration:opts.duration
+      ~step:(Run.set_workload inst.ops ~mix ~range)
+      ~seed:opts.seed ()
+  in
+  r.throughput
+
+let ratio_row opts ~structure ~size ~mix ~flavors ~nthreads =
+  let base = throughput_point opts ~structure ~flavor:I.Log ~size ~nthreads ~mix in
+  List.map
+    (fun flavor ->
+      let tp = throughput_point opts ~structure ~flavor ~size ~nthreads ~mix in
+      tp /. base)
+    flavors
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: latency model + measured primitive costs.                 *)
+
+let table1 opts =
+  let l = latency opts in
+  pr "calibration: simulated load = %.1f ns; injected NVRAM write = %d ns (paper: 125 ns at 2 ns loads)\n"
+    (Harness.Calibrate.load_ns ()) l.nvram_write_ns;
+  Report.table ~title:"Table 1: memory hierarchy latency model (ns)"
+    ~header:[ "level"; "read"; "write" ]
+    [
+      [ "DRAM"; string_of_int l.dram_read_ns; string_of_int l.dram_write_ns ];
+      [
+        "NVRAM (simulated)";
+        string_of_int l.nvram_read_ns;
+        string_of_int l.nvram_write_ns;
+      ];
+    ];
+  (* Measured cost of the primitives under the injected model. *)
+  let heap = Nvm.Heap.create ~latency:l ~size_words:4096 () in
+  let time_op name n f =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      f i
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9 in
+    [ name; Report.human_ns dt ]
+  in
+  Report.table ~title:"Measured primitive costs (simulated heap, injection on)"
+    ~header:[ "primitive"; "cost" ]
+    [
+      time_op "load" 100000 (fun i -> ignore (Nvm.Heap.load heap ~tid:0 (i land 1023)));
+      time_op "store" 100000 (fun i -> Nvm.Heap.store heap ~tid:0 (i land 1023) i);
+      time_op "cas" 100000 (fun i ->
+          ignore
+            (Nvm.Heap.cas heap ~tid:0 (i land 1023)
+               ~expected:(Nvm.Heap.load heap ~tid:0 (i land 1023))
+               ~desired:i));
+      time_op "sync (wb+fence)" 20000 (fun i ->
+          Nvm.Heap.persist heap ~tid:0 (i land 1023));
+      time_op "batched sync (8 lines)" 10000 (fun i ->
+          for j = 0 to 7 do
+            Nvm.Heap.write_back heap ~tid:0 ((i + (j * 64)) land 1023)
+          done;
+          Nvm.Heap.fence heap ~tid:0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: update throughput vs log-based baseline across sizes.     *)
+
+let sizes_for opts structure =
+  match (structure, opts.full) with
+  | I.List, false -> [ 32; 128; 1024 ]
+  | I.List, true -> [ 32; 128; 4096; 65536 ]
+  | _, false -> [ 128; 1024; 8192 ]
+  | _, true -> [ 128; 4096; 65536 ]
+
+let fig5 opts =
+  let mix = Keygen.update_only in
+  List.iter
+    (fun structure ->
+      let rows =
+        List.concat_map
+          (fun size ->
+            List.map
+              (fun nthreads ->
+                let ratios =
+                  ratio_row opts ~structure ~size ~mix ~flavors:[ I.Lc ] ~nthreads
+                in
+                [
+                  string_of_int size;
+                  string_of_int nthreads;
+                  Report.f2 (List.nth ratios 0);
+                ])
+              opts.threads)
+          (sizes_for opts structure)
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Figure 5 (%s): update throughput of log-free (link cache) \
+              relative to log-based"
+             (I.structure_name structure))
+        ~header:[ "size"; "threads"; "x vs log" ]
+        rows)
+    I.all_structures
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: sensitivity to NVRAM write latency (linked list, 1024).   *)
+
+let fig6 opts =
+  let mix = Keygen.update_only in
+  let base = base_write_ns opts in
+  let rows =
+    List.concat_map
+      (fun mult ->
+        List.map
+          (fun nthreads ->
+            let o = { opts with write_ns = base * mult } in
+            let r =
+              ratio_row o ~structure:I.List ~size:1024 ~mix ~flavors:[ I.Lc ]
+                ~nthreads
+            in
+            [
+              Printf.sprintf "%s (%dx)" (Report.human_ns (float_of_int (base * mult))) mult;
+              string_of_int nthreads;
+              Report.f2 (List.nth r 0);
+            ])
+          opts.threads)
+      [ 1; 10; 100 ]
+  in
+  Report.table
+    ~title:
+      "Figure 6: linked list (1024 elems), log-free vs log-based across NVRAM \
+       write latencies"
+    ~header:[ "write latency"; "threads"; "x vs log" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: durable vs volatile implementation (linked list).         *)
+
+let fig7 opts =
+  let mix = Keygen.update_only in
+  let sizes =
+    if opts.full then [ 32; 128; 4096; 65536 ] else [ 32; 128; 1024; 4096 ]
+  in
+  let rows =
+    List.concat_map
+      (fun size ->
+        List.map
+          (fun nthreads ->
+            let vol =
+              throughput_point opts ~structure:I.List ~flavor:I.Volatile ~size
+                ~nthreads ~mix
+            in
+            let dur =
+              throughput_point opts ~structure:I.List ~flavor:I.Lc ~size ~nthreads
+                ~mix
+            in
+            [ string_of_int size; string_of_int nthreads; Report.f2 (dur /. vol) ])
+          opts.threads)
+      sizes
+  in
+  Report.table
+    ~title:
+      "Figure 7: linked list, durable (link cache) throughput relative to \
+       NVRAM-oblivious (volatile)"
+    ~header:[ "size"; "threads"; "x vs volatile" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: link-and-persist vs link cache, all structures, 1024.     *)
+
+let fig8 opts =
+  let mix = Keygen.update_only in
+  let rows =
+    List.concat_map
+      (fun structure ->
+        List.map
+          (fun nthreads ->
+            let r =
+              ratio_row opts ~structure ~size:1024 ~mix ~flavors:[ I.Lp; I.Lc ]
+                ~nthreads
+            in
+            [
+              I.structure_name structure;
+              string_of_int nthreads;
+              Report.f2 (List.nth r 0);
+              Report.f2 (List.nth r 1);
+            ])
+          opts.threads)
+      I.all_structures
+  in
+  Report.table
+    ~title:
+      "Figure 8: throughput normalized to log-based (1024 elems, 100% updates)"
+    ~header:[ "structure"; "threads"; "LP x"; "LC x" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: active page table hit rates and NV-epochs speedup.        *)
+
+let fig9 opts =
+  (* (a) hit rates on a skip list across sizes. *)
+  let hit_rows =
+    List.map
+      (fun size ->
+        let inst =
+          I.create ~nthreads:1 ~size_hint:size ~latency:(latency opts)
+            ~structure:I.Skiplist ~flavor:I.Lp ()
+        in
+        Keygen.prefill inst.ops ~size ~seed:opts.seed;
+        Nvm.Heap.reset_stats (Lfds.Ctx.heap inst.ctx);
+        let range = Keygen.range_for ~size in
+        ignore
+          (Run.throughput ~nthreads:1 ~duration:opts.duration
+             ~step:(Run.set_workload inst.ops ~mix:Keygen.update_only ~range)
+             ~seed:opts.seed ());
+        let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap inst.ctx) in
+        let rate h m =
+          if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)
+        in
+        [
+          string_of_int size;
+          Printf.sprintf "%.1f%%" (100. *. rate st.apt_alloc_hits st.apt_alloc_misses);
+          Printf.sprintf "%.1f%%" (100. *. rate st.apt_unlink_hits st.apt_unlink_misses);
+        ])
+      (sizes_for opts I.Skiplist)
+  in
+  Report.table
+    ~title:"Figure 9a: active-page-table hit rates (skip list, 4KB pages)"
+    ~header:[ "size"; "insert hit rate"; "delete hit rate" ]
+    hit_rows;
+  (* (b) NV-epochs vs per-operation logged memory management. *)
+  let mix = Keygen.update_only in
+  let rows =
+    List.concat_map
+      (fun structure ->
+        List.map
+          (fun size ->
+            let point mem_mode =
+              let inst =
+                I.create ~nthreads:1 ~size_hint:size ~latency:(latency opts)
+                  ~mem_mode ~structure ~flavor:I.Lp ()
+              in
+              Keygen.prefill inst.ops ~size ~seed:opts.seed;
+              let range = Keygen.range_for ~size in
+              (Run.throughput ~nthreads:1 ~duration:opts.duration
+                 ~step:(Run.set_workload inst.ops ~mix ~range)
+                 ~seed:opts.seed ())
+                .throughput
+            in
+            let nv = point Lfds.Nv_epochs.Nv in
+            let logged = point Lfds.Nv_epochs.Logged in
+            [
+              I.structure_name structure;
+              string_of_int size;
+              Report.f2 (nv /. logged);
+            ])
+          (sizes_for opts structure))
+      I.all_structures
+  in
+  Report.table
+    ~title:
+      "Figure 9b: throughput with NV-epochs relative to logged allocation \
+       (link-and-persist structures, 1 thread)"
+    ~header:[ "structure"; "size"; "x vs logged-alloc" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: recovery time vs structure size.                         *)
+
+let fig10 opts =
+  let rows =
+    List.concat_map
+      (fun structure ->
+        List.map
+          (fun size ->
+            let inst =
+              I.create ~nthreads:1 ~size_hint:size ~latency:(latency opts)
+                ~structure ~flavor:I.Lp ()
+            in
+            Keygen.prefill inst.ops ~size ~seed:opts.seed;
+            (* Run a burst of updates so the crash interrupts real work. *)
+            let range = Keygen.range_for ~size in
+            ignore
+              (Run.throughput ~nthreads:1 ~duration:(opts.duration /. 2.)
+                 ~step:(Run.set_workload inst.ops ~mix:Keygen.update_only ~range)
+                 ~seed:opts.seed ());
+            let inst', dt, freed = I.crash_and_recover ~seed:opts.seed inst in
+            [
+              I.structure_name structure;
+              string_of_int size;
+              Report.human_ns (dt *. 1e9);
+              string_of_int freed;
+              string_of_int (inst'.ops.size ());
+            ])
+          (sizes_for opts structure))
+      I.all_structures
+  in
+  Report.table
+    ~title:
+      "Figure 10: full recovery time after a crash (consistency restore + \
+       active-page sweep)"
+    ~header:[ "structure"; "size"; "recovery"; "leaked nodes freed"; "size after" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: NV-Memcached vs volatile Memcached builds.               *)
+
+let cache_cfg opts ~nkeys ~mode =
+  {
+    (Lfds.Ctx.default_config ()) with
+    size_words = Nvm.Cacheline.align_up ((nkeys * 64) + (1 lsl 19));
+    nthreads = 4;
+    mode;
+    latency = latency opts;
+    apt_entries = 8192;
+    static_words = Nvm.Cacheline.align_up ((2 * max 4096 nkeys) + 128);
+  }
+
+let build_nv_cache opts ~nkeys =
+  let cfg = cache_cfg opts ~nkeys ~mode:Lfds.Persist_mode.Link_persist in
+  let ctx = Lfds.Ctx.create cfg in
+  let t =
+    Kvcache.Nv_memcached.create ctx ~nbuckets:(max 1024 (nkeys / 2))
+      ~capacity:(2 * nkeys)
+  in
+  (cfg, ctx, t)
+
+let build_clht_cache opts ~nkeys =
+  let cfg = cache_cfg opts ~nkeys ~mode:Lfds.Persist_mode.Volatile in
+  let ctx = Lfds.Ctx.create cfg in
+  let t =
+    Kvcache.Nv_memcached.create ctx ~nbuckets:(max 1024 (nkeys / 2))
+      ~capacity:(2 * nkeys)
+  in
+  Kvcache.Nv_memcached.ops ~name:"memcached-clht" t
+
+let fig11 opts =
+  let nthreads = 4 in
+  let key_ranges = if opts.full then [ 1000; 10000; 100000 ] else [ 1000; 10000 ] in
+  let tp_rows =
+    List.concat_map
+      (fun nkeys ->
+        let volatile =
+          Kvcache.Memcached_volatile.ops
+            (Kvcache.Memcached_volatile.create ~capacity:(2 * nkeys))
+        in
+        let clht = build_clht_cache opts ~nkeys in
+        let _, _, nv = build_nv_cache opts ~nkeys in
+        let nv_ops = Kvcache.Nv_memcached.ops nv in
+        List.map
+          (fun cache ->
+            ignore (Kvcache.Memtier.warmup cache ~nkeys);
+            let r =
+              Kvcache.Memtier.run cache ~nthreads ~duration:opts.duration ~nkeys
+                ~seed:opts.seed ()
+            in
+            [
+              string_of_int nkeys;
+              cache.Kvcache.Cache_intf.name;
+              Report.human_ops r.throughput;
+            ])
+          [ volatile; clht; nv_ops ])
+      key_ranges
+  in
+  Report.table
+    ~title:
+      "Figure 11 (left): memtier throughput, 1:4 set:get, 4 threads \
+       (volatile 'memcached' runs on native memory, not the simulated heap; \
+       the like-for-like pair is memcached-clht vs nv-memcached)"
+    ~header:[ "keys"; "system"; "throughput" ]
+    tp_rows;
+  let rec_rows =
+    List.concat_map
+      (fun nkeys ->
+        let volatile =
+          Kvcache.Memcached_volatile.ops
+            (Kvcache.Memcached_volatile.create ~capacity:(2 * nkeys))
+        in
+        let warm_v = Kvcache.Memtier.warmup volatile ~nkeys in
+        let clht = build_clht_cache opts ~nkeys in
+        let warm_c = Kvcache.Memtier.warmup clht ~nkeys in
+        let cfg, ctx, nv = build_nv_cache opts ~nkeys in
+        let nv_ops = Kvcache.Nv_memcached.ops nv in
+        ignore (Kvcache.Memtier.warmup nv_ops ~nkeys);
+        let heap = Lfds.Ctx.heap ctx in
+        Nvm.Heap.crash heap ~seed:opts.seed ~eviction_probability:0.5;
+        let recovered, rec_t =
+          Run.time (fun () ->
+              let ctx', active = Lfds.Ctx.recover heap cfg in
+              Kvcache.Nv_memcached.recover ctx'
+                ~nbuckets:(max 1024 (nkeys / 2))
+                ~capacity:(2 * nkeys) ~active_pages:active)
+        in
+        [
+          [
+            string_of_int nkeys;
+            "memcached (warm-up)";
+            Report.human_ns (warm_v *. 1e9);
+          ];
+          [
+            string_of_int nkeys;
+            "memcached-clht (warm-up)";
+            Report.human_ns (warm_c *. 1e9);
+          ];
+          [
+            string_of_int nkeys;
+            Printf.sprintf "nv-memcached (recovery, %d items)"
+              (Kvcache.Nv_memcached.count recovered);
+            Report.human_ns (rec_t *. 1e9);
+          ];
+        ])
+      key_ranges
+  in
+  Report.table
+    ~title:"Figure 11 (right): warm-up time vs NV-Memcached recovery time"
+    ~header:[ "keys"; "system"; "time" ]
+    rec_rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out.                  *)
+
+let ablate opts =
+  let mix = Keygen.update_only in
+  (* Link cache on/off across thread counts (section 6.2 note). *)
+  let rows =
+    List.map
+      (fun nthreads ->
+        let r =
+          ratio_row opts ~structure:I.Hash ~size:1024 ~mix ~flavors:[ I.Lp; I.Lc ]
+            ~nthreads
+        in
+        [ string_of_int nthreads; Report.f2 (List.nth r 0); Report.f2 (List.nth r 1) ])
+      (opts.threads @ if opts.full then [ 16 ] else [])
+  in
+  Report.table
+    ~title:
+      "Ablation: link cache vs plain link-and-persist as concurrency grows \
+       (hash table)"
+    ~header:[ "threads"; "LP x vs log"; "LC x vs log" ]
+    rows;
+  (* Active-page granularity: hit rate and recovery time vs page size. *)
+  let rows =
+    List.map
+      (fun page_words ->
+        let inst =
+          I.create ~nthreads:1 ~size_hint:8192 ~latency:(latency opts) ~page_words
+            ~structure:I.Skiplist ~flavor:I.Lp ()
+        in
+        Keygen.prefill inst.ops ~size:8192 ~seed:opts.seed;
+        Nvm.Heap.reset_stats (Lfds.Ctx.heap inst.ctx);
+        ignore
+          (Run.throughput ~nthreads:1 ~duration:opts.duration
+             ~step:
+               (Run.set_workload inst.ops ~mix ~range:(Keygen.range_for ~size:8192))
+             ~seed:opts.seed ());
+        let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap inst.ctx) in
+        let rate h m =
+          if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)
+        in
+        let _, dt, _ = I.crash_and_recover ~seed:opts.seed inst in
+        [
+          Printf.sprintf "%d B" (page_words * 8);
+          Printf.sprintf "%.1f%%" (100. *. rate st.apt_hits st.apt_misses);
+          Report.human_ns (dt *. 1e9);
+        ])
+      [ 128; 512; 2048 ]
+  in
+  Report.table
+    ~title:"Ablation: active-page granularity (skip list, 8K elems)"
+    ~header:[ "page size"; "APT hit rate"; "recovery time" ]
+    rows;
+  (* WAL sync policy: eager (undo-sound) vs batched lower bound. *)
+  let rows =
+    List.map
+      (fun (name, wal_mode) ->
+        let inst =
+          I.create ~nthreads:1 ~size_hint:1024 ~latency:(latency opts) ~wal_mode
+            ~structure:I.Skiplist ~flavor:I.Log ()
+        in
+        Keygen.prefill inst.ops ~size:1024 ~seed:opts.seed;
+        let tp =
+          (Run.throughput ~nthreads:1 ~duration:opts.duration
+             ~step:
+               (Run.set_workload inst.ops ~mix ~range:(Keygen.range_for ~size:1024))
+             ~seed:opts.seed ())
+            .throughput
+        in
+        [ name; Report.human_ops tp ])
+      [
+        ("eager (per-entry sync)", Baseline.Wal.Eager);
+        ("batched (one log sync; unsound lower bound)", Baseline.Wal.Batched);
+      ]
+  in
+  Report.table
+    ~title:"Ablation: log-based skip list under WAL sync policies"
+    ~header:[ "policy"; "throughput" ]
+    rows;
+  (* Write-back instruction choice (section 2: why clwb). *)
+  let rows =
+    List.map
+      (fun (name, kind) ->
+        let inst =
+          I.create ~nthreads:1 ~size_hint:1024 ~latency:(latency opts)
+            ~structure:I.Hash ~flavor:I.Lp ()
+        in
+        Nvm.Heap.set_wb_instruction (Lfds.Ctx.heap inst.ctx) kind;
+        Keygen.prefill inst.ops ~size:1024 ~seed:opts.seed;
+        let tp =
+          (Run.throughput ~nthreads:1 ~duration:opts.duration
+             ~step:
+               (Run.set_workload inst.ops ~mix ~range:(Keygen.range_for ~size:1024))
+             ~seed:opts.seed ())
+            .throughput
+        in
+        [ name; Report.human_ops tp ])
+      [
+        ("clwb (no invalidate, batched)", Nvm.Heap.Clwb);
+        ("clflushopt (invalidating, batched)", Nvm.Heap.Clflushopt);
+        ("clflush (invalidating, serialized)", Nvm.Heap.Clflush);
+      ]
+  in
+  Report.table
+    ~title:"Ablation: write-back instruction (hash table, link-and-persist)"
+    ~header:[ "instruction"; "throughput" ]
+    rows;
+  (* Parallel recovery sweep (section 5.5: both strategies parallelize). *)
+  let rows =
+    List.map
+      (fun nworkers ->
+        let inst =
+          I.create ~nthreads:1 ~size_hint:8192 ~latency:(latency opts)
+            ~structure:I.Hash ~flavor:I.Lp ()
+        in
+        Keygen.prefill inst.ops ~size:8192 ~seed:opts.seed;
+        Nvm.Heap.crash (Lfds.Ctx.heap inst.ctx) ~seed:opts.seed
+          ~eviction_probability:0.5;
+        let (ctx, active), attach_t =
+          Run.time (fun () -> Lfds.Ctx.recover (Lfds.Ctx.heap inst.ctx) inst.cfg)
+        in
+        let t = Lfds.Durable_hash.attach ctx ~nbuckets:inst.hash_buckets in
+        Lfds.Durable_hash.recover_consistency ctx t;
+        let iter f =
+          Lfds.Durable_hash.iter_nodes ctx t (fun n ~deleted:_ -> f n)
+        in
+        let freed, sweep_t =
+          Run.time (fun () ->
+              Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages:active
+                ~iter ~nworkers)
+        in
+        [
+          string_of_int nworkers;
+          Report.human_ns ((attach_t +. sweep_t) *. 1e9);
+          string_of_int freed;
+        ])
+      [ 1; 2; 4 ]
+  in
+  Report.table
+    ~title:"Ablation: parallel recovery sweep (hash table, 8K elems)"
+    ~header:[ "workers"; "recovery time"; "freed" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the primitives.                        *)
+
+let micro () =
+  let open Bechamel in
+  let heap =
+    Nvm.Heap.create ~latency:(Nvm.Latency_model.default ()) ~size_words:65536 ()
+  in
+  let inst = I.create ~nthreads:1 ~size_hint:1024 ~structure:I.List ~flavor:I.Lp () in
+  Keygen.prefill inst.ops ~size:256 ~seed:7;
+  let k = ref 1_000_000 in
+  let tests =
+    [
+      Test.make ~name:"heap-load"
+        (Staged.stage (fun () -> ignore (Nvm.Heap.load heap ~tid:0 128)));
+      Test.make ~name:"heap-store"
+        (Staged.stage (fun () -> Nvm.Heap.store heap ~tid:0 128 42));
+      Test.make ~name:"heap-sync"
+        (Staged.stage (fun () -> Nvm.Heap.persist heap ~tid:0 128));
+      Test.make ~name:"list-insert+remove-LP"
+        (Staged.stage (fun () ->
+             incr k;
+             ignore (inst.ops.insert ~tid:0 ~key:!k ~value:1);
+             ignore (inst.ops.remove ~tid:0 ~key:!k)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"primitives" tests) in
+  pr "\n== Bechamel micro-benchmarks (ns/op, OLS estimate) ==\n";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> pr "%-32s %12.1f ns\n" name est
+      | Some _ | None -> pr "%-32s (no estimate)\n" name)
+    results;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* Command line.                                                       *)
+
+let run_all opts =
+  table1 opts;
+  fig5 opts;
+  fig6 opts;
+  fig7 opts;
+  fig8 opts;
+  fig9 opts;
+  fig10 opts;
+  fig11 opts;
+  ablate opts;
+  micro ()
+
+open Cmdliner
+
+let opts_term =
+  let duration =
+    Arg.(value & opt float 0.15 & info [ "duration" ] ~doc:"Seconds per point.")
+  in
+  let threads =
+    Arg.(value & opt (list int) [ 1; 8 ] & info [ "threads" ] ~doc:"Thread counts.")
+  in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale sizes.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let write_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "write-ns" ]
+          ~doc:"NVRAM write latency (ns); 0 = calibrate to the simulator.")
+  in
+  let make duration threads full seed write_ns =
+    { duration; threads; full; seed; write_ns }
+  in
+  Term.(const make $ duration $ threads $ full $ seed $ write_ns)
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ opts_term)
+
+let () =
+  let default = Term.(const run_all $ opts_term) in
+  let info =
+    Cmd.info "nvlf-bench" ~doc:"Log-free durable data structures: paper experiments"
+  in
+  let cmds =
+    [
+      cmd "table1" "Latency model and primitive costs" table1;
+      cmd "fig5" "Update throughput vs log-based, across sizes" fig5;
+      cmd "fig6" "Sensitivity to NVRAM write latency" fig6;
+      cmd "fig7" "Durable vs volatile throughput" fig7;
+      cmd "fig8" "Link-and-persist vs link cache" fig8;
+      cmd "fig9" "Active page table hit rates and NV-epochs speedup" fig9;
+      cmd "fig10" "Recovery times" fig10;
+      cmd "fig11" "NV-Memcached throughput and recovery" fig11;
+      cmd "ablate" "Design-choice ablations" ablate;
+      cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
+      cmd "all" "Run every experiment" run_all;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,179 @@
+(* nvlf: a scriptable driver for the log-free durable data structures.
+
+     nvlf stats  --structure skiplist --size 1024      per-flavor cost profile
+     nvlf drill  --structure bst --rounds 200          crash-point fuzzing
+     nvlf run    --structure hash --flavor lc ...      one workload run
+     nvlf pools                                        allocator/APT inspection
+
+   The benchmark figures live in bench/main.exe; this tool is for poking at
+   a single configuration interactively. *)
+
+open Cmdliner
+open Workload
+module I = Harness.Instance
+
+let structure_conv =
+  let parse = function
+    | "list" -> Ok I.List
+    | "hash" -> Ok I.Hash
+    | "skiplist" -> Ok I.Skiplist
+    | "bst" -> Ok I.Bst
+    | s -> Error (`Msg ("unknown structure: " ^ s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (I.structure_name s))
+
+let flavor_conv =
+  let parse = function
+    | "volatile" -> Ok I.Volatile
+    | "lp" | "link-persist" -> Ok I.Lp
+    | "lc" | "link-cache" -> Ok I.Lc
+    | "log" -> Ok I.Log
+    | s -> Error (`Msg ("unknown flavor: " ^ s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (I.flavor_name f))
+
+let structure_arg =
+  Arg.(
+    value
+    & opt structure_conv I.Hash
+    & info [ "structure" ] ~doc:"list | hash | skiplist | bst")
+
+let size_arg = Arg.(value & opt int 1024 & info [ "size" ] ~doc:"Steady-state size.")
+let threads_arg = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"Domains.")
+let duration_arg = Arg.(value & opt float 0.3 & info [ "duration" ] ~doc:"Seconds.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+
+let calibrated_latency () =
+  let l = Nvm.Latency_model.default () in
+  l.nvram_write_ns <- Harness.Calibrate.write_ns ();
+  l
+
+(* stats: run each flavor and print its cost profile. *)
+let stats structure size nthreads duration seed =
+  Printf.printf "%s, %d elements, %d thread(s), %.2fs per flavor\n"
+    (I.structure_name structure) size nthreads duration;
+  Printf.printf "%-14s %12s %9s %8s %9s %9s %9s %11s %11s\n" "flavor" "ops/s"
+    "syncs/op" "wb/op" "loads/op" "APT hit%" "LC adds%" "p50" "p99";
+  List.iter
+    (fun flavor ->
+      let inst =
+        I.create ~nthreads ~size_hint:size ~latency:(calibrated_latency ())
+          ~structure ~flavor ()
+      in
+      Keygen.prefill inst.ops ~size ~seed;
+      Nvm.Heap.reset_stats (Lfds.Ctx.heap inst.ctx);
+      let r =
+        Run.throughput ~nthreads ~duration
+          ~step:
+            (Run.set_workload inst.ops ~mix:Keygen.update_only
+               ~range:(Keygen.range_for ~size))
+          ~seed ()
+      in
+      let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap inst.ctx) in
+      let ops = float_of_int (max 1 r.total_ops) in
+      let pct a b = if a + b = 0 then 0. else 100. *. float_of_int a /. float_of_int (a + b) in
+      let hist =
+        Run.latency_profile ~n:2000
+          ~step:
+            (Run.set_workload inst.ops ~mix:Keygen.update_only
+               ~range:(Keygen.range_for ~size))
+          ~seed ()
+      in
+      Printf.printf "%-14s %12.0f %9.2f %8.2f %9.1f %8.1f%% %8.1f%% %11s %11s\n"
+        (I.flavor_name flavor) r.throughput
+        (float_of_int st.sync_batches /. ops)
+        (float_of_int st.write_backs /. ops)
+        (float_of_int st.loads /. ops)
+        (pct st.apt_hits st.apt_misses)
+        (pct st.lc_adds st.lc_fails)
+        (Report.human_ns (Histogram.percentile hist 50.))
+        (Report.human_ns (Histogram.percentile hist 99.)))
+    [ I.Volatile; I.Lp; I.Lc; I.Log ]
+
+(* drill: randomized mid-operation crash + recovery verification. *)
+let drill structure rounds seed =
+  let rng = Xoshiro.make ~seed in
+  let inst = ref (I.create ~nthreads:1 ~size_hint:256 ~structure ~flavor:I.Lp ()) in
+  let model = Hashtbl.create 64 in
+  let crashes = ref 0 and violations = ref 0 in
+  for round = 1 to rounds do
+    let heap = Lfds.Ctx.heap !inst.ctx in
+    Nvm.Heap.set_trip heap (Xoshiro.in_range rng ~lo:1 ~hi:800);
+    (try
+       for _ = 1 to 25 do
+         let key = Xoshiro.in_range rng ~lo:1 ~hi:512 in
+         if Xoshiro.chance rng ~num:1 ~den:2 then begin
+           if !inst.ops.insert ~tid:0 ~key ~value:key then
+             Hashtbl.replace model key key
+         end
+         else if !inst.ops.remove ~tid:0 ~key then Hashtbl.remove model key
+       done;
+       Nvm.Heap.disarm_trip heap
+     with Nvm.Heap.Crashed ->
+       incr crashes;
+       let recovered, _, _ = I.crash_and_recover ~seed:round !inst in
+       inst := recovered;
+       let diffs = ref [] in
+       for key = 1 to 512 do
+         if Hashtbl.mem model key <> (!inst.ops.search ~tid:0 ~key <> None) then
+           diffs := key :: !diffs
+       done;
+       (match !diffs with
+       | [] -> ()
+       | [ key ] ->
+           if !inst.ops.search ~tid:0 ~key <> None then Hashtbl.replace model key key
+           else Hashtbl.remove model key
+       | ks -> violations := !violations + List.length ks))
+  done;
+  Printf.printf "%s: %d rounds, %d crashes, %d violations\n"
+    (I.structure_name structure) rounds !crashes !violations;
+  if !violations > 0 then exit 1
+
+(* run: one timed workload with a final summary. *)
+let run_once structure flavor size nthreads duration seed update_pct =
+  let inst =
+    I.create ~nthreads ~size_hint:size ~latency:(calibrated_latency ())
+      ~structure ~flavor ()
+  in
+  Keygen.prefill inst.ops ~size ~seed;
+  let r =
+    Run.throughput ~nthreads ~duration
+      ~step:
+        (Run.set_workload inst.ops
+           ~mix:(Keygen.mixed ~update_pct)
+           ~range:(Keygen.range_for ~size))
+      ~seed ()
+  in
+  Printf.printf "%s / %s: %s over %.2fs (%d ops; per-thread: %s)\n"
+    (I.structure_name structure) (I.flavor_name flavor)
+    (Report.human_ops r.throughput) r.duration r.total_ops
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int r.per_thread)));
+  Printf.printf "final size: %d\n" (inst.ops.size ())
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Cost profile of every flavor")
+    Term.(
+      const stats $ structure_arg $ size_arg $ threads_arg $ duration_arg
+      $ seed_arg)
+
+let drill_cmd =
+  let rounds = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Rounds.") in
+  Cmd.v (Cmd.info "drill" ~doc:"Randomized crash-point fuzzing")
+    Term.(const drill $ structure_arg $ rounds $ seed_arg)
+
+let run_cmd =
+  let flavor =
+    Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|log")
+  in
+  let update_pct =
+    Arg.(value & opt int 100 & info [ "updates" ] ~doc:"Update percentage.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"One timed workload")
+    Term.(
+      const run_once $ structure_arg $ flavor $ size_arg $ threads_arg
+      $ duration_arg $ seed_arg $ update_pct)
+
+let () =
+  let info = Cmd.info "nvlf" ~doc:"Log-free durable data structures driver" in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; drill_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Domain Harness Lfds List Nvm Printf

@@ -1,0 +1,1 @@
+examples/memcached_demo.ml: Kvcache Lfds List Nvm Printf String Unix

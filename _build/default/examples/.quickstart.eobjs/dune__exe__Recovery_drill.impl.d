@@ -1,0 +1,1 @@
+examples/recovery_drill.ml: Harness Hashtbl Lfds List Nvm Printf Workload

@@ -1,0 +1,67 @@
+(* A durable key-value store with concurrent writers.
+
+   Build and run:  dune exec examples/kv_store.exe
+
+   The scenario the paper's introduction motivates: an index that must
+   absorb a high update rate from several threads, survive power failures,
+   and come back in milliseconds. Here: four domains hammer a durable
+   skip list (link-cache mode), the machine crashes mid-run, and we verify
+   durable linearizability — a consistent state containing every operation
+   that completed a durability point — then keep working on the recovered
+   structure. *)
+
+module I = Harness.Instance
+
+let nthreads = 4
+let per_thread_keys = 2000
+
+let () =
+  let inst =
+    I.create ~nthreads ~size_hint:(nthreads * per_thread_keys)
+      ~latency:(Nvm.Latency_model.default ()) ~structure:I.Skiplist ~flavor:I.Lc ()
+  in
+  Printf.printf "4 domains inserting %d keys each into a durable skip list...\n"
+    per_thread_keys;
+  let worker tid () =
+    (* Disjoint key ranges so we can verify exactly what must survive. *)
+    let base = tid * per_thread_keys in
+    for i = 1 to per_thread_keys do
+      ignore (inst.ops.insert ~tid ~key:(base + i) ~value:tid)
+    done;
+    (* Delete every fourth key again. *)
+    for i = 1 to per_thread_keys do
+      if i mod 4 = 0 then ignore (inst.ops.remove ~tid ~key:(base + i))
+    done
+  in
+  let domains = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join domains;
+  Printf.printf "size before crash: %d\n" (inst.ops.size ());
+
+  (* Make the link cache's parked write-backs durable, then pull the plug.
+     (Without the explicit flush, operations whose links were still parked
+     in the volatile link cache may be lost — buffered durability, sec. 4.) *)
+  (match Lfds.Ctx.link_cache inst.ctx with
+  | Some lc -> Lfds.Link_cache.flush_all lc ~tid:0
+  | None -> ());
+  Printf.printf "*** power failure ***\n";
+  let inst, dt, freed = I.crash_and_recover ~seed:99 inst in
+  Printf.printf "recovered in %.2f ms (%d leaked nodes swept)\n" (dt *. 1000.) freed;
+
+  (* Every completed operation must be reflected. *)
+  let errors = ref 0 in
+  for tid = 0 to nthreads - 1 do
+    let base = tid * per_thread_keys in
+    for i = 1 to per_thread_keys do
+      let expect_present = i mod 4 <> 0 in
+      let present = inst.ops.search ~tid:0 ~key:(base + i) <> None in
+      if present <> expect_present then incr errors
+    done
+  done;
+  Printf.printf "verified %d keys: %d violations\n"
+    (nthreads * per_thread_keys) !errors;
+  assert (!errors = 0);
+
+  (* The recovered store is fully operational. *)
+  ignore (inst.ops.insert ~tid:0 ~key:1_000_000 ~value:42);
+  assert (inst.ops.search ~tid:0 ~key:1_000_000 = Some 42);
+  Printf.printf "post-recovery writes work; final size: %d\n" (inst.ops.size ())

@@ -1,0 +1,76 @@
+(* NV-Memcached: restart without the cold-cache penalty.
+
+   Build and run:  dune exec examples/memcached_demo.exe
+
+   Populates an NV-Memcached instance (durable hash table + durable slabs),
+   kills the power, and recovers. A volatile cache would come back empty and
+   pay the full warm-up again; NV-Memcached is serving its whole working set
+   after a millisecond-scale sweep — the Figure 11 story, live. *)
+
+let nkeys = 5000
+
+let () =
+  let cfg =
+    {
+      (Lfds.Ctx.default_config ()) with
+      size_words = Nvm.Cacheline.align_up ((nkeys * 64) + (1 lsl 19));
+      nthreads = 2;
+      mode = Lfds.Persist_mode.Link_persist;
+      latency = Nvm.Latency_model.default ();
+      apt_entries = 8192;
+      static_words = Nvm.Cacheline.align_up ((2 * nkeys) + 4096);
+    }
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  let nbuckets = nkeys / 2 in
+  let cache = Kvcache.Nv_memcached.create ctx ~nbuckets ~capacity:(2 * nkeys) in
+  let ops = Kvcache.Nv_memcached.ops cache in
+
+  let warm = Kvcache.Memtier.warmup ops ~nkeys in
+  Printf.printf "warm-up: stored %d items in %.1f ms\n" (ops.count ())
+    (warm *. 1000.);
+
+  (* Serve some traffic. *)
+  let hits = ref 0 in
+  for n = 0 to 999 do
+    if ops.get ~tid:0 ~key:(Kvcache.Memtier.key_string n) <> None then incr hits
+  done;
+  Printf.printf "1000 gets over the key range: %d hits\n" !hits;
+  ops.set ~tid:0 ~key:"session:alice" ~value:"logged-in";
+  ignore (ops.delete ~tid:0 ~key:(Kvcache.Memtier.key_string 3));
+
+  Printf.printf "\n*** power failure ***\n\n";
+  Nvm.Heap.crash (Lfds.Ctx.heap ctx) ~seed:5 ~eviction_probability:0.5;
+
+  let t0 = Unix.gettimeofday () in
+  let ctx', active = Lfds.Ctx.recover (Lfds.Ctx.heap ctx) cfg in
+  let recovered =
+    Kvcache.Nv_memcached.recover ctx' ~nbuckets ~capacity:(2 * nkeys)
+      ~active_pages:active
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let rops = Kvcache.Nv_memcached.ops recovered in
+  Printf.printf "recovery: %d items back online in %.2f ms (vs %.1f ms warm-up)\n"
+    (rops.count ()) (dt *. 1000.) (warm *. 1000.);
+
+  assert (rops.get ~tid:0 ~key:"session:alice" = Some "logged-in");
+  assert (rops.get ~tid:0 ~key:(Kvcache.Memtier.key_string 3) = None);
+  Printf.printf "session key survived; deleted key stayed deleted.\n";
+
+  (* Still a fully functional cache. *)
+  rops.set ~tid:0 ~key:"post-crash" ~value:"works";
+  assert (rops.get ~tid:0 ~key:"post-crash" = Some "works");
+  Printf.printf "post-recovery sets and gets work.\n\n";
+
+  (* And it still speaks the memcached text protocol. *)
+  let proto = Kvcache.Protocol.create rops in
+  List.iter
+    (fun req ->
+      Printf.printf "> %s\n%s" (String.escaped req)
+        (Kvcache.Protocol.handle proto ~tid:0 req))
+    [
+      "set visits 0 0 1\r\n0\r\n";
+      "incr visits 41";
+      "incr visits 1";
+      "get visits";
+    ]

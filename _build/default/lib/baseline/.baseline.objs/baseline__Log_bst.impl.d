@@ -1,0 +1,1 @@
+lib/baseline/log_bst.ml: Cacheline Heap Lfds Nvm Spinlock Wal

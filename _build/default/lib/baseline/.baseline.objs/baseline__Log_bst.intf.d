@@ -1,0 +1,1 @@
+lib/baseline/log_bst.mli: Lfds Wal

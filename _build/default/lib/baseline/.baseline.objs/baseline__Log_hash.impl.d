@@ -1,0 +1,1 @@
+lib/baseline/log_hash.ml: Cacheline Heap Lfds Log_list Nvm

@@ -1,0 +1,1 @@
+lib/baseline/log_hash.mli: Lfds Wal

@@ -1,0 +1,1 @@
+lib/baseline/log_list.ml: Cacheline Heap Lfds List Nvm Spinlock Wal

@@ -1,0 +1,1 @@
+lib/baseline/log_list.mli: Lfds Wal

@@ -1,0 +1,1 @@
+lib/baseline/log_skiplist.ml: Array Cacheline Heap Lfds List Nvm Pstats Spinlock Wal

@@ -1,0 +1,1 @@
+lib/baseline/log_skiplist.mli: Lfds Wal

@@ -1,0 +1,1 @@
+lib/baseline/spinlock.ml: Domain Fun Heap List Nvm Unix

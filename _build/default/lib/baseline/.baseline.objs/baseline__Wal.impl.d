@@ -1,0 +1,1 @@
+lib/baseline/wal.ml: Array Cacheline Heap Lfds List Nvm

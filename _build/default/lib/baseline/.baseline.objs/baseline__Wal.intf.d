@@ -1,0 +1,1 @@
+lib/baseline/wal.mli: Lfds

@@ -1,0 +1,19 @@
+(** Log-based durable BST: a lock-based external tree in the style of
+    bst-tk, with write-ahead logging. Updates lock the one or two ancestors
+    they rewrite, validate reachability, and mutate in place through the
+    log; searches are unlocked. *)
+
+type t
+
+val create : Lfds.Ctx.t -> t
+val attach : Lfds.Ctx.t -> t
+val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
+
+(** Pre-order walk; [leaf] distinguishes user leaves from interior nodes. *)
+val iter_nodes : Lfds.Ctx.t -> tid:int -> t -> (int -> leaf:bool -> unit) -> unit
+
+val size : Lfds.Ctx.t -> tid:int -> t -> int
+val recover_consistency : Lfds.Ctx.t -> t -> unit
+val ops : Lfds.Ctx.t -> Wal.t -> t -> Lfds.Set_intf.ops

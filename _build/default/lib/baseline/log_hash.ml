@@ -1,0 +1,72 @@
+(** Log-based durable hash table: one lazy list per bucket.
+
+    Bucket cells are [link, lock] pairs in a static span, so each bucket is a
+    [Log_list] head. *)
+
+open Nvm
+
+type t = { base : int; nbuckets : int }
+
+let mix k =
+  let h = k * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 31)) land max_int
+
+let bucket_head t key = t.base + (2 * (mix key mod t.nbuckets))
+
+let create ctx ~nbuckets =
+  let base = Lfds.Ctx.carve_static ctx (2 * nbuckets) in
+  let heap = Lfds.Ctx.heap ctx in
+  let tid = 0 in
+  for i = 0 to (2 * nbuckets) - 1 do
+    Heap.store heap ~tid (base + i) 0
+  done;
+  let lines = ((2 * nbuckets) + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
+  for l = 0 to lines - 1 do
+    Heap.write_back heap ~tid (base + (l * Cacheline.words_per_line))
+  done;
+  Heap.fence heap ~tid;
+  { base; nbuckets }
+
+let attach ctx ~nbuckets =
+  { base = Lfds.Ctx.carve_static ctx (2 * nbuckets); nbuckets }
+
+let insert ctx wal t ~tid ~key ~value =
+  Log_list.insert ctx wal ~tid ~head:(bucket_head t key) ~key ~value
+
+let remove ctx wal t ~tid ~key =
+  Log_list.remove ctx wal ~tid ~head:(bucket_head t key) ~key
+
+let search ctx t ~tid ~key =
+  Log_list.search ctx ~tid ~head:(bucket_head t key) ~key
+
+let size ctx t =
+  let n = ref 0 in
+  for i = 0 to t.nbuckets - 1 do
+    n := !n + Log_list.size ctx ~tid:0 ~head:(t.base + (2 * i))
+  done;
+  !n
+
+let iter_nodes ctx t f =
+  for i = 0 to t.nbuckets - 1 do
+    Log_list.iter_nodes ctx ~tid:0 ~head:(t.base + (2 * i)) f
+  done
+
+let recover_consistency ctx t =
+  for i = 0 to t.nbuckets - 1 do
+    Log_list.recover_consistency ctx ~head:(t.base + (2 * i))
+  done
+
+let ops ctx wal t =
+  {
+    Lfds.Set_intf.name = "log-hash";
+    insert =
+      (fun ~tid ~key ~value ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal t ~tid ~key ~value));
+    remove =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal t ~tid ~key));
+    search =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+    size = (fun () -> size ctx t);
+  }

@@ -1,0 +1,14 @@
+(** Log-based durable hash table: one lazy list per bucket; bucket cells are
+    [link, lock] pairs in a static span. *)
+
+type t
+
+val create : Lfds.Ctx.t -> nbuckets:int -> t
+val attach : Lfds.Ctx.t -> nbuckets:int -> t
+val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
+val size : Lfds.Ctx.t -> t -> int
+val iter_nodes : Lfds.Ctx.t -> t -> (int -> deleted:bool -> unit) -> unit
+val recover_consistency : Lfds.Ctx.t -> t -> unit
+val ops : Lfds.Ctx.t -> Wal.t -> t -> Lfds.Set_intf.ops

@@ -1,0 +1,181 @@
+(** Log-based durable linked list: the lazy list of Heller et al. with
+    write-ahead logging — the competitor of Figures 5-8 for lists.
+
+    The lazy list is the best-performing lock-based list [ASPLOS'15]:
+    wait-free unlocked searches; updates lock the predecessor and current
+    node, validate, and mutate in place. Every in-place mutation of reachable
+    state goes through [Wal.logged_store]; the critical section commits (two
+    more syncs) before releasing its locks.
+
+    Node layout (one cache line):
+    {v +0 key +1 value +2 next +3 lock +4 marked +5..7 pad v}
+
+    Heads are two-word cells [link, lock] so the predecessor position is
+    uniform whether it is a node or a head (the [pos] type). Memory is
+    managed by NV-epochs, identically to the log-free structures (the paper
+    holds memory management constant in these comparisons). *)
+
+open Nvm
+
+let size_class = Cacheline.words_per_line
+let key_of node = node
+let value_of node = node + 1
+let next_of node = node + 2
+let lock_of node = node + 3
+let marked_of node = node + 4
+
+let read_key ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (key_of node)
+
+(* A predecessor position: where its outgoing link and lock live, and its
+   marked flag if it is a real node (heads cannot be marked). *)
+type pos = { link : int; lock : int; marked : int option }
+
+let pos_of_head head = { link = head; lock = head + 1; marked = None }
+
+let pos_of_node node =
+  { link = next_of node; lock = lock_of node; marked = Some (marked_of node) }
+
+let is_marked ctx ~tid pos =
+  match pos.marked with
+  | None -> false
+  | Some addr -> Heap.load (Lfds.Ctx.heap ctx) ~tid addr <> 0
+
+let node_marked ctx ~tid node =
+  Heap.load (Lfds.Ctx.heap ctx) ~tid (marked_of node) <> 0
+
+(** Create a fresh list head (next static carve): [link, lock] zeroed. *)
+let create ctx =
+  let head = Lfds.Ctx.carve_static ctx Cacheline.words_per_line in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.store heap ~tid:0 head 0;
+  Heap.store heap ~tid:0 (head + 1) 0;
+  Heap.persist heap ~tid:0 head;
+  head
+
+let attach ctx = Lfds.Ctx.carve_static ctx Cacheline.words_per_line
+
+(* Unlocked traversal: first node with key >= k and its predecessor. *)
+let locate ctx ~tid ~head k =
+  let heap = Lfds.Ctx.heap ctx in
+  let rec walk pred curr =
+    if curr = 0 then (pred, 0)
+    else if read_key ctx ~tid curr >= k then (pred, curr)
+    else walk (pos_of_node curr) (Heap.load heap ~tid (next_of curr))
+  in
+  walk (pos_of_head head) (Heap.load heap ~tid head)
+
+let search ctx ~tid ~head ~key =
+  let _, curr = locate ctx ~tid ~head key in
+  if curr <> 0 && read_key ctx ~tid curr = key && not (node_marked ctx ~tid curr)
+  then Some (Heap.load (Lfds.Ctx.heap ctx) ~tid (value_of curr))
+  else None
+
+let validate ctx ~tid pred curr =
+  (not (is_marked ctx ~tid pred))
+  && Heap.load (Lfds.Ctx.heap ctx) ~tid pred.link = curr
+  && (curr = 0 || not (node_marked ctx ~tid curr))
+
+let rec insert ctx wal ~tid ~head ~key ~value =
+  let pred, curr = locate ctx ~tid ~head key in
+  let heap = Lfds.Ctx.heap ctx in
+  let locks = pred.lock :: (if curr = 0 then [] else [ lock_of curr ]) in
+  let outcome =
+    Spinlock.with_locks heap ~tid locks (fun () ->
+        if not (validate ctx ~tid pred curr) then `Retry
+        else if curr <> 0 && read_key ctx ~tid curr = key then `Present
+        else begin
+          let node = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
+          Heap.store heap ~tid (key_of node) key;
+          Heap.store heap ~tid (value_of node) value;
+          Heap.store heap ~tid (next_of node) curr;
+          Heap.store heap ~tid (lock_of node) 0;
+          Heap.store heap ~tid (marked_of node) 0;
+          Heap.write_back heap ~tid node;
+          (* The first logged store's fence covers node contents and
+             allocator metadata, mirroring the log-free discipline. *)
+          Wal.begin_op wal ~tid;
+          Wal.logged_store wal ~tid pred.link node;
+          Wal.commit wal ~tid;
+          `Done
+        end)
+  in
+  match outcome with
+  | `Done -> true
+  | `Present -> false
+  | `Retry -> insert ctx wal ~tid ~head ~key ~value
+
+let rec remove ctx wal ~tid ~head ~key =
+  let pred, curr = locate ctx ~tid ~head key in
+  if curr = 0 || read_key ctx ~tid curr <> key then false
+  else begin
+    let heap = Lfds.Ctx.heap ctx in
+    let outcome =
+      Spinlock.with_locks heap ~tid [ pred.lock; lock_of curr ] (fun () ->
+          if not (validate ctx ~tid pred curr) then `Retry
+          else begin
+            Wal.begin_op wal ~tid;
+            Wal.logged_store wal ~tid (marked_of curr) 1;
+            Wal.logged_store wal ~tid pred.link (Heap.load heap ~tid (next_of curr));
+            Wal.commit wal ~tid;
+            `Done
+          end)
+    in
+    match outcome with
+    | `Done ->
+        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid curr;
+        true
+    | `Retry -> remove ctx wal ~tid ~head ~key
+  end
+
+(* Quiescent helpers and recovery. *)
+
+let iter_nodes ctx ~tid ~head f =
+  let heap = Lfds.Ctx.heap ctx in
+  let rec go node =
+    if node <> 0 then begin
+      f node ~deleted:(node_marked ctx ~tid node);
+      go (Heap.load heap ~tid (next_of node))
+    end
+  in
+  go (Heap.load heap ~tid head)
+
+let size ctx ~tid ~head =
+  let n = ref 0 in
+  iter_nodes ctx ~tid ~head (fun _ ~deleted -> if not deleted then incr n);
+  !n
+
+let to_list ctx ~tid ~head =
+  let acc = ref [] in
+  let heap = Lfds.Ctx.heap ctx in
+  iter_nodes ctx ~tid ~head (fun node ~deleted ->
+      if not deleted then
+        acc :=
+          (read_key ctx ~tid node, Heap.load heap ~tid (value_of node)) :: !acc);
+  List.rev !acc
+
+(** Post-crash cleanup, after [Wal.recover]: the rollback already restored a
+    consistent list, so only volatile residue remains — lock words and any
+    marked-but-unlinked node cannot exist, but stale lock bits can. *)
+let recover_consistency ctx ~head =
+  let tid = 0 in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.store heap ~tid (head + 1) 0;
+  iter_nodes ctx ~tid ~head (fun node ~deleted:_ ->
+      if Heap.load heap ~tid (lock_of node) <> 0 then
+        Heap.store heap ~tid (lock_of node) 0);
+  Heap.fence heap ~tid
+
+let ops ctx wal ~head =
+  {
+    Lfds.Set_intf.name = "log-list";
+    insert =
+      (fun ~tid ~key ~value ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal ~tid ~head ~key ~value));
+    remove =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal ~tid ~head ~key));
+    search =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx ~tid ~head ~key));
+    size = (fun () -> size ctx ~tid:0 ~head);
+  }

@@ -1,0 +1,24 @@
+(** Log-based durable linked list: the lazy list of Heller et al. with
+    write-ahead logging — the list competitor of Figures 5-8. Unlocked
+    wait-free searches; updates lock predecessor and current, validate, and
+    mutate in place through the log. *)
+
+(** Size class of a node (one cache line). *)
+val size_class : int
+
+(** Create a fresh [link, lock] head cell (next static carve). *)
+val create : Lfds.Ctx.t -> int
+
+val attach : Lfds.Ctx.t -> int
+val search : Lfds.Ctx.t -> tid:int -> head:int -> key:int -> int option
+val insert : Lfds.Ctx.t -> Wal.t -> tid:int -> head:int -> key:int -> value:int -> bool
+val remove : Lfds.Ctx.t -> Wal.t -> tid:int -> head:int -> key:int -> bool
+val iter_nodes : Lfds.Ctx.t -> tid:int -> head:int -> (int -> deleted:bool -> unit) -> unit
+val size : Lfds.Ctx.t -> tid:int -> head:int -> int
+val to_list : Lfds.Ctx.t -> tid:int -> head:int -> (int * int) list
+
+(** Post-crash cleanup after [Wal.recover]: clear stale lock words (the
+    rollback already restored structural consistency). *)
+val recover_consistency : Lfds.Ctx.t -> head:int -> unit
+
+val ops : Lfds.Ctx.t -> Wal.t -> head:int -> Lfds.Set_intf.ops

@@ -1,0 +1,291 @@
+(** Log-based durable skip list: the optimistic lock-based algorithm of
+    Herlihy, Lev, Luchangco and Shavit [SIROCCO'07] with write-ahead logging.
+
+    Updates lock the predecessor of the node at every level it occupies, so a
+    log-based update must log (and, eagerly, sync) one entry per level —
+    against the single level-0 sync of the log-free version. This is why the
+    skip list shows the paper's largest gap (Figures 5 and 8).
+
+    Node layout ([8 + levels] words, rounded to cache lines):
+    {v +0 key +1 value +2 toplevel +3 lock +4 marked +5 fullylinked +6..7 pad
+       +8+l next_l v}
+
+    The head is a static tower of [max_level] links plus one lock word. *)
+
+open Nvm
+
+type t = { head : int; head_lock : int; max_level : int; rng : int array }
+
+let key_of node = node
+let value_of node = node + 1
+let toplevel_of node = node + 2
+let lock_of node = node + 3
+let marked_of node = node + 4
+let fullylinked_of node = node + 5
+let next_of node level = node + 8 + level
+
+let node_class ~levels =
+  (8 + levels + Cacheline.words_per_line - 1)
+  / Cacheline.words_per_line * Cacheline.words_per_line
+
+let read_key ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (key_of node)
+let is_marked ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (marked_of node) <> 0
+
+let create ctx ?(max_level = 16) () =
+  let span = Cacheline.align_up (max_level + 1) in
+  let head = Lfds.Ctx.carve_static ctx span in
+  let heap = Lfds.Ctx.heap ctx in
+  let tid = 0 in
+  for i = 0 to span - 1 do
+    Heap.store heap ~tid (head + i) 0
+  done;
+  for i = 0 to (span / Cacheline.words_per_line) - 1 do
+    Heap.write_back heap ~tid (head + (i * Cacheline.words_per_line))
+  done;
+  Heap.fence heap ~tid;
+  {
+    head;
+    head_lock = head + max_level;
+    max_level;
+    rng = Array.init Pstats.max_threads (fun i -> (i * 0x2545F491) lor 1);
+  }
+
+let attach ctx ?(max_level = 16) () =
+  let span = Cacheline.align_up (max_level + 1) in
+  let head = Lfds.Ctx.carve_static ctx span in
+  {
+    head;
+    head_lock = head + max_level;
+    max_level;
+    rng = Array.init Pstats.max_threads (fun i -> (i * 0x2545F491) lor 1);
+  }
+
+let random_level t ~tid =
+  let x = t.rng.(tid) in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  t.rng.(tid) <- x;
+  let rec count lvl bits =
+    if lvl >= t.max_level || bits land 1 = 0 then lvl else count (lvl + 1) (bits lsr 1)
+  in
+  count 1 x
+
+(* Per-level predecessor bookkeeping: link word to rewrite, lock to take,
+   and the predecessor node (0 when it is the head). *)
+type preds = { links : int array; locks : int array; nodes : int array }
+
+let make_preds t =
+  {
+    links = Array.make t.max_level 0;
+    locks = Array.make t.max_level 0;
+    nodes = Array.make t.max_level 0;
+  }
+
+(* Returns the highest level at which [k] was found (-1 if absent) and fills
+   [preds] and [succs]. Pure reads; no helping, no unlinking. *)
+let find ctx t ~tid k ~preds ~succs =
+  let heap = Lfds.Ctx.heap ctx in
+  let lfound = ref (-1) in
+  let rec down level pred_node pred_link =
+    if level >= 0 then begin
+      let rec walk pred_node pred_link =
+        let curr = Heap.load heap ~tid pred_link in
+        if curr <> 0 && read_key ctx ~tid curr < k then
+          walk curr (next_of curr level)
+        else begin
+          if !lfound < 0 && curr <> 0 && read_key ctx ~tid curr = k then
+            lfound := level;
+          preds.links.(level) <- pred_link;
+          preds.locks.(level) <- (if pred_node = 0 then t.head_lock else lock_of pred_node);
+          preds.nodes.(level) <- pred_node;
+          succs.(level) <- curr;
+          down (level - 1) pred_node
+            (if pred_node = 0 then t.head + (level - 1)
+             else next_of pred_node (level - 1))
+        end
+      in
+      walk pred_node pred_link
+    end
+  in
+  down (t.max_level - 1) 0 (t.head + (t.max_level - 1));
+  !lfound
+
+let search ctx t ~tid ~key =
+  let preds = make_preds t and succs = Array.make t.max_level 0 in
+  let lfound = find ctx t ~tid key ~preds ~succs in
+  if lfound < 0 then None
+  else
+    let node = succs.(lfound) in
+    if
+      Heap.load (Lfds.Ctx.heap ctx) ~tid (fullylinked_of node) <> 0
+      && not (is_marked ctx ~tid node)
+    then Some (Heap.load (Lfds.Ctx.heap ctx) ~tid (value_of node))
+    else None
+
+(* Lock the distinct predecessor locks of levels [0 .. toplevel-1], from
+   level 0 up. The level-0 predecessor has the largest key and higher-level
+   predecessors only get smaller (the head smallest of all), so every thread
+   acquires locks in descending key order — and a remover, which holds its
+   victim (larger than every one of its predecessors) first, fits the same
+   global order. Ascending acquisition would deadlock against removers
+   through the head lock. *)
+let lock_preds ctx ~tid ~preds ~toplevel =
+  let heap = Lfds.Ctx.heap ctx in
+  let locked = ref [] in
+  for level = 0 to toplevel - 1 do
+    let l = preds.locks.(level) in
+    if not (List.mem l !locked) then begin
+      Spinlock.acquire heap ~tid l;
+      locked := l :: !locked
+    end
+  done;
+  !locked
+
+let unlock_all ctx ~tid locked =
+  List.iter (fun l -> Spinlock.release (Lfds.Ctx.heap ctx) ~tid l) locked
+
+let valid_level ctx ~tid ~preds ~succs level =
+  let heap = Lfds.Ctx.heap ctx in
+  (preds.nodes.(level) = 0 || not (is_marked ctx ~tid preds.nodes.(level)))
+  && Heap.load heap ~tid preds.links.(level) = succs.(level)
+  && (succs.(level) = 0 || not (is_marked ctx ~tid succs.(level)))
+
+let rec insert ctx wal t ~tid ~key ~value =
+  let preds = make_preds t and succs = Array.make t.max_level 0 in
+  let lfound = find ctx t ~tid key ~preds ~succs in
+  if lfound >= 0 && not (is_marked ctx ~tid succs.(lfound)) then false
+  else begin
+    let toplevel = random_level t ~tid in
+    let locked = lock_preds ctx ~tid ~preds ~toplevel in
+    let valid = ref true in
+    for level = 0 to toplevel - 1 do
+      if not (valid_level ctx ~tid ~preds ~succs level) then valid := false
+    done;
+    if not !valid then begin
+      unlock_all ctx ~tid locked;
+      insert ctx wal t ~tid ~key ~value
+    end
+    else begin
+      let heap = Lfds.Ctx.heap ctx in
+      let size_class = node_class ~levels:toplevel in
+      let node = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
+      Heap.store heap ~tid (key_of node) key;
+      Heap.store heap ~tid (value_of node) value;
+      Heap.store heap ~tid (toplevel_of node) toplevel;
+      Heap.store heap ~tid (lock_of node) 0;
+      Heap.store heap ~tid (marked_of node) 0;
+      Heap.store heap ~tid (fullylinked_of node) 1;
+      for l = 0 to toplevel - 1 do
+        Heap.store heap ~tid (next_of node l) succs.(l)
+      done;
+      let lines = (size_class + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
+      for i = 0 to lines - 1 do
+        Heap.write_back heap ~tid (node + (i * Cacheline.words_per_line))
+      done;
+      (* One logged (synced) link write per level. *)
+      Wal.begin_op wal ~tid;
+      for l = 0 to toplevel - 1 do
+        Wal.logged_store wal ~tid preds.links.(l) node
+      done;
+      Wal.commit wal ~tid;
+      unlock_all ctx ~tid locked;
+      true
+    end
+  end
+
+let remove ctx wal t ~tid ~key =
+  let heap = Lfds.Ctx.heap ctx in
+  let preds = make_preds t and succs = Array.make t.max_level 0 in
+  let lfound = find ctx t ~tid key ~preds ~succs in
+  if lfound < 0 then false
+  else begin
+    let victim = succs.(lfound) in
+    let toplevel = Heap.load heap ~tid (toplevel_of victim) in
+    if
+      Heap.load heap ~tid (fullylinked_of victim) = 0
+      || toplevel - 1 <> lfound
+      || is_marked ctx ~tid victim
+    then false
+    else begin
+      Spinlock.acquire heap ~tid (lock_of victim);
+      if is_marked ctx ~tid victim then begin
+        Spinlock.release heap ~tid (lock_of victim);
+        false
+      end
+      else begin
+        (* Point of no return: mark under the victim's lock, logged. *)
+        Wal.begin_op wal ~tid;
+        Wal.logged_store wal ~tid (marked_of victim) 1;
+        let rec unlink () =
+          let preds = make_preds t and succs = Array.make t.max_level 0 in
+          ignore (find ctx t ~tid key ~preds ~succs);
+          let locked = lock_preds ctx ~tid ~preds ~toplevel in
+          let valid = ref true in
+          for level = 0 to toplevel - 1 do
+            if
+              preds.nodes.(level) <> 0 && is_marked ctx ~tid preds.nodes.(level)
+              || Heap.load heap ~tid preds.links.(level) <> victim
+            then valid := false
+          done;
+          if not !valid then begin
+            unlock_all ctx ~tid locked;
+            unlink ()
+          end
+          else begin
+            for l = toplevel - 1 downto 0 do
+              Wal.logged_store wal ~tid preds.links.(l)
+                (Heap.load heap ~tid (next_of victim l))
+            done;
+            Wal.commit wal ~tid;
+            unlock_all ctx ~tid locked
+          end
+        in
+        unlink ();
+        Spinlock.release heap ~tid (lock_of victim);
+        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid victim;
+        true
+      end
+    end
+  end
+
+(* Quiescent helpers and recovery. *)
+
+let iter_nodes ctx ~tid t f =
+  let heap = Lfds.Ctx.heap ctx in
+  let rec go node =
+    if node <> 0 then begin
+      f node ~deleted:(is_marked ctx ~tid node);
+      go (Heap.load heap ~tid (next_of node 0))
+    end
+  in
+  go (Heap.load heap ~tid t.head)
+
+let size ctx ~tid t =
+  let n = ref 0 in
+  iter_nodes ctx ~tid t (fun _ ~deleted -> if not deleted then incr n);
+  !n
+
+let recover_consistency ctx t =
+  let tid = 0 in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.store heap ~tid t.head_lock 0;
+  iter_nodes ctx ~tid t (fun node ~deleted:_ ->
+      if Heap.load heap ~tid (lock_of node) <> 0 then
+        Heap.store heap ~tid (lock_of node) 0);
+  Heap.fence heap ~tid
+
+let ops ctx wal t =
+  {
+    Lfds.Set_intf.name = "log-skiplist";
+    insert =
+      (fun ~tid ~key ~value ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal t ~tid ~key ~value));
+    remove =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal t ~tid ~key));
+    search =
+      (fun ~tid ~key ->
+        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+    size = (fun () -> size ctx ~tid:0 t);
+  }

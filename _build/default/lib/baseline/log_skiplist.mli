@@ -1,0 +1,19 @@
+(** Log-based durable skip list: Herlihy-Lev-Luchangco-Shavit's optimistic
+    lock-based algorithm with write-ahead logging. Updates lock (and log,
+    with an eager sync each) one link per occupied level — the per-update
+    sync count the log-free version avoids (Figures 5, 8). *)
+
+type t
+
+val create : Lfds.Ctx.t -> ?max_level:int -> unit -> t
+val attach : Lfds.Ctx.t -> ?max_level:int -> unit -> t
+val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
+val iter_nodes : Lfds.Ctx.t -> tid:int -> t -> (int -> deleted:bool -> unit) -> unit
+val size : Lfds.Ctx.t -> tid:int -> t -> int
+
+(** Post-crash cleanup after [Wal.recover]: clear stale lock words. *)
+val recover_consistency : Lfds.Ctx.t -> t -> unit
+
+val ops : Lfds.Ctx.t -> Wal.t -> t -> Lfds.Set_intf.ops

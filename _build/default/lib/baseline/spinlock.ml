@@ -1,0 +1,36 @@
+(** Test-and-test-and-set spinlock over a heap word.
+
+    Lock words are volatile state: they are never written back on purpose,
+    and the log-based structures' recovery clears any lock word a crash
+    happened to make durable. *)
+
+open Nvm
+
+let acquire heap ~tid addr =
+  (* Test-and-test-and-set with an occasional timeslice yield: on few cores
+     the holder may be descheduled and pure spinning starves it. *)
+  let spins = ref 0 in
+  let rec spin () =
+    if Heap.load heap ~tid addr <> 0 then begin
+      incr spins;
+      if !spins land 63 = 0 then Unix.sleepf 0. else Domain.cpu_relax ();
+      spin ()
+    end
+    else if not (Heap.cas heap ~tid addr ~expected:0 ~desired:(tid + 1)) then spin ()
+  in
+  spin ()
+
+let release heap ~tid addr = Heap.store heap ~tid addr 0
+
+let try_acquire heap ~tid addr =
+  Heap.load heap ~tid addr = 0
+  && Heap.cas heap ~tid addr ~expected:0 ~desired:(tid + 1)
+
+let holder heap ~tid addr = Heap.load heap ~tid addr - 1
+
+(** Acquire [addrs] in address order (deadlock avoidance), run [f], release.
+    Duplicate addresses are locked once. *)
+let with_locks heap ~tid addrs f =
+  let sorted = List.sort_uniq compare addrs in
+  List.iter (fun a -> acquire heap ~tid a) sorted;
+  Fun.protect ~finally:(fun () -> List.iter (fun a -> release heap ~tid a) sorted) f

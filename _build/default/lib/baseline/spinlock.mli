@@ -1,0 +1,15 @@
+(** Test-and-test-and-set spinlock over a heap word, with a periodic
+    timeslice yield (on few cores the holder may be descheduled). Lock words
+    are volatile state: never written back on purpose; the log-based
+    structures' recovery clears any that a crash made durable. *)
+
+val acquire : Nvm.Heap.t -> tid:int -> int -> unit
+val release : Nvm.Heap.t -> tid:int -> int -> unit
+val try_acquire : Nvm.Heap.t -> tid:int -> int -> bool
+
+(** Holding tid, or -1 when free. *)
+val holder : Nvm.Heap.t -> tid:int -> int -> int
+
+(** Acquire [addrs] in address order (deduplicated), run, release —
+    exception-safe. *)
+val with_locks : Nvm.Heap.t -> tid:int -> int list -> (unit -> 'a) -> 'a

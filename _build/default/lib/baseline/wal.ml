@@ -1,0 +1,143 @@
+(** Per-thread write-ahead (undo) log — the log-based baseline's machinery.
+
+    The paper's competitors make lock-based critical sections durable by
+    logging (section 6.2). For in-place updates under locks the natural
+    write-ahead discipline is undo logging: before each in-place store, the
+    word's old value is logged {e and synced} (the store may reach NVRAM at
+    any moment after it is issued, so its undo record must already be
+    there). On commit the modified lines are written back (one batched
+    sync) and the log is durably truncated (one more sync) before the locks
+    are released. Per update of [E] words that is [E + 2] sync operations —
+    against the single sync of link-and-persist; this gap is exactly what
+    Figures 5-8 measure.
+
+    A [Batched] mode logs all entries with a single sync before any store —
+    only correct if stores cannot be evicted early, so it is offered purely
+    as an ablation lower bound for the log-based side (bench [ablate]).
+
+    Per-thread durable layout ([span] words):
+    {v +0 status (0 empty / 1 active)  +1 count  +2.. (addr, old) pairs v}
+
+    Recovery ([recover]): any thread log still active is rolled back in
+    reverse order, restoring the pre-crash-operation state; the structure's
+    locks are then clean because lock words are never logged or flushed. *)
+
+open Nvm
+
+type sync_mode = Eager | Batched
+
+type t = {
+  heap : Heap.t;
+  base : int;
+  span : int;
+  entries_max : int;
+  sync_mode : sync_mode;
+  count : int array;  (** volatile per-tid entry count *)
+  touched : int list array;  (** per-tid modified data addresses *)
+}
+
+let words_for ~entries_max = Cacheline.align_up (2 + (2 * entries_max))
+
+(** Create the per-thread logs inside [ctx]'s static region (next carve). *)
+let create ctx ?(entries_max = 29) ?(sync_mode = Eager) () =
+  let nthreads = Lfds.Ctx.nthreads ctx in
+  let span = words_for ~entries_max in
+  let base = Lfds.Ctx.carve_static ctx (nthreads * span) in
+  let heap = Lfds.Ctx.heap ctx in
+  for tid = 0 to nthreads - 1 do
+    Heap.store heap ~tid:0 (base + (tid * span)) 0;
+    Heap.store heap ~tid:0 (base + (tid * span) + 1) 0;
+    Heap.write_back heap ~tid:0 (base + (tid * span))
+  done;
+  Heap.fence heap ~tid:0;
+  {
+    heap;
+    base;
+    span;
+    entries_max;
+    sync_mode;
+    count = Array.make nthreads 0;
+    touched = Array.init nthreads (fun _ -> []);
+  }
+
+(** Re-attach after recovery: same carve; call [recover] before using. *)
+let attach ctx ?(entries_max = 29) ?(sync_mode = Eager) () =
+  let nthreads = Lfds.Ctx.nthreads ctx in
+  let span = words_for ~entries_max in
+  let base = Lfds.Ctx.carve_static ctx (nthreads * span) in
+  {
+    heap = Lfds.Ctx.heap ctx;
+    base;
+    span;
+    entries_max;
+    sync_mode;
+    count = Array.make nthreads 0;
+    touched = Array.init nthreads (fun _ -> []);
+  }
+
+let tid_base t tid = t.base + (tid * t.span)
+
+(** Open a logged critical section. The status word's write-back rides on the
+    first [logged_store]'s fence, so opening costs no sync of its own. *)
+let begin_op t ~tid =
+  t.count.(tid) <- 0;
+  t.touched.(tid) <- [];
+  Heap.store t.heap ~tid (tid_base t tid) 1;
+  Heap.store t.heap ~tid (tid_base t tid + 1) 0;
+  Heap.write_back t.heap ~tid (tid_base t tid)
+
+(** Durably perform an in-place store of [v] at [addr]: log the old value
+    (synced in [Eager] mode), then store. *)
+let logged_store t ~tid addr v =
+  let n = t.count.(tid) in
+  if n >= t.entries_max then invalid_arg "Wal.logged_store: log full";
+  let b = tid_base t tid in
+  let old_v = Heap.load t.heap ~tid addr in
+  Heap.store t.heap ~tid (b + 2 + (2 * n)) addr;
+  Heap.store t.heap ~tid (b + 2 + (2 * n) + 1) old_v;
+  Heap.store t.heap ~tid (b + 1) (n + 1);
+  Heap.write_back t.heap ~tid (b + 2 + (2 * n));
+  Heap.write_back t.heap ~tid (b + 1);
+  (match t.sync_mode with
+  | Eager -> Heap.fence t.heap ~tid
+  | Batched -> ());
+  (Heap.stats t.heap tid).log_entries <- (Heap.stats t.heap tid).log_entries + 1;
+  t.count.(tid) <- n + 1;
+  Heap.store t.heap ~tid addr v;
+  t.touched.(tid) <- addr :: t.touched.(tid)
+
+(** Close the critical section: write back the modified data (one batched
+    sync), then durably truncate the log (one sync). Call before releasing
+    any lock. *)
+let commit t ~tid =
+  (match t.sync_mode with
+  | Eager -> ()
+  | Batched ->
+      (* Batched ablation: one sync covering all log entries, before data. *)
+      Heap.fence t.heap ~tid);
+  List.iter (fun addr -> Heap.write_back t.heap ~tid addr) t.touched.(tid);
+  Heap.fence t.heap ~tid;
+  Heap.store t.heap ~tid (tid_base t tid) 0;
+  Heap.persist t.heap ~tid (tid_base t tid);
+  t.count.(tid) <- 0;
+  t.touched.(tid) <- []
+
+(** Roll back every log that was mid-operation at crash time. *)
+let recover t =
+  let tid = 0 in
+  let nthreads = Array.length t.count in
+  for owner = 0 to nthreads - 1 do
+    let b = t.base + (owner * t.span) in
+    if Heap.load t.heap ~tid b = 1 then begin
+      let n = Heap.load t.heap ~tid (b + 1) in
+      for i = n - 1 downto 0 do
+        let addr = Heap.load t.heap ~tid (b + 2 + (2 * i)) in
+        let old_v = Heap.load t.heap ~tid (b + 2 + (2 * i) + 1) in
+        Heap.store t.heap ~tid addr old_v;
+        Heap.write_back t.heap ~tid addr
+      done;
+      Heap.store t.heap ~tid b 0;
+      Heap.write_back t.heap ~tid b
+    end
+  done;
+  Heap.fence t.heap ~tid

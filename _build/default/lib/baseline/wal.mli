@@ -1,0 +1,38 @@
+(** Per-thread write-ahead (undo) log — how the paper's lock-based
+    competitors are made durable (section 6.2).
+
+    In the sound [Eager] mode, each in-place store's undo record is synced
+    before the store (the store may be evicted to NVRAM at any moment);
+    commit writes back the modified data (one batched sync) and durably
+    truncates the log (one more) before locks are released: [E + 2] syncs
+    per [E]-word update, against link-and-persist's one. [Batched] logs all
+    entries under a single sync — unsound under arbitrary eviction, offered
+    as an ablation lower bound. *)
+
+type t
+
+type sync_mode = Eager | Batched
+
+val words_for : entries_max:int -> int
+
+(** Create the per-thread logs in the context's static region (next carve). *)
+val create : Lfds.Ctx.t -> ?entries_max:int -> ?sync_mode:sync_mode -> unit -> t
+
+(** Same carve after recovery; call [recover] before use. *)
+val attach : Lfds.Ctx.t -> ?entries_max:int -> ?sync_mode:sync_mode -> unit -> t
+
+(** Open a logged critical section (costs no sync of its own: the status
+    write-back rides on the first [logged_store]'s fence). *)
+val begin_op : t -> tid:int -> unit
+
+(** Durably perform an in-place store: log the old value (synced in [Eager]
+    mode), then store. *)
+val logged_store : t -> tid:int -> int -> int -> unit
+
+(** Close the critical section: batched data sync, then durable log
+    truncation. Call before releasing any lock. *)
+val commit : t -> tid:int -> unit
+
+(** Roll back every log that was mid-operation at crash time (reverse
+    order), restoring each thread's pre-operation state. *)
+val recover : t -> unit

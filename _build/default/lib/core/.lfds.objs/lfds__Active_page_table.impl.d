@@ -1,0 +1,1 @@
+lib/core/active_page_table.ml: Array Cacheline Hashtbl Heap List Nvm

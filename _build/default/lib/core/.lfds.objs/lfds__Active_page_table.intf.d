@@ -1,0 +1,1 @@
+lib/core/active_page_table.mli: Nvm

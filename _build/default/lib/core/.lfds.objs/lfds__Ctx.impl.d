@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Active_page_table Cacheline Epoch Heap Latency_model Link_cache Nv_epochs Nvalloc Nvm Persist_mode Region

@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Link_cache Nv_epochs Nvm Persist_mode

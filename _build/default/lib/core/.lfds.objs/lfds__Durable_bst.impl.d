@@ -1,0 +1,1 @@
+lib/core/durable_bst.ml: Cacheline Ctx Heap Link_persist List Marked_ptr Nv_epochs Nvalloc Nvm Persist_mode Set_intf

@@ -1,0 +1,1 @@
+lib/core/durable_bst.mli: Ctx Set_intf

@@ -1,0 +1,1 @@
+lib/core/durable_hash.ml: Cacheline Ctx Durable_list Heap Nvm Persist_mode Set_intf

@@ -1,0 +1,1 @@
+lib/core/durable_hash.mli: Ctx Set_intf

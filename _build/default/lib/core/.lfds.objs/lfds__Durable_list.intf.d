@@ -1,0 +1,1 @@
+lib/core/durable_list.mli: Ctx Set_intf

@@ -1,0 +1,1 @@
+lib/core/durable_skiplist.ml: Array Cacheline Ctx Heap Link_persist List Marked_ptr Nv_epochs Nvalloc Nvm Persist_mode Pstats Set_intf

@@ -1,0 +1,1 @@
+lib/core/durable_skiplist.mli: Ctx Set_intf

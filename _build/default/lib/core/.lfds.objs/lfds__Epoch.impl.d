@@ -1,0 +1,1 @@
+lib/core/epoch.ml: Array Atomic Nvm

@@ -1,0 +1,1 @@
+lib/core/link_cache.ml: Array Atomic Domain Heap List Marked_ptr Nvm Unix

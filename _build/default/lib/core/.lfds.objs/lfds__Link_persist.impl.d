@@ -1,0 +1,1 @@
+lib/core/link_persist.ml: Cacheline Ctx Heap Link_cache Marked_ptr Nvm Persist_mode

@@ -1,0 +1,1 @@
+lib/core/nv_epochs.ml: Active_page_table Array Cacheline Epoch Heap List Nvalloc Nvm Queue

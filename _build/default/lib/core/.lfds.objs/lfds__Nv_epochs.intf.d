@@ -1,0 +1,1 @@
+lib/core/nv_epochs.mli: Active_page_table Epoch Nvm

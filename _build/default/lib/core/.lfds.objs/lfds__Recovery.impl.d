@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Ctx Domain Hashtbl Heap List Nvalloc Nvm

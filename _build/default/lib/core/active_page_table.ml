@@ -1,0 +1,153 @@
+(** Durable active-page tracking (section 5.4).
+
+    Each thread keeps the set of memory pages it is currently allocating
+    from or unlinking into. Page {e addresses} are durable — inserting one is
+    the only logging NV-epochs ever does, and it is skipped whenever the page
+    is already present (the common, local case measured in Figure 9a). The
+    per-page metadata used for trimming (last allocation epoch, last unlink
+    epoch) is volatile: it is only needed to decide when an entry may be
+    dropped, never for recovery.
+
+    Durable layout: one span of [entries_max] words per thread, carved from
+    the heap at a fixed, reconstructible position; a zero word is an empty
+    slot. *)
+
+open Nvm
+
+type entry = {
+  page : int;
+  slot : int;  (** index into the thread's durable span *)
+  mutable last_alloc_epoch : int;
+  mutable last_unlink_epoch : int;
+}
+
+type t = {
+  heap : Heap.t;
+  base : int;
+  entries_max : int;
+  nthreads : int;
+  trim_threshold : int;
+  tables : (int, entry) Hashtbl.t array;  (** per-tid page -> entry *)
+  free_slots : int list ref array;  (** per-tid free durable slots *)
+}
+
+let span_words t = (t.entries_max + Cacheline.words_per_line - 1) / Cacheline.words_per_line * Cacheline.words_per_line
+
+let slot_addr t ~tid slot = t.base + (tid * span_words t) + slot
+
+(** Words of heap space needed for [nthreads] tables of [entries_max]
+    entries (pass to [Region.carve]). *)
+let words_needed ~nthreads ~entries_max =
+  let per = (entries_max + Cacheline.words_per_line - 1) / Cacheline.words_per_line * Cacheline.words_per_line in
+  nthreads * per
+
+let create heap ~base ~nthreads ?(entries_max = 64) ?(trim_threshold = 16) () =
+  let t =
+    {
+      heap;
+      base;
+      entries_max;
+      nthreads;
+      trim_threshold;
+      tables = Array.init nthreads (fun _ -> Hashtbl.create 64);
+      free_slots =
+        Array.init nthreads (fun _ ->
+            ref (List.init entries_max (fun i -> i)));
+    }
+  in
+  (* Fresh table: zero the durable spans (they may hold garbage). *)
+  for tid = 0 to nthreads - 1 do
+    for slot = 0 to entries_max - 1 do
+      Heap.store heap ~tid (slot_addr t ~tid slot) 0
+    done;
+    for slot = 0 to entries_max - 1 do
+      if slot mod Cacheline.words_per_line = 0 then
+        Heap.write_back heap ~tid (slot_addr t ~tid slot)
+    done;
+    Heap.fence heap ~tid
+  done;
+  t
+
+let size t ~tid = Hashtbl.length t.tables.(tid)
+let mem t ~tid ~page = Hashtbl.mem t.tables.(tid) page
+
+type reason = Alloc | Unlink
+
+(** Record that [page] is being used by [tid] at [epoch]. A hit updates
+    volatile metadata only; a miss appends the page address durably and
+    {e waits} for the write-back — the sole logging cost of NV-epochs. *)
+let ensure_active t ~tid ~page ~epoch reason =
+  let st = Heap.stats t.heap tid in
+  match Hashtbl.find_opt t.tables.(tid) page with
+  | Some e ->
+      st.apt_hits <- st.apt_hits + 1;
+      (match reason with
+      | Alloc ->
+          st.apt_alloc_hits <- st.apt_alloc_hits + 1;
+          e.last_alloc_epoch <- max e.last_alloc_epoch epoch
+      | Unlink ->
+          st.apt_unlink_hits <- st.apt_unlink_hits + 1;
+          e.last_unlink_epoch <- max e.last_unlink_epoch epoch)
+  | None ->
+      st.apt_misses <- st.apt_misses + 1;
+      (match reason with
+      | Alloc -> st.apt_alloc_misses <- st.apt_alloc_misses + 1
+      | Unlink -> st.apt_unlink_misses <- st.apt_unlink_misses + 1);
+      let slot =
+        match !(t.free_slots.(tid)) with
+        | [] -> failwith "Active_page_table: table full (raise entries_max)"
+        | s :: rest ->
+            t.free_slots.(tid) := rest;
+            s
+      in
+      let e =
+        {
+          page;
+          slot;
+          last_alloc_epoch = (match reason with Alloc -> epoch | Unlink -> 0);
+          last_unlink_epoch = (match reason with Unlink -> epoch | Alloc -> 0);
+        }
+      in
+      Hashtbl.replace t.tables.(tid) page e;
+      Heap.store t.heap ~tid (slot_addr t ~tid slot) page;
+      Heap.persist t.heap ~tid (slot_addr t ~tid slot)
+
+(** Drop every entry for which [removable] holds. The durable slot is zeroed
+    with a write-back but no fence: a stale entry surviving a crash only
+    causes extra recovery work, never incorrect recovery. *)
+let trim t ~tid ~removable =
+  let dropped = ref [] in
+  Hashtbl.iter
+    (fun page e -> if removable e then dropped := (page, e) :: !dropped)
+    t.tables.(tid);
+  List.iter
+    (fun (page, e) ->
+      Hashtbl.remove t.tables.(tid) page;
+      t.free_slots.(tid) := e.slot :: !(t.free_slots.(tid));
+      Heap.store t.heap ~tid (slot_addr t ~tid e.slot) 0;
+      Heap.write_back t.heap ~tid (slot_addr t ~tid e.slot))
+    !dropped;
+  List.length !dropped
+
+let needs_trim t ~tid = size t ~tid > t.trim_threshold
+
+(** All pages currently marked active by [tid] (volatile view). *)
+let active_pages t ~tid =
+  Hashtbl.fold (fun page _ acc -> page :: acc) t.tables.(tid) []
+
+(** Read the durable table contents — what recovery sees after a crash.
+    [base], [nthreads] and [entries_max] must match the values used at
+    creation time (they are reconstructed by re-running the layout code). *)
+let durable_active_pages heap ~base ~nthreads ~entries_max =
+  let per =
+    (entries_max + Cacheline.words_per_line - 1)
+    / Cacheline.words_per_line * Cacheline.words_per_line
+  in
+  let acc = ref [] in
+  for tid = 0 to nthreads - 1 do
+    for slot = 0 to entries_max - 1 do
+      let v = Heap.durable_load heap (base + (tid * per) + slot) in
+      if v <> 0 then acc := v :: !acc
+    done
+  done;
+  List.sort_uniq compare !acc

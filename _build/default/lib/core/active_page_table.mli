@@ -1,0 +1,48 @@
+(** Durable active-page tracking (paper section 5.4) — the only logging
+    NV-epochs does. Page addresses are durable (a miss appends one and
+    waits); the trimming metadata (last alloc / last unlink epochs) is
+    volatile. One fixed-position span of [entries_max] words per thread. *)
+
+type t
+
+type entry = {
+  page : int;
+  slot : int;
+  mutable last_alloc_epoch : int;
+  mutable last_unlink_epoch : int;
+}
+
+type reason = Alloc | Unlink
+
+(** Heap words needed for [nthreads] tables (pass to the layout carver). *)
+val words_needed : nthreads:int -> entries_max:int -> int
+
+val create :
+  Nvm.Heap.t ->
+  base:int ->
+  nthreads:int ->
+  ?entries_max:int ->
+  ?trim_threshold:int ->
+  unit ->
+  t
+
+val size : t -> tid:int -> int
+val mem : t -> tid:int -> page:int -> bool
+
+(** Record that [page] is in use by [tid] at [epoch]. A hit updates volatile
+    metadata only; a miss appends the address durably and {e waits} — the
+    logging cost Figure 9a counts. Fails if the table is full. *)
+val ensure_active : t -> tid:int -> page:int -> epoch:int -> reason -> unit
+
+(** Drop entries satisfying [removable]; durable slots are zeroed lazily (a
+    stale survivor only adds recovery work). Returns entries dropped. *)
+val trim : t -> tid:int -> removable:(entry -> bool) -> int
+
+val needs_trim : t -> tid:int -> bool
+
+(** Pages currently active for [tid] (volatile view). *)
+val active_pages : t -> tid:int -> int list
+
+(** What recovery sees: the durable table contents after a crash. *)
+val durable_active_pages :
+  Nvm.Heap.t -> base:int -> nthreads:int -> entries_max:int -> int list

@@ -1,0 +1,187 @@
+(** Execution context shared by all log-free structures.
+
+    Bundles the simulated heap, the persist mode, the optional link cache and
+    the NV-epochs memory manager, and owns the heap layout:
+
+    {v
+    word 0            heap magic
+    root slots        one cache line per slot; structure roots
+    static region     carved by structures (hash buckets, head towers...)
+    APT spans         durable active-page tables, one per thread
+    log lines         scratch lines for Logged memory mode
+    allocator span    everything else, in pages
+    v}
+
+    The layout is reconstructed (not read) at recovery: [recover] re-runs the
+    same carving sequence on the crashed heap, so creation code and recovery
+    code always agree on addresses. *)
+
+open Nvm
+
+let heap_magic = 0x4E564C46 (* "NVLF" *)
+
+type t = {
+  heap : Heap.t;
+  mode : Persist_mode.t;
+  lc : Link_cache.t option;
+  mem : Nv_epochs.t;
+  nthreads : int;
+  root_base : int;
+  n_roots : int;
+  static : Region.t;  (** static carve-out for structure-owned spans *)
+  apt_base : int;
+  apt_entries : int;
+}
+
+type config = {
+  size_words : int;
+  nthreads : int;
+  mode : Persist_mode.t;
+  mem_mode : Nv_epochs.mem_mode;
+  latency : Latency_model.t;
+  lc_buckets : int;
+  apt_entries : int;
+  trim_threshold : int;
+  page_words : int;
+  n_roots : int;
+  static_words : int;
+  reclaim_batch : int;
+}
+
+let default_config () =
+  {
+    size_words = 1 lsl 20;
+    nthreads = 1;
+    mode = Persist_mode.Link_persist;
+    mem_mode = Nv_epochs.Nv;
+    latency = Latency_model.no_injection ();
+    lc_buckets = 32;
+    apt_entries = 128;
+    trim_threshold = 64;
+    page_words = 512;
+    n_roots = 8;
+    static_words = 1 lsl 16;
+    reclaim_batch = 256;
+  }
+
+(* Carve the fixed layout; identical for creation and recovery. *)
+let layout (cfg : config) =
+  let r = Region.make ~base:Cacheline.words_per_line ~limit:cfg.size_words in
+  let root_base = Region.carve r (cfg.n_roots * Cacheline.words_per_line) in
+  let static_base = Region.carve r cfg.static_words in
+  let apt_base =
+    Region.carve r
+      (Active_page_table.words_needed ~nthreads:cfg.nthreads
+         ~entries_max:cfg.apt_entries)
+  in
+  let log_base = Region.carve r (Nv_epochs.log_words_needed ~nthreads:cfg.nthreads) in
+  Region.align_to r cfg.page_words;
+  let alloc_base = Region.position r in
+  let alloc_words = cfg.size_words - alloc_base in
+  (root_base, static_base, apt_base, log_base, alloc_base, alloc_words)
+
+let build heap (cfg : config) ~fresh ~alloc =
+  let root_base, static_base, apt_base, log_base, _, _ = layout cfg in
+  let epoch = Epoch.create ~nthreads:cfg.nthreads in
+  let apt =
+    Active_page_table.create heap ~base:apt_base ~nthreads:cfg.nthreads
+      ~entries_max:cfg.apt_entries ~trim_threshold:cfg.trim_threshold ()
+  in
+  let mem =
+    Nv_epochs.create heap ~alloc ~apt ~epoch ~mem_mode:cfg.mem_mode
+      ~batch_size:cfg.reclaim_batch ~log_base ()
+  in
+  let lc =
+    match cfg.mode with
+    | Persist_mode.Link_cache ->
+        let lc = Link_cache.create heap ~nbuckets:cfg.lc_buckets () in
+        Nv_epochs.set_link_cache_flusher mem (fun ~tid ->
+            Link_cache.flush_all lc ~tid);
+        Some lc
+    | Persist_mode.Volatile | Persist_mode.Link_persist -> None
+  in
+  if fresh then begin
+    Heap.store heap ~tid:0 0 heap_magic;
+    for i = 0 to cfg.n_roots - 1 do
+      Heap.store heap ~tid:0 (root_base + (i * Cacheline.words_per_line)) 0
+    done;
+    for i = 0 to cfg.n_roots - 1 do
+      Heap.write_back heap ~tid:0 (root_base + (i * Cacheline.words_per_line))
+    done;
+    Heap.persist heap ~tid:0 0
+  end;
+  {
+    heap;
+    mode = cfg.mode;
+    lc;
+    mem;
+    nthreads = cfg.nthreads;
+    root_base;
+    n_roots = cfg.n_roots;
+    static = Region.make ~base:static_base ~limit:(static_base + cfg.static_words);
+    apt_base;
+    apt_entries = cfg.apt_entries;
+  }
+
+(** Create a fresh heap and context. *)
+let create (cfg : config) =
+  let heap = Heap.create ~latency:cfg.latency ~size_words:cfg.size_words () in
+  let _, _, _, _, alloc_base, alloc_words = layout cfg in
+  let alloc =
+    Nvalloc.create heap ~base:alloc_base ~size_words:alloc_words
+      ~page_words:cfg.page_words ()
+  in
+  build heap cfg ~fresh:true ~alloc
+
+(** Pages that were durably marked active when the heap crashed. Read this
+    {e before} [recover] (which reinitializes the table). *)
+let crashed_active_pages heap (cfg : config) =
+  let _, _, apt_base, _, _, _ = layout cfg in
+  Active_page_table.durable_active_pages heap ~base:apt_base
+    ~nthreads:cfg.nthreads ~entries_max:cfg.apt_entries
+
+(** Re-attach to a crashed heap: rebuilds the allocator from durable page
+    metadata and returns a fresh context plus the set of pages that were
+    active at crash time (the recovery sweep's worklist). *)
+let recover heap (cfg : config) =
+  if Heap.load heap ~tid:0 0 <> heap_magic then
+    invalid_arg "Ctx.recover: heap has no NVLF layout";
+  let active = crashed_active_pages heap cfg in
+  let _, _, _, _, alloc_base, alloc_words = layout cfg in
+  let alloc =
+    Nvalloc.recover heap ~base:alloc_base ~size_words:alloc_words
+      ~page_words:cfg.page_words ~nthreads:cfg.nthreads ()
+  in
+  (build heap cfg ~fresh:false ~alloc, active)
+
+(** Address of root slot [i] (each root lives on its own cache line). *)
+let root_slot (t : t) i =
+  if i < 0 || i >= t.n_roots then invalid_arg "Ctx.root_slot";
+  t.root_base + (i * Cacheline.words_per_line)
+
+(** Carve [n] words of static space (hash bucket arrays, head towers).
+    Structures must carve in the same order at create and recover time. *)
+let carve_static (t : t) n = Region.carve t.static n
+
+let heap (t : t) = t.heap
+let mode (t : t) = t.mode
+let mem (t : t) = t.mem
+let link_cache (t : t) = t.lc
+let nthreads (t : t) = t.nthreads
+let allocator t = Nv_epochs.allocator t.mem
+
+(** Bracket an operation with epoch enter/exit. *)
+let with_op (t : t) ~tid f =
+  Nv_epochs.op_begin t.mem ~tid;
+  match f () with
+  | v ->
+      Nv_epochs.op_end t.mem ~tid;
+      v
+  | exception e ->
+      (* A crash exception aborts mid-operation; the epoch is left odd, as a
+         real crashed thread would leave it. Any other exception propagates
+         after restoring balance. *)
+      (match e with
+      | Heap.Crashed -> ()
+      | _ -> Nv_epochs.op_end t.mem ~tid);
+      raise e

@@ -1,0 +1,62 @@
+(** Execution context shared by all log-free structures: the simulated heap,
+    the persist mode, the optional link cache, the NV-epochs memory manager,
+    and the heap layout (root slots, static region, APT spans, log lines,
+    allocator span).
+
+    The layout is {e reconstructed}, not read, at recovery: [recover] reruns
+    the same carving sequence on the crashed heap, so creation code and
+    recovery code always agree on addresses — structures must therefore
+    carve static space in the same order when creating and attaching. *)
+
+type t
+
+type config = {
+  size_words : int;  (** total heap size *)
+  nthreads : int;
+  mode : Persist_mode.t;
+  mem_mode : Nv_epochs.mem_mode;
+  latency : Nvm.Latency_model.t;
+  lc_buckets : int;  (** link-cache buckets (Link_cache mode) *)
+  apt_entries : int;  (** active-page-table capacity per thread *)
+  trim_threshold : int;  (** APT size that triggers a trim attempt *)
+  page_words : int;  (** allocator page size *)
+  n_roots : int;  (** root slots (one cache line each) *)
+  static_words : int;  (** size of the static carve region *)
+  reclaim_batch : int;  (** epoch-reclamation generation size *)
+}
+
+(** Sensible defaults: 1 Mi-word heap, 1 thread, link-and-persist, NV memory
+    mode, no latency injection, 4 KiB pages. *)
+val default_config : unit -> config
+
+(** Create a fresh heap and context (initializes the durable layout). *)
+val create : config -> t
+
+(** Re-attach to a crashed heap: rebuilds the allocator from durable page
+    metadata and returns the fresh context plus the pages that were durably
+    active at crash time — the recovery sweep's worklist. Raises
+    [Invalid_argument] if the heap carries no nvlf layout. *)
+val recover : Nvm.Heap.t -> config -> t * int list
+
+(** Durably-active pages of a crashed heap without rebuilding (reads the
+    durable APT image; call before [recover] if needed separately). *)
+val crashed_active_pages : Nvm.Heap.t -> config -> int list
+
+(** Address of root slot [i]; each root lives on its own cache line. *)
+val root_slot : t -> int -> int
+
+(** Carve [n] words of static space (hash bucket arrays, head towers...).
+    Same-order discipline applies across create/recover. *)
+val carve_static : t -> int -> int
+
+val heap : t -> Nvm.Heap.t
+val mode : t -> Persist_mode.t
+val mem : t -> Nv_epochs.t
+val link_cache : t -> Link_cache.t option
+val nthreads : t -> int
+val allocator : t -> Nvm.Nvalloc.t
+
+(** Run one data-structure operation inside epoch brackets. A crash
+    exception propagates with the epoch left odd, exactly as a crashed
+    thread would leave it. *)
+val with_op : t -> tid:int -> (unit -> 'a) -> 'a

@@ -1,0 +1,34 @@
+(** Log-free durable binary search tree (Natarajan-Mittal lock-free external
+    tree). Deletion flags the victim's incoming edge (the durable
+    linearization point), then tags the sibling edge and splices the sibling
+    up to the grandparent; helping makes both phases lock-free. Recovery
+    completes durably-flagged deletions bottom-up, including the paper's
+    flag carry-over. *)
+
+type t
+
+(** Create the sentinel structure (five static nodes — next static carve). *)
+val create : Ctx.t -> t
+
+(** Re-attach after recovery (same carve). *)
+val attach : Ctx.t -> t
+
+val search : Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Ctx.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Ctx.t -> t -> tid:int -> key:int -> bool
+
+(** Quiescent traversal over live user leaves. *)
+val iter_leaves : Ctx.t -> tid:int -> t -> (int -> deleted:bool -> unit) -> unit
+
+(** Every reachable node, interior and leaf, including static sentinels
+    (leak sweeps filter by allocator span). *)
+val iter_all_nodes : Ctx.t -> tid:int -> t -> (int -> unit) -> unit
+
+val size : Ctx.t -> tid:int -> t -> int
+val to_list : Ctx.t -> tid:int -> t -> (int * int) list
+
+(** Post-crash normalization: clear tags and unflushed marks, complete
+    flagged deletions (with upward flag carry), free spliced-out nodes. *)
+val recover_consistency : Ctx.t -> t -> unit
+
+val ops : Ctx.t -> t -> Set_intf.ops

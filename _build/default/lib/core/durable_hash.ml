@@ -1,0 +1,84 @@
+(** Log-free durable hash table: one Harris list per bucket (section 3).
+
+    The bucket array is a static span of head links carved from the context's
+    static region; each bucket behaves exactly like a [Durable_list], so all
+    durability reasoning is inherited. The bucket count is fixed for the
+    structure's lifetime (the paper sizes tables to the workload). *)
+
+open Nvm
+
+type t = { base : int; nbuckets : int }
+
+let mix k =
+  let h = k * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 31)) land max_int
+
+let bucket_link t key = t.base + (mix key mod t.nbuckets)
+
+(** Create a fresh table with [nbuckets] buckets (head links zeroed and
+    persisted). Must be the next static carve in creation order. *)
+let create ctx ~nbuckets =
+  let base = Ctx.carve_static ctx nbuckets in
+  let heap = Ctx.heap ctx in
+  let tid = 0 in
+  for i = 0 to nbuckets - 1 do
+    Heap.store heap ~tid (base + i) 0
+  done;
+  let lines = (nbuckets + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
+  for l = 0 to lines - 1 do
+    Heap.write_back heap ~tid (base + (l * Cacheline.words_per_line))
+  done;
+  Heap.fence heap ~tid;
+  { base; nbuckets }
+
+(** Re-attach after recovery: repeats the carve without reinitializing. *)
+let attach ctx ~nbuckets =
+  let base = Ctx.carve_static ctx nbuckets in
+  { base; nbuckets }
+
+let insert ctx t ~tid ~key ~value =
+  Durable_list.insert ctx ~tid ~head:(bucket_link t key) ~key ~value
+
+let remove ctx t ~tid ~key =
+  Durable_list.remove ctx ~tid ~head:(bucket_link t key) ~key
+
+let search ctx t ~tid ~key =
+  Durable_list.search ctx ~tid ~head:(bucket_link t key) ~key
+
+let size ctx t =
+  let n = ref 0 in
+  for i = 0 to t.nbuckets - 1 do
+    n := !n + Durable_list.size ctx ~tid:0 ~head:(t.base + i)
+  done;
+  !n
+
+let iter_nodes ctx t f =
+  for i = 0 to t.nbuckets - 1 do
+    Durable_list.iter_nodes ctx ~tid:0 ~head:(t.base + i) f
+  done
+
+let to_list ctx t =
+  let acc = ref [] in
+  for i = t.nbuckets - 1 downto 0 do
+    acc := Durable_list.to_list ctx ~tid:0 ~head:(t.base + i) @ !acc
+  done;
+  !acc
+
+(** Post-crash consistency restore: fix every bucket list. *)
+let recover_consistency ctx t =
+  for i = 0 to t.nbuckets - 1 do
+    Durable_list.recover_consistency ctx ~head:(t.base + i)
+  done
+
+let ops ctx t =
+  {
+    Set_intf.name = "durable-hash(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
+    insert =
+      (fun ~tid ~key ~value ->
+        Ctx.with_op ctx ~tid (fun () -> insert ctx t ~tid ~key ~value));
+    remove =
+      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> remove ctx t ~tid ~key));
+    search =
+      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+    size = (fun () -> size ctx t);
+  }

@@ -1,0 +1,26 @@
+(** Log-free durable hash table: one Harris list per bucket, inheriting all
+    durability reasoning from [Durable_list]. Fixed bucket count; the bucket
+    array is a static span of head links. *)
+
+type t = { base : int; nbuckets : int }
+
+(** Bucket head-link address for [key]. *)
+val bucket_link : t -> int -> int
+
+(** Create a fresh table (next static carve; heads zeroed and persisted). *)
+val create : Ctx.t -> nbuckets:int -> t
+
+(** Re-attach after recovery: repeats the carve without reinitializing. *)
+val attach : Ctx.t -> nbuckets:int -> t
+
+val search : Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Ctx.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Ctx.t -> t -> tid:int -> key:int -> bool
+val size : Ctx.t -> t -> int
+val iter_nodes : Ctx.t -> t -> (int -> deleted:bool -> unit) -> unit
+val to_list : Ctx.t -> t -> (int * int) list
+
+(** Post-crash normalization: fix every bucket list. *)
+val recover_consistency : Ctx.t -> t -> unit
+
+val ops : Ctx.t -> t -> Set_intf.ops

@@ -1,0 +1,39 @@
+(** Log-free durable linked list: Harris' lock-free algorithm with the
+    paper's link-and-persist durability discipline (section 3). The list
+    hangs off a single head link word, so the hash table reuses these
+    operations per bucket. All update entry points must run inside
+    [Ctx.with_op] epoch brackets (the [ops] wrapper does this). *)
+
+(** Size class of a list node (one cache line). *)
+val size_class : int
+
+(** Field offsets within a node (recovery tooling, tests). *)
+val key_of : int -> int
+
+val value_of : int -> int
+val next_of : int -> int
+
+(** Create a fresh, empty list in root slot [root]; returns the head link. *)
+val create : Ctx.t -> root:int -> int
+
+(** Head link of an existing list after recovery (same root). *)
+val attach : Ctx.t -> root:int -> int
+
+val search : Ctx.t -> tid:int -> head:int -> key:int -> int option
+val insert : Ctx.t -> tid:int -> head:int -> key:int -> value:int -> bool
+val remove : Ctx.t -> tid:int -> head:int -> key:int -> bool
+
+(** Quiescent traversal over all linked nodes, with each node's
+    logical-deletion state. *)
+val iter_nodes : Ctx.t -> tid:int -> head:int -> (int -> deleted:bool -> unit) -> unit
+
+val size : Ctx.t -> tid:int -> head:int -> int
+val to_list : Ctx.t -> tid:int -> head:int -> (int * int) list
+
+(** Post-crash normalization (single-threaded): clear unflushed marks,
+    complete half-done logical deletions, free their nodes, persist fixes.
+    Run before the leak sweep. *)
+val recover_consistency : Ctx.t -> head:int -> unit
+
+(** Epoch-bracketed [Set_intf.ops] over the list rooted at [head]. *)
+val ops : Ctx.t -> head:int -> Set_intf.ops

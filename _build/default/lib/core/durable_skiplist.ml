@@ -1,0 +1,392 @@
+(** Log-free durable skip list (Herlihy-Shavit lock-free algorithm).
+
+    The lock-free skip list of Herlihy et al. with the section-3 durability
+    discipline. Only the level-0 list defines the abstract set, so only
+    level-0 link updates pay a link-and-persist (or link-cache) sync:
+
+    - level-0 insertion / deletion-mark / unlink go through
+      [Link_persist.cas_link];
+    - index-level links are updated with a plain CAS plus an {e asynchronous}
+      write-back ([cas_lazy]): they reach NVRAM eventually and recovery
+      rebuilds any index level that is stale, so they never cost a fence.
+
+    This is what gives the skip list the paper's largest speedup over the
+    log-based version, which logs (and syncs) a logarithmic number of link
+    writes per update (Figures 5 and 8).
+
+    Node layout ([4 + levels] words, rounded up to full cache lines):
+    {v +0 key  +1 value  +2 toplevel  +3 pad  +4+i next_i v}
+
+    The head tower is a static span of [max_level] links; tail is null. *)
+
+open Nvm
+
+type t = { head : int; max_level : int; rng : int array }
+
+let key_of node = node
+let value_of node = node + 1
+let toplevel_of node = node + 2
+let next_of node level = node + 4 + level
+
+(* A link address is either a head-tower slot or [node + 4 + level]; invert
+   the latter to recover the node during the level-by-level descent. *)
+let node_of_link ~link ~level = link - 4 - level
+
+let node_class ~levels =
+  let words = 4 + levels in
+  (words + Cacheline.words_per_line - 1)
+  / Cacheline.words_per_line * Cacheline.words_per_line
+
+let read_key ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (key_of node)
+let read_value ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (value_of node)
+let read_toplevel ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (toplevel_of node)
+
+(** Create a fresh skip list: carves and zeroes the head tower. *)
+let create ctx ?(max_level = 16) () =
+  if max_level < 1 || node_class ~levels:max_level > 64 then
+    invalid_arg "Durable_skiplist.create: max_level";
+  let head = Ctx.carve_static ctx (Cacheline.align_up max_level) in
+  let heap = Ctx.heap ctx in
+  let tid = 0 in
+  for l = 0 to max_level - 1 do
+    Heap.store heap ~tid (head + l) 0
+  done;
+  for l = 0 to max_level - 1 do
+    if l mod Cacheline.words_per_line = 0 then Heap.write_back heap ~tid (head + l)
+  done;
+  Heap.fence heap ~tid;
+  {
+    head;
+    max_level;
+    rng = Array.init Pstats.max_threads (fun i -> (i * 0x9E3779B9) lor 1);
+  }
+
+(** Re-attach after recovery (same carve, no reinitialization). *)
+let attach ctx ?(max_level = 16) () =
+  let head = Ctx.carve_static ctx (Cacheline.align_up max_level) in
+  { head; max_level; rng = Array.init Pstats.max_threads (fun i -> (i * 0x9E3779B9) lor 1) }
+
+(* Geometric level distribution (p = 1/2), per-thread xorshift state. *)
+let random_level t ~tid =
+  let x = t.rng.(tid) in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  t.rng.(tid) <- x;
+  let rec count lvl bits =
+    if lvl >= t.max_level || bits land 1 = 0 then lvl else count (lvl + 1) (bits lsr 1)
+  in
+  count 1 x
+
+let head_link t level = t.head + level
+
+(* Lazy durable CAS for index levels: plain CAS + asynchronous write-back. *)
+let cas_lazy ctx ~tid ~link ~expected ~desired =
+  let heap = Ctx.heap ctx in
+  if Heap.cas heap ~tid link ~expected ~desired then begin
+    (match Ctx.mode ctx with
+    | Persist_mode.Volatile -> ()
+    | Persist_mode.Link_persist | Persist_mode.Link_cache ->
+        Heap.write_back heap ~tid link);
+    true
+  end
+  else false
+
+exception Retry
+
+(* Find: fill [preds] (link addresses) and [succs] (node addresses) for every
+   level, unlinking marked nodes on the way. Level 0 uses the durable CAS;
+   index levels use the lazy one. Raises [Retry] on interference. *)
+let find_once ctx t ~tid k ~preds ~succs =
+  let is_head_slot link = link >= t.head && link < t.head + t.max_level in
+  let rec down level pred_link =
+    if level < 0 then ()
+    else begin
+      (* Carry each node's loaded next value forward: two loads per node. *)
+      let rec step pred_link curr =
+        if curr = 0 then begin
+          preds.(level) <- pred_link;
+          succs.(level) <- 0
+        end
+        else begin
+          let nv = Link_persist.read ctx ~tid (next_of curr level) in
+          if Marked_ptr.is_deleted nv then begin
+            (* Unlink curr at this level. *)
+            let nv =
+              if level = 0 then
+                Link_persist.help_unflushed ctx ~tid ~link:(next_of curr level) nv
+              else nv
+            in
+            let succ = Marked_ptr.addr nv in
+            let ok =
+              if level = 0 then
+                Link_persist.cas_link ctx ~tid
+                  ~key:(read_key ctx ~tid curr)
+                  ~link:pred_link ~expected:curr ~desired:succ
+              else cas_lazy ctx ~tid ~link:pred_link ~expected:curr ~desired:succ
+            in
+            if ok then begin
+              if level = 0 then Nv_epochs.retire_node (Ctx.mem ctx) ~tid curr;
+              step pred_link succ
+            end
+            else raise Retry
+          end
+          else if read_key ctx ~tid curr < k then
+            step (next_of curr level) (Marked_ptr.addr nv)
+          else begin
+            preds.(level) <- pred_link;
+            succs.(level) <- curr
+          end
+        end
+      in
+      let first =
+        if level = 0 then Link_persist.read_clean ctx ~tid pred_link
+        else Link_persist.read ctx ~tid pred_link
+      in
+      step pred_link (Marked_ptr.addr first);
+      (* Descend: keep walking from the same predecessor node, one level
+         lower (or from the head tower if the predecessor is the head). *)
+      if level > 0 then
+        let next_start =
+          if is_head_slot preds.(level) then head_link t (level - 1)
+          else next_of (node_of_link ~link:preds.(level) ~level) (level - 1)
+        in
+        down (level - 1) next_start
+    end
+  in
+  down (t.max_level - 1) (head_link t (t.max_level - 1))
+
+let rec find ctx t ~tid k ~preds ~succs =
+  match find_once ctx t ~tid k ~preds ~succs with
+  | () -> ()
+  | exception Retry -> find ctx t ~tid k ~preds ~succs
+
+(* A node is in the set iff linked at level 0 and not level-0 marked. *)
+let found_at_0 ctx ~tid ~succs k =
+  let curr = succs.(0) in
+  curr <> 0
+  && read_key ctx ~tid curr = k
+  && not (Marked_ptr.is_deleted (Link_persist.read ctx ~tid (next_of curr 0)))
+
+let make_position_durable ctx ~tid ~k ~preds ~succs =
+  Link_persist.make_durable ctx ~tid ~key:k ~link:preds.(0) ();
+  if succs.(0) <> 0 then
+    Link_persist.make_durable ctx ~tid
+      ~key:(read_key ctx ~tid succs.(0))
+      ~link:(next_of succs.(0) 0) ()
+
+let search ctx t ~tid ~key =
+  let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
+  find ctx t ~tid key ~preds ~succs;
+  make_position_durable ctx ~tid ~k:key ~preds ~succs;
+  if found_at_0 ctx ~tid ~succs key then Some (read_value ctx ~tid succs.(0))
+  else None
+
+let rec insert ctx t ~tid ~key ~value =
+  let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
+  find ctx t ~tid key ~preds ~succs;
+  if found_at_0 ctx ~tid ~succs key then begin
+    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+    false
+  end
+  else begin
+    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+    let levels = random_level t ~tid in
+    let size_class = node_class ~levels in
+    let node = Nv_epochs.alloc_node (Ctx.mem ctx) ~tid ~size_class in
+    let heap = Ctx.heap ctx in
+    Heap.store heap ~tid (key_of node) key;
+    Heap.store heap ~tid (value_of node) value;
+    Heap.store heap ~tid (toplevel_of node) levels;
+    for l = 0 to levels - 1 do
+      Heap.store heap ~tid (next_of node l) succs.(l)
+    done;
+    Link_persist.persist_node ctx ~tid ~addr:node ~size_class;
+    (* Linearization: link at level 0, durably. *)
+    if
+      not
+        (Link_persist.cas_link ctx ~tid ~key ~link:preds.(0) ~expected:succs.(0)
+           ~desired:node)
+    then begin
+      Nvalloc.free (Ctx.allocator ctx) ~tid node;
+      insert ctx t ~tid ~key ~value
+    end
+    else begin
+      (* Link the index levels, best effort with refresh on failure. If the
+         node gets marked for deletion while we link (its own next pointer
+         carries the mark), stop and run a find pass so the concurrent
+         remove's unlinking cannot miss a link we added after its sweep; the
+         node's memory stays valid until our epoch ends. *)
+      let snip_if_marked l =
+        if Marked_ptr.is_deleted (Link_persist.read ctx ~tid (next_of node l))
+        then begin
+          find ctx t ~tid key ~preds ~succs;
+          true
+        end
+        else false
+      in
+      let rec link_level l =
+        if l < levels then begin
+          let rec attempt () =
+            let expected = Link_persist.read ctx ~tid (next_of node l) in
+            if Marked_ptr.is_deleted expected then () (* being deleted: stop *)
+            else if cas_lazy ctx ~tid ~link:preds.(l) ~expected:succs.(l) ~desired:node
+            then begin if not (snip_if_marked l) then link_level (l + 1) end
+            else begin
+              (* Preds stale: recompute and retarget the node's forward link. *)
+              find ctx t ~tid key ~preds ~succs;
+              if found_at_0 ctx ~tid ~succs key && succs.(0) = node then begin
+                let current = Link_persist.read ctx ~tid (next_of node l) in
+                if Marked_ptr.is_deleted current then ()
+                else if
+                  Marked_ptr.addr current = succs.(l)
+                  || Heap.cas heap ~tid (next_of node l) ~expected:current
+                       ~desired:succs.(l)
+                then attempt ()
+                else ()
+              end
+            end
+          in
+          attempt ()
+        end
+      in
+      link_level 1;
+      true
+    end
+  end
+
+let rec remove ctx t ~tid ~key =
+  let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
+  find ctx t ~tid key ~preds ~succs;
+  if not (found_at_0 ctx ~tid ~succs key) then begin
+    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+    false
+  end
+  else begin
+    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+    let node = succs.(0) in
+    let levels = read_toplevel ctx ~tid node in
+    (* Mark the index levels top-down (lazy durability). *)
+    for l = levels - 1 downto 1 do
+      let rec mark () =
+        let v = Link_persist.read ctx ~tid (next_of node l) in
+        if not (Marked_ptr.is_deleted v) then
+          if
+            not
+              (Heap.cas (Ctx.heap ctx) ~tid (next_of node l) ~expected:v
+                 ~desired:(Marked_ptr.with_delete v))
+          then mark ()
+          else Heap.write_back (Ctx.heap ctx) ~tid (next_of node l)
+      in
+      mark ()
+    done;
+    (* Linearization: durably mark level 0. *)
+    let rec mark0 () =
+      let v = Link_persist.read_clean ctx ~tid (next_of node 0) in
+      if Marked_ptr.is_deleted v then begin
+        (* Lost to a concurrent remove; its mark is durable (just cleaned). *)
+        Link_persist.make_durable ctx ~tid ~key ~link:(next_of node 0) ();
+        false
+      end
+      else if
+        Link_persist.cas_link ctx ~tid ~key ~link:(next_of node 0) ~expected:v
+          ~desired:(Marked_ptr.with_delete v)
+      then begin
+        (* Physically unlink (find retires on the level-0 unlink). *)
+        find ctx t ~tid key ~preds ~succs;
+        true
+      end
+      else mark0 ()
+    in
+    if mark0 () then true else remove ctx t ~tid ~key
+  end
+
+(* Quiescent helpers. *)
+
+let iter_nodes ctx ~tid t f =
+  let rec go link =
+    let node = Marked_ptr.addr (Heap.load (Ctx.heap ctx) ~tid link) in
+    if node <> 0 then begin
+      let nv = Heap.load (Ctx.heap ctx) ~tid (next_of node 0) in
+      f node ~deleted:(Marked_ptr.is_deleted nv);
+      go (next_of node 0)
+    end
+  in
+  go (head_link t 0)
+
+let size ctx ~tid t =
+  let n = ref 0 in
+  iter_nodes ctx ~tid t (fun _ ~deleted -> if not deleted then incr n);
+  !n
+
+let to_list ctx ~tid t =
+  let acc = ref [] in
+  iter_nodes ctx ~tid t (fun node ~deleted ->
+      if not deleted then
+        acc := (read_key ctx ~tid node, read_value ctx ~tid node) :: !acc);
+  List.rev !acc
+
+(* Recovery: the level-0 list is the durable truth. Clean it exactly like a
+   linked list, then rebuild every index level from the surviving nodes'
+   stored toplevels; head tower and all index links are rewritten. *)
+let recover_consistency ctx t =
+  let tid = 0 in
+  let heap = Ctx.heap ctx in
+  (* Pass 1: normalize level 0 (clear unflushed, complete marked deletes). *)
+  let rec fix link =
+    let v = Heap.load heap ~tid link in
+    let v =
+      if Marked_ptr.is_unflushed v then begin
+        let c = Marked_ptr.clear_unflushed v in
+        Heap.store heap ~tid link c;
+        Heap.write_back heap ~tid link;
+        c
+      end
+      else v
+    in
+    let node = Marked_ptr.addr v in
+    if node <> 0 then begin
+      let nv = Heap.load heap ~tid (next_of node 0) in
+      if Marked_ptr.is_deleted nv then begin
+        Heap.store heap ~tid link (Marked_ptr.addr nv);
+        Heap.write_back heap ~tid link;
+        Nvalloc.free (Ctx.allocator ctx) ~tid node;
+        fix link
+      end
+      else fix (next_of node 0)
+    end
+  in
+  fix (head_link t 0);
+  (* Pass 2: rebuild index levels deterministically from toplevels. *)
+  let last_link = Array.init t.max_level (fun l -> head_link t l) in
+  let rec rebuild node =
+    if node <> 0 then begin
+      let levels = Heap.load heap ~tid (toplevel_of node) in
+      for l = 1 to min levels t.max_level - 1 do
+        Heap.store heap ~tid last_link.(l) node;
+        Heap.write_back heap ~tid last_link.(l);
+        last_link.(l) <- next_of node l
+      done;
+      rebuild (Marked_ptr.addr (Heap.load heap ~tid (next_of node 0)))
+    end
+  in
+  rebuild (Marked_ptr.addr (Heap.load heap ~tid (head_link t 0)));
+  for l = 1 to t.max_level - 1 do
+    Heap.store heap ~tid last_link.(l) 0;
+    Heap.write_back heap ~tid last_link.(l)
+  done;
+  Heap.fence heap ~tid
+
+let ops ctx t =
+  {
+    Set_intf.name =
+      "durable-skiplist(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
+    insert =
+      (fun ~tid ~key ~value ->
+        Ctx.with_op ctx ~tid (fun () -> insert ctx t ~tid ~key ~value));
+    remove =
+      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> remove ctx t ~tid ~key));
+    search =
+      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+    size = (fun () -> size ctx ~tid:0 t);
+  }

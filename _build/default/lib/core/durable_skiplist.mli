@@ -1,0 +1,31 @@
+(** Log-free durable skip list (Herlihy-Shavit lock-free algorithm).
+
+    Only the level-0 list defines the abstract set, so only level-0 link
+    updates pay a link-and-persist (or link-cache) sync; index levels are
+    updated with plain CAS + asynchronous write-back and rebuilt by recovery
+    if stale — the source of the paper's largest speedup (Figures 5, 8). *)
+
+type t
+
+(** Create a fresh skip list (carves and zeroes the head tower — next static
+    carve). [max_level] defaults to 16; node classes cap it at 60. *)
+val create : Ctx.t -> ?max_level:int -> unit -> t
+
+(** Re-attach after recovery (same carve, same [max_level]). *)
+val attach : Ctx.t -> ?max_level:int -> unit -> t
+
+val search : Ctx.t -> t -> tid:int -> key:int -> int option
+val insert : Ctx.t -> t -> tid:int -> key:int -> value:int -> bool
+val remove : Ctx.t -> t -> tid:int -> key:int -> bool
+
+(** Quiescent level-0 traversal. *)
+val iter_nodes : Ctx.t -> tid:int -> t -> (int -> deleted:bool -> unit) -> unit
+
+val size : Ctx.t -> tid:int -> t -> int
+val to_list : Ctx.t -> tid:int -> t -> (int * int) list
+
+(** Post-crash normalization: fix level 0 like a linked list, then rebuild
+    every index level deterministically from the survivors' stored heights. *)
+val recover_consistency : Ctx.t -> t -> unit
+
+val ops : Ctx.t -> t -> Set_intf.ops

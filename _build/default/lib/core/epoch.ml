@@ -1,0 +1,45 @@
+(** Epoch-based quiescence detection (section 5.2).
+
+    Each thread owns a counter: odd while inside a data-structure operation,
+    even between operations. An unlinked node can be freed once every thread
+    that was mid-operation when the node was unlinked has since stepped its
+    counter — i.e. once the current epoch vector dominates the vector recorded
+    at unlink time on the active positions. This is the volatile core of
+    NV-epochs; nothing here needs to survive a crash (a restart empties all
+    thread states by definition). *)
+
+type t = { counters : int Atomic.t array; nthreads : int }
+
+let create ~nthreads =
+  if nthreads < 1 || nthreads > Nvm.Pstats.max_threads then
+    invalid_arg "Epoch.create";
+  { counters = Array.init nthreads (fun _ -> Atomic.make 0); nthreads }
+
+let nthreads t = t.nthreads
+let current t ~tid = Atomic.get t.counters.(tid)
+let is_active e = e land 1 = 1
+
+(** Begin an operation: step the counter to odd. *)
+let enter t ~tid =
+  let e = Atomic.get t.counters.(tid) in
+  assert (not (is_active e));
+  Atomic.set t.counters.(tid) (e + 1)
+
+(** End an operation: step the counter to even. *)
+let exit t ~tid =
+  let e = Atomic.get t.counters.(tid) in
+  assert (is_active e);
+  Atomic.set t.counters.(tid) (e + 1)
+
+(** The current epoch vector. *)
+let snapshot t = Array.init t.nthreads (fun i -> Atomic.get t.counters.(i))
+
+(** [safe t snap] is true once every thread that was active (odd) in [snap]
+    has advanced past its snapshotted epoch, so no references taken before
+    the snapshot can still be held. *)
+let safe t snap =
+  let ok = ref true in
+  for i = 0 to t.nthreads - 1 do
+    if is_active snap.(i) && Atomic.get t.counters.(i) = snap.(i) then ok := false
+  done;
+  !ok

@@ -1,0 +1,22 @@
+(** Epoch-based quiescence detection (paper section 5.2). Each thread's
+    counter is odd while inside an operation; an unlinked node is safe to
+    free once the epoch vector has advanced past the snapshot taken at
+    unlink time on all then-active positions. Volatile state only. *)
+
+type t
+
+val create : nthreads:int -> t
+val nthreads : t -> int
+val current : t -> tid:int -> int
+val is_active : int -> bool
+
+(** Begin an operation: step the counter to odd. Asserts proper nesting. *)
+val enter : t -> tid:int -> unit
+
+(** End an operation: step the counter to even. *)
+val exit : t -> tid:int -> unit
+
+val snapshot : t -> int array
+
+(** True once every thread active in the snapshot has since advanced. *)
+val safe : t -> int array -> bool

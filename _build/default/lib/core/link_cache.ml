@@ -1,0 +1,255 @@
+(** The link cache (section 4).
+
+    A small, volatile, best-effort hash table holding the addresses of data
+    structure links whose latest value has not yet been written back to
+    NVRAM. Updates register links here instead of syncing them one at a time;
+    when an operation needs one of them durable, the whole bucket is flushed
+    as a single batch of write-backs followed by one fence.
+
+    Layout mirrors the paper's Figure 2: each bucket models one cache line
+    with six entries. The flush flag and the six 2-bit entry states
+    (free / pending / busy) are packed into a single atomic word per bucket,
+    so reservation and state transitions are single CASes. Hashes and link
+    addresses live in plain arrays: they are only interpreted for entries
+    whose state says they are valid, and a stale address read by a racing
+    scan can at worst trigger a redundant (always safe) write-back.
+
+    No HTM here: we implement the paper's documented fallback path (marked
+    link insertion via the pending state). *)
+
+open Nvm
+
+type t = {
+  heap : Heap.t;
+  nbuckets : int;
+  states : int Atomic.t array;  (** bit 0 = flushing; bits 2i+1..2i+2 = entry i *)
+  hashes : int array;  (** nbuckets * 6, 16-bit key hashes *)
+  addrs : int array;  (** nbuckets * 6, link word addresses *)
+}
+
+let entries_per_bucket = 6
+let flush_bit = 1
+
+(* Entry states. *)
+let st_free = 0
+let st_pending = 1
+let st_busy = 2
+let state_of w i = (w lsr ((2 * i) + 1)) land 3
+
+let with_state w i s =
+  let shift = (2 * i) + 1 in
+  w land lnot (3 lsl shift) lor (s lsl shift)
+
+let is_flushing w = w land flush_bit <> 0
+
+let create heap ?(nbuckets = 32) () =
+  {
+    heap;
+    nbuckets;
+    states = Array.init nbuckets (fun _ -> Atomic.make 0);
+    hashes = Array.make (nbuckets * entries_per_bucket) 0;
+    addrs = Array.make (nbuckets * entries_per_bucket) 0;
+  }
+
+let mix k =
+  let h = k * 0x9E3779B97F4A7C1 in
+  h lxor (h lsr 29)
+
+let bucket_of t key = (mix key land max_int) mod t.nbuckets
+let hash16 key = (mix key lsr 13) land 0xFFFF
+
+(* Entry-state CAS helpers. *)
+
+let rec transition t b i ~from_state ~to_state ~fail_if_flushing =
+  let w = Atomic.get t.states.(b) in
+  if fail_if_flushing && is_flushing w then false
+  else if state_of w i <> from_state then false
+  else if Atomic.compare_and_set t.states.(b) w (with_state w i to_state) then true
+  else transition t b i ~from_state ~to_state ~fail_if_flushing
+
+(** Result of [try_link_and_add]. *)
+type add_result =
+  | Added  (** link updated; its durability is now the cache's business *)
+  | Cas_failed  (** the link did not hold the expected value *)
+  | Cache_full  (** no room / bucket flushing: caller must link-and-persist *)
+
+(* A bucket with no free entry is batch-flushed by the caller needing room:
+   one sync covers up to six parked links, keeping the cache useful even
+   when no dependent operation happens to scan the keys (large key ranges).
+   Exposed below as a forward reference to break the recursion with flush. *)
+let flush_ref :
+    (t -> tid:int -> int -> unit) ref =
+  ref (fun _ ~tid:_ _ -> ())
+
+(** Atomically update link word [link] from [expected] to [desired] and
+    register it in the cache under [key]. Implements the paper's "Try Link
+    and Add": the new link value carries the unflushed mark until the entry
+    is finalized, so concurrent readers can tell it may not be durable.
+    Contention failures give up after one attempt (constant worst case); a
+    merely-full bucket is flushed once and retried. *)
+let rec try_link_and_add ?(retried = false) t ~tid ~key ~link ~expected ~desired =
+  let b = bucket_of t key in
+  let w = Atomic.get t.states.(b) in
+  if is_flushing w then Cache_full
+  else begin
+    (* Reserve a free entry: free -> pending. *)
+    let rec find_free i =
+      if i >= entries_per_bucket then -1
+      else if state_of w i = st_free then i
+      else find_free (i + 1)
+    in
+    let i = find_free 0 in
+    if i < 0 then
+      if retried then Cache_full
+      else begin
+        !flush_ref t ~tid b;
+        try_link_and_add ~retried:true t ~tid ~key ~link ~expected ~desired
+      end
+    else if not (Atomic.compare_and_set t.states.(b) w (with_state w i st_pending))
+    then Cache_full
+    else begin
+      let idx = (b * entries_per_bucket) + i in
+      t.hashes.(idx) <- hash16 key;
+      t.addrs.(idx) <- link;
+      (* Install the new link value, marked not-yet-durable. *)
+      let marked = Marked_ptr.with_unflushed desired in
+      if not (Heap.cas t.heap ~tid link ~expected ~desired:marked) then begin
+        (* Undo the reservation; pending -> free always succeeds eventually. *)
+        while not (transition t b i ~from_state:st_pending ~to_state:st_free ~fail_if_flushing:false) do
+          Domain.cpu_relax ()
+        done;
+        (Heap.stats t.heap tid).lc_fails <- (Heap.stats t.heap tid).lc_fails + 1;
+        Cas_failed
+      end
+      else begin
+        (* Finalize: pending -> busy. If a flush started meanwhile it may not
+           see our entry, so persist the link ourselves and release it. *)
+        if transition t b i ~from_state:st_pending ~to_state:st_busy ~fail_if_flushing:true
+        then begin
+          ignore (Heap.cas t.heap ~tid link ~expected:marked ~desired);
+          (Heap.stats t.heap tid).lc_adds <- (Heap.stats t.heap tid).lc_adds + 1;
+          Added
+        end
+        else begin
+          Heap.persist t.heap ~tid link;
+          ignore (Heap.cas t.heap ~tid link ~expected:marked ~desired);
+          while not (transition t b i ~from_state:st_pending ~to_state:st_free ~fail_if_flushing:false) do
+            Domain.cpu_relax ()
+          done;
+          (Heap.stats t.heap tid).lc_adds <- (Heap.stats t.heap tid).lc_adds + 1;
+          Added
+        end
+      end
+    end
+  end
+
+(* Clear the unflushed mark of [link] if still set (its line is durable). *)
+let clear_mark t ~tid link =
+  let v = Heap.load t.heap ~tid link in
+  if Marked_ptr.is_unflushed v then
+    ignore (Heap.cas t.heap ~tid link ~expected:v ~desired:(Marked_ptr.clear_unflushed v))
+
+(** Write back every finalized entry of bucket [b] as one batch, wait for the
+    batch, and release the entries. Repeats until no new busy entries appear
+    (pending reservations taken before the flush flag was set may still
+    finalize). Concurrent flushers wait for the active one. *)
+let flush_bucket t ~tid b =
+  let rec set_flag () =
+    let w = Atomic.get t.states.(b) in
+    if is_flushing w then begin
+      (* Another thread is flushing this bucket; wait for it to finish.
+         Yield the timeslice too: the flusher may be descheduled. *)
+      let spins = ref 0 in
+      while is_flushing (Atomic.get t.states.(b)) do
+        incr spins;
+        if !spins land 63 = 0 then Unix.sleepf 0. else Domain.cpu_relax ()
+      done;
+      false
+    end
+    else if Atomic.compare_and_set t.states.(b) w (w lor flush_bit) then true
+    else set_flag ()
+  in
+  if set_flag () then begin
+    (Heap.stats t.heap tid).lc_flushes <- (Heap.stats t.heap tid).lc_flushes + 1;
+    let flushed = ref [] in
+    let rec pass () =
+      let w = Atomic.get t.states.(b) in
+      let progress = ref false in
+      for i = 0 to entries_per_bucket - 1 do
+        if state_of w i = st_busy then begin
+          let idx = (b * entries_per_bucket) + i in
+          let link = t.addrs.(idx) in
+          Heap.write_back t.heap ~tid link;
+          flushed := link :: !flushed;
+          while not (transition t b i ~from_state:st_busy ~to_state:st_free ~fail_if_flushing:false) do
+            Domain.cpu_relax ()
+          done;
+          progress := true
+        end
+      done;
+      if !progress then pass ()
+    in
+    pass ();
+    Heap.fence t.heap ~tid;
+    (* Links are durable; help clear their marks so readers stop helping. *)
+    List.iter (fun link -> clear_mark t ~tid link) !flushed;
+    (* Release the flush flag. *)
+    let rec clear_flag () =
+      let w = Atomic.get t.states.(b) in
+      if not (Atomic.compare_and_set t.states.(b) w (w land lnot flush_bit)) then
+        clear_flag ()
+    in
+    clear_flag ()
+  end
+
+let () = flush_ref := flush_bucket
+
+(** Make every link pertaining to [key] durable (section 4's Scan): a busy
+    entry triggers a bucket flush; a pending entry whose link update is
+    already visible gets written back directly. Cheap when the bucket has no
+    matching entry — the common case. *)
+let scan t ~tid ~key =
+  let b = bucket_of t key in
+  let h = hash16 key in
+  let w = Atomic.get t.states.(b) in
+  let need_flush = ref false in
+  for i = 0 to entries_per_bucket - 1 do
+    let s = state_of w i in
+    if s <> st_free then begin
+      let idx = (b * entries_per_bucket) + i in
+      if t.hashes.(idx) = h then
+        if s = st_busy then need_flush := true
+        else begin
+          (* Pending: if the updating CAS already landed, persist it here so
+             our linearization point safely follows it. *)
+          let link = t.addrs.(idx) in
+          if link > 0 && link < Heap.size_words t.heap then begin
+            let v = Heap.load t.heap ~tid link in
+            if Marked_ptr.is_unflushed v then begin
+              Heap.persist t.heap ~tid link;
+              clear_mark t ~tid link
+            end
+          end
+        end
+    end
+  done;
+  if !need_flush then flush_bucket t ~tid b
+
+(** Flush every bucket (active-page-table trimming, clean shutdown). *)
+let flush_all t ~tid =
+  for b = 0 to t.nbuckets - 1 do
+    flush_bucket t ~tid b
+  done
+
+(** Number of busy or pending entries (tests). *)
+let occupancy t =
+  let n = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let w = Atomic.get t.states.(b) in
+    for i = 0 to entries_per_bucket - 1 do
+      if state_of w i <> st_free then incr n
+    done
+  done;
+  !n
+
+let nbuckets t = t.nbuckets

@@ -1,0 +1,55 @@
+(** The link cache (paper section 4): a small, volatile, best-effort hash
+    table holding the addresses of data-structure links whose latest value
+    has not yet been written back to NVRAM, so write-backs happen in batches
+    of up to six per sync instead of one at a time.
+
+    Each bucket models one cache line (Figure 2): six entries with
+    free/pending/busy states and a flush flag packed into one atomic word,
+    plus 16-bit key hashes and link addresses. No HTM: this is the paper's
+    documented fallback path. *)
+
+type t
+
+val create : Nvm.Heap.t -> ?nbuckets:int -> unit -> t
+
+(** Bucket index a key maps to (tests, diagnostics). *)
+val bucket_of : t -> int -> int
+
+type add_result =
+  | Added  (** link updated; its durability is now the cache's business *)
+  | Cas_failed  (** the link did not hold the expected value *)
+  | Cache_full  (** contention/flush in the way: caller link-and-persists *)
+
+(** Atomically update [link] from [expected] to [desired] and register it in
+    the cache under [key] (the paper's "Try Link and Add"). The new value
+    carries the unflushed mark until the entry is finalized. Contention
+    failures give up after one attempt (constant worst case); a merely-full
+    bucket is batch-flushed once and retried. *)
+val try_link_and_add :
+  ?retried:bool ->
+  t ->
+  tid:int ->
+  key:int ->
+  link:int ->
+  expected:int ->
+  desired:int ->
+  add_result
+
+(** Write back every finalized entry of one bucket as a single batch, wait,
+    release the entries, and help-clear the links' unflushed marks.
+    Concurrent flushers of the same bucket wait for the active one. *)
+val flush_bucket : t -> tid:int -> int -> unit
+
+(** Make every cached link pertaining to [key] durable before the caller's
+    linearization point (the paper's "Scan"): a busy match triggers a bucket
+    flush; a pending match whose update already landed is persisted
+    directly. Cheap when the bucket has no matching entry. *)
+val scan : t -> tid:int -> key:int -> unit
+
+(** Flush every bucket (APT trimming, checkpoints, clean shutdown). *)
+val flush_all : t -> tid:int -> unit
+
+(** Number of non-free entries (tests). *)
+val occupancy : t -> int
+
+val nbuckets : t -> int

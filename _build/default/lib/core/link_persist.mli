@@ -1,0 +1,35 @@
+(** The link-and-persist operation (paper section 3) and its link-cache
+    variant — the single way structures change a link.
+
+    [expected]/[desired] may carry algorithm marks (delete/flag/tag) but
+    never the unflushed bit: callers clean what they read with
+    [help_unflushed] before CASing. *)
+
+(** Raw load of a link word. *)
+val read : Ctx.t -> tid:int -> int -> int
+
+(** Given value [v] just loaded from [link]: if it carries the unflushed
+    mark, persist the line and clear the mark (helping — never blocks).
+    Returns the believable clean value. *)
+val help_unflushed : Ctx.t -> tid:int -> link:int -> int -> int
+
+(** Load and help-clear in one step. *)
+val read_clean : Ctx.t -> tid:int -> int -> int
+
+(** Atomically update [link] from [expected] to [desired] and make the
+    update durable per the context's persist mode: plain CAS (volatile),
+    link-and-persist (mark, sync, unmark), or link-cache registration with
+    LP fallback. [key] identifies the update for the cache. False iff the
+    CAS failed. *)
+val cas_link :
+  Ctx.t -> tid:int -> key:int -> link:int -> expected:int -> desired:int -> bool
+
+(** Make everything previously linked for [key] durable before the caller's
+    linearization point: scans the link cache and clears a straggling mark
+    on [link] — the "adjacent edges durable" step of section 3. *)
+val make_durable : Ctx.t -> tid:int -> key:int -> ?link:int -> unit -> unit
+
+(** Persist freshly initialized node contents and wait; the fence also
+    drains the allocator's metadata write-backs, establishing
+    "durably linked implies durably allocated" (section 5.5). *)
+val persist_node : Ctx.t -> tid:int -> addr:int -> size_class:int -> unit

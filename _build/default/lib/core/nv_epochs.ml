@@ -1,0 +1,170 @@
+(** NV-epochs: durable memory management for concurrent structures (sec. 5).
+
+    Ties together the persistent allocator, epoch-based reclamation and the
+    active page table:
+
+    - [alloc_node] marks the page about to be allocated from as active
+      {e before} allocating (Figure 4) — a durable write only on an APT miss;
+    - [retire_node] marks the node's page active for unlinking, then hands
+      the node to epoch-based reclamation; the node is freed once its
+      generation's epoch snapshot is safe, and each freed generation costs a
+      single fence;
+    - the APT is trimmed when it outgrows its threshold, flushing the link
+      cache first (section 5.4).
+
+    A [Logged] mode implements the traditional alternative the paper compares
+    against in Figure 9b: every allocation and every unlink writes and syncs
+    a durable log record before proceeding. *)
+
+open Nvm
+
+type mem_mode = Nv | Logged
+
+type generation = { snapshot : int array; nodes : int list }
+
+type t = {
+  heap : Heap.t;
+  alloc : Nvalloc.t;
+  apt : Active_page_table.t;
+  epoch : Epoch.t;
+  mem_mode : mem_mode;
+  batch_size : int;
+  open_batch : int list ref array;  (** per-tid nodes awaiting a snapshot *)
+  open_count : int array;
+  open_max_epoch : int array;  (** per-tid max unlink epoch in open batch *)
+  limbo : generation Queue.t array;  (** per-tid sealed generations *)
+  last_collected : int array;  (** per-tid own epoch of last freed gen *)
+  mutable flush_lc : (tid:int -> unit) option;
+  log_base : int;  (** per-tid durable scratch line for [Logged] mode *)
+}
+
+(** Heap words needed for the [Logged]-mode scratch lines. *)
+let log_words_needed ~nthreads = nthreads * Cacheline.words_per_line
+
+let create heap ~alloc ~apt ~epoch ?(mem_mode = Nv) ?(batch_size = 32) ~log_base
+    () =
+  let n = Epoch.nthreads epoch in
+  {
+    heap;
+    alloc;
+    apt;
+    epoch;
+    mem_mode;
+    batch_size;
+    open_batch = Array.init n (fun _ -> ref []);
+    open_count = Array.make n 0;
+    open_max_epoch = Array.make n 0;
+    limbo = Array.init n (fun _ -> Queue.create ());
+    last_collected = Array.make n 0;
+    flush_lc = None;
+    log_base;
+  }
+
+let set_link_cache_flusher t f = t.flush_lc <- Some f
+let epoch t = t.epoch
+let allocator t = t.alloc
+let apt t = t.apt
+
+(** Begin / end an operation (steps the thread's epoch). *)
+let op_begin t ~tid = Epoch.enter t.epoch ~tid
+
+(* Logged-mode record: one durable, synced write per event. *)
+let log_event t ~tid addr =
+  let line = t.log_base + (tid * Cacheline.words_per_line) in
+  Heap.store t.heap ~tid line addr;
+  Heap.persist t.heap ~tid line;
+  (Heap.stats t.heap tid).log_entries <- (Heap.stats t.heap tid).log_entries + 1
+
+(** Allocate a node of [size_class] words, keeping the active page table
+    current. The returned memory is marked allocated in durable allocator
+    metadata (write-back issued, not awaited). *)
+let alloc_node t ~tid ~size_class =
+  (match t.mem_mode with
+  | Logged ->
+      let next = Nvalloc.next_alloc_addr t.alloc ~tid ~size_class in
+      log_event t ~tid next
+  | Nv ->
+      let next = Nvalloc.next_alloc_addr t.alloc ~tid ~size_class in
+      let page = Nvalloc.page_of t.alloc next in
+      Active_page_table.ensure_active t.apt ~tid ~page
+        ~epoch:(Epoch.current t.epoch ~tid)
+        Active_page_table.Alloc);
+  Nvalloc.alloc t.alloc ~tid ~size_class
+
+(* Free a sealed generation: durable bitmap updates, then one fence. *)
+let free_generation t ~tid gen =
+  List.iter (fun addr -> Nvalloc.free t.alloc ~tid addr) gen.nodes;
+  Heap.fence t.heap ~tid;
+  t.last_collected.(tid) <- max t.last_collected.(tid) gen.snapshot.(tid)
+
+let try_collect t ~tid =
+  let q = t.limbo.(tid) in
+  let rec loop () =
+    match Queue.peek_opt q with
+    | Some gen when Epoch.safe t.epoch gen.snapshot ->
+        ignore (Queue.pop q);
+        free_generation t ~tid gen;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let seal t ~tid =
+  if t.open_count.(tid) > 0 then begin
+    let gen = { snapshot = Epoch.snapshot t.epoch; nodes = !(t.open_batch.(tid)) } in
+    Queue.push gen t.limbo.(tid);
+    t.open_batch.(tid) := [];
+    t.open_count.(tid) <- 0
+  end
+
+(** Hand an unlinked node to reclamation. It will be freed (durably unmarked
+    in the allocator bitmap) once no concurrent operation can still hold a
+    reference. *)
+let retire_node t ~tid addr =
+  let e = Epoch.current t.epoch ~tid in
+  (match t.mem_mode with
+  | Logged -> log_event t ~tid addr
+  | Nv ->
+      let page = Nvalloc.page_of t.alloc addr in
+      Active_page_table.ensure_active t.apt ~tid ~page ~epoch:e
+        Active_page_table.Unlink);
+  t.open_batch.(tid) := addr :: !(t.open_batch.(tid));
+  t.open_count.(tid) <- t.open_count.(tid) + 1;
+  t.open_max_epoch.(tid) <- max t.open_max_epoch.(tid) e;
+  if t.open_count.(tid) >= t.batch_size then begin
+    seal t ~tid;
+    try_collect t ~tid
+  end
+
+(* APT trimming (section 5.4): an entry can go once (a) the epoch-based
+   scheme has freed everything unlinked from its page by this thread, (b) the
+   allocation that last touched it has completed, and (c) the link cache
+   holds no entry that could concern it (ensured by a full flush). *)
+let maybe_trim_apt t ~tid =
+  if Active_page_table.needs_trim t.apt ~tid then begin
+    (match t.flush_lc with Some f -> f ~tid | None -> ());
+    let current = Epoch.current t.epoch ~tid in
+    let removable (e : Active_page_table.entry) =
+      e.last_unlink_epoch <= t.last_collected.(tid)
+      && e.last_alloc_epoch < current
+    in
+    ignore (Active_page_table.trim t.apt ~tid ~removable)
+  end
+
+(** End an operation: steps the epoch, opportunistically collects limbo
+    generations and trims the active page table. *)
+let op_end t ~tid =
+  Epoch.exit t.epoch ~tid;
+  try_collect t ~tid;
+  maybe_trim_apt t ~tid
+
+(** Force-seal and collect everything collectable for [tid] (tests, clean
+    shutdown). Other threads must be quiescent for full reclamation. *)
+let drain t ~tid =
+  seal t ~tid;
+  try_collect t ~tid
+
+(** Nodes retired by [tid] but not yet freed (tests). *)
+let pending_retired t ~tid =
+  t.open_count.(tid)
+  + Queue.fold (fun acc g -> acc + List.length g.nodes) 0 t.limbo.(tid)

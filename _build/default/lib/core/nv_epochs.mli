@@ -1,0 +1,56 @@
+(** NV-epochs: durable memory management for concurrent structures (paper
+    section 5), tying together the persistent allocator, epoch-based
+    reclamation and the durable active page table.
+
+    In the default [Nv] mode the only durable logging is an active-page-table
+    miss; the [Logged] mode implements the traditional
+    log-every-allocation/unlink alternative the paper compares against in
+    Figure 9b. *)
+
+type t
+
+type mem_mode = Nv | Logged
+
+(** Words of heap space the [Logged] mode's per-thread scratch lines need
+    (pass the carved base as [log_base]). *)
+val log_words_needed : nthreads:int -> int
+
+val create :
+  Nvm.Heap.t ->
+  alloc:Nvm.Nvalloc.t ->
+  apt:Active_page_table.t ->
+  epoch:Epoch.t ->
+  ?mem_mode:mem_mode ->
+  ?batch_size:int ->
+  log_base:int ->
+  unit ->
+  t
+
+(** Register the link-cache flusher called before APT trimming. *)
+val set_link_cache_flusher : t -> (tid:int -> unit) -> unit
+
+val epoch : t -> Epoch.t
+val allocator : t -> Nvm.Nvalloc.t
+val apt : t -> Active_page_table.t
+
+(** Operation brackets: step the thread's epoch; [op_end] also collects
+    quiesced limbo generations and trims the active page table. *)
+val op_begin : t -> tid:int -> unit
+
+val op_end : t -> tid:int -> unit
+
+(** Allocate a node, marking the page about to be used as active {e before}
+    allocating (Figure 4) — a durable write only on an APT miss. *)
+val alloc_node : t -> tid:int -> size_class:int -> int
+
+(** Hand an unlinked node to epoch-based reclamation; its page is marked
+    active for unlinking. The node is freed (durable bitmap clear + one
+    fence per generation) once no concurrent operation can hold it. *)
+val retire_node : t -> tid:int -> int -> unit
+
+(** Force-seal and collect everything collectable for [tid] (tests, clean
+    shutdown); full reclamation needs other threads quiescent. *)
+val drain : t -> tid:int -> unit
+
+(** Nodes retired by [tid] not yet freed (tests). *)
+val pending_retired : t -> tid:int -> int

@@ -1,0 +1,22 @@
+(** How a log-free data structure persists its links.
+
+    The same algorithm code runs in all three modes (the paper's structures
+    differ from their volatile counterparts only by added flushes):
+
+    - [Volatile]: no write-backs at all — the DRAM-oriented baseline of
+      Figure 7;
+    - [Link_persist]: every state-changing link update is made durable with
+      the link-and-persist operation of section 3 (one sync per update, plus
+      helping);
+    - [Link_cache]: link updates are registered in the volatile link cache of
+      section 4 and written back in batches when a dependent operation needs
+      them durable. *)
+
+type t = Volatile | Link_persist | Link_cache
+
+let to_string = function
+  | Volatile -> "volatile"
+  | Link_persist -> "link-and-persist"
+  | Link_cache -> "link-cache"
+
+let is_durable = function Volatile -> false | Link_persist | Link_cache -> true

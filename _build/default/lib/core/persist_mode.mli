@@ -1,0 +1,11 @@
+(** How a log-free structure persists its links; the same algorithm code
+    runs in all three modes (the paper's durable structures differ from
+    their volatile counterparts only by added flushes). *)
+
+type t =
+  | Volatile  (** no write-backs: the DRAM-oriented baseline (Figure 7) *)
+  | Link_persist  (** one link-and-persist sync per state change (§3) *)
+  | Link_cache  (** batched durability through the link cache (§4) *)
+
+val to_string : t -> string
+val is_durable : t -> bool

@@ -1,0 +1,133 @@
+(** Post-crash leak reclamation (section 5.5).
+
+    After [recover_consistency] has restored a structure, the only remaining
+    damage a crash can leave is {e allocated-but-unreachable} nodes: memory
+    whose allocation bitmap bit reached NVRAM but whose linking (or
+    unlinking's free) did not. NV-epochs guarantees every such node lives in
+    a page that was durably marked active, so only those pages are swept —
+    the reason recovery runs in milliseconds rather than a full-heap GC pass.
+
+    Both strategies of the paper are implemented:
+
+    - [sweep_search]: for every allocated address in an active page, search
+      the structure for the node's key and keep the node only if the search
+      returns this exact address (condition (ii) of the paper: an uninitialized
+      node can masquerade as a real key). Best with fast search methods
+      (hash table, skip list, BST).
+    - [sweep_traversal]: traverse the structure once, remember which reachable
+      nodes fall in active pages, then free every allocated address of those
+      pages that was not seen. Best for the linked list, whose search is
+      linear (the paper's mark-and-sweep-like strategy). *)
+
+open Nvm
+
+let pages_of_interest ctx ~active_pages =
+  (* Deduplicate and keep only pages the allocator actually manages. *)
+  let alloc = Ctx.allocator ctx in
+  List.sort_uniq compare active_pages
+  |> List.filter (fun p ->
+         match Nvalloc.page_of alloc p with
+         | q -> q = p
+         | exception Invalid_argument _ -> false)
+
+(** Search-based sweep. [locate ~key] must return the address of the live
+    node holding [key], if any. Returns the number of nodes freed. *)
+let sweep_search ctx ~active_pages ~locate =
+  let tid = 0 in
+  let alloc = Ctx.allocator ctx in
+  let heap = Ctx.heap ctx in
+  let freed = ref 0 in
+  let sweep_page page =
+    Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+        let key = Heap.load heap ~tid addr in
+        let live = match locate ~key with Some node -> node = addr | None -> false in
+        if not live then begin
+          Nvalloc.free alloc ~tid addr;
+          incr freed
+        end)
+  in
+  List.iter sweep_page (pages_of_interest ctx ~active_pages);
+  Heap.fence heap ~tid;
+  !freed
+
+(** Traversal-based sweep. [iter] must call its argument once per reachable
+    node address (including interior nodes for trees). Returns the number of
+    nodes freed. *)
+let sweep_traversal ctx ~active_pages ~iter =
+  let tid = 0 in
+  let alloc = Ctx.allocator ctx in
+  let heap = Ctx.heap ctx in
+  let pages = pages_of_interest ctx ~active_pages in
+  let page_set = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace page_set p ()) pages;
+  let reachable = Hashtbl.create 1024 in
+  iter (fun addr ->
+      match Nvalloc.page_of alloc addr with
+      | p when Hashtbl.mem page_set p -> Hashtbl.replace reachable addr ()
+      | _ -> ()
+      | exception Invalid_argument _ -> ());
+  let freed = ref 0 in
+  List.iter
+    (fun page ->
+      Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+          if not (Hashtbl.mem reachable addr) then begin
+            Nvalloc.free alloc ~tid addr;
+            incr freed
+          end))
+    pages;
+  Heap.fence heap ~tid;
+  !freed
+
+(** Parallel variant of [sweep_traversal] (the paper notes both recovery
+    strategies parallelize): the reachability walk stays sequential, then
+    the active pages are partitioned across [nworkers] domains which scan
+    bitmaps and free leaked nodes independently (bitmap updates are CAS-safe
+    and recycle bins are per-thread). Worth it once page counts are large. *)
+let sweep_traversal_parallel ctx ~active_pages ~iter ~nworkers =
+  let alloc = Ctx.allocator ctx in
+  let heap = Ctx.heap ctx in
+  let pages = Array.of_list (pages_of_interest ctx ~active_pages) in
+  let page_set = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.replace page_set p ()) pages;
+  let reachable = Hashtbl.create 1024 in
+  iter (fun addr ->
+      match Nvalloc.page_of alloc addr with
+      | p when Hashtbl.mem page_set p -> Hashtbl.replace reachable addr ()
+      | _ -> ()
+      | exception Invalid_argument _ -> ());
+  let nworkers = max 1 (min nworkers (Array.length pages)) in
+  let freed = Array.make nworkers 0 in
+  let worker w () =
+    let i = ref w in
+    while !i < Array.length pages do
+      Nvalloc.iter_allocated alloc ~tid:w ~page:pages.(!i) (fun addr ->
+          if not (Hashtbl.mem reachable addr) then begin
+            Nvalloc.free alloc ~tid:w addr;
+            freed.(w) <- freed.(w) + 1
+          end);
+      i := !i + nworkers
+    done;
+    Heap.fence heap ~tid:w
+  in
+  if nworkers = 1 then worker 0 ()
+  else begin
+    let ds = List.init (nworkers - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    List.iter Domain.join ds
+  end;
+  Array.fold_left ( + ) 0 freed
+
+(** Allocated nodes in active pages that the structure cannot reach —
+    should be zero after a sweep (tests). *)
+let leak_count ctx ~active_pages ~iter =
+  let tid = 0 in
+  let alloc = Ctx.allocator ctx in
+  let reachable = Hashtbl.create 1024 in
+  iter (fun addr -> Hashtbl.replace reachable addr ());
+  let leaks = ref 0 in
+  List.iter
+    (fun page ->
+      Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+          if not (Hashtbl.mem reachable addr) then incr leaks))
+    (pages_of_interest ctx ~active_pages);
+  !leaks

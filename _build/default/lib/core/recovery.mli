@@ -1,0 +1,27 @@
+(** Post-crash leak reclamation (paper section 5.5): free every
+    allocated-but-unreachable node, looking only at the pages that were
+    durably marked active at crash time. Run after the structure's
+    [recover_consistency]. Both of the paper's strategies are provided,
+    plus a parallel variant of the traversal sweep. *)
+
+(** Search-based sweep: for every allocated address in an active page,
+    [locate ~key] the node's key in the structure and keep the node only if
+    the search returns this exact address. Returns nodes freed. *)
+val sweep_search :
+  Ctx.t -> active_pages:int list -> locate:(key:int -> int option) -> int
+
+(** Traversal-based sweep: [iter] enumerates every reachable node address
+    (interior nodes included for trees); allocated addresses of active pages
+    not seen are freed. Returns nodes freed. *)
+val sweep_traversal :
+  Ctx.t -> active_pages:int list -> iter:((int -> unit) -> unit) -> int
+
+(** [sweep_traversal] with the page scan partitioned over [nworkers]
+    domains (the paper notes recovery parallelizes). *)
+val sweep_traversal_parallel :
+  Ctx.t -> active_pages:int list -> iter:((int -> unit) -> unit) -> nworkers:int -> int
+
+(** Allocated-but-unreachable count over active pages — zero after a sweep
+    (tests). *)
+val leak_count :
+  Ctx.t -> active_pages:int list -> iter:((int -> unit) -> unit) -> int

@@ -1,0 +1,26 @@
+(** Common runtime interface of all set implementations.
+
+    Keys and values are positive integers (the paper evaluates 8-byte
+    key-value pairs). A first-class record rather than a functor so the
+    benchmark harness can drive any structure — log-free, log-based or
+    volatile — through one code path. *)
+
+type ops = {
+  name : string;
+  insert : tid:int -> key:int -> value:int -> bool;
+      (** [insert ~tid ~key ~value] adds the binding if [key] is absent;
+          returns true iff the set changed. *)
+  remove : tid:int -> key:int -> bool;
+      (** [remove ~tid ~key] deletes the binding; true iff it was present. *)
+  search : tid:int -> key:int -> int option;
+      (** [search ~tid ~key] returns the bound value, if any. *)
+  size : unit -> int;
+      (** Number of elements; quiescent use only. *)
+}
+
+let contains t ~tid ~key = Option.is_some (t.search ~tid ~key)
+
+(** Minimum and maximum user keys (sentinel space is reserved outside). *)
+let min_key = 1
+
+let max_key = 1 lsl 48

@@ -1,0 +1,20 @@
+(** Common runtime interface of all set implementations: a first-class
+    record rather than a functor, so the benchmark harness drives log-free,
+    log-based and volatile structures through one code path. Keys and values
+    are positive integers (the paper evaluates 8-byte pairs). *)
+
+type ops = {
+  name : string;
+  insert : tid:int -> key:int -> value:int -> bool;
+      (** Add the binding if absent; true iff the set changed. *)
+  remove : tid:int -> key:int -> bool;  (** True iff the key was present. *)
+  search : tid:int -> key:int -> int option;  (** The bound value, if any. *)
+  size : unit -> int;  (** Element count; quiescent use only. *)
+}
+
+val contains : ops -> tid:int -> key:int -> bool
+
+(** User key bounds; sentinel keys live above [max_key]. *)
+val min_key : int
+
+val max_key : int

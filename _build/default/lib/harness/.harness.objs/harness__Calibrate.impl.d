@@ -1,0 +1,1 @@
+lib/harness/calibrate.ml: Heap Latency_model Lazy Nvm Sys Unix

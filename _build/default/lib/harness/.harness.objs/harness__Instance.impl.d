@@ -1,0 +1,1 @@
+lib/harness/instance.ml: Baseline Cacheline Heap Latency_model Lfds Nvm Option Unix

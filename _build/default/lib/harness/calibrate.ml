@@ -1,0 +1,32 @@
+(** Calibration of the injected NVRAM latency to the simulated machine.
+
+    The paper's cost model (Table 1) has an NVRAM write cost 62.5x an
+    L1 load (125 ns vs 2 ns). A load on the simulated heap costs more than a
+    real L1 hit (array access, statistics, bounds checks), so injecting a
+    literal 125 ns would understate the relative price of sync operations.
+    [write_ns] measures the simulated load cost once and scales the injected
+    write latency to preserve the paper's ratio. Pass an explicit
+    [--write-ns] to the bench harness to bypass this. *)
+
+open Nvm
+
+let paper_write_to_load_ratio = 62.5
+
+let measured_load_ns : float Lazy.t =
+  lazy
+    (let heap = Heap.create ~latency:(Latency_model.no_injection ()) ~size_words:4096 () in
+     let n = 200_000 in
+     let acc = ref 0 in
+     let t0 = Unix.gettimeofday () in
+     for i = 1 to n do
+       acc := !acc + Heap.load heap ~tid:0 (i land 1023)
+     done;
+     ignore (Sys.opaque_identity !acc);
+     (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9)
+
+(** Injected NVRAM write latency (ns) that keeps the paper's write:load
+    cost ratio on this machine's simulated heap. *)
+let write_ns () =
+  int_of_float (Lazy.force measured_load_ns *. paper_write_to_load_ratio)
+
+let load_ns () = Lazy.force measured_load_ns

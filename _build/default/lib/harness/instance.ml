@@ -1,0 +1,267 @@
+(** Uniform construction and recovery of every benchmarked configuration.
+
+    An [Instance.t] bundles a data structure (one of the four types), a
+    flavor (volatile / link-and-persist / link-cache / log-based), its
+    context, and the hooks the benchmark and test harnesses need: crash
+    recovery, reachability iteration (for leak sweeps) and key location
+    (for search-based sweeps). Creating and recovering go through the same
+    code paths, so the layout carves always agree. *)
+
+open Nvm
+
+type structure = List | Hash | Skiplist | Bst
+
+let structure_name = function
+  | List -> "linked-list"
+  | Hash -> "hash-table"
+  | Skiplist -> "skip-list"
+  | Bst -> "bst"
+
+let all_structures = [ Hash; Skiplist; List; Bst ]
+
+type flavor = Volatile | Lp | Lc | Log
+
+let flavor_name = function
+  | Volatile -> "volatile"
+  | Lp -> "link-persist"
+  | Lc -> "link-cache"
+  | Log -> "log-based"
+
+type t = {
+  structure : structure;
+  flavor : flavor;
+  cfg : Lfds.Ctx.config;
+  ctx : Lfds.Ctx.t;
+  ops : Lfds.Set_intf.ops;
+  iter_reachable : (int -> unit) -> unit;
+  locate : key:int -> int option;
+  hash_buckets : int;
+  skiplist_levels : int;
+  wal_mode : Baseline.Wal.sync_mode;
+}
+
+(* Heap sizing: static areas plus generous node space (skip-list nodes
+   average ~2 cache lines; churn keeps recycled slots in play). *)
+let default_heap_words ~structure ~size =
+  let per_node =
+    match structure with
+    | List | Hash | Bst -> 24
+    | Skiplist -> 40
+  in
+  let nodes = max 1024 (4 * size) in
+  Cacheline.align_up ((nodes * per_node) + (1 lsl 18))
+
+let default_buckets ~size = max 16 (Cacheline.align_up (max 16 (size / 4)))
+
+let mode_of_flavor = function
+  | Volatile -> Lfds.Persist_mode.Volatile
+  | Lp | Log -> Lfds.Persist_mode.Link_persist
+  | Lc -> Lfds.Persist_mode.Link_cache
+
+let config ?(nthreads = 1) ?(size_hint = 1024) ?latency ?(mem_mode = Lfds.Nv_epochs.Nv)
+    ?(lc_buckets = 32) ?(page_words = 512) ?(apt_entries = 1024)
+    ?(trim_threshold = 64) ?heap_words ~structure ~flavor () =
+  let latency =
+    match latency with Some l -> l | None -> Latency_model.no_injection ()
+  in
+  let size_words =
+    match heap_words with
+    | Some w -> w
+    | None -> default_heap_words ~structure ~size:size_hint
+  in
+  {
+    (Lfds.Ctx.default_config ()) with
+    size_words;
+    nthreads;
+    mode = mode_of_flavor flavor;
+    mem_mode;
+    latency;
+    lc_buckets;
+    page_words;
+    apt_entries;
+    trim_threshold;
+    static_words = Cacheline.align_up ((4 * default_buckets ~size:size_hint) + 8192);
+  }
+
+(* Build the structure inside an existing context. [fresh] distinguishes
+   create from attach; carve order is identical either way. *)
+let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
+    ~fresh ctx =
+  match flavor with
+  | Volatile | Lp | Lc -> (
+      match structure with
+      | List ->
+          let head =
+            if fresh then Lfds.Durable_list.create ctx ~root:0
+            else Lfds.Durable_list.attach ctx ~root:0
+          in
+          let ops = Lfds.Durable_list.ops ctx ~head in
+          let iter f =
+            Lfds.Durable_list.iter_nodes ctx ~tid:0 ~head (fun n ~deleted:_ -> f n)
+          in
+          let locate ~key =
+            let found = ref None in
+            Lfds.Durable_list.iter_nodes ctx ~tid:0 ~head (fun n ~deleted ->
+                if
+                  (not deleted)
+                  && Heap.load (Lfds.Ctx.heap ctx) ~tid:0 n = key
+                then found := Some n);
+            !found
+          in
+          (ops, iter, locate, fun () -> Lfds.Durable_list.recover_consistency ctx ~head)
+      | Hash ->
+          let t =
+            if fresh then Lfds.Durable_hash.create ctx ~nbuckets:hash_buckets
+            else Lfds.Durable_hash.attach ctx ~nbuckets:hash_buckets
+          in
+          let ops = Lfds.Durable_hash.ops ctx t in
+          let iter f = Lfds.Durable_hash.iter_nodes ctx t (fun n ~deleted:_ -> f n) in
+          let locate ~key =
+            let found = ref None in
+            Lfds.Durable_hash.iter_nodes ctx t (fun n ~deleted ->
+                if
+                  (not deleted)
+                  && Heap.load (Lfds.Ctx.heap ctx) ~tid:0 n = key
+                then found := Some n);
+            !found
+          in
+          (ops, iter, locate, fun () -> Lfds.Durable_hash.recover_consistency ctx t)
+      | Skiplist ->
+          let t =
+            if fresh then Lfds.Durable_skiplist.create ctx ~max_level:skiplist_levels ()
+            else Lfds.Durable_skiplist.attach ctx ~max_level:skiplist_levels ()
+          in
+          let ops = Lfds.Durable_skiplist.ops ctx t in
+          let iter f =
+            Lfds.Durable_skiplist.iter_nodes ctx ~tid:0 t (fun n ~deleted:_ -> f n)
+          in
+          let locate ~key =
+            let found = ref None in
+            Lfds.Durable_skiplist.iter_nodes ctx ~tid:0 t (fun n ~deleted ->
+                if
+                  (not deleted)
+                  && Heap.load (Lfds.Ctx.heap ctx) ~tid:0 n = key
+                then found := Some n);
+            !found
+          in
+          (ops, iter, locate, fun () -> Lfds.Durable_skiplist.recover_consistency ctx t)
+      | Bst ->
+          let t =
+            if fresh then Lfds.Durable_bst.create ctx else Lfds.Durable_bst.attach ctx
+          in
+          let ops = Lfds.Durable_bst.ops ctx t in
+          (* Reachability must include interior nodes; the sweep filters the
+             static sentinels out by address. *)
+          let iter f = Lfds.Durable_bst.iter_all_nodes ctx ~tid:0 t f in
+          let locate ~key:_ = None in
+          (ops, iter, locate, fun () -> Lfds.Durable_bst.recover_consistency ctx t))
+  | Log -> (
+      let wal =
+        if fresh then Baseline.Wal.create ctx ~sync_mode:wal_mode ()
+        else Baseline.Wal.attach ctx ~sync_mode:wal_mode ()
+      in
+      let recover_wal () = Baseline.Wal.recover wal in
+      match structure with
+      | List ->
+          let head =
+            if fresh then Baseline.Log_list.create ctx else Baseline.Log_list.attach ctx
+          in
+          let ops = Baseline.Log_list.ops ctx wal ~head in
+          let iter f =
+            Baseline.Log_list.iter_nodes ctx ~tid:0 ~head (fun n ~deleted:_ -> f n)
+          in
+          ( ops,
+            iter,
+            (fun ~key:_ -> None),
+            fun () ->
+              recover_wal ();
+              Baseline.Log_list.recover_consistency ctx ~head )
+      | Hash ->
+          let t =
+            if fresh then Baseline.Log_hash.create ctx ~nbuckets:hash_buckets
+            else Baseline.Log_hash.attach ctx ~nbuckets:hash_buckets
+          in
+          let ops = Baseline.Log_hash.ops ctx wal t in
+          let iter f = Baseline.Log_hash.iter_nodes ctx t (fun n ~deleted:_ -> f n) in
+          ( ops,
+            iter,
+            (fun ~key:_ -> None),
+            fun () ->
+              recover_wal ();
+              Baseline.Log_hash.recover_consistency ctx t )
+      | Skiplist ->
+          let t =
+            if fresh then Baseline.Log_skiplist.create ctx ~max_level:skiplist_levels ()
+            else Baseline.Log_skiplist.attach ctx ~max_level:skiplist_levels ()
+          in
+          let ops = Baseline.Log_skiplist.ops ctx wal t in
+          let iter f =
+            Baseline.Log_skiplist.iter_nodes ctx ~tid:0 t (fun n ~deleted:_ -> f n)
+          in
+          ( ops,
+            iter,
+            (fun ~key:_ -> None),
+            fun () ->
+              recover_wal ();
+              Baseline.Log_skiplist.recover_consistency ctx t )
+      | Bst ->
+          let t =
+            if fresh then Baseline.Log_bst.create ctx else Baseline.Log_bst.attach ctx
+          in
+          let ops = Baseline.Log_bst.ops ctx wal t in
+          let iter f = Baseline.Log_bst.iter_nodes ctx ~tid:0 t (fun n ~leaf:_ -> f n) in
+          ( ops,
+            iter,
+            (fun ~key:_ -> None),
+            fun () ->
+              recover_wal ();
+              Baseline.Log_bst.recover_consistency ctx t ))
+
+let create ?nthreads ?size_hint ?latency ?mem_mode ?lc_buckets ?page_words
+    ?apt_entries ?trim_threshold ?heap_words ?(skiplist_levels = 16)
+    ?(wal_mode = Baseline.Wal.Eager) ?hash_buckets ~structure ~flavor () =
+  let size_hint = Option.value size_hint ~default:1024 in
+  let cfg =
+    config ?nthreads ~size_hint ?latency ?mem_mode ?lc_buckets ?page_words
+      ?apt_entries ?trim_threshold ?heap_words ~structure ~flavor ()
+  in
+  let hash_buckets =
+    Option.value hash_buckets ~default:(default_buckets ~size:size_hint)
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  let ops, iter_reachable, locate, _recover =
+    build_in ~structure ~flavor ~cfg ~hash_buckets ~skiplist_levels ~wal_mode
+      ~fresh:true ctx
+  in
+  {
+    structure;
+    flavor;
+    cfg;
+    ctx;
+    ops;
+    iter_reachable;
+    locate;
+    hash_buckets;
+    skiplist_levels;
+    wal_mode;
+  }
+
+(** Crash the heap (power failure at this instant) and fully recover:
+    re-attach layout, restore structure consistency, roll back the WAL for
+    log-based flavors, and sweep active pages for leaks. Returns the new
+    instance and the recovery time in seconds (crash excluded). *)
+let crash_and_recover ?(seed = 0xDEAD) ?(eviction_probability = 0.5) t =
+  Heap.crash (Lfds.Ctx.heap t.ctx) ~seed ~eviction_probability;
+  let t0 = Unix.gettimeofday () in
+  let ctx, active = Lfds.Ctx.recover (Lfds.Ctx.heap t.ctx) t.cfg in
+  let ops, iter_reachable, locate, recover_structure =
+    build_in ~structure:t.structure ~flavor:t.flavor ~cfg:t.cfg
+      ~hash_buckets:t.hash_buckets ~skiplist_levels:t.skiplist_levels
+      ~wal_mode:t.wal_mode ~fresh:false ctx
+  in
+  recover_structure ();
+  let freed =
+    Lfds.Recovery.sweep_traversal ctx ~active_pages:active ~iter:iter_reachable
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  ({ t with ctx; ops; iter_reachable; locate }, dt, freed)

@@ -1,0 +1,60 @@
+(** Uniform construction and crash-recovery of every benchmarked
+    configuration: a data structure type x a flavor, its context, and the
+    hooks benchmarks and tests need. Creation and recovery share the layout
+    carving code, so addresses always agree. *)
+
+type structure = List | Hash | Skiplist | Bst
+
+val structure_name : structure -> string
+val all_structures : structure list
+
+type flavor =
+  | Volatile  (** no flushes (DRAM baseline) *)
+  | Lp  (** link-and-persist *)
+  | Lc  (** link cache *)
+  | Log  (** lock-based algorithm + write-ahead log *)
+
+val flavor_name : flavor -> string
+
+type t = {
+  structure : structure;
+  flavor : flavor;
+  cfg : Lfds.Ctx.config;
+  ctx : Lfds.Ctx.t;
+  ops : Lfds.Set_intf.ops;
+  iter_reachable : (int -> unit) -> unit;
+      (** every reachable node address (interior nodes included) *)
+  locate : key:int -> int option;
+      (** node address holding a key, for search-based sweeps *)
+  hash_buckets : int;
+  skiplist_levels : int;
+  wal_mode : Baseline.Wal.sync_mode;
+}
+
+(** Build a fresh instance. [size_hint] drives heap sizing and bucket
+    counts; [latency] defaults to no injection; remaining knobs mirror
+    [Lfds.Ctx.config]. *)
+val create :
+  ?nthreads:int ->
+  ?size_hint:int ->
+  ?latency:Nvm.Latency_model.t ->
+  ?mem_mode:Lfds.Nv_epochs.mem_mode ->
+  ?lc_buckets:int ->
+  ?page_words:int ->
+  ?apt_entries:int ->
+  ?trim_threshold:int ->
+  ?heap_words:int ->
+  ?skiplist_levels:int ->
+  ?wal_mode:Baseline.Wal.sync_mode ->
+  ?hash_buckets:int ->
+  structure:structure ->
+  flavor:flavor ->
+  unit ->
+  t
+
+(** Power-fail the heap and fully recover: re-attach the layout, restore
+    structure consistency (rolling back the WAL for log-based flavors) and
+    sweep the active pages. Returns the recovered instance, the recovery
+    time in seconds (crash excluded) and the number of leaked nodes freed. *)
+val crash_and_recover :
+  ?seed:int -> ?eviction_probability:float -> t -> t * float * int

@@ -1,0 +1,1 @@
+lib/kvcache/cache_intf.ml:

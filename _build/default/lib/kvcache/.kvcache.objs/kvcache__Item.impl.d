@@ -1,0 +1,1 @@
+lib/kvcache/item.ml: Cacheline Heap Lfds Nvm String Strpack

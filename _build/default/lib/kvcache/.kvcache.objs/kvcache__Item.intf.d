@@ -1,0 +1,1 @@
+lib/kvcache/item.mli: Lfds

@@ -1,0 +1,1 @@
+lib/kvcache/lru.ml: Fun Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/kvcache/memcached_volatile.ml: Cache_intf Fun Hashtbl Mutex String Unix

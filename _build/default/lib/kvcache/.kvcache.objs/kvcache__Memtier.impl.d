@@ -1,0 +1,1 @@
+lib/kvcache/memtier.ml: Cache_intf Printf Unix Workload

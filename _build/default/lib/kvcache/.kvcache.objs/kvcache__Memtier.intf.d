@@ -1,0 +1,1 @@
+lib/kvcache/memtier.mli: Cache_intf Workload

@@ -1,0 +1,1 @@
+lib/kvcache/nv_memcached.ml: Atomic Cache_intf Ctx Durable_hash Fun Item Lfds Lru Mutex Nv_epochs Nvm Recovery String Strpack Unix

@@ -1,0 +1,1 @@
+lib/kvcache/nv_memcached.mli: Cache_intf Lfds

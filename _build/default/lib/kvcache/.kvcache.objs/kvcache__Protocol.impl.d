@@ -1,0 +1,1 @@
+lib/kvcache/protocol.ml: Buffer Cache_intf List Printf String Unix

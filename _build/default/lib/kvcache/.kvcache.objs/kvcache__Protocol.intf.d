@@ -1,0 +1,1 @@
+lib/kvcache/protocol.mli: Cache_intf

@@ -1,0 +1,1 @@
+lib/kvcache/strpack.ml: Bytes Char Heap Lfds Nvm String

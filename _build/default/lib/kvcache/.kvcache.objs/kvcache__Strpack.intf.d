@@ -1,0 +1,1 @@
+lib/kvcache/strpack.mli: Nvm

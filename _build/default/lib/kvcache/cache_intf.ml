@@ -1,0 +1,18 @@
+(** Common runtime interface of the three Memcached builds (volatile,
+    clht-like, NV), so memtier and the text protocol drive them through one
+    code path.
+
+    Expiry times are absolute wall-clock seconds ([0.] = never); honoring
+    them lazily on [get] is each build's job. *)
+
+type ops = {
+  name : string;
+  set : tid:int -> key:string -> value:string -> unit;
+  set_ttl : tid:int -> key:string -> value:string -> expire_at:float -> unit;
+  get : tid:int -> key:string -> string option;
+  delete : tid:int -> key:string -> bool;
+  incr : tid:int -> key:string -> delta:int -> int option;
+      (** Add [delta] (may be negative) to a decimal value; [None] if the
+          key is absent or not a number. *)
+  count : unit -> int;
+}

@@ -1,0 +1,67 @@
+(** Durable cache items: immutable key/value blobs in slab memory.
+
+    The slab allocator is [Nvalloc] (pages = slabs, size classes = slab
+    classes) managed through NV-epochs, whose active page table {e is} the
+    "active slab table" of section 6.5: allocating or retiring an item marks
+    its slab active with a durable write only on a miss, and recovery sweeps
+    only the slabs active at crash time.
+
+    Layout: {v +0 key-hash  +1 (key_len << 24) | val_len  +2 expiry (ms since
+    epoch; 0 = never)  +3.. key bytes, then value bytes v} *)
+
+open Nvm
+
+let hash_of item = item
+let lens_of item = item + 1
+let expiry_of item = item + 2
+let key_words len = Strpack.words_needed len
+let key_addr item = item + 3
+let value_addr item ~key_len = item + 3 + key_words key_len
+
+let words_for ~key_len ~val_len =
+  let words = 3 + key_words key_len + Strpack.words_needed val_len in
+  let rounded =
+    (words + Cacheline.words_per_line - 1)
+    / Cacheline.words_per_line * Cacheline.words_per_line
+  in
+  if rounded > 64 then invalid_arg "Item: key+value too large (max ~420 bytes)";
+  rounded
+
+let key_len item heap ~tid = Heap.load heap ~tid (lens_of item) lsr 24
+let val_len item heap ~tid = Heap.load heap ~tid (lens_of item) land 0xFFFFFF
+
+(** Allocate and fully initialize an item; contents are persisted (together
+    with the slab metadata) before the address is returned, so linking it
+    into the durable hash table never exposes unwritten payload. *)
+let alloc ?(expire_at = 0.) ctx ~tid ~key ~value =
+  let heap = Lfds.Ctx.heap ctx in
+  let key_len = String.length key and val_len = String.length value in
+  let size_class = words_for ~key_len ~val_len in
+  let item = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
+  Heap.store heap ~tid (hash_of item) (Strpack.hash key);
+  Heap.store heap ~tid (lens_of item) ((key_len lsl 24) lor val_len);
+  Heap.store heap ~tid (expiry_of item) (int_of_float (expire_at *. 1000.));
+  Strpack.write heap ~tid ~addr:(key_addr item) key;
+  Strpack.write heap ~tid ~addr:(value_addr item ~key_len) value;
+  Lfds.Link_persist.persist_node ctx ~tid ~addr:item ~size_class;
+  (item, size_class)
+
+let read_key ctx ~tid item =
+  let heap = Lfds.Ctx.heap ctx in
+  Strpack.read heap ~tid ~addr:(key_addr item) ~len:(key_len item heap ~tid)
+
+let read_value ctx ~tid item =
+  let heap = Lfds.Ctx.heap ctx in
+  let key_len = key_len item heap ~tid in
+  Strpack.read heap ~tid ~addr:(value_addr item ~key_len)
+    ~len:(val_len item heap ~tid)
+
+let key_matches ctx ~tid item key = String.equal (read_key ctx ~tid item) key
+
+(** Absolute expiry in seconds since the epoch; [0.] = never. *)
+let expire_at ctx ~tid item =
+  float_of_int (Heap.load (Lfds.Ctx.heap ctx) ~tid (expiry_of item)) /. 1000.
+
+let expired ctx ~tid item ~now =
+  let e = expire_at ctx ~tid item in
+  e > 0. && e <= now

@@ -1,0 +1,29 @@
+(** Durable cache items: immutable key/value blobs in slab memory, with a
+    durable expiry stamp. The slab allocator is [Nvalloc] under NV-epochs,
+    whose active page table is the paper's "active slab table" (§6.5). *)
+
+(** Address of the item's key-hash word (what the durable hash table
+    indexes). *)
+val hash_of : int -> int
+
+(** Slab class (words) for a key/value pair; raises past ~420 bytes. *)
+val words_for : key_len:int -> val_len:int -> int
+
+(** Allocate and fully initialize an item; contents and slab metadata are
+    durable before the address is returned. Returns (address, class). *)
+val alloc :
+  ?expire_at:float ->
+  Lfds.Ctx.t ->
+  tid:int ->
+  key:string ->
+  value:string ->
+  int * int
+
+val read_key : Lfds.Ctx.t -> tid:int -> int -> string
+val read_value : Lfds.Ctx.t -> tid:int -> int -> string
+val key_matches : Lfds.Ctx.t -> tid:int -> int -> string -> bool
+
+(** Absolute expiry (seconds since epoch; [0.] = never). *)
+val expire_at : Lfds.Ctx.t -> tid:int -> int -> float
+
+val expired : Lfds.Ctx.t -> tid:int -> int -> now:float -> bool

@@ -1,0 +1,75 @@
+(** Volatile LRU index over heap item addresses.
+
+    Memcached's LRU chains are an eviction policy, not durable state: after a
+    restart NV-Memcached rebuilds them by iterating the recovered hash table
+    (section 6.5), so this lives entirely in OCaml memory, guarded by one
+    mutex (as memcached guards its LRU with a lock). *)
+
+type node = {
+  addr : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  tbl : (int, node) Hashtbl.t;
+  mutable head : node option;  (** most recent *)
+  mutable tail : node option;  (** eviction candidate *)
+  lock : Mutex.t;
+}
+
+let create () =
+  { tbl = Hashtbl.create 1024; head = None; tail = None; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+(** Register a (new) item as most recently used. *)
+let add t addr =
+  locked t (fun () ->
+      let n = { addr; prev = None; next = None } in
+      Hashtbl.replace t.tbl addr n;
+      push_front t n)
+
+(** Move an existing item to the front; no-op for unknown addresses. *)
+let touch t addr =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl addr with
+      | Some n ->
+          unlink t n;
+          push_front t n
+      | None -> ())
+
+(** Forget an item (deletion). *)
+let remove t addr =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl addr with
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.tbl addr
+      | None -> ())
+
+(** Pop the least recently used item, if any. *)
+let pop_lru t =
+  locked t (fun () ->
+      match t.tail with
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.tbl n.addr;
+          Some n.addr
+      | None -> None)
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)

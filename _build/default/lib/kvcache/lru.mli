@@ -1,0 +1,21 @@
+(** Volatile LRU index over heap item addresses. Eviction policy only —
+    never durable: recovery rebuilds it by walking the recovered hash table
+    (§6.5). One mutex, like memcached's LRU lock. *)
+
+type t
+
+val create : unit -> t
+
+(** Register a new item as most recently used. *)
+val add : t -> int -> unit
+
+(** Move to front; no-op for unknown addresses. *)
+val touch : t -> int -> unit
+
+(** Forget an item. *)
+val remove : t -> int -> unit
+
+(** Pop the least recently used item, if any. *)
+val pop_lru : t -> int option
+
+val length : t -> int

@@ -1,0 +1,84 @@
+(** Baseline Memcached core in plain OCaml memory: a lock-protected hash
+    table plus an LRU, mirroring stock Memcached's design (global lock,
+    volatile storage). Loses everything on restart — its "recovery" is the
+    warm-up that Figure 11 compares against. *)
+
+type entry = { mutable value : string; mutable stamp : int; mutable expire_at : float }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  { tbl = Hashtbl.create 4096; capacity; clock = 0; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let set_ttl t ~key ~value ~expire_at =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) && Hashtbl.length t.tbl >= t.capacity then
+        evict_lru t;
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.tbl key { value; stamp = t.clock; expire_at })
+
+let set t ~key ~value = set_ttl t ~key ~value ~expire_at:0.
+
+let get t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e when e.expire_at > 0. && e.expire_at <= Unix.gettimeofday () ->
+          Hashtbl.remove t.tbl key;
+          None
+      | Some e ->
+          t.clock <- t.clock + 1;
+          e.stamp <- t.clock;
+          Some e.value
+      | None -> None)
+
+let delete t ~key =
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl key then begin
+        Hashtbl.remove t.tbl key;
+        true
+      end
+      else false)
+
+let incr t ~key ~delta =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> (
+          match int_of_string_opt (String.trim e.value) with
+          | Some n ->
+              let n' = max 0 (n + delta) in
+              e.value <- string_of_int n';
+              Some n'
+          | None -> None)
+      | None -> None)
+
+let count t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let ops t =
+  {
+    Cache_intf.name = "memcached";
+    set = (fun ~tid:_ ~key ~value -> set t ~key ~value);
+    set_ttl = (fun ~tid:_ ~key ~value ~expire_at -> set_ttl t ~key ~value ~expire_at);
+    get = (fun ~tid:_ ~key -> get t ~key);
+    delete = (fun ~tid:_ ~key -> delete t ~key);
+    incr = (fun ~tid:_ ~key ~delta -> incr t ~key ~delta);
+    count = (fun () -> count t);
+  }

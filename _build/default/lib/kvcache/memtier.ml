@@ -1,0 +1,33 @@
+(** In-process memtier_benchmark equivalent (section 6.5).
+
+    Issues a configurable mix of [set] and [get] operations with keys drawn
+    uniformly at random from a key range, exactly like the paper's runs:
+    1:4 set:get ratio, configurable key range, warm-up covering half the key
+    range before measuring. The network layer of the real benchmark is
+    identical across the three compared systems and cancels out of the
+    comparison, so the generator drives the cache cores directly. *)
+
+let key_string n = Printf.sprintf "memtier-%012d" n
+
+let value_string n =
+  (* 24-byte payload derived from the key, so gets can be validated. *)
+  Printf.sprintf "value-%012d-%05d" n (n mod 99991)
+
+(** Populate half of the key range — the paper's warm-up. Returns seconds. *)
+let warmup (cache : Cache_intf.ops) ~nkeys =
+  let t0 = Unix.gettimeofday () in
+  for n = 0 to (nkeys / 2) - 1 do
+    cache.set ~tid:0 ~key:(key_string n) ~value:(value_string n)
+  done;
+  Unix.gettimeofday () -. t0
+
+(** Timed mixed run; [set_pct] of operations are sets (paper: 20 = 1:4). *)
+let run (cache : Cache_intf.ops) ~nthreads ~duration ~nkeys ?(set_pct = 20) ~seed () =
+  let step ~tid ~rng =
+    let n = Workload.Xoshiro.below rng nkeys in
+    let key = key_string n in
+    if Workload.Xoshiro.chance rng ~num:set_pct ~den:100 then
+      cache.set ~tid ~key ~value:(value_string n)
+    else ignore (cache.get ~tid ~key)
+  in
+  Workload.Run.throughput ~nthreads ~duration ~step ~seed ()

@@ -1,0 +1,22 @@
+(** In-process memtier_benchmark equivalent (§6.5): a configurable set/get
+    mix with uniform keys over a key range, plus the paper's warm-up
+    (populate half the range). Drives the cache cores directly — the
+    network layer is identical across the compared systems and cancels out. *)
+
+val key_string : int -> string
+val value_string : int -> string
+
+(** Populate half the key range; returns elapsed seconds. *)
+val warmup : Cache_intf.ops -> nkeys:int -> float
+
+(** Timed mixed run; [set_pct] of operations are sets (default 20 = the
+    paper's 1:4 set:get). *)
+val run :
+  Cache_intf.ops ->
+  nthreads:int ->
+  duration:float ->
+  nkeys:int ->
+  ?set_pct:int ->
+  seed:int ->
+  unit ->
+  Workload.Run.result

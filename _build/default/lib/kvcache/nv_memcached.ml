@@ -1,0 +1,175 @@
+(** NV-Memcached: a durable Memcached core (section 6.5).
+
+    Replaces Memcached's two central structures with durable versions built
+    from this library:
+
+    - the hash table is the log-free durable hash table (one Harris list per
+      bucket), keyed by a 48-bit hash of the item key, mapping to the item's
+      slab address;
+    - the slab allocator is [Nvalloc] driven through NV-epochs, whose active
+      page table plays the role of the paper's active slab table: items are
+      allocated and retired with durable logging only on a slab-table miss,
+      and recovery sweeps only the slabs that were active at the crash.
+
+    The LRU chains are volatile and rebuilt at recovery by walking the
+    recovered hash table — that walk {e is} the recovery-vs-warm-up
+    comparison of Figure 11.
+
+    The same module with a [Volatile]-mode context is "memcached-clht": the
+    identical lock-free table with all persistence compiled out. Hash
+    collisions between distinct keys (2^-48 per pair) behave like Memcached
+    evictions: the newer key wins. *)
+
+open Lfds
+
+type t = {
+  ctx : Ctx.t;
+  table : Durable_hash.t;
+  lru : Lru.t;
+  capacity : int;
+  count : int Atomic.t;
+  lock : Mutex.t;  (** serializes set/delete of the same hash slot *)
+}
+
+let create ctx ~nbuckets ~capacity =
+  {
+    ctx;
+    table = Durable_hash.create ctx ~nbuckets;
+    lru = Lru.create ();
+    capacity;
+    count = Atomic.make 0;
+    lock = Mutex.create ();
+  }
+
+let find_item t ~tid h =
+  match Durable_hash.search t.ctx t.table ~tid ~key:h with
+  | Some item -> Some item
+  | None -> None
+
+let evict_one t ~tid =
+  match Lru.pop_lru t.lru with
+  | None -> ()
+  | Some victim ->
+      let h = Nvm.Heap.load (Ctx.heap t.ctx) ~tid (Item.hash_of victim) in
+      if Durable_hash.remove t.ctx t.table ~tid ~key:h then begin
+        Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid victim;
+        ignore (Atomic.fetch_and_add t.count (-1))
+      end
+
+let set_ttl t ~tid ~key ~value ~expire_at =
+  let h = Strpack.hash key in
+  Ctx.with_op t.ctx ~tid (fun () ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          (match find_item t ~tid h with
+          | Some old_item ->
+              ignore (Durable_hash.remove t.ctx t.table ~tid ~key:h);
+              Lru.remove t.lru old_item;
+              Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid old_item;
+              ignore (Atomic.fetch_and_add t.count (-1))
+          | None -> ());
+          while Atomic.get t.count >= t.capacity do
+            evict_one t ~tid
+          done;
+          let item, _class = Item.alloc ~expire_at t.ctx ~tid ~key ~value in
+          ignore (Durable_hash.insert t.ctx t.table ~tid ~key:h ~value:item);
+          Lru.add t.lru item;
+          ignore (Atomic.fetch_and_add t.count 1)))
+
+let set t ~tid ~key ~value = set_ttl t ~tid ~key ~value ~expire_at:0.
+
+let rec get t ~tid ~key =
+  let h = Strpack.hash key in
+  let hit =
+    Ctx.with_op t.ctx ~tid (fun () ->
+        match find_item t ~tid h with
+        | Some item when Item.key_matches t.ctx ~tid item key ->
+            if Item.expired t.ctx ~tid item ~now:(Unix.gettimeofday ()) then
+              `Expired
+            else begin
+              Lru.touch t.lru item;
+              `Hit (Item.read_value t.ctx ~tid item)
+            end
+        | Some _ | None -> `Miss)
+  in
+  match hit with
+  | `Hit v -> Some v
+  | `Miss -> None
+  | `Expired ->
+      (* Lazy expiry, like memcached: reap on access. *)
+      ignore (delete t ~tid ~key);
+      None
+
+and delete t ~tid ~key =
+  let h = Strpack.hash key in
+  Ctx.with_op t.ctx ~tid (fun () ->
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          match find_item t ~tid h with
+          | Some item when Item.key_matches t.ctx ~tid item key ->
+              ignore (Durable_hash.remove t.ctx t.table ~tid ~key:h);
+              Lru.remove t.lru item;
+              Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid item;
+              ignore (Atomic.fetch_and_add t.count (-1));
+              true
+          | Some _ | None -> false))
+
+let incr t ~tid ~key ~delta =
+  match get t ~tid ~key with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | None -> None
+      | Some n ->
+          let n' = max 0 (n + delta) in
+          set t ~tid ~key ~value:(string_of_int n');
+          Some n')
+
+let count t = Atomic.get t.count
+
+(** Recover a crashed NV-Memcached: restore hash-table consistency, sweep the
+    active slabs for allocated-but-unreachable items, rebuild the volatile
+    LRU and item count. Returns the recovered instance. *)
+let recover ctx ~nbuckets ~capacity ~active_pages =
+  let table = Durable_hash.attach ctx ~nbuckets in
+  Durable_hash.recover_consistency ctx table;
+  (* Reachable = hash nodes plus the items their values point to. *)
+  let iter f =
+    Durable_hash.iter_nodes ctx table (fun node ~deleted ->
+        f node;
+        if not deleted then
+          f (Nvm.Heap.load (Ctx.heap ctx) ~tid:0 (node + 1)))
+  in
+  ignore (Recovery.sweep_traversal ctx ~active_pages ~iter);
+  let t =
+    {
+      ctx;
+      table;
+      lru = Lru.create ();
+      capacity;
+      count = Atomic.make 0;
+      lock = Mutex.create ();
+    }
+  in
+  Durable_hash.iter_nodes ctx table (fun node ~deleted ->
+      if not deleted then begin
+        let item = Nvm.Heap.load (Ctx.heap ctx) ~tid:0 (node + 1) in
+        Lru.add t.lru item;
+        ignore (Atomic.fetch_and_add t.count 1)
+      end);
+  t
+
+let ops ?(name = "nv-memcached") t =
+  {
+    Cache_intf.name;
+    set = (fun ~tid ~key ~value -> set t ~tid ~key ~value);
+    set_ttl = (fun ~tid ~key ~value ~expire_at -> set_ttl t ~tid ~key ~value ~expire_at);
+    get = (fun ~tid ~key -> get t ~tid ~key);
+    delete = (fun ~tid ~key -> delete t ~tid ~key);
+    incr = (fun ~tid ~key ~delta -> incr t ~tid ~key ~delta);
+    count = (fun () -> count t);
+  }

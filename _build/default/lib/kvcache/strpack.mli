@@ -1,0 +1,12 @@
+(** Packing strings into heap words: seven characters per 64-bit word so
+    packed words never set the sign bit of the 63-bit simulated heap. *)
+
+val bytes_per_word : int
+val words_needed : int -> int
+
+(** FNV-1a hash folded into the positive key space (never 0) — the durable
+    hash table's key for an item. *)
+val hash : string -> int
+
+val write : Nvm.Heap.t -> tid:int -> addr:int -> string -> unit
+val read : Nvm.Heap.t -> tid:int -> addr:int -> len:int -> string

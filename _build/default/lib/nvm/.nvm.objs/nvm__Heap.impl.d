@@ -1,0 +1,1 @@
+lib/nvm/heap.ml: Array Atomic Bytes Cacheline Latency_model Printf Pstats Random

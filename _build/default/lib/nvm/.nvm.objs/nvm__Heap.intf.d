@@ -1,0 +1,1 @@
+lib/nvm/heap.mli: Latency_model Pstats

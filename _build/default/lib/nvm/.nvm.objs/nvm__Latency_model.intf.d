@@ -1,0 +1,1 @@
+lib/nvm/latency_model.mli:

@@ -1,0 +1,1 @@
+lib/nvm/marked_ptr.ml: Format

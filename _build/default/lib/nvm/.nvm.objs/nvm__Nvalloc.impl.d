@@ -1,0 +1,1 @@
+lib/nvm/nvalloc.ml: Array Atomic Cacheline Hashtbl Heap List Mutex Pstats Queue

@@ -1,0 +1,1 @@
+lib/nvm/nvalloc.mli: Heap

@@ -1,0 +1,1 @@
+lib/nvm/pstats.ml: Array Format

@@ -1,0 +1,26 @@
+(** Cache-line geometry of the simulated machine.
+
+    The simulated persistent heap is an array of 64-bit words. Durability is
+    tracked at cache-line granularity, exactly as on real hardware: a
+    [clwb]-style write-back always transfers a whole 64-byte line. *)
+
+(** Number of 64-bit words per cache line (64 bytes). *)
+let words_per_line = 8
+
+(** [log2 words_per_line], used to turn word addresses into line indices. *)
+let line_shift = 3
+
+(** Line index containing word address [addr]. *)
+let line_of_addr addr = addr lsr line_shift
+
+(** First word address of line [line]. *)
+let addr_of_line line = line lsl line_shift
+
+(** Word address of the start of the line containing [addr]. *)
+let align_down addr = addr land lnot (words_per_line - 1)
+
+(** Smallest line-aligned address [>= addr]. *)
+let align_up addr = (addr + words_per_line - 1) land lnot (words_per_line - 1)
+
+(** Whether [addr] is the first word of a cache line. *)
+let is_aligned addr = addr land (words_per_line - 1) = 0

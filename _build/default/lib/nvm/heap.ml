@@ -1,0 +1,257 @@
+(** Simulated persistent memory.
+
+    The heap is a flat array of 64-bit words with two images:
+
+    - the {e volatile} image — what loads, stores and CAS observe. It stands
+      for the CPU caches plus the memory as seen through them;
+    - the {e durable} image — what survives a crash. It stands for the bytes
+      physically resident in NVRAM.
+
+    A store only touches the volatile image and marks its cache line dirty.
+    Data moves to the durable image when
+
+    - the program issues a write-back ([write_back], the [clwb] analogue)
+      followed by a [fence] (the [sfence] analogue) — the guaranteed path; or
+    - the simulated cache {e evicts} the line: at crash time every dirty line
+      is independently written back with probability [eviction_probability],
+      modelling the fact that programs do not control eviction order.
+
+    [fence] drains the calling domain's pending write-backs and charges the
+    NVRAM write latency {e once per batch} (section 6.1 of the paper: several
+    outstanding [clwb]s complete in parallel).
+
+    Crash injection for tests: [set_trip] arms a countdown decremented by
+    every primitive; when it reaches zero the primitive raises [Crashed],
+    aborting the operation mid-flight. [crash] then produces the post-restart
+    state. This exposes every intermediate state an algorithm can leave in
+    NVRAM, which is exactly what durable linearizability quantifies over. *)
+
+exception Crashed
+
+(** Which write-back instruction the program uses (section 2 of the paper):
+    [Clwb] writes back without invalidating and batches under one fence;
+    [Clflushopt] also batches but invalidates the line (the next load pays
+    an NVRAM read); [Clflush] additionally serializes — every write-back
+    completes immediately, alone. *)
+type wb_instruction = Clwb | Clflushopt | Clflush
+
+type t = {
+  size_words : int;
+  volatile : int Atomic.t array;
+  durable : int array;
+  dirty : Bytes.t;  (** one byte per cache line; 0 = clean *)
+  pending : int array array;  (** per-tid buffer of lines awaiting fence *)
+  pending_n : int array;  (** per-tid count of valid entries in [pending] *)
+  latency : Latency_model.t;
+  stats : Pstats.registry;
+  mutable trip : int;  (** crash-injection countdown; -1 = disarmed *)
+  invalid : Bytes.t;  (** lines invalidated by clflush/clflushopt *)
+  mutable wb_instruction : wb_instruction;
+}
+
+let max_pending = 4096
+
+let create ?(latency = Latency_model.no_injection ()) ~size_words () =
+  if size_words <= 0 then invalid_arg "Heap.create: size";
+  let lines = Cacheline.line_of_addr (size_words - 1) + 1 in
+  {
+    size_words;
+    volatile = Array.init size_words (fun _ -> Atomic.make 0);
+    durable = Array.make size_words 0;
+    dirty = Bytes.make lines '\000';
+    pending = Array.init Pstats.max_threads (fun _ -> Array.make max_pending 0);
+    pending_n = Array.make Pstats.max_threads 0;
+    latency;
+    stats = Pstats.make_registry ();
+    trip = -1;
+    invalid = Bytes.make lines '\000';
+    wb_instruction = Clwb;
+  }
+
+let size_words t = t.size_words
+let set_wb_instruction t kind = t.wb_instruction <- kind
+let wb_instruction t = t.wb_instruction
+let latency t = t.latency
+let stats t tid = Pstats.get t.stats tid
+let aggregate_stats t = Pstats.aggregate t.stats
+let reset_stats t = Pstats.reset_registry t.stats
+
+(* Crash injection. *)
+
+let set_trip t n = t.trip <- n
+let disarm_trip t = t.trip <- -1
+
+let tick t =
+  if t.trip >= 0 then begin
+    if t.trip = 0 then begin
+      t.trip <- -1;
+      raise Crashed
+    end;
+    t.trip <- t.trip - 1
+  end
+
+(* Primitive accesses. *)
+
+let check t addr =
+  if addr < 0 || addr >= t.size_words then
+    invalid_arg (Printf.sprintf "Heap: address %d out of bounds" addr)
+
+let mark_dirty t addr = Bytes.unsafe_set t.dirty (Cacheline.line_of_addr addr) '\001'
+
+let load t ~tid addr =
+  check t addr;
+  (Pstats.get t.stats tid).loads <- (Pstats.get t.stats tid).loads + 1;
+  let line = Cacheline.line_of_addr addr in
+  if Bytes.unsafe_get t.invalid line <> '\000' then begin
+    (* The line was invalidated by a flush: this load misses to NVRAM. *)
+    Bytes.unsafe_set t.invalid line '\000';
+    if t.latency.Latency_model.inject then
+      Latency_model.spin_ns t.latency.Latency_model.nvram_read_ns
+  end;
+  Atomic.get t.volatile.(addr)
+
+let store t ~tid addr v =
+  check t addr;
+  tick t;
+  (Pstats.get t.stats tid).stores <- (Pstats.get t.stats tid).stores + 1;
+  Atomic.set t.volatile.(addr) v;
+  mark_dirty t addr
+
+let cas t ~tid addr ~expected ~desired =
+  check t addr;
+  tick t;
+  (Pstats.get t.stats tid).cas <- (Pstats.get t.stats tid).cas + 1;
+  let ok = Atomic.compare_and_set t.volatile.(addr) expected desired in
+  if ok then mark_dirty t addr;
+  ok
+
+let fetch_add t ~tid addr delta =
+  check t addr;
+  tick t;
+  (Pstats.get t.stats tid).cas <- (Pstats.get t.stats tid).cas + 1;
+  let v = Atomic.fetch_and_add t.volatile.(addr) delta in
+  mark_dirty t addr;
+  v
+
+(* Write-backs and fences. *)
+
+let drain_line t line =
+  let base = Cacheline.addr_of_line line in
+  let hi = min (base + Cacheline.words_per_line) t.size_words in
+  Bytes.unsafe_set t.dirty line '\000';
+  for a = base to hi - 1 do
+    t.durable.(a) <- Atomic.get t.volatile.(a)
+  done
+
+let rec write_back t ~tid addr =
+  check t addr;
+  tick t;
+  let st = Pstats.get t.stats tid in
+  st.write_backs <- st.write_backs + 1;
+  let line = Cacheline.line_of_addr addr in
+  (match t.wb_instruction with
+  | Clwb -> ()
+  | Clflushopt | Clflush -> Bytes.unsafe_set t.invalid line '\001');
+  if t.wb_instruction = Clflush then begin
+    (* clflush is ordered: it completes by itself, with no batching. *)
+    drain_line t line;
+    st.sync_batches <- st.sync_batches + 1;
+    st.lines_drained <- st.lines_drained + 1;
+    Latency_model.charge_sync t.latency
+  end
+  else
+  let buf = t.pending.(tid) and n = t.pending_n.(tid) in
+  let rec seen i = i < n && (buf.(i) = line || seen (i + 1)) in
+  if not (seen 0) then
+    if n < max_pending then begin
+      buf.(n) <- line;
+      t.pending_n.(tid) <- n + 1
+    end
+    else begin
+      (* The write-combining queue is full: hardware drains it on its own.
+         Model that as an implicit batch completion, then retry. *)
+      st.sync_batches <- st.sync_batches + 1;
+      st.lines_drained <- st.lines_drained + n;
+      for i = 0 to n - 1 do
+        drain_line t buf.(i)
+      done;
+      t.pending_n.(tid) <- 0;
+      Latency_model.charge_sync t.latency;
+      st.write_backs <- st.write_backs - 1;
+      write_back t ~tid addr
+    end
+
+let fence t ~tid =
+  tick t;
+  let st = Pstats.get t.stats tid in
+  st.fences <- st.fences + 1;
+  let n = t.pending_n.(tid) in
+  if n > 0 then begin
+    st.sync_batches <- st.sync_batches + 1;
+    st.lines_drained <- st.lines_drained + n;
+    let buf = t.pending.(tid) in
+    for i = 0 to n - 1 do
+      drain_line t buf.(i)
+    done;
+    t.pending_n.(tid) <- 0;
+    (* One batch of parallel write-backs completes in ~one NVRAM write. *)
+    Latency_model.charge_sync t.latency
+  end
+
+(** [persist t ~tid addr] = write-back + fence of a single line: the
+    non-batched sync operation. *)
+let persist t ~tid addr =
+  write_back t ~tid addr;
+  fence t ~tid
+
+(** Write back every dirty line and wait: a clean shutdown. *)
+let flush_all t ~tid =
+  let lines = Bytes.length t.dirty in
+  for line = 0 to lines - 1 do
+    if Bytes.unsafe_get t.dirty line <> '\000' then drain_line t line
+  done;
+  Array.fill t.pending_n 0 (Array.length t.pending_n) 0;
+  let st = Pstats.get t.stats tid in
+  st.fences <- st.fences + 1;
+  Latency_model.charge_sync t.latency
+
+(* Crash and restart. *)
+
+(** [crash t ~seed ~eviction_probability] simulates a power failure followed
+    by a restart. Must be called when no other domain is accessing the heap.
+
+    Every line still dirty (including lines with a pending but un-fenced
+    write-back) is independently flushed to the durable image with probability
+    [eviction_probability]; all other dirty lines lose their volatile
+    contents. The volatile image is then reloaded from the durable image, as
+    after a reboot that maps the NVRAM region back at the same addresses. *)
+let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
+  t.trip <- -1;
+  let rng = Random.State.make [| seed |] in
+  let lines = Bytes.length t.dirty in
+  for line = 0 to lines - 1 do
+    if Bytes.unsafe_get t.dirty line <> '\000' then begin
+      if Random.State.float rng 1.0 < eviction_probability then drain_line t line
+      else Bytes.unsafe_set t.dirty line '\000'
+    end
+  done;
+  Array.fill t.pending_n 0 (Array.length t.pending_n) 0;
+  for a = 0 to t.size_words - 1 do
+    Atomic.set t.volatile.(a) t.durable.(a)
+  done
+
+(* Introspection for tests. *)
+
+(** Contents of the durable image, bypassing the volatile image. *)
+let durable_load t addr =
+  check t addr;
+  t.durable.(addr)
+
+let line_is_dirty t addr = Bytes.get t.dirty (Cacheline.line_of_addr addr) <> '\000'
+
+let dirty_line_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.dirty;
+  !n
+
+let pending_count t ~tid = t.pending_n.(tid)

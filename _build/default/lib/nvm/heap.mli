@@ -1,0 +1,101 @@
+(** Simulated persistent memory.
+
+    The heap is a flat array of 64-bit words with two images: the
+    {e volatile} image (what loads, stores and CAS observe — the CPU caches
+    plus memory as seen through them) and the {e durable} image (what
+    survives a crash — the bytes physically resident in NVRAM).
+
+    A store only touches the volatile image and marks its cache line dirty.
+    Data moves to the durable image when the program issues a write-back
+    ([write_back], the [clwb] analogue) followed by a [fence] (the [sfence]
+    analogue), or when the simulated cache {e evicts} the line: at crash
+    time every dirty line is independently written back with probability
+    [eviction_probability], modelling that programs do not control eviction
+    order.
+
+    All addresses are word indices. Each domain passes its [tid] (a small
+    integer, unique per running domain) so write-back queues and statistics
+    stay race-free. *)
+
+type t
+
+(** Raised by a primitive when the crash trip-wire (see [set_trip]) fires. *)
+exception Crashed
+
+(** Which write-back instruction the program uses (paper section 2):
+    [Clwb] (default) writes back without invalidating and batches under one
+    fence; [Clflushopt] batches but invalidates (the next load of the line
+    pays an NVRAM read); [Clflush] additionally serializes — every
+    write-back completes alone, immediately. *)
+type wb_instruction = Clwb | Clflushopt | Clflush
+
+(** [create ~latency ~size_words ()] allocates a zeroed heap. [latency]
+    defaults to a no-injection model (functional tests). *)
+val create : ?latency:Latency_model.t -> size_words:int -> unit -> t
+
+val size_words : t -> int
+val latency : t -> Latency_model.t
+val set_wb_instruction : t -> wb_instruction -> unit
+val wb_instruction : t -> wb_instruction
+
+(** {1 Primitive accesses}
+
+    All primitives raise [Invalid_argument] on out-of-bounds addresses and
+    participate in crash injection (see [set_trip]). *)
+
+val load : t -> tid:int -> int -> int
+val store : t -> tid:int -> int -> int -> unit
+val cas : t -> tid:int -> int -> expected:int -> desired:int -> bool
+
+(** Atomic fetch-and-add; returns the previous value. *)
+val fetch_add : t -> tid:int -> int -> int -> int
+
+(** {1 Durability}
+
+    [write_back] requests an asynchronous line write-back (deduplicated per
+    domain); [fence] waits for the domain's outstanding write-backs,
+    charging the NVRAM write latency once per batch (the paper's batched
+    [clwb] cost model, section 6.1). *)
+
+val write_back : t -> tid:int -> int -> unit
+val fence : t -> tid:int -> unit
+
+(** [persist t ~tid addr] = [write_back] + [fence]: one non-batched sync. *)
+val persist : t -> tid:int -> int -> unit
+
+(** Write back every dirty line and wait — a clean shutdown. *)
+val flush_all : t -> tid:int -> unit
+
+(** {1 Crash and restart} *)
+
+(** [crash ?seed ?eviction_probability t] simulates a power failure and
+    restart: each dirty (or pending) line reaches the durable image with
+    probability [eviction_probability] (default 0.5); the volatile image is
+    then reloaded from the durable one. Call only while no other domain is
+    accessing the heap. *)
+val crash : ?seed:int -> ?eviction_probability:float -> t -> unit
+
+(** {1 Crash injection}
+
+    [set_trip t n] arms a countdown decremented by every store / CAS /
+    write-back / fence; the primitive that reaches zero raises [Crashed],
+    aborting the enclosing operation mid-flight (then the trip-wire disarms
+    itself). Single-domain use. *)
+
+val set_trip : t -> int -> unit
+val disarm_trip : t -> unit
+
+(** {1 Statistics} *)
+
+val stats : t -> int -> Pstats.t
+val aggregate_stats : t -> Pstats.t
+val reset_stats : t -> unit
+
+(** {1 Introspection (tests)} *)
+
+(** Contents of the durable image, bypassing the volatile image. *)
+val durable_load : t -> int -> int
+
+val line_is_dirty : t -> int -> bool
+val dirty_line_count : t -> int
+val pending_count : t -> tid:int -> int

@@ -1,0 +1,71 @@
+(** Latency model of the simulated memory hierarchy.
+
+    Reproduces the cost assumptions of the paper's evaluation (Table 1 and
+    section 6.1): NVRAM writes are the dominant cost; a sync operation (one or
+    more [clwb]s followed by a store fence) waits for the NVRAM write latency
+    {e once per batch} of outstanding write-backs, reflecting Intel's guidance
+    that multiple line write-backs proceed in parallel.
+
+    Since we have no NVRAM, the wait is an injected, calibrated busy-wait, the
+    same methodology used by the paper itself on pre-NVRAM hardware. Injection
+    can be disabled ([inject = false]) for functional tests, where only the
+    event {e counts} matter. *)
+
+type t = {
+  mutable nvram_write_ns : int;  (** write-back completion latency (ns) *)
+  mutable nvram_read_ns : int;  (** uncached read latency (ns); informational *)
+  dram_read_ns : int;  (** DRAM read latency (ns); informational *)
+  dram_write_ns : int;  (** DRAM write latency (ns); informational *)
+  mutable inject : bool;  (** busy-wait on fences when true *)
+}
+
+(** Projected latencies from Table 1 of the paper. The default write latency,
+    125 ns, is the average of the projected PCM (150 ns) and Memristor
+    (100 ns) write latencies, matching section 6.1. *)
+let default () =
+  {
+    nvram_write_ns = 125;
+    nvram_read_ns = 60;
+    dram_read_ns = 50;
+    dram_write_ns = 50;
+    inject = true;
+  }
+
+(** A model that records events but never waits; used by unit tests. *)
+let no_injection () =
+  let t = default () in
+  t.inject <- false;
+  t
+
+let set_write_latency t ns = t.nvram_write_ns <- ns
+
+(* Busy-wait calibration: measure how many iterations of a spin loop fit in a
+   microsecond, once, at first use. The loop body is kept opaque to the
+   optimizer through [Sys.opaque_identity]. *)
+
+let spin_iterations n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := Sys.opaque_identity (!acc + i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let iters_per_us : float Lazy.t =
+  lazy
+    (let trial = 200_000 in
+     let t0 = Unix.gettimeofday () in
+     spin_iterations trial;
+     let t1 = Unix.gettimeofday () in
+     let elapsed_us = (t1 -. t0) *. 1e6 in
+     if elapsed_us <= 0. then 1000. else float_of_int trial /. elapsed_us)
+
+(** Busy-wait for approximately [ns] nanoseconds. *)
+let spin_ns ns =
+  if ns > 0 then begin
+    let iters = int_of_float (Lazy.force iters_per_us *. float_of_int ns /. 1000.) in
+    spin_iterations (max 1 iters)
+  end
+
+(** Charge the cost of completing one batch of outstanding write-backs:
+    busy-waits one NVRAM write latency if injection is enabled. *)
+let charge_sync t = if t.inject then spin_ns t.nvram_write_ns

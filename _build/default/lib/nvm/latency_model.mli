@@ -1,0 +1,27 @@
+(** Latency model of the simulated memory hierarchy (paper Table 1 and
+    section 6.1): sync operations busy-wait one NVRAM write latency per
+    batch of outstanding write-backs — the same injection methodology the
+    paper used on pre-NVRAM hardware. *)
+
+type t = {
+  mutable nvram_write_ns : int;  (** write-back completion latency *)
+  mutable nvram_read_ns : int;  (** uncached read latency (clflush misses) *)
+  dram_read_ns : int;
+  dram_write_ns : int;
+  mutable inject : bool;  (** busy-wait on syncs when true *)
+}
+
+(** Table-1 projections; the default 125 ns write is the average of the
+    projected PCM and Memristor write latencies (section 6.1). *)
+val default : unit -> t
+
+(** Counts events but never waits (unit tests). *)
+val no_injection : unit -> t
+
+val set_write_latency : t -> int -> unit
+
+(** Calibrated busy-wait of approximately [ns] nanoseconds. *)
+val spin_ns : int -> unit
+
+(** Charge one batch completion (waits iff injection is enabled). *)
+val charge_sync : t -> unit

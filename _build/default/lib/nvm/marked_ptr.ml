@@ -1,0 +1,62 @@
+(** Tagged heap pointers.
+
+    Heap addresses are word indices into the simulated persistent heap. All
+    nodes are cache-line (8-word) aligned, so the low three bits of a link
+    word are available for marks, exactly like low-order pointer tagging on
+    real hardware:
+
+    - bit 0 ([delete]) - Harris-style logical-deletion mark, also used as the
+      Natarajan-Mittal FLAG on BST edges;
+    - bit 1 ([unflushed]) - the link-and-persist mark of section 3: set while
+      the link's new value may not have reached NVRAM yet;
+    - bit 2 ([tag]) - the Natarajan-Mittal TAG bit on BST edges.
+
+    The functions here are total and pure; they compile to a handful of
+    integer instructions. *)
+
+type t = int
+
+(** The null pointer. Address 0 is reserved by the heap layout so that no
+    valid node can live there. *)
+let null = 0
+
+let delete_bit = 1
+let unflushed_bit = 2
+let tag_bit = 4
+let mark_mask = delete_bit lor unflushed_bit lor tag_bit
+
+(** Strip all marks, leaving the word address. *)
+let addr r = r land lnot mark_mask
+
+let is_null r = addr r = 0
+let is_deleted r = r land delete_bit <> 0
+let is_unflushed r = r land unflushed_bit <> 0
+let is_tagged r = r land tag_bit <> 0
+let marks r = r land mark_mask
+
+let with_delete r = r lor delete_bit
+let with_unflushed r = r lor unflushed_bit
+let with_tag r = r lor tag_bit
+let clear_delete r = r land lnot delete_bit
+let clear_unflushed r = r land lnot unflushed_bit
+let clear_tag r = r land lnot tag_bit
+
+(** [make a ~delete ~unflushed ~tag] builds a marked pointer from an aligned
+    address. Raises [Invalid_argument] if [a] is not 8-word aligned. *)
+let make a ~delete ~unflushed ~tag =
+  if a land mark_mask <> 0 then invalid_arg "Marked_ptr.make: unaligned address";
+  a
+  lor (if delete then delete_bit else 0)
+  lor (if unflushed then unflushed_bit else 0)
+  lor if tag then tag_bit else 0
+
+let equal (a : t) (b : t) = a = b
+
+(** Equality of the addresses, ignoring marks. *)
+let same_addr a b = addr a = addr b
+
+let pp ppf r =
+  Format.fprintf ppf "%d%s%s%s" (addr r)
+    (if is_deleted r then "!d" else "")
+    (if is_unflushed r then "!u" else "")
+    (if is_tagged r then "!t" else "")

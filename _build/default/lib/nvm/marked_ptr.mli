@@ -1,0 +1,45 @@
+(** Tagged heap pointers.
+
+    Heap addresses are word indices; nodes are cache-line (8-word) aligned,
+    so the low three bits of a link word carry marks, like low-order pointer
+    tagging on real hardware:
+
+    - bit 0: Harris-style logical-deletion mark / Natarajan-Mittal FLAG;
+    - bit 1: the link-and-persist "unflushed" mark (section 3);
+    - bit 2: the Natarajan-Mittal TAG.
+
+    All functions are pure and total. *)
+
+type t = int
+
+(** The null pointer (address 0 is reserved by the heap layout). *)
+val null : t
+
+(** Strip all marks, leaving the word address. *)
+val addr : t -> int
+
+val is_null : t -> bool
+val is_deleted : t -> bool
+val is_unflushed : t -> bool
+val is_tagged : t -> bool
+
+(** The mark bits alone. *)
+val marks : t -> int
+
+val with_delete : t -> t
+val with_unflushed : t -> t
+val with_tag : t -> t
+val clear_delete : t -> t
+val clear_unflushed : t -> t
+val clear_tag : t -> t
+
+(** [make a ~delete ~unflushed ~tag] builds a marked pointer from an aligned
+    address; raises [Invalid_argument] if [a] is not 8-word aligned. *)
+val make : int -> delete:bool -> unflushed:bool -> tag:bool -> t
+
+val equal : t -> t -> bool
+
+(** Address equality, ignoring marks. *)
+val same_addr : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

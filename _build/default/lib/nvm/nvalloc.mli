@@ -1,0 +1,64 @@
+(** Persistent page/size-class allocator (the paper's modified jemalloc,
+    section 5.3).
+
+    The managed span is split into fixed-size pages; each page serves one
+    size class and stores its durable metadata — a status word and an
+    allocation bitmap — in its first cache line. Pages are owned whole by
+    one thread, so consecutive allocations are page-local (the locality
+    NV-epochs exploits), and freed slots are recycled one page at a time
+    (jemalloc-run style) so recycled allocation keeps that locality too.
+
+    Durability contract: metadata updates issue write-backs but never wait;
+    the structure's pre-link fence covers them, establishing that a durably
+    linked node always has a durably set bitmap bit (section 5.5). *)
+
+type t
+
+exception Out_of_memory
+
+(** [create heap ~base ~size_words ~page_words ()] manages
+    [base, base+size_words) split into [page_words]-word pages (default 512
+    words = 4 KiB). [base] must be cache-line aligned. *)
+val create :
+  Heap.t -> base:int -> size_words:int -> ?page_words:int -> unit -> t
+
+(** Rebuild volatile allocator state from durable page metadata after a
+    crash. Free slots of surviving pages are dealt page-wise to the first
+    [nthreads] thread caches; uninitialized pages return to the pool. *)
+val recover :
+  Heap.t ->
+  base:int ->
+  size_words:int ->
+  ?page_words:int ->
+  ?nthreads:int ->
+  unit ->
+  t
+
+(** Allocate a slot of [size_class] words (multiple of 8, at most 64). The
+    bitmap bit is set durably (write-back issued, not awaited). *)
+val alloc : t -> tid:int -> size_class:int -> int
+
+(** Address the next [alloc] with the same arguments will return — the hook
+    NV-epochs needs to mark a page active {e before} allocating (Fig. 4). *)
+val next_alloc_addr : t -> tid:int -> size_class:int -> int
+
+(** Clear the slot's bitmap bit (write-back issued, not awaited) and recycle
+    it into the calling thread's cache. *)
+val free : t -> tid:int -> int -> unit
+
+(** Base address of the page containing an address; [Invalid_argument] if
+    outside the managed span. *)
+val page_of : t -> int -> int
+
+val page_words : t -> int
+val size_class_of : t -> tid:int -> int -> int
+
+(** Iterate the addresses of all allocated slots of one page, per the
+    durable bitmap (the recovery sweep's source of truth). *)
+val iter_allocated : t -> tid:int -> page:int -> (int -> unit) -> unit
+
+(** All initialized page base addresses (sequential use). *)
+val initialized_pages : t -> tid:int -> int list
+
+(** Number of allocated slots across all initialized pages (sequential). *)
+val allocated_count : t -> tid:int -> int

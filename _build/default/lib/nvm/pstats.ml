@@ -1,0 +1,119 @@
+(** Per-domain event counters for the persistence substrate.
+
+    Every domain (identified by a small integer [tid]) owns one record, so
+    counting is race-free and cheap. [aggregate] sums over all domains for
+    reporting. The counters are the raw material for several figures of the
+    paper: sync-operation counts drive the throughput ratios of Figures 5-8,
+    and the active-page-table hit counters drive Figure 9a. *)
+
+(** Maximum number of concurrently running domains the library supports. *)
+let max_threads = 64
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable cas : int;
+  mutable write_backs : int;  (** clwb-style line write-back requests *)
+  mutable fences : int;  (** store fences issued *)
+  mutable sync_batches : int;  (** fences that had to drain pending lines *)
+  mutable lines_drained : int;  (** total lines made durable by fences *)
+  mutable log_entries : int;  (** redo-log entries written (baselines) *)
+  mutable apt_hits : int;  (** active-page-table hits (no durable write) *)
+  mutable apt_misses : int;  (** active-page-table misses (durable write) *)
+  mutable apt_alloc_hits : int;  (** hits on the allocation path (Fig. 9a) *)
+  mutable apt_alloc_misses : int;
+  mutable apt_unlink_hits : int;  (** hits on the unlink path (Fig. 9a) *)
+  mutable apt_unlink_misses : int;
+  mutable lc_adds : int;  (** successful link-cache insertions *)
+  mutable lc_fails : int;  (** link-cache insertions that fell back *)
+  mutable lc_flushes : int;  (** link-cache bucket flushes *)
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let make () =
+  {
+    loads = 0;
+    stores = 0;
+    cas = 0;
+    write_backs = 0;
+    fences = 0;
+    sync_batches = 0;
+    lines_drained = 0;
+    log_entries = 0;
+    apt_hits = 0;
+    apt_misses = 0;
+    apt_alloc_hits = 0;
+    apt_alloc_misses = 0;
+    apt_unlink_hits = 0;
+    apt_unlink_misses = 0;
+    lc_adds = 0;
+    lc_fails = 0;
+    lc_flushes = 0;
+    allocs = 0;
+    frees = 0;
+  }
+
+let copy t = { t with loads = t.loads }
+
+let reset t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.cas <- 0;
+  t.write_backs <- 0;
+  t.fences <- 0;
+  t.sync_batches <- 0;
+  t.lines_drained <- 0;
+  t.log_entries <- 0;
+  t.apt_hits <- 0;
+  t.apt_misses <- 0;
+  t.apt_alloc_hits <- 0;
+  t.apt_alloc_misses <- 0;
+  t.apt_unlink_hits <- 0;
+  t.apt_unlink_misses <- 0;
+  t.lc_adds <- 0;
+  t.lc_fails <- 0;
+  t.lc_flushes <- 0;
+  t.allocs <- 0;
+  t.frees <- 0
+
+let add ~into t =
+  into.loads <- into.loads + t.loads;
+  into.stores <- into.stores + t.stores;
+  into.cas <- into.cas + t.cas;
+  into.write_backs <- into.write_backs + t.write_backs;
+  into.fences <- into.fences + t.fences;
+  into.sync_batches <- into.sync_batches + t.sync_batches;
+  into.lines_drained <- into.lines_drained + t.lines_drained;
+  into.log_entries <- into.log_entries + t.log_entries;
+  into.apt_hits <- into.apt_hits + t.apt_hits;
+  into.apt_misses <- into.apt_misses + t.apt_misses;
+  into.apt_alloc_hits <- into.apt_alloc_hits + t.apt_alloc_hits;
+  into.apt_alloc_misses <- into.apt_alloc_misses + t.apt_alloc_misses;
+  into.apt_unlink_hits <- into.apt_unlink_hits + t.apt_unlink_hits;
+  into.apt_unlink_misses <- into.apt_unlink_misses + t.apt_unlink_misses;
+  into.lc_adds <- into.lc_adds + t.lc_adds;
+  into.lc_fails <- into.lc_fails + t.lc_fails;
+  into.lc_flushes <- into.lc_flushes + t.lc_flushes;
+  into.allocs <- into.allocs + t.allocs;
+  into.frees <- into.frees + t.frees
+
+type registry = t array
+
+let make_registry () = Array.init max_threads (fun _ -> make ())
+let get (r : registry) tid = r.(tid)
+
+let aggregate (r : registry) =
+  let total = make () in
+  Array.iter (fun t -> add ~into:total t) r;
+  total
+
+let reset_registry (r : registry) = Array.iter reset r
+
+let pp ppf t =
+  Format.fprintf ppf
+    "loads=%d stores=%d cas=%d wb=%d fences=%d syncs=%d drained=%d log=%d \
+     apt_hit=%d apt_miss=%d lc_add=%d lc_fail=%d lc_flush=%d alloc=%d free=%d"
+    t.loads t.stores t.cas t.write_backs t.fences t.sync_batches
+    t.lines_drained t.log_entries t.apt_hits t.apt_misses t.lc_adds t.lc_fails
+    t.lc_flushes t.allocs t.frees

@@ -1,0 +1,42 @@
+(** Per-domain event counters for the persistence substrate. Each domain
+    (small integer [tid]) owns one record so counting is race-free;
+    [aggregate] sums for reporting. Sync-operation counts drive the
+    throughput ratios of Figures 5-8; the APT counters drive Figure 9a. *)
+
+(** Maximum concurrently running domains the library supports. *)
+val max_threads : int
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable cas : int;
+  mutable write_backs : int;
+  mutable fences : int;
+  mutable sync_batches : int;  (** fences that drained pending lines *)
+  mutable lines_drained : int;
+  mutable log_entries : int;  (** WAL / logged-allocation records *)
+  mutable apt_hits : int;
+  mutable apt_misses : int;
+  mutable apt_alloc_hits : int;
+  mutable apt_alloc_misses : int;
+  mutable apt_unlink_hits : int;
+  mutable apt_unlink_misses : int;
+  mutable lc_adds : int;
+  mutable lc_fails : int;
+  mutable lc_flushes : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+val make : unit -> t
+val copy : t -> t
+val reset : t -> unit
+val add : into:t -> t -> unit
+
+type registry = t array
+
+val make_registry : unit -> registry
+val get : registry -> int -> t
+val aggregate : registry -> t
+val reset_registry : registry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Deterministic carve-out of heap address space.
+
+    A [Region.t] hands out consecutive, cache-line-aligned spans of the heap.
+    It is volatile bookkeeping only: construction code runs the same sequence
+    of [carve] calls when creating a fresh heap and when re-attaching to a
+    recovered one, so both sides agree on where every subsystem lives without
+    storing a durable directory. *)
+
+type t = { mutable next : int; limit : int }
+
+let make ~base ~limit =
+  if base < 0 || limit < base then invalid_arg "Region.make";
+  { next = Cacheline.align_up base; limit }
+
+(** Allocate [n] words, cache-line aligned. Raises if the region is full. *)
+let carve t n =
+  let base = Cacheline.align_up t.next in
+  let stop = base + n in
+  if stop > t.limit then
+    invalid_arg
+      (Printf.sprintf "Region.carve: out of space (need %d, have %d)" n
+         (t.limit - base));
+  t.next <- stop;
+  base
+
+(** Align the next carve to a multiple of [align] words. *)
+let align_to t align =
+  if align <= 0 || align land (align - 1) <> 0 then invalid_arg "Region.align_to";
+  t.next <- (t.next + align - 1) land lnot (align - 1)
+
+let remaining t = t.limit - t.next
+let position t = t.next

@@ -1,0 +1,17 @@
+(** Deterministic carve-out of heap address space: volatile bookkeeping that
+    hands out consecutive cache-line-aligned spans. Construction code runs
+    the same [carve] sequence when creating and when recovering, so both
+    sides agree on every subsystem's address without a durable directory. *)
+
+type t
+
+val make : base:int -> limit:int -> t
+
+(** Allocate [n] words, cache-line aligned; raises when full. *)
+val carve : t -> int -> int
+
+(** Align the next carve to a multiple of [align] (a power of two). *)
+val align_to : t -> int -> unit
+
+val remaining : t -> int
+val position : t -> int

@@ -1,0 +1,1 @@
+lib/workload/barrier.ml: Atomic Domain

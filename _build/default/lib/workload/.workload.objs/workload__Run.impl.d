@@ -1,0 +1,1 @@
+lib/workload/run.ml: Array Atomic Barrier Domain Histogram Keygen Lfds List Unix Xoshiro

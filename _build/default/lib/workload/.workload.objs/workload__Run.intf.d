@@ -1,0 +1,1 @@
+lib/workload/run.mli: Histogram Keygen Lfds Xoshiro

@@ -1,0 +1,16 @@
+(** Sense-reversing barrier for domains. *)
+
+type t = { n : int; count : int Atomic.t; sense : bool Atomic.t }
+
+let make n = { n; count = Atomic.make n; sense = Atomic.make false }
+
+let wait t =
+  let my_sense = not (Atomic.get t.sense) in
+  if Atomic.fetch_and_add t.count (-1) = 1 then begin
+    Atomic.set t.count t.n;
+    Atomic.set t.sense my_sense
+  end
+  else
+    while Atomic.get t.sense <> my_sense do
+      Domain.cpu_relax ()
+    done

@@ -1,0 +1,8 @@
+(** Sense-reversing barrier for domains. *)
+
+type t
+
+(** [make n] synchronizes [n] participants per [wait] round. *)
+val make : int -> t
+
+val wait : t -> unit

@@ -1,0 +1,62 @@
+(** Log-bucketed latency histogram (HdrHistogram-style, coarse).
+
+    Buckets grow geometrically (~8% per step), covering 1 ns to ~100 s with
+    a few hundred counters, so recording is one array increment and
+    percentile queries are exact to bucket resolution. *)
+
+type t = { counts : int array; mutable total : int; mutable max_ns : float }
+
+let buckets = 512
+let growth = 1.08
+let log_growth = log growth
+
+let create () = { counts = Array.make buckets 0; total = 0; max_ns = 0. }
+
+let bucket_of_ns ns =
+  if ns <= 1. then 0
+  else min (buckets - 1) (int_of_float (log ns /. log_growth))
+
+let ns_of_bucket b = growth ** float_of_int b
+
+let record t ~ns =
+  t.counts.(bucket_of_ns ns) <- t.counts.(bucket_of_ns ns) + 1;
+  t.total <- t.total + 1;
+  if ns > t.max_ns then t.max_ns <- ns
+
+let count t = t.total
+
+(** Latency (ns) at percentile [p] in [0, 100]. *)
+let percentile t p =
+  if t.total = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.total)) in
+    let rank = max 1 (min rank t.total) in
+    let rec go b seen =
+      let seen = seen + t.counts.(b) in
+      if seen >= rank || b = buckets - 1 then ns_of_bucket b else go (b + 1) seen
+    in
+    go 0 0
+  end
+
+let mean t =
+  if t.total = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    Array.iteri
+      (fun b c -> sum := !sum +. (float_of_int c *. ns_of_bucket b))
+      t.counts;
+    !sum /. float_of_int t.total
+  end
+
+let merge ~into t =
+  Array.iteri (fun b c -> into.counts.(b) <- into.counts.(b) + c) t.counts;
+  into.total <- into.total + t.total;
+  if t.max_ns > into.max_ns then into.max_ns <- t.max_ns
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%s p50=%s p99=%s p99.9=%s max=%s" t.total
+    (Report.human_ns (mean t))
+    (Report.human_ns (percentile t 50.))
+    (Report.human_ns (percentile t 99.))
+    (Report.human_ns (percentile t 99.9))
+    (Report.human_ns t.max_ns)

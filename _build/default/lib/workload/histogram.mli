@@ -1,0 +1,16 @@
+(** Log-bucketed latency histogram: geometric buckets (~8% resolution) from
+    1 ns to ~100 s, so recording is one increment and percentiles are exact
+    to bucket resolution. *)
+
+type t
+
+val create : unit -> t
+val record : t -> ns:float -> unit
+val count : t -> int
+
+(** Latency (ns) at percentile [p] in [0, 100]. *)
+val percentile : t -> float -> float
+
+val mean : t -> float
+val merge : into:t -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Key and operation generators matching the paper's workloads.
+
+    Section 6.2: "50% of the operations are inserts of random keys, 50% are
+    removes of random keys"; keys are drawn uniformly from a range of twice
+    the target size, so the structure hovers around the target size in steady
+    state (the standard search-structure methodology the paper's benchmarks
+    inherit from ASCYLIB). Figure 8 uses 100% updates as well. *)
+
+type op = Insert | Remove | Search
+
+type mix = {
+  insert_pct : int;
+  remove_pct : int;  (** remainder = searches *)
+}
+
+(** 50% insert / 50% remove: the Figure 5/8 update-only workload. *)
+let update_only = { insert_pct = 50; remove_pct = 50 }
+
+(** [mixed ~update_pct]: updates split evenly, rest searches. *)
+let mixed ~update_pct =
+  { insert_pct = update_pct / 2; remove_pct = update_pct - (update_pct / 2) }
+
+let pick rng mix =
+  let r = Xoshiro.below rng 100 in
+  if r < mix.insert_pct then Insert
+  else if r < mix.insert_pct + mix.remove_pct then Remove
+  else Search
+
+(** Key range giving an expected steady-state size of [size]. *)
+let range_for ~size = 2 * size
+
+let random_key rng ~range = 1 + Xoshiro.below rng range
+
+(** Prefill [set] to its steady-state size with uniformly random keys, as the
+    paper does before measuring. *)
+let prefill (set : Lfds.Set_intf.ops) ~size ~seed =
+  let rng = Xoshiro.make ~seed in
+  let range = range_for ~size in
+  let n = ref 0 in
+  while !n < size do
+    let key = random_key rng ~range in
+    if set.insert ~tid:0 ~key ~value:key then incr n
+  done

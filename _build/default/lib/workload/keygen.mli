@@ -1,0 +1,23 @@
+(** Key and operation generators matching the paper's workloads
+    (section 6.2): uniformly random keys from twice the target size, so the
+    structure hovers at the target in steady state. *)
+
+type op = Insert | Remove | Search
+
+type mix = { insert_pct : int; remove_pct : int (** remainder = searches *) }
+
+(** 50% insert / 50% remove (Figures 5 and 8). *)
+val update_only : mix
+
+(** Updates split evenly; the rest are searches. *)
+val mixed : update_pct:int -> mix
+
+val pick : Xoshiro.t -> mix -> op
+
+(** Key range giving an expected steady-state size of [size]. *)
+val range_for : size:int -> int
+
+val random_key : Xoshiro.t -> range:int -> int
+
+(** Fill [set] to its steady-state size before measuring. *)
+val prefill : Lfds.Set_intf.ops -> size:int -> seed:int -> unit

@@ -1,0 +1,41 @@
+(** Plain-text tables for the benchmark harness, shaped like the paper's
+    figures: one row per configuration, one column per series. *)
+
+let hrule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let pad w s =
+  if String.length s >= w then s else s ^ String.make (w - String.length s) ' '
+
+(** [table ~title ~header rows] prints an aligned table. *)
+let table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  let print_row row =
+    print_string
+      (String.concat " | " (List.map2 (fun w c -> pad w c) widths row));
+    print_newline ()
+  in
+  print_row header;
+  Printf.printf "%s\n" (hrule widths);
+  List.iter print_row rows;
+  flush stdout
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+
+let human_ns ns =
+  if ns < 1_000. then Printf.sprintf "%.0f ns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1_000_000_000. then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let human_ops ops =
+  if ops >= 1e6 then Printf.sprintf "%.2f Mop/s" (ops /. 1e6)
+  else if ops >= 1e3 then Printf.sprintf "%.1f Kop/s" (ops /. 1e3)
+  else Printf.sprintf "%.0f op/s" ops

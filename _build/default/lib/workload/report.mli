@@ -1,0 +1,14 @@
+(** Plain-text tables for the benchmark harness, shaped like the paper's
+    figures: one row per configuration, one column per series. *)
+
+(** [table ~title ~header rows] prints an aligned table to stdout. *)
+val table : title:string -> header:string list -> string list list -> unit
+
+val f2 : float -> string
+val f1 : float -> string
+
+(** "500 ns", "1.5 us", "2.50 ms", "1.20 s". *)
+val human_ns : float -> string
+
+(** "1.50 Mop/s", "12.3 Kop/s". *)
+val human_ops : float -> string

@@ -1,0 +1,75 @@
+(** Timed multi-domain throughput runs.
+
+    [throughput] spawns [nthreads] domains, each looping a workload step
+    until the main domain raises the stop flag after [duration] seconds.
+    Domains synchronize on a barrier before the clock starts. Thread ids are
+    0-based and double as heap/statistics thread ids.
+
+    On a single hardware core, domains timeslice instead of running in
+    parallel; the figures this harness feeds report ratios between systems
+    measured at the same thread count, which survives timeslicing (DESIGN.md,
+    substitutions table). *)
+
+type result = {
+  total_ops : int;
+  duration : float;
+  per_thread : int array;
+  throughput : float;  (** operations per second *)
+}
+
+let throughput ~nthreads ~duration ~(step : tid:int -> rng:Xoshiro.t -> unit) ~seed
+    () =
+  let stop = Atomic.make false in
+  let barrier = Barrier.make (nthreads + 1) in
+  let counts = Array.make nthreads 0 in
+  let worker tid () =
+    let rng = Xoshiro.make ~seed:(seed + (tid * 7919)) in
+    Barrier.wait barrier;
+    let n = ref 0 in
+    while not (Atomic.get stop) do
+      step ~tid ~rng;
+      incr n
+    done;
+    counts.(tid) <- !n
+  in
+  let domains = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  Barrier.wait barrier;
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = Array.fold_left ( + ) 0 counts in
+  {
+    total_ops = total;
+    duration = elapsed;
+    per_thread = counts;
+    throughput = float_of_int total /. elapsed;
+  }
+
+(** Run the paper's update workload against [set]. *)
+let set_workload (set : Lfds.Set_intf.ops) ~mix ~range =
+  fun ~tid ~rng ->
+   let key = Keygen.random_key rng ~range in
+   match Keygen.pick rng mix with
+   | Keygen.Insert -> ignore (set.insert ~tid ~key ~value:key)
+   | Keygen.Remove -> ignore (set.remove ~tid ~key)
+   | Keygen.Search -> ignore (set.search ~tid ~key)
+
+(** Single-threaded per-operation latency profile: runs [n] steps, timing
+    each, and returns the histogram (benchmark percentile reporting). *)
+let latency_profile ~n ~(step : tid:int -> rng:Xoshiro.t -> unit) ~seed () =
+  let h = Histogram.create () in
+  let rng = Xoshiro.make ~seed in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    step ~tid:0 ~rng;
+    Histogram.record h ~ns:((Unix.gettimeofday () -. t0) *. 1e9)
+  done;
+  h
+
+(** Time a single thunk (recovery measurements). *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)

@@ -1,0 +1,35 @@
+(** Timed multi-domain throughput runs and latency profiling.
+
+    On a single hardware core domains timeslice instead of running in
+    parallel; the figures this harness feeds report ratios between systems
+    at the same thread count, which survives timeslicing (DESIGN.md). *)
+
+type result = {
+  total_ops : int;
+  duration : float;  (** measured wall-clock seconds *)
+  per_thread : int array;
+  throughput : float;  (** operations per second *)
+}
+
+(** [throughput ~nthreads ~duration ~step ~seed ()] spawns [nthreads]
+    domains, each looping [step ~tid ~rng] until the stop flag is raised
+    after [duration] seconds; domains synchronize on a barrier before the
+    clock starts. Thread ids double as heap/statistics thread ids. *)
+val throughput :
+  nthreads:int ->
+  duration:float ->
+  step:(tid:int -> rng:Xoshiro.t -> unit) ->
+  seed:int ->
+  unit ->
+  result
+
+(** The paper's set workload as a step function. *)
+val set_workload :
+  Lfds.Set_intf.ops -> mix:Keygen.mix -> range:int -> tid:int -> rng:Xoshiro.t -> unit
+
+(** Single-threaded per-operation latency histogram over [n] steps. *)
+val latency_profile :
+  n:int -> step:(tid:int -> rng:Xoshiro.t -> unit) -> seed:int -> unit -> Histogram.t
+
+(** Time a thunk (recovery measurements): value and elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float

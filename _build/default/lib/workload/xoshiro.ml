@@ -1,0 +1,36 @@
+(** Deterministic per-thread pseudo-random numbers (splitmix64-seeded
+    xorshift). Every benchmark thread owns one state, so runs are
+    reproducible for a given seed regardless of interleaving. *)
+
+type t = { mutable s0 : int; mutable s1 : int }
+
+let splitmix seed =
+  let z = seed + 0x1E3779B97F4A7C15 in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let make ~seed =
+  let s0 = splitmix seed in
+  let s1 = splitmix s0 in
+  { s0 = (if s0 = 0 then 1 else s0); s1 = (if s1 = 0 then 2 else s1) }
+
+(** Next raw 62-bit non-negative value. *)
+let next t =
+  let x = t.s0 and y = t.s1 in
+  t.s0 <- y;
+  let x = x lxor (x lsl 23) in
+  let x = x lxor (x lsr 17) lxor y lxor (y lsr 26) in
+  t.s1 <- x;
+  (x + y) land max_int
+
+(** Uniform integer in [0, bound). *)
+let below t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.below";
+  next t mod bound
+
+(** Uniform integer in [lo, hi]. *)
+let in_range t ~lo ~hi = lo + below t (hi - lo + 1)
+
+(** True with probability [num/den]. *)
+let chance t ~num ~den = below t den < num

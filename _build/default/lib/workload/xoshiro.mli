@@ -1,0 +1,19 @@
+(** Deterministic per-thread pseudo-random numbers (splitmix-seeded
+    xorshift): every benchmark thread owns one state, so runs reproduce for
+    a given seed regardless of interleaving. *)
+
+type t
+
+val make : seed:int -> t
+
+(** Next raw non-negative value. *)
+val next : t -> int
+
+(** Uniform in [0, bound); raises on non-positive bound. *)
+val below : t -> int -> int
+
+(** Uniform in [lo, hi]. *)
+val in_range : t -> lo:int -> hi:int -> int
+
+(** True with probability num/den. *)
+val chance : t -> num:int -> den:int -> bool

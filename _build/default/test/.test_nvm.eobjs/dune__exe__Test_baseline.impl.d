@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Harness Heap Lfds List Nvm Printf Tutil

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Atomic Domain Harness Hashtbl Lfds List Nvm Printf Tutil Workload

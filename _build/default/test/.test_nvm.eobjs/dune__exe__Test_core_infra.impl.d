@@ -1,0 +1,1 @@
+test/test_core_infra.ml: Alcotest Cacheline Heap Lfds Marked_ptr Nvm

@@ -1,0 +1,1 @@
+test/test_crash_recovery.ml: Alcotest Harness Hashtbl Heap Lfds List Nvalloc Nvm Printf Tutil Workload

@@ -1,0 +1,1 @@
+test/test_kvcache.ml: Alcotest Harness Kvcache Lfds List Nvm Printf QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_list.ml: Alcotest Harness Heap Lfds List Marked_ptr Nvalloc Nvm Tutil

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Cacheline Gen Hashtbl Heap Latency_model List Marked_ptr Nvalloc Nvm Pstats QCheck QCheck_alcotest Region

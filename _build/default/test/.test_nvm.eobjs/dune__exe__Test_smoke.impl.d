@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Baseline Heap Lfds List Nvm

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Harness Heap Lfds List Nvalloc Nvm Printf Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Harness Hashtbl Lfds List Printf QCheck QCheck_alcotest String

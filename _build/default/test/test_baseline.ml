@@ -1,0 +1,177 @@
+(* Log-based baselines: WAL protocol, spinlocks, and the four lock-based
+   structures (semantics + rollback recovery + model agreement). *)
+
+open Nvm
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_ctx () =
+  Lfds.Ctx.create
+    { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 19; nthreads = 2 }
+
+(* --- Spinlock --- *)
+
+let test_spinlock_mutual_exclusion () =
+  let heap = Heap.create ~size_words:128 () in
+  Baseline.Spinlock.acquire heap ~tid:0 16;
+  check_bool "held by 0" true (Baseline.Spinlock.holder heap ~tid:1 16 = 0);
+  check_bool "try fails while held" false (Baseline.Spinlock.try_acquire heap ~tid:1 16);
+  Baseline.Spinlock.release heap ~tid:0 16;
+  check_bool "try succeeds after release" true (Baseline.Spinlock.try_acquire heap ~tid:1 16)
+
+let test_spinlock_with_locks_orders_and_dedups () =
+  let heap = Heap.create ~size_words:128 () in
+  Baseline.Spinlock.with_locks heap ~tid:0 [ 24; 16; 24; 16 ] (fun () ->
+      check_bool "both held" true
+        (Baseline.Spinlock.holder heap ~tid:0 16 = 0 && Baseline.Spinlock.holder heap ~tid:0 24 = 0));
+  check_int "released 16" (-1) (Baseline.Spinlock.holder heap ~tid:0 16);
+  check_int "released 24" (-1) (Baseline.Spinlock.holder heap ~tid:0 24)
+
+let test_spinlock_releases_on_exception () =
+  let heap = Heap.create ~size_words:128 () in
+  (try
+     Baseline.Spinlock.with_locks heap ~tid:0 [ 16 ] (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_int "released after exception" (-1) (Baseline.Spinlock.holder heap ~tid:0 16)
+
+(* --- WAL --- *)
+
+let test_wal_commit_makes_durable () =
+  let ctx = mk_ctx () in
+  let wal = Baseline.Wal.create ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  let addr = Lfds.Ctx.root_slot ctx 2 in
+  Baseline.Wal.begin_op wal ~tid:0;
+  Baseline.Wal.logged_store wal ~tid:0 addr 42;
+  Baseline.Wal.commit wal ~tid:0;
+  check_int "durable after commit" 42 (Heap.durable_load heap addr)
+
+let test_wal_rollback_on_crash_mid_op () =
+  let ctx = mk_ctx () in
+  let wal = Baseline.Wal.create ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  let addr = Lfds.Ctx.root_slot ctx 2 in
+  (* Committed base value. *)
+  Baseline.Wal.begin_op wal ~tid:0;
+  Baseline.Wal.logged_store wal ~tid:0 addr 10;
+  Baseline.Wal.commit wal ~tid:0;
+  (* Crash mid-operation: stores issued, commit never reached. Adversarial
+     eviction (p=1) pushes the in-place stores to NVRAM. *)
+  Baseline.Wal.begin_op wal ~tid:0;
+  Baseline.Wal.logged_store wal ~tid:0 addr 99;
+  Heap.crash heap ~eviction_probability:1.0;
+  Baseline.Wal.recover wal;
+  check_int "rolled back to committed value" 10 (Heap.load heap ~tid:0 addr)
+
+let test_wal_recover_idempotent () =
+  let ctx = mk_ctx () in
+  let wal = Baseline.Wal.create ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  let addr = Lfds.Ctx.root_slot ctx 2 in
+  Baseline.Wal.begin_op wal ~tid:0;
+  Baseline.Wal.logged_store wal ~tid:0 addr 7;
+  Heap.crash heap ~eviction_probability:1.0;
+  Baseline.Wal.recover wal;
+  Baseline.Wal.recover wal;
+  check_int "double recovery harmless" 0 (Heap.load heap ~tid:0 addr)
+
+let test_wal_multi_entry_reverse_rollback () =
+  let ctx = mk_ctx () in
+  let wal = Baseline.Wal.create ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  let a = Lfds.Ctx.root_slot ctx 2 and b = Lfds.Ctx.root_slot ctx 3 in
+  Baseline.Wal.begin_op wal ~tid:0;
+  (* Two writes to the same word: rollback must restore the ORIGINAL. *)
+  Baseline.Wal.logged_store wal ~tid:0 a 1;
+  Baseline.Wal.logged_store wal ~tid:0 a 2;
+  Baseline.Wal.logged_store wal ~tid:0 b 3;
+  Heap.crash heap ~eviction_probability:1.0;
+  Baseline.Wal.recover wal;
+  check_int "a restored" 0 (Heap.load heap ~tid:0 a);
+  check_int "b restored" 0 (Heap.load heap ~tid:0 b)
+
+let test_wal_eager_syncs_per_entry () =
+  let ctx = mk_ctx () in
+  let wal = Baseline.Wal.create ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.reset_stats heap;
+  Baseline.Wal.begin_op wal ~tid:0;
+  Baseline.Wal.logged_store wal ~tid:0 (Lfds.Ctx.root_slot ctx 2) 1;
+  Baseline.Wal.logged_store wal ~tid:0 (Lfds.Ctx.root_slot ctx 3) 2;
+  Baseline.Wal.commit wal ~tid:0;
+  let st = Heap.aggregate_stats heap in
+  (* E entries + data batch + truncate = E + 2. *)
+  check_int "eager WAL sync count" 4 st.sync_batches
+
+(* --- Log-based structures: semantics and rollback. --- *)
+
+let props =
+  List.map
+    (fun (structure, sname) ->
+      Tutil.model_property
+        ~name:(Printf.sprintf "log-%s = model" sname)
+        ~structure ~flavor:I.Log ~count:25)
+    [ (I.List, "list"); (I.Hash, "hash"); (I.Skiplist, "skiplist"); (I.Bst, "bst") ]
+
+let test_log_structure_crash structure () =
+  let inst = Tutil.mk structure I.Log in
+  for k = 1 to 120 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 120 do
+    if k mod 3 = 0 then ignore (inst.ops.remove ~tid:0 ~key:k)
+  done;
+  let inst, _dt, _freed = I.crash_and_recover ~seed:17 inst in
+  for k = 1 to 120 do
+    let expected = if k mod 3 = 0 then None else Some k in
+    Alcotest.(check (option int)) "completed ops survive" expected
+      (inst.ops.search ~tid:0 ~key:k)
+  done
+
+let test_log_skiplist_levels () =
+  let inst = Tutil.mk I.Skiplist I.Log in
+  for k = 1 to 400 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 400 do
+    Alcotest.(check (option int)) "multi-level search" (Some k)
+      (inst.ops.search ~tid:0 ~key:k)
+  done;
+  for k = 1 to 400 do
+    check_bool "multi-level remove" true (inst.ops.remove ~tid:0 ~key:k)
+  done;
+  check_int "empty" 0 (inst.ops.size ())
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "spinlock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_spinlock_mutual_exclusion;
+          Alcotest.test_case "ordered+dedup" `Quick
+            test_spinlock_with_locks_orders_and_dedups;
+          Alcotest.test_case "exception safety" `Quick
+            test_spinlock_releases_on_exception;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "commit durable" `Quick test_wal_commit_makes_durable;
+          Alcotest.test_case "rollback" `Quick test_wal_rollback_on_crash_mid_op;
+          Alcotest.test_case "idempotent recovery" `Quick test_wal_recover_idempotent;
+          Alcotest.test_case "reverse rollback" `Quick
+            test_wal_multi_entry_reverse_rollback;
+          Alcotest.test_case "eager sync count" `Quick test_wal_eager_syncs_per_entry;
+        ] );
+      ( "log-structures",
+        [
+          Alcotest.test_case "list crash" `Quick (test_log_structure_crash I.List);
+          Alcotest.test_case "hash crash" `Quick (test_log_structure_crash I.Hash);
+          Alcotest.test_case "skiplist crash" `Quick
+            (test_log_structure_crash I.Skiplist);
+          Alcotest.test_case "bst crash" `Quick (test_log_structure_crash I.Bst);
+          Alcotest.test_case "skiplist levels" `Quick test_log_skiplist_levels;
+        ] );
+      ("model", List.map Tutil.qt props);
+    ]

@@ -1,0 +1,169 @@
+(* Multi-domain stress: linearizable set behavior under real concurrency,
+   epoch safety, link-cache contention, and post-stress integrity. On this
+   box domains timeslice on one core, which still exercises all interleaving
+   classes via preemption. *)
+
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let nthreads = 4
+
+(* Disjoint-range stress: each domain owns keys [tid*1000+1 .. tid*1000+n];
+   per-domain results are deterministic, so full verification is exact. *)
+let stress_disjoint structure flavor () =
+  let inst = Tutil.mk ~nthreads ~size_hint:1024 structure flavor in
+  let n = 300 in
+  let worker tid () =
+    let base = tid * 1000 in
+    for i = 1 to n do
+      assert (inst.ops.insert ~tid ~key:(base + i) ~value:i)
+    done;
+    for i = 1 to n do
+      if i mod 2 = 0 then assert (inst.ops.remove ~tid ~key:(base + i))
+    done;
+    for i = 1 to n do
+      let expected = if i mod 2 = 0 then None else Some i in
+      assert (inst.ops.search ~tid ~key:(base + i) = expected)
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  check_int "final size" (nthreads * (n / 2)) (inst.ops.size ())
+
+(* Contended stress: all domains fight over the same small key range; verify
+   global invariants (size within bounds, no duplicate keys, reads sane). *)
+let stress_contended structure flavor () =
+  let inst = Tutil.mk ~nthreads ~size_hint:256 structure flavor in
+  let range = 64 in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:(tid * 7 + 1) in
+    for _ = 1 to 2000 do
+      let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:range in
+      match Workload.Xoshiro.below rng 3 with
+      | 0 -> ignore (inst.ops.insert ~tid ~key ~value:key)
+      | 1 -> ignore (inst.ops.remove ~tid ~key)
+      | _ -> (
+          match inst.ops.search ~tid ~key with
+          | Some v -> assert (v = key)
+          | None -> ())
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  let size = inst.ops.size () in
+  check_bool "size within key range" true (size >= 0 && size <= range);
+  (* No key appears twice (reachability scan counts each live key once). *)
+  let seen = Hashtbl.create 64 in
+  let dups = ref 0 in
+  for key = 1 to range do
+    if inst.ops.search ~tid:0 ~key <> None then
+      if Hashtbl.mem seen key then incr dups else Hashtbl.replace seen key ()
+  done;
+  check_int "no duplicates" 0 !dups
+
+(* Insert/remove pairs across domains must never lose memory safety: run a
+   deleting workload and drain; allocator must end balanced. *)
+let stress_reclamation structure () =
+  let inst = Tutil.mk ~nthreads ~size_hint:512 structure I.Lp in
+  let worker tid () =
+    for round = 1 to 30 do
+      for k = 1 to 40 do
+        let key = (tid * 10_000) + k in
+        ignore (inst.ops.insert ~tid ~key ~value:round);
+        ignore (inst.ops.remove ~tid ~key)
+      done
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  check_int "empty after churn" 0 (inst.ops.size ());
+  for tid = 0 to nthreads - 1 do
+    Lfds.Nv_epochs.drain (Lfds.Ctx.mem inst.ctx) ~tid
+  done;
+  check_bool "bounded residual allocation" true
+    (Nvm.Nvalloc.allocated_count (Lfds.Ctx.allocator inst.ctx) ~tid:0 < 128)
+
+(* Concurrent link-cache traffic: adds, scans and flushes from all domains. *)
+let stress_link_cache () =
+  let heap = Nvm.Heap.create ~size_words:(1 lsl 16) () in
+  let lc = Lfds.Link_cache.create heap ~nbuckets:8 () in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:(tid + 100) in
+    for i = 1 to 3000 do
+      let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:64 in
+      let link = 1024 + (64 * (((tid * 3000) + i) mod 500)) in
+      let expected = Nvm.Heap.load heap ~tid link in
+      (match
+         Lfds.Link_cache.try_link_and_add lc ~tid ~key ~link ~expected
+           ~desired:(expected + 8)
+       with
+      | Lfds.Link_cache.Added | Lfds.Link_cache.Cache_full
+      | Lfds.Link_cache.Cas_failed ->
+          ());
+      if i mod 7 = 0 then Lfds.Link_cache.scan lc ~tid ~key
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  Lfds.Link_cache.flush_all lc ~tid:0;
+  check_int "cache drains to empty" 0 (Lfds.Link_cache.occupancy lc)
+
+(* Epoch safety under concurrency: retired nodes are never freed while a
+   reader that could hold them is still inside an operation. Indirectly
+   validated by the stress tests; here we hammer enter/exit + snapshots. *)
+let stress_epochs () =
+  let e = Lfds.Epoch.create ~nthreads in
+  let stop = Atomic.make false in
+  let worker tid () =
+    while not (Atomic.get stop) do
+      Lfds.Epoch.enter e ~tid;
+      Lfds.Epoch.exit e ~tid
+    done
+  in
+  let checker () =
+    for _ = 1 to 2000 do
+      let snap = Lfds.Epoch.snapshot e in
+      (* safe may be false now, but becomes true eventually *)
+      let rec wait n =
+        if n = 0 then false
+        else if Lfds.Epoch.safe e snap then true
+        else begin
+          Domain.cpu_relax ();
+          wait (n - 1)
+        end
+      in
+      assert (wait 10_000_000)
+    done;
+    Atomic.set stop true
+  in
+  let ds = List.init (nthreads - 1) (fun tid -> Domain.spawn (worker tid)) in
+  checker ();
+  List.iter Domain.join ds
+
+let all4 f flavor =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s(%s)" (I.structure_name s) (I.flavor_name flavor))
+        `Slow (f s flavor))
+    [ I.List; I.Hash; I.Skiplist; I.Bst ]
+
+let () =
+  Alcotest.run "concurrent"
+    [
+      ("disjoint", all4 stress_disjoint I.Lp @ all4 stress_disjoint I.Lc);
+      ("contended", all4 stress_contended I.Lp @ all4 stress_contended I.Log);
+      ( "reclamation",
+        List.map
+          (fun s ->
+            Alcotest.test_case (I.structure_name s) `Slow (fun () ->
+                stress_reclamation s ()))
+          [ I.List; I.Hash; I.Skiplist; I.Bst ] );
+      ( "components",
+        [
+          Alcotest.test_case "link cache" `Slow stress_link_cache;
+          Alcotest.test_case "epochs" `Slow stress_epochs;
+        ] );
+    ]

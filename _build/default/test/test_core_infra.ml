@@ -1,0 +1,411 @@
+(* Tests for the core machinery: epochs, the active page table, NV-epochs
+   reclamation, the link cache, and link-and-persist. *)
+
+open Nvm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Epoch --- *)
+
+let test_epoch_enter_exit () =
+  let e = Lfds.Epoch.create ~nthreads:2 in
+  check_int "starts even" 0 (Lfds.Epoch.current e ~tid:0);
+  Lfds.Epoch.enter e ~tid:0;
+  check_bool "active is odd" true (Lfds.Epoch.is_active (Lfds.Epoch.current e ~tid:0));
+  Lfds.Epoch.exit e ~tid:0;
+  check_int "two steps" 2 (Lfds.Epoch.current e ~tid:0)
+
+let test_epoch_safe () =
+  let e = Lfds.Epoch.create ~nthreads:2 in
+  Lfds.Epoch.enter e ~tid:1;
+  let snap = Lfds.Epoch.snapshot e in
+  check_bool "unsafe while tid1 active" false (Lfds.Epoch.safe e snap);
+  Lfds.Epoch.exit e ~tid:1;
+  check_bool "safe once tid1 exits" true (Lfds.Epoch.safe e snap)
+
+let test_epoch_safe_inactive_threads () =
+  let e = Lfds.Epoch.create ~nthreads:4 in
+  (* Nobody active: any snapshot is immediately safe. *)
+  let snap = Lfds.Epoch.snapshot e in
+  check_bool "idle snapshot safe" true (Lfds.Epoch.safe e snap)
+
+let test_epoch_reentry_detection () =
+  let e = Lfds.Epoch.create ~nthreads:1 in
+  Lfds.Epoch.enter e ~tid:0;
+  (* double enter violates the protocol and is caught by the assert *)
+  (try
+     Lfds.Epoch.enter e ~tid:0;
+     Alcotest.fail "expected assert failure"
+   with Assert_failure _ -> ());
+  Lfds.Epoch.exit e ~tid:0
+
+(* --- Active page table --- *)
+
+let mk_apt ?(entries_max = 8) ?(trim_threshold = 4) () =
+  let h = Heap.create ~size_words:8192 () in
+  let apt =
+    Lfds.Active_page_table.create h ~base:64 ~nthreads:2 ~entries_max
+      ~trim_threshold ()
+  in
+  (h, apt)
+
+let test_apt_hit_miss () =
+  let h, apt = mk_apt () in
+  let st = Heap.stats h 0 in
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  check_int "first touch is a miss" 1 st.apt_misses;
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:3
+    Lfds.Active_page_table.Alloc;
+  check_int "second touch is a hit" 1 st.apt_hits;
+  check_int "misses unchanged" 1 st.apt_misses;
+  check_int "size" 1 (Lfds.Active_page_table.size apt ~tid:0)
+
+let test_apt_miss_is_durable () =
+  let h, apt = mk_apt () in
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:1
+    Lfds.Active_page_table.Unlink;
+  Heap.crash h ~eviction_probability:0.0;
+  let pages =
+    Lfds.Active_page_table.durable_active_pages h ~base:64 ~nthreads:2
+      ~entries_max:8
+  in
+  Alcotest.(check (list int)) "page survives crash" [ 4096 ] pages
+
+let test_apt_trim () =
+  let _, apt = mk_apt () in
+  for i = 0 to 5 do
+    Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:(4096 + (512 * i))
+      ~epoch:1 Lfds.Active_page_table.Alloc
+  done;
+  check_int "six entries" 6 (Lfds.Active_page_table.size apt ~tid:0);
+  check_bool "needs trim" true (Lfds.Active_page_table.needs_trim apt ~tid:0);
+  let dropped =
+    Lfds.Active_page_table.trim apt ~tid:0 ~removable:(fun e ->
+        e.Lfds.Active_page_table.last_alloc_epoch < 2)
+  in
+  check_int "all dropped" 6 dropped;
+  check_int "empty" 0 (Lfds.Active_page_table.size apt ~tid:0)
+
+let test_apt_trim_respects_predicate () =
+  let _, apt = mk_apt () in
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:5
+    Lfds.Active_page_table.Alloc;
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4608 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  let dropped =
+    Lfds.Active_page_table.trim apt ~tid:0 ~removable:(fun e ->
+        e.Lfds.Active_page_table.last_alloc_epoch < 5)
+  in
+  check_int "only stale entry dropped" 1 dropped;
+  check_bool "fresh entry kept" true (Lfds.Active_page_table.mem apt ~tid:0 ~page:4096)
+
+let test_apt_full_fails () =
+  let _, apt = mk_apt ~entries_max:2 () in
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4608 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  (try
+     Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:5120 ~epoch:1
+       Lfds.Active_page_table.Alloc;
+     Alcotest.fail "expected failure on full table"
+   with Failure _ -> ())
+
+let test_apt_slot_reuse_after_trim () =
+  let h, apt = mk_apt ~entries_max:2 () in
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:4096 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  ignore (Lfds.Active_page_table.trim apt ~tid:0 ~removable:(fun _ -> true));
+  Lfds.Active_page_table.ensure_active apt ~tid:0 ~page:7680 ~epoch:1
+    Lfds.Active_page_table.Alloc;
+  Heap.flush_all h ~tid:0;
+  let pages =
+    Lfds.Active_page_table.durable_active_pages h ~base:64 ~nthreads:2
+      ~entries_max:2
+  in
+  Alcotest.(check (list int)) "only the live page is durable" [ 7680 ] pages
+
+(* --- Link cache --- *)
+
+let mk_lc () =
+  let h = Heap.create ~size_words:4096 () in
+  (h, Lfds.Link_cache.create h ~nbuckets:4 ())
+
+let test_lc_add_and_flush () =
+  let h, lc = mk_lc () in
+  Heap.store h ~tid:0 512 100;
+  Heap.persist h ~tid:0 512;
+  (match
+     Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key:7 ~link:512 ~expected:100
+       ~desired:200
+   with
+  | Lfds.Link_cache.Added -> ()
+  | _ -> Alcotest.fail "expected Added");
+  check_int "link updated in volatile" 200 (Heap.load h ~tid:0 512);
+  check_int "not yet durable" 100 (Heap.durable_load h 512);
+  check_int "occupied" 1 (Lfds.Link_cache.occupancy lc);
+  Lfds.Link_cache.flush_all lc ~tid:0;
+  check_int "durable after flush" 200 (Heap.durable_load h 512);
+  check_int "empty after flush" 0 (Lfds.Link_cache.occupancy lc)
+
+let test_lc_cas_failure () =
+  let h, lc = mk_lc () in
+  Heap.store h ~tid:0 512 100;
+  (match
+     Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key:7 ~link:512 ~expected:999
+       ~desired:200
+   with
+  | Lfds.Link_cache.Cas_failed -> ()
+  | _ -> Alcotest.fail "expected Cas_failed");
+  check_int "link untouched" 100 (Heap.load h ~tid:0 512);
+  check_int "entry released" 0 (Lfds.Link_cache.occupancy lc)
+
+let test_lc_scan_triggers_flush () =
+  let h, lc = mk_lc () in
+  Heap.store h ~tid:0 512 100;
+  Heap.persist h ~tid:0 512;
+  ignore
+    (Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key:7 ~link:512 ~expected:100
+       ~desired:200);
+  Lfds.Link_cache.scan lc ~tid:0 ~key:7;
+  check_int "scan made it durable" 200 (Heap.durable_load h 512)
+
+let test_lc_scan_other_key_noop () =
+  let h, lc = mk_lc () in
+  Heap.store h ~tid:0 512 100;
+  Heap.persist h ~tid:0 512;
+  ignore
+    (Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key:7 ~link:512 ~expected:100
+       ~desired:200);
+  (* A scan for an unrelated key in another bucket must not flush. *)
+  let other =
+    (* find a key mapping to a different bucket *)
+    let rec go k =
+      if
+        Lfds.Link_cache.bucket_of lc k <> Lfds.Link_cache.bucket_of lc 7
+      then k
+      else go (k + 1)
+    in
+    go 8
+  in
+  Lfds.Link_cache.scan lc ~tid:0 ~key:other;
+  check_int "still volatile" 100 (Heap.durable_load h 512)
+
+let test_lc_full_bucket_flushes () =
+  let h, lc = mk_lc () in
+  (* Fill one bucket beyond capacity: the 7th add must flush and succeed. *)
+  let key = 7 in
+  let b = Lfds.Link_cache.bucket_of lc key in
+  let added = ref 0 in
+  let addr = ref 512 in
+  for _ = 1 to 10 do
+    (* distinct links, same bucket: reuse same key so bucket is fixed *)
+    Heap.store h ~tid:0 !addr 1;
+    Heap.persist h ~tid:0 !addr;
+    (match
+       Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key ~link:!addr ~expected:1
+         ~desired:2
+     with
+    | Lfds.Link_cache.Added -> incr added
+    | _ -> ());
+    addr := !addr + 64
+  done;
+  check_int "every add succeeded (bucket auto-flushes)" 10 !added;
+  ignore b;
+  Lfds.Link_cache.flush_all lc ~tid:0;
+  check_int "all durable" 2 (Heap.durable_load h 512)
+
+let test_lc_mark_cleared_after_add () =
+  let h, lc = mk_lc () in
+  Heap.store h ~tid:0 512 100;
+  Heap.persist h ~tid:0 512;
+  ignore
+    (Lfds.Link_cache.try_link_and_add lc ~tid:0 ~key:7 ~link:512 ~expected:100
+       ~desired:200);
+  check_bool "no unflushed mark after finalize" false
+    (Marked_ptr.is_unflushed (Heap.load h ~tid:0 512))
+
+(* --- Link_persist over a context --- *)
+
+let mk_ctx mode =
+  Lfds.Ctx.create
+    { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18; mode; nthreads = 2 }
+
+let test_lp_cas_link_durable () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let heap = Lfds.Ctx.heap ctx in
+  let slot = Lfds.Ctx.root_slot ctx 1 in
+  Heap.store heap ~tid:0 slot 0;
+  Heap.persist heap ~tid:0 slot;
+  check_bool "cas succeeds" true
+    (Lfds.Link_persist.cas_link ctx ~tid:0 ~key:1 ~link:slot ~expected:0
+       ~desired:64);
+  (* The durable image may retain the unflushed mark (cleared lazily in the
+     volatile image and by recovery); the address must be durable. *)
+  check_int "durable immediately" 64 (Marked_ptr.addr (Heap.durable_load heap slot));
+  check_bool "no mark left" false
+    (Marked_ptr.is_unflushed (Heap.load heap ~tid:0 slot))
+
+let test_lp_cas_link_volatile_mode () =
+  let ctx = mk_ctx Lfds.Persist_mode.Volatile in
+  let heap = Lfds.Ctx.heap ctx in
+  let slot = Lfds.Ctx.root_slot ctx 1 in
+  check_bool "cas succeeds" true
+    (Lfds.Link_persist.cas_link ctx ~tid:0 ~key:1 ~link:slot ~expected:0
+       ~desired:64);
+  check_int "volatile mode: not durable" 0 (Heap.durable_load heap slot)
+
+let test_lp_help_unflushed () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let heap = Lfds.Ctx.heap ctx in
+  let slot = Lfds.Ctx.root_slot ctx 1 in
+  (* Simulate a mid-flight link-and-persist left by another thread. *)
+  Heap.store heap ~tid:0 slot (Marked_ptr.with_unflushed 64);
+  let v = Lfds.Link_persist.read ctx ~tid:1 slot in
+  let clean = Lfds.Link_persist.help_unflushed ctx ~tid:1 ~link:slot v in
+  check_int "helper returns clean value" 64 clean;
+  check_int "helper persisted the line" 64 (Marked_ptr.clear_unflushed (Heap.durable_load heap slot));
+  check_bool "mark cleared in volatile" false
+    (Marked_ptr.is_unflushed (Heap.load heap ~tid:1 slot))
+
+(* --- Nv_epochs --- *)
+
+let test_nv_epochs_alloc_retire_cycle () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let mem = Lfds.Ctx.mem ctx in
+  Lfds.Nv_epochs.op_begin mem ~tid:0;
+  let n = Lfds.Nv_epochs.alloc_node mem ~tid:0 ~size_class:8 in
+  check_bool "valid node" true (n > 0);
+  Lfds.Nv_epochs.retire_node mem ~tid:0 n;
+  check_int "retired, not freed" 1 (Lfds.Nv_epochs.pending_retired mem ~tid:0);
+  Lfds.Nv_epochs.op_end mem ~tid:0;
+  Lfds.Nv_epochs.drain mem ~tid:0;
+  check_int "freed after drain" 0 (Lfds.Nv_epochs.pending_retired mem ~tid:0)
+
+let test_nv_epochs_no_free_under_active_reader () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let mem = Lfds.Ctx.mem ctx in
+  (* tid 1 is mid-operation when tid 0 retires: no reclamation allowed. *)
+  Lfds.Nv_epochs.op_begin mem ~tid:1;
+  Lfds.Nv_epochs.op_begin mem ~tid:0;
+  let n = Lfds.Nv_epochs.alloc_node mem ~tid:0 ~size_class:8 in
+  Lfds.Nv_epochs.retire_node mem ~tid:0 n;
+  Lfds.Nv_epochs.op_end mem ~tid:0;
+  Lfds.Nv_epochs.drain mem ~tid:0;
+  check_int "still in limbo (reader active)" 1
+    (Lfds.Nv_epochs.pending_retired mem ~tid:0);
+  Lfds.Nv_epochs.op_end mem ~tid:1;
+  Lfds.Nv_epochs.drain mem ~tid:0;
+  check_int "freed once reader exits" 0 (Lfds.Nv_epochs.pending_retired mem ~tid:0)
+
+let test_nv_epochs_apt_locality () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let mem = Lfds.Ctx.mem ctx in
+  let heap = Lfds.Ctx.heap ctx in
+  (* Consecutive allocations: exactly one APT miss (Figure 4's scenario). *)
+  Lfds.Nv_epochs.op_begin mem ~tid:0;
+  ignore (Lfds.Nv_epochs.alloc_node mem ~tid:0 ~size_class:8);
+  Lfds.Nv_epochs.op_end mem ~tid:0;
+  let miss_after_first = (Heap.stats heap 0).apt_misses in
+  Lfds.Nv_epochs.op_begin mem ~tid:0;
+  ignore (Lfds.Nv_epochs.alloc_node mem ~tid:0 ~size_class:8);
+  Lfds.Nv_epochs.op_end mem ~tid:0;
+  check_int "second alloc hits the APT" miss_after_first
+    (Heap.stats heap 0).apt_misses
+
+let test_nv_epochs_logged_mode_logs () =
+  let ctx =
+    Lfds.Ctx.create
+      {
+        (Lfds.Ctx.default_config ()) with
+        size_words = 1 lsl 18;
+        mem_mode = Lfds.Nv_epochs.Logged;
+      }
+  in
+  let mem = Lfds.Ctx.mem ctx in
+  let heap = Lfds.Ctx.heap ctx in
+  Lfds.Nv_epochs.op_begin mem ~tid:0;
+  ignore (Lfds.Nv_epochs.alloc_node mem ~tid:0 ~size_class:8);
+  Lfds.Nv_epochs.op_end mem ~tid:0;
+  check_bool "logged mode writes a log entry per alloc" true
+    ((Heap.stats heap 0).log_entries >= 1)
+
+(* --- Ctx layout determinism --- *)
+
+let test_ctx_layout_reproducible () =
+  let cfg = { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18 } in
+  let ctx = Lfds.Ctx.create cfg in
+  let s1 = Lfds.Ctx.carve_static ctx 100 in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.store heap ~tid:0 s1 77;
+  Heap.persist heap ~tid:0 s1;
+  Heap.crash heap ~eviction_probability:0.0;
+  let ctx', _ = Lfds.Ctx.recover heap cfg in
+  let s1' = Lfds.Ctx.carve_static ctx' 100 in
+  check_int "same carve across recovery" s1 s1';
+  check_int "contents intact" 77 (Heap.load heap ~tid:0 s1')
+
+let test_ctx_recover_rejects_foreign_heap () =
+  let heap = Heap.create ~size_words:4096 () in
+  (try
+     ignore (Lfds.Ctx.recover heap (Lfds.Ctx.default_config ()));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_ctx_root_slots_distinct_lines () =
+  let ctx = mk_ctx Lfds.Persist_mode.Link_persist in
+  let a = Lfds.Ctx.root_slot ctx 0 and b = Lfds.Ctx.root_slot ctx 1 in
+  check_bool "distinct cache lines" true
+    (Cacheline.line_of_addr a <> Cacheline.line_of_addr b)
+
+let () =
+  Alcotest.run "core-infra"
+    [
+      ( "epoch",
+        [
+          Alcotest.test_case "enter/exit" `Quick test_epoch_enter_exit;
+          Alcotest.test_case "safe" `Quick test_epoch_safe;
+          Alcotest.test_case "idle safe" `Quick test_epoch_safe_inactive_threads;
+          Alcotest.test_case "reentry assert" `Quick test_epoch_reentry_detection;
+        ] );
+      ( "active_page_table",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_apt_hit_miss;
+          Alcotest.test_case "miss durable" `Quick test_apt_miss_is_durable;
+          Alcotest.test_case "trim" `Quick test_apt_trim;
+          Alcotest.test_case "trim predicate" `Quick test_apt_trim_respects_predicate;
+          Alcotest.test_case "full table" `Quick test_apt_full_fails;
+          Alcotest.test_case "slot reuse" `Quick test_apt_slot_reuse_after_trim;
+        ] );
+      ( "link_cache",
+        [
+          Alcotest.test_case "add+flush" `Quick test_lc_add_and_flush;
+          Alcotest.test_case "cas failure" `Quick test_lc_cas_failure;
+          Alcotest.test_case "scan flushes" `Quick test_lc_scan_triggers_flush;
+          Alcotest.test_case "scan other key" `Quick test_lc_scan_other_key_noop;
+          Alcotest.test_case "full bucket" `Quick test_lc_full_bucket_flushes;
+          Alcotest.test_case "mark cleared" `Quick test_lc_mark_cleared_after_add;
+        ] );
+      ( "link_persist",
+        [
+          Alcotest.test_case "cas durable" `Quick test_lp_cas_link_durable;
+          Alcotest.test_case "volatile mode" `Quick test_lp_cas_link_volatile_mode;
+          Alcotest.test_case "helping" `Quick test_lp_help_unflushed;
+        ] );
+      ( "nv_epochs",
+        [
+          Alcotest.test_case "alloc/retire" `Quick test_nv_epochs_alloc_retire_cycle;
+          Alcotest.test_case "reader blocks free" `Quick
+            test_nv_epochs_no_free_under_active_reader;
+          Alcotest.test_case "APT locality" `Quick test_nv_epochs_apt_locality;
+          Alcotest.test_case "logged mode" `Quick test_nv_epochs_logged_mode_logs;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "layout reproducible" `Quick test_ctx_layout_reproducible;
+          Alcotest.test_case "foreign heap" `Quick test_ctx_recover_rejects_foreign_heap;
+          Alcotest.test_case "root slots" `Quick test_ctx_root_slots_distinct_lines;
+        ] );
+    ]

@@ -1,0 +1,406 @@
+(* NV-Memcached and its pieces: string packing, LRU, items, the three cache
+   builds, eviction, and crash recovery. *)
+
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str_opt = Alcotest.(check (option string))
+
+(* --- Strpack --- *)
+
+let test_strpack_roundtrip () =
+  let heap = Nvm.Heap.create ~size_words:1024 () in
+  List.iter
+    (fun s ->
+      Kvcache.Strpack.write heap ~tid:0 ~addr:100 s;
+      Alcotest.(check string) "roundtrip" s
+        (Kvcache.Strpack.read heap ~tid:0 ~addr:100 ~len:(String.length s)))
+    [ ""; "a"; "abcdefg"; "abcdefgh"; "the quick brown fox jumps over"; "\x00\xff\x7f" ]
+
+let prop_strpack =
+  QCheck.Test.make ~name:"strpack roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun s ->
+      let heap = Nvm.Heap.create ~size_words:1024 () in
+      Kvcache.Strpack.write heap ~tid:0 ~addr:64 s;
+      Kvcache.Strpack.read heap ~tid:0 ~addr:64 ~len:(String.length s) = s)
+
+let test_strpack_hash_stable_and_positive () =
+  check_int "deterministic" (Kvcache.Strpack.hash "hello") (Kvcache.Strpack.hash "hello");
+  check_bool "positive" true (Kvcache.Strpack.hash "x" > 0);
+  check_bool "distinct strings differ" true
+    (Kvcache.Strpack.hash "hello" <> Kvcache.Strpack.hash "world")
+
+(* --- LRU --- *)
+
+let test_lru_order () =
+  let l = Kvcache.Lru.create () in
+  Kvcache.Lru.add l 8;
+  Kvcache.Lru.add l 16;
+  Kvcache.Lru.add l 24;
+  Alcotest.(check (option int)) "oldest first" (Some 8) (Kvcache.Lru.pop_lru l);
+  Kvcache.Lru.touch l 16;
+  Alcotest.(check (option int)) "24 now oldest" (Some 24) (Kvcache.Lru.pop_lru l);
+  Alcotest.(check (option int)) "16 last" (Some 16) (Kvcache.Lru.pop_lru l);
+  Alcotest.(check (option int)) "empty" None (Kvcache.Lru.pop_lru l)
+
+let test_lru_remove () =
+  let l = Kvcache.Lru.create () in
+  Kvcache.Lru.add l 8;
+  Kvcache.Lru.add l 16;
+  Kvcache.Lru.remove l 8;
+  check_int "length" 1 (Kvcache.Lru.length l);
+  Alcotest.(check (option int)) "16 remains" (Some 16) (Kvcache.Lru.pop_lru l)
+
+(* --- Item --- *)
+
+let mk_ctx () =
+  Lfds.Ctx.create
+    {
+      (Lfds.Ctx.default_config ()) with
+      size_words = 1 lsl 19;
+      nthreads = 2;
+      apt_entries = 1024;
+    }
+
+let test_item_roundtrip () =
+  let ctx = mk_ctx () in
+  Lfds.Nv_epochs.op_begin (Lfds.Ctx.mem ctx) ~tid:0;
+  let item, _ = Kvcache.Item.alloc ctx ~tid:0 ~key:"user:42" ~value:"Alice Smith" in
+  Lfds.Nv_epochs.op_end (Lfds.Ctx.mem ctx) ~tid:0;
+  Alcotest.(check string) "key" "user:42" (Kvcache.Item.read_key ctx ~tid:0 item);
+  Alcotest.(check string) "value" "Alice Smith" (Kvcache.Item.read_value ctx ~tid:0 item);
+  check_bool "match" true (Kvcache.Item.key_matches ctx ~tid:0 item "user:42");
+  check_bool "mismatch" false (Kvcache.Item.key_matches ctx ~tid:0 item "user:43")
+
+let test_item_too_large () =
+  let ctx = mk_ctx () in
+  Lfds.Nv_epochs.op_begin (Lfds.Ctx.mem ctx) ~tid:0;
+  (try
+     ignore (Kvcache.Item.alloc ctx ~tid:0 ~key:"k" ~value:(String.make 600 'x'));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Lfds.Nv_epochs.op_end (Lfds.Ctx.mem ctx) ~tid:0
+
+(* --- Cache builds --- *)
+
+let mk_nv ?(capacity = 1000) () =
+  let cfg =
+    {
+      (Lfds.Ctx.default_config ()) with
+      size_words = 1 lsl 20;
+      nthreads = 2;
+      apt_entries = 4096;
+      static_words = 1 lsl 15;
+    }
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  (cfg, ctx, Kvcache.Nv_memcached.create ctx ~nbuckets:256 ~capacity)
+
+let test_nv_set_get_delete () =
+  let _, _, c = mk_nv () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  ops.set ~tid:0 ~key:"a" ~value:"1";
+  ops.set ~tid:0 ~key:"b" ~value:"2";
+  check_str_opt "get a" (Some "1") (ops.get ~tid:0 ~key:"a");
+  check_str_opt "get missing" None (ops.get ~tid:0 ~key:"zz");
+  ops.set ~tid:0 ~key:"a" ~value:"updated";
+  check_str_opt "overwrite" (Some "updated") (ops.get ~tid:0 ~key:"a");
+  check_int "count" 2 (ops.count ());
+  check_bool "delete" true (ops.delete ~tid:0 ~key:"a");
+  check_bool "delete gone" false (ops.delete ~tid:0 ~key:"a");
+  check_str_opt "deleted" None (ops.get ~tid:0 ~key:"a")
+
+let test_nv_eviction () =
+  let _, _, c = mk_nv ~capacity:10 () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  for i = 1 to 25 do
+    ops.set ~tid:0 ~key:(Printf.sprintf "k%d" i) ~value:(string_of_int i)
+  done;
+  check_bool "capacity respected" true (ops.count () <= 10);
+  (* The most recent keys survive. *)
+  check_str_opt "newest present" (Some "25") (ops.get ~tid:0 ~key:"k25");
+  check_str_opt "oldest evicted" None (ops.get ~tid:0 ~key:"k1")
+
+let test_nv_lru_protects_hot_keys () =
+  let _, _, c = mk_nv ~capacity:5 () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  for i = 1 to 5 do
+    ops.set ~tid:0 ~key:(Printf.sprintf "k%d" i) ~value:(string_of_int i)
+  done;
+  (* Keep k1 hot while inserting more. *)
+  for i = 6 to 8 do
+    ignore (ops.get ~tid:0 ~key:"k1");
+    ops.set ~tid:0 ~key:(Printf.sprintf "k%d" i) ~value:(string_of_int i)
+  done;
+  check_str_opt "hot key kept" (Some "1") (ops.get ~tid:0 ~key:"k1")
+
+let test_nv_crash_recovery () =
+  let cfg, ctx, c = mk_nv () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  for i = 1 to 200 do
+    ops.set ~tid:0 ~key:(Printf.sprintf "key-%04d" i) ~value:(Printf.sprintf "val-%d" i)
+  done;
+  ignore (ops.delete ~tid:0 ~key:"key-0007");
+  Nvm.Heap.crash (Lfds.Ctx.heap ctx) ~seed:21 ~eviction_probability:0.5;
+  let ctx', active = Lfds.Ctx.recover (Lfds.Ctx.heap ctx) cfg in
+  let c' =
+    Kvcache.Nv_memcached.recover ctx' ~nbuckets:256 ~capacity:1000
+      ~active_pages:active
+  in
+  let ops' = Kvcache.Nv_memcached.ops c' in
+  check_int "count recovered" 199 (ops'.count ());
+  check_str_opt "value intact" (Some "val-42") (ops'.get ~tid:0 ~key:"key-0042");
+  check_str_opt "delete stuck" None (ops'.get ~tid:0 ~key:"key-0007");
+  (* Recovered cache still evicts and serves. *)
+  ops'.set ~tid:0 ~key:"after" ~value:"crash";
+  check_str_opt "post-recovery set" (Some "crash") (ops'.get ~tid:0 ~key:"after")
+
+let test_volatile_memcached () =
+  let c = Kvcache.Memcached_volatile.create ~capacity:3 in
+  let ops = Kvcache.Memcached_volatile.ops c in
+  ops.set ~tid:0 ~key:"a" ~value:"1";
+  ops.set ~tid:0 ~key:"b" ~value:"2";
+  ops.set ~tid:0 ~key:"c" ~value:"3";
+  ignore (ops.get ~tid:0 ~key:"a");
+  ops.set ~tid:0 ~key:"d" ~value:"4";
+  check_int "capacity" 3 (ops.count ());
+  check_str_opt "LRU evicted b" None (ops.get ~tid:0 ~key:"b");
+  check_str_opt "hot a kept" (Some "1") (ops.get ~tid:0 ~key:"a");
+  check_bool "delete" true (ops.delete ~tid:0 ~key:"a")
+
+(* --- TTL / incr --- *)
+
+let test_ttl_expiry () =
+  let _, _, c = mk_nv () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  let now = Unix.gettimeofday () in
+  ops.set_ttl ~tid:0 ~key:"ephemeral" ~value:"x" ~expire_at:(now -. 1.);
+  ops.set_ttl ~tid:0 ~key:"later" ~value:"y" ~expire_at:(now +. 3600.);
+  ops.set ~tid:0 ~key:"forever" ~value:"z";
+  check_str_opt "already expired" None (ops.get ~tid:0 ~key:"ephemeral");
+  check_str_opt "not yet expired" (Some "y") (ops.get ~tid:0 ~key:"later");
+  check_str_opt "no ttl" (Some "z") (ops.get ~tid:0 ~key:"forever")
+
+let test_ttl_survives_crash () =
+  let cfg, ctx, c = mk_nv () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  let now = Unix.gettimeofday () in
+  ops.set_ttl ~tid:0 ~key:"dead" ~value:"x" ~expire_at:(now -. 1.);
+  ops.set_ttl ~tid:0 ~key:"alive" ~value:"y" ~expire_at:(now +. 3600.);
+  Nvm.Heap.crash (Lfds.Ctx.heap ctx) ~seed:2 ~eviction_probability:0.5;
+  let ctx', active = Lfds.Ctx.recover (Lfds.Ctx.heap ctx) cfg in
+  let c' =
+    Kvcache.Nv_memcached.recover ctx' ~nbuckets:256 ~capacity:1000
+      ~active_pages:active
+  in
+  let ops' = Kvcache.Nv_memcached.ops c' in
+  check_str_opt "expiry is durable" None (ops'.get ~tid:0 ~key:"dead");
+  check_str_opt "live item durable" (Some "y") (ops'.get ~tid:0 ~key:"alive")
+
+let test_incr_decr () =
+  let _, _, c = mk_nv () in
+  let ops = Kvcache.Nv_memcached.ops c in
+  ops.set ~tid:0 ~key:"n" ~value:"10";
+  Alcotest.(check (option int)) "incr" (Some 13) (ops.incr ~tid:0 ~key:"n" ~delta:3);
+  Alcotest.(check (option int)) "decr" (Some 8) (ops.incr ~tid:0 ~key:"n" ~delta:(-5));
+  Alcotest.(check (option int)) "decr clamps at 0" (Some 0)
+    (ops.incr ~tid:0 ~key:"n" ~delta:(-100));
+  Alcotest.(check (option int)) "missing key" None (ops.incr ~tid:0 ~key:"zz" ~delta:1);
+  ops.set ~tid:0 ~key:"s" ~value:"hello";
+  Alcotest.(check (option int)) "non-numeric" None (ops.incr ~tid:0 ~key:"s" ~delta:1)
+
+(* --- Text protocol --- *)
+
+let mk_proto () =
+  let _, _, c = mk_nv () in
+  Kvcache.Protocol.create (Kvcache.Nv_memcached.ops c)
+
+let check_resp p req expected =
+  Alcotest.(check string) req expected (Kvcache.Protocol.handle p ~tid:0 req)
+
+let test_protocol_set_get () =
+  let p = mk_proto () in
+  check_resp p "set greeting 0 0 5
+hello
+" "STORED
+";
+  check_resp p "get greeting" "VALUE greeting 0 5
+hello
+END
+";
+  check_resp p "get missing" "END
+"
+
+let test_protocol_multi_get () =
+  let p = mk_proto () in
+  check_resp p "set a 0 0 1
+x
+" "STORED
+";
+  check_resp p "set b 0 0 1
+y
+" "STORED
+";
+  check_resp p "get a b zz"
+    "VALUE a 0 1
+x
+VALUE b 0 1
+y
+END
+"
+
+let test_protocol_add_replace () =
+  let p = mk_proto () in
+  check_resp p "add k 0 0 1
+a
+" "STORED
+";
+  check_resp p "add k 0 0 1
+b
+" "NOT_STORED
+";
+  check_resp p "replace k 0 0 1
+c
+" "STORED
+";
+  check_resp p "replace zz 0 0 1
+d
+" "NOT_STORED
+";
+  check_resp p "get k" "VALUE k 0 1
+c
+END
+"
+
+let test_protocol_append_prepend () =
+  let p = mk_proto () in
+  check_resp p "set k 0 0 3
+bbb
+" "STORED
+";
+  check_resp p "append k 0 0 1
+c
+" "STORED
+";
+  check_resp p "prepend k 0 0 1
+a
+" "STORED
+";
+  check_resp p "get k" "VALUE k 0 5
+abbbc
+END
+"
+
+let test_protocol_delete_incr () =
+  let p = mk_proto () in
+  check_resp p "set n 0 0 2
+41
+" "STORED
+";
+  check_resp p "incr n 1" "42
+";
+  check_resp p "decr n 2" "40
+";
+  check_resp p "delete n" "DELETED
+";
+  check_resp p "delete n" "NOT_FOUND
+";
+  check_resp p "incr n 1" "NOT_FOUND
+"
+
+let test_protocol_errors () =
+  let p = mk_proto () in
+  check_resp p "bogus" "ERROR
+";
+  check_resp p "set missing args" "ERROR
+";
+  check_resp p "set k 0 0 notanumber
+xx
+"
+    "CLIENT_ERROR bad command line format
+";
+  check_resp p "set k 0 0 10
+short
+" "CLIENT_ERROR bad data chunk
+";
+  check_resp p "incr k abc" "CLIENT_ERROR invalid numeric delta argument
+"
+
+let test_protocol_misc () =
+  let p = mk_proto () in
+  check_resp p "version" "VERSION nvlf-0.1
+";
+  check_resp p "verbosity 1" "OK
+";
+  let stats = Kvcache.Protocol.handle p ~tid:0 "stats" in
+  check_bool "stats mentions backend" true
+    (String.length stats > 0
+    && String.sub stats 0 4 = "STAT");
+  let responses =
+    Kvcache.Protocol.session p ~tid:0 [ "set a 0 0 1
+x
+"; "get a" ]
+  in
+  check_int "session responses" 2 (List.length responses)
+
+let test_memtier_generator () =
+  let c = Kvcache.Memcached_volatile.create ~capacity:10_000 in
+  let ops = Kvcache.Memcached_volatile.ops c in
+  let dt = Kvcache.Memtier.warmup ops ~nkeys:100 in
+  check_bool "warmup timed" true (dt >= 0.);
+  check_int "warmup stored half the range" 50 (ops.count ());
+  let r = Kvcache.Memtier.run ops ~nthreads:2 ~duration:0.05 ~nkeys:100 ~seed:1 () in
+  check_bool "ran some ops" true (r.total_ops > 0)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "kvcache"
+    [
+      ( "strpack",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_strpack_roundtrip;
+          Alcotest.test_case "hash" `Quick test_strpack_hash_stable_and_positive;
+          qt prop_strpack;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "order" `Quick test_lru_order;
+          Alcotest.test_case "remove" `Quick test_lru_remove;
+        ] );
+      ( "item",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_item_roundtrip;
+          Alcotest.test_case "size limit" `Quick test_item_too_large;
+        ] );
+      ( "nv-memcached",
+        [
+          Alcotest.test_case "set/get/delete" `Quick test_nv_set_get_delete;
+          Alcotest.test_case "eviction" `Quick test_nv_eviction;
+          Alcotest.test_case "LRU hot keys" `Quick test_nv_lru_protects_hot_keys;
+          Alcotest.test_case "crash recovery" `Quick test_nv_crash_recovery;
+        ] );
+      ( "ttl+incr",
+        [
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "ttl durable" `Quick test_ttl_survives_crash;
+          Alcotest.test_case "incr/decr" `Quick test_incr_decr;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "set/get" `Quick test_protocol_set_get;
+          Alcotest.test_case "multi-get" `Quick test_protocol_multi_get;
+          Alcotest.test_case "add/replace" `Quick test_protocol_add_replace;
+          Alcotest.test_case "append/prepend" `Quick test_protocol_append_prepend;
+          Alcotest.test_case "delete/incr" `Quick test_protocol_delete_incr;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "misc" `Quick test_protocol_misc;
+        ] );
+      ( "volatile+memtier",
+        [
+          Alcotest.test_case "volatile memcached" `Quick test_volatile_memcached;
+          Alcotest.test_case "memtier" `Quick test_memtier_generator;
+        ] );
+    ]

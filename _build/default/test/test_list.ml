@@ -1,0 +1,180 @@
+(* Durable linked list: semantics, durability discipline, marks, memory
+   reclamation and model agreement. *)
+
+open Nvm
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(mode = Lfds.Persist_mode.Link_persist) () =
+  let cfg =
+    { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18; mode; nthreads = 2 }
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  let head = Lfds.Durable_list.create ctx ~root:0 in
+  (ctx, head, Lfds.Durable_list.ops ctx ~head)
+
+let test_empty () =
+  let _, _, ops = mk () in
+  check_int "empty size" 0 (ops.size ());
+  Alcotest.(check (option int)) "search empty" None (ops.search ~tid:0 ~key:5);
+  check_bool "remove empty" false (ops.remove ~tid:0 ~key:5)
+
+let test_insert_search_remove () =
+  let _, _, ops = mk () in
+  check_bool "insert" true (ops.insert ~tid:0 ~key:5 ~value:50);
+  check_bool "insert dup" false (ops.insert ~tid:0 ~key:5 ~value:51);
+  Alcotest.(check (option int)) "value kept" (Some 50) (ops.search ~tid:0 ~key:5);
+  check_bool "remove" true (ops.remove ~tid:0 ~key:5);
+  check_bool "remove again" false (ops.remove ~tid:0 ~key:5);
+  Alcotest.(check (option int)) "gone" None (ops.search ~tid:0 ~key:5)
+
+let test_sorted_order () =
+  let ctx, head, ops = mk () in
+  List.iter
+    (fun k -> ignore (ops.insert ~tid:0 ~key:k ~value:k))
+    [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list (pair int int)))
+    "in key order"
+    [ (1, 1); (3, 3); (5, 5); (7, 7); (9, 9) ]
+    (Lfds.Durable_list.to_list ctx ~tid:0 ~head)
+
+let test_boundaries () =
+  let _, _, ops = mk () in
+  ignore (ops.insert ~tid:0 ~key:Lfds.Set_intf.min_key ~value:1);
+  ignore (ops.insert ~tid:0 ~key:Lfds.Set_intf.max_key ~value:2);
+  Alcotest.(check (option int)) "min key" (Some 1)
+    (ops.search ~tid:0 ~key:Lfds.Set_intf.min_key);
+  Alcotest.(check (option int)) "max key" (Some 2)
+    (ops.search ~tid:0 ~key:Lfds.Set_intf.max_key)
+
+let test_insert_is_durable () =
+  let ctx, head, ops = mk () in
+  ignore (ops.insert ~tid:0 ~key:10 ~value:100);
+  ignore (ops.insert ~tid:0 ~key:20 ~value:200);
+  Heap.crash (Lfds.Ctx.heap ctx) ~eviction_probability:0.0;
+  Lfds.Durable_list.recover_consistency ctx ~head;
+  Alcotest.(check (option int)) "insert survived p=0 crash" (Some 100)
+    (Lfds.Durable_list.search ctx ~tid:0 ~head ~key:10);
+  Alcotest.(check (option int)) "both inserts survived" (Some 200)
+    (Lfds.Durable_list.search ctx ~tid:0 ~head ~key:20)
+
+let test_remove_is_durable () =
+  let ctx, head, ops = mk () in
+  ignore (ops.insert ~tid:0 ~key:10 ~value:100);
+  ignore (ops.remove ~tid:0 ~key:10);
+  Heap.crash (Lfds.Ctx.heap ctx) ~eviction_probability:0.0;
+  Lfds.Durable_list.recover_consistency ctx ~head;
+  Alcotest.(check (option int)) "remove survived p=0 crash" None
+    (Lfds.Durable_list.search ctx ~tid:0 ~head ~key:10)
+
+let test_volatile_mode_no_syncs () =
+  let ctx, _, ops = mk ~mode:Lfds.Persist_mode.Volatile () in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.reset_stats heap;
+  for k = 1 to 50 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  (* Only NV-epochs (APT misses, generation fences) may sync; the list
+     itself must not. *)
+  let st = Heap.aggregate_stats heap in
+  check_bool "few syncs in volatile mode" true (st.sync_batches <= 10)
+
+let test_mark_helping () =
+  (* A reader encountering an unflushed link clears it (helping). *)
+  let ctx, head, ops = mk () in
+  ignore (ops.insert ~tid:0 ~key:10 ~value:100);
+  let heap = Lfds.Ctx.heap ctx in
+  (* Manually mark the head link as unflushed, as if an updater died
+     mid-link-and-persist. *)
+  let v = Heap.load heap ~tid:0 head in
+  Heap.store heap ~tid:0 head (Marked_ptr.with_unflushed v);
+  Alcotest.(check (option int)) "search helps and answers" (Some 100)
+    (ops.search ~tid:0 ~key:10);
+  check_bool "mark cleared by helper" false
+    (Marked_ptr.is_unflushed (Heap.load heap ~tid:0 head))
+
+let test_reclamation_returns_memory () =
+  let ctx, _, ops = mk () in
+  let alloc = Lfds.Ctx.allocator ctx in
+  for k = 1 to 100 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 100 do
+    ignore (ops.remove ~tid:0 ~key:k)
+  done;
+  Lfds.Nv_epochs.drain (Lfds.Ctx.mem ctx) ~tid:0;
+  Lfds.Nv_epochs.drain (Lfds.Ctx.mem ctx) ~tid:1;
+  check_int "all nodes returned to the allocator" 0
+    (Nvalloc.allocated_count alloc ~tid:0)
+
+let test_allocator_reuse_after_churn () =
+  let ctx, _, ops = mk () in
+  (* Insert/remove churn on a small key space must not grow memory without
+     bound: the allocator never runs out of its fixed heap. *)
+  for round = 1 to 50 do
+    for k = 1 to 20 do
+      ignore (ops.insert ~tid:0 ~key:k ~value:round);
+      ignore (ops.remove ~tid:0 ~key:k)
+    done
+  done;
+  check_int "empty at the end" 0 (ops.size ());
+  Lfds.Nv_epochs.drain (Lfds.Ctx.mem ctx) ~tid:0;
+  check_bool "bounded allocation" true
+    (Nvalloc.allocated_count (Lfds.Ctx.allocator ctx) ~tid:0 <= 64)
+
+let test_iter_skips_marked () =
+  let ctx, head, ops = mk () in
+  ignore (ops.insert ~tid:0 ~key:1 ~value:1);
+  ignore (ops.insert ~tid:0 ~key:2 ~value:2);
+  ignore (ops.remove ~tid:0 ~key:1);
+  check_int "size counts live only" 1 (Lfds.Durable_list.size ctx ~tid:0 ~head)
+
+let test_hash_reuses_list_per_bucket () =
+  (* Durable_hash sanity here since it is a thin wrapper over the list. *)
+  let cfg = { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18 } in
+  let ctx = Lfds.Ctx.create cfg in
+  let t = Lfds.Durable_hash.create ctx ~nbuckets:4 in
+  for k = 1 to 64 do
+    ignore (Lfds.Durable_hash.insert ctx t ~tid:0 ~key:k ~value:k)
+  done;
+  check_int "all inserted across buckets" 64 (Lfds.Durable_hash.size ctx t)
+
+(* Model properties in each persist mode. *)
+let props =
+  [
+    Tutil.model_property ~name:"list(volatile) = model" ~structure:I.List
+      ~flavor:I.Volatile ~count:40;
+    Tutil.model_property ~name:"list(link-persist) = model" ~structure:I.List
+      ~flavor:I.Lp ~count:40;
+    Tutil.model_property ~name:"list(link-cache) = model" ~structure:I.List
+      ~flavor:I.Lc ~count:40;
+  ]
+
+let () =
+  Alcotest.run "durable-list"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/search/remove" `Quick test_insert_search_remove;
+          Alcotest.test_case "sorted order" `Quick test_sorted_order;
+          Alcotest.test_case "key boundaries" `Quick test_boundaries;
+          Alcotest.test_case "iter skips marked" `Quick test_iter_skips_marked;
+          Alcotest.test_case "hash-over-list" `Quick test_hash_reuses_list_per_bucket;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "insert durable" `Quick test_insert_is_durable;
+          Alcotest.test_case "remove durable" `Quick test_remove_is_durable;
+          Alcotest.test_case "volatile mode" `Quick test_volatile_mode_no_syncs;
+          Alcotest.test_case "mark helping" `Quick test_mark_helping;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "reclamation" `Quick test_reclamation_returns_memory;
+          Alcotest.test_case "bounded churn" `Quick test_allocator_reuse_after_churn;
+        ] );
+      ("model", List.map Tutil.qt props);
+    ]

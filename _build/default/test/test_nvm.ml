@@ -1,0 +1,460 @@
+(* Unit and property tests for the NVM substrate: cache-line geometry,
+   marked pointers, the simulated heap's volatile/durable split, crash
+   semantics, regions and the persistent allocator. *)
+
+open Nvm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Cacheline --- *)
+
+let test_cacheline_geometry () =
+  check_int "words per line" 8 Cacheline.words_per_line;
+  check_int "line of 0" 0 (Cacheline.line_of_addr 0);
+  check_int "line of 7" 0 (Cacheline.line_of_addr 7);
+  check_int "line of 8" 1 (Cacheline.line_of_addr 8);
+  check_int "addr of line 3" 24 (Cacheline.addr_of_line 3);
+  check_int "align_down 13" 8 (Cacheline.align_down 13);
+  check_int "align_up 13" 16 (Cacheline.align_up 13);
+  check_int "align_up 16" 16 (Cacheline.align_up 16);
+  check_bool "aligned 16" true (Cacheline.is_aligned 16);
+  check_bool "unaligned 17" false (Cacheline.is_aligned 17)
+
+let prop_line_roundtrip =
+  QCheck.Test.make ~name:"line_of/addr_of roundtrip" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun addr ->
+      let line = Cacheline.line_of_addr addr in
+      let base = Cacheline.addr_of_line line in
+      base <= addr && addr < base + Cacheline.words_per_line)
+
+(* --- Marked_ptr --- *)
+
+let test_marked_ptr_basic () =
+  let a = 64 in
+  let p = Marked_ptr.make a ~delete:false ~unflushed:false ~tag:false in
+  check_int "clean addr" a (Marked_ptr.addr p);
+  check_bool "not deleted" false (Marked_ptr.is_deleted p);
+  let p = Marked_ptr.with_delete p in
+  check_bool "deleted" true (Marked_ptr.is_deleted p);
+  check_int "addr preserved" a (Marked_ptr.addr p);
+  let p = Marked_ptr.with_unflushed p in
+  check_bool "unflushed" true (Marked_ptr.is_unflushed p);
+  let p = Marked_ptr.clear_unflushed p in
+  check_bool "cleared" false (Marked_ptr.is_unflushed p);
+  check_bool "delete survives clear" true (Marked_ptr.is_deleted p);
+  check_bool "null is null" true (Marked_ptr.is_null Marked_ptr.null)
+
+let test_marked_ptr_unaligned () =
+  Alcotest.check_raises "unaligned make"
+    (Invalid_argument "Marked_ptr.make: unaligned address") (fun () ->
+      ignore (Marked_ptr.make 13 ~delete:false ~unflushed:false ~tag:false))
+
+let prop_marked_ptr_roundtrip =
+  QCheck.Test.make ~name:"marked_ptr mark roundtrip" ~count:500
+    QCheck.(quad (int_bound 10_000) bool bool bool)
+    (fun (a8, d, u, t) ->
+      let a = a8 * 8 in
+      let p = Marked_ptr.make a ~delete:d ~unflushed:u ~tag:t in
+      Marked_ptr.addr p = a
+      && Marked_ptr.is_deleted p = d
+      && Marked_ptr.is_unflushed p = u
+      && Marked_ptr.is_tagged p = t)
+
+(* --- Heap: volatile/durable split --- *)
+
+let mk_heap ?(size = 4096) () = Heap.create ~size_words:size ()
+
+let test_heap_store_load () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  check_int "volatile read" 42 (Heap.load h ~tid:0 100);
+  check_int "durable unchanged" 0 (Heap.durable_load h 100);
+  check_bool "line dirty" true (Heap.line_is_dirty h 100)
+
+let test_heap_persist () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.persist h ~tid:0 100;
+  check_int "durable after persist" 42 (Heap.durable_load h 100);
+  check_bool "line clean" false (Heap.line_is_dirty h 100)
+
+let test_heap_writeback_without_fence () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.write_back h ~tid:0 100;
+  check_int "not durable before fence" 0 (Heap.durable_load h 100);
+  check_int "pending" 1 (Heap.pending_count h ~tid:0);
+  Heap.fence h ~tid:0;
+  check_int "durable after fence" 42 (Heap.durable_load h 100);
+  check_int "no pending" 0 (Heap.pending_count h ~tid:0)
+
+let test_heap_fence_batches () =
+  let h = mk_heap () in
+  for i = 0 to 7 do
+    Heap.store h ~tid:0 (i * 64) i;
+    Heap.write_back h ~tid:0 (i * 64)
+  done;
+  let st = Heap.stats h 0 in
+  let before = st.sync_batches in
+  Heap.fence h ~tid:0;
+  check_int "one batch for 8 lines" (before + 1) st.sync_batches;
+  check_int "8 lines drained" 8 st.lines_drained
+
+let test_heap_writeback_dedup () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 1;
+  Heap.write_back h ~tid:0 100;
+  Heap.write_back h ~tid:0 101;
+  (* same line *)
+  check_int "same line deduped" 1 (Heap.pending_count h ~tid:0)
+
+let test_heap_cas () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 10 5;
+  check_bool "cas success" true (Heap.cas h ~tid:0 10 ~expected:5 ~desired:6);
+  check_bool "cas failure" false (Heap.cas h ~tid:0 10 ~expected:5 ~desired:7);
+  check_int "value" 6 (Heap.load h ~tid:0 10)
+
+let test_heap_fetch_add () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 10 5;
+  check_int "old value" 5 (Heap.fetch_add h ~tid:0 10 3);
+  check_int "new value" 8 (Heap.load h ~tid:0 10)
+
+let test_heap_crash_loses_unflushed () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.crash h ~eviction_probability:0.0;
+  check_int "unflushed store lost" 0 (Heap.load h ~tid:0 100)
+
+let test_heap_crash_keeps_flushed () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.persist h ~tid:0 100;
+  Heap.store h ~tid:0 200 99;
+  Heap.crash h ~eviction_probability:0.0;
+  check_int "flushed survives" 42 (Heap.load h ~tid:0 100);
+  check_int "unflushed lost" 0 (Heap.load h ~tid:0 200)
+
+let test_heap_crash_eviction_lottery () =
+  (* With eviction probability 1 every dirty line survives the crash. *)
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.store h ~tid:0 200 43;
+  Heap.crash h ~eviction_probability:1.0;
+  check_int "evicted line survived" 42 (Heap.load h ~tid:0 100);
+  check_int "evicted line survived (2)" 43 (Heap.load h ~tid:0 200)
+
+let test_heap_crash_clears_pending () =
+  let h = mk_heap () in
+  Heap.store h ~tid:0 100 42;
+  Heap.write_back h ~tid:0 100;
+  Heap.crash h ~eviction_probability:0.0;
+  check_int "pending dropped" 0 (Heap.pending_count h ~tid:0);
+  check_int "value lost" 0 (Heap.load h ~tid:0 100)
+
+let test_heap_flush_all () =
+  let h = mk_heap () in
+  for i = 0 to 99 do
+    Heap.store h ~tid:0 i i
+  done;
+  Heap.flush_all h ~tid:0;
+  Heap.crash h ~eviction_probability:0.0;
+  let ok = ref true in
+  for i = 0 to 99 do
+    if Heap.load h ~tid:0 i <> i then ok := false
+  done;
+  check_bool "all survived clean shutdown" true !ok
+
+let test_heap_bounds () =
+  let h = mk_heap ~size:128 () in
+  Alcotest.check_raises "load out of bounds"
+    (Invalid_argument "Heap: address 128 out of bounds") (fun () ->
+      ignore (Heap.load h ~tid:0 128))
+
+let test_heap_trip () =
+  let h = mk_heap () in
+  Heap.set_trip h 3;
+  Heap.store h ~tid:0 0 1;
+  Heap.store h ~tid:0 1 1;
+  Heap.store h ~tid:0 2 1;
+  Alcotest.check_raises "trips on 4th primitive" Heap.Crashed (fun () ->
+      Heap.store h ~tid:0 3 1);
+  (* Disarmed after tripping. *)
+  Heap.store h ~tid:0 4 1;
+  check_int "works after trip" 1 (Heap.load h ~tid:0 4)
+
+let test_heap_wb_overflow_drains () =
+  let h = mk_heap ~size:(1 lsl 16) () in
+  (* Exceed the pending buffer; the implicit drain must keep going. *)
+  for i = 0 to 5000 do
+    let a = i * 8 mod (1 lsl 16) in
+    Heap.store h ~tid:0 a (i + 1);
+    Heap.write_back h ~tid:0 a
+  done;
+  Heap.fence h ~tid:0;
+  check_int "first line durable via implicit drain" 1 (Heap.durable_load h 0)
+
+let prop_crash_durable_subset =
+  (* With eviction probability 0, a crash exposes exactly the persisted
+     image for every line that was explicitly synced. *)
+  QCheck.Test.make ~name:"crash(p=0) preserves persisted lines" ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 1 50) (pair (int_bound 511) (int_bound 1000)))
+    (fun writes ->
+      let h = Heap.create ~size_words:512 () in
+      let persisted = Hashtbl.create 16 in
+      List.iteri
+        (fun i (addr, v) ->
+          Heap.store h ~tid:0 addr v;
+          if i mod 3 = 0 then begin
+            Heap.persist h ~tid:0 addr;
+            let base = Cacheline.align_down addr in
+            for a = base to base + 7 do
+              Hashtbl.replace persisted a (Heap.load h ~tid:0 a)
+            done
+          end)
+        writes;
+      Heap.crash h ~eviction_probability:0.0;
+      Hashtbl.fold (fun a v ok -> ok && Heap.load h ~tid:0 a = v) persisted true)
+
+let test_wb_instruction_clflush_serializes () =
+  let h = mk_heap () in
+  Heap.set_wb_instruction h Heap.Clflush;
+  Heap.store h ~tid:0 100 42;
+  Heap.write_back h ~tid:0 100;
+  (* clflush completes alone: durable before any fence. *)
+  check_int "durable without fence" 42 (Heap.durable_load h 100);
+  check_int "nothing pending" 0 (Heap.pending_count h ~tid:0)
+
+let test_wb_instruction_clflushopt_invalidates () =
+  let h = mk_heap () in
+  Heap.set_wb_instruction h Heap.Clflushopt;
+  Heap.store h ~tid:0 100 42;
+  Heap.persist h ~tid:0 100;
+  (* Value still readable (reload from NVRAM), durable as with clwb. *)
+  check_int "readable after invalidation" 42 (Heap.load h ~tid:0 100);
+  check_int "durable" 42 (Heap.durable_load h 100)
+
+let test_wb_instruction_clwb_keeps_line () =
+  let h = mk_heap () in
+  check_bool "default is clwb" true (Heap.wb_instruction h = Heap.Clwb);
+  Heap.store h ~tid:0 100 42;
+  Heap.persist h ~tid:0 100;
+  check_int "line stays valid" 42 (Heap.load h ~tid:0 100)
+
+(* --- Region --- *)
+
+let test_region_carve () =
+  let r = Region.make ~base:8 ~limit:1024 in
+  let a = Region.carve r 10 in
+  check_int "first carve at base" 8 a;
+  let b = Region.carve r 10 in
+  check_bool "second carve aligned above" true
+    (b >= a + 10 && Cacheline.is_aligned b);
+  Region.align_to r 64;
+  let c = Region.carve r 8 in
+  check_int "aligned to 64" 0 (c mod 64)
+
+let test_region_overflow () =
+  let r = Region.make ~base:0 ~limit:16 in
+  ignore (Region.carve r 8);
+  Alcotest.check_raises "carve beyond limit"
+    (Invalid_argument "Region.carve: out of space (need 16, have 8)") (fun () ->
+      ignore (Region.carve r 16))
+
+(* --- Nvalloc --- *)
+
+let mk_alloc ?(page_words = 512) () =
+  let h = Heap.create ~size_words:(1 lsl 16) () in
+  (h, Nvalloc.create h ~base:1024 ~size_words:((1 lsl 16) - 1024) ~page_words ())
+
+let test_alloc_basic () =
+  let _, a = mk_alloc () in
+  let n1 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  let n2 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  check_bool "distinct" true (n1 <> n2);
+  check_bool "aligned" true (Cacheline.is_aligned n1);
+  check_bool "same page (locality)" true
+    (Nvalloc.page_of a n1 = Nvalloc.page_of a n2)
+
+let test_alloc_next_addr_prediction () =
+  let _, a = mk_alloc () in
+  for _ = 1 to 100 do
+    let predicted = Nvalloc.next_alloc_addr a ~tid:0 ~size_class:8 in
+    let got = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+    check_int "next_alloc_addr predicts alloc" predicted got
+  done
+
+let test_alloc_free_reuse () =
+  let _, a = mk_alloc () in
+  let n1 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  Nvalloc.free a ~tid:0 n1;
+  let n2 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  check_int "freed slot reused first" n1 n2
+
+let test_alloc_classes_segregated () =
+  let _, a = mk_alloc () in
+  let n8 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  let n16 = Nvalloc.alloc a ~tid:0 ~size_class:16 in
+  check_bool "different pages per class" true
+    (Nvalloc.page_of a n8 <> Nvalloc.page_of a n16);
+  check_int "class of n8" 8 (Nvalloc.size_class_of a ~tid:0 n8);
+  check_int "class of n16" 16 (Nvalloc.size_class_of a ~tid:0 n16)
+
+let test_alloc_bitmap_tracks () =
+  let _, a = mk_alloc () in
+  let ns = List.init 10 (fun _ -> Nvalloc.alloc a ~tid:0 ~size_class:8) in
+  check_int "allocated count" 10 (Nvalloc.allocated_count a ~tid:0);
+  List.iteri (fun i n -> if i < 5 then Nvalloc.free a ~tid:0 n) ns;
+  check_int "after frees" 5 (Nvalloc.allocated_count a ~tid:0)
+
+let test_alloc_page_exhaustion () =
+  let _, a = mk_alloc ~page_words:128 () in
+  (* 128-word pages hold (128-8)/8 = 15 slots; force several pages. *)
+  let ns = List.init 100 (fun _ -> Nvalloc.alloc a ~tid:0 ~size_class:8) in
+  check_int "100 live" 100 (Nvalloc.allocated_count a ~tid:0);
+  let pages = List.sort_uniq compare (List.map (Nvalloc.page_of a) ns) in
+  check_bool "spans multiple pages" true (List.length pages >= 7)
+
+let test_alloc_per_thread_pages () =
+  let _, a = mk_alloc () in
+  let n0 = Nvalloc.alloc a ~tid:0 ~size_class:8 in
+  let n1 = Nvalloc.alloc a ~tid:1 ~size_class:8 in
+  check_bool "threads own distinct pages" true
+    (Nvalloc.page_of a n0 <> Nvalloc.page_of a n1)
+
+let test_alloc_recover () =
+  let h, a = mk_alloc () in
+  let live = List.init 20 (fun _ -> Nvalloc.alloc a ~tid:0 ~size_class:8) in
+  List.iteri (fun i n -> if i mod 2 = 0 then Nvalloc.free a ~tid:0 n) live;
+  Heap.flush_all h ~tid:0;
+  Heap.crash h ~eviction_probability:0.0;
+  let a' = Nvalloc.recover h ~base:1024 ~size_words:((1 lsl 16) - 1024) () in
+  check_int "allocated survives recovery" 10 (Nvalloc.allocated_count a' ~tid:0);
+  (* Fresh allocations from the recovered state must not collide with the
+     surviving live slots. *)
+  let survivors =
+    List.filteri (fun i _ -> i mod 2 = 1) live |> List.sort_uniq compare
+  in
+  for _ = 1 to 50 do
+    let n = Nvalloc.alloc a' ~tid:0 ~size_class:8 in
+    check_bool "no collision with survivors" false (List.mem n survivors)
+  done
+
+let test_alloc_iter_allocated () =
+  let _, a = mk_alloc () in
+  let ns = List.init 5 (fun _ -> Nvalloc.alloc a ~tid:0 ~size_class:8) in
+  let page = Nvalloc.page_of a (List.hd ns) in
+  let seen = ref [] in
+  Nvalloc.iter_allocated a ~tid:0 ~page (fun addr -> seen := addr :: !seen);
+  check_int "iterates allocated" 5 (List.length !seen);
+  List.iter (fun n -> check_bool "present" true (List.mem n !seen)) ns
+
+let prop_alloc_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_bound 2))
+    (fun classes ->
+      let _, a = mk_alloc () in
+      let spans = ref [] in
+      List.for_all
+        (fun c ->
+          let size_class = 8 * (c + 1) in
+          let n = Nvalloc.alloc a ~tid:0 ~size_class in
+          let ok =
+            List.for_all
+              (fun (base, len) -> n + size_class <= base || base + len <= n)
+              !spans
+          in
+          spans := (n, size_class) :: !spans;
+          ok)
+        classes)
+
+(* --- Latency model / Pstats --- *)
+
+let test_latency_model_defaults () =
+  let l = Latency_model.default () in
+  check_int "write default" 125 l.nvram_write_ns;
+  check_bool "injection on" true l.inject;
+  let l = Latency_model.no_injection () in
+  check_bool "injection off" false l.inject
+
+let test_pstats_aggregate () =
+  let r = Pstats.make_registry () in
+  (Pstats.get r 0).loads <- 5;
+  (Pstats.get r 1).loads <- 7;
+  (Pstats.get r 1).sync_batches <- 2;
+  let total = Pstats.aggregate r in
+  check_int "loads summed" 12 total.loads;
+  check_int "syncs summed" 2 total.sync_batches;
+  Pstats.reset_registry r;
+  check_int "reset" 0 (Pstats.aggregate r).loads
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "cacheline",
+        [
+          Alcotest.test_case "geometry" `Quick test_cacheline_geometry;
+          qt prop_line_roundtrip;
+        ] );
+      ( "marked_ptr",
+        [
+          Alcotest.test_case "basic" `Quick test_marked_ptr_basic;
+          Alcotest.test_case "unaligned" `Quick test_marked_ptr_unaligned;
+          qt prop_marked_ptr_roundtrip;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "store/load" `Quick test_heap_store_load;
+          Alcotest.test_case "persist" `Quick test_heap_persist;
+          Alcotest.test_case "wb needs fence" `Quick test_heap_writeback_without_fence;
+          Alcotest.test_case "fence batches" `Quick test_heap_fence_batches;
+          Alcotest.test_case "wb dedup" `Quick test_heap_writeback_dedup;
+          Alcotest.test_case "cas" `Quick test_heap_cas;
+          Alcotest.test_case "fetch_add" `Quick test_heap_fetch_add;
+          Alcotest.test_case "crash loses unflushed" `Quick
+            test_heap_crash_loses_unflushed;
+          Alcotest.test_case "crash keeps flushed" `Quick test_heap_crash_keeps_flushed;
+          Alcotest.test_case "eviction lottery" `Quick test_heap_crash_eviction_lottery;
+          Alcotest.test_case "crash clears pending" `Quick
+            test_heap_crash_clears_pending;
+          Alcotest.test_case "flush_all" `Quick test_heap_flush_all;
+          Alcotest.test_case "bounds" `Quick test_heap_bounds;
+          Alcotest.test_case "trip wire" `Quick test_heap_trip;
+          Alcotest.test_case "wb overflow drains" `Quick test_heap_wb_overflow_drains;
+          qt prop_crash_durable_subset;
+          Alcotest.test_case "clflush serializes" `Quick
+            test_wb_instruction_clflush_serializes;
+          Alcotest.test_case "clflushopt invalidates" `Quick
+            test_wb_instruction_clflushopt_invalidates;
+          Alcotest.test_case "clwb keeps line" `Quick test_wb_instruction_clwb_keeps_line;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "carve" `Quick test_region_carve;
+          Alcotest.test_case "overflow" `Quick test_region_overflow;
+        ] );
+      ( "nvalloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "next_alloc_addr" `Quick test_alloc_next_addr_prediction;
+          Alcotest.test_case "free/reuse" `Quick test_alloc_free_reuse;
+          Alcotest.test_case "class segregation" `Quick test_alloc_classes_segregated;
+          Alcotest.test_case "bitmap" `Quick test_alloc_bitmap_tracks;
+          Alcotest.test_case "page exhaustion" `Quick test_alloc_page_exhaustion;
+          Alcotest.test_case "per-thread pages" `Quick test_alloc_per_thread_pages;
+          Alcotest.test_case "recover" `Quick test_alloc_recover;
+          Alcotest.test_case "iter_allocated" `Quick test_alloc_iter_allocated;
+          qt prop_alloc_no_overlap;
+        ] );
+      ( "latency+stats",
+        [
+          Alcotest.test_case "latency defaults" `Quick test_latency_model_defaults;
+          Alcotest.test_case "pstats aggregate" `Quick test_pstats_aggregate;
+        ] );
+    ]

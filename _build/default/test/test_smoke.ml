@@ -1,0 +1,216 @@
+(* End-to-end smoke tests: every structure under inserts/removes in all three
+   persist modes, plus a crash/recovery round trip. Fast and loud; detailed
+   suites live in the per-module test files. *)
+
+open Nvm
+
+let cfg mode =
+  { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18; mode; nthreads = 2 }
+
+type maker = {
+  label : string;
+  build : Lfds.Ctx.t -> Lfds.Set_intf.ops;
+  rebuild : Lfds.Ctx.t -> Lfds.Set_intf.ops;  (* attach + recover_consistency *)
+}
+
+let list_maker =
+  {
+    label = "list";
+    build =
+      (fun ctx ->
+        let head = Lfds.Durable_list.create ctx ~root:0 in
+        Lfds.Durable_list.ops ctx ~head);
+    rebuild =
+      (fun ctx ->
+        let head = Lfds.Durable_list.attach ctx ~root:0 in
+        Lfds.Durable_list.recover_consistency ctx ~head;
+        Lfds.Durable_list.ops ctx ~head);
+  }
+
+let hash_maker =
+  {
+    label = "hash";
+    build =
+      (fun ctx ->
+        let t = Lfds.Durable_hash.create ctx ~nbuckets:16 in
+        Lfds.Durable_hash.ops ctx t);
+    rebuild =
+      (fun ctx ->
+        let t = Lfds.Durable_hash.attach ctx ~nbuckets:16 in
+        Lfds.Durable_hash.recover_consistency ctx t;
+        Lfds.Durable_hash.ops ctx t);
+  }
+
+let skiplist_maker =
+  {
+    label = "skiplist";
+    build =
+      (fun ctx ->
+        let t = Lfds.Durable_skiplist.create ctx ~max_level:8 () in
+        Lfds.Durable_skiplist.ops ctx t);
+    rebuild =
+      (fun ctx ->
+        let t = Lfds.Durable_skiplist.attach ctx ~max_level:8 () in
+        Lfds.Durable_skiplist.recover_consistency ctx t;
+        Lfds.Durable_skiplist.ops ctx t);
+  }
+
+let smoke m mode () =
+  let ctx = Lfds.Ctx.create (cfg mode) in
+  let ops = m.build ctx in
+  let tid = 0 in
+  for k = 1 to 100 do
+    Alcotest.(check bool) "insert fresh" true (ops.insert ~tid ~key:k ~value:(k * 10))
+  done;
+  Alcotest.(check bool) "insert dup" false (ops.insert ~tid ~key:50 ~value:1);
+  Alcotest.(check int) "size" 100 (ops.size ());
+  for k = 1 to 100 do
+    if k mod 2 = 0 then
+      Alcotest.(check bool) "remove" true (ops.remove ~tid ~key:k)
+  done;
+  Alcotest.(check bool) "remove absent" false (ops.remove ~tid ~key:2);
+  Alcotest.(check int) "size after removes" 50 (ops.size ());
+  Alcotest.(check (option int)) "search hit" (Some 510) (ops.search ~tid ~key:51);
+  Alcotest.(check (option int)) "search miss" None (ops.search ~tid ~key:52)
+
+let sorted_pairs ops =
+  let acc = ref [] in
+  for k = 1 to 200 do
+    match ops.Lfds.Set_intf.search ~tid:0 ~key:k with
+    | Some v -> acc := (k, v) :: !acc
+    | None -> ()
+  done;
+  List.rev !acc
+
+let smoke_crash_recover m () =
+  let c = cfg Lfds.Persist_mode.Link_persist in
+  let ctx = Lfds.Ctx.create c in
+  let ops = m.build ctx in
+  let tid = 0 in
+  for k = 1 to 64 do
+    ignore (ops.insert ~tid ~key:k ~value:k)
+  done;
+  for k = 1 to 64 do
+    if k mod 4 = 0 then ignore (ops.remove ~tid ~key:k)
+  done;
+  let expected = sorted_pairs ops in
+  let heap = Lfds.Ctx.heap ctx in
+  Heap.crash heap ~seed:42 ~eviction_probability:0.3;
+  let ctx', _active = Lfds.Ctx.recover heap c in
+  let ops' = m.rebuild ctx' in
+  Alcotest.(check (list (pair int int)))
+    "all completed ops survive" expected (sorted_pairs ops')
+
+let cases m =
+  ( m.label,
+    [
+      Alcotest.test_case "volatile" `Quick (smoke m Lfds.Persist_mode.Volatile);
+      Alcotest.test_case "link-persist" `Quick (smoke m Lfds.Persist_mode.Link_persist);
+      Alcotest.test_case "link-cache" `Quick (smoke m Lfds.Persist_mode.Link_cache);
+      Alcotest.test_case "crash+recover" `Quick (smoke_crash_recover m);
+    ] )
+
+let bst_maker =
+  {
+    label = "bst";
+    build =
+      (fun ctx ->
+        let t = Lfds.Durable_bst.create ctx in
+        Lfds.Durable_bst.ops ctx t);
+    rebuild =
+      (fun ctx ->
+        let t = Lfds.Durable_bst.attach ctx in
+        Lfds.Durable_bst.recover_consistency ctx t;
+        Lfds.Durable_bst.ops ctx t);
+  }
+
+(* Log-based baselines: same smoke, with the WAL carved first and rolled back
+   on recovery. *)
+
+let log_list_maker =
+  {
+    label = "log-list";
+    build =
+      (fun ctx ->
+        let wal = Baseline.Wal.create ctx () in
+        let head = Baseline.Log_list.create ctx in
+        Baseline.Log_list.ops ctx wal ~head);
+    rebuild =
+      (fun ctx ->
+        let wal = Baseline.Wal.attach ctx () in
+        let head = Baseline.Log_list.attach ctx in
+        Baseline.Wal.recover wal;
+        Baseline.Log_list.recover_consistency ctx ~head;
+        Baseline.Log_list.ops ctx wal ~head);
+  }
+
+let log_hash_maker =
+  {
+    label = "log-hash";
+    build =
+      (fun ctx ->
+        let wal = Baseline.Wal.create ctx () in
+        let t = Baseline.Log_hash.create ctx ~nbuckets:16 in
+        Baseline.Log_hash.ops ctx wal t);
+    rebuild =
+      (fun ctx ->
+        let wal = Baseline.Wal.attach ctx () in
+        let t = Baseline.Log_hash.attach ctx ~nbuckets:16 in
+        Baseline.Wal.recover wal;
+        Baseline.Log_hash.recover_consistency ctx t;
+        Baseline.Log_hash.ops ctx wal t);
+  }
+
+let log_skiplist_maker =
+  {
+    label = "log-skiplist";
+    build =
+      (fun ctx ->
+        let wal = Baseline.Wal.create ctx () in
+        let t = Baseline.Log_skiplist.create ctx ~max_level:8 () in
+        Baseline.Log_skiplist.ops ctx wal t);
+    rebuild =
+      (fun ctx ->
+        let wal = Baseline.Wal.attach ctx () in
+        let t = Baseline.Log_skiplist.attach ctx ~max_level:8 () in
+        Baseline.Wal.recover wal;
+        Baseline.Log_skiplist.recover_consistency ctx t;
+        Baseline.Log_skiplist.ops ctx wal t);
+  }
+
+let log_bst_maker =
+  {
+    label = "log-bst";
+    build =
+      (fun ctx ->
+        let wal = Baseline.Wal.create ctx () in
+        let t = Baseline.Log_bst.create ctx in
+        Baseline.Log_bst.ops ctx wal t);
+    rebuild =
+      (fun ctx ->
+        let wal = Baseline.Wal.attach ctx () in
+        let t = Baseline.Log_bst.attach ctx in
+        Baseline.Wal.recover wal;
+        Baseline.Log_bst.recover_consistency ctx t;
+        Baseline.Log_bst.ops ctx wal t);
+  }
+
+let log_cases m =
+  ( m.label,
+    [
+      Alcotest.test_case "ops" `Quick (smoke m Lfds.Persist_mode.Link_persist);
+      Alcotest.test_case "crash+recover" `Quick (smoke_crash_recover m);
+    ] )
+
+let () =
+  Alcotest.run "smoke"
+    [
+      cases list_maker;
+      cases hash_maker;
+      cases skiplist_maker;
+      cases bst_maker;
+      log_cases log_list_maker;
+      log_cases log_hash_maker;
+      log_cases log_skiplist_maker;
+      log_cases log_bst_maker;
+    ]

@@ -1,0 +1,231 @@
+(* Skip list, BST and hash table: structure-specific semantics, recovery
+   normalization, and model agreement in every persist mode. *)
+
+open Nvm
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_ctx ?(mode = Lfds.Persist_mode.Link_persist) () =
+  Lfds.Ctx.create
+    { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 19; mode; nthreads = 2 }
+
+(* --- Skip list --- *)
+
+let mk_sl ?mode () =
+  let ctx = mk_ctx ?mode () in
+  let t = Lfds.Durable_skiplist.create ctx ~max_level:8 () in
+  (ctx, t, Lfds.Durable_skiplist.ops ctx t)
+
+let test_sl_basic () =
+  let _, _, ops = mk_sl () in
+  check_bool "insert" true (ops.insert ~tid:0 ~key:5 ~value:50);
+  check_bool "dup" false (ops.insert ~tid:0 ~key:5 ~value:51);
+  Alcotest.(check (option int)) "find" (Some 50) (ops.search ~tid:0 ~key:5);
+  check_bool "remove" true (ops.remove ~tid:0 ~key:5);
+  Alcotest.(check (option int)) "gone" None (ops.search ~tid:0 ~key:5);
+  check_bool "remove absent" false (ops.remove ~tid:0 ~key:5)
+
+let test_sl_many_sorted () =
+  let ctx, t, ops = mk_sl () in
+  let keys = List.init 500 (fun i -> ((i * 37) mod 997) + 1) in
+  let uniq = List.sort_uniq compare keys in
+  List.iter (fun k -> ignore (ops.insert ~tid:0 ~key:k ~value:k)) keys;
+  check_int "all unique inserted" (List.length uniq) (ops.size ());
+  Alcotest.(check (list int))
+    "level-0 order is sorted" uniq
+    (List.map fst (Lfds.Durable_skiplist.to_list ctx ~tid:0 t))
+
+let test_sl_tower_integrity () =
+  (* After heavy churn, every key reachable at level 0 must be found by the
+     indexed search too. *)
+  let _, _, ops = mk_sl () in
+  for k = 1 to 300 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 300 do
+    if k mod 3 = 0 then ignore (ops.remove ~tid:0 ~key:k)
+  done;
+  for k = 1 to 300 do
+    let expected = if k mod 3 = 0 then None else Some k in
+    Alcotest.(check (option int)) "indexed search agrees" expected
+      (ops.search ~tid:0 ~key:k)
+  done
+
+let test_sl_rebuild_after_crash () =
+  let c = { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 19 } in
+  let ctx = Lfds.Ctx.create c in
+  let t = Lfds.Durable_skiplist.create ctx ~max_level:8 () in
+  let ops = Lfds.Durable_skiplist.ops ctx t in
+  for k = 1 to 200 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:(k * 2))
+  done;
+  Heap.crash (Lfds.Ctx.heap ctx) ~eviction_probability:0.3 ~seed:3;
+  let ctx', _ = Lfds.Ctx.recover (Lfds.Ctx.heap ctx) c in
+  let t' = Lfds.Durable_skiplist.attach ctx' ~max_level:8 () in
+  Lfds.Durable_skiplist.recover_consistency ctx' t';
+  let ops' = Lfds.Durable_skiplist.ops ctx' t' in
+  for k = 1 to 200 do
+    Alcotest.(check (option int)) "key survives with rebuilt towers"
+      (Some (k * 2)) (ops'.search ~tid:0 ~key:k)
+  done
+
+(* --- BST --- *)
+
+let mk_bst ?mode () =
+  let ctx = mk_ctx ?mode () in
+  let t = Lfds.Durable_bst.create ctx in
+  (ctx, t, Lfds.Durable_bst.ops ctx t)
+
+let test_bst_basic () =
+  let _, _, ops = mk_bst () in
+  check_bool "insert" true (ops.insert ~tid:0 ~key:5 ~value:50);
+  check_bool "dup" false (ops.insert ~tid:0 ~key:5 ~value:51);
+  Alcotest.(check (option int)) "find" (Some 50) (ops.search ~tid:0 ~key:5);
+  check_bool "remove" true (ops.remove ~tid:0 ~key:5);
+  Alcotest.(check (option int)) "gone" None (ops.search ~tid:0 ~key:5);
+  check_bool "remove absent" false (ops.remove ~tid:0 ~key:5)
+
+let test_bst_shapes () =
+  (* Ascending, descending and zig-zag insertion orders all work (external
+     tree shape does not depend on balance for correctness). *)
+  List.iter
+    (fun order ->
+      let _, _, ops = mk_bst () in
+      List.iter (fun k -> ignore (ops.insert ~tid:0 ~key:k ~value:k)) order;
+      check_int "all present" (List.length order) (ops.size ());
+      List.iter
+        (fun k ->
+          Alcotest.(check (option int)) "findable" (Some k) (ops.search ~tid:0 ~key:k))
+        order)
+    [
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      [ 8; 7; 6; 5; 4; 3; 2; 1 ];
+      [ 4; 8; 2; 6; 1; 5; 3; 7 ];
+    ]
+
+let test_bst_remove_root_region () =
+  let _, _, ops = mk_bst () in
+  List.iter (fun k -> ignore (ops.insert ~tid:0 ~key:k ~value:k)) [ 4; 2; 6 ];
+  check_bool "remove first-inserted" true (ops.remove ~tid:0 ~key:4);
+  Alcotest.(check (option int)) "others intact" (Some 2) (ops.search ~tid:0 ~key:2);
+  Alcotest.(check (option int)) "others intact (2)" (Some 6) (ops.search ~tid:0 ~key:6);
+  check_int "size" 2 (ops.size ())
+
+let test_bst_remove_to_empty () =
+  let _, _, ops = mk_bst () in
+  List.iter (fun k -> ignore (ops.insert ~tid:0 ~key:k ~value:k)) [ 3; 1; 2 ];
+  List.iter (fun k -> check_bool "removed" true (ops.remove ~tid:0 ~key:k)) [ 2; 3; 1 ];
+  check_int "empty" 0 (ops.size ());
+  (* And usable again. *)
+  check_bool "reinsert" true (ops.insert ~tid:0 ~key:9 ~value:9);
+  Alcotest.(check (option int)) "found" (Some 9) (ops.search ~tid:0 ~key:9)
+
+let test_bst_internal_nodes_reclaimed () =
+  let ctx, _, ops = mk_bst () in
+  for k = 1 to 100 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 100 do
+    ignore (ops.remove ~tid:0 ~key:k)
+  done;
+  Lfds.Nv_epochs.drain (Lfds.Ctx.mem ctx) ~tid:0;
+  Lfds.Nv_epochs.drain (Lfds.Ctx.mem ctx) ~tid:1;
+  check_int "leaves and internals all freed" 0
+    (Nvalloc.allocated_count (Lfds.Ctx.allocator ctx) ~tid:0)
+
+let test_bst_crash_normalization () =
+  let c = { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 19 } in
+  let ctx = Lfds.Ctx.create c in
+  let t = Lfds.Durable_bst.create ctx in
+  let ops = Lfds.Durable_bst.ops ctx t in
+  for k = 1 to 100 do
+    ignore (ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 100 do
+    if k mod 2 = 0 then ignore (ops.remove ~tid:0 ~key:k)
+  done;
+  Heap.crash (Lfds.Ctx.heap ctx) ~eviction_probability:0.4 ~seed:11;
+  let ctx', _ = Lfds.Ctx.recover (Lfds.Ctx.heap ctx) c in
+  let t' = Lfds.Durable_bst.attach ctx' in
+  Lfds.Durable_bst.recover_consistency ctx' t';
+  let ops' = Lfds.Durable_bst.ops ctx' t' in
+  for k = 1 to 100 do
+    let expected = if k mod 2 = 0 then None else Some k in
+    Alcotest.(check (option int)) "completed ops survive" expected
+      (ops'.search ~tid:0 ~key:k)
+  done
+
+(* --- Hash table --- *)
+
+let test_hash_bucket_distribution () =
+  let ctx = mk_ctx () in
+  let t = Lfds.Durable_hash.create ctx ~nbuckets:64 in
+  for k = 1 to 512 do
+    ignore (Lfds.Durable_hash.insert ctx t ~tid:0 ~key:k ~value:k)
+  done;
+  check_int "all in" 512 (Lfds.Durable_hash.size ctx t);
+  (* No bucket holds a wildly disproportionate share. *)
+  let counts = Array.make 64 0 in
+  Lfds.Durable_hash.iter_nodes ctx t (fun node ~deleted ->
+      ignore node;
+      if not deleted then begin
+        let k = Heap.load (Lfds.Ctx.heap ctx) ~tid:0 node in
+        let b = (Lfds.Durable_hash.bucket_link t k - t.Lfds.Durable_hash.base) in
+        counts.(b) <- counts.(b) + 1
+      end);
+  Array.iter (fun c -> check_bool "no pathological bucket" true (c < 64)) counts
+
+let test_hash_collisions_within_bucket () =
+  let ctx = mk_ctx () in
+  let t = Lfds.Durable_hash.create ctx ~nbuckets:1 in
+  (* Single bucket: the table degenerates to one list and must still work. *)
+  for k = 1 to 100 do
+    ignore (Lfds.Durable_hash.insert ctx t ~tid:0 ~key:k ~value:(k * 7))
+  done;
+  for k = 1 to 100 do
+    Alcotest.(check (option int)) "all found" (Some (k * 7))
+      (Lfds.Durable_hash.search ctx t ~tid:0 ~key:k)
+  done
+
+(* --- Model properties: every structure, every persist mode. --- *)
+
+let props =
+  List.concat_map
+    (fun (structure, sname) ->
+      List.map
+        (fun (flavor, fname) ->
+          Tutil.model_property
+            ~name:(Printf.sprintf "%s(%s) = model" sname fname)
+            ~structure ~flavor ~count:25)
+        [ (I.Volatile, "volatile"); (I.Lp, "lp"); (I.Lc, "lc") ])
+    [ (I.Hash, "hash"); (I.Skiplist, "skiplist"); (I.Bst, "bst") ]
+
+let () =
+  Alcotest.run "structures"
+    [
+      ( "skiplist",
+        [
+          Alcotest.test_case "basic" `Quick test_sl_basic;
+          Alcotest.test_case "sorted bulk" `Quick test_sl_many_sorted;
+          Alcotest.test_case "tower integrity" `Quick test_sl_tower_integrity;
+          Alcotest.test_case "crash rebuild" `Quick test_sl_rebuild_after_crash;
+        ] );
+      ( "bst",
+        [
+          Alcotest.test_case "basic" `Quick test_bst_basic;
+          Alcotest.test_case "shapes" `Quick test_bst_shapes;
+          Alcotest.test_case "remove root region" `Quick test_bst_remove_root_region;
+          Alcotest.test_case "remove to empty" `Quick test_bst_remove_to_empty;
+          Alcotest.test_case "interior reclamation" `Quick
+            test_bst_internal_nodes_reclaimed;
+          Alcotest.test_case "crash normalization" `Quick test_bst_crash_normalization;
+        ] );
+      ( "hash",
+        [
+          Alcotest.test_case "distribution" `Quick test_hash_bucket_distribution;
+          Alcotest.test_case "single bucket" `Quick test_hash_collisions_within_bucket;
+        ] );
+      ("model", List.map Tutil.qt props);
+    ]

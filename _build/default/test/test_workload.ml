@@ -1,0 +1,150 @@
+(* Workload harness: RNG determinism and distribution, key generation, the
+   throughput runner, barriers, and report formatting. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_xoshiro_deterministic () =
+  let a = Workload.Xoshiro.make ~seed:7 and b = Workload.Xoshiro.make ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Workload.Xoshiro.next a) (Workload.Xoshiro.next b)
+  done
+
+let test_xoshiro_seeds_differ () =
+  let a = Workload.Xoshiro.make ~seed:7 and b = Workload.Xoshiro.make ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Workload.Xoshiro.next a = Workload.Xoshiro.next b then incr same
+  done;
+  check_bool "streams diverge" true (!same < 5)
+
+let test_xoshiro_bounds () =
+  let r = Workload.Xoshiro.make ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Workload.Xoshiro.below r 10 in
+    check_bool "in range" true (v >= 0 && v < 10);
+    let v = Workload.Xoshiro.in_range r ~lo:5 ~hi:8 in
+    check_bool "in closed range" true (v >= 5 && v <= 8)
+  done
+
+let test_xoshiro_uniformish () =
+  let r = Workload.Xoshiro.make ~seed:11 in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v = Workload.Xoshiro.below r 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_keygen_mix () =
+  let r = Workload.Xoshiro.make ~seed:5 in
+  let ins = ref 0 and del = ref 0 and fnd = ref 0 in
+  for _ = 1 to 10000 do
+    match Workload.Keygen.pick r Workload.Keygen.update_only with
+    | Workload.Keygen.Insert -> incr ins
+    | Workload.Keygen.Remove -> incr del
+    | Workload.Keygen.Search -> incr fnd
+  done;
+  check_int "no searches in update-only" 0 !fnd;
+  check_bool "balanced" true (abs (!ins - !del) < 600)
+
+let test_keygen_prefill () =
+  let inst = Tutil.mk Harness.Instance.Hash Harness.Instance.Lp in
+  Workload.Keygen.prefill inst.ops ~size:200 ~seed:9;
+  check_int "prefilled to size" 200 (inst.ops.size ())
+
+let test_run_throughput_counts () =
+  let counter = Atomic.make 0 in
+  let r =
+    Workload.Run.throughput ~nthreads:2 ~duration:0.05
+      ~step:(fun ~tid:_ ~rng:_ -> Atomic.incr counter)
+      ~seed:1 ()
+  in
+  check_int "result matches side effects" (Atomic.get counter) r.total_ops;
+  check_int "per-thread sums" r.total_ops
+    (Array.fold_left ( + ) 0 r.per_thread);
+  check_bool "throughput positive" true (r.throughput > 0.)
+
+let test_barrier () =
+  let b = Workload.Barrier.make 3 in
+  let hits = Atomic.make 0 in
+  let worker () =
+    Workload.Barrier.wait b;
+    Atomic.incr hits;
+    Workload.Barrier.wait b
+  in
+  let ds = List.init 2 (fun _ -> Domain.spawn worker) in
+  Workload.Barrier.wait b;
+  (* all three passed phase one *)
+  Workload.Barrier.wait b;
+  List.iter Domain.join ds;
+  check_int "all crossed" 2 (Atomic.get hits)
+
+let test_report_formats () =
+  Alcotest.(check string) "ns" "500 ns" (Workload.Report.human_ns 500.);
+  Alcotest.(check string) "us" "1.5 us" (Workload.Report.human_ns 1500.);
+  Alcotest.(check string) "ms" "2.50 ms" (Workload.Report.human_ns 2.5e6);
+  Alcotest.(check string) "ops" "1.50 Mop/s" (Workload.Report.human_ops 1.5e6)
+
+let test_histogram_percentiles () =
+  let h = Workload.Histogram.create () in
+  for i = 1 to 1000 do
+    Workload.Histogram.record h ~ns:(float_of_int i)
+  done;
+  check_int "count" 1000 (Workload.Histogram.count h);
+  let p50 = Workload.Histogram.percentile h 50. in
+  check_bool "p50 near 500" true (p50 > 400. && p50 < 620.);
+  let p99 = Workload.Histogram.percentile h 99. in
+  check_bool "p99 near 990" true (p99 > 850. && p99 < 1200.);
+  check_bool "mean near 500" true
+    (let m = Workload.Histogram.mean h in
+     m > 400. && m < 620.)
+
+let test_histogram_merge () =
+  let a = Workload.Histogram.create () and b = Workload.Histogram.create () in
+  Workload.Histogram.record a ~ns:10.;
+  Workload.Histogram.record b ~ns:1000.;
+  Workload.Histogram.merge ~into:a b;
+  check_int "merged count" 2 (Workload.Histogram.count a)
+
+let test_latency_profile () =
+  let h =
+    Workload.Run.latency_profile ~n:100 ~step:(fun ~tid:_ ~rng:_ -> ()) ~seed:1 ()
+  in
+  check_int "profiled all" 100 (Workload.Histogram.count h)
+
+let test_calibrate_positive () =
+  check_bool "calibrated write latency sane" true
+    (Harness.Calibrate.write_ns () > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_xoshiro_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_xoshiro_bounds;
+          Alcotest.test_case "uniform" `Quick test_xoshiro_uniformish;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "mix" `Quick test_keygen_mix;
+          Alcotest.test_case "prefill" `Quick test_keygen_prefill;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "throughput" `Quick test_run_throughput_counts;
+          Alcotest.test_case "barrier" `Quick test_barrier;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "formats" `Quick test_report_formats;
+          Alcotest.test_case "calibration" `Quick test_calibrate_positive;
+          Alcotest.test_case "histogram" `Quick test_histogram_percentiles;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "latency profile" `Quick test_latency_profile;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+(* Shared helpers for the structure test suites: model-based checking of the
+   set semantics (sequential), and instance shorthand. Linked into every test
+   executable of this directory. *)
+
+module I = Harness.Instance
+
+let mk ?(nthreads = 1) ?(size_hint = 512) structure flavor =
+  I.create ~nthreads ~size_hint ~structure ~flavor ()
+
+(* One random operation applied both to the structure and to a reference
+   model; returns false on divergence. *)
+type op = Ins of int | Del of int | Find of int
+
+let op_gen ~key_range =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Ins (1 + (k mod key_range))) nat;
+        map (fun k -> Del (1 + (k mod key_range))) nat;
+        map (fun k -> Find (1 + (k mod key_range))) nat;
+      ])
+
+let show_op = function
+  | Ins k -> Printf.sprintf "Ins %d" k
+  | Del k -> Printf.sprintf "Del %d" k
+  | Find k -> Printf.sprintf "Find %d" k
+
+let arb_ops ~key_range ~max_len =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map show_op l))
+    QCheck.Gen.(list_size (int_range 1 max_len) (op_gen ~key_range))
+
+(* Run an op list against [ops] and an assoc model; true iff every result
+   and the final contents agree. *)
+let agrees_with_model (ops : Lfds.Set_intf.ops) script =
+  let model = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins k ->
+          let expect = not (Hashtbl.mem model k) in
+          let got = ops.insert ~tid:0 ~key:k ~value:(k * 3) in
+          if got <> expect then ok := false;
+          if got then Hashtbl.replace model k (k * 3)
+      | Del k ->
+          let expect = Hashtbl.mem model k in
+          let got = ops.remove ~tid:0 ~key:k in
+          if got <> expect then ok := false;
+          if got then Hashtbl.remove model k
+      | Find k ->
+          let expect = Hashtbl.find_opt model k in
+          if ops.search ~tid:0 ~key:k <> expect then ok := false)
+    script;
+  if ops.size () <> Hashtbl.length model then ok := false;
+  Hashtbl.iter
+    (fun k v -> if ops.search ~tid:0 ~key:k <> Some v then ok := false)
+    model;
+  !ok
+
+(* Model-agreement property for a fresh instance per run. *)
+let model_property ~name ~structure ~flavor ~count =
+  QCheck.Test.make ~name ~count (arb_ops ~key_range:64 ~max_len:200)
+    (fun script ->
+      let inst = mk structure flavor in
+      agrees_with_model inst.ops script)
+
+let qt = QCheck_alcotest.to_alcotest
