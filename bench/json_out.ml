@@ -1,0 +1,112 @@
+(* Machine-readable bench output: collects flat records during a run and
+   writes one JSON document at exit when [--json FILE] was given.
+
+   Schema ("nvlf-bench/1", also documented in EXPERIMENTS.md):
+
+   { "schema": "nvlf-bench/1",
+     "generated_unix": <float seconds since epoch>,
+     "argv": [<string>...],
+     "records": [ { "kind": "throughput" | "ratio", ... } ... ] }
+
+   A "throughput" record carries experiment/structure/flavor/size/threads/
+   mix/duration/write_ns/ops_per_s plus a "substrate" object with the
+   heap's aggregate Pstats counters for the measured window. A "ratio"
+   record relates one flavor's ops/s to the log-based baseline at the same
+   point. Values are flat so downstream tooling can load the file with any
+   JSON parser and pivot freely. *)
+
+type v = I of int | F of float | S of string | L of v list | O of (string * v) list
+
+let buf_add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b = function
+  | I n -> Buffer.add_string b (string_of_int n)
+  | F f ->
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
+      else Buffer.add_string b "null"
+  | S s ->
+      Buffer.add_char b '"';
+      buf_add_escaped b s;
+      Buffer.add_char b '"'
+  | L vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        vs;
+      Buffer.add_char b ']'
+  | O fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b (S k);
+          Buffer.add_char b ':';
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let path : string option ref = ref None
+let experiment = ref "-"
+let records : v list ref = ref []
+
+(* Fail fast on an unwritable path — before the measurement, not after. *)
+let set_path p =
+  (try close_out (open_out p)
+   with Sys_error msg ->
+     Printf.eprintf "nvlf-bench: cannot write JSON output: %s\n%!" msg;
+     exit 2);
+  path := Some p
+let enabled () = !path <> None
+let set_experiment name = experiment := name
+
+(* Records accumulate in reverse; [write] restores order. *)
+let add ~kind fields =
+  if enabled () then
+    records := O (("kind", S kind) :: ("experiment", S !experiment) :: fields) :: !records
+
+let substrate_fields (st : Nvm.Pstats.t) =
+  O
+    [
+      ("loads", I st.loads);
+      ("stores", I st.stores);
+      ("cas", I st.cas);
+      ("write_backs", I st.write_backs);
+      ("fences", I st.fences);
+      ("sync_batches", I st.sync_batches);
+      ("lines_drained", I st.lines_drained);
+      ("log_entries", I st.log_entries);
+    ]
+
+let write () =
+  match !path with
+  | None -> ()
+  | Some file ->
+      let doc =
+        O
+          [
+            ("schema", S "nvlf-bench/1");
+            ("generated_unix", F (Unix.gettimeofday ()));
+            ("argv", L (Array.to_list (Array.map (fun s -> S s) Sys.argv)));
+            ("records", L (List.rev !records));
+          ]
+      in
+      let b = Buffer.create 4096 in
+      emit b doc;
+      Buffer.add_char b '\n';
+      let oc = open_out file in
+      Buffer.output_buffer oc b;
+      close_out oc;
+      Printf.printf "wrote %d JSON records to %s\n%!" (List.length !records) file

@@ -20,12 +20,16 @@ type opts = {
   full : bool;
   seed : int;
   write_ns : int;
+  json : string option;
 }
 
 (* --write-ns 0 (the default) auto-calibrates the injected latency to this
-   machine's simulated-heap load cost (see Harness.Calibrate). *)
+   machine's simulated-heap load cost (see Harness.Calibrate). Memoized so
+   every point of a run sees the same injected latency. *)
+let calibrated_write_ns = lazy (Harness.Calibrate.write_ns ())
+
 let base_write_ns opts =
-  if opts.write_ns > 0 then opts.write_ns else Harness.Calibrate.write_ns ()
+  if opts.write_ns > 0 then opts.write_ns else Lazy.force calibrated_write_ns
 
 let latency opts =
   let l = Nvm.Latency_model.default () in
@@ -33,18 +37,38 @@ let latency opts =
   l
 
 (* Build an instance, prefill to steady state, run the update workload, and
-   return throughput (ops/s). *)
-let throughput_point opts ~structure ~flavor ~size ~nthreads ~mix =
+   return throughput (ops/s). With [--json] each point also records an
+   nvlf-bench/1 "throughput" record carrying the substrate counters of the
+   measured window (stats are reset after prefill). *)
+let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthreads
+    ~mix =
   let inst =
     I.create ~nthreads ~size_hint:size ~latency:(latency opts) ~structure ~flavor ()
   in
   Keygen.prefill inst.ops ~size ~seed:opts.seed;
+  let heap = Lfds.Ctx.heap inst.ctx in
+  Nvm.Heap.reset_stats heap;
   let range = Keygen.range_for ~size in
   let r =
     Run.throughput ~nthreads ~duration:opts.duration
       ~step:(Run.set_workload inst.ops ~mix ~range)
       ~seed:opts.seed ()
   in
+  if Json_out.enabled () then
+    Json_out.add ~kind:"throughput"
+      Json_out.
+        [
+          ("structure", S (I.structure_name structure));
+          ("flavor", S (I.flavor_name flavor));
+          ("size", I size);
+          ("threads", I nthreads);
+          ("mix", S mix_name);
+          ("duration", F opts.duration);
+          ("write_ns", I (base_write_ns opts));
+          ("seed", I opts.seed);
+          ("ops_per_s", F r.throughput);
+          ("substrate", substrate_fields (Nvm.Heap.aggregate_stats heap));
+        ];
   r.throughput
 
 let ratio_row opts ~structure ~size ~mix ~flavors ~nthreads =
@@ -52,7 +76,21 @@ let ratio_row opts ~structure ~size ~mix ~flavors ~nthreads =
   List.map
     (fun flavor ->
       let tp = throughput_point opts ~structure ~flavor ~size ~nthreads ~mix in
-      tp /. base)
+      let ratio = tp /. base in
+      Json_out.add ~kind:"ratio"
+        Json_out.
+          [
+            ("structure", S (I.structure_name structure));
+            ("flavor", S (I.flavor_name flavor));
+            ("vs", S (I.flavor_name I.Log));
+            ("size", I size);
+            ("threads", I nthreads);
+            ("write_ns", I (base_write_ns opts));
+            ("ratio", F ratio);
+            ("ops_per_s", F tp);
+            ("base_ops_per_s", F base);
+          ];
+      ratio)
     flavors
 
 (* ------------------------------------------------------------------ *)
@@ -644,18 +682,56 @@ let micro () =
   flush stdout
 
 (* ------------------------------------------------------------------ *)
+(* Smoke probe: the fig5 hash-table point, small enough to run after   *)
+(* every test pass (dune alias bench-smoke) and to anchor the repo's   *)
+(* BENCH_*.json trajectory across PRs.                                 *)
+
+let smoke opts =
+  let mix = Keygen.update_only in
+  let size = 1024 in
+  List.iter
+    (fun nthreads ->
+      let base =
+        throughput_point opts ~structure:I.Hash ~flavor:I.Log ~size ~nthreads ~mix
+      in
+      let lc =
+        throughput_point opts ~structure:I.Hash ~flavor:I.Lc ~size ~nthreads ~mix
+      in
+      Json_out.add ~kind:"ratio"
+        Json_out.
+          [
+            ("structure", S (I.structure_name I.Hash));
+            ("flavor", S (I.flavor_name I.Lc));
+            ("vs", S (I.flavor_name I.Log));
+            ("size", I size);
+            ("threads", I nthreads);
+            ("write_ns", I (base_write_ns opts));
+            ("ratio", F (lc /. base));
+            ("ops_per_s", F lc);
+            ("base_ops_per_s", F base);
+          ];
+      pr "smoke: hash size=%d threads=%d write_ns=%d  log=%s  lc=%s  lc/log=%.2fx\n"
+        size nthreads (base_write_ns opts) (Report.human_ops base)
+        (Report.human_ops lc) (lc /. base))
+    opts.threads
+
+(* ------------------------------------------------------------------ *)
 (* Command line.                                                       *)
 
 let run_all opts =
-  table1 opts;
-  fig5 opts;
-  fig6 opts;
-  fig7 opts;
-  fig8 opts;
-  fig9 opts;
-  fig10 opts;
-  fig11 opts;
-  ablate opts;
+  let sect name f =
+    Json_out.set_experiment name;
+    f opts
+  in
+  sect "table1" table1;
+  sect "fig5" fig5;
+  sect "fig6" fig6;
+  sect "fig7" fig7;
+  sect "fig8" fig8;
+  sect "fig9" fig9;
+  sect "fig10" fig10;
+  sect "fig11" fig11;
+  sect "ablate" ablate;
   micro ()
 
 open Cmdliner
@@ -675,15 +751,30 @@ let opts_term =
       & info [ "write-ns" ]
           ~doc:"NVRAM write latency (ns); 0 = calibrate to the simulator.")
   in
-  let make duration threads full seed write_ns =
-    { duration; threads; full; seed; write_ns }
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write machine-readable results (schema nvlf-bench/1) to $(docv).")
   in
-  Term.(const make $ duration $ threads $ full $ seed $ write_ns)
+  let make duration threads full seed write_ns json =
+    { duration; threads; full; seed; write_ns; json }
+  in
+  Term.(const make $ duration $ threads $ full $ seed $ write_ns $ json)
 
-let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ opts_term)
+let with_json name f opts =
+  (match opts.json with Some p -> Json_out.set_path p | None -> ());
+  Json_out.set_experiment name;
+  f opts;
+  Json_out.write ()
+
+let cmd name doc f =
+  let wrapped = with_json name f in
+  Cmd.v (Cmd.info name ~doc) Term.(const wrapped $ opts_term)
 
 let () =
-  let default = Term.(const run_all $ opts_term) in
+  let default = Term.(const (with_json "all" run_all) $ opts_term) in
   let info =
     Cmd.info "nvlf-bench" ~doc:"Log-free durable data structures: paper experiments"
   in
@@ -699,6 +790,7 @@ let () =
       cmd "fig11" "NV-Memcached throughput and recovery" fig11;
       cmd "ablate" "Design-choice ablations" ablate;
       cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
+      cmd "smoke" "Sub-second trajectory probe (fig5 hash point)" smoke;
       cmd "all" "Run every experiment" run_all;
     ]
   in

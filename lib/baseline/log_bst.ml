@@ -23,26 +23,25 @@ let inf0 = Lfds.Set_intf.max_key + 1
 let inf1 = Lfds.Set_intf.max_key + 2
 let inf2 = Lfds.Set_intf.max_key + 3
 
-let read_key ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (key_of node)
+let read_key cu node = Heap.Cursor.load cu (key_of node)
 
-let child_link ctx ~tid node k =
-  if k < read_key ctx ~tid node then left_of node else right_of node
+let child_link cu node k =
+  if k < read_key cu node then left_of node else right_of node
 
-let sibling_link ctx ~tid node k =
-  if k < read_key ctx ~tid node then right_of node else left_of node
+let sibling_link cu node k =
+  if k < read_key cu node then right_of node else left_of node
 
-let is_leaf ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (left_of node) = 0
-let is_removed ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (removed_of node) <> 0
+let is_leaf cu node = Heap.Cursor.load cu (left_of node) = 0
+let is_removed cu node = Heap.Cursor.load cu (removed_of node) <> 0
 
-let init_node ctx ~tid node ~key ~left ~right =
-  let heap = Lfds.Ctx.heap ctx in
-  Heap.store heap ~tid (key_of node) key;
-  Heap.store heap ~tid (value_of node) 0;
-  Heap.store heap ~tid (left_of node) left;
-  Heap.store heap ~tid (right_of node) right;
-  Heap.store heap ~tid (lock_of node) 0;
-  Heap.store heap ~tid (removed_of node) 0;
-  Heap.write_back heap ~tid node
+let init_node cu node ~key ~left ~right =
+  Heap.Cursor.store cu (key_of node) key;
+  Heap.Cursor.store cu (value_of node) 0;
+  Heap.Cursor.store cu (left_of node) left;
+  Heap.Cursor.store cu (right_of node) right;
+  Heap.Cursor.store cu (lock_of node) 0;
+  Heap.Cursor.store cu (removed_of node) 0;
+  Heap.Cursor.write_back cu node
 
 let create ctx =
   let base = Lfds.Ctx.carve_static ctx (5 * size_class) in
@@ -51,13 +50,13 @@ let create ctx =
   and l0 = base + (2 * size_class)
   and l1 = base + (3 * size_class)
   and l2 = base + (4 * size_class) in
-  let tid = 0 in
-  init_node ctx ~tid l0 ~key:inf0 ~left:0 ~right:0;
-  init_node ctx ~tid l1 ~key:inf1 ~left:0 ~right:0;
-  init_node ctx ~tid l2 ~key:inf2 ~left:0 ~right:0;
-  init_node ctx ~tid s ~key:inf1 ~left:l0 ~right:l1;
-  init_node ctx ~tid r ~key:inf2 ~left:s ~right:l2;
-  Heap.fence (Lfds.Ctx.heap ctx) ~tid;
+  let cu = Lfds.Ctx.cursor ctx ~tid:0 in
+  init_node cu l0 ~key:inf0 ~left:0 ~right:0;
+  init_node cu l1 ~key:inf1 ~left:0 ~right:0;
+  init_node cu l2 ~key:inf2 ~left:0 ~right:0;
+  init_node cu s ~key:inf1 ~left:l0 ~right:l1;
+  init_node cu r ~key:inf2 ~left:s ~right:l2;
+  Heap.Cursor.fence cu;
   { r; s }
 
 let attach ctx =
@@ -65,100 +64,104 @@ let attach ctx =
   { r = base; s = base + size_class }
 
 (* Unlocked descent: grandparent, parent and leaf on the path to [k]. *)
-let seek ctx ~tid t k =
-  let heap = Lfds.Ctx.heap ctx in
+let seek cu t k =
   let rec go gparent parent current =
-    if is_leaf ctx ~tid current then (gparent, parent, current)
-    else go parent current (Heap.load heap ~tid (child_link ctx ~tid current k))
+    if is_leaf cu current then (gparent, parent, current)
+    else go parent current (Heap.Cursor.load cu (child_link cu current k))
   in
-  go t.r t.s (Heap.load heap ~tid (child_link ctx ~tid t.s k))
+  go t.r t.s (Heap.Cursor.load cu (child_link cu t.s k))
 
-let search ctx t ~tid ~key =
-  let _, _, leaf = seek ctx ~tid t key in
-  if read_key ctx ~tid leaf = key then
-    Some (Heap.load (Lfds.Ctx.heap ctx) ~tid (value_of leaf))
+let search_c _ctx t cu ~key =
+  let _, _, leaf = seek cu t key in
+  if read_key cu leaf = key then Some (Heap.Cursor.load cu (value_of leaf))
   else None
 
-let rec insert ctx wal t ~tid ~key ~value =
-  let _, parent, leaf = seek ctx ~tid t key in
-  if read_key ctx ~tid leaf = key then false
+let search ctx t ~tid ~key = search_c ctx t (Lfds.Ctx.cursor ctx ~tid) ~key
+
+let rec insert_c ctx wal t cu ~key ~value =
+  let _, parent, leaf = seek cu t key in
+  if read_key cu leaf = key then false
   else begin
-    let heap = Lfds.Ctx.heap ctx in
     let outcome =
-      Spinlock.with_locks heap ~tid [ lock_of parent ] (fun () ->
+      Spinlock.with_locks_c cu [ lock_of parent ] (fun () ->
           if
-            is_removed ctx ~tid parent
-            || Heap.load heap ~tid (child_link ctx ~tid parent key) <> leaf
+            is_removed cu parent
+            || Heap.Cursor.load cu (child_link cu parent key) <> leaf
           then `Retry
           else begin
             let mem = Lfds.Ctx.mem ctx in
-            let new_leaf = Lfds.Nv_epochs.alloc_node mem ~tid ~size_class in
-            let leaf_key = read_key ctx ~tid leaf in
-            init_node ctx ~tid new_leaf ~key ~left:0 ~right:0;
-            Heap.store heap ~tid (value_of new_leaf) value;
-            let new_internal = Lfds.Nv_epochs.alloc_node mem ~tid ~size_class in
+            let new_leaf = Lfds.Nv_epochs.alloc_node_c mem cu ~size_class in
+            let leaf_key = read_key cu leaf in
+            init_node cu new_leaf ~key ~left:0 ~right:0;
+            Heap.Cursor.store cu (value_of new_leaf) value;
+            let new_internal = Lfds.Nv_epochs.alloc_node_c mem cu ~size_class in
             let left, right =
               if key < leaf_key then (new_leaf, leaf) else (leaf, new_leaf)
             in
-            init_node ctx ~tid new_internal ~key:(max key leaf_key) ~left ~right;
-            Wal.begin_op wal ~tid;
-            Wal.logged_store wal ~tid
-              (child_link ctx ~tid parent key)
-              new_internal;
-            Wal.commit wal ~tid;
+            init_node cu new_internal ~key:(max key leaf_key) ~left ~right;
+            Wal.begin_op_c wal cu;
+            Wal.logged_store_c wal cu (child_link cu parent key) new_internal;
+            Wal.commit_c wal cu;
             `Done
           end)
     in
-    match outcome with `Done -> true | `Retry -> insert ctx wal t ~tid ~key ~value
+    match outcome with
+    | `Done -> true
+    | `Retry -> insert_c ctx wal t cu ~key ~value
   end
 
-let rec remove ctx wal t ~tid ~key =
-  let gparent, parent, leaf = seek ctx ~tid t key in
-  if read_key ctx ~tid leaf <> key then false
+let insert ctx wal t ~tid ~key ~value =
+  insert_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key ~value
+
+let rec remove_c ctx wal t cu ~key =
+  let gparent, parent, leaf = seek cu t key in
+  if read_key cu leaf <> key then false
   else begin
-    let heap = Lfds.Ctx.heap ctx in
     let outcome =
-      Spinlock.with_locks heap ~tid [ lock_of gparent; lock_of parent ] (fun () ->
+      Spinlock.with_locks_c cu [ lock_of gparent; lock_of parent ] (fun () ->
           if
-            is_removed ctx ~tid gparent
-            || is_removed ctx ~tid parent
-            || Heap.load heap ~tid (child_link ctx ~tid gparent key) <> parent
-            || Heap.load heap ~tid (child_link ctx ~tid parent key) <> leaf
+            is_removed cu gparent
+            || is_removed cu parent
+            || Heap.Cursor.load cu (child_link cu gparent key) <> parent
+            || Heap.Cursor.load cu (child_link cu parent key) <> leaf
           then `Retry
           else begin
-            let sibling = Heap.load heap ~tid (sibling_link ctx ~tid parent key) in
-            Wal.begin_op wal ~tid;
-            Wal.logged_store wal ~tid (removed_of parent) 1;
-            Wal.logged_store wal ~tid (removed_of leaf) 1;
-            Wal.logged_store wal ~tid (child_link ctx ~tid gparent key) sibling;
-            Wal.commit wal ~tid;
+            let sibling = Heap.Cursor.load cu (sibling_link cu parent key) in
+            Wal.begin_op_c wal cu;
+            Wal.logged_store_c wal cu (removed_of parent) 1;
+            Wal.logged_store_c wal cu (removed_of leaf) 1;
+            Wal.logged_store_c wal cu (child_link cu gparent key) sibling;
+            Wal.commit_c wal cu;
             `Done
           end)
     in
     match outcome with
     | `Done ->
-        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid parent;
-        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid leaf;
+        Lfds.Nv_epochs.retire_node_c (Lfds.Ctx.mem ctx) cu parent;
+        Lfds.Nv_epochs.retire_node_c (Lfds.Ctx.mem ctx) cu leaf;
         true
-    | `Retry -> remove ctx wal t ~tid ~key
+    | `Retry -> remove_c ctx wal t cu ~key
   end
+
+let remove ctx wal t ~tid ~key =
+  remove_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key
 
 (* Quiescent helpers and recovery. *)
 
 let iter_nodes ctx ~tid t f =
-  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid in
   let rec go node =
     if node <> 0 then
-      if is_leaf ctx ~tid node then begin
-        if read_key ctx ~tid node < inf0 then f node ~leaf:true
+      if is_leaf cu node then begin
+        if read_key cu node < inf0 then f node ~leaf:true
       end
       else begin
         f node ~leaf:false;
-        go (Heap.load heap ~tid (left_of node));
-        go (Heap.load heap ~tid (right_of node))
+        go (Heap.Cursor.load cu (left_of node));
+        go (Heap.Cursor.load cu (right_of node))
       end
   in
-  go (Heap.load heap ~tid (left_of t.s))
+  go (Heap.Cursor.load cu (left_of t.s))
 
 let size ctx ~tid t =
   let n = ref 0 in
@@ -166,28 +169,30 @@ let size ctx ~tid t =
   !n
 
 let recover_consistency ctx t =
-  let tid = 0 in
-  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid:0 in
   let clear node =
-    if Heap.load heap ~tid (lock_of node) <> 0 then
-      Heap.store heap ~tid (lock_of node) 0
+    if Heap.Cursor.load cu (lock_of node) <> 0 then
+      Heap.Cursor.store cu (lock_of node) 0
   in
   clear t.r;
   clear t.s;
-  iter_nodes ctx ~tid t (fun node ~leaf:_ -> clear node);
-  Heap.fence heap ~tid
+  iter_nodes ctx ~tid:0 t (fun node ~leaf:_ -> clear node);
+  Heap.Cursor.fence cu
 
 let ops ctx wal t =
   {
     Lfds.Set_intf.name = "log-bst";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal t ~tid ~key ~value));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

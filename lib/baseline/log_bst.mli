@@ -11,6 +11,14 @@ val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
 val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
 val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
 
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Lfds.Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> int option
+
+val insert_c :
+  Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> value:int -> bool
+
+val remove_c : Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> bool
+
 (** Pre-order walk; [leaf] distinguishes user leaves from interior nodes. *)
 val iter_nodes : Lfds.Ctx.t -> tid:int -> t -> (int -> leaf:bool -> unit) -> unit
 

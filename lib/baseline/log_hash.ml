@@ -30,14 +30,22 @@ let create ctx ~nbuckets =
 let attach ctx ~nbuckets =
   { base = Lfds.Ctx.carve_static ctx (2 * nbuckets); nbuckets }
 
+let insert_c ctx wal t cu ~key ~value =
+  Log_list.insert_c ctx wal cu ~head:(bucket_head t key) ~key ~value
+
+let remove_c ctx wal t cu ~key =
+  Log_list.remove_c ctx wal cu ~head:(bucket_head t key) ~key
+
+let search_c ctx t cu ~key =
+  Log_list.search_c ctx cu ~head:(bucket_head t key) ~key
+
 let insert ctx wal t ~tid ~key ~value =
-  Log_list.insert ctx wal ~tid ~head:(bucket_head t key) ~key ~value
+  insert_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key ~value
 
 let remove ctx wal t ~tid ~key =
-  Log_list.remove ctx wal ~tid ~head:(bucket_head t key) ~key
+  remove_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key
 
-let search ctx t ~tid ~key =
-  Log_list.search ctx ~tid ~head:(bucket_head t key) ~key
+let search ctx t ~tid ~key = search_c ctx t (Lfds.Ctx.cursor ctx ~tid) ~key
 
 let size ctx t =
   let n = ref 0 in
@@ -61,12 +69,15 @@ let ops ctx wal t =
     Lfds.Set_intf.name = "log-hash";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal t ~tid ~key ~value));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx t);
   }

@@ -8,6 +8,14 @@ val attach : Lfds.Ctx.t -> nbuckets:int -> t
 val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
 val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
 val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Lfds.Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> int option
+
+val insert_c :
+  Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> value:int -> bool
+
+val remove_c : Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> bool
 val size : Lfds.Ctx.t -> t -> int
 val iter_nodes : Lfds.Ctx.t -> t -> (int -> deleted:bool -> unit) -> unit
 val recover_consistency : Lfds.Ctx.t -> t -> unit

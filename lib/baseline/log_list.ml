@@ -24,7 +24,7 @@ let next_of node = node + 2
 let lock_of node = node + 3
 let marked_of node = node + 4
 
-let read_key ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (key_of node)
+let read_key cu node = Heap.Cursor.load cu (key_of node)
 
 (* A predecessor position: where its outgoing link and lock live, and its
    marked flag if it is a real node (heads cannot be marked). *)
@@ -35,13 +35,12 @@ let pos_of_head head = { link = head; lock = head + 1; marked = None }
 let pos_of_node node =
   { link = next_of node; lock = lock_of node; marked = Some (marked_of node) }
 
-let is_marked ctx ~tid pos =
+let is_marked cu pos =
   match pos.marked with
   | None -> false
-  | Some addr -> Heap.load (Lfds.Ctx.heap ctx) ~tid addr <> 0
+  | Some addr -> Heap.Cursor.load cu addr <> 0
 
-let node_marked ctx ~tid node =
-  Heap.load (Lfds.Ctx.heap ctx) ~tid (marked_of node) <> 0
+let node_marked cu node = Heap.Cursor.load cu (marked_of node) <> 0
 
 (** Create a fresh list head (next static carve): [link, lock] zeroed. *)
 let create ctx =
@@ -55,89 +54,96 @@ let create ctx =
 let attach ctx = Lfds.Ctx.carve_static ctx Cacheline.words_per_line
 
 (* Unlocked traversal: first node with key >= k and its predecessor. *)
-let locate ctx ~tid ~head k =
-  let heap = Lfds.Ctx.heap ctx in
+let locate cu ~head k =
   let rec walk pred curr =
     if curr = 0 then (pred, 0)
-    else if read_key ctx ~tid curr >= k then (pred, curr)
-    else walk (pos_of_node curr) (Heap.load heap ~tid (next_of curr))
+    else if read_key cu curr >= k then (pred, curr)
+    else walk (pos_of_node curr) (Heap.Cursor.load cu (next_of curr))
   in
-  walk (pos_of_head head) (Heap.load heap ~tid head)
+  walk (pos_of_head head) (Heap.Cursor.load cu head)
 
-let search ctx ~tid ~head ~key =
-  let _, curr = locate ctx ~tid ~head key in
-  if curr <> 0 && read_key ctx ~tid curr = key && not (node_marked ctx ~tid curr)
-  then Some (Heap.load (Lfds.Ctx.heap ctx) ~tid (value_of curr))
+let search_c _ctx cu ~head ~key =
+  let _, curr = locate cu ~head key in
+  if curr <> 0 && read_key cu curr = key && not (node_marked cu curr) then
+    Some (Heap.Cursor.load cu (value_of curr))
   else None
 
-let validate ctx ~tid pred curr =
-  (not (is_marked ctx ~tid pred))
-  && Heap.load (Lfds.Ctx.heap ctx) ~tid pred.link = curr
-  && (curr = 0 || not (node_marked ctx ~tid curr))
+let search ctx ~tid ~head ~key =
+  search_c ctx (Lfds.Ctx.cursor ctx ~tid) ~head ~key
 
-let rec insert ctx wal ~tid ~head ~key ~value =
-  let pred, curr = locate ctx ~tid ~head key in
-  let heap = Lfds.Ctx.heap ctx in
+let validate cu pred curr =
+  (not (is_marked cu pred))
+  && Heap.Cursor.load cu pred.link = curr
+  && (curr = 0 || not (node_marked cu curr))
+
+let rec insert_c ctx wal cu ~head ~key ~value =
+  let pred, curr = locate cu ~head key in
   let locks = pred.lock :: (if curr = 0 then [] else [ lock_of curr ]) in
   let outcome =
-    Spinlock.with_locks heap ~tid locks (fun () ->
-        if not (validate ctx ~tid pred curr) then `Retry
-        else if curr <> 0 && read_key ctx ~tid curr = key then `Present
+    Spinlock.with_locks_c cu locks (fun () ->
+        if not (validate cu pred curr) then `Retry
+        else if curr <> 0 && read_key cu curr = key then `Present
         else begin
-          let node = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
-          Heap.store heap ~tid (key_of node) key;
-          Heap.store heap ~tid (value_of node) value;
-          Heap.store heap ~tid (next_of node) curr;
-          Heap.store heap ~tid (lock_of node) 0;
-          Heap.store heap ~tid (marked_of node) 0;
-          Heap.write_back heap ~tid node;
+          let node = Lfds.Nv_epochs.alloc_node_c (Lfds.Ctx.mem ctx) cu ~size_class in
+          Heap.Cursor.store cu (key_of node) key;
+          Heap.Cursor.store cu (value_of node) value;
+          Heap.Cursor.store cu (next_of node) curr;
+          Heap.Cursor.store cu (lock_of node) 0;
+          Heap.Cursor.store cu (marked_of node) 0;
+          Heap.Cursor.write_back cu node;
           (* The first logged store's fence covers node contents and
              allocator metadata, mirroring the log-free discipline. *)
-          Wal.begin_op wal ~tid;
-          Wal.logged_store wal ~tid pred.link node;
-          Wal.commit wal ~tid;
+          Wal.begin_op_c wal cu;
+          Wal.logged_store_c wal cu pred.link node;
+          Wal.commit_c wal cu;
           `Done
         end)
   in
   match outcome with
   | `Done -> true
   | `Present -> false
-  | `Retry -> insert ctx wal ~tid ~head ~key ~value
+  | `Retry -> insert_c ctx wal cu ~head ~key ~value
 
-let rec remove ctx wal ~tid ~head ~key =
-  let pred, curr = locate ctx ~tid ~head key in
-  if curr = 0 || read_key ctx ~tid curr <> key then false
+let insert ctx wal ~tid ~head ~key ~value =
+  insert_c ctx wal (Lfds.Ctx.cursor ctx ~tid) ~head ~key ~value
+
+let rec remove_c ctx wal cu ~head ~key =
+  let pred, curr = locate cu ~head key in
+  if curr = 0 || read_key cu curr <> key then false
   else begin
-    let heap = Lfds.Ctx.heap ctx in
     let outcome =
-      Spinlock.with_locks heap ~tid [ pred.lock; lock_of curr ] (fun () ->
-          if not (validate ctx ~tid pred curr) then `Retry
+      Spinlock.with_locks_c cu [ pred.lock; lock_of curr ] (fun () ->
+          if not (validate cu pred curr) then `Retry
           else begin
-            Wal.begin_op wal ~tid;
-            Wal.logged_store wal ~tid (marked_of curr) 1;
-            Wal.logged_store wal ~tid pred.link (Heap.load heap ~tid (next_of curr));
-            Wal.commit wal ~tid;
+            Wal.begin_op_c wal cu;
+            Wal.logged_store_c wal cu (marked_of curr) 1;
+            Wal.logged_store_c wal cu pred.link
+              (Heap.Cursor.load cu (next_of curr));
+            Wal.commit_c wal cu;
             `Done
           end)
     in
     match outcome with
     | `Done ->
-        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid curr;
+        Lfds.Nv_epochs.retire_node_c (Lfds.Ctx.mem ctx) cu curr;
         true
-    | `Retry -> remove ctx wal ~tid ~head ~key
+    | `Retry -> remove_c ctx wal cu ~head ~key
   end
+
+let remove ctx wal ~tid ~head ~key =
+  remove_c ctx wal (Lfds.Ctx.cursor ctx ~tid) ~head ~key
 
 (* Quiescent helpers and recovery. *)
 
 let iter_nodes ctx ~tid ~head f =
-  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid in
   let rec go node =
     if node <> 0 then begin
-      f node ~deleted:(node_marked ctx ~tid node);
-      go (Heap.load heap ~tid (next_of node))
+      f node ~deleted:(node_marked cu node);
+      go (Heap.Cursor.load cu (next_of node))
     end
   in
-  go (Heap.load heap ~tid head)
+  go (Heap.Cursor.load cu head)
 
 let size ctx ~tid ~head =
   let n = ref 0 in
@@ -146,11 +152,10 @@ let size ctx ~tid ~head =
 
 let to_list ctx ~tid ~head =
   let acc = ref [] in
-  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid in
   iter_nodes ctx ~tid ~head (fun node ~deleted ->
       if not deleted then
-        acc :=
-          (read_key ctx ~tid node, Heap.load heap ~tid (value_of node)) :: !acc);
+        acc := (read_key cu node, Heap.Cursor.load cu (value_of node)) :: !acc);
   List.rev !acc
 
 (** Post-crash cleanup, after [Wal.recover]: the rollback already restored a
@@ -170,12 +175,15 @@ let ops ctx wal ~head =
     Lfds.Set_intf.name = "log-list";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal ~tid ~head ~key ~value));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx wal cu ~head ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal ~tid ~head ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx wal cu ~head ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx ~tid ~head ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx cu ~head ~key));
     size = (fun () -> size ctx ~tid:0 ~head);
   }

@@ -13,6 +13,14 @@ val attach : Lfds.Ctx.t -> int
 val search : Lfds.Ctx.t -> tid:int -> head:int -> key:int -> int option
 val insert : Lfds.Ctx.t -> Wal.t -> tid:int -> head:int -> key:int -> value:int -> bool
 val remove : Lfds.Ctx.t -> Wal.t -> tid:int -> head:int -> key:int -> bool
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> head:int -> key:int -> int option
+
+val insert_c :
+  Lfds.Ctx.t -> Wal.t -> Nvm.Heap.cursor -> head:int -> key:int -> value:int -> bool
+
+val remove_c : Lfds.Ctx.t -> Wal.t -> Nvm.Heap.cursor -> head:int -> key:int -> bool
 val iter_nodes : Lfds.Ctx.t -> tid:int -> head:int -> (int -> deleted:bool -> unit) -> unit
 val size : Lfds.Ctx.t -> tid:int -> head:int -> int
 val to_list : Lfds.Ctx.t -> tid:int -> head:int -> (int * int) list

@@ -28,8 +28,8 @@ let node_class ~levels =
   (8 + levels + Cacheline.words_per_line - 1)
   / Cacheline.words_per_line * Cacheline.words_per_line
 
-let read_key ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (key_of node)
-let is_marked ctx ~tid node = Heap.load (Lfds.Ctx.heap ctx) ~tid (marked_of node) <> 0
+let read_key cu node = Heap.Cursor.load cu (key_of node)
+let is_marked cu node = Heap.Cursor.load cu (marked_of node) <> 0
 
 let create ctx ?(max_level = 16) () =
   let span = Cacheline.align_up (max_level + 1) in
@@ -84,17 +84,15 @@ let make_preds t =
 
 (* Returns the highest level at which [k] was found (-1 if absent) and fills
    [preds] and [succs]. Pure reads; no helping, no unlinking. *)
-let find ctx t ~tid k ~preds ~succs =
-  let heap = Lfds.Ctx.heap ctx in
+let find t cu k ~preds ~succs =
   let lfound = ref (-1) in
   let rec down level pred_node pred_link =
     if level >= 0 then begin
       let rec walk pred_node pred_link =
-        let curr = Heap.load heap ~tid pred_link in
-        if curr <> 0 && read_key ctx ~tid curr < k then
-          walk curr (next_of curr level)
+        let curr = Heap.Cursor.load cu pred_link in
+        if curr <> 0 && read_key cu curr < k then walk curr (next_of curr level)
         else begin
-          if !lfound < 0 && curr <> 0 && read_key ctx ~tid curr = k then
+          if !lfound < 0 && curr <> 0 && read_key cu curr = k then
             lfound := level;
           preds.links.(level) <- pred_link;
           preds.locks.(level) <- (if pred_node = 0 then t.head_lock else lock_of pred_node);
@@ -111,17 +109,17 @@ let find ctx t ~tid k ~preds ~succs =
   down (t.max_level - 1) 0 (t.head + (t.max_level - 1));
   !lfound
 
-let search ctx t ~tid ~key =
+let search_c _ctx t cu ~key =
   let preds = make_preds t and succs = Array.make t.max_level 0 in
-  let lfound = find ctx t ~tid key ~preds ~succs in
+  let lfound = find t cu key ~preds ~succs in
   if lfound < 0 then None
   else
     let node = succs.(lfound) in
-    if
-      Heap.load (Lfds.Ctx.heap ctx) ~tid (fullylinked_of node) <> 0
-      && not (is_marked ctx ~tid node)
-    then Some (Heap.load (Lfds.Ctx.heap ctx) ~tid (value_of node))
+    if Heap.Cursor.load cu (fullylinked_of node) <> 0 && not (is_marked cu node)
+    then Some (Heap.Cursor.load cu (value_of node))
     else None
+
+let search ctx t ~tid ~key = search_c ctx t (Lfds.Ctx.cursor ctx ~tid) ~key
 
 (* Lock the distinct predecessor locks of levels [0 .. toplevel-1], from
    level 0 up. The level-0 predecessor has the largest key and higher-level
@@ -130,136 +128,137 @@ let search ctx t ~tid ~key =
    victim (larger than every one of its predecessors) first, fits the same
    global order. Ascending acquisition would deadlock against removers
    through the head lock. *)
-let lock_preds ctx ~tid ~preds ~toplevel =
-  let heap = Lfds.Ctx.heap ctx in
+let lock_preds cu ~preds ~toplevel =
   let locked = ref [] in
   for level = 0 to toplevel - 1 do
     let l = preds.locks.(level) in
     if not (List.mem l !locked) then begin
-      Spinlock.acquire heap ~tid l;
+      Spinlock.acquire_c cu l;
       locked := l :: !locked
     end
   done;
   !locked
 
-let unlock_all ctx ~tid locked =
-  List.iter (fun l -> Spinlock.release (Lfds.Ctx.heap ctx) ~tid l) locked
+let unlock_all cu locked = List.iter (fun l -> Spinlock.release_c cu l) locked
 
-let valid_level ctx ~tid ~preds ~succs level =
-  let heap = Lfds.Ctx.heap ctx in
-  (preds.nodes.(level) = 0 || not (is_marked ctx ~tid preds.nodes.(level)))
-  && Heap.load heap ~tid preds.links.(level) = succs.(level)
-  && (succs.(level) = 0 || not (is_marked ctx ~tid succs.(level)))
+let valid_level cu ~preds ~succs level =
+  (preds.nodes.(level) = 0 || not (is_marked cu preds.nodes.(level)))
+  && Heap.Cursor.load cu preds.links.(level) = succs.(level)
+  && (succs.(level) = 0 || not (is_marked cu succs.(level)))
 
-let rec insert ctx wal t ~tid ~key ~value =
+let rec insert_c ctx wal t cu ~key ~value =
   let preds = make_preds t and succs = Array.make t.max_level 0 in
-  let lfound = find ctx t ~tid key ~preds ~succs in
-  if lfound >= 0 && not (is_marked ctx ~tid succs.(lfound)) then false
+  let lfound = find t cu key ~preds ~succs in
+  if lfound >= 0 && not (is_marked cu succs.(lfound)) then false
   else begin
-    let toplevel = random_level t ~tid in
-    let locked = lock_preds ctx ~tid ~preds ~toplevel in
+    let toplevel = random_level t ~tid:(Heap.Cursor.tid cu) in
+    let locked = lock_preds cu ~preds ~toplevel in
     let valid = ref true in
     for level = 0 to toplevel - 1 do
-      if not (valid_level ctx ~tid ~preds ~succs level) then valid := false
+      if not (valid_level cu ~preds ~succs level) then valid := false
     done;
     if not !valid then begin
-      unlock_all ctx ~tid locked;
-      insert ctx wal t ~tid ~key ~value
+      unlock_all cu locked;
+      insert_c ctx wal t cu ~key ~value
     end
     else begin
-      let heap = Lfds.Ctx.heap ctx in
       let size_class = node_class ~levels:toplevel in
-      let node = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
-      Heap.store heap ~tid (key_of node) key;
-      Heap.store heap ~tid (value_of node) value;
-      Heap.store heap ~tid (toplevel_of node) toplevel;
-      Heap.store heap ~tid (lock_of node) 0;
-      Heap.store heap ~tid (marked_of node) 0;
-      Heap.store heap ~tid (fullylinked_of node) 1;
+      let node = Lfds.Nv_epochs.alloc_node_c (Lfds.Ctx.mem ctx) cu ~size_class in
+      Heap.Cursor.store cu (key_of node) key;
+      Heap.Cursor.store cu (value_of node) value;
+      Heap.Cursor.store cu (toplevel_of node) toplevel;
+      Heap.Cursor.store cu (lock_of node) 0;
+      Heap.Cursor.store cu (marked_of node) 0;
+      Heap.Cursor.store cu (fullylinked_of node) 1;
       for l = 0 to toplevel - 1 do
-        Heap.store heap ~tid (next_of node l) succs.(l)
+        Heap.Cursor.store cu (next_of node l) succs.(l)
       done;
       let lines = (size_class + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
       for i = 0 to lines - 1 do
-        Heap.write_back heap ~tid (node + (i * Cacheline.words_per_line))
+        Heap.Cursor.write_back cu (node + (i * Cacheline.words_per_line))
       done;
       (* One logged (synced) link write per level. *)
-      Wal.begin_op wal ~tid;
+      Wal.begin_op_c wal cu;
       for l = 0 to toplevel - 1 do
-        Wal.logged_store wal ~tid preds.links.(l) node
+        Wal.logged_store_c wal cu preds.links.(l) node
       done;
-      Wal.commit wal ~tid;
-      unlock_all ctx ~tid locked;
+      Wal.commit_c wal cu;
+      unlock_all cu locked;
       true
     end
   end
 
-let remove ctx wal t ~tid ~key =
-  let heap = Lfds.Ctx.heap ctx in
+let insert ctx wal t ~tid ~key ~value =
+  insert_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key ~value
+
+let remove_c ctx wal t cu ~key =
   let preds = make_preds t and succs = Array.make t.max_level 0 in
-  let lfound = find ctx t ~tid key ~preds ~succs in
+  let lfound = find t cu key ~preds ~succs in
   if lfound < 0 then false
   else begin
     let victim = succs.(lfound) in
-    let toplevel = Heap.load heap ~tid (toplevel_of victim) in
+    let toplevel = Heap.Cursor.load cu (toplevel_of victim) in
     if
-      Heap.load heap ~tid (fullylinked_of victim) = 0
+      Heap.Cursor.load cu (fullylinked_of victim) = 0
       || toplevel - 1 <> lfound
-      || is_marked ctx ~tid victim
+      || is_marked cu victim
     then false
     else begin
-      Spinlock.acquire heap ~tid (lock_of victim);
-      if is_marked ctx ~tid victim then begin
-        Spinlock.release heap ~tid (lock_of victim);
+      Spinlock.acquire_c cu (lock_of victim);
+      if is_marked cu victim then begin
+        Spinlock.release_c cu (lock_of victim);
         false
       end
       else begin
         (* Point of no return: mark under the victim's lock, logged. *)
-        Wal.begin_op wal ~tid;
-        Wal.logged_store wal ~tid (marked_of victim) 1;
+        Wal.begin_op_c wal cu;
+        Wal.logged_store_c wal cu (marked_of victim) 1;
         let rec unlink () =
           let preds = make_preds t and succs = Array.make t.max_level 0 in
-          ignore (find ctx t ~tid key ~preds ~succs);
-          let locked = lock_preds ctx ~tid ~preds ~toplevel in
+          ignore (find t cu key ~preds ~succs);
+          let locked = lock_preds cu ~preds ~toplevel in
           let valid = ref true in
           for level = 0 to toplevel - 1 do
             if
-              preds.nodes.(level) <> 0 && is_marked ctx ~tid preds.nodes.(level)
-              || Heap.load heap ~tid preds.links.(level) <> victim
+              preds.nodes.(level) <> 0 && is_marked cu preds.nodes.(level)
+              || Heap.Cursor.load cu preds.links.(level) <> victim
             then valid := false
           done;
           if not !valid then begin
-            unlock_all ctx ~tid locked;
+            unlock_all cu locked;
             unlink ()
           end
           else begin
             for l = toplevel - 1 downto 0 do
-              Wal.logged_store wal ~tid preds.links.(l)
-                (Heap.load heap ~tid (next_of victim l))
+              Wal.logged_store_c wal cu preds.links.(l)
+                (Heap.Cursor.load cu (next_of victim l))
             done;
-            Wal.commit wal ~tid;
-            unlock_all ctx ~tid locked
+            Wal.commit_c wal cu;
+            unlock_all cu locked
           end
         in
         unlink ();
-        Spinlock.release heap ~tid (lock_of victim);
-        Lfds.Nv_epochs.retire_node (Lfds.Ctx.mem ctx) ~tid victim;
+        Spinlock.release_c cu (lock_of victim);
+        Lfds.Nv_epochs.retire_node_c (Lfds.Ctx.mem ctx) cu victim;
         true
       end
     end
   end
 
+let remove ctx wal t ~tid ~key =
+  remove_c ctx wal t (Lfds.Ctx.cursor ctx ~tid) ~key
+
 (* Quiescent helpers and recovery. *)
 
 let iter_nodes ctx ~tid t f =
-  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid in
   let rec go node =
     if node <> 0 then begin
-      f node ~deleted:(is_marked ctx ~tid node);
-      go (Heap.load heap ~tid (next_of node 0))
+      f node ~deleted:(is_marked cu node);
+      go (Heap.Cursor.load cu (next_of node 0))
     end
   in
-  go (Heap.load heap ~tid t.head)
+  go (Heap.Cursor.load cu t.head)
 
 let size ctx ~tid t =
   let n = ref 0 in
@@ -280,12 +279,15 @@ let ops ctx wal t =
     Lfds.Set_intf.name = "log-skiplist";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> insert ctx wal t ~tid ~key ~value));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> remove ctx wal t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

@@ -10,6 +10,14 @@ val attach : Lfds.Ctx.t -> ?max_level:int -> unit -> t
 val search : Lfds.Ctx.t -> t -> tid:int -> key:int -> int option
 val insert : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> value:int -> bool
 val remove : Lfds.Ctx.t -> Wal.t -> t -> tid:int -> key:int -> bool
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Lfds.Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> int option
+
+val insert_c :
+  Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> value:int -> bool
+
+val remove_c : Lfds.Ctx.t -> Wal.t -> t -> Nvm.Heap.cursor -> key:int -> bool
 val iter_nodes : Lfds.Ctx.t -> tid:int -> t -> (int -> deleted:bool -> unit) -> unit
 val size : Lfds.Ctx.t -> tid:int -> t -> int
 

@@ -2,35 +2,44 @@
 
     Lock words are volatile state: they are never written back on purpose,
     and the log-based structures' recovery clears any lock word a crash
-    happened to make durable. *)
+    happened to make durable.
+
+    The wait loop uses [Nvm.Backoff]: bounded exponential [cpu_relax] that
+    degrades to an OS-timeslice yield, because on few cores the holder may be
+    descheduled and pure spinning starves it. *)
 
 open Nvm
 
-let acquire heap ~tid addr =
-  (* Test-and-test-and-set with an occasional timeslice yield: on few cores
-     the holder may be descheduled and pure spinning starves it. *)
-  let spins = ref 0 in
+let acquire_c cu addr =
+  let tid = Heap.Cursor.tid cu in
+  let bo = Backoff.make () in
   let rec spin () =
-    if Heap.load heap ~tid addr <> 0 then begin
-      incr spins;
-      if !spins land 63 = 0 then Unix.sleepf 0. else Domain.cpu_relax ();
+    if Heap.Cursor.load cu addr <> 0 then begin
+      Backoff.once bo;
       spin ()
     end
-    else if not (Heap.cas heap ~tid addr ~expected:0 ~desired:(tid + 1)) then spin ()
+    else if not (Heap.Cursor.cas cu addr ~expected:0 ~desired:(tid + 1)) then
+      spin ()
   in
   spin ()
 
-let release heap ~tid addr = Heap.store heap ~tid addr 0
+let acquire heap ~tid addr = acquire_c (Heap.cursor heap ~tid) addr
+let release_c cu addr = Heap.Cursor.store cu addr 0
+let release heap ~tid addr = release_c (Heap.cursor heap ~tid) addr
 
-let try_acquire heap ~tid addr =
-  Heap.load heap ~tid addr = 0
-  && Heap.cas heap ~tid addr ~expected:0 ~desired:(tid + 1)
+let try_acquire_c cu addr =
+  let tid = Heap.Cursor.tid cu in
+  Heap.Cursor.load cu addr = 0
+  && Heap.Cursor.cas cu addr ~expected:0 ~desired:(tid + 1)
 
+let try_acquire heap ~tid addr = try_acquire_c (Heap.cursor heap ~tid) addr
 let holder heap ~tid addr = Heap.load heap ~tid addr - 1
 
 (** Acquire [addrs] in address order (deadlock avoidance), run [f], release.
     Duplicate addresses are locked once. *)
-let with_locks heap ~tid addrs f =
+let with_locks_c cu addrs f =
   let sorted = List.sort_uniq compare addrs in
-  List.iter (fun a -> acquire heap ~tid a) sorted;
-  Fun.protect ~finally:(fun () -> List.iter (fun a -> release heap ~tid a) sorted) f
+  List.iter (fun a -> acquire_c cu a) sorted;
+  Fun.protect ~finally:(fun () -> List.iter (fun a -> release_c cu a) sorted) f
+
+let with_locks heap ~tid addrs f = with_locks_c (Heap.cursor heap ~tid) addrs f

@@ -1,11 +1,18 @@
-(** Test-and-test-and-set spinlock over a heap word, with a periodic
-    timeslice yield (on few cores the holder may be descheduled). Lock words
-    are volatile state: never written back on purpose; the log-based
-    structures' recovery clears any that a crash made durable. *)
+(** Test-and-test-and-set spinlock over a heap word, waiting with
+    [Nvm.Backoff] (bounded exponential backoff degrading to a timeslice
+    yield — on few cores the holder may be descheduled). Lock words are
+    volatile state: never written back on purpose; the log-based structures'
+    recovery clears any that a crash made durable.
+
+    The [_c] forms take the caller's heap cursor and are the hot path; the
+    [~tid] forms shim onto them. *)
 
 val acquire : Nvm.Heap.t -> tid:int -> int -> unit
+val acquire_c : Nvm.Heap.cursor -> int -> unit
 val release : Nvm.Heap.t -> tid:int -> int -> unit
+val release_c : Nvm.Heap.cursor -> int -> unit
 val try_acquire : Nvm.Heap.t -> tid:int -> int -> bool
+val try_acquire_c : Nvm.Heap.cursor -> int -> bool
 
 (** Holding tid, or -1 when free. *)
 val holder : Nvm.Heap.t -> tid:int -> int -> int
@@ -13,3 +20,5 @@ val holder : Nvm.Heap.t -> tid:int -> int -> int
 (** Acquire [addrs] in address order (deduplicated), run, release —
     exception-safe. *)
 val with_locks : Nvm.Heap.t -> tid:int -> int list -> (unit -> 'a) -> 'a
+
+val with_locks_c : Nvm.Heap.cursor -> int list -> (unit -> 'a) -> 'a

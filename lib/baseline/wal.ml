@@ -79,48 +79,58 @@ let tid_base t tid = t.base + (tid * t.span)
 
 (** Open a logged critical section. The status word's write-back rides on the
     first [logged_store]'s fence, so opening costs no sync of its own. *)
-let begin_op t ~tid =
+let begin_op_c t cu =
+  let tid = Heap.Cursor.tid cu in
   t.count.(tid) <- 0;
   t.touched.(tid) <- [];
-  Heap.store t.heap ~tid (tid_base t tid) 1;
-  Heap.store t.heap ~tid (tid_base t tid + 1) 0;
-  Heap.write_back t.heap ~tid (tid_base t tid)
+  Heap.Cursor.store cu (tid_base t tid) 1;
+  Heap.Cursor.store cu (tid_base t tid + 1) 0;
+  Heap.Cursor.write_back cu (tid_base t tid)
+
+let begin_op t ~tid = begin_op_c t (Heap.cursor t.heap ~tid)
 
 (** Durably perform an in-place store of [v] at [addr]: log the old value
     (synced in [Eager] mode), then store. *)
-let logged_store t ~tid addr v =
+let logged_store_c t cu addr v =
+  let tid = Heap.Cursor.tid cu in
   let n = t.count.(tid) in
   if n >= t.entries_max then invalid_arg "Wal.logged_store: log full";
   let b = tid_base t tid in
-  let old_v = Heap.load t.heap ~tid addr in
-  Heap.store t.heap ~tid (b + 2 + (2 * n)) addr;
-  Heap.store t.heap ~tid (b + 2 + (2 * n) + 1) old_v;
-  Heap.store t.heap ~tid (b + 1) (n + 1);
-  Heap.write_back t.heap ~tid (b + 2 + (2 * n));
-  Heap.write_back t.heap ~tid (b + 1);
+  let old_v = Heap.Cursor.load cu addr in
+  Heap.Cursor.store cu (b + 2 + (2 * n)) addr;
+  Heap.Cursor.store cu (b + 2 + (2 * n) + 1) old_v;
+  Heap.Cursor.store cu (b + 1) (n + 1);
+  Heap.Cursor.write_back cu (b + 2 + (2 * n));
+  Heap.Cursor.write_back cu (b + 1);
   (match t.sync_mode with
-  | Eager -> Heap.fence t.heap ~tid
+  | Eager -> Heap.Cursor.fence cu
   | Batched -> ());
-  (Heap.stats t.heap tid).log_entries <- (Heap.stats t.heap tid).log_entries + 1;
+  let st = Heap.Cursor.stats cu in
+  st.log_entries <- st.log_entries + 1;
   t.count.(tid) <- n + 1;
-  Heap.store t.heap ~tid addr v;
+  Heap.Cursor.store cu addr v;
   t.touched.(tid) <- addr :: t.touched.(tid)
+
+let logged_store t ~tid addr v = logged_store_c t (Heap.cursor t.heap ~tid) addr v
 
 (** Close the critical section: write back the modified data (one batched
     sync), then durably truncate the log (one sync). Call before releasing
     any lock. *)
-let commit t ~tid =
+let commit_c t cu =
+  let tid = Heap.Cursor.tid cu in
   (match t.sync_mode with
   | Eager -> ()
   | Batched ->
       (* Batched ablation: one sync covering all log entries, before data. *)
-      Heap.fence t.heap ~tid);
-  List.iter (fun addr -> Heap.write_back t.heap ~tid addr) t.touched.(tid);
-  Heap.fence t.heap ~tid;
-  Heap.store t.heap ~tid (tid_base t tid) 0;
-  Heap.persist t.heap ~tid (tid_base t tid);
+      Heap.Cursor.fence cu);
+  List.iter (fun addr -> Heap.Cursor.write_back cu addr) t.touched.(tid);
+  Heap.Cursor.fence cu;
+  Heap.Cursor.store cu (tid_base t tid) 0;
+  Heap.Cursor.persist cu (tid_base t tid);
   t.count.(tid) <- 0;
   t.touched.(tid) <- []
+
+let commit t ~tid = commit_c t (Heap.cursor t.heap ~tid)
 
 (** Roll back every log that was mid-operation at crash time. *)
 let recover t =

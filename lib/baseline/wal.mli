@@ -25,13 +25,19 @@ val attach : Lfds.Ctx.t -> ?entries_max:int -> ?sync_mode:sync_mode -> unit -> t
     write-back rides on the first [logged_store]'s fence). *)
 val begin_op : t -> tid:int -> unit
 
+val begin_op_c : t -> Nvm.Heap.cursor -> unit
+
 (** Durably perform an in-place store: log the old value (synced in [Eager]
     mode), then store. *)
 val logged_store : t -> tid:int -> int -> int -> unit
 
+val logged_store_c : t -> Nvm.Heap.cursor -> int -> int -> unit
+
 (** Close the critical section: batched data sync, then durable log
     truncation. Call before releasing any lock. *)
 val commit : t -> tid:int -> unit
+
+val commit_c : t -> Nvm.Heap.cursor -> unit
 
 (** Roll back every log that was mid-operation at crash time (reverse
     order), restoring each thread's pre-operation state. *)

@@ -73,11 +73,13 @@ let mem t ~tid ~page = Hashtbl.mem t.tables.(tid) page
 
 type reason = Alloc | Unlink
 
-(** Record that [page] is being used by [tid] at [epoch]. A hit updates
-    volatile metadata only; a miss appends the page address durably and
-    {e waits} for the write-back — the sole logging cost of NV-epochs. *)
-let ensure_active t ~tid ~page ~epoch reason =
-  let st = Heap.stats t.heap tid in
+(** Record that [page] is being used by the cursor's domain at [epoch]. A
+    hit updates volatile metadata only; a miss appends the page address
+    durably and {e waits} for the write-back — the sole logging cost of
+    NV-epochs. *)
+let ensure_active_c t cu ~page ~epoch reason =
+  let tid = Heap.Cursor.tid cu in
+  let st = Heap.Cursor.stats cu in
   match Hashtbl.find_opt t.tables.(tid) page with
   | Some e ->
       st.apt_hits <- st.apt_hits + 1;
@@ -109,13 +111,17 @@ let ensure_active t ~tid ~page ~epoch reason =
         }
       in
       Hashtbl.replace t.tables.(tid) page e;
-      Heap.store t.heap ~tid (slot_addr t ~tid slot) page;
-      Heap.persist t.heap ~tid (slot_addr t ~tid slot)
+      Heap.Cursor.store cu (slot_addr t ~tid slot) page;
+      Heap.Cursor.persist cu (slot_addr t ~tid slot)
+
+let ensure_active t ~tid ~page ~epoch reason =
+  ensure_active_c t (Heap.cursor t.heap ~tid) ~page ~epoch reason
 
 (** Drop every entry for which [removable] holds. The durable slot is zeroed
     with a write-back but no fence: a stale entry surviving a crash only
     causes extra recovery work, never incorrect recovery. *)
 let trim t ~tid ~removable =
+  let cu = Heap.cursor t.heap ~tid in
   let dropped = ref [] in
   Hashtbl.iter
     (fun page e -> if removable e then dropped := (page, e) :: !dropped)
@@ -124,8 +130,8 @@ let trim t ~tid ~removable =
     (fun (page, e) ->
       Hashtbl.remove t.tables.(tid) page;
       t.free_slots.(tid) := e.slot :: !(t.free_slots.(tid));
-      Heap.store t.heap ~tid (slot_addr t ~tid e.slot) 0;
-      Heap.write_back t.heap ~tid (slot_addr t ~tid e.slot))
+      Heap.Cursor.store cu (slot_addr t ~tid e.slot) 0;
+      Heap.Cursor.write_back cu (slot_addr t ~tid e.slot))
     !dropped;
   List.length !dropped
 

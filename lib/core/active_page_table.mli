@@ -34,6 +34,11 @@ val mem : t -> tid:int -> page:int -> bool
     logging cost Figure 9a counts. Fails if the table is full. *)
 val ensure_active : t -> tid:int -> page:int -> epoch:int -> reason -> unit
 
+(** [ensure_active] with the caller-supplied heap cursor (the fast path the
+    [~tid] version shims onto). *)
+val ensure_active_c :
+  t -> Nvm.Heap.cursor -> page:int -> epoch:int -> reason -> unit
+
 (** Drop entries satisfying [removable]; durable slots are zeroed lazily (a
     stale survivor only adds recovery work). Returns entries dropped. *)
 val trim : t -> tid:int -> removable:(entry -> bool) -> int

@@ -164,18 +164,25 @@ let root_slot (t : t) i =
 let carve_static (t : t) n = Region.carve t.static n
 
 let heap (t : t) = t.heap
+
+(** The calling domain's heap cursor — the hot-path handle every structure
+    operation should fetch once and thread through its heap accesses. *)
+let cursor (t : t) ~tid = Heap.cursor t.heap ~tid
+
 let mode (t : t) = t.mode
 let mem (t : t) = t.mem
 let link_cache (t : t) = t.lc
 let nthreads (t : t) = t.nthreads
 let allocator t = Nv_epochs.allocator t.mem
 
-(** Bracket an operation with epoch enter/exit. *)
-let with_op (t : t) ~tid f =
+(** Bracket an operation with epoch enter/exit, threading the calling
+    domain's cursor to the body — the hot-path form. *)
+let with_op_c (t : t) cu f =
+  let tid = Heap.Cursor.tid cu in
   Nv_epochs.op_begin t.mem ~tid;
-  match f () with
+  match f cu with
   | v ->
-      Nv_epochs.op_end t.mem ~tid;
+      Nv_epochs.op_end_c t.mem cu;
       v
   | exception e ->
       (* A crash exception aborts mid-operation; the epoch is left odd, as a
@@ -183,5 +190,9 @@ let with_op (t : t) ~tid f =
          after restoring balance. *)
       (match e with
       | Heap.Crashed -> ()
-      | _ -> Nv_epochs.op_end t.mem ~tid);
+      | _ -> Nv_epochs.op_end_c t.mem cu);
       raise e
+
+(** Bracket an operation with epoch enter/exit. *)
+let with_op (t : t) ~tid f =
+  with_op_c t (Heap.cursor t.heap ~tid) (fun _cu -> f ())

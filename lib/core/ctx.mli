@@ -50,6 +50,11 @@ val root_slot : t -> int -> int
 val carve_static : t -> int -> int
 
 val heap : t -> Nvm.Heap.t
+
+(** The calling domain's heap cursor (fetch once per operation, thread
+    through all heap accesses — the fast path). *)
+val cursor : t -> tid:int -> Nvm.Heap.cursor
+
 val mode : t -> Persist_mode.t
 val mem : t -> Nv_epochs.t
 val link_cache : t -> Link_cache.t option
@@ -60,3 +65,7 @@ val allocator : t -> Nvm.Nvalloc.t
     exception propagates with the epoch left odd, exactly as a crashed
     thread would leave it. *)
 val with_op : t -> tid:int -> (unit -> 'a) -> 'a
+
+(** [with_op] threading a pre-fetched cursor to the body — structures fetch
+    the cursor once per operation and stay on the [_c] APIs inside. *)
+val with_op_c : t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a

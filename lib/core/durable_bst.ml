@@ -20,7 +20,9 @@
     Node layout (one cache line): {v +0 key +1 value +2 left +3 right v}.
     A node is a leaf iff its left child is null. Sentinels: root [R] (key
     inf2) and [S] (key inf1) with leaves inf0/inf1/inf2; user keys are all
-    smaller than inf0, so sentinels are never removed. *)
+    smaller than inf0, so sentinels are never removed.
+
+    Hot-path operations thread the caller's heap cursor ([_c] forms). *)
 
 open Nvm
 
@@ -35,18 +37,17 @@ let inf0 = Set_intf.max_key + 1
 let inf1 = Set_intf.max_key + 2
 let inf2 = Set_intf.max_key + 3
 
-let read_key ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (key_of node)
-let read_value ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (value_of node)
+let read_key cu node = Heap.Cursor.load cu (key_of node)
+let read_value cu node = Heap.Cursor.load cu (value_of node)
 
 (* Edge from [node] toward [k], and its sibling. *)
-let child_link ctx ~tid node k =
-  if k < read_key ctx ~tid node then left_of node else right_of node
+let child_link cu node k =
+  if k < read_key cu node then left_of node else right_of node
 
-let sibling_link ctx ~tid node k =
-  if k < read_key ctx ~tid node then right_of node else left_of node
+let sibling_link cu node k =
+  if k < read_key cu node then right_of node else left_of node
 
-let is_leaf ctx ~tid node =
-  Marked_ptr.addr (Heap.load (Ctx.heap ctx) ~tid (left_of node)) = 0
+let is_leaf cu node = Marked_ptr.addr (Heap.Cursor.load cu (left_of node)) = 0
 
 (* Sentinel construction: five static nodes, persisted once. *)
 let init_node ctx ~tid node ~key ~left ~right =
@@ -88,97 +89,94 @@ type seek_record = {
   leaf_edge : int;  (** value of the parent -> leaf edge as read *)
 }
 
-let seek ctx ~tid t k =
+let seek ctx cu t k =
   let rec descend ~ancestor ~successor ~parent ~edge =
     let current = Marked_ptr.addr edge in
-    if is_leaf ctx ~tid current then
+    if is_leaf cu current then
       { ancestor; successor; parent; leaf = current; leaf_edge = edge }
     else begin
       let ancestor, successor =
         if not (Marked_ptr.is_tagged edge) then (parent, current)
         else (ancestor, successor)
       in
-      let next_edge =
-        Link_persist.read_clean ctx ~tid (child_link ctx ~tid current k)
-      in
+      let next_edge = Link_persist.read_clean_c ctx cu (child_link cu current k) in
       descend ~ancestor ~successor ~parent:current ~edge:next_edge
     end
   in
-  let edge = Link_persist.read_clean ctx ~tid (child_link ctx ~tid t.s k) in
+  let edge = Link_persist.read_clean_c ctx cu (child_link cu t.s k) in
   descend ~ancestor:t.r ~successor:t.s ~parent:t.s ~edge
 
 (* Retire the subtree spliced out by a successful cleanup CAS: everything
    under [root] except the subtree kept at [keep]. The splice winner is the
    unique caller, and epochs keep the memory valid for concurrent readers. *)
-let rec retire_subtree ctx ~tid ~keep root =
+let rec retire_subtree ctx cu ~keep root =
   if root <> keep then begin
-    let left = Marked_ptr.addr (Heap.load (Ctx.heap ctx) ~tid (left_of root)) in
-    let right = Marked_ptr.addr (Heap.load (Ctx.heap ctx) ~tid (right_of root)) in
-    if left <> 0 then retire_subtree ctx ~tid ~keep left;
-    if right <> 0 then retire_subtree ctx ~tid ~keep right;
-    Nv_epochs.retire_node (Ctx.mem ctx) ~tid root
+    let left = Marked_ptr.addr (Heap.Cursor.load cu (left_of root)) in
+    let right = Marked_ptr.addr (Heap.Cursor.load cu (right_of root)) in
+    if left <> 0 then retire_subtree ctx cu ~keep left;
+    if right <> 0 then retire_subtree ctx cu ~keep right;
+    Nv_epochs.retire_node_c (Ctx.mem ctx) cu root
   end
 
 (* Cleanup (Algorithm 5): tag the sibling edge, then splice the sibling up to
    the ancestor, carrying over the sibling's flag. Returns true iff this call
    performed the splice. *)
-let cleanup ctx ~tid t k (sr : seek_record) =
+let cleanup ctx cu t k (sr : seek_record) =
   ignore t;
-  let heap = Ctx.heap ctx in
-  let ancestor_link = child_link ctx ~tid sr.ancestor k in
-  let child = child_link ctx ~tid sr.parent k in
-  let sibling = sibling_link ctx ~tid sr.parent k in
+  let ancestor_link = child_link cu sr.ancestor k in
+  let child = child_link cu sr.parent k in
+  let sibling = sibling_link cu sr.parent k in
   (* If the edge toward k is not flagged, we are helping a delete that
      flagged the sibling edge: splice out the k side instead. *)
   let sibling =
-    if Marked_ptr.is_deleted (Link_persist.read ctx ~tid child) then sibling
-    else child
+    if Marked_ptr.is_deleted (Heap.Cursor.load cu child) then sibling else child
   in
   (* Tag the sibling edge so it cannot change under the splice. *)
   let rec tag () =
-    let sv = Link_persist.read_clean ctx ~tid sibling in
+    let sv = Link_persist.read_clean_c ctx cu sibling in
     if Marked_ptr.is_tagged sv then ()
-    else if not (Heap.cas heap ~tid sibling ~expected:sv ~desired:(Marked_ptr.with_tag sv))
+    else if not (Heap.Cursor.cas cu sibling ~expected:sv ~desired:(Marked_ptr.with_tag sv))
     then tag ()
-    else Heap.write_back heap ~tid sibling
+    else Heap.Cursor.write_back cu sibling
   in
   tag ();
-  let sv = Link_persist.read ctx ~tid sibling in
+  let sv = Heap.Cursor.load cu sibling in
   let keep = Marked_ptr.addr sv in
   (* The new ancestor edge: sibling subtree, keeping its flag, dropping tag. *)
   let new_child =
     if Marked_ptr.is_deleted sv then Marked_ptr.with_delete keep else keep
   in
   if
-    Link_persist.cas_link ctx ~tid ~key:k ~link:ancestor_link
+    Link_persist.cas_link_c ctx cu ~key:k ~link:ancestor_link
       ~expected:sr.successor ~desired:new_child
   then begin
-    retire_subtree ctx ~tid ~keep sr.successor;
+    retire_subtree ctx cu ~keep sr.successor;
     true
   end
   else false
 
-let make_leaf_edge_durable ctx ~tid ~k (sr : seek_record) =
-  Link_persist.make_durable ctx ~tid ~key:k
-    ~link:(child_link ctx ~tid sr.parent k)
-    ()
+let make_leaf_edge_durable ctx cu ~k (sr : seek_record) =
+  Link_persist.make_durable_c ctx cu ~key:k ~link:(child_link cu sr.parent k) ()
 
 (** Search: the leaf holds [k] and its incoming edge is not flagged. *)
-let search ctx t ~tid ~key =
-  let sr = seek ctx ~tid t key in
-  make_leaf_edge_durable ctx ~tid ~k:key sr;
+let search_c ctx t cu ~key =
+  let sr = seek ctx cu t key in
+  make_leaf_edge_durable ctx cu ~k:key sr;
   if
-    read_key ctx ~tid sr.leaf = key
-    && not (Marked_ptr.is_deleted (Link_persist.read ctx ~tid (child_link ctx ~tid sr.parent key)))
-  then Some (read_value ctx ~tid sr.leaf)
+    read_key cu sr.leaf = key
+    && not
+         (Marked_ptr.is_deleted (Heap.Cursor.load cu (child_link cu sr.parent key)))
+  then Some (read_value cu sr.leaf)
   else None
 
-let rec insert ctx t ~tid ~key ~value =
-  let sr = seek ctx ~tid t key in
-  let leaf_key = read_key ctx ~tid sr.leaf in
-  let edge_now = Link_persist.read ctx ~tid (child_link ctx ~tid sr.parent key) in
+let search ctx t ~tid ~key = search_c ctx t (Ctx.cursor ctx ~tid) ~key
+
+let rec insert_c ctx t cu ~key ~value =
+  let sr = seek ctx cu t key in
+  let leaf_key = read_key cu sr.leaf in
+  let edge_now = Heap.Cursor.load cu (child_link cu sr.parent key) in
   if leaf_key = key && not (Marked_ptr.is_deleted edge_now) then begin
-    make_leaf_edge_durable ctx ~tid ~k:key sr;
+    make_leaf_edge_durable ctx cu ~k:key sr;
     false
   end
   else if
@@ -186,79 +184,80 @@ let rec insert ctx t ~tid ~key ~value =
     && (Marked_ptr.is_deleted edge_now || Marked_ptr.is_tagged edge_now)
   then begin
     (* The position is being spliced; help, then retry. *)
-    ignore (cleanup ctx ~tid t key sr);
-    insert ctx t ~tid ~key ~value
+    ignore (cleanup ctx cu t key sr);
+    insert_c ctx t cu ~key ~value
   end
   else begin
-    let heap = Ctx.heap ctx in
     let mem = Ctx.mem ctx in
-    let new_leaf = Nv_epochs.alloc_node mem ~tid ~size_class in
-    Heap.store heap ~tid (key_of new_leaf) key;
-    Heap.store heap ~tid (value_of new_leaf) value;
-    Heap.store heap ~tid (left_of new_leaf) 0;
-    Heap.store heap ~tid (right_of new_leaf) 0;
-    let new_internal = Nv_epochs.alloc_node mem ~tid ~size_class in
+    let new_leaf = Nv_epochs.alloc_node_c mem cu ~size_class in
+    Heap.Cursor.store cu (key_of new_leaf) key;
+    Heap.Cursor.store cu (value_of new_leaf) value;
+    Heap.Cursor.store cu (left_of new_leaf) 0;
+    Heap.Cursor.store cu (right_of new_leaf) 0;
+    let new_internal = Nv_epochs.alloc_node_c mem cu ~size_class in
     let left, right =
       if key < leaf_key then (new_leaf, sr.leaf) else (sr.leaf, new_leaf)
     in
-    Heap.store heap ~tid (key_of new_internal) (max key leaf_key);
-    Heap.store heap ~tid (value_of new_internal) 0;
-    Heap.store heap ~tid (left_of new_internal) left;
-    Heap.store heap ~tid (right_of new_internal) right;
+    Heap.Cursor.store cu (key_of new_internal) (max key leaf_key);
+    Heap.Cursor.store cu (value_of new_internal) 0;
+    Heap.Cursor.store cu (left_of new_internal) left;
+    Heap.Cursor.store cu (right_of new_internal) right;
     (* One fence covers both nodes and the allocator metadata. *)
-    Heap.write_back heap ~tid new_leaf;
-    Link_persist.persist_node ctx ~tid ~addr:new_internal ~size_class;
+    Heap.Cursor.write_back cu new_leaf;
+    Link_persist.persist_node_c ctx cu ~addr:new_internal ~size_class;
     if
-      Link_persist.cas_link ctx ~tid ~key
-        ~link:(child_link ctx ~tid sr.parent key)
+      Link_persist.cas_link_c ctx cu ~key
+        ~link:(child_link cu sr.parent key)
         ~expected:sr.leaf ~desired:new_internal
     then true
     else begin
-      Nvalloc.free (Ctx.allocator ctx) ~tid new_leaf;
-      Nvalloc.free (Ctx.allocator ctx) ~tid new_internal;
-      let v = Link_persist.read ctx ~tid (child_link ctx ~tid sr.parent key) in
+      Nvalloc.free_c (Ctx.allocator ctx) cu new_leaf;
+      Nvalloc.free_c (Ctx.allocator ctx) cu new_internal;
+      let v = Heap.Cursor.load cu (child_link cu sr.parent key) in
       if
         Marked_ptr.same_addr v sr.leaf
         && (Marked_ptr.is_deleted v || Marked_ptr.is_tagged v)
-      then ignore (cleanup ctx ~tid t key sr);
-      insert ctx t ~tid ~key ~value
+      then ignore (cleanup ctx cu t key sr);
+      insert_c ctx t cu ~key ~value
     end
   end
 
-let remove ctx t ~tid ~key =
+let insert ctx t ~tid ~key ~value =
+  insert_c ctx t (Ctx.cursor ctx ~tid) ~key ~value
+
+let remove_c ctx t cu ~key =
   (* Injection phase: flag the victim's incoming edge (linearization). *)
   let rec inject () =
-    let sr = seek ctx ~tid t key in
-    if read_key ctx ~tid sr.leaf <> key then begin
-      make_leaf_edge_durable ctx ~tid ~k:key sr;
+    let sr = seek ctx cu t key in
+    if read_key cu sr.leaf <> key then begin
+      make_leaf_edge_durable ctx cu ~k:key sr;
       false
     end
     else begin
-      let link = child_link ctx ~tid sr.parent key in
-      let edge = Link_persist.read_clean ctx ~tid link in
+      let link = child_link cu sr.parent key in
+      let edge = Link_persist.read_clean_c ctx cu link in
       if not (Marked_ptr.same_addr edge sr.leaf) then inject ()
       else if Marked_ptr.is_deleted edge then begin
         (* Another delete linearized first; help it finish. *)
-        ignore (cleanup ctx ~tid t key sr);
-        make_leaf_edge_durable ctx ~tid ~k:key sr;
+        ignore (cleanup ctx cu t key sr);
+        make_leaf_edge_durable ctx cu ~k:key sr;
         false
       end
       else if Marked_ptr.is_tagged edge then begin
-        ignore (cleanup ctx ~tid t key sr);
+        ignore (cleanup ctx cu t key sr);
         inject ()
       end
       else if
-        Link_persist.cas_link ctx ~tid ~key ~link ~expected:sr.leaf
+        Link_persist.cas_link_c ctx cu ~key ~link ~expected:sr.leaf
           ~desired:(Marked_ptr.with_delete sr.leaf)
       then begin
         (* Cleanup phase: splice until our victim is out of the tree. *)
         let victim = sr.leaf in
         let rec finish sr =
-          if cleanup ctx ~tid t key sr then ()
+          if cleanup ctx cu t key sr then ()
           else begin
-            let sr' = seek ctx ~tid t key in
-            if sr'.leaf = victim && read_key ctx ~tid sr'.leaf = key then
-              finish sr'
+            let sr' = seek ctx cu t key in
+            if sr'.leaf = victim && read_key cu sr'.leaf = key then finish sr'
           end
         in
         finish sr;
@@ -269,22 +268,24 @@ let remove ctx t ~tid ~key =
   in
   inject ()
 
+let remove ctx t ~tid ~key = remove_c ctx t (Ctx.cursor ctx ~tid) ~key
+
 (* Quiescent traversal over live leaves (skips flagged edges). *)
 let iter_leaves ctx ~tid t f =
-  let heap = Ctx.heap ctx in
+  let cu = Ctx.cursor ctx ~tid in
   let rec go edge =
     let node = Marked_ptr.addr edge in
     if node <> 0 then
-      if is_leaf ctx ~tid node then begin
-        let k = read_key ctx ~tid node in
+      if is_leaf cu node then begin
+        let k = read_key cu node in
         if k < inf0 then f node ~deleted:(Marked_ptr.is_deleted edge)
       end
       else begin
-        go (Heap.load heap ~tid (left_of node));
-        go (Heap.load heap ~tid (right_of node))
+        go (Heap.Cursor.load cu (left_of node));
+        go (Heap.Cursor.load cu (right_of node))
       end
   in
-  go (Heap.load heap ~tid (left_of t.r))
+  go (Heap.Cursor.load cu (left_of t.r))
 
 let size ctx ~tid t =
   let n = ref 0 in
@@ -295,24 +296,24 @@ let size ctx ~tid t =
     the static sentinels (callers that sweep allocator pages filter those out
     by address). Quiescent use only. *)
 let iter_all_nodes ctx ~tid t f =
-  let heap = Ctx.heap ctx in
+  let cu = Ctx.cursor ctx ~tid in
   let rec go node =
     if node <> 0 then begin
       f node;
-      let l = Marked_ptr.addr (Heap.load heap ~tid (left_of node)) in
+      let l = Marked_ptr.addr (Heap.Cursor.load cu (left_of node)) in
       if l <> 0 then begin
         go l;
-        go (Marked_ptr.addr (Heap.load heap ~tid (right_of node)))
+        go (Marked_ptr.addr (Heap.Cursor.load cu (right_of node)))
       end
     end
   in
   go t.r
 
 let to_list ctx ~tid t =
+  let cu = Ctx.cursor ctx ~tid in
   let acc = ref [] in
   iter_leaves ctx ~tid t (fun node ~deleted ->
-      if not deleted then
-        acc := (read_key ctx ~tid node, read_value ctx ~tid node) :: !acc);
+      if not deleted then acc := (read_key cu node, read_value cu node) :: !acc);
   List.rev !acc
 
 (* Recovery: normalize the durable tree bottom-up. Unflushed marks and tags
@@ -321,22 +322,21 @@ let to_list ctx ~tid t =
    carried by the surviving sibling edge propagates upward, exactly like the
    flag carry-over in cleanup. Returns with a clean, consistent tree. *)
 let recover_consistency ctx t =
-  let tid = 0 in
-  let heap = Ctx.heap ctx in
+  let cu = Ctx.cursor ctx ~tid:0 in
   let alloc = Ctx.allocator ctx in
   let in_alloc_span addr =
     match Nvalloc.page_of alloc addr with
     | (_ : int) -> true
     | exception Invalid_argument _ -> false
   in
-  let free_node node = if in_alloc_span node then Nvalloc.free alloc ~tid node in
+  let free_node node = if in_alloc_span node then Nvalloc.free_c alloc cu node in
   (* Returns (replacement subtree root, deleted flag to carry upward). *)
   let rec norm edge =
     let node = Marked_ptr.addr edge in
-    if node = 0 || is_leaf ctx ~tid node then (node, Marked_ptr.is_deleted edge)
+    if node = 0 || is_leaf cu node then (node, Marked_ptr.is_deleted edge)
     else begin
-      let l, lf = norm (Heap.load heap ~tid (left_of node)) in
-      let r, rf = norm (Heap.load heap ~tid (right_of node)) in
+      let l, lf = norm (Heap.Cursor.load cu (left_of node)) in
+      let r, rf = norm (Heap.Cursor.load cu (right_of node)) in
       if lf && rf then begin
         (* Both children deleted: the node collapses and the deletion of the
            surviving side continues at the level above. *)
@@ -355,35 +355,40 @@ let recover_consistency ctx t =
         (l, false)
       end
       else begin
-        Heap.store heap ~tid (left_of node) l;
-        Heap.store heap ~tid (right_of node) r;
-        Heap.write_back heap ~tid node;
+        Heap.Cursor.store cu (left_of node) l;
+        Heap.Cursor.store cu (right_of node) r;
+        Heap.Cursor.write_back cu node;
         (node, Marked_ptr.is_deleted edge)
       end
     end
   in
   let fix_root_edge link =
-    let sub, f = norm (Heap.load heap ~tid link) in
+    let sub, f = norm (Heap.Cursor.load cu link) in
     assert (not f);
     (* sentinel leaves are never deleted *)
-    Heap.store heap ~tid link sub;
-    Heap.write_back heap ~tid link
+    Heap.Cursor.store cu link sub;
+    Heap.Cursor.write_back cu link
   in
   fix_root_edge (left_of t.s);
   fix_root_edge (right_of t.s);
   fix_root_edge (left_of t.r);
   fix_root_edge (right_of t.r);
-  Heap.fence heap ~tid
+  Heap.Cursor.fence cu
 
 let ops ctx t =
   {
     Set_intf.name = "durable-bst(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op ctx ~tid (fun () -> insert ctx t ~tid ~key ~value));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx t cu ~key ~value));
     remove =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> remove ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx t cu ~key));
     search =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

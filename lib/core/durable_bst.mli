@@ -17,6 +17,12 @@ val search : Ctx.t -> t -> tid:int -> key:int -> int option
 val insert : Ctx.t -> t -> tid:int -> key:int -> value:int -> bool
 val remove : Ctx.t -> t -> tid:int -> key:int -> bool
 
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> int option
+
+val insert_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> value:int -> bool
+val remove_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> bool
+
 (** Quiescent traversal over live user leaves. *)
 val iter_leaves : Ctx.t -> tid:int -> t -> (int -> deleted:bool -> unit) -> unit
 

@@ -36,14 +36,20 @@ let attach ctx ~nbuckets =
   let base = Ctx.carve_static ctx nbuckets in
   { base; nbuckets }
 
+let insert_c ctx t cu ~key ~value =
+  Durable_list.insert_c ctx cu ~head:(bucket_link t key) ~key ~value
+
+let remove_c ctx t cu ~key =
+  Durable_list.remove_c ctx cu ~head:(bucket_link t key) ~key
+
+let search_c ctx t cu ~key =
+  Durable_list.search_c ctx cu ~head:(bucket_link t key) ~key
+
 let insert ctx t ~tid ~key ~value =
-  Durable_list.insert ctx ~tid ~head:(bucket_link t key) ~key ~value
+  insert_c ctx t (Ctx.cursor ctx ~tid) ~key ~value
 
-let remove ctx t ~tid ~key =
-  Durable_list.remove ctx ~tid ~head:(bucket_link t key) ~key
-
-let search ctx t ~tid ~key =
-  Durable_list.search ctx ~tid ~head:(bucket_link t key) ~key
+let remove ctx t ~tid ~key = remove_c ctx t (Ctx.cursor ctx ~tid) ~key
+let search ctx t ~tid ~key = search_c ctx t (Ctx.cursor ctx ~tid) ~key
 
 let size ctx t =
   let n = ref 0 in
@@ -75,10 +81,15 @@ let ops ctx t =
     Set_intf.name = "durable-hash(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op ctx ~tid (fun () -> insert ctx t ~tid ~key ~value));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx t cu ~key ~value));
     remove =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> remove ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx t cu ~key));
     search =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx t);
   }

@@ -16,6 +16,12 @@ val attach : Ctx.t -> nbuckets:int -> t
 val search : Ctx.t -> t -> tid:int -> key:int -> int option
 val insert : Ctx.t -> t -> tid:int -> key:int -> value:int -> bool
 val remove : Ctx.t -> t -> tid:int -> key:int -> bool
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val search_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> int option
+
+val insert_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> value:int -> bool
+val remove_c : Ctx.t -> t -> Nvm.Heap.cursor -> key:int -> bool
 val size : Ctx.t -> t -> int
 val iter_nodes : Ctx.t -> t -> (int -> deleted:bool -> unit) -> unit
 val to_list : Ctx.t -> t -> (int * int) list

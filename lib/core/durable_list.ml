@@ -17,7 +17,10 @@
     The list hangs off a single link word (a root slot or a hash bucket), so
     there are no sentinel nodes. All functions take the address of that head
     link. Memory is managed by NV-epochs; operations must run inside
-    [Ctx.with_op] brackets (the exported [ops] wrapper does this). *)
+    [Ctx.with_op] brackets (the exported [ops] wrapper does this).
+
+    Hot-path operations take the caller's heap cursor ([_c] forms); the
+    [~tid] forms fetch the cursor once and delegate. *)
 
 open Nvm
 
@@ -26,8 +29,8 @@ let key_of node = node
 let value_of node = node + 1
 let next_of node = node + 2
 
-let read_key ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (key_of node)
-let read_value ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (value_of node)
+let read_key cu node = Heap.Cursor.load cu (key_of node)
+let read_value cu node = Heap.Cursor.load cu (value_of node)
 
 (* Result of the internal find: the incoming link of the predecessor (for
    the adjacent-edge durability rule), the link to CAS (&pred.next), and the
@@ -41,122 +44,128 @@ type found = { in_pred : int; out_pred : int; curr : int }
     matter where we act on them: traversal strips them, CAS sites help-clear
     them, and the operation's adjacent edges are made durable before its
     linearization ([make_position_durable]). *)
-let rec find ctx ~tid ~head k =
+let rec find ctx cu ~head k =
   let rec step in_pred out_pred curr =
     if curr = 0 then { in_pred; out_pred; curr = 0 }
     else
-      let nv = Link_persist.read ctx ~tid (next_of curr) in
+      let nv = Heap.Cursor.load cu (next_of curr) in
       if Marked_ptr.is_deleted nv then begin
         (* curr is logically deleted: make the mark durable, then durably
            unlink it. On CAS failure the list changed under us: restart. *)
-        let nv = Link_persist.help_unflushed ctx ~tid ~link:(next_of curr) nv in
+        let nv = Link_persist.help_unflushed_c ctx cu ~link:(next_of curr) nv in
         let succ = Marked_ptr.addr nv in
         if
-          Link_persist.cas_link ctx ~tid
-            ~key:(read_key ctx ~tid curr)
+          Link_persist.cas_link_c ctx cu
+            ~key:(read_key cu curr)
             ~link:out_pred ~expected:curr ~desired:succ
         then begin
-          Nv_epochs.retire_node (Ctx.mem ctx) ~tid curr;
+          Nv_epochs.retire_node_c (Ctx.mem ctx) cu curr;
           step in_pred out_pred succ
         end
-        else find ctx ~tid ~head k
+        else find ctx cu ~head k
       end
-      else if read_key ctx ~tid curr >= k then { in_pred; out_pred; curr }
+      else if read_key cu curr >= k then { in_pred; out_pred; curr }
       else step out_pred (next_of curr) (Marked_ptr.addr nv)
   in
-  step head head (Marked_ptr.addr (Link_persist.read_clean ctx ~tid head))
+  step head head (Marked_ptr.addr (Link_persist.read_clean_c ctx cu head))
 
-let key_matches ctx ~tid node k = node <> 0 && read_key ctx ~tid node = k
+let key_matches cu node k = node <> 0 && read_key cu node = k
 
 (* Durability of the edges adjacent to the position [f] (section 3): the
    traversal already cleaned them, but in link-cache mode their durable
    write may still be parked in the cache, so scan for the keys involved. *)
-let make_position_durable ctx ~tid ~k f =
-  Link_persist.make_durable ctx ~tid ~key:k ~link:f.out_pred ();
+let make_position_durable ctx cu ~k f =
+  Link_persist.make_durable_c ctx cu ~key:k ~link:f.out_pred ();
   if f.curr <> 0 then
-    Link_persist.make_durable ctx ~tid
-      ~key:(read_key ctx ~tid f.curr)
+    Link_persist.make_durable_c ctx cu
+      ~key:(read_key cu f.curr)
       ~link:(next_of f.curr) ();
-  Link_persist.make_durable ctx ~tid ~key:k ~link:f.in_pred ()
+  Link_persist.make_durable_c ctx cu ~key:k ~link:f.in_pred ()
 
-(** [search ctx ~tid ~head ~key] returns the value bound to [key], first
+(** [search_c ctx cu ~head ~key] returns the value bound to [key], first
     making the links its answer depends on durable. *)
-let search ctx ~tid ~head ~key =
-  let f = find ctx ~tid ~head key in
-  make_position_durable ctx ~tid ~k:key f;
-  if key_matches ctx ~tid f.curr key then Some (read_value ctx ~tid f.curr)
-  else None
+let search_c ctx cu ~head ~key =
+  let f = find ctx cu ~head key in
+  make_position_durable ctx cu ~k:key f;
+  if key_matches cu f.curr key then Some (read_value cu f.curr) else None
 
-(** [insert ctx ~tid ~head ~key ~value] adds a node; false if present. *)
-let rec insert ctx ~tid ~head ~key ~value =
-  let f = find ctx ~tid ~head key in
-  if key_matches ctx ~tid f.curr key then begin
-    make_position_durable ctx ~tid ~k:key f;
+let search ctx ~tid ~head ~key = search_c ctx (Ctx.cursor ctx ~tid) ~head ~key
+
+(** [insert_c ctx cu ~head ~key ~value] adds a node; false if present. *)
+let rec insert_c ctx cu ~head ~key ~value =
+  let f = find ctx cu ~head key in
+  if key_matches cu f.curr key then begin
+    make_position_durable ctx cu ~k:key f;
     false
   end
   else begin
     (* Adjacent edges of the predecessor must be durable before linking. *)
-    make_position_durable ctx ~tid ~k:key f;
-    let node = Nv_epochs.alloc_node (Ctx.mem ctx) ~tid ~size_class in
-    let heap = Ctx.heap ctx in
-    Heap.store heap ~tid (key_of node) key;
-    Heap.store heap ~tid (value_of node) value;
-    Heap.store heap ~tid (next_of node) f.curr;
+    make_position_durable ctx cu ~k:key f;
+    let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+    Heap.Cursor.store cu (key_of node) key;
+    Heap.Cursor.store cu (value_of node) value;
+    Heap.Cursor.store cu (next_of node) f.curr;
     (* Contents + allocator metadata reach NVRAM before the node is visible. *)
-    Link_persist.persist_node ctx ~tid ~addr:node ~size_class;
+    Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
     if
-      Link_persist.cas_link ctx ~tid ~key ~link:f.out_pred ~expected:f.curr
+      Link_persist.cas_link_c ctx cu ~key ~link:f.out_pred ~expected:f.curr
         ~desired:node
     then true
     else begin
       (* Lost the race; recycle the invisible node and retry. *)
-      Nvalloc.free (Ctx.allocator ctx) ~tid node;
-      insert ctx ~tid ~head ~key ~value
+      Nvalloc.free_c (Ctx.allocator ctx) cu node;
+      insert_c ctx cu ~head ~key ~value
     end
   end
 
-(** [remove ctx ~tid ~head ~key] deletes the node; false if absent. *)
-let rec remove ctx ~tid ~head ~key =
-  let f = find ctx ~tid ~head key in
-  if not (key_matches ctx ~tid f.curr key) then begin
-    make_position_durable ctx ~tid ~k:key f;
+let insert ctx ~tid ~head ~key ~value =
+  insert_c ctx (Ctx.cursor ctx ~tid) ~head ~key ~value
+
+(** [remove_c ctx cu ~head ~key] deletes the node; false if absent. *)
+let rec remove_c ctx cu ~head ~key =
+  let f = find ctx cu ~head key in
+  if not (key_matches cu f.curr key) then begin
+    make_position_durable ctx cu ~k:key f;
     false
   end
   else begin
     let curr = f.curr in
-    make_position_durable ctx ~tid ~k:key f;
-    let nv = Link_persist.read_clean ctx ~tid (next_of curr) in
+    make_position_durable ctx cu ~k:key f;
+    let nv = Link_persist.read_clean_c ctx cu (next_of curr) in
     if Marked_ptr.is_deleted nv then begin
       (* Concurrently deleted; that deletion's mark is durable (we just
          cleaned the link), so reporting absence is durably justified. *)
-      Link_persist.make_durable ctx ~tid ~key ~link:(next_of curr) ();
+      Link_persist.make_durable_c ctx cu ~key ~link:(next_of curr) ();
       false
     end
     else if
       (* Logical deletion: durably mark curr's next pointer. *)
-      Link_persist.cas_link ctx ~tid ~key ~link:(next_of curr) ~expected:nv
+      Link_persist.cas_link_c ctx cu ~key ~link:(next_of curr) ~expected:nv
         ~desired:(Marked_ptr.with_delete nv)
     then begin
       (* Physical deletion: best effort here, helpers finish otherwise. *)
       let succ = Marked_ptr.addr nv in
       if
-        Link_persist.cas_link ctx ~tid ~key ~link:f.out_pred ~expected:curr
+        Link_persist.cas_link_c ctx cu ~key ~link:f.out_pred ~expected:curr
           ~desired:succ
-      then Nv_epochs.retire_node (Ctx.mem ctx) ~tid curr
-      else ignore (find ctx ~tid ~head key);
+      then Nv_epochs.retire_node_c (Ctx.mem ctx) cu curr
+      else ignore (find ctx cu ~head key);
       true
     end
-    else remove ctx ~tid ~head ~key
+    else remove_c ctx cu ~head ~key
   end
+
+let remove ctx ~tid ~head ~key = remove_c ctx (Ctx.cursor ctx ~tid) ~head ~key
 
 (* Quiescent traversal (tests, recovery, size). *)
 
 let iter_nodes ctx ~tid ~head f =
+  let cu = Ctx.cursor ctx ~tid in
   let rec go link =
-    let v = Heap.load (Ctx.heap ctx) ~tid link in
+    let v = Heap.Cursor.load cu link in
     let node = Marked_ptr.addr v in
     if node <> 0 then begin
-      let nv = Heap.load (Ctx.heap ctx) ~tid (next_of node) in
+      let nv = Heap.Cursor.load cu (next_of node) in
       f node ~deleted:(Marked_ptr.is_deleted nv);
       go (next_of node)
     end
@@ -169,10 +178,10 @@ let size ctx ~tid ~head =
   !n
 
 let to_list ctx ~tid ~head =
+  let cu = Ctx.cursor ctx ~tid in
   let acc = ref [] in
   iter_nodes ctx ~tid ~head (fun node ~deleted ->
-      if not deleted then
-        acc := (read_key ctx ~tid node, read_value ctx ~tid node) :: !acc);
+      if not deleted then acc := (read_key cu node, read_value cu node) :: !acc);
   List.rev !acc
 
 (* Recovery (single-threaded, post-crash): bring the list back to a
@@ -180,50 +189,52 @@ let to_list ctx ~tid ~head =
    restart itself is the missing write-back); half-done logical deletions are
    completed by unlinking. Every fixed line is written back once at the end. *)
 let recover_consistency ctx ~head =
-  let tid = 0 in
-  let heap = Ctx.heap ctx in
+  let cu = Ctx.cursor ctx ~tid:0 in
   let rec go link =
-    let v = Heap.load heap ~tid link in
+    let v = Heap.Cursor.load cu link in
     let v =
       if Marked_ptr.is_unflushed v then begin
         let c = Marked_ptr.clear_unflushed v in
-        Heap.store heap ~tid link c;
-        Heap.write_back heap ~tid link;
+        Heap.Cursor.store cu link c;
+        Heap.Cursor.write_back cu link;
         c
       end
       else v
     in
     let node = Marked_ptr.addr v in
     if node <> 0 then begin
-      let nv = Heap.load heap ~tid (next_of node) in
+      let nv = Heap.Cursor.load cu (next_of node) in
       if Marked_ptr.is_deleted nv then begin
         (* Finish the crashed delete: bypass the node. *)
         let succ = Marked_ptr.addr nv in
-        Heap.store heap ~tid link succ;
-        Heap.write_back heap ~tid link;
-        Nvalloc.free (Ctx.allocator ctx) ~tid node;
+        Heap.Cursor.store cu link succ;
+        Heap.Cursor.write_back cu link;
+        Nvalloc.free_c (Ctx.allocator ctx) cu node;
         go link
       end
       else go (next_of node)
     end
   in
   go head;
-  Heap.fence heap ~tid
+  Heap.Cursor.fence cu
 
 (** First-class [Set_intf.ops] over a list rooted at [head]; operations are
-    epoch-bracketed. *)
+    epoch-bracketed. Each operation fetches the domain's cursor once. *)
 let ops ctx ~head =
   {
     Set_intf.name = "durable-list(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op ctx ~tid (fun () -> insert ctx ~tid ~head ~key ~value));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx cu ~head ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Ctx.with_op ctx ~tid (fun () -> remove ctx ~tid ~head ~key));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx cu ~head ~key));
     search =
       (fun ~tid ~key ->
-        Ctx.with_op ctx ~tid (fun () -> search ctx ~tid ~head ~key));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx cu ~head ~key));
     size = (fun () -> size ctx ~tid:0 ~head);
   }
 

@@ -23,6 +23,15 @@ val search : Ctx.t -> tid:int -> head:int -> key:int -> int option
 val insert : Ctx.t -> tid:int -> head:int -> key:int -> value:int -> bool
 val remove : Ctx.t -> tid:int -> head:int -> key:int -> bool
 
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto):
+    callers fetch [Ctx.cursor] once per operation. *)
+val search_c : Ctx.t -> Nvm.Heap.cursor -> head:int -> key:int -> int option
+
+val insert_c :
+  Ctx.t -> Nvm.Heap.cursor -> head:int -> key:int -> value:int -> bool
+
+val remove_c : Ctx.t -> Nvm.Heap.cursor -> head:int -> key:int -> bool
+
 (** Quiescent traversal over all linked nodes, with each node's
     logical-deletion state. *)
 val iter_nodes : Ctx.t -> tid:int -> head:int -> (int -> deleted:bool -> unit) -> unit

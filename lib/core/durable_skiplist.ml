@@ -17,7 +17,8 @@
     Node layout ([4 + levels] words, rounded up to full cache lines):
     {v +0 key  +1 value  +2 toplevel  +3 pad  +4+i next_i v}
 
-    The head tower is a static span of [max_level] links; tail is null. *)
+    The head tower is a static span of [max_level] links; tail is null.
+    Hot-path operations thread the caller's heap cursor ([_c] forms). *)
 
 open Nvm
 
@@ -37,9 +38,9 @@ let node_class ~levels =
   (words + Cacheline.words_per_line - 1)
   / Cacheline.words_per_line * Cacheline.words_per_line
 
-let read_key ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (key_of node)
-let read_value ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (value_of node)
-let read_toplevel ctx ~tid node = Heap.load (Ctx.heap ctx) ~tid (toplevel_of node)
+let read_key cu node = Heap.Cursor.load cu (key_of node)
+let read_value cu node = Heap.Cursor.load cu (value_of node)
+let read_toplevel cu node = Heap.Cursor.load cu (toplevel_of node)
 
 (** Create a fresh skip list: carves and zeroes the head tower. *)
 let create ctx ?(max_level = 16) () =
@@ -81,13 +82,12 @@ let random_level t ~tid =
 let head_link t level = t.head + level
 
 (* Lazy durable CAS for index levels: plain CAS + asynchronous write-back. *)
-let cas_lazy ctx ~tid ~link ~expected ~desired =
-  let heap = Ctx.heap ctx in
-  if Heap.cas heap ~tid link ~expected ~desired then begin
+let cas_lazy ctx cu ~link ~expected ~desired =
+  if Heap.Cursor.cas cu link ~expected ~desired then begin
     (match Ctx.mode ctx with
     | Persist_mode.Volatile -> ()
     | Persist_mode.Link_persist | Persist_mode.Link_cache ->
-        Heap.write_back heap ~tid link);
+        Heap.Cursor.write_back cu link);
     true
   end
   else false
@@ -97,7 +97,7 @@ exception Retry
 (* Find: fill [preds] (link addresses) and [succs] (node addresses) for every
    level, unlinking marked nodes on the way. Level 0 uses the durable CAS;
    index levels use the lazy one. Raises [Retry] on interference. *)
-let find_once ctx t ~tid k ~preds ~succs =
+let find_once ctx t cu k ~preds ~succs =
   let is_head_slot link = link >= t.head && link < t.head + t.max_level in
   let rec down level pred_link =
     if level < 0 then ()
@@ -109,29 +109,29 @@ let find_once ctx t ~tid k ~preds ~succs =
           succs.(level) <- 0
         end
         else begin
-          let nv = Link_persist.read ctx ~tid (next_of curr level) in
+          let nv = Heap.Cursor.load cu (next_of curr level) in
           if Marked_ptr.is_deleted nv then begin
             (* Unlink curr at this level. *)
             let nv =
               if level = 0 then
-                Link_persist.help_unflushed ctx ~tid ~link:(next_of curr level) nv
+                Link_persist.help_unflushed_c ctx cu ~link:(next_of curr level) nv
               else nv
             in
             let succ = Marked_ptr.addr nv in
             let ok =
               if level = 0 then
-                Link_persist.cas_link ctx ~tid
-                  ~key:(read_key ctx ~tid curr)
+                Link_persist.cas_link_c ctx cu
+                  ~key:(read_key cu curr)
                   ~link:pred_link ~expected:curr ~desired:succ
-              else cas_lazy ctx ~tid ~link:pred_link ~expected:curr ~desired:succ
+              else cas_lazy ctx cu ~link:pred_link ~expected:curr ~desired:succ
             in
             if ok then begin
-              if level = 0 then Nv_epochs.retire_node (Ctx.mem ctx) ~tid curr;
+              if level = 0 then Nv_epochs.retire_node_c (Ctx.mem ctx) cu curr;
               step pred_link succ
             end
             else raise Retry
           end
-          else if read_key ctx ~tid curr < k then
+          else if read_key cu curr < k then
             step (next_of curr level) (Marked_ptr.addr nv)
           else begin
             preds.(level) <- pred_link;
@@ -140,8 +140,8 @@ let find_once ctx t ~tid k ~preds ~succs =
         end
       in
       let first =
-        if level = 0 then Link_persist.read_clean ctx ~tid pred_link
-        else Link_persist.read ctx ~tid pred_link
+        if level = 0 then Link_persist.read_clean_c ctx cu pred_link
+        else Heap.Cursor.load cu pred_link
       in
       step pred_link (Marked_ptr.addr first);
       (* Descend: keep walking from the same predecessor node, one level
@@ -156,60 +156,60 @@ let find_once ctx t ~tid k ~preds ~succs =
   in
   down (t.max_level - 1) (head_link t (t.max_level - 1))
 
-let rec find ctx t ~tid k ~preds ~succs =
-  match find_once ctx t ~tid k ~preds ~succs with
+let rec find ctx t cu k ~preds ~succs =
+  match find_once ctx t cu k ~preds ~succs with
   | () -> ()
-  | exception Retry -> find ctx t ~tid k ~preds ~succs
+  | exception Retry -> find ctx t cu k ~preds ~succs
 
 (* A node is in the set iff linked at level 0 and not level-0 marked. *)
-let found_at_0 ctx ~tid ~succs k =
+let found_at_0 cu ~succs k =
   let curr = succs.(0) in
   curr <> 0
-  && read_key ctx ~tid curr = k
-  && not (Marked_ptr.is_deleted (Link_persist.read ctx ~tid (next_of curr 0)))
+  && read_key cu curr = k
+  && not (Marked_ptr.is_deleted (Heap.Cursor.load cu (next_of curr 0)))
 
-let make_position_durable ctx ~tid ~k ~preds ~succs =
-  Link_persist.make_durable ctx ~tid ~key:k ~link:preds.(0) ();
+let make_position_durable ctx cu ~k ~preds ~succs =
+  Link_persist.make_durable_c ctx cu ~key:k ~link:preds.(0) ();
   if succs.(0) <> 0 then
-    Link_persist.make_durable ctx ~tid
-      ~key:(read_key ctx ~tid succs.(0))
+    Link_persist.make_durable_c ctx cu
+      ~key:(read_key cu succs.(0))
       ~link:(next_of succs.(0) 0) ()
 
-let search ctx t ~tid ~key =
+let search_c ctx t cu ~key =
   let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
-  find ctx t ~tid key ~preds ~succs;
-  make_position_durable ctx ~tid ~k:key ~preds ~succs;
-  if found_at_0 ctx ~tid ~succs key then Some (read_value ctx ~tid succs.(0))
-  else None
+  find ctx t cu key ~preds ~succs;
+  make_position_durable ctx cu ~k:key ~preds ~succs;
+  if found_at_0 cu ~succs key then Some (read_value cu succs.(0)) else None
 
-let rec insert ctx t ~tid ~key ~value =
+let search ctx t ~tid ~key = search_c ctx t (Ctx.cursor ctx ~tid) ~key
+
+let rec insert_c ctx t cu ~key ~value =
   let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
-  find ctx t ~tid key ~preds ~succs;
-  if found_at_0 ctx ~tid ~succs key then begin
-    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+  find ctx t cu key ~preds ~succs;
+  if found_at_0 cu ~succs key then begin
+    make_position_durable ctx cu ~k:key ~preds ~succs;
     false
   end
   else begin
-    make_position_durable ctx ~tid ~k:key ~preds ~succs;
-    let levels = random_level t ~tid in
+    make_position_durable ctx cu ~k:key ~preds ~succs;
+    let levels = random_level t ~tid:(Heap.Cursor.tid cu) in
     let size_class = node_class ~levels in
-    let node = Nv_epochs.alloc_node (Ctx.mem ctx) ~tid ~size_class in
-    let heap = Ctx.heap ctx in
-    Heap.store heap ~tid (key_of node) key;
-    Heap.store heap ~tid (value_of node) value;
-    Heap.store heap ~tid (toplevel_of node) levels;
+    let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+    Heap.Cursor.store cu (key_of node) key;
+    Heap.Cursor.store cu (value_of node) value;
+    Heap.Cursor.store cu (toplevel_of node) levels;
     for l = 0 to levels - 1 do
-      Heap.store heap ~tid (next_of node l) succs.(l)
+      Heap.Cursor.store cu (next_of node l) succs.(l)
     done;
-    Link_persist.persist_node ctx ~tid ~addr:node ~size_class;
+    Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
     (* Linearization: link at level 0, durably. *)
     if
       not
-        (Link_persist.cas_link ctx ~tid ~key ~link:preds.(0) ~expected:succs.(0)
+        (Link_persist.cas_link_c ctx cu ~key ~link:preds.(0) ~expected:succs.(0)
            ~desired:node)
     then begin
-      Nvalloc.free (Ctx.allocator ctx) ~tid node;
-      insert ctx t ~tid ~key ~value
+      Nvalloc.free_c (Ctx.allocator ctx) cu node;
+      insert_c ctx t cu ~key ~value
     end
     else begin
       (* Link the index levels, best effort with refresh on failure. If the
@@ -218,9 +218,9 @@ let rec insert ctx t ~tid ~key ~value =
          remove's unlinking cannot miss a link we added after its sweep; the
          node's memory stays valid until our epoch ends. *)
       let snip_if_marked l =
-        if Marked_ptr.is_deleted (Link_persist.read ctx ~tid (next_of node l))
+        if Marked_ptr.is_deleted (Heap.Cursor.load cu (next_of node l))
         then begin
-          find ctx t ~tid key ~preds ~succs;
+          find ctx t cu key ~preds ~succs;
           true
         end
         else false
@@ -228,19 +228,19 @@ let rec insert ctx t ~tid ~key ~value =
       let rec link_level l =
         if l < levels then begin
           let rec attempt () =
-            let expected = Link_persist.read ctx ~tid (next_of node l) in
+            let expected = Heap.Cursor.load cu (next_of node l) in
             if Marked_ptr.is_deleted expected then () (* being deleted: stop *)
-            else if cas_lazy ctx ~tid ~link:preds.(l) ~expected:succs.(l) ~desired:node
+            else if cas_lazy ctx cu ~link:preds.(l) ~expected:succs.(l) ~desired:node
             then begin if not (snip_if_marked l) then link_level (l + 1) end
             else begin
               (* Preds stale: recompute and retarget the node's forward link. *)
-              find ctx t ~tid key ~preds ~succs;
-              if found_at_0 ctx ~tid ~succs key && succs.(0) = node then begin
-                let current = Link_persist.read ctx ~tid (next_of node l) in
+              find ctx t cu key ~preds ~succs;
+              if found_at_0 cu ~succs key && succs.(0) = node then begin
+                let current = Heap.Cursor.load cu (next_of node l) in
                 if Marked_ptr.is_deleted current then ()
                 else if
                   Marked_ptr.addr current = succs.(l)
-                  || Heap.cas heap ~tid (next_of node l) ~expected:current
+                  || Heap.Cursor.cas cu (next_of node l) ~expected:current
                        ~desired:succs.(l)
                 then attempt ()
                 else ()
@@ -255,59 +255,65 @@ let rec insert ctx t ~tid ~key ~value =
     end
   end
 
-let rec remove ctx t ~tid ~key =
+let insert ctx t ~tid ~key ~value =
+  insert_c ctx t (Ctx.cursor ctx ~tid) ~key ~value
+
+let rec remove_c ctx t cu ~key =
   let preds = Array.make t.max_level 0 and succs = Array.make t.max_level 0 in
-  find ctx t ~tid key ~preds ~succs;
-  if not (found_at_0 ctx ~tid ~succs key) then begin
-    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+  find ctx t cu key ~preds ~succs;
+  if not (found_at_0 cu ~succs key) then begin
+    make_position_durable ctx cu ~k:key ~preds ~succs;
     false
   end
   else begin
-    make_position_durable ctx ~tid ~k:key ~preds ~succs;
+    make_position_durable ctx cu ~k:key ~preds ~succs;
     let node = succs.(0) in
-    let levels = read_toplevel ctx ~tid node in
+    let levels = read_toplevel cu node in
     (* Mark the index levels top-down (lazy durability). *)
     for l = levels - 1 downto 1 do
       let rec mark () =
-        let v = Link_persist.read ctx ~tid (next_of node l) in
+        let v = Heap.Cursor.load cu (next_of node l) in
         if not (Marked_ptr.is_deleted v) then
           if
             not
-              (Heap.cas (Ctx.heap ctx) ~tid (next_of node l) ~expected:v
+              (Heap.Cursor.cas cu (next_of node l) ~expected:v
                  ~desired:(Marked_ptr.with_delete v))
           then mark ()
-          else Heap.write_back (Ctx.heap ctx) ~tid (next_of node l)
+          else Heap.Cursor.write_back cu (next_of node l)
       in
       mark ()
     done;
     (* Linearization: durably mark level 0. *)
     let rec mark0 () =
-      let v = Link_persist.read_clean ctx ~tid (next_of node 0) in
+      let v = Link_persist.read_clean_c ctx cu (next_of node 0) in
       if Marked_ptr.is_deleted v then begin
         (* Lost to a concurrent remove; its mark is durable (just cleaned). *)
-        Link_persist.make_durable ctx ~tid ~key ~link:(next_of node 0) ();
+        Link_persist.make_durable_c ctx cu ~key ~link:(next_of node 0) ();
         false
       end
       else if
-        Link_persist.cas_link ctx ~tid ~key ~link:(next_of node 0) ~expected:v
+        Link_persist.cas_link_c ctx cu ~key ~link:(next_of node 0) ~expected:v
           ~desired:(Marked_ptr.with_delete v)
       then begin
         (* Physically unlink (find retires on the level-0 unlink). *)
-        find ctx t ~tid key ~preds ~succs;
+        find ctx t cu key ~preds ~succs;
         true
       end
       else mark0 ()
     in
-    if mark0 () then true else remove ctx t ~tid ~key
+    if mark0 () then true else remove_c ctx t cu ~key
   end
+
+let remove ctx t ~tid ~key = remove_c ctx t (Ctx.cursor ctx ~tid) ~key
 
 (* Quiescent helpers. *)
 
 let iter_nodes ctx ~tid t f =
+  let cu = Ctx.cursor ctx ~tid in
   let rec go link =
-    let node = Marked_ptr.addr (Heap.load (Ctx.heap ctx) ~tid link) in
+    let node = Marked_ptr.addr (Heap.Cursor.load cu link) in
     if node <> 0 then begin
-      let nv = Heap.load (Ctx.heap ctx) ~tid (next_of node 0) in
+      let nv = Heap.Cursor.load cu (next_of node 0) in
       f node ~deleted:(Marked_ptr.is_deleted nv);
       go (next_of node 0)
     end
@@ -320,37 +326,36 @@ let size ctx ~tid t =
   !n
 
 let to_list ctx ~tid t =
+  let cu = Ctx.cursor ctx ~tid in
   let acc = ref [] in
   iter_nodes ctx ~tid t (fun node ~deleted ->
-      if not deleted then
-        acc := (read_key ctx ~tid node, read_value ctx ~tid node) :: !acc);
+      if not deleted then acc := (read_key cu node, read_value cu node) :: !acc);
   List.rev !acc
 
 (* Recovery: the level-0 list is the durable truth. Clean it exactly like a
    linked list, then rebuild every index level from the surviving nodes'
    stored toplevels; head tower and all index links are rewritten. *)
 let recover_consistency ctx t =
-  let tid = 0 in
-  let heap = Ctx.heap ctx in
+  let cu = Ctx.cursor ctx ~tid:0 in
   (* Pass 1: normalize level 0 (clear unflushed, complete marked deletes). *)
   let rec fix link =
-    let v = Heap.load heap ~tid link in
+    let v = Heap.Cursor.load cu link in
     let v =
       if Marked_ptr.is_unflushed v then begin
         let c = Marked_ptr.clear_unflushed v in
-        Heap.store heap ~tid link c;
-        Heap.write_back heap ~tid link;
+        Heap.Cursor.store cu link c;
+        Heap.Cursor.write_back cu link;
         c
       end
       else v
     in
     let node = Marked_ptr.addr v in
     if node <> 0 then begin
-      let nv = Heap.load heap ~tid (next_of node 0) in
+      let nv = Heap.Cursor.load cu (next_of node 0) in
       if Marked_ptr.is_deleted nv then begin
-        Heap.store heap ~tid link (Marked_ptr.addr nv);
-        Heap.write_back heap ~tid link;
-        Nvalloc.free (Ctx.allocator ctx) ~tid node;
+        Heap.Cursor.store cu link (Marked_ptr.addr nv);
+        Heap.Cursor.write_back cu link;
+        Nvalloc.free_c (Ctx.allocator ctx) cu node;
         fix link
       end
       else fix (next_of node 0)
@@ -361,21 +366,21 @@ let recover_consistency ctx t =
   let last_link = Array.init t.max_level (fun l -> head_link t l) in
   let rec rebuild node =
     if node <> 0 then begin
-      let levels = Heap.load heap ~tid (toplevel_of node) in
+      let levels = Heap.Cursor.load cu (toplevel_of node) in
       for l = 1 to min levels t.max_level - 1 do
-        Heap.store heap ~tid last_link.(l) node;
-        Heap.write_back heap ~tid last_link.(l);
+        Heap.Cursor.store cu last_link.(l) node;
+        Heap.Cursor.write_back cu last_link.(l);
         last_link.(l) <- next_of node l
       done;
-      rebuild (Marked_ptr.addr (Heap.load heap ~tid (next_of node 0)))
+      rebuild (Marked_ptr.addr (Heap.Cursor.load cu (next_of node 0)))
     end
   in
-  rebuild (Marked_ptr.addr (Heap.load heap ~tid (head_link t 0)));
+  rebuild (Marked_ptr.addr (Heap.Cursor.load cu (head_link t 0)));
   for l = 1 to t.max_level - 1 do
-    Heap.store heap ~tid last_link.(l) 0;
-    Heap.write_back heap ~tid last_link.(l)
+    Heap.Cursor.store cu last_link.(l) 0;
+    Heap.Cursor.write_back cu last_link.(l)
   done;
-  Heap.fence heap ~tid
+  Heap.Cursor.fence cu
 
 let ops ctx t =
   {
@@ -383,10 +388,15 @@ let ops ctx t =
       "durable-skiplist(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op ctx ~tid (fun () -> insert ctx t ~tid ~key ~value));
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            insert_c ctx t cu ~key ~value));
     remove =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> remove ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            remove_c ctx t cu ~key));
     search =
-      (fun ~tid ~key -> Ctx.with_op ctx ~tid (fun () -> search ctx t ~tid ~key));
+      (fun ~tid ~key ->
+        Ctx.with_op_c ctx (Ctx.cursor ctx ~tid) (fun cu ->
+            search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

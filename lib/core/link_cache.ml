@@ -14,6 +14,11 @@
     whose state says they are valid, and a stale address read by a racing
     scan can at worst trigger a redundant (always safe) write-back.
 
+    All heap traffic runs on the caller's cursor ([Nvm.Heap.Cursor]); the
+    [~tid] entry points are shims. Spin-waits use [Nvm.Backoff]: bounded
+    exponential [cpu_relax] that degrades to an OS-timeslice yield, because
+    the awaited flusher may be descheduled when cores are scarce.
+
     No HTM here: we implement the paper's documented fallback path (marked
     link insertion via the pending state). *)
 
@@ -67,6 +72,16 @@ let rec transition t b i ~from_state ~to_state ~fail_if_flushing =
   else if Atomic.compare_and_set t.states.(b) w (with_state w i to_state) then true
   else transition t b i ~from_state ~to_state ~fail_if_flushing
 
+(* Retry a state transition until it succeeds (pending -> free and
+   busy -> free always do eventually; only CAS contention is in the way). *)
+let force_transition t b i ~from_state ~to_state =
+  if not (transition t b i ~from_state ~to_state ~fail_if_flushing:false) then begin
+    let bo = Backoff.make () in
+    while not (transition t b i ~from_state ~to_state ~fail_if_flushing:false) do
+      Backoff.once bo
+    done
+  end
+
 (** Result of [try_link_and_add]. *)
 type add_result =
   | Added  (** link updated; its durability is now the cache's business *)
@@ -77,9 +92,8 @@ type add_result =
    one sync covers up to six parked links, keeping the cache useful even
    when no dependent operation happens to scan the keys (large key ranges).
    Exposed below as a forward reference to break the recursion with flush. *)
-let flush_ref :
-    (t -> tid:int -> int -> unit) ref =
-  ref (fun _ ~tid:_ _ -> ())
+let flush_ref : (t -> Heap.cursor -> int -> unit) ref =
+  ref (fun _ _ _ -> ())
 
 (** Atomically update link word [link] from [expected] to [desired] and
     register it in the cache under [key]. Implements the paper's "Try Link
@@ -87,7 +101,7 @@ let flush_ref :
     is finalized, so concurrent readers can tell it may not be durable.
     Contention failures give up after one attempt (constant worst case); a
     merely-full bucket is flushed once and retried. *)
-let rec try_link_and_add ?(retried = false) t ~tid ~key ~link ~expected ~desired =
+let rec try_link_and_add_c ?(retried = false) t cu ~key ~link ~expected ~desired =
   let b = bucket_of t key in
   let w = Atomic.get t.states.(b) in
   if is_flushing w then Cache_full
@@ -102,8 +116,8 @@ let rec try_link_and_add ?(retried = false) t ~tid ~key ~link ~expected ~desired
     if i < 0 then
       if retried then Cache_full
       else begin
-        !flush_ref t ~tid b;
-        try_link_and_add ~retried:true t ~tid ~key ~link ~expected ~desired
+        !flush_ref t cu b;
+        try_link_and_add_c ~retried:true t cu ~key ~link ~expected ~desired
       end
     else if not (Atomic.compare_and_set t.states.(b) w (with_state w i st_pending))
     then Cache_full
@@ -113,56 +127,57 @@ let rec try_link_and_add ?(retried = false) t ~tid ~key ~link ~expected ~desired
       t.addrs.(idx) <- link;
       (* Install the new link value, marked not-yet-durable. *)
       let marked = Marked_ptr.with_unflushed desired in
-      if not (Heap.cas t.heap ~tid link ~expected ~desired:marked) then begin
+      if not (Heap.Cursor.cas cu link ~expected ~desired:marked) then begin
         (* Undo the reservation; pending -> free always succeeds eventually. *)
-        while not (transition t b i ~from_state:st_pending ~to_state:st_free ~fail_if_flushing:false) do
-          Domain.cpu_relax ()
-        done;
-        (Heap.stats t.heap tid).lc_fails <- (Heap.stats t.heap tid).lc_fails + 1;
+        force_transition t b i ~from_state:st_pending ~to_state:st_free;
+        let st = Heap.Cursor.stats cu in
+        st.lc_fails <- st.lc_fails + 1;
         Cas_failed
       end
       else begin
         (* Finalize: pending -> busy. If a flush started meanwhile it may not
            see our entry, so persist the link ourselves and release it. *)
+        let st = Heap.Cursor.stats cu in
         if transition t b i ~from_state:st_pending ~to_state:st_busy ~fail_if_flushing:true
         then begin
-          ignore (Heap.cas t.heap ~tid link ~expected:marked ~desired);
-          (Heap.stats t.heap tid).lc_adds <- (Heap.stats t.heap tid).lc_adds + 1;
+          ignore (Heap.Cursor.cas cu link ~expected:marked ~desired);
+          st.lc_adds <- st.lc_adds + 1;
           Added
         end
         else begin
-          Heap.persist t.heap ~tid link;
-          ignore (Heap.cas t.heap ~tid link ~expected:marked ~desired);
-          while not (transition t b i ~from_state:st_pending ~to_state:st_free ~fail_if_flushing:false) do
-            Domain.cpu_relax ()
-          done;
-          (Heap.stats t.heap tid).lc_adds <- (Heap.stats t.heap tid).lc_adds + 1;
+          Heap.Cursor.persist cu link;
+          ignore (Heap.Cursor.cas cu link ~expected:marked ~desired);
+          force_transition t b i ~from_state:st_pending ~to_state:st_free;
+          st.lc_adds <- st.lc_adds + 1;
           Added
         end
       end
     end
   end
 
+let try_link_and_add ?retried t ~tid ~key ~link ~expected ~desired =
+  try_link_and_add_c ?retried t (Heap.cursor t.heap ~tid) ~key ~link ~expected
+    ~desired
+
 (* Clear the unflushed mark of [link] if still set (its line is durable). *)
-let clear_mark t ~tid link =
-  let v = Heap.load t.heap ~tid link in
+let clear_mark cu link =
+  let v = Heap.Cursor.load cu link in
   if Marked_ptr.is_unflushed v then
-    ignore (Heap.cas t.heap ~tid link ~expected:v ~desired:(Marked_ptr.clear_unflushed v))
+    ignore (Heap.Cursor.cas cu link ~expected:v ~desired:(Marked_ptr.clear_unflushed v))
 
 (** Write back every finalized entry of bucket [b] as one batch, wait for the
     batch, and release the entries. Repeats until no new busy entries appear
     (pending reservations taken before the flush flag was set may still
     finalize). Concurrent flushers wait for the active one. *)
-let flush_bucket t ~tid b =
+let flush_bucket_c t cu b =
   let rec set_flag () =
     let w = Atomic.get t.states.(b) in
     if is_flushing w then begin
-      (* Another thread is flushing this bucket; wait for it to finish.
-         Yield the timeslice too: the flusher may be descheduled. *)
-      let spins = ref 0 in
+      (* Another thread is flushing this bucket; back off until it finishes
+         (it may be descheduled — the backoff eventually yields). *)
+      let bo = Backoff.make () in
       while is_flushing (Atomic.get t.states.(b)) do
-        incr spins;
-        if !spins land 63 = 0 then Unix.sleepf 0. else Domain.cpu_relax ()
+        Backoff.once bo
       done;
       false
     end
@@ -170,7 +185,8 @@ let flush_bucket t ~tid b =
     else set_flag ()
   in
   if set_flag () then begin
-    (Heap.stats t.heap tid).lc_flushes <- (Heap.stats t.heap tid).lc_flushes + 1;
+    let st = Heap.Cursor.stats cu in
+    st.lc_flushes <- st.lc_flushes + 1;
     let flushed = ref [] in
     let rec pass () =
       let w = Atomic.get t.states.(b) in
@@ -179,20 +195,18 @@ let flush_bucket t ~tid b =
         if state_of w i = st_busy then begin
           let idx = (b * entries_per_bucket) + i in
           let link = t.addrs.(idx) in
-          Heap.write_back t.heap ~tid link;
+          Heap.Cursor.write_back cu link;
           flushed := link :: !flushed;
-          while not (transition t b i ~from_state:st_busy ~to_state:st_free ~fail_if_flushing:false) do
-            Domain.cpu_relax ()
-          done;
+          force_transition t b i ~from_state:st_busy ~to_state:st_free;
           progress := true
         end
       done;
       if !progress then pass ()
     in
     pass ();
-    Heap.fence t.heap ~tid;
+    Heap.Cursor.fence cu;
     (* Links are durable; help clear their marks so readers stop helping. *)
-    List.iter (fun link -> clear_mark t ~tid link) !flushed;
+    List.iter (fun link -> clear_mark cu link) !flushed;
     (* Release the flush flag. *)
     let rec clear_flag () =
       let w = Atomic.get t.states.(b) in
@@ -202,13 +216,14 @@ let flush_bucket t ~tid b =
     clear_flag ()
   end
 
-let () = flush_ref := flush_bucket
+let flush_bucket t ~tid b = flush_bucket_c t (Heap.cursor t.heap ~tid) b
+let () = flush_ref := flush_bucket_c
 
 (** Make every link pertaining to [key] durable (section 4's Scan): a busy
     entry triggers a bucket flush; a pending entry whose link update is
     already visible gets written back directly. Cheap when the bucket has no
     matching entry — the common case. *)
-let scan t ~tid ~key =
+let scan_c t cu ~key =
   let b = bucket_of t key in
   let h = hash16 key in
   let w = Atomic.get t.states.(b) in
@@ -224,21 +239,24 @@ let scan t ~tid ~key =
              our linearization point safely follows it. *)
           let link = t.addrs.(idx) in
           if link > 0 && link < Heap.size_words t.heap then begin
-            let v = Heap.load t.heap ~tid link in
+            let v = Heap.Cursor.load cu link in
             if Marked_ptr.is_unflushed v then begin
-              Heap.persist t.heap ~tid link;
-              clear_mark t ~tid link
+              Heap.Cursor.persist cu link;
+              clear_mark cu link
             end
           end
         end
     end
   done;
-  if !need_flush then flush_bucket t ~tid b
+  if !need_flush then flush_bucket_c t cu b
+
+let scan t ~tid ~key = scan_c t (Heap.cursor t.heap ~tid) ~key
 
 (** Flush every bucket (active-page-table trimming, clean shutdown). *)
 let flush_all t ~tid =
+  let cu = Heap.cursor t.heap ~tid in
   for b = 0 to t.nbuckets - 1 do
-    flush_bucket t ~tid b
+    flush_bucket_c t cu b
   done
 
 (** Number of busy or pending entries (tests). *)

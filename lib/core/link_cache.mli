@@ -35,16 +35,34 @@ val try_link_and_add :
   desired:int ->
   add_result
 
+(** [try_link_and_add] with the caller-supplied heap cursor (the fast path
+    the [~tid] version shims onto). *)
+val try_link_and_add_c :
+  ?retried:bool ->
+  t ->
+  Nvm.Heap.cursor ->
+  key:int ->
+  link:int ->
+  expected:int ->
+  desired:int ->
+  add_result
+
 (** Write back every finalized entry of one bucket as a single batch, wait,
     release the entries, and help-clear the links' unflushed marks.
     Concurrent flushers of the same bucket wait for the active one. *)
 val flush_bucket : t -> tid:int -> int -> unit
+
+(** [flush_bucket] on a caller-supplied cursor. *)
+val flush_bucket_c : t -> Nvm.Heap.cursor -> int -> unit
 
 (** Make every cached link pertaining to [key] durable before the caller's
     linearization point (the paper's "Scan"): a busy match triggers a bucket
     flush; a pending match whose update already landed is persisted
     directly. Cheap when the bucket has no matching entry. *)
 val scan : t -> tid:int -> key:int -> unit
+
+(** [scan] on a caller-supplied cursor. *)
+val scan_c : t -> Nvm.Heap.cursor -> key:int -> unit
 
 (** Flush every bucket (APT trimming, checkpoints, clean shutdown). *)
 val flush_all : t -> tid:int -> unit

@@ -15,94 +15,112 @@
     but never the unflushed bit: callers clean what they read with
     [help_unflushed] before CASing, which is precisely the paper's "if an
     edge has changed ... the operation that changed it made sure it was
-    durable" discipline. *)
+    durable" discipline.
+
+    Every primitive has a [_c] form taking the caller's heap cursor; the
+    [~tid] forms are shims for cold paths and tests. Structure traversals
+    should fetch the cursor once ([Ctx.cursor]) and stay on the [_c] API. *)
 
 open Nvm
 
+let read_c _ctx cu link = Heap.Cursor.load cu link
 let read ctx ~tid link = Heap.load (Ctx.heap ctx) ~tid link
 
 (** Given value [v] just loaded from [link]: if it carries the unflushed
     mark, make the line durable and clear the mark (helping). Returns the
     clean value currently believable for [link]. *)
-let help_unflushed ctx ~tid ~link v =
+let help_unflushed_c ctx cu ~link v =
   if not (Marked_ptr.is_unflushed v) then v
   else begin
-    let heap = Ctx.heap ctx in
     (match Ctx.mode ctx with
     | Persist_mode.Volatile -> ()
     | Persist_mode.Link_persist | Persist_mode.Link_cache ->
-        Heap.persist heap ~tid link);
+        Heap.Cursor.persist cu link);
     let clean = Marked_ptr.clear_unflushed v in
-    ignore (Heap.cas heap ~tid link ~expected:v ~desired:clean);
+    ignore (Heap.Cursor.cas cu link ~expected:v ~desired:clean);
     clean
   end
 
+let help_unflushed ctx ~tid ~link v =
+  help_unflushed_c ctx (Ctx.cursor ctx ~tid) ~link v
+
 (** Load [link] and help-clear its unflushed mark if present. *)
-let read_clean ctx ~tid link =
-  let v = read ctx ~tid link in
-  if Marked_ptr.is_unflushed v then help_unflushed ctx ~tid ~link v
-  else v
+let read_clean_c ctx cu link =
+  let v = Heap.Cursor.load cu link in
+  if Marked_ptr.is_unflushed v then help_unflushed_c ctx cu ~link v else v
 
-let cas_plain ctx ~tid ~link ~expected ~desired =
-  Heap.cas (Ctx.heap ctx) ~tid link ~expected ~desired
+let read_clean ctx ~tid link = read_clean_c ctx (Ctx.cursor ctx ~tid) link
 
-let cas_link_persist ctx ~tid ~link ~expected ~desired =
-  let heap = Ctx.heap ctx in
+let cas_plain cu ~link ~expected ~desired =
+  Heap.Cursor.cas cu link ~expected ~desired
+
+let cas_link_persist cu ~link ~expected ~desired =
   let marked = Marked_ptr.with_unflushed desired in
-  if not (Heap.cas heap ~tid link ~expected ~desired:marked) then false
+  if not (Heap.Cursor.cas cu link ~expected ~desired:marked) then false
   else begin
-    Heap.persist heap ~tid link;
+    Heap.Cursor.persist cu link;
     (* A helper may have already cleared the mark; either way it ends clear. *)
-    ignore (Heap.cas heap ~tid link ~expected:marked ~desired);
+    ignore (Heap.Cursor.cas cu link ~expected:marked ~desired);
     true
   end
 
 (** Atomically update [link] from [expected] to [desired] and make the update
     durable according to the context's persist mode. [key] identifies the
     update for the link cache. Returns false iff the CAS failed. *)
-let cas_link ctx ~tid ~key ~link ~expected ~desired =
+let cas_link_c ctx cu ~key ~link ~expected ~desired =
   assert (not (Marked_ptr.is_unflushed expected));
   assert (not (Marked_ptr.is_unflushed desired));
   match Ctx.mode ctx with
-  | Persist_mode.Volatile -> cas_plain ctx ~tid ~link ~expected ~desired
-  | Persist_mode.Link_persist -> cas_link_persist ctx ~tid ~link ~expected ~desired
+  | Persist_mode.Volatile -> cas_plain cu ~link ~expected ~desired
+  | Persist_mode.Link_persist -> cas_link_persist cu ~link ~expected ~desired
   | Persist_mode.Link_cache -> (
       match Ctx.link_cache ctx with
-      | None -> cas_link_persist ctx ~tid ~link ~expected ~desired
+      | None -> cas_link_persist cu ~link ~expected ~desired
       | Some lc -> (
-          match Link_cache.try_link_and_add lc ~tid ~key ~link ~expected ~desired with
+          match
+            Link_cache.try_link_and_add_c lc cu ~key ~link ~expected ~desired
+          with
           | Link_cache.Added -> true
           | Link_cache.Cas_failed -> false
           | Link_cache.Cache_full ->
-              cas_link_persist ctx ~tid ~link ~expected ~desired))
+              cas_link_persist cu ~link ~expected ~desired))
+
+let cas_link ctx ~tid ~key ~link ~expected ~desired =
+  cas_link_c ctx (Ctx.cursor ctx ~tid) ~key ~link ~expected ~desired
 
 (** Make everything previously linked for [key] durable before our caller's
     linearization point: in link-cache mode, scan the cache; in all durable
     modes, also clear a straggling unflushed mark on [link] if one is given.
     This is the "ensure adjacent edges are durable" step of section 3. *)
-let make_durable ctx ~tid ~key ?link () =
+let make_durable_c ctx cu ~key ?link () =
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> ()
   | Persist_mode.Link_persist | Persist_mode.Link_cache ->
       (match Ctx.link_cache ctx with
-      | Some lc -> Link_cache.scan lc ~tid ~key
+      | Some lc -> Link_cache.scan_c lc cu ~key
       | None -> ());
       (match link with
       | Some l ->
-          let v = read ctx ~tid l in
-          if Marked_ptr.is_unflushed v then ignore (help_unflushed ctx ~tid ~link:l v)
+          let v = Heap.Cursor.load cu l in
+          if Marked_ptr.is_unflushed v then
+            ignore (help_unflushed_c ctx cu ~link:l v)
       | None -> ())
+
+let make_durable ctx ~tid ~key ?link () =
+  make_durable_c ctx (Ctx.cursor ctx ~tid) ~key ?link ()
 
 (** Persist freshly initialized node contents ([size_class] words starting at
     [addr]) and wait. The fence also drains the allocator's metadata
     write-backs, establishing "linked implies marked allocated" (sec. 5.5). *)
-let persist_node ctx ~tid ~addr ~size_class =
+let persist_node_c ctx cu ~addr ~size_class =
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> ()
   | Persist_mode.Link_persist | Persist_mode.Link_cache ->
-      let heap = Ctx.heap ctx in
       let lines = (size_class + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
       for i = 0 to lines - 1 do
-        Heap.write_back heap ~tid (addr + (i * Cacheline.words_per_line))
+        Heap.Cursor.write_back cu (addr + (i * Cacheline.words_per_line))
       done;
-      Heap.fence heap ~tid
+      Heap.Cursor.fence cu
+
+let persist_node ctx ~tid ~addr ~size_class =
+  persist_node_c ctx (Ctx.cursor ctx ~tid) ~addr ~size_class

@@ -3,18 +3,27 @@
 
     [expected]/[desired] may carry algorithm marks (delete/flag/tag) but
     never the unflushed bit: callers clean what they read with
-    [help_unflushed] before CASing. *)
+    [help_unflushed] before CASing.
+
+    The [_c] forms take the caller's heap cursor ([Ctx.cursor], fetched once
+    per operation) and are the hot path; the [~tid] forms shim onto them. *)
 
 (** Raw load of a link word. *)
 val read : Ctx.t -> tid:int -> int -> int
+
+val read_c : Ctx.t -> Nvm.Heap.cursor -> int -> int
 
 (** Given value [v] just loaded from [link]: if it carries the unflushed
     mark, persist the line and clear the mark (helping — never blocks).
     Returns the believable clean value. *)
 val help_unflushed : Ctx.t -> tid:int -> link:int -> int -> int
 
+val help_unflushed_c : Ctx.t -> Nvm.Heap.cursor -> link:int -> int -> int
+
 (** Load and help-clear in one step. *)
 val read_clean : Ctx.t -> tid:int -> int -> int
+
+val read_clean_c : Ctx.t -> Nvm.Heap.cursor -> int -> int
 
 (** Atomically update [link] from [expected] to [desired] and make the
     update durable per the context's persist mode: plain CAS (volatile),
@@ -24,12 +33,26 @@ val read_clean : Ctx.t -> tid:int -> int -> int
 val cas_link :
   Ctx.t -> tid:int -> key:int -> link:int -> expected:int -> desired:int -> bool
 
+val cas_link_c :
+  Ctx.t ->
+  Nvm.Heap.cursor ->
+  key:int ->
+  link:int ->
+  expected:int ->
+  desired:int ->
+  bool
+
 (** Make everything previously linked for [key] durable before the caller's
     linearization point: scans the link cache and clears a straggling mark
     on [link] — the "adjacent edges durable" step of section 3. *)
 val make_durable : Ctx.t -> tid:int -> key:int -> ?link:int -> unit -> unit
 
+val make_durable_c :
+  Ctx.t -> Nvm.Heap.cursor -> key:int -> ?link:int -> unit -> unit
+
 (** Persist freshly initialized node contents and wait; the fence also
     drains the allocator's metadata write-backs, establishing
     "durably linked implies durably allocated" (section 5.5). *)
 val persist_node : Ctx.t -> tid:int -> addr:int -> size_class:int -> unit
+
+val persist_node_c : Ctx.t -> Nvm.Heap.cursor -> addr:int -> size_class:int -> unit

@@ -69,41 +69,48 @@ let apt t = t.apt
 let op_begin t ~tid = Epoch.enter t.epoch ~tid
 
 (* Logged-mode record: one durable, synced write per event. *)
-let log_event t ~tid addr =
+let log_event t cu addr =
+  let tid = Heap.Cursor.tid cu in
   let line = t.log_base + (tid * Cacheline.words_per_line) in
-  Heap.store t.heap ~tid line addr;
-  Heap.persist t.heap ~tid line;
-  (Heap.stats t.heap tid).log_entries <- (Heap.stats t.heap tid).log_entries + 1
+  Heap.Cursor.store cu line addr;
+  Heap.Cursor.persist cu line;
+  let st = Heap.Cursor.stats cu in
+  st.log_entries <- st.log_entries + 1
 
 (** Allocate a node of [size_class] words, keeping the active page table
     current. The returned memory is marked allocated in durable allocator
     metadata (write-back issued, not awaited). *)
-let alloc_node t ~tid ~size_class =
+let alloc_node_c t cu ~size_class =
+  let tid = Heap.Cursor.tid cu in
   (match t.mem_mode with
   | Logged ->
-      let next = Nvalloc.next_alloc_addr t.alloc ~tid ~size_class in
-      log_event t ~tid next
+      let next = Nvalloc.next_alloc_addr_c t.alloc cu ~size_class in
+      log_event t cu next
   | Nv ->
-      let next = Nvalloc.next_alloc_addr t.alloc ~tid ~size_class in
+      let next = Nvalloc.next_alloc_addr_c t.alloc cu ~size_class in
       let page = Nvalloc.page_of t.alloc next in
-      Active_page_table.ensure_active t.apt ~tid ~page
+      Active_page_table.ensure_active_c t.apt cu ~page
         ~epoch:(Epoch.current t.epoch ~tid)
         Active_page_table.Alloc);
-  Nvalloc.alloc t.alloc ~tid ~size_class
+  Nvalloc.alloc_c t.alloc cu ~size_class
+
+let alloc_node t ~tid ~size_class =
+  alloc_node_c t (Heap.cursor t.heap ~tid) ~size_class
 
 (* Free a sealed generation: durable bitmap updates, then one fence. *)
-let free_generation t ~tid gen =
-  List.iter (fun addr -> Nvalloc.free t.alloc ~tid addr) gen.nodes;
-  Heap.fence t.heap ~tid;
+let free_generation t cu gen =
+  let tid = Heap.Cursor.tid cu in
+  List.iter (fun addr -> Nvalloc.free_c t.alloc cu addr) gen.nodes;
+  Heap.Cursor.fence cu;
   t.last_collected.(tid) <- max t.last_collected.(tid) gen.snapshot.(tid)
 
-let try_collect t ~tid =
-  let q = t.limbo.(tid) in
+let try_collect t cu =
+  let q = t.limbo.(Heap.Cursor.tid cu) in
   let rec loop () =
     match Queue.peek_opt q with
     | Some gen when Epoch.safe t.epoch gen.snapshot ->
         ignore (Queue.pop q);
-        free_generation t ~tid gen;
+        free_generation t cu gen;
         loop ()
     | Some _ | None -> ()
   in
@@ -120,21 +127,24 @@ let seal t ~tid =
 (** Hand an unlinked node to reclamation. It will be freed (durably unmarked
     in the allocator bitmap) once no concurrent operation can still hold a
     reference. *)
-let retire_node t ~tid addr =
+let retire_node_c t cu addr =
+  let tid = Heap.Cursor.tid cu in
   let e = Epoch.current t.epoch ~tid in
   (match t.mem_mode with
-  | Logged -> log_event t ~tid addr
+  | Logged -> log_event t cu addr
   | Nv ->
       let page = Nvalloc.page_of t.alloc addr in
-      Active_page_table.ensure_active t.apt ~tid ~page ~epoch:e
+      Active_page_table.ensure_active_c t.apt cu ~page ~epoch:e
         Active_page_table.Unlink);
   t.open_batch.(tid) := addr :: !(t.open_batch.(tid));
   t.open_count.(tid) <- t.open_count.(tid) + 1;
   t.open_max_epoch.(tid) <- max t.open_max_epoch.(tid) e;
   if t.open_count.(tid) >= t.batch_size then begin
     seal t ~tid;
-    try_collect t ~tid
+    try_collect t cu
   end
+
+let retire_node t ~tid addr = retire_node_c t (Heap.cursor t.heap ~tid) addr
 
 (* APT trimming (section 5.4): an entry can go once (a) the epoch-based
    scheme has freed everything unlinked from its page by this thread, (b) the
@@ -153,16 +163,19 @@ let maybe_trim_apt t ~tid =
 
 (** End an operation: steps the epoch, opportunistically collects limbo
     generations and trims the active page table. *)
-let op_end t ~tid =
+let op_end_c t cu =
+  let tid = Heap.Cursor.tid cu in
   Epoch.exit t.epoch ~tid;
-  try_collect t ~tid;
+  try_collect t cu;
   maybe_trim_apt t ~tid
+
+let op_end t ~tid = op_end_c t (Heap.cursor t.heap ~tid)
 
 (** Force-seal and collect everything collectable for [tid] (tests, clean
     shutdown). Other threads must be quiescent for full reclamation. *)
 let drain t ~tid =
   seal t ~tid;
-  try_collect t ~tid
+  try_collect t (Heap.cursor t.heap ~tid)
 
 (** Nodes retired by [tid] but not yet freed (tests). *)
 let pending_retired t ~tid =

@@ -39,14 +39,21 @@ val op_begin : t -> tid:int -> unit
 
 val op_end : t -> tid:int -> unit
 
+(** [op_end] on a caller-supplied heap cursor (the fast path). *)
+val op_end_c : t -> Nvm.Heap.cursor -> unit
+
 (** Allocate a node, marking the page about to be used as active {e before}
     allocating (Figure 4) — a durable write only on an APT miss. *)
 val alloc_node : t -> tid:int -> size_class:int -> int
+
+val alloc_node_c : t -> Nvm.Heap.cursor -> size_class:int -> int
 
 (** Hand an unlinked node to epoch-based reclamation; its page is marked
     active for unlinking. The node is freed (durable bitmap clear + one
     fence per generation) once no concurrent operation can hold it. *)
 val retire_node : t -> tid:int -> int -> unit
+
+val retire_node_c : t -> Nvm.Heap.cursor -> int -> unit
 
 (** Force-seal and collect everything collectable for [tid] (tests, clean
     shutdown); full reclamation needs other threads quiescent. *)

@@ -15,11 +15,12 @@ let paper_write_to_load_ratio = 62.5
 let measured_load_ns : float Lazy.t =
   lazy
     (let heap = Heap.create ~latency:(Latency_model.no_injection ()) ~size_words:4096 () in
+     let cu = Heap.cursor heap ~tid:0 in
      let n = 200_000 in
      let acc = ref 0 in
      let t0 = Unix.gettimeofday () in
      for i = 1 to n do
-       acc := !acc + Heap.load heap ~tid:0 (i land 1023)
+       acc := !acc + Heap.Cursor.load cu (i land 1023)
      done;
      ignore (Sys.opaque_identity !acc);
      (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9)

@@ -27,41 +27,51 @@ let words_for ~key_len ~val_len =
   if rounded > 64 then invalid_arg "Item: key+value too large (max ~420 bytes)";
   rounded
 
-let key_len item heap ~tid = Heap.load heap ~tid (lens_of item) lsr 24
-let val_len item heap ~tid = Heap.load heap ~tid (lens_of item) land 0xFFFFFF
+let key_len item cu = Heap.Cursor.load cu (lens_of item) lsr 24
+let val_len item cu = Heap.Cursor.load cu (lens_of item) land 0xFFFFFF
 
 (** Allocate and fully initialize an item; contents are persisted (together
     with the slab metadata) before the address is returned, so linking it
     into the durable hash table never exposes unwritten payload. *)
-let alloc ?(expire_at = 0.) ctx ~tid ~key ~value =
-  let heap = Lfds.Ctx.heap ctx in
+let alloc_c ?(expire_at = 0.) ctx cu ~key ~value =
   let key_len = String.length key and val_len = String.length value in
   let size_class = words_for ~key_len ~val_len in
-  let item = Lfds.Nv_epochs.alloc_node (Lfds.Ctx.mem ctx) ~tid ~size_class in
-  Heap.store heap ~tid (hash_of item) (Strpack.hash key);
-  Heap.store heap ~tid (lens_of item) ((key_len lsl 24) lor val_len);
-  Heap.store heap ~tid (expiry_of item) (int_of_float (expire_at *. 1000.));
-  Strpack.write heap ~tid ~addr:(key_addr item) key;
-  Strpack.write heap ~tid ~addr:(value_addr item ~key_len) value;
-  Lfds.Link_persist.persist_node ctx ~tid ~addr:item ~size_class;
+  let item = Lfds.Nv_epochs.alloc_node_c (Lfds.Ctx.mem ctx) cu ~size_class in
+  Heap.Cursor.store cu (hash_of item) (Strpack.hash key);
+  Heap.Cursor.store cu (lens_of item) ((key_len lsl 24) lor val_len);
+  Heap.Cursor.store cu (expiry_of item) (int_of_float (expire_at *. 1000.));
+  Strpack.write_c cu ~addr:(key_addr item) key;
+  Strpack.write_c cu ~addr:(value_addr item ~key_len) value;
+  Lfds.Link_persist.persist_node_c ctx cu ~addr:item ~size_class;
   (item, size_class)
 
-let read_key ctx ~tid item =
-  let heap = Lfds.Ctx.heap ctx in
-  Strpack.read heap ~tid ~addr:(key_addr item) ~len:(key_len item heap ~tid)
+let alloc ?expire_at ctx ~tid ~key ~value =
+  alloc_c ?expire_at ctx (Lfds.Ctx.cursor ctx ~tid) ~key ~value
 
-let read_value ctx ~tid item =
-  let heap = Lfds.Ctx.heap ctx in
-  let key_len = key_len item heap ~tid in
-  Strpack.read heap ~tid ~addr:(value_addr item ~key_len)
-    ~len:(val_len item heap ~tid)
+let read_key_c _ctx cu item =
+  Strpack.read_c cu ~addr:(key_addr item) ~len:(key_len item cu)
 
-let key_matches ctx ~tid item key = String.equal (read_key ctx ~tid item) key
+let read_value_c _ctx cu item =
+  let key_len = key_len item cu in
+  Strpack.read_c cu ~addr:(value_addr item ~key_len) ~len:(val_len item cu)
+
+let key_matches_c ctx cu item key = String.equal (read_key_c ctx cu item) key
 
 (** Absolute expiry in seconds since the epoch; [0.] = never. *)
-let expire_at ctx ~tid item =
-  float_of_int (Heap.load (Lfds.Ctx.heap ctx) ~tid (expiry_of item)) /. 1000.
+let expire_at_c _ctx cu item =
+  float_of_int (Heap.Cursor.load cu (expiry_of item)) /. 1000.
+
+let expired_c ctx cu item ~now =
+  let e = expire_at_c ctx cu item in
+  e > 0. && e <= now
+
+let read_key ctx ~tid item = read_key_c ctx (Lfds.Ctx.cursor ctx ~tid) item
+let read_value ctx ~tid item = read_value_c ctx (Lfds.Ctx.cursor ctx ~tid) item
+
+let key_matches ctx ~tid item key =
+  key_matches_c ctx (Lfds.Ctx.cursor ctx ~tid) item key
+
+let expire_at ctx ~tid item = expire_at_c ctx (Lfds.Ctx.cursor ctx ~tid) item
 
 let expired ctx ~tid item ~now =
-  let e = expire_at ctx ~tid item in
-  e > 0. && e <= now
+  expired_c ctx (Lfds.Ctx.cursor ctx ~tid) item ~now

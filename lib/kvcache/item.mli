@@ -27,3 +27,18 @@ val key_matches : Lfds.Ctx.t -> tid:int -> int -> string -> bool
 val expire_at : Lfds.Ctx.t -> tid:int -> int -> float
 
 val expired : Lfds.Ctx.t -> tid:int -> int -> now:float -> bool
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val alloc_c :
+  ?expire_at:float ->
+  Lfds.Ctx.t ->
+  Nvm.Heap.cursor ->
+  key:string ->
+  value:string ->
+  int * int
+
+val read_key_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> int -> string
+val read_value_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> int -> string
+val key_matches_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> int -> string -> bool
+val expire_at_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> int -> float
+val expired_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> int -> now:float -> bool

@@ -41,40 +41,40 @@ let create ctx ~nbuckets ~capacity =
     lock = Mutex.create ();
   }
 
-let find_item t ~tid h =
-  match Durable_hash.search t.ctx t.table ~tid ~key:h with
+let find_item t cu h =
+  match Durable_hash.search_c t.ctx t.table cu ~key:h with
   | Some item -> Some item
   | None -> None
 
-let evict_one t ~tid =
+let evict_one t cu =
   match Lru.pop_lru t.lru with
   | None -> ()
   | Some victim ->
-      let h = Nvm.Heap.load (Ctx.heap t.ctx) ~tid (Item.hash_of victim) in
-      if Durable_hash.remove t.ctx t.table ~tid ~key:h then begin
-        Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid victim;
+      let h = Nvm.Heap.Cursor.load cu (Item.hash_of victim) in
+      if Durable_hash.remove_c t.ctx t.table cu ~key:h then begin
+        Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu victim;
         ignore (Atomic.fetch_and_add t.count (-1))
       end
 
 let set_ttl t ~tid ~key ~value ~expire_at =
   let h = Strpack.hash key in
-  Ctx.with_op t.ctx ~tid (fun () ->
+  Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
         (fun () ->
-          (match find_item t ~tid h with
+          (match find_item t cu h with
           | Some old_item ->
-              ignore (Durable_hash.remove t.ctx t.table ~tid ~key:h);
+              ignore (Durable_hash.remove_c t.ctx t.table cu ~key:h);
               Lru.remove t.lru old_item;
-              Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid old_item;
+              Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu old_item;
               ignore (Atomic.fetch_and_add t.count (-1))
           | None -> ());
           while Atomic.get t.count >= t.capacity do
-            evict_one t ~tid
+            evict_one t cu
           done;
-          let item, _class = Item.alloc ~expire_at t.ctx ~tid ~key ~value in
-          ignore (Durable_hash.insert t.ctx t.table ~tid ~key:h ~value:item);
+          let item, _class = Item.alloc_c ~expire_at t.ctx cu ~key ~value in
+          ignore (Durable_hash.insert_c t.ctx t.table cu ~key:h ~value:item);
           Lru.add t.lru item;
           ignore (Atomic.fetch_and_add t.count 1)))
 
@@ -83,14 +83,14 @@ let set t ~tid ~key ~value = set_ttl t ~tid ~key ~value ~expire_at:0.
 let rec get t ~tid ~key =
   let h = Strpack.hash key in
   let hit =
-    Ctx.with_op t.ctx ~tid (fun () ->
-        match find_item t ~tid h with
-        | Some item when Item.key_matches t.ctx ~tid item key ->
-            if Item.expired t.ctx ~tid item ~now:(Unix.gettimeofday ()) then
+    Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
+        match find_item t cu h with
+        | Some item when Item.key_matches_c t.ctx cu item key ->
+            if Item.expired_c t.ctx cu item ~now:(Unix.gettimeofday ()) then
               `Expired
             else begin
               Lru.touch t.lru item;
-              `Hit (Item.read_value t.ctx ~tid item)
+              `Hit (Item.read_value_c t.ctx cu item)
             end
         | Some _ | None -> `Miss)
   in
@@ -104,16 +104,16 @@ let rec get t ~tid ~key =
 
 and delete t ~tid ~key =
   let h = Strpack.hash key in
-  Ctx.with_op t.ctx ~tid (fun () ->
+  Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
         (fun () ->
-          match find_item t ~tid h with
-          | Some item when Item.key_matches t.ctx ~tid item key ->
-              ignore (Durable_hash.remove t.ctx t.table ~tid ~key:h);
+          match find_item t cu h with
+          | Some item when Item.key_matches_c t.ctx cu item key ->
+              ignore (Durable_hash.remove_c t.ctx t.table cu ~key:h);
               Lru.remove t.lru item;
-              Nv_epochs.retire_node (Ctx.mem t.ctx) ~tid item;
+              Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu item;
               ignore (Atomic.fetch_and_add t.count (-1));
               true
           | Some _ | None -> false))

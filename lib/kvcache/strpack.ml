@@ -15,7 +15,7 @@ let hash s =
   let v = !h land (Lfds.Set_intf.max_key - 1) in
   if v = 0 then 1 else v
 
-let write heap ~tid ~addr s =
+let write_c cu ~addr s =
   let len = String.length s in
   let nwords = words_needed len in
   for w = 0 to nwords - 1 do
@@ -24,13 +24,16 @@ let write heap ~tid ~addr s =
     for b = min (len - base) bytes_per_word - 1 downto 0 do
       word := (!word lsl 8) lor Char.code s.[base + b]
     done;
-    Heap.store heap ~tid (addr + w) !word
+    Heap.Cursor.store cu (addr + w) !word
   done
 
-let read heap ~tid ~addr ~len =
+let read_c cu ~addr ~len =
   let buf = Bytes.create len in
   for i = 0 to len - 1 do
-    let word = Heap.load heap ~tid (addr + (i / bytes_per_word)) in
+    let word = Heap.Cursor.load cu (addr + (i / bytes_per_word)) in
     Bytes.set buf i (Char.chr ((word lsr (8 * (i mod bytes_per_word))) land 0xFF))
   done;
   Bytes.to_string buf
+
+let write heap ~tid ~addr s = write_c (Heap.cursor heap ~tid) ~addr s
+let read heap ~tid ~addr ~len = read_c (Heap.cursor heap ~tid) ~addr ~len

@@ -10,3 +10,8 @@ val hash : string -> int
 
 val write : Nvm.Heap.t -> tid:int -> addr:int -> string -> unit
 val read : Nvm.Heap.t -> tid:int -> addr:int -> len:int -> string
+
+(** Cursor-threading forms (the fast path the [~tid] forms shim onto). *)
+val write_c : Nvm.Heap.cursor -> addr:int -> string -> unit
+
+val read_c : Nvm.Heap.cursor -> addr:int -> len:int -> string

@@ -1,0 +1,26 @@
+(** Bounded exponential backoff for spin-wait loops.
+
+    Each [once] spins [Domain.cpu_relax] for an exponentially growing number
+    of iterations. Once the bound saturates, every further step also yields
+    the OS timeslice: with fewer cores than runnable domains the thread we
+    are waiting on may be descheduled, and pure spinning would starve it for
+    a whole quantum (this repo's CI box has a single core, where that
+    degenerate case is the common one). *)
+
+type t = { mutable spins : int }
+
+let initial_spins = 1
+
+(* Past this many relaxations per step, spinning is no longer buying
+   anything: the awaited domain is almost certainly not running. *)
+let max_spins = 256
+
+let make () = { spins = initial_spins }
+let reset b = b.spins <- initial_spins
+
+let once b =
+  for _ = 1 to b.spins do
+    Domain.cpu_relax ()
+  done;
+  if b.spins < max_spins then b.spins <- b.spins * 2
+  else (* Saturated: hand the holder a timeslice. *) Unix.sleepf 0.

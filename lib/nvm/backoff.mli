@@ -1,0 +1,14 @@
+(** Bounded exponential backoff for spin-wait loops: [once] relaxes the CPU
+    for an exponentially growing number of iterations and, once the bound
+    saturates, additionally yields the OS timeslice so a descheduled peer
+    can run (essential when domains outnumber cores). *)
+
+type t
+
+val make : unit -> t
+
+(** Back off one step: spin, grow the bound, yield when saturated. *)
+val once : t -> unit
+
+(** Forget accumulated growth (call after the awaited condition held). *)
+val reset : t -> unit

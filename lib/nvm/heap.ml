@@ -20,6 +20,14 @@
     NVRAM write latency {e once per batch} (section 6.1 of the paper: several
     outstanding [clwb]s complete in parallel).
 
+    {b Cursors.} All per-domain state — the stats record, the pending
+    write-back buffer and its O(1) dedup stamp table — lives in a [cursor],
+    one per possible tid, created eagerly with the heap. The [Cursor]
+    operations are the hot path: they touch no registry and perform no
+    per-op tid indirection. The [~tid] entry points remain as thin shims
+    (one bounds check + one array read) so existing callers and tests keep
+    working unchanged; both paths maintain identical counters.
+
     Crash injection for tests: [set_trip] arms a countdown decremented by
     every primitive; when it reaches zero the primitive raises [Crashed],
     aborting the operation mid-flight. [crash] then produces the post-restart
@@ -37,36 +45,62 @@ type wb_instruction = Clwb | Clflushopt | Clflush
 
 type t = {
   size_words : int;
+  n_lines : int;
   volatile : int Atomic.t array;
   durable : int array;
   dirty : Bytes.t;  (** one byte per cache line; 0 = clean *)
-  pending : int array array;  (** per-tid buffer of lines awaiting fence *)
-  pending_n : int array;  (** per-tid count of valid entries in [pending] *)
   latency : Latency_model.t;
   stats : Pstats.registry;
   mutable trip : int;  (** crash-injection countdown; -1 = disarmed *)
   invalid : Bytes.t;  (** lines invalidated by clflush/clflushopt *)
   mutable wb_instruction : wb_instruction;
+  mutable cursors : cursor array;  (** one per tid; filled right after create *)
+}
+
+and cursor = {
+  h : t;
+  tid : int;
+  st : Pstats.t;  (** this domain's counters, fetched once *)
+  buf : int array;  (** pending lines awaiting the next fence *)
+  mutable n : int;  (** valid prefix of [buf] *)
+  mutable stamps : int array;
+      (** per-line generation stamps; [stamps.(line) = gen] iff the line is
+          queued in [buf]. Sized lazily on first use ([[||]] until then). *)
+  mutable gen : int;  (** bumped on every drain: O(1) stamp reset *)
+  _pad : int array;
+      (** two-line spacer allocated just before the record: [n] and [gen]
+          are written on every write-back/fence, and neighbouring tids must
+          not invalidate each other's cache line. Reachable from here so the
+          GC cannot collect it and compact the records back together. *)
 }
 
 let max_pending = 4096
 
+let make_cursor t tid =
+  let pad = Array.make 16 0 in
+  { h = t; tid; st = Pstats.get t.stats tid; buf = Array.make max_pending 0;
+    n = 0; stamps = [||]; gen = 1; _pad = pad }
+
 let create ?(latency = Latency_model.no_injection ()) ~size_words () =
   if size_words <= 0 then invalid_arg "Heap.create: size";
   let lines = Cacheline.line_of_addr (size_words - 1) + 1 in
-  {
-    size_words;
-    volatile = Array.init size_words (fun _ -> Atomic.make 0);
-    durable = Array.make size_words 0;
-    dirty = Bytes.make lines '\000';
-    pending = Array.init Pstats.max_threads (fun _ -> Array.make max_pending 0);
-    pending_n = Array.make Pstats.max_threads 0;
-    latency;
-    stats = Pstats.make_registry ();
-    trip = -1;
-    invalid = Bytes.make lines '\000';
-    wb_instruction = Clwb;
-  }
+  let t =
+    {
+      size_words;
+      n_lines = lines;
+      volatile = Array.init size_words (fun _ -> Atomic.make 0);
+      durable = Array.make size_words 0;
+      dirty = Bytes.make lines '\000';
+      latency;
+      stats = Pstats.make_registry ();
+      trip = -1;
+      invalid = Bytes.make lines '\000';
+      wb_instruction = Clwb;
+      cursors = [||];
+    }
+  in
+  t.cursors <- Array.init Pstats.max_threads (fun tid -> make_cursor t tid);
+  t
 
 let size_words t = t.size_words
 let set_wb_instruction t kind = t.wb_instruction <- kind
@@ -75,6 +109,19 @@ let latency t = t.latency
 let stats t tid = Pstats.get t.stats tid
 let aggregate_stats t = Pstats.aggregate t.stats
 let reset_stats t = Pstats.reset_registry t.stats
+
+let cursor t ~tid =
+  if tid < 0 || tid >= Array.length t.cursors then
+    invalid_arg (Printf.sprintf "Heap.cursor: tid %d out of range" tid);
+  Array.unsafe_get t.cursors tid
+
+(* An [int Atomic.t] is a single-field heap block, so it has the same layout
+   as [int ref]: viewing it as a ref gives fence-free plain access (the
+   multicore-magic idiom). Used only where the memory model allows it —
+   the drain loop copies lines whose latest value the draining domain
+   already synchronized with, and [crash] is documented single-domain. *)
+let fenceless_get (a : int Atomic.t) : int = !(Obj.magic a : int ref)
+let fenceless_set (a : int Atomic.t) v = (Obj.magic a : int ref) := v
 
 (* Crash injection. *)
 
@@ -90,7 +137,8 @@ let tick t =
     t.trip <- t.trip - 1
   end
 
-(* Primitive accesses. *)
+(* Primitive accesses. All bounds checks happen here, once; past them the
+   unsafe accessors are used. *)
 
 let check t addr =
   if addr < 0 || addr >= t.size_words then
@@ -98,119 +146,164 @@ let check t addr =
 
 let mark_dirty t addr = Bytes.unsafe_set t.dirty (Cacheline.line_of_addr addr) '\001'
 
-let load t ~tid addr =
-  check t addr;
-  (Pstats.get t.stats tid).loads <- (Pstats.get t.stats tid).loads + 1;
-  let line = Cacheline.line_of_addr addr in
-  if Bytes.unsafe_get t.invalid line <> '\000' then begin
-    (* The line was invalidated by a flush: this load misses to NVRAM. *)
-    Bytes.unsafe_set t.invalid line '\000';
-    if t.latency.Latency_model.inject then
-      Latency_model.spin_ns t.latency.Latency_model.nvram_read_ns
-  end;
-  Atomic.get t.volatile.(addr)
+module Cursor = struct
+  let heap cu = cu.h
+  let tid cu = cu.tid
+  let stats cu = cu.st
+  let pending_count cu = cu.n
 
-let store t ~tid addr v =
-  check t addr;
-  tick t;
-  (Pstats.get t.stats tid).stores <- (Pstats.get t.stats tid).stores + 1;
-  Atomic.set t.volatile.(addr) v;
-  mark_dirty t addr
+  let load cu addr =
+    let t = cu.h in
+    check t addr;
+    let st = cu.st in
+    st.loads <- st.loads + 1;
+    let line = Cacheline.line_of_addr addr in
+    if Bytes.unsafe_get t.invalid line <> '\000' then begin
+      (* The line was invalidated by a flush: this load misses to NVRAM. *)
+      Bytes.unsafe_set t.invalid line '\000';
+      if t.latency.Latency_model.inject then
+        Latency_model.spin_ns t.latency.Latency_model.nvram_read_ns
+    end;
+    Atomic.get (Array.unsafe_get t.volatile addr)
 
-let cas t ~tid addr ~expected ~desired =
-  check t addr;
-  tick t;
-  (Pstats.get t.stats tid).cas <- (Pstats.get t.stats tid).cas + 1;
-  let ok = Atomic.compare_and_set t.volatile.(addr) expected desired in
-  if ok then mark_dirty t addr;
-  ok
+  let store cu addr v =
+    let t = cu.h in
+    check t addr;
+    tick t;
+    let st = cu.st in
+    st.stores <- st.stores + 1;
+    Atomic.set (Array.unsafe_get t.volatile addr) v;
+    mark_dirty t addr
 
-let fetch_add t ~tid addr delta =
-  check t addr;
-  tick t;
-  (Pstats.get t.stats tid).cas <- (Pstats.get t.stats tid).cas + 1;
-  let v = Atomic.fetch_and_add t.volatile.(addr) delta in
-  mark_dirty t addr;
-  v
+  let cas cu addr ~expected ~desired =
+    let t = cu.h in
+    check t addr;
+    tick t;
+    let st = cu.st in
+    st.cas <- st.cas + 1;
+    let ok =
+      Atomic.compare_and_set (Array.unsafe_get t.volatile addr) expected desired
+    in
+    if ok then mark_dirty t addr;
+    ok
 
-(* Write-backs and fences. *)
+  let fetch_add cu addr delta =
+    let t = cu.h in
+    check t addr;
+    tick t;
+    let st = cu.st in
+    st.cas <- st.cas + 1;
+    let v = Atomic.fetch_and_add (Array.unsafe_get t.volatile addr) delta in
+    mark_dirty t addr;
+    v
 
-let drain_line t line =
-  let base = Cacheline.addr_of_line line in
-  let hi = min (base + Cacheline.words_per_line) t.size_words in
-  Bytes.unsafe_set t.dirty line '\000';
-  for a = base to hi - 1 do
-    t.durable.(a) <- Atomic.get t.volatile.(a)
-  done
+  (* Write-backs and fences. *)
 
-let rec write_back t ~tid addr =
-  check t addr;
-  tick t;
-  let st = Pstats.get t.stats tid in
-  st.write_backs <- st.write_backs + 1;
-  let line = Cacheline.line_of_addr addr in
-  (match t.wb_instruction with
-  | Clwb -> ()
-  | Clflushopt | Clflush -> Bytes.unsafe_set t.invalid line '\001');
-  if t.wb_instruction = Clflush then begin
-    (* clflush is ordered: it completes by itself, with no batching. *)
-    drain_line t line;
-    st.sync_batches <- st.sync_batches + 1;
-    st.lines_drained <- st.lines_drained + 1;
-    Latency_model.charge_sync t.latency
-  end
-  else
-  let buf = t.pending.(tid) and n = t.pending_n.(tid) in
-  let rec seen i = i < n && (buf.(i) = line || seen (i + 1)) in
-  if not (seen 0) then
-    if n < max_pending then begin
-      buf.(n) <- line;
-      t.pending_n.(tid) <- n + 1
-    end
-    else begin
-      (* The write-combining queue is full: hardware drains it on its own.
-         Model that as an implicit batch completion, then retry. *)
-      st.sync_batches <- st.sync_batches + 1;
-      st.lines_drained <- st.lines_drained + n;
-      for i = 0 to n - 1 do
-        drain_line t buf.(i)
-      done;
-      t.pending_n.(tid) <- 0;
-      Latency_model.charge_sync t.latency;
-      st.write_backs <- st.write_backs - 1;
-      write_back t ~tid addr
-    end
+  let drain_line t line =
+    let base = Cacheline.addr_of_line line in
+    let hi = min (base + Cacheline.words_per_line) t.size_words in
+    Bytes.unsafe_set t.dirty line '\000';
+    for a = base to hi - 1 do
+      Array.unsafe_set t.durable a (fenceless_get (Array.unsafe_get t.volatile a))
+    done
 
-let fence t ~tid =
-  tick t;
-  let st = Pstats.get t.stats tid in
-  st.fences <- st.fences + 1;
-  let n = t.pending_n.(tid) in
-  if n > 0 then begin
+  (* Drain this cursor's whole pending buffer as one completed batch. The
+     generation bump un-stamps every queued line in O(1). *)
+  let drain_pending cu =
+    let t = cu.h in
+    let st = cu.st and n = cu.n in
     st.sync_batches <- st.sync_batches + 1;
     st.lines_drained <- st.lines_drained + n;
-    let buf = t.pending.(tid) in
+    let buf = cu.buf in
     for i = 0 to n - 1 do
-      drain_line t buf.(i)
+      drain_line t (Array.unsafe_get buf i)
     done;
-    t.pending_n.(tid) <- 0;
-    (* One batch of parallel write-backs completes in ~one NVRAM write. *)
+    cu.n <- 0;
+    cu.gen <- cu.gen + 1;
     Latency_model.charge_sync t.latency
-  end
 
-(** [persist t ~tid addr] = write-back + fence of a single line: the
-    non-batched sync operation. *)
-let persist t ~tid addr =
-  write_back t ~tid addr;
-  fence t ~tid
+  let rec write_back cu addr =
+    let t = cu.h in
+    check t addr;
+    tick t;
+    let st = cu.st in
+    st.write_backs <- st.write_backs + 1;
+    let line = Cacheline.line_of_addr addr in
+    (match t.wb_instruction with
+    | Clwb -> ()
+    | Clflushopt | Clflush -> Bytes.unsafe_set t.invalid line '\001');
+    if t.wb_instruction = Clflush then begin
+      (* clflush is ordered: it completes by itself, with no batching. *)
+      drain_line t line;
+      st.sync_batches <- st.sync_batches + 1;
+      st.lines_drained <- st.lines_drained + 1;
+      Latency_model.charge_sync t.latency
+    end
+    else begin
+      if Array.length cu.stamps = 0 then cu.stamps <- Array.make t.n_lines 0;
+      let stamps = cu.stamps in
+      (* O(1) dedup: the line is already queued iff its stamp carries the
+         current generation (the seed scanned the buffer, O(pending_n)). *)
+      if Array.unsafe_get stamps line <> cu.gen then begin
+        let n = cu.n in
+        if n < max_pending then begin
+          Array.unsafe_set stamps line cu.gen;
+          Array.unsafe_set cu.buf n line;
+          cu.n <- n + 1
+        end
+        else begin
+          (* The write-combining queue is full: hardware drains it on its
+             own. Model that as an implicit batch completion, then retry. *)
+          drain_pending cu;
+          st.write_backs <- st.write_backs - 1;
+          write_back cu addr
+        end
+      end
+    end
+
+  let fence cu =
+    let t = cu.h in
+    tick t;
+    let st = cu.st in
+    st.fences <- st.fences + 1;
+    if cu.n > 0 then
+      (* One batch of parallel write-backs completes in ~one NVRAM write. *)
+      drain_pending cu
+
+  (** [persist cu addr] = write-back + fence of a single line: the
+      non-batched sync operation. *)
+  let persist cu addr =
+    write_back cu addr;
+    fence cu
+end
+
+(* [~tid] shims: one range check and one array read away from the cursor
+   fast path. Counters are bumped by the cursor ops, so both entry points
+   account identically. *)
+
+let load t ~tid addr = Cursor.load (cursor t ~tid) addr
+let store t ~tid addr v = Cursor.store (cursor t ~tid) addr v
+let cas t ~tid addr ~expected ~desired = Cursor.cas (cursor t ~tid) addr ~expected ~desired
+let fetch_add t ~tid addr delta = Cursor.fetch_add (cursor t ~tid) addr delta
+let write_back t ~tid addr = Cursor.write_back (cursor t ~tid) addr
+let fence t ~tid = Cursor.fence (cursor t ~tid)
+let persist t ~tid addr = Cursor.persist (cursor t ~tid) addr
+
+(* Forget every domain's pending write-backs (the lines themselves remain
+   dirty or drained as the caller arranged). *)
+let clear_all_pending t =
+  Array.iter
+    (fun cu ->
+      cu.n <- 0;
+      cu.gen <- cu.gen + 1)
+    t.cursors
 
 (** Write back every dirty line and wait: a clean shutdown. *)
 let flush_all t ~tid =
-  let lines = Bytes.length t.dirty in
-  for line = 0 to lines - 1 do
-    if Bytes.unsafe_get t.dirty line <> '\000' then drain_line t line
+  for line = 0 to t.n_lines - 1 do
+    if Bytes.unsafe_get t.dirty line <> '\000' then Cursor.drain_line t line
   done;
-  Array.fill t.pending_n 0 (Array.length t.pending_n) 0;
+  clear_all_pending t;
   let st = Pstats.get t.stats tid in
   st.fences <- st.fences + 1;
   Latency_model.charge_sync t.latency
@@ -228,16 +321,18 @@ let flush_all t ~tid =
 let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
   t.trip <- -1;
   let rng = Random.State.make [| seed |] in
-  let lines = Bytes.length t.dirty in
-  for line = 0 to lines - 1 do
+  for line = 0 to t.n_lines - 1 do
     if Bytes.unsafe_get t.dirty line <> '\000' then begin
-      if Random.State.float rng 1.0 < eviction_probability then drain_line t line
+      if Random.State.float rng 1.0 < eviction_probability then
+        Cursor.drain_line t line
       else Bytes.unsafe_set t.dirty line '\000'
     end
   done;
-  Array.fill t.pending_n 0 (Array.length t.pending_n) 0;
+  clear_all_pending t;
+  (* Single-domain by contract, so the reload can use plain stores instead
+     of paying a seq_cst fence per word. *)
   for a = 0 to t.size_words - 1 do
-    Atomic.set t.volatile.(a) t.durable.(a)
+    fenceless_set (Array.unsafe_get t.volatile a) (Array.unsafe_get t.durable a)
   done
 
 (* Introspection for tests. *)
@@ -245,7 +340,7 @@ let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
 (** Contents of the durable image, bypassing the volatile image. *)
 let durable_load t addr =
   check t addr;
-  t.durable.(addr)
+  Array.unsafe_get t.durable addr
 
 let line_is_dirty t addr = Bytes.get t.dirty (Cacheline.line_of_addr addr) <> '\000'
 
@@ -254,4 +349,4 @@ let dirty_line_count t =
   Bytes.iter (fun c -> if c <> '\000' then incr n) t.dirty;
   !n
 
-let pending_count t ~tid = t.pending_n.(tid)
+let pending_count t ~tid = (cursor t ~tid).n

@@ -15,7 +15,13 @@
 
     All addresses are word indices. Each domain passes its [tid] (a small
     integer, unique per running domain) so write-back queues and statistics
-    stay race-free. *)
+    stay race-free.
+
+    The hot path is the {e cursor} API: [cursor t ~tid] returns the domain's
+    handle (cached stats record, pending write-back buffer, dedup stamps),
+    and the [Cursor] operations run with zero per-op registry lookups. The
+    [~tid] functions below are thin shims over the same cursors and keep
+    identical counters. *)
 
 type t
 
@@ -37,6 +43,44 @@ val size_words : t -> int
 val latency : t -> Latency_model.t
 val set_wb_instruction : t -> wb_instruction -> unit
 val wb_instruction : t -> wb_instruction
+
+(** {1 Cursors — the hot path}
+
+    One cursor exists per possible [tid], created with the heap; [cursor]
+    only fetches it. A cursor must only ever be used by the domain owning
+    its [tid] (same contract as the [~tid] arguments). *)
+
+type cursor
+
+val cursor : t -> tid:int -> cursor
+
+module Cursor : sig
+  val heap : cursor -> t
+  val tid : cursor -> int
+
+  (** The owning domain's live counter record (same record as [stats]). *)
+  val stats : cursor -> Pstats.t
+
+  val load : cursor -> int -> int
+  val store : cursor -> int -> int -> unit
+  val cas : cursor -> int -> expected:int -> desired:int -> bool
+
+  (** Atomic fetch-and-add; returns the previous value. *)
+  val fetch_add : cursor -> int -> int -> int
+
+  (** Request an asynchronous line write-back, deduplicated in O(1) against
+      the cursor's pending buffer. *)
+  val write_back : cursor -> int -> unit
+
+  (** Wait for the cursor's outstanding write-backs: one latency charge per
+      drained batch. *)
+  val fence : cursor -> unit
+
+  (** [persist cu addr] = [write_back] + [fence]: one non-batched sync. *)
+  val persist : cursor -> int -> unit
+
+  val pending_count : cursor -> int
+end
 
 (** {1 Primitive accesses}
 

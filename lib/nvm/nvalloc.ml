@@ -137,21 +137,21 @@ let bin_pop bin =
       Some addr
 
 (* Durable bitmap manipulation; CAS loop because slots of a page can be freed
-   by any thread. *)
+   by any thread. Internals run on the caller's heap cursor. *)
 
-let rec set_bit t ~tid ~page slot value =
+let rec set_bit ~page cu slot value =
   let w = bitmap_word page (slot / bits_per_word) in
   let bit = 1 lsl (slot mod bits_per_word) in
-  let old_v = Heap.load t.heap ~tid w in
+  let old_v = Heap.Cursor.load cu w in
   let new_v = if value then old_v lor bit else old_v land lnot bit in
   if old_v = new_v then ()
-  else if Heap.cas t.heap ~tid w ~expected:old_v ~desired:new_v then
-    Heap.write_back t.heap ~tid w
-  else set_bit t ~tid ~page slot value
+  else if Heap.Cursor.cas cu w ~expected:old_v ~desired:new_v then
+    Heap.Cursor.write_back cu w
+  else set_bit ~page cu slot value
 
-let bit_is_set t ~tid ~page slot =
+let bit_is_set ~page cu slot =
   let w = bitmap_word page (slot / bits_per_word) in
-  Heap.load t.heap ~tid w land (1 lsl (slot mod bits_per_word)) <> 0
+  Heap.Cursor.load cu w land (1 lsl (slot mod bits_per_word)) <> 0
 
 (* Page acquisition. *)
 
@@ -163,7 +163,7 @@ let take_free_page t =
 
 exception Out_of_memory
 
-let acquire_page t ~tid ~size_class =
+let acquire_page t cu ~size_class =
   let page =
     match take_free_page t with
     | Some p -> p
@@ -174,37 +174,43 @@ let acquire_page t ~tid ~size_class =
   in
   (* Initialize durable metadata: status + cleared bitmap. Write-backs are
      issued but not awaited (covered by the next fence on this thread). *)
-  Heap.store t.heap ~tid (status_word page) (encode_status ~size_class);
+  Heap.Cursor.store cu (status_word page) (encode_status ~size_class);
   for i = 0 to max_bitmap_words - 1 do
-    Heap.store t.heap ~tid (bitmap_word page i) 0
+    Heap.Cursor.store cu (bitmap_word page i) 0
   done;
-  Heap.write_back t.heap ~tid (status_word page);
+  Heap.Cursor.write_back cu (status_word page);
   page
 
 (* Allocation. *)
 
-let refill t ~tid ~size_class ci =
-  let page = acquire_page t ~tid ~size_class in
+let refill t cu ~size_class ci =
+  let tid = Heap.Cursor.tid cu in
+  let page = acquire_page t cu ~size_class in
   t.current.(tid).(ci) <- page;
   t.next_slot.(tid).(ci) <- 0
 
 (** Address the next [alloc] with the same parameters will return. May
     acquire a fresh page as a side effect (idempotent w.r.t. the subsequent
     [alloc]). *)
-let next_alloc_addr t ~tid ~size_class =
+let next_alloc_addr_c t cu ~size_class =
+  let tid = Heap.Cursor.tid cu in
   let ci = class_index ~size_class in
   match bin_peek t.recycle.(tid).(ci) with
   | Some addr -> addr
   | None ->
       let page = t.current.(tid).(ci) in
       if page < 0 || t.next_slot.(tid).(ci) >= slots_per_page t ~size_class then
-        refill t ~tid ~size_class ci;
+        refill t cu ~size_class ci;
       slot_addr t
         ~page:t.current.(tid).(ci)
         ~size_class
         t.next_slot.(tid).(ci)
 
-let alloc t ~tid ~size_class =
+let next_alloc_addr t ~tid ~size_class =
+  next_alloc_addr_c t (Heap.cursor t.heap ~tid) ~size_class
+
+let alloc_c t cu ~size_class =
+  let tid = Heap.Cursor.tid cu in
   let ci = class_index ~size_class in
   let addr =
     match bin_pop t.recycle.(tid).(ci) with
@@ -212,43 +218,53 @@ let alloc t ~tid ~size_class =
     | None ->
         let page = t.current.(tid).(ci) in
         if page < 0 || t.next_slot.(tid).(ci) >= slots_per_page t ~size_class
-        then refill t ~tid ~size_class ci;
+        then refill t cu ~size_class ci;
         let slot = t.next_slot.(tid).(ci) in
         t.next_slot.(tid).(ci) <- slot + 1;
         slot_addr t ~page:t.current.(tid).(ci) ~size_class slot
   in
   let page = page_of t addr in
-  set_bit t ~tid ~page (slot_of t ~page ~size_class addr) true;
-  (Heap.stats t.heap tid).allocs <- (Heap.stats t.heap tid).allocs + 1;
+  set_bit ~page cu (slot_of t ~page ~size_class addr) true;
+  let st = Heap.Cursor.stats cu in
+  st.allocs <- st.allocs + 1;
   addr
 
-(** Size class of the (initialized) page containing [addr]. *)
-let size_class_of t ~tid addr =
+let alloc t ~tid ~size_class = alloc_c t (Heap.cursor t.heap ~tid) ~size_class
+
+let size_class_of_c t cu addr =
   let page = page_of t addr in
-  match decode_status (Heap.load t.heap ~tid (status_word page)) with
+  match decode_status (Heap.Cursor.load cu (status_word page)) with
   | Some c -> c
   | None -> invalid_arg "Nvalloc.size_class_of: uninitialized page"
 
-let free t ~tid addr =
+(** Size class of the (initialized) page containing [addr]. *)
+let size_class_of t ~tid addr = size_class_of_c t (Heap.cursor t.heap ~tid) addr
+
+let free_c t cu addr =
+  let tid = Heap.Cursor.tid cu in
   let page = page_of t addr in
-  let size_class = size_class_of t ~tid addr in
+  let size_class = size_class_of_c t cu addr in
   let slot = slot_of t ~page ~size_class addr in
-  set_bit t ~tid ~page slot false;
+  set_bit ~page cu slot false;
   let ci = class_index ~size_class in
   bin_push t t.recycle.(tid).(ci) addr;
-  (Heap.stats t.heap tid).frees <- (Heap.stats t.heap tid).frees + 1
+  let st = Heap.Cursor.stats cu in
+  st.frees <- st.frees + 1
+
+let free t ~tid addr = free_c t (Heap.cursor t.heap ~tid) addr
 
 (* Recovery. *)
 
 (** Iterate over the addresses of all allocated slots of [page], according to
     the durable bitmap. *)
 let iter_allocated t ~tid ~page f =
-  match decode_status (Heap.load t.heap ~tid (status_word page)) with
+  let cu = Heap.cursor t.heap ~tid in
+  match decode_status (Heap.Cursor.load cu (status_word page)) with
   | None -> ()
   | Some size_class ->
       let n = slots_per_page t ~size_class in
       for slot = 0 to n - 1 do
-        if bit_is_set t ~tid ~page slot then
+        if bit_is_set ~page cu slot then
           f (slot_addr t ~page ~size_class slot)
       done
 
@@ -258,12 +274,12 @@ let iter_allocated t ~tid ~page f =
     pages below the bump point return to the free-page pool. *)
 let recover heap ~base ~size_words ?(page_words = 512) ?(nthreads = 1) () =
   let t = create heap ~base ~size_words ~page_words () in
-  let tid = 0 in
+  let cu = Heap.cursor heap ~tid:0 in
   let deal = ref 0 in
   let last_used = ref (-1) in
   for idx = 0 to t.n_pages - 1 do
     let page = page_addr t idx in
-    match decode_status (Heap.load heap ~tid (status_word page)) with
+    match decode_status (Heap.Cursor.load cu (status_word page)) with
     | None -> ()
     | Some size_class ->
         last_used := idx;
@@ -274,7 +290,7 @@ let recover heap ~base ~size_words ?(page_words = 512) ?(nthreads = 1) () =
         let target = !deal mod nthreads in
         let any = ref false in
         for slot = 0 to n - 1 do
-          if not (bit_is_set t ~tid ~page slot) then begin
+          if not (bit_is_set ~page cu slot) then begin
             bin_push t t.recycle.(target).(ci) (slot_addr t ~page ~size_class slot);
             any := true
           end
@@ -284,7 +300,7 @@ let recover heap ~base ~size_words ?(page_words = 512) ?(nthreads = 1) () =
   Atomic.set t.next_page (!last_used + 1);
   for idx = 0 to !last_used - 1 do
     let page = page_addr t idx in
-    if decode_status (Heap.load heap ~tid (status_word page)) = None then
+    if decode_status (Heap.Cursor.load cu (status_word page)) = None then
       Queue.push page t.free_pages
   done;
   t
@@ -301,11 +317,12 @@ let allocated_count t ~tid =
 
 (** All initialized page base addresses. *)
 let initialized_pages t ~tid =
+  let cu = Heap.cursor t.heap ~tid in
   let acc = ref [] in
   for idx = Atomic.get t.next_page - 1 downto 0 do
     if idx < t.n_pages then begin
       let page = page_addr t idx in
-      if decode_status (Heap.load t.heap ~tid (status_word page)) <> None then
+      if decode_status (Heap.Cursor.load cu (status_word page)) <> None then
         acc := page :: !acc
     end
   done;

@@ -46,6 +46,15 @@ val next_alloc_addr : t -> tid:int -> size_class:int -> int
     it into the calling thread's cache. *)
 val free : t -> tid:int -> int -> unit
 
+(** Cursor-first variants of the hot entry points: identical semantics, but
+    the heap cursor (which must belong to this heap) is supplied by the
+    caller, saving the per-call lookup. The [~tid] versions above are shims
+    over these. *)
+
+val alloc_c : t -> Heap.cursor -> size_class:int -> int
+val next_alloc_addr_c : t -> Heap.cursor -> size_class:int -> int
+val free_c : t -> Heap.cursor -> int -> unit
+
 (** Base address of the page containing an address; [Invalid_argument] if
     outside the managed span. *)
 val page_of : t -> int -> int

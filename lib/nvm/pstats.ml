@@ -98,17 +98,36 @@ let add ~into t =
   into.allocs <- into.allocs + t.allocs;
   into.frees <- into.frees + t.frees
 
-type registry = t array
+(* Each domain hammers its own record on every heap primitive, so two
+   records sharing a cache line means cross-domain invalidation traffic on
+   the hottest path in the repo. A counter record is 20 words (2.5 lines);
+   interleaving a two-line pad between consecutive allocations keeps any
+   line from holding words of two records. The pads must stay reachable —
+   dead pads would be dropped at the next minor collection and the records
+   compacted back together — hence the field. Best-effort: a copying GC may
+   still rearrange, but promotion preserves allocation order. *)
+type registry = { recs : t array; _pads : int array array }
 
-let make_registry () = Array.init max_threads (fun _ -> make ())
-let get (r : registry) tid = r.(tid)
+let pad_words = 16
+
+let make_registry () =
+  let pads = Array.make max_threads [||] in
+  let recs =
+    Array.init max_threads (fun i ->
+        let rec_ = make () in
+        pads.(i) <- Array.make pad_words 0;
+        rec_)
+  in
+  { recs; _pads = pads }
+
+let get (r : registry) tid = r.recs.(tid)
 
 let aggregate (r : registry) =
   let total = make () in
-  Array.iter (fun t -> add ~into:total t) r;
+  Array.iter (fun t -> add ~into:total t) r.recs;
   total
 
-let reset_registry (r : registry) = Array.iter reset r
+let reset_registry (r : registry) = Array.iter reset r.recs
 
 let pp ppf t =
   Format.fprintf ppf

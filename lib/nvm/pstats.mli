@@ -33,7 +33,9 @@ val copy : t -> t
 val reset : t -> unit
 val add : into:t -> t -> unit
 
-type registry = t array
+(** One padded record per possible domain; padding isolates each record on
+    its own cache lines so concurrent counting never false-shares. *)
+type registry
 
 val make_registry : unit -> registry
 val get : registry -> int -> t

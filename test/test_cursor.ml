@@ -1,0 +1,171 @@
+(* Tests for the cursor hot path of the simulated heap: O(1) pending-buffer
+   dedup, implicit drain when the write-combining queue overflows, counter
+   equivalence between the cursor and [~tid] entry points, and crash
+   injection raised from inside cursor operations. *)
+
+open Nvm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_heap ?(size_words = 65536) () = Heap.create ~size_words ()
+
+(* --- Pending-buffer dedup --- *)
+
+let test_dedup_same_line () =
+  let h = fresh_heap () in
+  let cu = Heap.cursor h ~tid:0 in
+  (* Eight stores to the same cache line; eight write-back requests must
+     collapse into one pending entry. *)
+  for i = 0 to Cacheline.words_per_line - 1 do
+    Heap.Cursor.store cu (64 + i) (i + 1);
+    Heap.Cursor.write_back cu (64 + i)
+  done;
+  check_int "one pending line" 1 (Heap.Cursor.pending_count cu);
+  Heap.Cursor.write_back cu 128;
+  check_int "distinct line queues" 2 (Heap.Cursor.pending_count cu);
+  let st = Heap.Cursor.stats cu in
+  check_int "all requests counted" 9 st.Pstats.write_backs;
+  Heap.Cursor.fence cu;
+  check_int "drained" 0 (Heap.Cursor.pending_count cu);
+  check_int "one batch" 1 st.Pstats.sync_batches;
+  check_int "two lines durable" 2 st.Pstats.lines_drained;
+  for i = 0 to Cacheline.words_per_line - 1 do
+    check_int "durable value" (i + 1) (Heap.durable_load h (64 + i))
+  done
+
+let test_dedup_resets_after_drain () =
+  let h = fresh_heap () in
+  let cu = Heap.cursor h ~tid:0 in
+  Heap.Cursor.store cu 64 1;
+  Heap.Cursor.write_back cu 64;
+  Heap.Cursor.fence cu;
+  (* The generation bump must un-stamp the line: a new write-back after the
+     drain queues again instead of being treated as a duplicate. *)
+  Heap.Cursor.store cu 64 2;
+  Heap.Cursor.write_back cu 64;
+  check_int "requeued after drain" 1 (Heap.Cursor.pending_count cu);
+  Heap.Cursor.fence cu;
+  check_int "second value durable" 2 (Heap.durable_load h 64)
+
+(* --- Buffer overflow: implicit drain --- *)
+
+let test_overflow_implicit_drain () =
+  (* More distinct lines than the pending buffer holds (4096). The
+     overflowing request must drain the full buffer as one implicit batch,
+     then queue itself. *)
+  let lines = 4200 in
+  let h = fresh_heap ~size_words:(lines * Cacheline.words_per_line) () in
+  let cu = Heap.cursor h ~tid:0 in
+  for l = 0 to lines - 1 do
+    Heap.Cursor.store cu (Cacheline.addr_of_line l) (l + 1);
+    Heap.Cursor.write_back cu (Cacheline.addr_of_line l)
+  done;
+  let st = Heap.Cursor.stats cu in
+  check_int "one implicit batch" 1 st.Pstats.sync_batches;
+  check_int "full buffer drained" 4096 st.Pstats.lines_drained;
+  check_int "remainder still pending" (lines - 4096) (Heap.Cursor.pending_count cu);
+  check_int "every request counted once" lines st.Pstats.write_backs;
+  (* Lines of the implicitly drained batch are durable already. *)
+  check_int "drained line durable" 1 (Heap.durable_load h 0);
+  check_int "drained line durable" 4096 (Heap.durable_load h (Cacheline.addr_of_line 4095));
+  Heap.Cursor.fence cu;
+  check_int "tail durable after fence" lines
+    (Heap.durable_load h (Cacheline.addr_of_line (lines - 1)))
+
+(* --- Cursor vs [~tid] counter equivalence --- *)
+
+let exercise_cursor h =
+  let cu = Heap.cursor h ~tid:0 in
+  for i = 0 to 99 do
+    Heap.Cursor.store cu i (i * 3);
+    ignore (Heap.Cursor.load cu i)
+  done;
+  ignore (Heap.Cursor.cas cu 8 ~expected:24 ~desired:7);
+  ignore (Heap.Cursor.fetch_add cu 16 5);
+  for l = 0 to 12 do
+    Heap.Cursor.write_back cu (Cacheline.addr_of_line l)
+  done;
+  Heap.Cursor.fence cu;
+  Heap.Cursor.persist cu 0
+
+let exercise_tid h =
+  for i = 0 to 99 do
+    Heap.store h ~tid:0 i (i * 3);
+    ignore (Heap.load h ~tid:0 i)
+  done;
+  ignore (Heap.cas h ~tid:0 8 ~expected:24 ~desired:7);
+  ignore (Heap.fetch_add h ~tid:0 16 5);
+  for l = 0 to 12 do
+    Heap.write_back h ~tid:0 (Cacheline.addr_of_line l)
+  done;
+  Heap.fence h ~tid:0;
+  Heap.persist h ~tid:0 0
+
+let counters (st : Pstats.t) =
+  [
+    st.loads;
+    st.stores;
+    st.cas;
+    st.write_backs;
+    st.fences;
+    st.sync_batches;
+    st.lines_drained;
+  ]
+
+let test_counter_equivalence () =
+  let ha = fresh_heap () and hb = fresh_heap () in
+  exercise_cursor ha;
+  exercise_tid hb;
+  Alcotest.(check (list int))
+    "counters agree"
+    (counters (Heap.stats ha 0))
+    (counters (Heap.stats hb 0));
+  (* Same sequence must also leave the same durable image. *)
+  let same = ref true in
+  for a = 0 to 104 do
+    if Heap.durable_load ha a <> Heap.durable_load hb a then same := false
+  done;
+  check_bool "durable images agree" true !same
+
+(* --- Crash injection through cursor operations --- *)
+
+let test_crash_injection () =
+  let h = fresh_heap () in
+  let cu = Heap.cursor h ~tid:0 in
+  Heap.set_trip h 5;
+  let crashed = ref false in
+  (try
+     for i = 0 to 99 do
+       Heap.Cursor.store cu i 1;
+       Heap.Cursor.write_back cu i;
+       Heap.Cursor.fence cu
+     done
+   with Heap.Crashed -> crashed := true);
+  check_bool "cursor op raised Crashed" true !crashed;
+  (* The trip-wire disarms itself: the cursor keeps working afterwards. *)
+  Heap.Cursor.store cu 200 42;
+  Heap.Cursor.persist cu 200;
+  check_int "usable after trip" 42 (Heap.durable_load h 200)
+
+let () =
+  Alcotest.run "cursor"
+    [
+      ( "dedup",
+        [
+          Alcotest.test_case "same line collapses" `Quick test_dedup_same_line;
+          Alcotest.test_case "stamp reset after drain" `Quick
+            test_dedup_resets_after_drain;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "implicit drain" `Quick test_overflow_implicit_drain;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "cursor vs tid counters" `Quick
+            test_counter_equivalence;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "trip through cursor" `Quick test_crash_injection ] );
+    ]
