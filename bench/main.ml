@@ -21,6 +21,7 @@ type opts = {
   seed : int;
   write_ns : int;
   json : string option;
+  sanitize : bool;
 }
 
 (* --write-ns 0 (the default) auto-calibrates the injected latency to this
@@ -45,8 +46,25 @@ let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthre
   let inst =
     I.create ~nthreads ~size_hint:size ~latency:(latency opts) ~structure ~flavor ()
   in
-  Keygen.prefill inst.ops ~size ~seed:opts.seed;
   let heap = Lfds.Ctx.heap inst.ctx in
+  (* --sanitize: NVSan shadows the whole run (prefill included, so every
+     node is tracked); the Log baseline doesn't speak link-and-persist, so
+     it runs unobserved. *)
+  let san =
+    if opts.sanitize && flavor <> I.Log then
+      Some
+        (Sanitizer.Nvsan.attach
+           ~config:
+             {
+               (Sanitizer.Nvsan.default_config
+                  ~durable:(match flavor with I.Lp | I.Lc -> true | _ -> false))
+               with
+               root_limit = Lfds.Ctx.static_limit inst.ctx;
+             }
+           heap)
+    else None
+  in
+  Keygen.prefill inst.ops ~size ~seed:opts.seed;
   Nvm.Heap.reset_stats heap;
   let range = Keygen.range_for ~size in
   let r =
@@ -54,21 +72,34 @@ let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthre
       ~step:(Run.set_workload inst.ops ~mix ~range)
       ~seed:opts.seed ()
   in
+  (match san with
+  | None -> ()
+  | Some s ->
+      Sanitizer.Nvsan.detach s;
+      let n = Sanitizer.Nvsan.violation_count s in
+      if n > 0 then begin
+        List.iter
+          (fun v -> print_endline ("  " ^ Sanitizer.Nvsan.violation_to_string v))
+          (Sanitizer.Nvsan.violations s);
+        pr "sanitizer: %d violation(s) in %s/%s\n%!" n
+          (I.structure_name structure) (I.flavor_name flavor)
+      end);
   if Json_out.enabled () then
     Json_out.add ~kind:"throughput"
-      Json_out.
-        [
-          ("structure", S (I.structure_name structure));
-          ("flavor", S (I.flavor_name flavor));
-          ("size", I size);
-          ("threads", I nthreads);
-          ("mix", S mix_name);
-          ("duration", F opts.duration);
-          ("write_ns", I (base_write_ns opts));
-          ("seed", I opts.seed);
-          ("ops_per_s", F r.throughput);
-          ("substrate", substrate_fields (Nvm.Heap.aggregate_stats heap));
-        ];
+      (Json_out.
+         [
+           ("structure", S (I.structure_name structure));
+           ("flavor", S (I.flavor_name flavor));
+           ("size", I size);
+           ("threads", I nthreads);
+           ("mix", S mix_name);
+           ("duration", F opts.duration);
+           ("write_ns", I (base_write_ns opts));
+           ("seed", I opts.seed);
+           ("ops_per_s", F r.throughput);
+           ("substrate", substrate_fields (Nvm.Heap.aggregate_stats heap));
+         ]
+      @ if opts.sanitize then [ ("sanitized", Json_out.I 1) ] else []);
   r.throughput
 
 let ratio_row opts ~structure ~size ~mix ~flavors ~nthreads =
@@ -758,10 +789,19 @@ let opts_term =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write machine-readable results (schema nvlf-bench/1) to $(docv).")
   in
-  let make duration threads full seed write_ns json =
-    { duration; threads; full; seed; write_ns; json }
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Attach NVSan to every throughput point (Log baseline excluded) \
+             and report violations; for measuring sanitizer overhead.")
   in
-  Term.(const make $ duration $ threads $ full $ seed $ write_ns $ json)
+  let make duration threads full seed write_ns json sanitize =
+    { duration; threads; full; seed; write_ns; json; sanitize }
+  in
+  Term.(
+    const make $ duration $ threads $ full $ seed $ write_ns $ json $ sanitize)
 
 let with_json name f opts =
   (match opts.json with Some p -> Json_out.set_path p | None -> ());

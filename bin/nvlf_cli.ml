@@ -2,8 +2,8 @@
 
      nvlf stats  --structure skiplist --size 1024      per-flavor cost profile
      nvlf drill  --structure bst --rounds 200          crash-point fuzzing
-     nvlf run    --structure hash --flavor lc ...      one workload run
-     nvlf pools                                        allocator/APT inspection
+     nvlf run      --structure hash --flavor lc ...    one workload run
+     nvlf sanitize --struct list --max-dirty 10        NVSan + crash-state enum
 
    The benchmark figures live in bench/main.exe; this tool is for poking at
    a single configuration interactively. *)
@@ -129,6 +129,46 @@ let drill structure rounds seed =
     (I.structure_name structure) rounds !crashes !violations;
   if !violations > 0 then exit 1
 
+(* sanitize: NVSan online pass over both durable flavors, then exhaustive
+   small-scope crash-state enumeration. Exit 1 on any violation — the CI
+   gate. *)
+let sanitize structure ops max_dirty seed =
+  let failed = ref false in
+  List.iter
+    (fun flavor ->
+      let inst = I.create ~nthreads:1 ~size_hint:256 ~structure ~flavor () in
+      let cfg =
+        {
+          (Sanitizer.Nvsan.default_config ~durable:true) with
+          strict_deref = true;
+          root_limit = Lfds.Ctx.static_limit inst.ctx;
+        }
+      in
+      let san = Sanitizer.Nvsan.attach ~config:cfg (Lfds.Ctx.heap inst.ctx) in
+      let rng = Xoshiro.make ~seed in
+      for _ = 1 to ops do
+        let key = Xoshiro.in_range rng ~lo:1 ~hi:256 in
+        match Xoshiro.below rng 10 with
+        | 0 | 1 | 2 | 3 -> ignore (inst.ops.insert ~tid:0 ~key ~value:key)
+        | 4 | 5 | 6 -> ignore (inst.ops.remove ~tid:0 ~key)
+        | _ -> ignore (inst.ops.search ~tid:0 ~key)
+      done;
+      Sanitizer.Nvsan.detach san;
+      List.iter
+        (fun v -> print_endline (Sanitizer.Nvsan.violation_to_string v))
+        (Sanitizer.Nvsan.violations san);
+      let n = Sanitizer.Nvsan.violation_count san in
+      Printf.printf "sanitize %s/%s: %d ops, %d violation(s)\n%!"
+        (I.structure_name structure) (I.flavor_name flavor) ops n;
+      if n > 0 then failed := true)
+    [ I.Lp; I.Lc ];
+  let r = Sanitizer.Crash_enum.run ~structure ~max_dirty ~seed () in
+  Format.printf "crash-enum %s: %a@." (I.structure_name structure)
+    Sanitizer.Crash_enum.pp_result r;
+  List.iter print_endline r.Sanitizer.Crash_enum.violations;
+  if r.Sanitizer.Crash_enum.violations <> [] then failed := true;
+  if !failed then exit 1
+
 (* run: one timed workload with a final summary. *)
 let run_once structure flavor size nthreads duration seed update_pct =
   let inst =
@@ -162,6 +202,28 @@ let drill_cmd =
   Cmd.v (Cmd.info "drill" ~doc:"Randomized crash-point fuzzing")
     Term.(const drill $ structure_arg $ rounds $ seed_arg)
 
+let sanitize_cmd =
+  let structure =
+    Arg.(
+      value
+      & opt structure_conv I.Hash
+      & info [ "structure"; "struct" ] ~doc:"list | hash | skiplist | bst")
+  in
+  let ops =
+    Arg.(value & opt int 4000 & info [ "ops" ] ~doc:"Online sanitized ops.")
+  in
+  let max_dirty =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "max-dirty" ]
+          ~doc:"Enumerate crash states for trips with up to this many dirty lines.")
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:"NVSan pass + exhaustive crash-state enumeration (exit 1 on violation)")
+    Term.(const sanitize $ structure $ ops $ max_dirty $ seed_arg)
+
 let run_cmd =
   let flavor =
     Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|log")
@@ -176,4 +238,4 @@ let run_cmd =
 
 let () =
   let info = Cmd.info "nvlf" ~doc:"Log-free durable data structures driver" in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; drill_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; drill_cmd; run_cmd; sanitize_cmd ]))

@@ -165,6 +165,12 @@ let carve_static (t : t) n = Region.carve t.static n
 
 let heap (t : t) = t.heap
 
+(** First address above the pointer-bearing prefix (root slots + static
+    region). Words at or above this that are not inside allocated nodes are
+    bookkeeping (APT, log lines, allocator metadata), never structure
+    links — the sanitizer uses this to tell roots from metadata. *)
+let static_limit (t : t) = t.apt_base
+
 (** The calling domain's heap cursor — the hot-path handle every structure
     operation should fetch once and thread through its heap accesses. *)
 let cursor (t : t) ~tid = Heap.cursor t.heap ~tid
@@ -176,13 +182,19 @@ let nthreads (t : t) = t.nthreads
 let allocator t = Nv_epochs.allocator t.mem
 
 (** Bracket an operation with epoch enter/exit, threading the calling
-    domain's cursor to the body — the hot-path form. *)
-let with_op_c (t : t) cu f =
+    domain's cursor to the body — the hot-path form. [name] labels the
+    operation for an attached heap observer (violation reports name the
+    offending op); pass a static string, it is only consulted when an
+    observer is attached. *)
+let with_op_c ?(name = "op") (t : t) cu f =
   let tid = Heap.Cursor.tid cu in
+  let obs = Heap.observed t.heap in
+  if obs then Heap.annotate t.heap ~tid (Heap.A_op_begin { name });
   Nv_epochs.op_begin t.mem ~tid;
   match f cu with
   | v ->
       Nv_epochs.op_end_c t.mem cu;
+      if obs then Heap.annotate t.heap ~tid Heap.A_op_end;
       v
   | exception e ->
       (* A crash exception aborts mid-operation; the epoch is left odd, as a
@@ -190,9 +202,11 @@ let with_op_c (t : t) cu f =
          after restoring balance. *)
       (match e with
       | Heap.Crashed -> ()
-      | _ -> Nv_epochs.op_end_c t.mem cu);
+      | _ ->
+          Nv_epochs.op_end_c t.mem cu;
+          if obs then Heap.annotate t.heap ~tid Heap.A_op_end);
       raise e
 
 (** Bracket an operation with epoch enter/exit. *)
-let with_op (t : t) ~tid f =
-  with_op_c t (Heap.cursor t.heap ~tid) (fun _cu -> f ())
+let with_op ?name (t : t) ~tid f =
+  with_op_c ?name t (Heap.cursor t.heap ~tid) (fun _cu -> f ())

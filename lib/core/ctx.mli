@@ -51,6 +51,11 @@ val carve_static : t -> int -> int
 
 val heap : t -> Nvm.Heap.t
 
+(** First address above the pointer-bearing prefix (root slots + static
+    region); higher words outside allocated nodes are bookkeeping, never
+    structure links. *)
+val static_limit : t -> int
+
 (** The calling domain's heap cursor (fetch once per operation, thread
     through all heap accesses — the fast path). *)
 val cursor : t -> tid:int -> Nvm.Heap.cursor
@@ -63,9 +68,11 @@ val allocator : t -> Nvm.Nvalloc.t
 
 (** Run one data-structure operation inside epoch brackets. A crash
     exception propagates with the epoch left odd, exactly as a crashed
-    thread would leave it. *)
-val with_op : t -> tid:int -> (unit -> 'a) -> 'a
+    thread would leave it. [name] labels the operation for an attached heap
+    observer (pass a static string; only consulted when one is attached). *)
+val with_op : ?name:string -> t -> tid:int -> (unit -> 'a) -> 'a
 
 (** [with_op] threading a pre-fetched cursor to the body — structures fetch
     the cursor once per operation and stay on the [_c] APIs inside. *)
-val with_op_c : t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a
+val with_op_c :
+  ?name:string -> t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a

@@ -140,6 +140,12 @@ let rec try_link_and_add_c ?(retried = false) t cu ~key ~link ~expected ~desired
         let st = Heap.Cursor.stats cu in
         if transition t b i ~from_state:st_pending ~to_state:st_busy ~fail_if_flushing:true
         then begin
+          (* The mark is cleared without a persist: the cache entry now owns
+             this link's durability. Tell any observer so it does not read the
+             clear as a lost write-back. *)
+          if Heap.observed t.heap then
+            Heap.annotate t.heap ~tid:(Heap.Cursor.tid cu)
+              (Heap.A_lc_register { link });
           ignore (Heap.Cursor.cas cu link ~expected:marked ~desired);
           st.lc_adds <- st.lc_adds + 1;
           Added

@@ -97,9 +97,19 @@ let alloc_node_c t cu ~size_class =
 let alloc_node t ~tid ~size_class =
   alloc_node_c t (Heap.cursor t.heap ~tid) ~size_class
 
-(* Free a sealed generation: durable bitmap updates, then one fence. *)
+(* Free a sealed generation: durable bitmap updates, then one fence. The
+   annotation hands an observer the grace-period evidence — the epoch vector
+   snapshotted at seal time and the vector now — before any slot is freed. *)
 let free_generation t cu gen =
   let tid = Heap.Cursor.tid cu in
+  if Heap.observed t.heap then
+    Heap.annotate t.heap ~tid
+      (Heap.A_reclaim
+         {
+           nodes = gen.nodes;
+           snapshot = gen.snapshot;
+           current = Epoch.snapshot t.epoch;
+         });
   List.iter (fun addr -> Nvalloc.free_c t.alloc cu addr) gen.nodes;
   Heap.Cursor.fence cu;
   t.last_collected.(tid) <- max t.last_collected.(tid) gen.snapshot.(tid)
@@ -136,6 +146,7 @@ let retire_node_c t cu addr =
       let page = Nvalloc.page_of t.alloc addr in
       Active_page_table.ensure_active_c t.apt cu ~page ~epoch:e
         Active_page_table.Unlink);
+  if Heap.observed t.heap then Heap.annotate t.heap ~tid (Heap.A_retire { addr });
   t.open_batch.(tid) := addr :: !(t.open_batch.(tid));
   t.open_count.(tid) <- t.open_count.(tid) + 1;
   t.open_max_epoch.(tid) <- max t.open_max_epoch.(tid) e;
@@ -176,6 +187,18 @@ let op_end t ~tid = op_end_c t (Heap.cursor t.heap ~tid)
 let drain t ~tid =
   seal t ~tid;
   try_collect t (Heap.cursor t.heap ~tid)
+
+(** Fault injection (sanitizer regression corpus): seal and free {e every}
+    generation retired by the cursor's thread immediately, skipping the
+    grace-period check. A deliberate use-after-grace-period bug — never call
+    outside the injected-bug tests. *)
+let free_unsafely_c t cu =
+  let tid = Heap.Cursor.tid cu in
+  seal t ~tid;
+  let q = t.limbo.(tid) in
+  while not (Queue.is_empty q) do
+    free_generation t cu (Queue.pop q)
+  done
 
 (** Nodes retired by [tid] but not yet freed (tests). *)
 let pending_retired t ~tid =

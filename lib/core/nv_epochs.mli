@@ -59,5 +59,11 @@ val retire_node_c : t -> Nvm.Heap.cursor -> int -> unit
     shutdown); full reclamation needs other threads quiescent. *)
 val drain : t -> tid:int -> unit
 
+(** Fault injection (sanitizer regression corpus): free every generation
+    retired by the cursor's thread {e immediately}, skipping the
+    grace-period check. A deliberate bug — only for the injected-bug
+    tests. *)
+val free_unsafely_c : t -> Nvm.Heap.cursor -> unit
+
 (** Nodes retired by [tid] not yet freed (tests). *)
 val pending_retired : t -> tid:int -> int

@@ -246,12 +246,13 @@ let create ?nthreads ?size_hint ?latency ?mem_mode ?lc_buckets ?page_words
     wal_mode;
   }
 
-(** Crash the heap (power failure at this instant) and fully recover:
+(** Recover a heap that has already crashed — the caller chose the eviction
+    outcome ([Heap.crash], [Heap.crash_with], or a restored snapshot):
     re-attach layout, restore structure consistency, roll back the WAL for
     log-based flavors, and sweep active pages for leaks. Returns the new
-    instance and the recovery time in seconds (crash excluded). *)
-let crash_and_recover ?(seed = 0xDEAD) ?(eviction_probability = 0.5) t =
-  Heap.crash (Lfds.Ctx.heap t.ctx) ~seed ~eviction_probability;
+    instance, the recovery time in seconds and the number of leaked nodes
+    freed. *)
+let recover_only t =
   let t0 = Unix.gettimeofday () in
   let ctx, active = Lfds.Ctx.recover (Lfds.Ctx.heap t.ctx) t.cfg in
   let ops, iter_reachable, locate, recover_structure =
@@ -265,3 +266,9 @@ let crash_and_recover ?(seed = 0xDEAD) ?(eviction_probability = 0.5) t =
   in
   let dt = Unix.gettimeofday () -. t0 in
   ({ t with ctx; ops; iter_reachable; locate }, dt, freed)
+
+(** Crash the heap (power failure at this instant, random evictions) and
+    fully recover. *)
+let crash_and_recover ?(seed = 0xDEAD) ?(eviction_probability = 0.5) t =
+  Heap.crash (Lfds.Ctx.heap t.ctx) ~seed ~eviction_probability;
+  recover_only t

@@ -52,9 +52,15 @@ val create :
   unit ->
   t
 
-(** Power-fail the heap and fully recover: re-attach the layout, restore
-    structure consistency (rolling back the WAL for log-based flavors) and
-    sweep the active pages. Returns the recovered instance, the recovery
-    time in seconds (crash excluded) and the number of leaked nodes freed. *)
+(** Recover a heap that has already crashed — the caller chose the eviction
+    outcome ([Nvm.Heap.crash], [Nvm.Heap.crash_with], or a restored
+    snapshot): re-attach the layout, restore structure consistency (rolling
+    back the WAL for log-based flavors) and sweep the active pages. Returns
+    the recovered instance, the recovery time in seconds and the number of
+    leaked nodes freed. *)
+val recover_only : t -> t * float * int
+
+(** Power-fail the heap (random evictions) and fully recover; same result
+    triple as [recover_only], crash time excluded. *)
 val crash_and_recover :
   ?seed:int -> ?eviction_probability:float -> t -> t * float * int

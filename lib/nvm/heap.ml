@@ -43,6 +43,49 @@ exception Crashed
     completes immediately, alone. *)
 type wb_instruction = Clwb | Clflushopt | Clflush
 
+(** Why a line moved to the durable image. Checkers distinguish the ordered
+    paths (fence / clflush / shutdown) from drains that carry no ordering
+    guarantee: an overflow drain models the write-combining queue spilling on
+    its own, and a crash drain models uncontrolled eviction — data that gets
+    durable through either is durable {e by luck}, and a sanitizer must not
+    credit the program for it. *)
+type drain_reason =
+  | Drain_fence  (** explicit [fence] retiring the pending batch *)
+  | Drain_overflow  (** pending buffer overflow: no ordering guarantee *)
+  | Drain_clflush  (** serializing [Clflush] write-back *)
+  | Drain_shutdown  (** [flush_all] clean shutdown *)
+  | Drain_crash  (** random eviction at crash time *)
+
+(** Protocol-level facts the layers above the heap announce to an attached
+    observer ([annotate]). The heap itself never interprets them; they exist
+    so an observer can track allocator and reclamation state without the
+    allocator depending on the sanitizer. *)
+type annotation =
+  | A_alloc of { addr : int; size_class : int }
+  | A_free of { addr : int }
+  | A_retire of { addr : int }
+  | A_reclaim of { nodes : int list; snapshot : int array; current : int array }
+      (** epoch-based reclamation about to free [nodes]; [snapshot] is the
+          epoch vector recorded at unlink time, [current] the vector now *)
+  | A_lc_register of { link : int }
+      (** [link]'s latest value is parked in the link cache: its durability
+          is the cache's business until the line next drains *)
+  | A_op_begin of { name : string }
+  | A_op_end
+
+(** One observable heap event. Emitted {e after} the primitive applied, so a
+    handler sees the pre-event world in its own shadow state and the
+    post-event world in the heap. *)
+type event =
+  | Ev_load of { tid : int; addr : int; value : int }
+  | Ev_store of { tid : int; addr : int; value : int; old : int }
+  | Ev_cas of { tid : int; addr : int; expected : int; desired : int; success : bool }
+  | Ev_write_back of { tid : int; addr : int }
+  | Ev_fence of { tid : int }
+  | Ev_drain of { line : int; reason : drain_reason }
+  | Ev_crash
+  | Ev_note of { tid : int; note : annotation }
+
 type t = {
   size_words : int;
   n_lines : int;
@@ -55,6 +98,10 @@ type t = {
   invalid : Bytes.t;  (** lines invalidated by clflush/clflushopt *)
   mutable wb_instruction : wb_instruction;
   mutable cursors : cursor array;  (** one per tid; filled right after create *)
+  mutable observer : (event -> unit) option;
+      (** optional sanitizer hook; every primitive guards on [None] with one
+          field load + branch, so the disabled cost is a predictable
+          never-taken branch and no allocation *)
 }
 
 and cursor = {
@@ -97,6 +144,7 @@ let create ?(latency = Latency_model.no_injection ()) ~size_words () =
       invalid = Bytes.make lines '\000';
       wb_instruction = Clwb;
       cursors = [||];
+      observer = None;
     }
   in
   t.cursors <- Array.init Pstats.max_threads (fun tid -> make_cursor t tid);
@@ -109,6 +157,19 @@ let latency t = t.latency
 let stats t tid = Pstats.get t.stats tid
 let aggregate_stats t = Pstats.aggregate t.stats
 let reset_stats t = Pstats.reset_registry t.stats
+
+(* Observer plumbing. [set_observer] must only be called at quiescent points:
+   the field is plain mutable state and primitives read it unsynchronized. *)
+
+let set_observer t f = t.observer <- f
+let clear_observer t = t.observer <- None
+let observed t = match t.observer with None -> false | Some _ -> true
+
+(** Forward a protocol annotation to the observer, if any. Callers on hot
+    paths should pre-guard with [observed] to avoid building the annotation
+    when nobody listens. *)
+let annotate t ~tid note =
+  match t.observer with None -> () | Some f -> f (Ev_note { tid; note })
 
 let cursor t ~tid =
   if tid < 0 || tid >= Array.length t.cursors then
@@ -164,7 +225,11 @@ module Cursor = struct
       if t.latency.Latency_model.inject then
         Latency_model.spin_ns t.latency.Latency_model.nvram_read_ns
     end;
-    Atomic.get (Array.unsafe_get t.volatile addr)
+    let v = Atomic.get (Array.unsafe_get t.volatile addr) in
+    (match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_load { tid = cu.tid; addr; value = v }));
+    v
 
   let store cu addr v =
     let t = cu.h in
@@ -172,8 +237,18 @@ module Cursor = struct
     tick t;
     let st = cu.st in
     st.stores <- st.stores + 1;
-    Atomic.set (Array.unsafe_get t.volatile addr) v;
-    mark_dirty t addr
+    (match t.observer with
+    | None ->
+        Atomic.set (Array.unsafe_get t.volatile addr) v;
+        mark_dirty t addr
+    | Some f ->
+        (* The overwritten value is only needed for shadow edge tracking;
+           single-writer-per-word discipline makes the relaxed read exact. *)
+        let cell = Array.unsafe_get t.volatile addr in
+        let old = fenceless_get cell in
+        Atomic.set cell v;
+        mark_dirty t addr;
+        f (Ev_store { tid = cu.tid; addr; value = v; old }))
 
   let cas cu addr ~expected ~desired =
     let t = cu.h in
@@ -185,6 +260,9 @@ module Cursor = struct
       Atomic.compare_and_set (Array.unsafe_get t.volatile addr) expected desired
     in
     if ok then mark_dirty t addr;
+    (match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_cas { tid = cu.tid; addr; expected; desired; success = ok }));
     ok
 
   let fetch_add cu addr delta =
@@ -195,46 +273,72 @@ module Cursor = struct
     st.cas <- st.cas + 1;
     let v = Atomic.fetch_and_add (Array.unsafe_get t.volatile addr) delta in
     mark_dirty t addr;
+    (match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_store { tid = cu.tid; addr; value = v + delta; old = v }));
     v
 
   (* Write-backs and fences. *)
 
-  let drain_line t line =
+  (* Drain one line. Dirty-bit/durable-image consistency contract: the bit
+     is cleared first, then the words copied, and only then is the observer
+     notified — so no point inside a drain where an exception can originate
+     (only the observer can raise here) ever sees a clean bit with a stale
+     durable line. Clearing first also keeps a concurrent writer safe: its
+     [mark_dirty] lands after its store, so a store racing the copy leaves
+     the bit set (conservative) rather than a dirty word behind a clean bit. *)
+  let drain_line t reason line =
     let base = Cacheline.addr_of_line line in
     let hi = min (base + Cacheline.words_per_line) t.size_words in
     Bytes.unsafe_set t.dirty line '\000';
     for a = base to hi - 1 do
       Array.unsafe_set t.durable a (fenceless_get (Array.unsafe_get t.volatile a))
-    done
+    done;
+    match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_drain { line; reason })
 
   (* Drain this cursor's whole pending buffer as one completed batch. The
-     generation bump un-stamps every queued line in O(1). *)
-  let drain_pending cu =
+     generation bump un-stamps every queued line in O(1). If the observer
+     aborts mid-batch (a sanitizer running in raise-on-violation mode) the
+     buffer is still reset: every line either fully drained or is still
+     marked dirty, so the crash image stays consistent; re-queueing the
+     undrained tail would claim an ordering the interrupted fence never
+     provided. *)
+  let drain_pending ~reason cu =
     let t = cu.h in
     let st = cu.st and n = cu.n in
     st.sync_batches <- st.sync_batches + 1;
     st.lines_drained <- st.lines_drained + n;
     let buf = cu.buf in
-    for i = 0 to n - 1 do
-      drain_line t (Array.unsafe_get buf i)
-    done;
+    (try
+       for i = 0 to n - 1 do
+         drain_line t reason (Array.unsafe_get buf i)
+       done
+     with e ->
+       cu.n <- 0;
+       cu.gen <- cu.gen + 1;
+       raise e);
     cu.n <- 0;
     cu.gen <- cu.gen + 1;
     Latency_model.charge_sync t.latency
 
-  let rec write_back cu addr =
+  let write_back cu addr =
     let t = cu.h in
     check t addr;
     tick t;
     let st = cu.st in
     st.write_backs <- st.write_backs + 1;
     let line = Cacheline.line_of_addr addr in
+    (match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_write_back { tid = cu.tid; addr }));
     (match t.wb_instruction with
     | Clwb -> ()
     | Clflushopt | Clflush -> Bytes.unsafe_set t.invalid line '\001');
     if t.wb_instruction = Clflush then begin
       (* clflush is ordered: it completes by itself, with no batching. *)
-      drain_line t line;
+      drain_line t Drain_clflush line;
       st.sync_batches <- st.sync_batches + 1;
       st.lines_drained <- st.lines_drained + 1;
       Latency_model.charge_sync t.latency
@@ -245,19 +349,18 @@ module Cursor = struct
       (* O(1) dedup: the line is already queued iff its stamp carries the
          current generation (the seed scanned the buffer, O(pending_n)). *)
       if Array.unsafe_get stamps line <> cu.gen then begin
-        let n = cu.n in
-        if n < max_pending then begin
-          Array.unsafe_set stamps line cu.gen;
-          Array.unsafe_set cu.buf n line;
-          cu.n <- n + 1
-        end
-        else begin
+        if cu.n >= max_pending then
           (* The write-combining queue is full: hardware drains it on its
-             own. Model that as an implicit batch completion, then retry. *)
-          drain_pending cu;
-          st.write_backs <- st.write_backs - 1;
-          write_back cu addr
-        end
+             own. Model that as an implicit batch completion — one that,
+             unlike a fence, guarantees nothing about ordering. Queueing
+             continues below with the drained (empty) buffer; the seed
+             recursed here, ticking the trip-wire twice for one logical
+             write-back. *)
+          drain_pending ~reason:Drain_overflow cu;
+        let n = cu.n in
+        Array.unsafe_set stamps line cu.gen;
+        Array.unsafe_set cu.buf n line;
+        cu.n <- n + 1
       end
     end
 
@@ -268,7 +371,10 @@ module Cursor = struct
     st.fences <- st.fences + 1;
     if cu.n > 0 then
       (* One batch of parallel write-backs completes in ~one NVRAM write. *)
-      drain_pending cu
+      drain_pending ~reason:Drain_fence cu;
+    match t.observer with
+    | None -> ()
+    | Some f -> f (Ev_fence { tid = cu.tid })
 
   (** [persist cu addr] = write-back + fence of a single line: the
       non-batched sync operation. *)
@@ -301,7 +407,8 @@ let clear_all_pending t =
 (** Write back every dirty line and wait: a clean shutdown. *)
 let flush_all t ~tid =
   for line = 0 to t.n_lines - 1 do
-    if Bytes.unsafe_get t.dirty line <> '\000' then Cursor.drain_line t line
+    if Bytes.unsafe_get t.dirty line <> '\000' then
+      Cursor.drain_line t Drain_shutdown line
   done;
   clear_all_pending t;
   let st = Pstats.get t.stats tid in
@@ -310,21 +417,18 @@ let flush_all t ~tid =
 
 (* Crash and restart. *)
 
-(** [crash t ~seed ~eviction_probability] simulates a power failure followed
-    by a restart. Must be called when no other domain is accessing the heap.
-
-    Every line still dirty (including lines with a pending but un-fenced
-    write-back) is independently flushed to the durable image with probability
-    [eviction_probability]; all other dirty lines lose their volatile
-    contents. The volatile image is then reloaded from the durable image, as
-    after a reboot that maps the NVRAM region back at the same addresses. *)
-let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
+(** [crash_with t ~keep] simulates a power failure with a {e chosen} eviction
+    outcome: each dirty line (pending write-backs included) reaches the
+    durable image iff [keep line] is true; every other dirty line loses its
+    volatile contents. The volatile image is then reloaded from the durable
+    image, as after a reboot that maps the NVRAM region back at the same
+    addresses. Deterministic building block for exhaustive crash-state
+    enumeration; must be called when no other domain is accessing the heap. *)
+let crash_with t ~keep =
   t.trip <- -1;
-  let rng = Random.State.make [| seed |] in
   for line = 0 to t.n_lines - 1 do
     if Bytes.unsafe_get t.dirty line <> '\000' then begin
-      if Random.State.float rng 1.0 < eviction_probability then
-        Cursor.drain_line t line
+      if keep line then Cursor.drain_line t Drain_crash line
       else Bytes.unsafe_set t.dirty line '\000'
     end
   done;
@@ -333,7 +437,53 @@ let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
      of paying a seq_cst fence per word. *)
   for a = 0 to t.size_words - 1 do
     fenceless_set (Array.unsafe_get t.volatile a) (Array.unsafe_get t.durable a)
-  done
+  done;
+  (* A reboot empties the caches: stale invalidation state dies with them. *)
+  Bytes.fill t.invalid 0 (Bytes.length t.invalid) '\000';
+  match t.observer with None -> () | Some f -> f Ev_crash
+
+(** [crash t ~seed ~eviction_probability] simulates a power failure followed
+    by a restart. Must be called when no other domain is accessing the heap.
+
+    Every line still dirty (including lines with a pending but un-fenced
+    write-back) is independently flushed to the durable image with probability
+    [eviction_probability]; all other dirty lines lose their volatile
+    contents. *)
+let crash ?(seed = 0xC0FFEE) ?(eviction_probability = 0.5) t =
+  let rng = Random.State.make [| seed |] in
+  crash_with t ~keep:(fun _ -> Random.State.float rng 1.0 < eviction_probability)
+
+(* Whole-heap state capture, for deterministic crash-state enumeration: take
+   one snapshot at the trip point, then [restore]+[crash_with] once per
+   eviction subset. Single-domain use, like [crash]. *)
+
+type snapshot = {
+  snap_volatile : int array;
+  snap_durable : int array;
+  snap_dirty : Bytes.t;
+  snap_invalid : Bytes.t;
+}
+
+let snapshot t =
+  {
+    snap_volatile =
+      Array.init t.size_words (fun a -> fenceless_get (Array.unsafe_get t.volatile a));
+    snap_durable = Array.copy t.durable;
+    snap_dirty = Bytes.copy t.dirty;
+    snap_invalid = Bytes.copy t.invalid;
+  }
+
+let restore t s =
+  if Array.length s.snap_volatile <> t.size_words then
+    invalid_arg "Heap.restore: snapshot from a different heap";
+  t.trip <- -1;
+  for a = 0 to t.size_words - 1 do
+    fenceless_set (Array.unsafe_get t.volatile a) (Array.unsafe_get s.snap_volatile a)
+  done;
+  Array.blit s.snap_durable 0 t.durable 0 t.size_words;
+  Bytes.blit s.snap_dirty 0 t.dirty 0 (Bytes.length s.snap_dirty);
+  Bytes.blit s.snap_invalid 0 t.invalid 0 (Bytes.length s.snap_invalid);
+  clear_all_pending t
 
 (* Introspection for tests. *)
 
@@ -348,5 +498,20 @@ let dirty_line_count t =
   let n = ref 0 in
   Bytes.iter (fun c -> if c <> '\000' then incr n) t.dirty;
   !n
+
+(** Indices of all dirty lines, ascending. *)
+let dirty_lines t =
+  let acc = ref [] in
+  for line = t.n_lines - 1 downto 0 do
+    if Bytes.unsafe_get t.dirty line <> '\000' then acc := line :: !acc
+  done;
+  !acc
+
+(** Volatile contents of [addr] with no counters, no crash tick, no observer
+    event and no invalidation side effects — for observers that must read the
+    heap from inside a hook without recursing into themselves. *)
+let peek t addr =
+  check t addr;
+  fenceless_get (Array.unsafe_get t.volatile addr)
 
 let pending_count t ~tid = (cursor t ~tid).n

@@ -35,9 +35,66 @@ exception Crashed
     write-back completes alone, immediately. *)
 type wb_instruction = Clwb | Clflushopt | Clflush
 
+(** {1 Observation — sanitizer hook interface}
+
+    A heap can carry at most one {e observer}: a callback invoked after every
+    primitive with a description of what happened. With no observer attached
+    every hook point is a single field load and a never-taken branch on the
+    fast path; with one attached, events are allocated and delivered
+    synchronously on the acting domain, so the observer must serialize
+    internally for multi-domain runs and must never call heap primitives
+    itself (use [peek] / [annotate] side channels instead). *)
+
+(** Why a line moved to the durable image. [Drain_fence], [Drain_clflush] and
+    [Drain_shutdown] are the program-ordered paths; [Drain_overflow] (pending
+    buffer spill) and [Drain_crash] (eviction) carry no ordering guarantee —
+    data they make durable is durable by luck. *)
+type drain_reason =
+  | Drain_fence
+  | Drain_overflow
+  | Drain_clflush
+  | Drain_shutdown
+  | Drain_crash
+
+(** Protocol-level facts announced by layers above the heap (allocator,
+    reclamation, operation brackets) through [annotate]; the heap never
+    interprets them. *)
+type annotation =
+  | A_alloc of { addr : int; size_class : int }
+  | A_free of { addr : int }
+  | A_retire of { addr : int }
+  | A_reclaim of { nodes : int list; snapshot : int array; current : int array }
+  | A_lc_register of { link : int }
+  | A_op_begin of { name : string }
+  | A_op_end
+
+(** One observable heap event, emitted {e after} the primitive applied. *)
+type event =
+  | Ev_load of { tid : int; addr : int; value : int }
+  | Ev_store of { tid : int; addr : int; value : int; old : int }
+  | Ev_cas of { tid : int; addr : int; expected : int; desired : int; success : bool }
+  | Ev_write_back of { tid : int; addr : int }
+  | Ev_fence of { tid : int }
+  | Ev_drain of { line : int; reason : drain_reason }
+  | Ev_crash
+  | Ev_note of { tid : int; note : annotation }
+
 (** [create ~latency ~size_words ()] allocates a zeroed heap. [latency]
     defaults to a no-injection model (functional tests). *)
 val create : ?latency:Latency_model.t -> size_words:int -> unit -> t
+
+(** Attach / detach the observer. Call only at quiescent points (no domain
+    mid-operation): primitives read the hook unsynchronized. *)
+val set_observer : t -> (event -> unit) option -> unit
+
+val clear_observer : t -> unit
+
+(** Whether an observer is attached. Annotation emitters should pre-guard on
+    this to avoid building annotations nobody will see. *)
+val observed : t -> bool
+
+(** Deliver [annotation] to the observer (no-op when none is attached). *)
+val annotate : t -> tid:int -> annotation -> unit
 
 val size_words : t -> int
 val latency : t -> Latency_model.t
@@ -119,6 +176,24 @@ val flush_all : t -> tid:int -> unit
     accessing the heap. *)
 val crash : ?seed:int -> ?eviction_probability:float -> t -> unit
 
+(** [crash_with t ~keep] is [crash] with a {e chosen} eviction outcome: each
+    dirty line reaches the durable image iff [keep line]. The deterministic
+    building block for exhaustive crash-state enumeration. *)
+val crash_with : t -> keep:(int -> bool) -> unit
+
+(** {1 State capture (crash-state enumeration)}
+
+    [snapshot] captures the full simulator state (volatile + durable images,
+    dirty and invalidation bits); [restore] puts it back and forgets all
+    pending write-backs, disarming the trip-wire. Take one snapshot at a trip
+    point, then [restore] + [crash_with] once per eviction subset.
+    Single-domain use, like [crash]. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 (** {1 Crash injection}
 
     [set_trip t n] arms a countdown decremented by every store / CAS /
@@ -142,4 +217,12 @@ val durable_load : t -> int -> int
 
 val line_is_dirty : t -> int -> bool
 val dirty_line_count : t -> int
+
+(** Indices of all dirty lines, ascending. *)
+val dirty_lines : t -> int list
+
+(** Volatile contents of [addr] with no counters, no crash tick, no observer
+    event — the read an observer may use from inside a hook. *)
+val peek : t -> int -> int
+
 val pending_count : t -> tid:int -> int

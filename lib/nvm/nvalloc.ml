@@ -227,6 +227,8 @@ let alloc_c t cu ~size_class =
   set_bit ~page cu (slot_of t ~page ~size_class addr) true;
   let st = Heap.Cursor.stats cu in
   st.allocs <- st.allocs + 1;
+  if Heap.observed t.heap then
+    Heap.annotate t.heap ~tid (Heap.A_alloc { addr; size_class });
   addr
 
 let alloc t ~tid ~size_class = alloc_c t (Heap.cursor t.heap ~tid) ~size_class
@@ -249,7 +251,8 @@ let free_c t cu addr =
   let ci = class_index ~size_class in
   bin_push t t.recycle.(tid).(ci) addr;
   let st = Heap.Cursor.stats cu in
-  st.frees <- st.frees + 1
+  st.frees <- st.frees + 1;
+  if Heap.observed t.heap then Heap.annotate t.heap ~tid (Heap.A_free { addr })
 
 let free t ~tid addr = free_c t (Heap.cursor t.heap ~tid) addr
 

@@ -1,0 +1,143 @@
+(** Exhaustive crash-state enumeration: see the interface for the model.
+
+    Each trip point gets a fresh instance replaying the same scripted
+    history, so the only moving part across trips is where the crash lands.
+    Enumeration then brackets every iteration with [Heap.restore], making
+    the 2^n recoveries independent. The sanitizer proper is never attached
+    here: recovery legitimately breaks the runtime protocol, and the heap
+    under enumeration must behave exactly as in production. *)
+
+open Nvm
+
+type result = {
+  trips_attempted : int;
+  crashes : int;
+  states_checked : int;
+  skipped_large : int;
+  max_dirty_seen : int;
+  violations : string list;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d trips (%d crashed), %d crash states recovered, %d skipped (> \
+     max-dirty), worst dirty-line count %d, %d violation(s)"
+    r.trips_attempted r.crashes r.states_checked r.skipped_large
+    r.max_dirty_seen (List.length r.violations)
+
+(* Deterministic xorshift so every trip replays the identical history. *)
+let next r =
+  let x = !r in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x9E3779B9 else x in
+  r := x;
+  x
+
+let value_for key = key + 1000
+
+(* Replay the scripted history on [inst], updating [model] only for
+   operations that complete. Returns the key of the operation in flight when
+   the trip fired, if it fired. *)
+let replay inst ~model ~ops_per_trip ~key_range ~seed =
+  let ops = inst.Harness.Instance.ops in
+  let rng = ref seed in
+  let crashed_on = ref None in
+  (try
+     for _ = 1 to ops_per_trip do
+       let k = 1 + (next rng mod key_range) in
+       let pick = next rng mod 10 in
+       crashed_on := Some k;
+       if pick < 5 then begin
+         if ops.insert ~tid:0 ~key:k ~value:(value_for k) then
+           Hashtbl.replace model k (value_for k)
+       end
+       else if pick < 8 then begin
+         if ops.remove ~tid:0 ~key:k then Hashtbl.remove model k
+       end
+       else ignore (ops.search ~tid:0 ~key:k);
+       crashed_on := None
+     done;
+     None
+   with Heap.Crashed -> Some (Option.value !crashed_on ~default:(-1)))
+
+let run ?(flavor = Harness.Instance.Lp) ?(ops_per_trip = 48) ?(key_range = 48)
+    ?(trip_start = 1) ?(trip_stop = 600) ?(trip_step = 7) ?(max_dirty = 10)
+    ?(max_reports = 32) ?(seed = 0x5EED) ~structure () =
+  let trips_attempted = ref 0 in
+  let crashes = ref 0 in
+  let states_checked = ref 0 in
+  let skipped_large = ref 0 in
+  let max_dirty_seen = ref 0 in
+  let violations = ref [] in
+  let nviol = ref 0 in
+  let report msg =
+    incr nviol;
+    if !nviol <= max_reports then violations := msg :: !violations
+  in
+  let trip = ref trip_start in
+  while !trip <= trip_stop do
+    incr trips_attempted;
+    let inst =
+      Harness.Instance.create ~nthreads:1 ~size_hint:key_range
+        ~heap_words:(1 lsl 15) ~apt_entries:64 ~hash_buckets:64
+        ~skiplist_levels:8 ~structure ~flavor ()
+    in
+    let heap = Lfds.Ctx.heap inst.Harness.Instance.ctx in
+    let model = Hashtbl.create 64 in
+    Heap.set_trip heap !trip;
+    (match replay inst ~model ~ops_per_trip ~key_range ~seed with
+    | None -> Heap.disarm_trip heap (* wire past the end of the script *)
+    | Some inflight ->
+        incr crashes;
+        let snap = Heap.snapshot heap in
+        let dirty = Array.of_list (Heap.dirty_lines heap) in
+        let n = Array.length dirty in
+        if n > !max_dirty_seen then max_dirty_seen := n;
+        if n > max_dirty then incr skipped_large
+        else
+          for mask = 0 to (1 lsl n) - 1 do
+            Heap.restore heap snap;
+            Heap.crash_with heap ~keep:(fun line ->
+                let rec idx i =
+                  if i >= n then -1
+                  else if dirty.(i) = line then i
+                  else idx (i + 1)
+                in
+                let i = idx 0 in
+                i >= 0 && mask land (1 lsl i) <> 0);
+            let rec_inst, _dt, _freed = Harness.Instance.recover_only inst in
+            incr states_checked;
+            let rops = rec_inst.Harness.Instance.ops in
+            for k = 1 to key_range do
+              let expected = Hashtbl.find_opt model k in
+              let got = rops.search ~tid:0 ~key:k in
+              if expected <> got && k <> inflight then
+                report
+                  (Printf.sprintf
+                     "%s/%s trip %d mask %#x: key %d %s after recovery \
+                      (expected %s), in-flight key was %d"
+                     (Harness.Instance.structure_name structure)
+                     (Harness.Instance.flavor_name flavor)
+                     !trip mask k
+                     (match got with
+                     | Some v -> Printf.sprintf "= %d" v
+                     | None -> "missing")
+                     (match expected with
+                     | Some v -> string_of_int v
+                     | None -> "absent")
+                     inflight)
+            done
+          done);
+    trip := !trip + trip_step
+  done;
+  {
+    trips_attempted = !trips_attempted;
+    crashes = !crashes;
+    states_checked = !states_checked;
+    skipped_large = !skipped_large;
+    max_dirty_seen = !max_dirty_seen;
+    violations = List.rev !violations;
+  }

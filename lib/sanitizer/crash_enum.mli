@@ -1,0 +1,47 @@
+(** Exhaustive small-scope crash-state checking (NVSan checker 3).
+
+    A crash leaves each dirty cache line independently either evicted to
+    NVRAM or lost — the program does not control eviction order. For a given
+    pre-crash instant with [n] dirty lines there are therefore [2^n]
+    possible durable images. This module drives a deterministic
+    single-thread workload into a structure, trips a crash at a chosen
+    primitive count, and — when [n <= max_dirty] — materializes {e every}
+    one of the [2^n] images with {!Nvm.Heap.restore} + {!Nvm.Heap.crash_with},
+    runs full recovery on each, and checks {e prefix consistency}: the
+    recovered set must agree with the model of all completed operations,
+    with the single in-flight operation's key free to land either way.
+
+    The trip point slides along one fixed operation history (same seed every
+    trip), so successive trips probe successive instants of the same
+    execution. Instants with more than [max_dirty] dirty lines are counted
+    in [skipped_large] rather than sampled — the report never silently
+    pretends coverage it did not have. *)
+
+type result = {
+  trips_attempted : int;  (** trip points tried *)
+  crashes : int;  (** trips where the wire actually fired *)
+  states_checked : int;  (** durable images enumerated + recovered *)
+  skipped_large : int;  (** crashes with more dirty lines than [max_dirty] *)
+  max_dirty_seen : int;
+  violations : string list;  (** capped at [max_reports] *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Run the enumerator. Defaults: flavor [Lp] (the only flavor whose
+    completed operations are individually durable — link-cache buffers
+    them), 48 ops per trip over 48 keys, trip points 1, 8, 15, ... up to
+    600, [max_dirty] 10. *)
+val run :
+  ?flavor:Harness.Instance.flavor ->
+  ?ops_per_trip:int ->
+  ?key_range:int ->
+  ?trip_start:int ->
+  ?trip_stop:int ->
+  ?trip_step:int ->
+  ?max_dirty:int ->
+  ?max_reports:int ->
+  ?seed:int ->
+  structure:Harness.Instance.structure ->
+  unit ->
+  result

@@ -1,0 +1,482 @@
+(** NVSan implementation: shadow persist-state tracking plus the flush-order
+    and reclamation checkers. See the interface for the checker catalogue.
+
+    Everything here runs inside heap observer hooks, so the cardinal rules
+    are: never call a heap primitive (only [Heap.peek]), and keep every
+    update behind the one mutex. Events arrive {e after} the primitive
+    applied, so checks that need the pre-event shadow run before the shadow
+    is updated. *)
+
+open Nvm
+
+type vclass = Flush_order | Reclamation
+
+let vclass_name = function
+  | Flush_order -> "flush-order"
+  | Reclamation -> "reclamation"
+
+type violation = {
+  vclass : vclass;
+  code : string;
+  addr : int;
+  line : int;
+  line_state : string;
+  tid : int;
+  op_seq : int;
+  op_name : string;
+  detail : string;
+}
+
+type config = {
+  durable : bool;
+  strict_deref : bool;
+  root_limit : int;
+  max_violations : int;
+}
+
+let default_config ~durable =
+  { durable; strict_deref = false; root_limit = max_int; max_violations = 1000 }
+
+(* Shadow of one allocation, keyed by base address in [nodes]. [published]
+   flips when a CAS installs the node's address in a link outside it;
+   [reclaim_ok] flips when an A_reclaim annotation presents a safe epoch
+   snapshot covering the node. A freed record stays in the table (edges and
+   ownership already scrubbed) until the slot is reallocated. *)
+type node = {
+  base : int;
+  size : int;
+  mutable published : bool;
+  mutable retired : bool;
+  mutable freed : bool;
+  mutable reclaim_ok : bool;
+}
+
+type t = {
+  heap : Heap.t;
+  cfg : config;
+  lock : Mutex.t;
+  mutable is_active : bool;
+  line_state : Bytes.t;  (* '\000' clean | '\001' dirty | '\002' wb-pending *)
+  word_synced : Bytes.t;  (* '\001' iff durable image known to hold the word *)
+  last_tid : int array;
+  last_op : int array;
+  word_owner : int array;  (* owning node base, or -1 for roots/static *)
+  nodes : (int, node) Hashtbl.t;
+  incoming : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* node base -> links *)
+  lc_registered : (int, unit) Hashtbl.t;  (* links owned by link-cache entries *)
+  op_seq : int array;  (* per tid *)
+  op_name : string array;  (* per tid *)
+  deref_watch : (int, int) Hashtbl.t array;
+      (* per tid: node base -> marked link it was reached through *)
+  mutable viols : violation list;  (* newest first; reversed on read *)
+  mutable nviols : int;
+  mutable ndropped : int;
+}
+
+let wpl = Cacheline.words_per_line
+let ntids = Pstats.max_threads
+let addr_part = Marked_ptr.addr
+
+let state_name t line =
+  match Bytes.get t.line_state line with
+  | '\000' -> "clean"
+  | '\001' -> "dirty"
+  | _ -> "wb-pending"
+
+let report t ~vclass ~code ~addr ~tid detail =
+  if t.nviols >= t.cfg.max_violations then t.ndropped <- t.ndropped + 1
+  else begin
+    let line = addr / wpl in
+    t.viols <-
+      {
+        vclass;
+        code;
+        addr;
+        line;
+        line_state = state_name t line;
+        tid;
+        op_seq = t.op_seq.(tid);
+        op_name = t.op_name.(tid);
+        detail;
+      }
+      :: t.viols;
+    t.nviols <- t.nviols + 1
+  end
+
+(* ---- reachability edges ----------------------------------------------- *)
+
+let incoming_of t base =
+  match Hashtbl.find_opt t.incoming base with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.incoming base h;
+      h
+
+let remove_edge t ~link ~target =
+  match Hashtbl.find_opt t.incoming target with
+  | Some h -> Hashtbl.remove h link
+  | None -> ()
+
+(* Is [link] a word that can legitimately hold a structure pointer? Roots
+   and static slots live below [root_limit]; everything else must be inside
+   an allocated node. Allocator bitmaps, APT slots and log lines fail this
+   test — their integer payloads must not be read as mark-protocol traffic
+   or reachability edges. *)
+let pointer_bearing t link =
+  t.word_owner.(link) >= 0 || link < t.cfg.root_limit
+
+(* A written word is an edge iff it is pointer-bearing and its address part
+   is a tracked node base. Mark-only rewrites (same address part) leave the
+   edge untouched. *)
+let update_edges t ~link ~old_v ~new_v =
+  if pointer_bearing t link then begin
+    let ob = addr_part old_v and nb = addr_part new_v in
+    if ob <> nb then begin
+      if Hashtbl.mem t.nodes ob then remove_edge t ~link ~target:ob;
+      if Hashtbl.mem t.nodes nb then Hashtbl.replace (incoming_of t nb) link ()
+    end
+  end
+
+(* Shadow update shared by store / CAS / fetch-add, after all pre-checks. *)
+let record_write t ~tid ~addr ~old_v ~new_v =
+  Bytes.unsafe_set t.word_synced addr '\000';
+  Bytes.unsafe_set t.line_state (addr / wpl) '\001';
+  t.last_tid.(addr) <- tid;
+  t.last_op.(addr) <- t.op_seq.(tid);
+  update_edges t ~link:addr ~old_v ~new_v
+
+(* ---- flush-order checkers --------------------------------------------- *)
+
+(* FO1 — publish-unpersisted. Marking [n] published also publishes, via the
+   volatile image, every private allocation it points at (a BST publish of
+   an internal node carries its fresh leaf): the fence that covered the
+   parent must have covered them too, so each gets the same span check. *)
+let rec publish t ~tid n =
+  if not n.published then begin
+    n.published <- true;
+    if t.cfg.durable then begin
+      let unsynced = ref 0 and first = ref (-1) in
+      for w = n.base to n.base + n.size - 1 do
+        if Bytes.get t.word_synced w = '\000' then begin
+          incr unsynced;
+          if !first < 0 then first := w
+        end
+      done;
+      if !unsynced > 0 then
+        report t ~vclass:Flush_order ~code:"publish-unpersisted" ~addr:!first
+          ~tid
+          (Printf.sprintf
+             "node %d published with %d word(s) never written back + fenced \
+              (first: %d)"
+             n.base !unsynced !first)
+    end;
+    for w = n.base to n.base + n.size - 1 do
+      match Hashtbl.find_opt t.nodes (addr_part (Heap.peek t.heap w)) with
+      | Some m when (not m.freed) && not m.published -> publish t ~tid m
+      | _ -> ()
+    done
+  end
+
+(* Is a CAS of [desired] into [link] a first publish? Only when the target
+   is a tracked, private allocation and the link itself lives outside it, in
+   a root/static slot or a live published node — a store into one private
+   node pointing at another stays private. *)
+let cas_publishes t ~link ~desired =
+  if not (pointer_bearing t link) then None
+  else
+    match Hashtbl.find_opt t.nodes (addr_part desired) with
+    | Some n when (not n.freed) && not n.published -> (
+        match t.word_owner.(link) with
+        | -1 -> Some n
+        | src when src = n.base -> None
+        | src -> (
+            match Hashtbl.find_opt t.nodes src with
+            | Some s when s.published && not s.freed -> Some n
+            | Some _ -> None
+            | None -> Some n))
+    | _ -> None
+
+let on_cas t ~tid ~addr ~expected ~desired =
+  (match cas_publishes t ~link:addr ~desired with
+  | Some n ->
+      (* FO3 — in durable modes the publishing CAS must announce itself with
+         the unflushed mark so concurrent readers can help persist it. *)
+      if t.cfg.durable && not (Marked_ptr.is_unflushed desired) then
+        report t ~vclass:Flush_order ~code:"publish-unmarked" ~addr ~tid
+          (Printf.sprintf
+             "link %d published node %d with a plain CAS (no unflushed mark)"
+             addr n.base);
+      publish t ~tid n
+  | None -> ());
+  (* FO2 — clear-unsynced: dropping the unflushed mark asserts the link is
+     durable, which needs either a program-ordered drain of its line or a
+     link-cache entry owning it. The [durable_load] guard covers the
+     cross-thread event-order inversion where a helper's fence drained the
+     line but its drain event lost the race to this CAS event: if the marked
+     value did reach NVRAM, the clear was justified. *)
+  if
+    t.cfg.durable
+    && Marked_ptr.is_unflushed expected
+    && (not (Marked_ptr.is_unflushed desired))
+    && addr_part expected = addr_part desired
+    && pointer_bearing t addr
+    && Bytes.get t.word_synced addr = '\000'
+    && (not (Hashtbl.mem t.lc_registered addr))
+    && Heap.durable_load t.heap addr <> expected
+  then
+    report t ~vclass:Flush_order ~code:"clear-unsynced" ~addr ~tid
+      (Printf.sprintf
+         "unflushed mark on link %d cleared before its line was written back \
+          + fenced"
+         addr);
+  record_write t ~tid ~addr ~old_v:expected ~new_v:desired
+
+(* Strict-deref: remember each marked link value a thread reads; a later
+   load inside the pointed-to node, while the link is still unsynced and
+   still marked, walked through an unpersisted link. Single-domain only. *)
+let on_load t ~tid ~addr ~value =
+  let w = t.deref_watch.(tid) in
+  (match t.word_owner.(addr) with
+  | -1 -> ()
+  | owner -> (
+      match Hashtbl.find_opt w owner with
+      | None -> ()
+      | Some link ->
+          if
+            Bytes.get t.word_synced link = '\000'
+            && Marked_ptr.is_unflushed (Heap.peek t.heap link)
+            && not (Hashtbl.mem t.lc_registered link)
+          then
+            report t ~vclass:Flush_order ~code:"deref-marked" ~addr:link ~tid
+              (Printf.sprintf
+                 "load of %d dereferences node %d through link %d, still \
+                  marked unflushed and never persisted"
+                 addr owner link);
+          Hashtbl.remove w owner));
+  if Marked_ptr.is_unflushed value && pointer_bearing t addr then begin
+    let b = addr_part value in
+    if Hashtbl.mem t.nodes b then Hashtbl.replace w b addr
+  end
+
+(* ---- reclamation checkers --------------------------------------------- *)
+
+let on_alloc t addr size =
+  let n =
+    { base = addr; size; published = false; retired = false; freed = false;
+      reclaim_ok = false }
+  in
+  Hashtbl.replace t.nodes addr n;
+  (match Hashtbl.find_opt t.incoming addr with
+  | Some h -> Hashtbl.reset h
+  | None -> ());
+  (* The slot's previous occupant may have left words volatile-only; the new
+     owner is only accountable for words it writes itself, so the span
+     starts synced. *)
+  for w = addr to addr + size - 1 do
+    Bytes.unsafe_set t.word_synced w '\001';
+    t.word_owner.(w) <- addr
+  done
+
+let on_free t ~tid addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | None -> ()
+  | Some n ->
+      if not n.freed then begin
+        (* R1a — every legitimate free of a published node goes through a
+           reclamation generation, which proves its grace period first. *)
+        if n.published && not n.reclaim_ok then
+          report t ~vclass:Reclamation ~code:"free-live" ~addr ~tid
+            (Printf.sprintf
+               "node %d freed while published, with no safe reclamation \
+                evidence%s"
+               addr
+               (if n.retired then " (retired but grace period not proven)"
+                else ""));
+        (* R1b — a freed node must not stay reachable: check every recorded
+           incoming link that still points here against its source. *)
+        (match Hashtbl.find_opt t.incoming addr with
+        | None -> ()
+        | Some h ->
+            Hashtbl.iter
+              (fun l () ->
+                if addr_part (Heap.peek t.heap l) = addr then begin
+                  let live =
+                    match t.word_owner.(l) with
+                    | -1 -> true
+                    | src -> (
+                        match Hashtbl.find_opt t.nodes src with
+                        | Some s -> s.published && (not s.retired) && not s.freed
+                        | None -> true)
+                  in
+                  if live then
+                    report t ~vclass:Reclamation ~code:"free-reachable"
+                      ~addr:l ~tid
+                      (Printf.sprintf
+                         "node %d freed while still reachable through live \
+                          link %d"
+                         addr l)
+                end)
+              h;
+            Hashtbl.reset h);
+        (* Scrub the node's own outgoing edges before releasing ownership,
+           or its targets would later blame a root/static source. *)
+        for w = addr to addr + n.size - 1 do
+          let b = addr_part (Heap.peek t.heap w) in
+          if b <> addr then remove_edge t ~link:w ~target:b;
+          t.word_owner.(w) <- -1
+        done;
+        n.freed <- true
+      end
+
+let on_retire t ~tid addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | None -> ()
+  | Some n ->
+      if not n.published then
+        report t ~vclass:Reclamation ~code:"retire-unpublished" ~addr ~tid
+          (Printf.sprintf "node %d retired but was never published" addr);
+      n.retired <- true
+
+(* R2 — a generation is safe iff no thread still sits inside (odd counter)
+   the epoch it held when the generation was sealed; mirror of
+   [Epoch.safe]. *)
+let on_reclaim t ~tid ~nodes ~snapshot ~current =
+  let unsafe = ref (-1) in
+  Array.iteri
+    (fun i s ->
+      if
+        !unsafe < 0 && s land 1 = 1
+        && i < Array.length current
+        && current.(i) = s
+      then unsafe := i)
+    snapshot;
+  if !unsafe >= 0 then
+    report t ~vclass:Reclamation ~code:"reclaim-early"
+      ~addr:(match nodes with a :: _ -> a | [] -> 0)
+      ~tid
+      (Printf.sprintf
+         "generation of %d node(s) freed while tid %d is still inside epoch \
+          %d"
+         (List.length nodes) !unsafe snapshot.(!unsafe));
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt t.nodes a with
+      | Some n -> n.reclaim_ok <- true
+      | None -> ())
+    nodes
+
+(* ---- event dispatch --------------------------------------------------- *)
+
+let on_drain t line reason =
+  Bytes.unsafe_set t.line_state line '\000';
+  match reason with
+  | Heap.Drain_fence | Heap.Drain_clflush | Heap.Drain_shutdown ->
+      for w = line * wpl to (line * wpl) + wpl - 1 do
+        Bytes.unsafe_set t.word_synced w '\001'
+      done;
+      if Hashtbl.length t.lc_registered > 0 then begin
+        let stale =
+          Hashtbl.fold
+            (fun l () acc -> if l / wpl = line then l :: acc else acc)
+            t.lc_registered []
+        in
+        List.iter (Hashtbl.remove t.lc_registered) stale
+      end
+  | Heap.Drain_overflow | Heap.Drain_crash ->
+      (* Durable by luck: the data reached NVRAM, but the program never
+         ordered it, so it earns no protocol credit. *)
+      ()
+
+let on_note t ~tid note =
+  match note with
+  | Heap.A_alloc { addr; size_class } -> on_alloc t addr size_class
+  | Heap.A_free { addr } -> on_free t ~tid addr
+  | Heap.A_retire { addr } -> on_retire t ~tid addr
+  | Heap.A_reclaim { nodes; snapshot; current } ->
+      on_reclaim t ~tid ~nodes ~snapshot ~current
+  | Heap.A_lc_register { link } -> Hashtbl.replace t.lc_registered link ()
+  | Heap.A_op_begin { name } ->
+      t.op_seq.(tid) <- t.op_seq.(tid) + 1;
+      t.op_name.(tid) <- name;
+      Hashtbl.reset t.deref_watch.(tid)
+  | Heap.A_op_end -> ()
+
+let handle t ev =
+  match ev with
+  | Heap.Ev_load { tid; addr; value } ->
+      if t.cfg.strict_deref && t.cfg.durable then on_load t ~tid ~addr ~value
+  | Heap.Ev_store { tid; addr; value; old } ->
+      record_write t ~tid ~addr ~old_v:old ~new_v:value
+  | Heap.Ev_cas { tid; addr; expected; desired; success } ->
+      if success then on_cas t ~tid ~addr ~expected ~desired
+  | Heap.Ev_write_back { tid = _; addr } ->
+      let line = addr / wpl in
+      if Bytes.get t.line_state line = '\001' then
+        Bytes.unsafe_set t.line_state line '\002'
+  | Heap.Ev_fence _ -> ()
+  | Heap.Ev_drain { line; reason } -> on_drain t line reason
+  | Heap.Ev_crash ->
+      (* Recovery rewrites links and frees reachable nodes outside the
+         runtime protocol; stop judging. *)
+      t.is_active <- false
+  | Heap.Ev_note { tid; note } -> on_note t ~tid note
+
+let on_event t ev =
+  Mutex.lock t.lock;
+  (try if t.is_active then handle t ev
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+let attach ?config heap =
+  let cfg = match config with Some c -> c | None -> default_config ~durable:true in
+  let size = Heap.size_words heap in
+  let t =
+    {
+      heap;
+      cfg;
+      lock = Mutex.create ();
+      is_active = true;
+      line_state = Bytes.make ((size + wpl - 1) / wpl) '\000';
+      word_synced = Bytes.make size '\001';
+      last_tid = Array.make size (-1);
+      last_op = Array.make size 0;
+      word_owner = Array.make size (-1);
+      nodes = Hashtbl.create 1024;
+      incoming = Hashtbl.create 1024;
+      lc_registered = Hashtbl.create 64;
+      op_seq = Array.make ntids 0;
+      op_name = Array.make ntids "?";
+      deref_watch = Array.init ntids (fun _ -> Hashtbl.create 8);
+      viols = [];
+      nviols = 0;
+      ndropped = 0;
+    }
+  in
+  Heap.set_observer heap (Some (on_event t));
+  t
+
+let detach t = Heap.clear_observer t.heap
+let violations t = List.rev t.viols
+let violation_count t = t.nviols
+let dropped t = t.ndropped
+let active t = t.is_active
+
+let clear t =
+  Mutex.lock t.lock;
+  t.viols <- [];
+  t.nviols <- 0;
+  t.ndropped <- 0;
+  Mutex.unlock t.lock
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "[%s] %s: word %d (line %d, %s) tid %d op #%d %s — %s"
+    (vclass_name v.vclass) v.code v.addr v.line v.line_state v.tid v.op_seq
+    v.op_name v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v

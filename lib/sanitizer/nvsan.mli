@@ -1,0 +1,95 @@
+(** NVSan: a crash-consistency sanitizer for the simulated NVM heap.
+
+    Attaches to a heap through the {!Nvm.Heap} observer hook and maintains a
+    shadow of the program's persist state: per cache line, whether it is
+    clean / dirty / write-back-pending; per word, whether the durable image
+    is known to hold the volatile value (only program-ordered drains —
+    fence, clflush, shutdown — earn that credit; overflow spills and crash
+    evictions are durable by luck) and which thread and operation last wrote
+    it. On top of the shadow run two online checker families:
+
+    {b Flush-order} — a link CAS must not publish a node whose words were
+    never written back and fenced ([publish-unpersisted]); in durable modes
+    the publishing CAS must carry the link-and-persist unflushed mark
+    ([publish-unmarked]); clearing an unflushed mark requires the link's
+    line to have drained first, unless a link-cache entry registered
+    ownership of the link's durability ([clear-unsynced]); and, under
+    [strict_deref], no load may walk through a still-marked, still-unsynced
+    link into the node it points at ([deref-marked]).
+
+    {b Reclamation} — freeing a node that is published and was never proven
+    safe to reclaim ([free-live]); freeing a node still pointed to by a
+    root, a static slot or a live published node ([free-reachable]);
+    retiring a node that was never published ([retire-unpublished]); and
+    freeing a reclamation generation whose epoch snapshot is not yet safe —
+    some thread still sits in the epoch it held at seal time
+    ([reclaim-early]).
+
+    The third checker family, exhaustive crash-state enumeration, lives in
+    {!Crash_enum} and runs on an unobserved heap.
+
+    Hook bodies serialize on an internal mutex, so multi-domain runs are
+    safe (and slow — the sanitizer is a testing tool, not a production
+    mode). The sanitizer deactivates itself when the heap crashes: recovery
+    code legitimately frees reachable nodes and rewrites links without the
+    runtime protocol. *)
+
+type vclass = Flush_order | Reclamation
+
+val vclass_name : vclass -> string
+
+type violation = {
+  vclass : vclass;
+  code : string;  (** stable identifier, e.g. ["publish-unpersisted"] *)
+  addr : int;  (** offending word *)
+  line : int;  (** its cache line *)
+  line_state : string;  (** shadow line state at report time *)
+  tid : int;  (** acting thread *)
+  op_seq : int;  (** per-thread operation sequence number *)
+  op_name : string;  (** enclosing operation, ["?"] outside any *)
+  detail : string;
+}
+
+type config = {
+  durable : bool;
+      (** expect the link-and-persist protocol (false for Volatile runs:
+          flush-order checkers off, reclamation checkers stay on) *)
+  strict_deref : bool;
+      (** flag loads that walk through a still-unpersisted marked link.
+          Sound only single-domain: concurrent traversals legitimately read
+          links another thread has marked but not yet persisted. *)
+  root_limit : int;
+      (** only words below this address, or inside allocated nodes, are
+          treated as structure links (pass [Lfds.Ctx.static_limit]).
+          Allocator bitmaps and other bookkeeping words above it are CASed
+          with integer payloads that would otherwise fake mark-protocol
+          traffic and reachability edges. Default: no limit. *)
+  max_violations : int;  (** recording cap; the rest are only counted *)
+}
+
+val default_config : durable:bool -> config
+
+type t
+
+(** Attach a sanitizer to [heap] (replaces any current observer). Attach at
+    a quiescent point, before the workload under test. *)
+val attach : ?config:config -> Nvm.Heap.t -> t
+
+(** Detach from the heap (clears the observer). Recorded violations remain
+    readable. *)
+val detach : t -> unit
+
+(** Recorded violations, oldest first. *)
+val violations : t -> violation list
+
+val violation_count : t -> int
+
+(** Violations beyond [max_violations], counted but not recorded. *)
+val dropped : t -> int
+
+(** Whether the sanitizer is still checking (false after a heap crash). *)
+val active : t -> bool
+
+val clear : t -> unit
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string

@@ -1,0 +1,163 @@
+(** Bug-injection corpus: a single-threaded sorted list that follows the
+    durable-list protocol {e except} for one chosen, deliberately wrong
+    step. Each [bug] variant reproduces a real crash-consistency mistake a
+    programmer could make against the link-and-persist discipline; NVSan
+    must flag every one with the right violation class. The list shares the
+    real node layout and drives the real allocator / epoch machinery so the
+    sanitizer sees authentic annotations.
+
+    Never use outside the sanitizer regression tests. *)
+
+open Nvm
+open Lfds
+
+type bug =
+  | Drop_write_back  (** publish a node whose lines were never written back *)
+  | Skip_fence  (** write the node back but never await the write-back *)
+  | Plain_cas  (** publish with an unmarked CAS (no link-and-persist mark) *)
+  | Clear_without_persist
+      (** marked publish, mark cleared with no persist in between *)
+  | Leave_marked  (** marked publish, mark never cleared nor persisted *)
+  | Early_free  (** durably unlink, then free with no grace period *)
+  | Free_reachable  (** free the node while the list still points at it *)
+
+let bug_name = function
+  | Drop_write_back -> "drop-write-back"
+  | Skip_fence -> "skip-fence"
+  | Plain_cas -> "plain-cas"
+  | Clear_without_persist -> "clear-without-persist"
+  | Leave_marked -> "leave-marked"
+  | Early_free -> "early-free"
+  | Free_reachable -> "free-reachable"
+
+let all_bugs =
+  [
+    Drop_write_back;
+    Skip_fence;
+    Plain_cas;
+    Clear_without_persist;
+    Leave_marked;
+    Early_free;
+    Free_reachable;
+  ]
+
+let size_class = Cacheline.words_per_line
+let key_of node = node
+let value_of node = node + 1
+let next_of node = node + 2
+
+(* Single-threaded find: the link holding the first node with key >= k, and
+   that node (0 if none). No helping, no marks expected on the way. *)
+let find cu ~head k =
+  let rec step link =
+    let curr = Marked_ptr.addr (Heap.Cursor.load cu link) in
+    if curr = 0 then (link, 0)
+    else if Heap.Cursor.load cu (key_of curr) >= k then (link, curr)
+    else step (next_of curr)
+  in
+  step head
+
+let search_c cu ~head ~key =
+  let _, curr = find cu ~head key in
+  if curr <> 0 && Heap.Cursor.load cu (key_of curr) = key then
+    Some (Heap.Cursor.load cu (value_of curr))
+  else None
+
+(** Insert following the real protocol, except where [bug] says otherwise.
+    [bug = None] is the faithful path. *)
+let insert_c ctx cu ?bug ~head ~key ~value () =
+  let link, curr = find cu ~head key in
+  if curr <> 0 && Heap.Cursor.load cu (key_of curr) = key then false
+  else begin
+    let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+    Heap.Cursor.store cu (key_of node) key;
+    Heap.Cursor.store cu (value_of node) value;
+    Heap.Cursor.store cu (next_of node) curr;
+    (match bug with
+    | Some Drop_write_back -> ()
+    | Some Skip_fence -> Heap.Cursor.write_back cu node
+    | _ -> Link_persist.persist_node_c ctx cu ~addr:node ~size_class);
+    (match bug with
+    | Some Plain_cas -> ignore (Heap.Cursor.cas cu link ~expected:curr ~desired:node)
+    | Some Leave_marked ->
+        ignore
+          (Heap.Cursor.cas cu link ~expected:curr
+             ~desired:(Marked_ptr.with_unflushed node))
+    | Some Clear_without_persist ->
+        let marked = Marked_ptr.with_unflushed node in
+        ignore (Heap.Cursor.cas cu link ~expected:curr ~desired:marked);
+        ignore (Heap.Cursor.cas cu link ~expected:marked ~desired:node)
+    | _ ->
+        ignore
+          (Link_persist.cas_link_c ctx cu ~key ~link ~expected:curr
+             ~desired:node));
+    true
+  end
+
+(** Remove following the real protocol (durable mark, unlink, retire),
+    except where [bug] says otherwise. *)
+let remove_c ctx cu ?bug ~head ~key () =
+  let link, curr = find cu ~head key in
+  if curr = 0 || Heap.Cursor.load cu (key_of curr) <> key then false
+  else begin
+    (match bug with
+    | Some Free_reachable ->
+        (* "Forgot" the unlink entirely: pred still points at the corpse. *)
+        Nvalloc.free_c (Ctx.allocator ctx) cu curr
+    | Some Early_free ->
+        let nv = Heap.Cursor.load cu (next_of curr) in
+        ignore
+          (Link_persist.cas_link_c ctx cu ~key ~link:(next_of curr)
+             ~expected:nv ~desired:(Marked_ptr.with_delete nv));
+        ignore
+          (Link_persist.cas_link_c ctx cu ~key ~link ~expected:curr
+             ~desired:(Marked_ptr.addr nv));
+        (* No retire, no grace period: straight back to the allocator. *)
+        Nvalloc.free_c (Ctx.allocator ctx) cu curr
+    | _ ->
+        let nv = Heap.Cursor.load cu (next_of curr) in
+        ignore
+          (Link_persist.cas_link_c ctx cu ~key ~link:(next_of curr)
+             ~expected:nv ~desired:(Marked_ptr.with_delete nv));
+        ignore
+          (Link_persist.cas_link_c ctx cu ~key ~link ~expected:curr
+             ~desired:(Marked_ptr.addr nv));
+        Nv_epochs.retire_node_c (Ctx.mem ctx) cu curr);
+    true
+  end
+
+(** Run the scenario exercising [bug] on a fresh context: a few faithful
+    operations for setup, the buggy one in the middle, and a traversal after
+    (the deref checkers need a subsequent reader). The list hangs off root
+    slot 0. *)
+let run_scenario ctx bug =
+  let head = Ctx.root_slot ctx 0 in
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let op name f = Ctx.with_op_c ~name ctx cu f in
+  match bug with
+  | Drop_write_back | Skip_fence | Plain_cas | Clear_without_persist
+  | Leave_marked ->
+      ignore
+        (op "bad.insert" (fun cu ->
+             insert_c ctx cu ~head ~key:30 ~value:300 ()));
+      ignore
+        (op "bad.insert" (fun cu ->
+             insert_c ctx cu ~bug ~head ~key:10 ~value:100 ()));
+      ignore (op "bad.search" (fun cu -> search_c cu ~head ~key:10))
+  | Early_free | Free_reachable ->
+      ignore
+        (op "bad.insert" (fun cu ->
+             insert_c ctx cu ~head ~key:10 ~value:100 ()));
+      ignore
+        (op "bad.insert" (fun cu ->
+             insert_c ctx cu ~head ~key:20 ~value:200 ()));
+      ignore (op "bad.remove" (fun cu -> remove_c ctx cu ~bug ~head ~key:10 ()))
+
+(** The violation code NVSan must produce for each bug. *)
+let expected_code = function
+  | Drop_write_back | Skip_fence -> "publish-unpersisted"
+  | Plain_cas -> "publish-unmarked"
+  | Clear_without_persist -> "clear-unsynced"
+  | Leave_marked -> "deref-marked"
+  | Early_free -> "free-live"
+  | Free_reachable -> "free-reachable"

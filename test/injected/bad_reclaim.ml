@@ -1,0 +1,30 @@
+(** Bug-injection corpus, reclamation variant: free retired nodes while
+    another thread still sits inside the epoch it held when they were
+    sealed — exactly the premature reclamation the NV-epochs grace period
+    exists to prevent. Uses [Nv_epochs.free_unsafely_c], the deliberate
+    grace-period bypass. NVSan must flag it as [reclaim-early].
+
+    Never use outside the sanitizer regression tests. *)
+
+open Lfds
+
+(** Needs a context with [nthreads >= 2]: tid 1 parks inside an epoch while
+    tid 0 retires a node and then reclaims it anyway. *)
+let run_scenario ctx =
+  let mem = Ctx.mem ctx in
+  let head = Ctx.root_slot ctx 0 in
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let op name f = Ctx.with_op_c ~name ctx cu f in
+  ignore
+    (op "reclaim.insert" (fun cu ->
+         Bad_list.insert_c ctx cu ~head ~key:10 ~value:100 ()));
+  (* tid 1 enters an epoch and stays there — a reader mid-traversal. *)
+  Nv_epochs.op_begin mem ~tid:1;
+  ignore
+    (op "reclaim.remove" (fun cu -> Bad_list.remove_c ctx cu ~head ~key:10 ()));
+  (* The faithful path would wait for tid 1's epoch to move; the bug frees
+     the generation immediately. *)
+  Nv_epochs.free_unsafely_c mem cu;
+  Nv_epochs.op_end mem ~tid:1
+
+let expected_code = "reclaim-early"

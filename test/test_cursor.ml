@@ -148,6 +148,76 @@ let test_crash_injection () =
   Heap.Cursor.persist cu 200;
   check_int "usable after trip" 42 (Heap.durable_load h 200)
 
+(* --- Drain consistency under crashes and observer exceptions --- *)
+
+(* Invariant the sanitizer's shadow state relies on: whatever instant a trip
+   fires at, every line whose dirty bit is clear has volatile == durable for
+   all of its words. Sweep the trip point across a store/write-back/fence
+   workload and check the whole heap at each crash. *)
+let test_trip_sweep_consistency () =
+  let size_words = 4096 in
+  let wpl = Cacheline.words_per_line in
+  let check_clean_lines h =
+    for line = 0 to (size_words / wpl) - 1 do
+      if not (Heap.line_is_dirty h (line * wpl)) then
+        for w = line * wpl to ((line + 1) * wpl) - 1 do
+          if Heap.durable_load h w <> Heap.peek h w then
+            Alcotest.failf "clean line %d: volatile %d <> durable %d at %d"
+              line (Heap.peek h w) (Heap.durable_load h w) w
+        done
+    done
+  in
+  for trip = 1 to 120 do
+    let h = fresh_heap ~size_words () in
+    let cu = Heap.cursor h ~tid:0 in
+    Heap.set_trip h trip;
+    (try
+       for i = 0 to 199 do
+         let a = i * 11 mod size_words in
+         Heap.Cursor.store cu a i;
+         if i mod 3 = 0 then Heap.Cursor.write_back cu a;
+         if i mod 7 = 0 then Heap.Cursor.fence cu
+       done;
+       Heap.disarm_trip h
+     with Heap.Crashed -> ());
+    check_clean_lines h
+  done
+
+(* An observer that raises mid-drain (a fail-fast sanitizer aborting on a
+   violation) must not corrupt the cursor: the pending buffer is reset, the
+   per-line state stays consistent, and the cursor works afterwards. *)
+let test_observer_raise_mid_drain () =
+  let exception Abort in
+  let h = fresh_heap () in
+  let cu = Heap.cursor h ~tid:0 in
+  let drains = ref 0 in
+  Heap.set_observer h
+    (Some
+       (function
+       | Heap.Ev_drain _ ->
+           incr drains;
+           if !drains = 2 then raise Abort
+       | _ -> ()));
+  for i = 0 to 3 do
+    Heap.Cursor.store cu (i * Cacheline.words_per_line) i;
+    Heap.Cursor.write_back cu (i * Cacheline.words_per_line)
+  done;
+  let aborted = try Heap.Cursor.fence cu; false with Abort -> true in
+  check_bool "observer exception propagated" true aborted;
+  (* The interrupted drain forgot its pending write-backs... *)
+  check_int "pending reset" 0 (Heap.Cursor.pending_count cu);
+  (* ...and every clean line is volatile == durable. *)
+  Heap.clear_observer h;
+  for line = 0 to 3 do
+    let a = line * Cacheline.words_per_line in
+    if not (Heap.line_is_dirty h a) then
+      check_int "drained line durable" line (Heap.durable_load h a)
+  done;
+  (* The cursor remains fully usable. *)
+  Heap.Cursor.store cu 900 77;
+  Heap.Cursor.persist cu 900;
+  check_int "usable after abort" 77 (Heap.durable_load h 900)
+
 let () =
   Alcotest.run "cursor"
     [
@@ -167,5 +237,11 @@ let () =
             test_counter_equivalence;
         ] );
       ( "crash",
-        [ Alcotest.test_case "trip through cursor" `Quick test_crash_injection ] );
+        [
+          Alcotest.test_case "trip through cursor" `Quick test_crash_injection;
+          Alcotest.test_case "trip sweep: clean lines stay consistent" `Quick
+            test_trip_sweep_consistency;
+          Alcotest.test_case "observer raise mid-drain" `Quick
+            test_observer_raise_mid_drain;
+        ] );
     ]

@@ -1,0 +1,202 @@
+(* NVSan regression suite: the unmodified structures must come out clean
+   under the sanitizer (single-domain strict and 4-domain relaxed), every
+   injected bug must be flagged with the right violation class, and the
+   exhaustive crash-state enumerator must find all small-scope durable
+   images prefix-consistent. *)
+
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let nvsan_config ?(strict = false) ctx =
+  {
+    (Sanitizer.Nvsan.default_config ~durable:true) with
+    strict_deref = strict;
+    root_limit = Lfds.Ctx.static_limit ctx;
+  }
+
+let fail_on_violations tag san =
+  let vs = Sanitizer.Nvsan.violations san in
+  List.iter
+    (fun v ->
+      Printf.printf "%s: %s\n%!" tag (Sanitizer.Nvsan.violation_to_string v))
+    vs;
+  check_int (tag ^ ": violations") 0 (Sanitizer.Nvsan.violation_count san)
+
+(* ---- clean runs: no false positives on the real structures ------------- *)
+
+(* Single-domain, strict deref checking on: every marked link must be
+   persisted before anything it points to is dereferenced. *)
+let clean_single structure flavor () =
+  let inst = Tutil.mk ~size_hint:256 structure flavor in
+  let heap = Lfds.Ctx.heap inst.I.ctx in
+  let cfg =
+    match flavor with
+    | I.Volatile ->
+        { (nvsan_config inst.I.ctx) with durable = false }
+    | _ -> nvsan_config ~strict:true inst.I.ctx
+  in
+  let san = Sanitizer.Nvsan.attach ~config:cfg heap in
+  let rng = Workload.Xoshiro.make ~seed:7 in
+  for _ = 1 to 800 do
+    let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:96 in
+    match Workload.Xoshiro.below rng 10 with
+    | 0 | 1 | 2 | 3 -> ignore (inst.I.ops.insert ~tid:0 ~key ~value:key)
+    | 4 | 5 | 6 -> ignore (inst.I.ops.remove ~tid:0 ~key)
+    | _ -> ignore (inst.I.ops.search ~tid:0 ~key)
+  done;
+  Sanitizer.Nvsan.detach san;
+  fail_on_violations
+    (I.structure_name structure ^ "/" ^ I.flavor_name flavor)
+    san
+
+(* 4-domain contended run, relaxed (strict deref is single-domain only). *)
+let clean_multi structure () =
+  let nthreads = 4 in
+  let inst = Tutil.mk ~nthreads ~size_hint:256 structure I.Lp in
+  let heap = Lfds.Ctx.heap inst.I.ctx in
+  let san = Sanitizer.Nvsan.attach ~config:(nvsan_config inst.I.ctx) heap in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:(tid * 31 + 5) in
+    for _ = 1 to 400 do
+      let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:64 in
+      match Workload.Xoshiro.below rng 3 with
+      | 0 -> ignore (inst.I.ops.insert ~tid ~key ~value:key)
+      | 1 -> ignore (inst.I.ops.remove ~tid ~key)
+      | _ -> ignore (inst.I.ops.search ~tid ~key)
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  Sanitizer.Nvsan.detach san;
+  fail_on_violations (I.structure_name structure ^ "/4-domain") san
+
+(* ---- injected bugs: every variant must be flagged, correctly ----------- *)
+
+let injected_ctx ?(nthreads = 1) () =
+  Lfds.Ctx.create
+    { (Lfds.Ctx.default_config ()) with size_words = 1 lsl 18; nthreads }
+
+let injected_bug bug () =
+  let ctx = injected_ctx () in
+  let cfg = { (nvsan_config ~strict:true ctx) with root_limit = Lfds.Ctx.static_limit ctx } in
+  let san = Sanitizer.Nvsan.attach ~config:cfg (Lfds.Ctx.heap ctx) in
+  Injected.Bad_list.run_scenario ctx bug;
+  Sanitizer.Nvsan.detach san;
+  let want = Injected.Bad_list.expected_code bug in
+  let codes =
+    List.map (fun v -> v.Sanitizer.Nvsan.code) (Sanitizer.Nvsan.violations san)
+  in
+  check_bool
+    (Printf.sprintf "%s flagged as %s (got: %s)"
+       (Injected.Bad_list.bug_name bug)
+       want
+       (String.concat "," codes))
+    true
+    (List.mem want codes)
+
+let injected_reclaim () =
+  let ctx = injected_ctx ~nthreads:2 () in
+  let san =
+    Sanitizer.Nvsan.attach ~config:(nvsan_config ctx) (Lfds.Ctx.heap ctx)
+  in
+  Injected.Bad_reclaim.run_scenario ctx;
+  Sanitizer.Nvsan.detach san;
+  let codes =
+    List.map (fun v -> v.Sanitizer.Nvsan.code) (Sanitizer.Nvsan.violations san)
+  in
+  check_bool
+    (Printf.sprintf "reclaim-early flagged (got: %s)" (String.concat "," codes))
+    true
+    (List.mem Injected.Bad_reclaim.expected_code codes)
+
+(* The faithful path of the corpus list itself must be clean — otherwise the
+   bug assertions above prove nothing. *)
+let injected_baseline () =
+  let ctx = injected_ctx () in
+  let san =
+    Sanitizer.Nvsan.attach ~config:(nvsan_config ~strict:true ctx)
+      (Lfds.Ctx.heap ctx)
+  in
+  let head = Lfds.Ctx.root_slot ctx 0 in
+  let cu = Lfds.Ctx.cursor ctx ~tid:0 in
+  for k = 1 to 20 do
+    ignore
+      (Lfds.Ctx.with_op_c ~name:"good.insert" ctx cu (fun cu ->
+           Injected.Bad_list.insert_c ctx cu ~head ~key:k ~value:(k * 10) ()))
+  done;
+  for k = 1 to 20 do
+    if k mod 2 = 0 then
+      ignore
+        (Lfds.Ctx.with_op_c ~name:"good.remove" ctx cu (fun cu ->
+             Injected.Bad_list.remove_c ctx cu ~head ~key:k ()))
+  done;
+  for k = 1 to 20 do
+    let got =
+      Lfds.Ctx.with_op_c ~name:"good.search" ctx cu (fun cu ->
+          Injected.Bad_list.search_c cu ~head ~key:k)
+    in
+    let want = if k mod 2 = 0 then None else Some (k * 10) in
+    check_bool "corpus list semantics" true (got = want)
+  done;
+  Sanitizer.Nvsan.detach san;
+  fail_on_violations "corpus-baseline" san
+
+(* ---- crash-state enumeration ------------------------------------------ *)
+
+let enum structure ~trip_stop ~trip_step () =
+  let r =
+    Sanitizer.Crash_enum.run ~structure ~trip_start:3 ~trip_stop ~trip_step
+      ~max_dirty:10 ()
+  in
+  Printf.printf "%s: %s\n%!"
+    (I.structure_name structure)
+    (Format.asprintf "%a" Sanitizer.Crash_enum.pp_result r);
+  check_bool "some trips crashed" true (r.Sanitizer.Crash_enum.crashes > 0);
+  check_bool "some states enumerated" true
+    (r.Sanitizer.Crash_enum.states_checked > 0);
+  List.iter print_endline r.Sanitizer.Crash_enum.violations;
+  check_int "prefix-consistency violations" 0
+    (List.length r.Sanitizer.Crash_enum.violations)
+
+let all4 f flavor =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (I.structure_name s ^ "/" ^ I.flavor_name flavor)
+        `Quick (f s flavor))
+    [ I.List; I.Hash; I.Skiplist; I.Bst ]
+
+let () =
+  Alcotest.run "sanitizer"
+    [
+      ( "clean-single",
+        all4 clean_single I.Lp @ all4 clean_single I.Lc
+        @ all4 clean_single I.Volatile );
+      ( "clean-multi",
+        List.map
+          (fun s ->
+            Alcotest.test_case (I.structure_name s) `Slow (clean_multi s))
+          [ I.List; I.Hash; I.Skiplist; I.Bst ] );
+      ( "injected",
+        Alcotest.test_case "faithful baseline is clean" `Quick
+          injected_baseline
+        :: Alcotest.test_case "premature reclamation" `Quick injected_reclaim
+        :: List.map
+             (fun bug ->
+               Alcotest.test_case (Injected.Bad_list.bug_name bug) `Quick
+                 (injected_bug bug))
+             Injected.Bad_list.all_bugs );
+      ( "crash-enum",
+        [
+          Alcotest.test_case "list" `Quick
+            (enum I.List ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "hash" `Quick
+            (enum I.Hash ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "skiplist" `Slow
+            (enum I.Skiplist ~trip_stop:320 ~trip_step:13);
+          Alcotest.test_case "bst" `Slow
+            (enum I.Bst ~trip_stop:320 ~trip_step:13);
+        ] );
+    ]
