@@ -1,19 +1,28 @@
 (* Machine-readable bench output: collects flat records during a run and
    writes one JSON document at exit when [--json FILE] was given.
 
-   Schema ("nvlf-bench/1", also documented in EXPERIMENTS.md):
+   Schema ("nvlf-bench/2", also documented in EXPERIMENTS.md):
 
-   { "schema": "nvlf-bench/1",
+   { "schema": "nvlf-bench/2",
      "generated_unix": <float seconds since epoch>,
      "argv": [<string>...],
-     "records": [ { "kind": "throughput" | "ratio", ... } ... ] }
+     "records": [ { "kind": "throughput" | "ratio"
+                          | "latency" | "attribution", ... } ... ] }
 
    A "throughput" record carries experiment/structure/flavor/size/threads/
    mix/duration/write_ns/ops_per_s plus a "substrate" object with the
    heap's aggregate Pstats counters for the measured window. A "ratio"
    record relates one flavor's ops/s to the log-based baseline at the same
-   point. Values are flat so downstream tooling can load the file with any
-   JSON parser and pivot freely. *)
+   point. With --latency/--trace, a "latency" record per (point, op) holds
+   NVTrace percentiles (p50/p99/p999/mean/max ns) and an "attribution"
+   record the persistence-cost totals diffed at the op brackets. Values
+   are flat so downstream tooling can load the file with any JSON parser
+   and pivot freely.
+
+   /2 over /1: the substrate object grew link-cache / APT / epoch-stall
+   counters and derived rates (lc_hit_rate, lines_per_batch,
+   flushes_per_store, apt_hit_rate), and the latency/attribution kinds are
+   new; every /1 field is unchanged, so /1 consumers can read /2 files. *)
 
 type v = I of int | F of float | S of string | L of v list | O of (string * v) list
 
@@ -88,6 +97,18 @@ let substrate_fields (st : Nvm.Pstats.t) =
       ("sync_batches", I st.sync_batches);
       ("lines_drained", I st.lines_drained);
       ("log_entries", I st.log_entries);
+      ("lc_adds", I st.lc_adds);
+      ("lc_fails", I st.lc_fails);
+      ("lc_flushes", I st.lc_flushes);
+      ("apt_hits", I st.apt_hits);
+      ("apt_misses", I st.apt_misses);
+      ("allocs", I st.allocs);
+      ("frees", I st.frees);
+      ("epoch_stalls", I st.epoch_stalls);
+      ("lc_hit_rate", F (Nvm.Pstats.lc_hit_rate st));
+      ("lines_per_batch", F (Nvm.Pstats.lines_per_batch st));
+      ("flushes_per_store", F (Nvm.Pstats.flushes_per_store st));
+      ("apt_hit_rate", F (Nvm.Pstats.apt_hit_rate st));
     ]
 
 let write () =
@@ -97,7 +118,7 @@ let write () =
       let doc =
         O
           [
-            ("schema", S "nvlf-bench/1");
+            ("schema", S "nvlf-bench/2");
             ("generated_unix", F (Unix.gettimeofday ()));
             ("argv", L (Array.to_list (Array.map (fun s -> S s) Sys.argv)));
             ("records", L (List.rev !records));

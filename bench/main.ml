@@ -22,7 +22,30 @@ type opts = {
   write_ns : int;
   json : string option;
   sanitize : bool;
+  latency : bool;
+  trace : string option;
 }
+
+(* One Chrome trace builder per process when [--trace FILE] was given; each
+   traced throughput point lands under its own pid with a labelled track. *)
+let trace_builder : Trace.Chrome_trace.t option ref = ref None
+let trace_next_pid = ref 0
+
+let trace_builder_for opts =
+  match opts.trace with
+  | None -> None
+  | Some _ ->
+      (match !trace_builder with
+      | None -> trace_builder := Some (Trace.Chrome_trace.create ())
+      | Some _ -> ());
+      !trace_builder
+
+let write_trace opts =
+  match (opts.trace, !trace_builder) with
+  | Some path, Some b ->
+      Trace.Chrome_trace.write_file b path;
+      pr "wrote %d trace events to %s\n%!" (Trace.Chrome_trace.event_count b) path
+  | _ -> ()
 
 (* --write-ns 0 (the default) auto-calibrates the injected latency to this
    machine's simulated-heap load cost (see Harness.Calibrate). Memoized so
@@ -37,9 +60,93 @@ let latency opts =
   l.nvram_write_ns <- base_write_ns opts;
   l
 
+(* Per-(structure, op) latency percentiles and persistence-cost attribution
+   for one traced point: a text line per op with --latency, "latency" and
+   "attribution" JSON records with --json, and the point's retained spans
+   appended to the Chrome trace with --trace. *)
+let report_tracer opts tr ~structure ~flavor ~size ~nthreads ~mix_name =
+  let hists = Trace.Nvtrace.histograms tr in
+  let atts = Trace.Nvtrace.attribution tr in
+  let point_fields =
+    Json_out.
+      [
+        ("structure", S (I.structure_name structure));
+        ("flavor", S (I.flavor_name flavor));
+        ("size", I size);
+        ("threads", I nthreads);
+        ("mix", S mix_name);
+      ]
+  in
+  if opts.latency then
+    List.iter
+      (fun (op, h) ->
+        let open Trace.Nvtrace in
+        let a = List.assoc op atts in
+        let per v = float_of_int v /. float_of_int (max 1 a.ops) in
+        pr
+          "  latency %-18s n=%-9d p50=%-9s p99=%-9s p99.9=%-9s | wb/op %.2f \
+           fence/op %.2f lines/op %.2f\n"
+          op
+          (Histogram.count h)
+          (Report.human_ns (Histogram.percentile h 50.))
+          (Report.human_ns (Histogram.percentile h 99.))
+          (Report.human_ns (Histogram.percentile h 99.9))
+          (per a.a_write_backs) (per a.a_fences) (per a.a_lines_drained))
+      hists;
+  if Json_out.enabled () then begin
+    List.iter
+      (fun (op, h) ->
+        Json_out.add ~kind:"latency"
+          (point_fields
+          @ Json_out.
+              [
+                ("op", S op);
+                ("count", I (Histogram.count h));
+                ("p50_ns", F (Histogram.percentile h 50.));
+                ("p99_ns", F (Histogram.percentile h 99.));
+                ("p999_ns", F (Histogram.percentile h 99.9));
+                ("mean_ns", F (Histogram.mean h));
+                ("max_ns", F (Histogram.max_ns h));
+              ]))
+      hists;
+    List.iter
+      (fun (op, a) ->
+        let open Trace.Nvtrace in
+        Json_out.add ~kind:"attribution"
+          (point_fields
+          @ Json_out.
+              [
+                ("op", S op);
+                ("ops", I a.ops);
+                ("total_ns", F a.total_ns);
+                ("loads", I a.a_loads);
+                ("stores", I a.a_stores);
+                ("cas", I a.a_cas);
+                ("write_backs", I a.a_write_backs);
+                ("fences", I a.a_fences);
+                ("sync_batches", I a.a_sync_batches);
+                ("lines_drained", I a.a_lines_drained);
+                ("lc_adds", I a.a_lc_adds);
+                ("lc_fails", I a.a_lc_fails);
+                ( "wb_per_op",
+                  F (float_of_int a.a_write_backs /. float_of_int (max 1 a.ops)) );
+              ]))
+      atts
+  end;
+  match trace_builder_for opts with
+  | None -> ()
+  | Some b ->
+      let pid = !trace_next_pid in
+      incr trace_next_pid;
+      Trace.Chrome_trace.add_process b ~pid
+        ~name:
+          (Printf.sprintf "%s/%s size=%d t=%d %s" (I.structure_name structure)
+             (I.flavor_name flavor) size nthreads mix_name);
+      Trace.Chrome_trace.add_spans b ~pid (Trace.Nvtrace.spans tr)
+
 (* Build an instance, prefill to steady state, run the update workload, and
    return throughput (ops/s). With [--json] each point also records an
-   nvlf-bench/1 "throughput" record carrying the substrate counters of the
+   nvlf-bench/2 "throughput" record carrying the substrate counters of the
    measured window (stats are reset after prefill). *)
 let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthreads
     ~mix =
@@ -66,12 +173,23 @@ let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthre
   in
   Keygen.prefill inst.ops ~size ~seed:opts.seed;
   Nvm.Heap.reset_stats heap;
+  (* --latency / --trace: flight-record the measured window (post-prefill,
+     post-reset) so span attribution matches the substrate counters. *)
+  let tracer =
+    if opts.latency || opts.trace <> None then Some (Trace.Nvtrace.attach heap)
+    else None
+  in
   let range = Keygen.range_for ~size in
   let r =
     Run.throughput ~nthreads ~duration:opts.duration
       ~step:(Run.set_workload inst.ops ~mix ~range)
       ~seed:opts.seed ()
   in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.Nvtrace.detach tr;
+      report_tracer opts tr ~structure ~flavor ~size ~nthreads ~mix_name);
   (match san with
   | None -> ()
   | Some s ->
@@ -787,7 +905,7 @@ let opts_term =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Also write machine-readable results (schema nvlf-bench/1) to $(docv).")
+          ~doc:"Also write machine-readable results (schema nvlf-bench/2) to $(docv).")
   in
   let sanitize =
     Arg.(
@@ -797,17 +915,38 @@ let opts_term =
             "Attach NVSan to every throughput point (Log baseline excluded) \
              and report violations; for measuring sanitizer overhead.")
   in
-  let make duration threads full seed write_ns json sanitize =
-    { duration; threads; full; seed; write_ns; json; sanitize }
+  let latency_flag =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Flight-record every throughput point with NVTrace and report \
+             per-operation latency percentiles (p50/p99/p99.9) and \
+             persistence-cost attribution.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the retained spans of every throughput point as Chrome \
+             trace-event JSON to $(docv) (open in chrome://tracing or \
+             Perfetto); implies span recording like $(b,--latency).")
+  in
+  let make duration threads full seed write_ns json sanitize latency trace =
+    { duration; threads; full; seed; write_ns; json; sanitize; latency; trace }
   in
   Term.(
-    const make $ duration $ threads $ full $ seed $ write_ns $ json $ sanitize)
+    const make $ duration $ threads $ full $ seed $ write_ns $ json $ sanitize
+    $ latency_flag $ trace)
 
 let with_json name f opts =
   (match opts.json with Some p -> Json_out.set_path p | None -> ());
   Json_out.set_experiment name;
   f opts;
-  Json_out.write ()
+  Json_out.write ();
+  write_trace opts
 
 let cmd name doc f =
   let wrapped = with_json name f in

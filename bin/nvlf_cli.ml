@@ -4,6 +4,8 @@
      nvlf drill  --structure bst --rounds 200          crash-point fuzzing
      nvlf run      --structure hash --flavor lc ...    one workload run
      nvlf sanitize --struct list --max-dirty 10        NVSan + crash-state enum
+     nvlf trace  --structure hash --out trace.json     flight-record a run
+     nvlf top    --structure hash --interval 0.5       live substrate rates
 
    The benchmark figures live in bench/main.exe; this tool is for poking at
    a single configuration interactively. *)
@@ -191,6 +193,120 @@ let run_once structure flavor size nthreads duration seed update_pct =
        (Array.to_list (Array.map string_of_int r.per_thread)));
   Printf.printf "final size: %d\n" (inst.ops.size ())
 
+(* trace: flight-record one workload run with NVTrace and write the spans
+   as Chrome trace-event JSON. With --sanitize, NVSan rides the observer
+   multiplexer alongside the tracer; any violation exits 1. *)
+let trace_run structure flavor size nthreads duration seed update_pct out
+    ring_size sanitize =
+  let inst =
+    I.create ~nthreads ~size_hint:size ~latency:(calibrated_latency ())
+      ~structure ~flavor ()
+  in
+  let heap = Lfds.Ctx.heap inst.ctx in
+  let san =
+    if sanitize && flavor <> I.Log then
+      Some
+        (Sanitizer.Nvsan.attach
+           ~config:
+             {
+               (Sanitizer.Nvsan.default_config
+                  ~durable:(match flavor with I.Lp | I.Lc -> true | _ -> false))
+               with
+               root_limit = Lfds.Ctx.static_limit inst.ctx;
+             }
+           heap)
+    else None
+  in
+  Keygen.prefill inst.ops ~size ~seed;
+  Nvm.Heap.reset_stats heap;
+  let tr = Trace.Nvtrace.attach ~ring_size heap in
+  let r =
+    Run.throughput ~nthreads ~duration
+      ~step:
+        (Run.set_workload inst.ops
+           ~mix:(Keygen.mixed ~update_pct)
+           ~range:(Keygen.range_for ~size))
+      ~seed ()
+  in
+  Trace.Nvtrace.detach tr;
+  let b = Trace.Chrome_trace.create () in
+  Trace.Chrome_trace.add_process b ~pid:0
+    ~name:
+      (Printf.sprintf "%s/%s size=%d t=%d" (I.structure_name structure)
+         (I.flavor_name flavor) size nthreads);
+  Trace.Chrome_trace.add_spans b ~pid:0 (Trace.Nvtrace.spans tr);
+  Trace.Chrome_trace.write_file b out;
+  Printf.printf "%s / %s: %s over %.2fs\n" (I.structure_name structure)
+    (I.flavor_name flavor)
+    (Report.human_ops r.throughput)
+    r.duration;
+  Printf.printf
+    "recorded %d spans (%d retained, %d dropped to wrap-around); wrote %d \
+     events to %s\n"
+    (Trace.Nvtrace.span_count tr)
+    (List.length (Trace.Nvtrace.spans tr))
+    (Trace.Nvtrace.dropped tr)
+    (Trace.Chrome_trace.event_count b)
+    out;
+  List.iter
+    (fun (op, h) ->
+      let a = List.assoc op (Trace.Nvtrace.attribution tr) in
+      let per v =
+        float_of_int v /. float_of_int (max 1 a.Trace.Nvtrace.ops)
+      in
+      Printf.printf
+        "%-18s n=%-9d p50=%-9s p99=%-9s p99.9=%-9s | wb/op %.2f fence/op %.2f\n"
+        op (Histogram.count h)
+        (Report.human_ns (Histogram.percentile h 50.))
+        (Report.human_ns (Histogram.percentile h 99.))
+        (Report.human_ns (Histogram.percentile h 99.9))
+        (per a.Trace.Nvtrace.a_write_backs)
+        (per a.Trace.Nvtrace.a_fences))
+    (Trace.Nvtrace.histograms tr);
+  match san with
+  | None -> ()
+  | Some s ->
+      Sanitizer.Nvsan.detach s;
+      let n = Sanitizer.Nvsan.violation_count s in
+      List.iter
+        (fun v -> print_endline (Sanitizer.Nvsan.violation_to_string v))
+        (Sanitizer.Nvsan.violations s);
+      Printf.printf "sanitizer: %d violation(s)\n%!" n;
+      if n > 0 then exit 1
+
+(* top: run the workload while the main domain prints interval-diffed
+   substrate rates, like top(1) for the persistence layer. *)
+let top structure flavor size nthreads duration seed update_pct interval =
+  let inst =
+    I.create ~nthreads ~size_hint:size ~latency:(calibrated_latency ())
+      ~structure ~flavor ()
+  in
+  let heap = Lfds.Ctx.heap inst.ctx in
+  Keygen.prefill inst.ops ~size ~seed;
+  Nvm.Heap.reset_stats heap;
+  Printf.printf "%s / %s, %d elements, %d thread(s), tick %.2fs\n"
+    (I.structure_name structure) (I.flavor_name flavor) size nthreads interval;
+  print_endline Trace.Metrics.header;
+  let last = ref (Trace.Metrics.sample heap) in
+  let r =
+    Run.throughput ~interval
+      ~on_tick:(fun ~elapsed ->
+        let now = Trace.Metrics.sample heap in
+        let older = !last in
+        last := now;
+        let d, dt = Trace.Metrics.delta ~older ~newer:now in
+        Printf.printf "%6.1fs %s\n%!" elapsed (Trace.Metrics.report ~dt d))
+      ~nthreads ~duration
+      ~step:
+        (Run.set_workload inst.ops
+           ~mix:(Keygen.mixed ~update_pct)
+           ~range:(Keygen.range_for ~size))
+      ~seed ()
+  in
+  Printf.printf "total: %s over %.2fs\n"
+    (Report.human_ops r.throughput)
+    r.duration
+
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Cost profile of every flavor")
     Term.(
@@ -236,6 +352,55 @@ let run_cmd =
       const run_once $ structure_arg $ flavor $ size_arg $ threads_arg
       $ duration_arg $ seed_arg $ update_pct)
 
+let flavor_arg =
+  Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|log")
+
+let update_pct_arg =
+  Arg.(value & opt int 100 & info [ "updates" ] ~doc:"Update percentage.")
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON output (chrome://tracing, Perfetto).")
+  in
+  let ring_size =
+    Arg.(
+      value
+      & opt int Trace.Nvtrace.default_ring_size
+      & info [ "ring-size" ] ~doc:"Retained spans per domain.")
+  in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Also attach NVSan through the observer multiplexer; exit 1 on \
+             any violation.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Flight-record one workload and write a Chrome trace")
+    Term.(
+      const trace_run $ structure_arg $ flavor_arg $ size_arg $ threads_arg
+      $ duration_arg $ seed_arg $ update_pct_arg $ out $ ring_size $ sanitize)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 0.5 & info [ "interval" ] ~doc:"Seconds between ticks.")
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Live interval-diffed substrate rates during a run")
+    Term.(
+      const top $ structure_arg $ flavor_arg $ size_arg $ threads_arg
+      $ duration_arg $ seed_arg $ update_pct_arg $ interval)
+
 let () =
   let info = Cmd.info "nvlf" ~doc:"Log-free durable data structures driver" in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; drill_cmd; run_cmd; sanitize_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; drill_cmd; run_cmd; sanitize_cmd; trace_cmd; top_cmd ]))

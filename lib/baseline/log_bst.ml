@@ -184,15 +184,15 @@ let ops ctx wal t =
     Lfds.Set_intf.name = "log-bst";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-bst.insert" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-bst.remove" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-bst.search" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

@@ -69,15 +69,15 @@ let ops ctx wal t =
     Lfds.Set_intf.name = "log-hash";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-hash.insert" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-hash.remove" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-hash.search" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx t cu ~key));
     size = (fun () -> size ctx t);
   }

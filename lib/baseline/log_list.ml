@@ -175,15 +175,15 @@ let ops ctx wal ~head =
     Lfds.Set_intf.name = "log-list";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-list.insert" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx wal cu ~head ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-list.remove" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx wal cu ~head ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-list.search" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx cu ~head ~key));
     size = (fun () -> size ctx ~tid:0 ~head);
   }

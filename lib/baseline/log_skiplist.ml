@@ -279,15 +279,15 @@ let ops ctx wal t =
     Lfds.Set_intf.name = "log-skiplist";
     insert =
       (fun ~tid ~key ~value ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-skiplist.insert" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx wal t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-skiplist.remove" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx wal t cu ~key));
     search =
       (fun ~tid ~key ->
-        Lfds.Ctx.with_op_c ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
+        Lfds.Ctx.with_op_c ~name:"log-skiplist.search" ~key ctx (Lfds.Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

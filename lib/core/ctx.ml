@@ -183,13 +183,13 @@ let allocator t = Nv_epochs.allocator t.mem
 
 (** Bracket an operation with epoch enter/exit, threading the calling
     domain's cursor to the body — the hot-path form. [name] labels the
-    operation for an attached heap observer (violation reports name the
-    offending op); pass a static string, it is only consulted when an
-    observer is attached. *)
-let with_op_c ?(name = "op") (t : t) cu f =
+    operation for an attached heap observer (violation reports and trace
+    spans name the offending op) and [key] carries its key argument; pass a
+    static string, both are only consulted when an observer is attached. *)
+let with_op_c ?(name = "op") ?(key = 0) (t : t) cu f =
   let tid = Heap.Cursor.tid cu in
   let obs = Heap.observed t.heap in
-  if obs then Heap.annotate t.heap ~tid (Heap.A_op_begin { name });
+  if obs then Heap.annotate t.heap ~tid (Heap.A_op_begin { name; key });
   Nv_epochs.op_begin t.mem ~tid;
   match f cu with
   | v ->
@@ -208,5 +208,5 @@ let with_op_c ?(name = "op") (t : t) cu f =
       raise e
 
 (** Bracket an operation with epoch enter/exit. *)
-let with_op ?name (t : t) ~tid f =
-  with_op_c ?name t (Heap.cursor t.heap ~tid) (fun _cu -> f ())
+let with_op ?name ?key (t : t) ~tid f =
+  with_op_c ?name ?key t (Heap.cursor t.heap ~tid) (fun _cu -> f ())

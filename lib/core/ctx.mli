@@ -68,11 +68,12 @@ val allocator : t -> Nvm.Nvalloc.t
 
 (** Run one data-structure operation inside epoch brackets. A crash
     exception propagates with the epoch left odd, exactly as a crashed
-    thread would leave it. [name] labels the operation for an attached heap
-    observer (pass a static string; only consulted when one is attached). *)
-val with_op : ?name:string -> t -> tid:int -> (unit -> 'a) -> 'a
+    thread would leave it. [name] labels the operation and [key] carries its
+    key argument for an attached heap observer (pass a static string; both
+    are only consulted when one is attached). *)
+val with_op : ?name:string -> ?key:int -> t -> tid:int -> (unit -> 'a) -> 'a
 
 (** [with_op] threading a pre-fetched cursor to the body — structures fetch
     the cursor once per operation and stay on the [_c] APIs inside. *)
 val with_op_c :
-  ?name:string -> t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a
+  ?name:string -> ?key:int -> t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a

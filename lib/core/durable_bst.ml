@@ -380,15 +380,15 @@ let ops ctx t =
     Set_intf.name = "durable-bst(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op_c ~name:"bst.insert" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"bst.insert" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"bst.remove" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"bst.remove" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx t cu ~key));
     search =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"bst.search" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"bst.search" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

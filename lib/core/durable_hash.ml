@@ -81,15 +81,15 @@ let ops ctx t =
     Set_intf.name = "durable-hash(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op_c ~name:"hash.insert" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"hash.insert" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"hash.remove" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"hash.remove" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx t cu ~key));
     search =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"hash.search" ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"hash.search" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx t cu ~key));
     size = (fun () -> size ctx t);
   }

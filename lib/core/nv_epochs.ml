@@ -122,7 +122,13 @@ let try_collect t cu =
         ignore (Queue.pop q);
         free_generation t cu gen;
         loop ()
-    | Some _ | None -> ()
+    | Some _ ->
+        (* Head generation still inside its grace period: some thread has
+           not advanced past the sealed snapshot. Count the stall so the
+           metrics layer can surface reclamation pressure. *)
+        let st = Heap.Cursor.stats cu in
+        st.epoch_stalls <- st.epoch_stalls + 1
+    | None -> ()
   in
   loop ()
 

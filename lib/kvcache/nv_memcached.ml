@@ -58,7 +58,7 @@ let evict_one t cu =
 
 let set_ttl t ~tid ~key ~value ~expire_at =
   let h = Strpack.hash key in
-  Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
+  Ctx.with_op_c ~name:"mc.set" ~key:h t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)
@@ -83,7 +83,7 @@ let set t ~tid ~key ~value = set_ttl t ~tid ~key ~value ~expire_at:0.
 let rec get t ~tid ~key =
   let h = Strpack.hash key in
   let hit =
-    Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
+    Ctx.with_op_c ~name:"mc.get" ~key:h t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
         match find_item t cu h with
         | Some item when Item.key_matches_c t.ctx cu item key ->
             if Item.expired_c t.ctx cu item ~now:(Unix.gettimeofday ()) then
@@ -104,7 +104,7 @@ let rec get t ~tid ~key =
 
 and delete t ~tid ~key =
   let h = Strpack.hash key in
-  Ctx.with_op_c t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
+  Ctx.with_op_c ~name:"mc.delete" ~key:h t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
       Mutex.lock t.lock;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.lock)

@@ -70,7 +70,9 @@ type annotation =
   | A_lc_register of { link : int }
       (** [link]'s latest value is parked in the link cache: its durability
           is the cache's business until the line next drains *)
-  | A_op_begin of { name : string }
+  | A_op_begin of { name : string; key : int }
+      (** [key] is the operation's key argument, 0 when it has none — a
+          tracer attributes spans to keys with it *)
   | A_op_end
 
 (** One observable heap event. Emitted {e after} the primitive applied, so a
@@ -99,9 +101,13 @@ type t = {
   mutable wb_instruction : wb_instruction;
   mutable cursors : cursor array;  (** one per tid; filled right after create *)
   mutable observer : (event -> unit) option;
-      (** optional sanitizer hook; every primitive guards on [None] with one
+      (** composed observer hook; every primitive guards on [None] with one
           field load + branch, so the disabled cost is a predictable
-          never-taken branch and no allocation *)
+          never-taken branch and no allocation. Never written directly:
+          recomputed from [observers] by [Observer.add] / [Observer.remove] *)
+  mutable observers : (int * (event -> unit)) list;
+      (** registered observers, oldest first, keyed by handle *)
+  mutable next_observer_id : int;
 }
 
 and cursor = {
@@ -145,6 +151,8 @@ let create ?(latency = Latency_model.no_injection ()) ~size_words () =
       wb_instruction = Clwb;
       cursors = [||];
       observer = None;
+      observers = [];
+      next_observer_id = 0;
     }
   in
   t.cursors <- Array.init Pstats.max_threads (fun tid -> make_cursor t tid);
@@ -158,11 +166,45 @@ let stats t tid = Pstats.get t.stats tid
 let aggregate_stats t = Pstats.aggregate t.stats
 let reset_stats t = Pstats.reset_registry t.stats
 
-(* Observer plumbing. [set_observer] must only be called at quiescent points:
-   the field is plain mutable state and primitives read it unsynchronized. *)
+(* Observer plumbing. Multiple observers (a sanitizer and a tracer, say) can
+   coexist: each [Observer.add] registers a callback and the composed
+   dispatch closure in [observer] is recomputed, so the hot path keeps its
+   single field-load + never-taken branch when nobody listens and a direct
+   call (no list walk) with exactly one listener. Add/remove only at
+   quiescent points: primitives read [observer] unsynchronized. *)
 
-let set_observer t f = t.observer <- f
-let clear_observer t = t.observer <- None
+module Observer = struct
+  type handle = int
+
+  let recompose t =
+    t.observer <-
+      (match t.observers with
+      | [] -> None
+      | [ (_, f) ] -> Some f
+      | fs ->
+          (* Delivery in registration order; materialized once so dispatch
+             does not rebuild the list per event. *)
+          let arr = Array.of_list (List.map snd fs) in
+          Some
+            (fun ev ->
+              for i = 0 to Array.length arr - 1 do
+                (Array.unsafe_get arr i) ev
+              done))
+
+  let add t f =
+    let id = t.next_observer_id in
+    t.next_observer_id <- id + 1;
+    t.observers <- t.observers @ [ (id, f) ];
+    recompose t;
+    id
+
+  let remove t id =
+    t.observers <- List.filter (fun (id', _) -> id' <> id) t.observers;
+    recompose t
+
+  let count t = List.length t.observers
+end
+
 let observed t = match t.observer with None -> false | Some _ -> true
 
 (** Forward a protocol annotation to the observer, if any. Callers on hot

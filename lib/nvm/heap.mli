@@ -35,15 +35,16 @@ exception Crashed
     write-back completes alone, immediately. *)
 type wb_instruction = Clwb | Clflushopt | Clflush
 
-(** {1 Observation — sanitizer hook interface}
+(** {1 Observation — sanitizer / tracer hook interface}
 
-    A heap can carry at most one {e observer}: a callback invoked after every
-    primitive with a description of what happened. With no observer attached
-    every hook point is a single field load and a never-taken branch on the
-    fast path; with one attached, events are allocated and delivered
-    synchronously on the acting domain, so the observer must serialize
-    internally for multi-domain runs and must never call heap primitives
-    itself (use [peek] / [annotate] side channels instead). *)
+    A heap carries a set of {e observers}: callbacks invoked after every
+    primitive with a description of what happened, in registration order
+    (see {!Observer}). With no observer attached every hook point is a
+    single field load and a never-taken branch on the fast path; with any
+    attached, events are allocated and delivered synchronously on the acting
+    domain, so observers must serialize internally (or keep per-tid state)
+    for multi-domain runs and must never call heap primitives from inside a
+    hook (use [peek] / [annotate] side channels instead). *)
 
 (** Why a line moved to the durable image. [Drain_fence], [Drain_clflush] and
     [Drain_shutdown] are the program-ordered paths; [Drain_overflow] (pending
@@ -65,7 +66,8 @@ type annotation =
   | A_retire of { addr : int }
   | A_reclaim of { nodes : int list; snapshot : int array; current : int array }
   | A_lc_register of { link : int }
-  | A_op_begin of { name : string }
+  | A_op_begin of { name : string; key : int }
+      (** [key] is the operation's key argument, 0 when it has none *)
   | A_op_end
 
 (** One observable heap event, emitted {e after} the primitive applied. *)
@@ -83,11 +85,18 @@ type event =
     defaults to a no-injection model (functional tests). *)
 val create : ?latency:Latency_model.t -> size_words:int -> unit -> t
 
-(** Attach / detach the observer. Call only at quiescent points (no domain
-    mid-operation): primitives read the hook unsynchronized. *)
-val set_observer : t -> (event -> unit) option -> unit
+(** Observer registration. [add] returns a handle for [remove]; observers
+    run in registration order. Add and remove only at quiescent points (no
+    domain mid-operation): primitives read the composed hook unsynchronized.
+    With one observer registered dispatch is a direct call; with several, one
+    array walk per event. *)
+module Observer : sig
+  type handle
 
-val clear_observer : t -> unit
+  val add : t -> (event -> unit) -> handle
+  val remove : t -> handle -> unit
+  val count : t -> int
+end
 
 (** Whether an observer is attached. Annotation emitters should pre-guard on
     this to avoid building annotations nobody will see. *)

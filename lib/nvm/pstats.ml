@@ -29,6 +29,9 @@ type t = {
   mutable lc_flushes : int;  (** link-cache bucket flushes *)
   mutable allocs : int;
   mutable frees : int;
+  mutable epoch_stalls : int;
+      (** reclamation attempts blocked because some thread still sits in the
+          epoch a sealed generation snapshotted — grace period not over *)
 }
 
 let make () =
@@ -52,6 +55,7 @@ let make () =
     lc_flushes = 0;
     allocs = 0;
     frees = 0;
+    epoch_stalls = 0;
   }
 
 let copy t = { t with loads = t.loads }
@@ -75,7 +79,8 @@ let reset t =
   t.lc_fails <- 0;
   t.lc_flushes <- 0;
   t.allocs <- 0;
-  t.frees <- 0
+  t.frees <- 0;
+  t.epoch_stalls <- 0
 
 let add ~into t =
   into.loads <- into.loads + t.loads;
@@ -96,7 +101,53 @@ let add ~into t =
   into.lc_fails <- into.lc_fails + t.lc_fails;
   into.lc_flushes <- into.lc_flushes + t.lc_flushes;
   into.allocs <- into.allocs + t.allocs;
-  into.frees <- into.frees + t.frees
+  into.frees <- into.frees + t.frees;
+  into.epoch_stalls <- into.epoch_stalls + t.epoch_stalls
+
+(* [diff newer older]: counter deltas, for interval snapshot reporting. *)
+let diff newer older =
+  {
+    loads = newer.loads - older.loads;
+    stores = newer.stores - older.stores;
+    cas = newer.cas - older.cas;
+    write_backs = newer.write_backs - older.write_backs;
+    fences = newer.fences - older.fences;
+    sync_batches = newer.sync_batches - older.sync_batches;
+    lines_drained = newer.lines_drained - older.lines_drained;
+    log_entries = newer.log_entries - older.log_entries;
+    apt_hits = newer.apt_hits - older.apt_hits;
+    apt_misses = newer.apt_misses - older.apt_misses;
+    apt_alloc_hits = newer.apt_alloc_hits - older.apt_alloc_hits;
+    apt_alloc_misses = newer.apt_alloc_misses - older.apt_alloc_misses;
+    apt_unlink_hits = newer.apt_unlink_hits - older.apt_unlink_hits;
+    apt_unlink_misses = newer.apt_unlink_misses - older.apt_unlink_misses;
+    lc_adds = newer.lc_adds - older.lc_adds;
+    lc_fails = newer.lc_fails - older.lc_fails;
+    lc_flushes = newer.lc_flushes - older.lc_flushes;
+    allocs = newer.allocs - older.allocs;
+    frees = newer.frees - older.frees;
+    epoch_stalls = newer.epoch_stalls - older.epoch_stalls;
+  }
+
+(* Derived metrics: the ratios a reader actually wants, so reports need no
+   calculator. Denominator 0 yields 0 (rate undefined, nothing happened). *)
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+(** [lc_adds / (lc_adds + lc_fails)]: how often parking a link in the cache
+    succeeded instead of falling back to an eager sync. *)
+let lc_hit_rate t = ratio t.lc_adds (t.lc_adds + t.lc_fails)
+
+(** [lines_drained / sync_batches]: the fence batching factor — how many
+    lines each completed sync retired (1.0 = no batching win). *)
+let lines_per_batch t = ratio t.lines_drained t.sync_batches
+
+(** [write_backs / stores]: persistence pressure of the write path. *)
+let flushes_per_store t = ratio t.write_backs t.stores
+
+let apt_hit_rate t = ratio t.apt_hits (t.apt_hits + t.apt_misses)
+let apt_alloc_hit_rate t = ratio t.apt_alloc_hits (t.apt_alloc_hits + t.apt_alloc_misses)
+let apt_unlink_hit_rate t = ratio t.apt_unlink_hits (t.apt_unlink_hits + t.apt_unlink_misses)
 
 (* Each domain hammers its own record on every heap primitive, so two
    records sharing a cache line means cross-domain invalidation traffic on
@@ -132,7 +183,11 @@ let reset_registry (r : registry) = Array.iter reset r.recs
 let pp ppf t =
   Format.fprintf ppf
     "loads=%d stores=%d cas=%d wb=%d fences=%d syncs=%d drained=%d log=%d \
-     apt_hit=%d apt_miss=%d lc_add=%d lc_fail=%d lc_flush=%d alloc=%d free=%d"
+     apt_hit=%d apt_miss=%d lc_add=%d lc_fail=%d lc_flush=%d alloc=%d free=%d \
+     stalls=%d | lc_hit=%.1f%% lines/batch=%.2f wb/store=%.2f apt_hit=%.1f%%"
     t.loads t.stores t.cas t.write_backs t.fences t.sync_batches
     t.lines_drained t.log_entries t.apt_hits t.apt_misses t.lc_adds t.lc_fails
-    t.lc_flushes t.allocs t.frees
+    t.lc_flushes t.allocs t.frees t.epoch_stalls
+    (100. *. lc_hit_rate t)
+    (lines_per_batch t) (flushes_per_store t)
+    (100. *. apt_hit_rate t)

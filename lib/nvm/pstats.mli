@@ -26,12 +26,35 @@ type t = {
   mutable lc_flushes : int;
   mutable allocs : int;
   mutable frees : int;
+  mutable epoch_stalls : int;
+      (** reclamation attempts blocked on an unfinished grace period *)
 }
 
 val make : unit -> t
 val copy : t -> t
 val reset : t -> unit
 val add : into:t -> t -> unit
+
+(** [diff newer older] is the field-wise delta — interval reporting over two
+    snapshots of the same registry. *)
+val diff : t -> t -> t
+
+(** {2 Derived metrics}
+
+    Ratios for human-readable reports; a zero denominator yields 0. *)
+
+(** [lc_adds / (lc_adds + lc_fails)]: link-cache insertion hit rate. *)
+val lc_hit_rate : t -> float
+
+(** [lines_drained / sync_batches]: fence batching factor. *)
+val lines_per_batch : t -> float
+
+(** [write_backs / stores]: persistence pressure of the write path. *)
+val flushes_per_store : t -> float
+
+val apt_hit_rate : t -> float
+val apt_alloc_hit_rate : t -> float
+val apt_unlink_hit_rate : t -> float
 
 (** One padded record per possible domain; padding isolates each record on
     its own cache lines so concurrent counting never false-shares. *)

@@ -55,6 +55,7 @@ type t = {
   heap : Heap.t;
   cfg : config;
   lock : Mutex.t;
+  mutable obs_handle : Heap.Observer.handle option;
   mutable is_active : bool;
   line_state : Bytes.t;  (* '\000' clean | '\001' dirty | '\002' wb-pending *)
   word_synced : Bytes.t;  (* '\001' iff durable image known to hold the word *)
@@ -396,7 +397,7 @@ let on_note t ~tid note =
   | Heap.A_reclaim { nodes; snapshot; current } ->
       on_reclaim t ~tid ~nodes ~snapshot ~current
   | Heap.A_lc_register { link } -> Hashtbl.replace t.lc_registered link ()
-  | Heap.A_op_begin { name } ->
+  | Heap.A_op_begin { name; key = _ } ->
       t.op_seq.(tid) <- t.op_seq.(tid) + 1;
       t.op_name.(tid) <- name;
       Hashtbl.reset t.deref_watch.(tid)
@@ -440,6 +441,7 @@ let attach ?config heap =
       heap;
       cfg;
       lock = Mutex.create ();
+      obs_handle = None;
       is_active = true;
       line_state = Bytes.make ((size + wpl - 1) / wpl) '\000';
       word_synced = Bytes.make size '\001';
@@ -457,10 +459,15 @@ let attach ?config heap =
       ndropped = 0;
     }
   in
-  Heap.set_observer heap (Some (on_event t));
+  t.obs_handle <- Some (Heap.Observer.add heap (on_event t));
   t
 
-let detach t = Heap.clear_observer t.heap
+let detach t =
+  match t.obs_handle with
+  | None -> ()
+  | Some h ->
+      Heap.Observer.remove t.heap h;
+      t.obs_handle <- None
 let violations t = List.rev t.viols
 let violation_count t = t.nviols
 let dropped t = t.ndropped

@@ -71,12 +71,14 @@ val default_config : durable:bool -> config
 
 type t
 
-(** Attach a sanitizer to [heap] (replaces any current observer). Attach at
-    a quiescent point, before the workload under test. *)
+(** Attach a sanitizer to [heap] through the observer multiplexer
+    ({!Nvm.Heap.Observer}); other observers — e.g. an NVTrace flight
+    recorder — keep running alongside. Attach at a quiescent point, before
+    the workload under test. *)
 val attach : ?config:config -> Nvm.Heap.t -> t
 
-(** Detach from the heap (clears the observer). Recorded violations remain
-    readable. *)
+(** Detach from the heap (removes only this sanitizer's observer; others
+    stay registered). Recorded violations remain readable; idempotent. *)
 val detach : t -> unit
 
 (** Recorded violations, oldest first. *)

@@ -1,0 +1,77 @@
+(** Chrome trace-event JSON from NVTrace spans.
+
+    Emits the JSON-object flavor of the trace-event format —
+    [{"traceEvents": [...]}] — with one complete ("ph":"X") event per span,
+    which loads directly in [chrome://tracing] and Perfetto. Timestamps are
+    microseconds (the format's unit); persistence-cost attribution rides in
+    each event's [args], so clicking a slice in the viewer shows the
+    flushes, fences and link-cache traffic that operation paid.
+
+    A builder accumulates events so several trace sources (one benchmark
+    point each, say) can land in one file under distinct pids, labelled via
+    [add_process]. *)
+
+type t = { buf : Buffer.t; mutable n_events : int }
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let create () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  { buf; n_events = 0 }
+
+let start_event t =
+  if t.n_events > 0 then Buffer.add_char t.buf ',';
+  t.n_events <- t.n_events + 1
+
+(** Name the process track [pid] ("hash-table/link-cache t=8", say). *)
+let add_process t ~pid ~name =
+  start_event t;
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\""
+       pid);
+  add_escaped t.buf name;
+  Buffer.add_string t.buf "\"}}"
+
+let add_span t ~pid (s : Nvtrace.span) =
+  start_event t;
+  let b = t.buf in
+  Buffer.add_string b "{\"name\":\"";
+  add_escaped b s.name;
+  Buffer.add_string b "\",\"cat\":\"op\",\"ph\":\"X\",";
+  (* Trace-event timestamps are microseconds. *)
+  Buffer.add_string b
+    (Printf.sprintf "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,"
+       (s.start_ns /. 1e3) (s.dur_ns /. 1e3) pid s.tid);
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"args\":{\"key\":%d,\"loads\":%d,\"stores\":%d,\"cas\":%d,\"wb\":%d,\
+        \"fences\":%d,\"sync_batches\":%d,\"lines_drained\":%d,\"lc_adds\":%d,\
+        \"lc_fails\":%d}}"
+       s.key s.loads s.stores s.cas s.write_backs s.fences s.sync_batches
+       s.lines_drained s.lc_adds s.lc_fails)
+
+let add_spans t ~pid spans = List.iter (add_span t ~pid) spans
+
+let contents t =
+  (* Close a copy so the builder stays appendable. *)
+  Buffer.contents t.buf ^ "],\"displayTimeUnit\":\"ns\"}\n"
+
+let event_count t = t.n_events
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

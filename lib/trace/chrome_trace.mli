@@ -1,0 +1,22 @@
+(** Chrome trace-event JSON from NVTrace spans: complete ("ph":"X") events
+    with persistence-cost attribution in [args]; loads in [chrome://tracing]
+    and Perfetto. A builder accumulates events so several trace sources can
+    share one file under distinct pids. *)
+
+type t
+
+val create : unit -> t
+
+(** Name the process track [pid] (a metadata event). *)
+val add_process : t -> pid:int -> name:string -> unit
+
+val add_span : t -> pid:int -> Nvtrace.span -> unit
+val add_spans : t -> pid:int -> Nvtrace.span list -> unit
+
+(** Events added so far (metadata included). *)
+val event_count : t -> int
+
+(** The complete JSON document (the builder stays appendable). *)
+val contents : t -> string
+
+val write_file : t -> string -> unit

@@ -1,0 +1,44 @@
+(** Interval metrics over the {!Nvm.Pstats} registry: snapshot, diff, and a
+    one-line derived-rate report — the `nvlf top` building blocks.
+
+    A [sample] copies the heap's aggregate counters plus a wall-clock stamp;
+    [delta] turns two samples into the counter increments and elapsed time
+    of the interval between them. [report] renders an interval as rates a
+    reader can act on (flushes per op, link-cache hit rate, fence batching
+    factor, epoch-advance stalls, APT hit rate) instead of raw totals. *)
+
+open Nvm
+
+type sample = { at : float;  (** [Unix.gettimeofday] stamp *) counters : Pstats.t }
+
+let sample heap = { at = Unix.gettimeofday (); counters = Heap.aggregate_stats heap }
+
+(** Counter increments and elapsed seconds from [older] to [newer]. *)
+let delta ~older ~newer =
+  (Pstats.diff newer.counters older.counters, newer.at -. older.at)
+
+let per f d = if d <= 0 then 0. else f /. float_of_int d
+
+(** One interval as derived rates. [ops] is the operation count of the
+    interval when the caller tracks one (0 = unknown: per-op rates print
+    as [-]). *)
+let report ?(ops = 0) ~dt (d : Pstats.t) =
+  let ops_s =
+    if ops > 0 && dt > 0. then
+      Workload.Report.human_ops (float_of_int ops /. dt)
+    else "-"
+  in
+  let per_op v = if ops > 0 then Printf.sprintf "%.2f" (per (float_of_int v) ops) else "-" in
+  Printf.sprintf
+    "%8s | wb/op %5s fence/op %5s | wb/store %4.2f lines/batch %4.1f | lc hit \
+     %5.1f%% apt hit %5.1f%% | stalls/s %.0f"
+    ops_s
+    (per_op d.write_backs) (per_op d.fences)
+    (Pstats.flushes_per_store d)
+    (Pstats.lines_per_batch d)
+    (100. *. Pstats.lc_hit_rate d)
+    (100. *. Pstats.apt_hit_rate d)
+    (if dt > 0. then float_of_int d.epoch_stalls /. dt else 0.)
+
+(** Column header aligned with {!report}. *)
+let header = "   ops/s | per-op flush cost       | batching             | hit rates            | reclamation"

@@ -1,0 +1,18 @@
+(** Interval metrics over the {!Nvm.Pstats} registry: snapshot/diff plus a
+    derived-rate text report (the `nvlf top` building blocks). *)
+
+type sample = { at : float; counters : Nvm.Pstats.t }
+
+(** Copy the heap's aggregate counters with a wall-clock stamp. *)
+val sample : Nvm.Heap.t -> sample
+
+(** Counter increments and elapsed seconds from [older] to [newer]. *)
+val delta : older:sample -> newer:sample -> Nvm.Pstats.t * float
+
+(** Render one interval's deltas as derived rates (flushes/op, link-cache
+    hit rate, fence batching factor, epoch stalls/s, APT hit rate). [ops]
+    is the interval's operation count; omit when unknown. *)
+val report : ?ops:int -> dt:float -> Nvm.Pstats.t -> string
+
+(** Column header aligned with {!report}. *)
+val header : string

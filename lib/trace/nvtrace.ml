@@ -1,0 +1,367 @@
+(** NVTrace: a flight-recorder for the simulated NVM heap.
+
+    Rides the {!Nvm.Heap.Observer} multiplexer and turns the
+    [A_op_begin]/[A_op_end] operation brackets every structure already emits
+    into {e spans}: wall-clock start and duration, operation name, key, and
+    the persistence work — write-backs, fences, sync batches, lines drained,
+    link-cache traffic — attributed to that span.
+
+    Attribution needs no per-event bookkeeping: events are delivered on the
+    acting domain, and each domain owns its {!Nvm.Pstats} counter record, so
+    the recorder just snapshots the domain's own counters at [A_op_begin]
+    and diffs them at [A_op_end]. Per-span costs therefore sum {e exactly}
+    to the substrate aggregate over the traced window (every heap access
+    between the brackets is charged to the span, including allocator and
+    reclamation work the operation triggered).
+
+    Two sinks per domain, both touched only by the owning domain (no locks):
+
+    - a fixed-size {e ring} of the most recent spans — the flight recorder,
+      exported as Chrome trace-event JSON ({!Chrome_trace});
+    - per-operation-name {e aggregates} — span counts, persistence-cost
+      totals and a latency {!Workload.Histogram} — which survive ring
+      wrap-around and feed percentile/attribution reports.
+
+    Reading ([spans], [histograms], [attribution]) is quiescent-only, like
+    every observer lifecycle operation. *)
+
+open Nvm
+
+type span = {
+  tid : int;
+  name : string;  (** operation label, e.g. ["hash.insert"] *)
+  key : int;  (** key argument, 0 when the op carries none *)
+  start_ns : float;  (** wall-clock offset from [attach], ns *)
+  dur_ns : float;
+  loads : int;
+  stores : int;
+  cas : int;
+  write_backs : int;
+  fences : int;
+  sync_batches : int;
+  lines_drained : int;
+  lc_adds : int;
+  lc_fails : int;
+}
+
+let null_span =
+  {
+    tid = -1;
+    name = "";
+    key = 0;
+    start_ns = 0.;
+    dur_ns = 0.;
+    loads = 0;
+    stores = 0;
+    cas = 0;
+    write_backs = 0;
+    fences = 0;
+    sync_batches = 0;
+    lines_drained = 0;
+    lc_adds = 0;
+    lc_fails = 0;
+  }
+
+(** Persistence-cost totals for one operation name over the traced window. *)
+type attrib = {
+  ops : int;
+  total_ns : float;
+  a_loads : int;
+  a_stores : int;
+  a_cas : int;
+  a_write_backs : int;
+  a_fences : int;
+  a_sync_batches : int;
+  a_lines_drained : int;
+  a_lc_adds : int;
+  a_lc_fails : int;
+}
+
+(* Mutable per-tid accumulator behind [attrib]. *)
+type agg = {
+  mutable g_ops : int;
+  mutable g_ns : float;
+  mutable g_loads : int;
+  mutable g_stores : int;
+  mutable g_cas : int;
+  mutable g_wb : int;
+  mutable g_fences : int;
+  mutable g_sync : int;
+  mutable g_lines : int;
+  mutable g_lc_adds : int;
+  mutable g_lc_fails : int;
+  g_hist : Workload.Histogram.t;
+}
+
+let make_agg () =
+  {
+    g_ops = 0;
+    g_ns = 0.;
+    g_loads = 0;
+    g_stores = 0;
+    g_cas = 0;
+    g_wb = 0;
+    g_fences = 0;
+    g_sync = 0;
+    g_lines = 0;
+    g_lc_adds = 0;
+    g_lc_fails = 0;
+    g_hist = Workload.Histogram.create ();
+  }
+
+(* Per-domain recorder state; only the owning domain ever touches it (the
+   heap delivers events on the acting domain), so there is no lock. *)
+type tstate = {
+  mutable in_op : bool;
+  mutable op_name : string;
+  mutable op_key : int;
+  mutable t0 : float;  (* ns offset of the open span's begin *)
+  (* counter baselines snapshotted at A_op_begin *)
+  mutable b_loads : int;
+  mutable b_stores : int;
+  mutable b_cas : int;
+  mutable b_wb : int;
+  mutable b_fences : int;
+  mutable b_sync : int;
+  mutable b_lines : int;
+  mutable b_lc_adds : int;
+  mutable b_lc_fails : int;
+  ring : span array;
+  mutable pos : int;  (* next ring slot to overwrite *)
+  mutable emitted : int;  (* spans ever recorded by this tid *)
+  aggs : (string, agg) Hashtbl.t;
+}
+
+type t = {
+  heap : Heap.t;
+  ring_size : int;
+  epoch_us : float;  (* gettimeofday at attach, microseconds *)
+  ts : tstate array;
+  mutable handle : Heap.Observer.handle option;
+}
+
+let default_ring_size = 4096
+
+let now_ns t = (Unix.gettimeofday () *. 1e6 -. t.epoch_us) *. 1e3
+
+let make_tstate ring_size =
+  {
+    in_op = false;
+    op_name = "";
+    op_key = 0;
+    t0 = 0.;
+    b_loads = 0;
+    b_stores = 0;
+    b_cas = 0;
+    b_wb = 0;
+    b_fences = 0;
+    b_sync = 0;
+    b_lines = 0;
+    b_lc_adds = 0;
+    b_lc_fails = 0;
+    ring = Array.make ring_size null_span;
+    pos = 0;
+    emitted = 0;
+    aggs = Hashtbl.create 16;
+  }
+
+let on_begin t tid name key =
+  let s = t.ts.(tid) in
+  let st = Heap.stats t.heap tid in
+  (* An op aborted by a crash trip never emits A_op_end; the next begin
+     simply restarts the bracket, dropping the aborted span. *)
+  s.in_op <- true;
+  s.op_name <- name;
+  s.op_key <- key;
+  s.b_loads <- st.Pstats.loads;
+  s.b_stores <- st.Pstats.stores;
+  s.b_cas <- st.Pstats.cas;
+  s.b_wb <- st.Pstats.write_backs;
+  s.b_fences <- st.Pstats.fences;
+  s.b_sync <- st.Pstats.sync_batches;
+  s.b_lines <- st.Pstats.lines_drained;
+  s.b_lc_adds <- st.Pstats.lc_adds;
+  s.b_lc_fails <- st.Pstats.lc_fails;
+  s.t0 <- now_ns t
+
+let on_end t tid =
+  let s = t.ts.(tid) in
+  if s.in_op then begin
+    s.in_op <- false;
+    let dur = now_ns t -. s.t0 in
+    let st = Heap.stats t.heap tid in
+    let span =
+      {
+        tid;
+        name = s.op_name;
+        key = s.op_key;
+        start_ns = s.t0;
+        dur_ns = dur;
+        loads = st.Pstats.loads - s.b_loads;
+        stores = st.Pstats.stores - s.b_stores;
+        cas = st.Pstats.cas - s.b_cas;
+        write_backs = st.Pstats.write_backs - s.b_wb;
+        fences = st.Pstats.fences - s.b_fences;
+        sync_batches = st.Pstats.sync_batches - s.b_sync;
+        lines_drained = st.Pstats.lines_drained - s.b_lines;
+        lc_adds = st.Pstats.lc_adds - s.b_lc_adds;
+        lc_fails = st.Pstats.lc_fails - s.b_lc_fails;
+      }
+    in
+    s.ring.(s.pos) <- span;
+    s.pos <- (s.pos + 1) mod Array.length s.ring;
+    s.emitted <- s.emitted + 1;
+    let agg =
+      match Hashtbl.find_opt s.aggs span.name with
+      | Some g -> g
+      | None ->
+          let g = make_agg () in
+          Hashtbl.add s.aggs span.name g;
+          g
+    in
+    agg.g_ops <- agg.g_ops + 1;
+    agg.g_ns <- agg.g_ns +. dur;
+    agg.g_loads <- agg.g_loads + span.loads;
+    agg.g_stores <- agg.g_stores + span.stores;
+    agg.g_cas <- agg.g_cas + span.cas;
+    agg.g_wb <- agg.g_wb + span.write_backs;
+    agg.g_fences <- agg.g_fences + span.fences;
+    agg.g_sync <- agg.g_sync + span.sync_batches;
+    agg.g_lines <- agg.g_lines + span.lines_drained;
+    agg.g_lc_adds <- agg.g_lc_adds + span.lc_adds;
+    agg.g_lc_fails <- agg.g_lc_fails + span.lc_fails;
+    Workload.Histogram.record agg.g_hist ~ns:dur
+  end
+
+let on_event t = function
+  | Heap.Ev_note { tid; note = Heap.A_op_begin { name; key } } ->
+      on_begin t tid name key
+  | Heap.Ev_note { tid; note = Heap.A_op_end } -> on_end t tid
+  | _ ->
+      (* Per-span costs come from Pstats baselines, so individual heap
+         events need no bookkeeping here. *)
+      ()
+
+let attach ?(ring_size = default_ring_size) heap =
+  if ring_size <= 0 then invalid_arg "Nvtrace.attach: ring_size";
+  let t =
+    {
+      heap;
+      ring_size;
+      epoch_us = Unix.gettimeofday () *. 1e6;
+      ts = Array.init Pstats.max_threads (fun _ -> make_tstate ring_size);
+      handle = None;
+    }
+  in
+  t.handle <- Some (Heap.Observer.add heap (on_event t));
+  t
+
+let detach t =
+  match t.handle with
+  | None -> ()
+  | Some h ->
+      Heap.Observer.remove t.heap h;
+      t.handle <- None
+
+let ring_size t = t.ring_size
+let span_count t = Array.fold_left (fun acc s -> acc + s.emitted) 0 t.ts
+
+let dropped t =
+  Array.fold_left (fun acc s -> acc + max 0 (s.emitted - t.ring_size)) 0 t.ts
+
+(* One tid's retained spans, oldest first. *)
+let tid_spans s =
+  let n = Array.length s.ring in
+  if s.emitted >= n then List.init n (fun i -> s.ring.((s.pos + i) mod n))
+  else List.init s.pos (fun i -> s.ring.(i))
+
+let spans t =
+  Array.to_list t.ts
+  |> List.concat_map tid_spans
+  |> List.sort (fun a b -> compare a.start_ns b.start_ns)
+
+(* Merge per-tid aggregates by operation name (quiescent read). *)
+let merged_aggs t =
+  let out : (string, agg * Workload.Histogram.t) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name g ->
+          let into, hist =
+            match Hashtbl.find_opt out name with
+            | Some v -> v
+            | None ->
+                let v = (make_agg (), Workload.Histogram.create ()) in
+                Hashtbl.add out name v;
+                v
+          in
+          into.g_ops <- into.g_ops + g.g_ops;
+          into.g_ns <- into.g_ns +. g.g_ns;
+          into.g_loads <- into.g_loads + g.g_loads;
+          into.g_stores <- into.g_stores + g.g_stores;
+          into.g_cas <- into.g_cas + g.g_cas;
+          into.g_wb <- into.g_wb + g.g_wb;
+          into.g_fences <- into.g_fences + g.g_fences;
+          into.g_sync <- into.g_sync + g.g_sync;
+          into.g_lines <- into.g_lines + g.g_lines;
+          into.g_lc_adds <- into.g_lc_adds + g.g_lc_adds;
+          into.g_lc_fails <- into.g_lc_fails + g.g_lc_fails;
+          Workload.Histogram.merge ~into:hist g.g_hist)
+        s.aggs)
+    t.ts;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) out []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histograms t = List.map (fun (name, (_, h)) -> (name, h)) (merged_aggs t)
+
+let attribution t =
+  List.map
+    (fun (name, (g, _)) ->
+      ( name,
+        {
+          ops = g.g_ops;
+          total_ns = g.g_ns;
+          a_loads = g.g_loads;
+          a_stores = g.g_stores;
+          a_cas = g.g_cas;
+          a_write_backs = g.g_wb;
+          a_fences = g.g_fences;
+          a_sync_batches = g.g_sync;
+          a_lines_drained = g.g_lines;
+          a_lc_adds = g.g_lc_adds;
+          a_lc_fails = g.g_lc_fails;
+        } ))
+    (merged_aggs t)
+
+(* Totals across every operation name — the cross-check against the heap's
+   aggregate Pstats for the same window. *)
+let total_attribution t =
+  List.fold_left
+    (fun acc (_, a) ->
+      {
+        ops = acc.ops + a.ops;
+        total_ns = acc.total_ns +. a.total_ns;
+        a_loads = acc.a_loads + a.a_loads;
+        a_stores = acc.a_stores + a.a_stores;
+        a_cas = acc.a_cas + a.a_cas;
+        a_write_backs = acc.a_write_backs + a.a_write_backs;
+        a_fences = acc.a_fences + a.a_fences;
+        a_sync_batches = acc.a_sync_batches + a.a_sync_batches;
+        a_lines_drained = acc.a_lines_drained + a.a_lines_drained;
+        a_lc_adds = acc.a_lc_adds + a.a_lc_adds;
+        a_lc_fails = acc.a_lc_fails + a.a_lc_fails;
+      })
+    {
+      ops = 0;
+      total_ns = 0.;
+      a_loads = 0;
+      a_stores = 0;
+      a_cas = 0;
+      a_write_backs = 0;
+      a_fences = 0;
+      a_sync_batches = 0;
+      a_lines_drained = 0;
+      a_lc_adds = 0;
+      a_lc_fails = 0;
+    }
+    (attribution t)

@@ -1,0 +1,80 @@
+(** NVTrace: flight-recorder tracing and persistence-cost attribution.
+
+    Attaches to a heap through the {!Nvm.Heap.Observer} multiplexer (so it
+    runs alongside NVSan) and turns the [A_op_begin]/[A_op_end] brackets
+    into spans: wall time, op name, key, and the write-back / fence /
+    link-cache work attributed to the span by diffing the acting domain's
+    own {!Nvm.Pstats} counters at the brackets. Per-span costs sum exactly
+    to the substrate aggregate over the traced window.
+
+    Per domain it keeps a fixed-size ring of recent spans (the flight
+    recorder; oldest overwritten first) and per-op-name aggregates — counts,
+    cost totals, and a latency {!Workload.Histogram} — which survive ring
+    wrap-around. All recording is lock-free per-domain state; the read
+    accessors are quiescent-only, like attach/detach. *)
+
+type span = {
+  tid : int;
+  name : string;  (** operation label, e.g. ["hash.insert"] *)
+  key : int;  (** key argument, 0 when the op carries none *)
+  start_ns : float;  (** wall-clock offset from [attach], ns *)
+  dur_ns : float;
+  loads : int;
+  stores : int;
+  cas : int;
+  write_backs : int;
+  fences : int;
+  sync_batches : int;
+  lines_drained : int;
+  lc_adds : int;
+  lc_fails : int;
+}
+
+(** Persistence-cost totals for one operation name over the traced window. *)
+type attrib = {
+  ops : int;
+  total_ns : float;
+  a_loads : int;
+  a_stores : int;
+  a_cas : int;
+  a_write_backs : int;
+  a_fences : int;
+  a_sync_batches : int;
+  a_lines_drained : int;
+  a_lc_adds : int;
+  a_lc_fails : int;
+}
+
+type t
+
+val default_ring_size : int
+
+(** Attach a recorder ([ring_size] spans per domain, default 4096). Attach
+    at a quiescent point. Raises [Invalid_argument] if [ring_size <= 0]. *)
+val attach : ?ring_size:int -> Nvm.Heap.t -> t
+
+(** Remove this recorder's observer (others stay); idempotent. Recorded
+    spans and aggregates remain readable. *)
+val detach : t -> unit
+
+val ring_size : t -> int
+
+(** Spans ever recorded, including ones the rings have overwritten. *)
+val span_count : t -> int
+
+(** Spans lost to ring wrap-around. *)
+val dropped : t -> int
+
+(** Retained spans across all domains, oldest first (quiescent-only). *)
+val spans : t -> span list
+
+(** Per-op-name latency histograms, merged across domains, sorted by name
+    (quiescent-only). *)
+val histograms : t -> (string * Workload.Histogram.t) list
+
+(** Per-op-name persistence-cost totals, sorted by name (quiescent-only). *)
+val attribution : t -> (string * attrib) list
+
+(** Totals over all op names — cross-check against the heap's aggregate
+    {!Nvm.Pstats} for the traced window. *)
+val total_attribution : t -> attrib

@@ -16,16 +16,23 @@ let bucket_of_ns ns =
   if ns <= 1. then 0
   else min (buckets - 1) (int_of_float (log ns /. log_growth))
 
-let ns_of_bucket b = growth ** float_of_int b
+(* Bucket [b] covers [growth^b, growth^(b+1)); its geometric midpoint
+   growth^(b+0.5) is the least-biased single representative. Reporting the
+   lower bound (as the seed did) collapses low percentiles — p0 of any
+   sample read as 1 ns. *)
+let mid_of_bucket b = growth ** (float_of_int b +. 0.5)
 
 let record t ~ns =
-  t.counts.(bucket_of_ns ns) <- t.counts.(bucket_of_ns ns) + 1;
+  let b = bucket_of_ns ns in
+  t.counts.(b) <- t.counts.(b) + 1;
   t.total <- t.total + 1;
   if ns > t.max_ns then t.max_ns <- ns
 
 let count t = t.total
+let max_ns t = t.max_ns
 
-(** Latency (ns) at percentile [p] in [0, 100]. *)
+(** Latency (ns) at percentile [p] in [0, 100]: the geometric midpoint of the
+    bucket holding the rank-[p] sample, capped at the observed maximum. *)
 let percentile t p =
   if t.total = 0 then 0.
   else begin
@@ -33,9 +40,10 @@ let percentile t p =
     let rank = max 1 (min rank t.total) in
     let rec go b seen =
       let seen = seen + t.counts.(b) in
-      if seen >= rank || b = buckets - 1 then ns_of_bucket b else go (b + 1) seen
+      if seen >= rank || b = buckets - 1 then b else go (b + 1) seen
     in
-    go 0 0
+    let b = go 0 0 in
+    Float.min (mid_of_bucket b) t.max_ns
   end
 
 let mean t =
@@ -43,7 +51,7 @@ let mean t =
   else begin
     let sum = ref 0. in
     Array.iteri
-      (fun b c -> sum := !sum +. (float_of_int c *. ns_of_bucket b))
+      (fun b c -> sum := !sum +. (float_of_int c *. mid_of_bucket b))
       t.counts;
     !sum /. float_of_int t.total
   end

@@ -8,9 +8,12 @@ val create : unit -> t
 val record : t -> ns:float -> unit
 val count : t -> int
 
-(** Latency (ns) at percentile [p] in [0, 100]. *)
+(** Latency (ns) at percentile [p] in [0, 100]: the geometric midpoint of
+    the bucket holding the rank-[p] sample (within ~4% of the exact order
+    statistic), capped at the observed maximum. *)
 val percentile : t -> float -> float
 
 val mean : t -> float
+val max_ns : t -> float
 val merge : into:t -> t -> unit
 val pp : Format.formatter -> t -> unit

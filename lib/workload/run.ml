@@ -17,8 +17,8 @@ type result = {
   throughput : float;  (** operations per second *)
 }
 
-let throughput ~nthreads ~duration ~(step : tid:int -> rng:Xoshiro.t -> unit) ~seed
-    () =
+let throughput ?interval ?(on_tick = fun ~elapsed:_ -> ()) ~nthreads ~duration
+    ~(step : tid:int -> rng:Xoshiro.t -> unit) ~seed () =
   let stop = Atomic.make false in
   let barrier = Barrier.make (nthreads + 1) in
   let counts = Array.make nthreads 0 in
@@ -35,7 +35,22 @@ let throughput ~nthreads ~duration ~(step : tid:int -> rng:Xoshiro.t -> unit) ~s
   let domains = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
   Barrier.wait barrier;
   let t0 = Unix.gettimeofday () in
-  Unix.sleepf duration;
+  (* The main domain only times the run; with [interval] it wakes every that
+     many seconds for a live-metrics tick (the workers never notice). *)
+  (match interval with
+  | None -> Unix.sleepf duration
+  | Some iv ->
+      let iv = Float.max 0.01 iv in
+      let rec loop () =
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed < duration then begin
+          Unix.sleepf (Float.min iv (duration -. elapsed));
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed < duration then on_tick ~elapsed;
+          loop ()
+        end
+      in
+      loop ());
   Atomic.set stop true;
   List.iter Domain.join domains;
   let elapsed = Unix.gettimeofday () -. t0 in

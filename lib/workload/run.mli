@@ -14,8 +14,15 @@ type result = {
 (** [throughput ~nthreads ~duration ~step ~seed ()] spawns [nthreads]
     domains, each looping [step ~tid ~rng] until the stop flag is raised
     after [duration] seconds; domains synchronize on a barrier before the
-    clock starts. Thread ids double as heap/statistics thread ids. *)
+    clock starts. Thread ids double as heap/statistics thread ids.
+
+    With [interval], the otherwise-sleeping main domain calls [on_tick]
+    every that many seconds while the workers run — live metrics sampling
+    (`nvlf top`). [on_tick] runs concurrently with the workload, so it must
+    stick to read-only probes (e.g. {!Nvm.Heap.aggregate_stats}). *)
 val throughput :
+  ?interval:float ->
+  ?on_tick:(elapsed:float -> unit) ->
   nthreads:int ->
   duration:float ->
   step:(tid:int -> rng:Xoshiro.t -> unit) ->

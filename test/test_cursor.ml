@@ -191,13 +191,13 @@ let test_observer_raise_mid_drain () =
   let h = fresh_heap () in
   let cu = Heap.cursor h ~tid:0 in
   let drains = ref 0 in
-  Heap.set_observer h
-    (Some
-       (function
-       | Heap.Ev_drain _ ->
-           incr drains;
-           if !drains = 2 then raise Abort
-       | _ -> ()));
+  let obs =
+    Heap.Observer.add h (function
+      | Heap.Ev_drain _ ->
+          incr drains;
+          if !drains = 2 then raise Abort
+      | _ -> ())
+  in
   for i = 0 to 3 do
     Heap.Cursor.store cu (i * Cacheline.words_per_line) i;
     Heap.Cursor.write_back cu (i * Cacheline.words_per_line)
@@ -207,7 +207,7 @@ let test_observer_raise_mid_drain () =
   (* The interrupted drain forgot its pending write-backs... *)
   check_int "pending reset" 0 (Heap.Cursor.pending_count cu);
   (* ...and every clean line is volatile == durable. *)
-  Heap.clear_observer h;
+  Heap.Observer.remove h obs;
   for line = 0 to 3 do
     let a = line * Cacheline.words_per_line in
     if not (Heap.line_is_dirty h a) then

@@ -1,0 +1,364 @@
+(* NVTrace: observer multiplexing, flight-recorder semantics (wrap-around,
+   concurrent emit, drain-while-tracing), Chrome JSON well-formedness, and
+   the attribution-sums-to-aggregate invariant the tool's numbers rest on. *)
+
+module I = Harness.Instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON reader — enough to round-trip-parse a Chrome trace
+   without adding a parser dependency. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' ->
+            advance ();
+            skip_ws ()
+        | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c" c));
+      advance ()
+    in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' -> (
+            advance ();
+            let c = peek () in
+            advance ();
+            match c with
+            | '"' | '\\' | '/' -> Buffer.add_char b c; go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'f' -> Buffer.add_char b '\012'; go ()
+            | 'u' ->
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+                go ()
+            | c -> raise (Bad (Printf.sprintf "bad escape %c" c)))
+        | c -> advance (); Buffer.add_char b c; go ()
+      in
+      expect '"';
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then (advance (); Obj [])
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); fields ((k, v) :: acc)
+              | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+            in
+            fields []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then (advance (); Arr [])
+          else
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> advance (); items (v :: acc)
+              | ']' -> advance (); Arr (List.rev (v :: acc))
+              | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+            in
+            items []
+      | '"' -> Str (string_body ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> number ()
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj fields -> List.assoc k fields
+    | _ -> raise (Bad "not an object")
+
+  let to_list = function Arr l -> l | _ -> raise (Bad "not an array")
+  let to_string = function Str s -> s | _ -> raise (Bad "not a string")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Observer multiplexer.                                               *)
+
+let mk_heap () =
+  Nvm.Heap.create ~latency:(Nvm.Latency_model.default ()) ~size_words:1024 ()
+
+let test_observer_fanout () =
+  let h = mk_heap () in
+  let a = ref 0 and b = ref 0 in
+  let count r = function Nvm.Heap.Ev_store _ -> incr r | _ -> () in
+  check_int "starts empty" 0 (Nvm.Heap.Observer.count h);
+  let ha = Nvm.Heap.Observer.add h (count a) in
+  let hb = Nvm.Heap.Observer.add h (count b) in
+  check_int "two attached" 2 (Nvm.Heap.Observer.count h);
+  Nvm.Heap.store h ~tid:0 0 1;
+  check_int "first sees store" 1 !a;
+  check_int "second sees store" 1 !b;
+  Nvm.Heap.Observer.remove h ha;
+  Nvm.Heap.store h ~tid:0 0 2;
+  check_int "removed stops" 1 !a;
+  check_int "remaining continues" 2 !b;
+  Nvm.Heap.Observer.remove h ha;
+  (* idempotent *)
+  Nvm.Heap.Observer.remove h hb;
+  Nvm.Heap.store h ~tid:0 0 3;
+  check_int "all detached" 2 !b;
+  check_int "empty again" 0 (Nvm.Heap.Observer.count h)
+
+let test_observer_order () =
+  let h = mk_heap () in
+  let log = ref [] in
+  let tag name = function
+    | Nvm.Heap.Ev_fence _ -> log := name :: !log
+    | _ -> ()
+  in
+  let _ = Nvm.Heap.Observer.add h (tag "first") in
+  let _ = Nvm.Heap.Observer.add h (tag "second") in
+  Nvm.Heap.fence h ~tid:0;
+  check_bool "delivery in attach order" true
+    (List.rev !log = [ "first"; "second" ])
+
+(* NVSan and NVTrace share one heap through the multiplexer: the sanitizer
+   still sees every event (no violations on a correct structure) while the
+   tracer records spans. *)
+let test_nvsan_coexists () =
+  let inst = Tutil.mk I.Hash I.Lc in
+  let heap = Lfds.Ctx.heap inst.ctx in
+  let san =
+    Sanitizer.Nvsan.attach
+      ~config:
+        {
+          (Sanitizer.Nvsan.default_config ~durable:true) with
+          root_limit = Lfds.Ctx.static_limit inst.ctx;
+        }
+      heap
+  in
+  let tr = Trace.Nvtrace.attach heap in
+  check_int "both attached" 2 (Nvm.Heap.Observer.count heap);
+  for k = 1 to 200 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  for k = 1 to 100 do
+    ignore (inst.ops.remove ~tid:0 ~key:k)
+  done;
+  Trace.Nvtrace.detach tr;
+  Sanitizer.Nvsan.detach san;
+  check_int "sanitizer clean under tracing" 0
+    (Sanitizer.Nvsan.violation_count san);
+  check_int "tracer saw every op" 300 (Trace.Nvtrace.span_count tr)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder.                                                    *)
+
+let test_ring_wraparound () =
+  let inst = Tutil.mk I.List I.Lp in
+  let tr = Trace.Nvtrace.attach ~ring_size:8 (Lfds.Ctx.heap inst.ctx) in
+  for k = 1 to 20 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  Trace.Nvtrace.detach tr;
+  check_int "all ops counted" 20 (Trace.Nvtrace.span_count tr);
+  check_int "ring keeps ring_size" 8 (List.length (Trace.Nvtrace.spans tr));
+  check_int "overflow reported dropped" 12 (Trace.Nvtrace.dropped tr);
+  (* The retained spans are the newest: keys 13..20, oldest first. *)
+  Alcotest.(check (list int))
+    "newest spans survive"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun s -> s.Trace.Nvtrace.key) (Trace.Nvtrace.spans tr));
+  (* Aggregates cover the whole run, not just the ring. *)
+  let _, h = List.hd (Trace.Nvtrace.histograms tr) in
+  check_int "histogram survives wrap-around" 20 (Workload.Histogram.count h);
+  let total = Trace.Nvtrace.total_attribution tr in
+  check_int "attribution survives wrap-around" 20 total.Trace.Nvtrace.ops
+
+let test_concurrent_emit () =
+  let nthreads = 4 in
+  let inst = Tutil.mk ~nthreads ~size_hint:256 I.Hash I.Lc in
+  Workload.Keygen.prefill inst.ops ~size:256 ~seed:3;
+  let tr = Trace.Nvtrace.attach (Lfds.Ctx.heap inst.ctx) in
+  let r =
+    Workload.Run.throughput ~nthreads ~duration:0.05
+      ~step:
+        (Workload.Run.set_workload inst.ops ~mix:Workload.Keygen.update_only
+           ~range:(Workload.Keygen.range_for ~size:256))
+      ~seed:3 ()
+  in
+  Trace.Nvtrace.detach tr;
+  check_int "every op became a span" r.total_ops (Trace.Nvtrace.span_count tr);
+  let spans = Trace.Nvtrace.spans tr in
+  let tids = List.sort_uniq compare (List.map (fun s -> s.Trace.Nvtrace.tid) spans) in
+  check_bool "spans from several domains" true (List.length tids >= 2);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Trace.Nvtrace.start_ns <= b.Trace.Nvtrace.start_ns && sorted rest
+    | _ -> true
+  in
+  check_bool "merged oldest-first" true (sorted spans);
+  let hist_total =
+    List.fold_left
+      (fun acc (_, h) -> acc + Workload.Histogram.count h)
+      0 (Trace.Nvtrace.histograms tr)
+  in
+  check_int "histograms cover every op" r.total_ops hist_total
+
+(* Drain the ring into Chrome JSON while the tracer is still attached, keep
+   working, drain again: both documents must parse and the second must see
+   the later spans. *)
+let test_drain_while_tracing () =
+  let inst = Tutil.mk I.Bst I.Lp in
+  let tr = Trace.Nvtrace.attach (Lfds.Ctx.heap inst.ctx) in
+  for k = 1 to 50 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  let drain () =
+    let b = Trace.Chrome_trace.create () in
+    Trace.Chrome_trace.add_process b ~pid:0 ~name:"drain-test";
+    Trace.Chrome_trace.add_spans b ~pid:0 (Trace.Nvtrace.spans tr);
+    (Trace.Chrome_trace.event_count b, Json.parse (Trace.Chrome_trace.contents b))
+  in
+  let n1, doc1 = drain () in
+  check_int "metadata + 50 spans" 51 n1;
+  for k = 51 to 80 do
+    ignore (inst.ops.insert ~tid:0 ~key:k ~value:k)
+  done;
+  let n2, doc2 = drain () in
+  Trace.Nvtrace.detach tr;
+  check_int "second drain sees new spans" 81 n2;
+  let events doc = Json.(to_list (member "traceEvents" doc)) in
+  check_int "doc1 round-trips" n1 (List.length (events doc1));
+  check_int "doc2 round-trips" n2 (List.length (events doc2));
+  (* Spot-check the Chrome fields tracing UIs rely on. *)
+  let x =
+    List.find (fun e -> Json.(to_string (member "ph" e)) = "X") (events doc2)
+  in
+  check_string "span name is the op label" "bst.insert"
+    Json.(to_string (member "name" x));
+  List.iter
+    (fun k -> ignore (Json.member k x))
+    [ "ts"; "dur"; "pid"; "tid"; "args" ]
+
+(* The acceptance invariant: per-span persistence costs, summed, equal the
+   heap's aggregate Pstats over the traced window (tolerance 1%; the
+   counter-diff design makes them exact when every event is bracketed). *)
+let test_attribution_sums_to_aggregate () =
+  let inst = Tutil.mk ~size_hint:512 I.Hash I.Lc in
+  let heap = Lfds.Ctx.heap inst.ctx in
+  Workload.Keygen.prefill inst.ops ~size:512 ~seed:5;
+  Nvm.Heap.reset_stats heap;
+  let tr = Trace.Nvtrace.attach heap in
+  let rng = Workload.Xoshiro.make ~seed:5 in
+  for _ = 1 to 3000 do
+    let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:1024 in
+    if Workload.Xoshiro.chance rng ~num:1 ~den:2 then
+      ignore (inst.ops.insert ~tid:0 ~key ~value:key)
+    else ignore (inst.ops.remove ~tid:0 ~key)
+  done;
+  Trace.Nvtrace.detach tr;
+  let agg = Nvm.Heap.aggregate_stats heap in
+  let t = Trace.Nvtrace.total_attribution tr in
+  let close name got want =
+    let slack = max 1 (want / 100) in
+    if abs (got - want) > slack then
+      Alcotest.failf "%s: attributed %d vs aggregate %d" name got want
+  in
+  let open Trace.Nvtrace in
+  close "write_backs" t.a_write_backs agg.write_backs;
+  close "fences" t.a_fences agg.fences;
+  close "sync_batches" t.a_sync_batches agg.sync_batches;
+  close "lines_drained" t.a_lines_drained agg.lines_drained;
+  close "lc_adds" t.a_lc_adds agg.lc_adds;
+  check_int "span total" 3000 t.ops
+
+let test_ring_size_validation () =
+  let h = mk_heap () in
+  Alcotest.check_raises "zero ring" (Invalid_argument "Nvtrace.attach: ring_size") (fun () ->
+      ignore (Trace.Nvtrace.attach ~ring_size:0 h));
+  let tr = Trace.Nvtrace.attach ~ring_size:4 h in
+  check_int "ring size stored" 4 (Trace.Nvtrace.ring_size tr);
+  Trace.Nvtrace.detach tr;
+  Trace.Nvtrace.detach tr;
+  (* idempotent *)
+  check_int "observer gone" 0 (Nvm.Heap.Observer.count h)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "observer",
+        [
+          Alcotest.test_case "fanout add/remove" `Quick test_observer_fanout;
+          Alcotest.test_case "attach order" `Quick test_observer_order;
+          Alcotest.test_case "nvsan coexists" `Quick test_nvsan_coexists;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "ring wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "concurrent emit" `Quick test_concurrent_emit;
+          Alcotest.test_case "drain while tracing" `Quick test_drain_while_tracing;
+          Alcotest.test_case "ring size validation" `Quick test_ring_size_validation;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "sums to aggregate" `Quick
+            test_attribution_sums_to_aggregate;
+        ] );
+    ]

@@ -102,6 +102,59 @@ let test_histogram_percentiles () =
     (let m = Workload.Histogram.mean h in
      m > 400. && m < 620.)
 
+(* The histogram against an exact sorted-array reference: every reported
+   percentile must sit within one geometric bucket (8% growth, midpoint
+   representative => within ~±8.2%) of the true order statistic. *)
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (p /. 100. *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let check_against_reference samples =
+  let h = Workload.Histogram.create () in
+  Array.iter (fun ns -> Workload.Histogram.record h ~ns) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun p ->
+      let want = exact_percentile sorted p in
+      let got = Workload.Histogram.percentile h p in
+      let rel = got /. want in
+      if rel < 1. /. 1.09 || rel > 1.09 then
+        Alcotest.failf "p%g: histogram %.1f vs exact %.1f (x%.3f)" p got want
+          rel)
+    [ 50.; 90.; 99.; 99.9 ]
+
+let test_histogram_vs_exact_uniform () =
+  let r = Workload.Xoshiro.make ~seed:21 in
+  check_against_reference
+    (Array.init 10_000 (fun _ ->
+         float_of_int (Workload.Xoshiro.in_range r ~lo:100 ~hi:1_000_000)))
+
+let test_histogram_vs_exact_log_uniform () =
+  let r = Workload.Xoshiro.make ~seed:22 in
+  (* Latency-like: log-uniform over 10 ns .. 1 s. *)
+  check_against_reference
+    (Array.init 10_000 (fun _ ->
+         10. ** (1. +. (8. *. float_of_int (Workload.Xoshiro.below r 10_000) /. 10_000.))))
+
+(* The seed reported each bucket's lower bound, so any percentile of a
+   constant sample could read as low as the bucket floor; the geometric
+   midpoint must stay within half a bucket of the true value. *)
+let test_histogram_constant_sample () =
+  let h = Workload.Histogram.create () in
+  for _ = 1 to 100 do
+    Workload.Histogram.record h ~ns:1000.
+  done;
+  List.iter
+    (fun p ->
+      let got = Workload.Histogram.percentile h p in
+      check_bool
+        (Printf.sprintf "p%g of constant 1000 within a bucket (got %g)" p got)
+        true
+        (got > 920. && got <= 1000.))
+    [ 1.; 50.; 100. ]
+
 let test_histogram_merge () =
   let a = Workload.Histogram.create () and b = Workload.Histogram.create () in
   Workload.Histogram.record a ~ns:10.;
@@ -144,6 +197,12 @@ let () =
           Alcotest.test_case "formats" `Quick test_report_formats;
           Alcotest.test_case "calibration" `Quick test_calibrate_positive;
           Alcotest.test_case "histogram" `Quick test_histogram_percentiles;
+          Alcotest.test_case "histogram vs exact (uniform)" `Quick
+            test_histogram_vs_exact_uniform;
+          Alcotest.test_case "histogram vs exact (log-uniform)" `Quick
+            test_histogram_vs_exact_log_uniform;
+          Alcotest.test_case "histogram constant sample" `Quick
+            test_histogram_constant_sample;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "latency profile" `Quick test_latency_profile;
         ] );
