@@ -835,6 +835,55 @@ let micro () =
 (* every test pass (dune alias bench-smoke) and to anchor the repo's   *)
 (* BENCH_*.json trajectory across PRs.                                 *)
 
+(* NVServe end-to-end point: the link-and-persist store served over real
+   loopback TCP, driven by the validated load client. TCP dominates the
+   latency here, so no NVRAM latency is injected — the point tracks the
+   serving stack, the hash points below track the persistence algorithms. *)
+let smoke_loadgen opts =
+  let nworkers = 2 and nconns = 2 and nkeys = 2_000 and pipeline = 8 in
+  let srv =
+    Server.Nvserve.start
+      {
+        (Server.Nvserve.default_config ()) with
+        Server.Nvserve.nworkers;
+        nbuckets = 2048;
+        capacity = 20_000;
+      }
+  in
+  let r =
+    Server.Loadgen.run
+      {
+        (Server.Loadgen.default_config ~port:(Server.Nvserve.port srv)) with
+        Server.Loadgen.nconns = nconns;
+        duration = Float.max 0.2 opts.duration;
+        nkeys;
+        pipeline;
+        seed = opts.seed;
+      }
+  in
+  Server.Nvserve.stop srv;
+  let p q = Histogram.percentile r.Server.Loadgen.hist q in
+  Json_out.add ~kind:"loadgen"
+    Json_out.
+      [
+        ("mode", S (Lfds.Persist_mode.to_string Lfds.Persist_mode.Link_persist));
+        ("workers", I nworkers);
+        ("conns", I nconns);
+        ("pipeline", I pipeline);
+        ("keys", I nkeys);
+        ("ops", I r.Server.Loadgen.ops);
+        ("ops_per_s", F r.Server.Loadgen.ops_per_s);
+        ("errors", I r.Server.Loadgen.errors);
+        ("dead_conns", I r.Server.Loadgen.dead_conns);
+        ("p50_ns", F (p 50.));
+        ("p99_ns", F (p 99.));
+      ];
+  pr "smoke: nvserve loadgen workers=%d conns=%d  %s  p50=%s p99=%s errors=%d\n"
+    nworkers nconns
+    (Report.human_ops r.Server.Loadgen.ops_per_s)
+    (Report.human_ns (p 50.)) (Report.human_ns (p 99.))
+    r.Server.Loadgen.errors
+
 let smoke opts =
   let mix = Keygen.update_only in
   let size = 1024 in
@@ -862,7 +911,8 @@ let smoke opts =
       pr "smoke: hash size=%d threads=%d write_ns=%d  log=%s  lc=%s  lc/log=%.2fx\n"
         size nthreads (base_write_ns opts) (Report.human_ops base)
         (Report.human_ops lc) (lc /. base))
-    opts.threads
+    opts.threads;
+  smoke_loadgen opts
 
 (* ------------------------------------------------------------------ *)
 (* Command line.                                                       *)

@@ -6,6 +6,9 @@
      nvlf sanitize --struct list --max-dirty 10        NVSan + crash-state enum
      nvlf trace  --structure hash --out trace.json     flight-record a run
      nvlf top    --structure hash --interval 0.5       live substrate rates
+     nvlf serve  --port 11211 --workers 4              NVServe TCP front end
+     nvlf serve  --drill                               kill/recover/audit drill
+     nvlf loadgen --port 11211 --conns 8               load client + latency
 
    The benchmark figures live in bench/main.exe; this tool is for poking at
    a single configuration interactively. *)
@@ -398,9 +401,306 @@ let top_cmd =
       const top $ structure_arg $ flavor_arg $ size_arg $ threads_arg
       $ duration_arg $ seed_arg $ update_pct_arg $ interval)
 
+(* --- NVServe: TCP server, load client, crash drill --- *)
+
+let mode_conv =
+  let parse = function
+    | "volatile" -> Ok Lfds.Persist_mode.Volatile
+    | "lp" | "link-persist" -> Ok Lfds.Persist_mode.Link_persist
+    | "lc" | "link-cache" -> Ok Lfds.Persist_mode.Link_cache
+    | s -> Error (`Msg ("unknown persist mode: " ^ s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Lfds.Persist_mode.to_string m))
+
+let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
+  let ms s = Printf.sprintf "%.2f ms" (s *. 1e3) in
+  Printf.printf "drill: %s, %d workers/shards, %d keys over %d-capacity store\n"
+    (Lfds.Persist_mode.to_string c.Server.Drill.mode)
+    c.Server.Drill.nworkers c.Server.Drill.nkeys c.Server.Drill.capacity;
+  let l = r.Server.Drill.load in
+  Printf.printf
+    "load:  %d ops (%s) from %d conns before the kill; %d sets, %d deletes, \
+     %d gets (%d hits), %d errors\n"
+    l.Server.Loadgen.ops
+    (Report.human_ops l.Server.Loadgen.ops_per_s)
+    c.Server.Drill.nconns l.Server.Loadgen.sets l.Server.Loadgen.deletes
+    l.Server.Loadgen.gets l.Server.Loadgen.hits l.Server.Loadgen.errors;
+  Printf.printf
+    "crash: kill mid-traffic, torn op %s, eviction p=%.2f; %d acked keys, %d \
+     in-flight\n"
+    (if r.Server.Drill.torn then "injected" else "not injected")
+    c.Server.Drill.eviction_probability r.Server.Drill.acked_keys
+    r.Server.Drill.inflight_keys;
+  Printf.printf
+    "recovery: layout %s + attach/sweep %s = %s total; %d leaked nodes freed, \
+     %d residual\n"
+    (ms r.Server.Drill.ctx_recover_s)
+    (ms r.Server.Drill.sweep_s)
+    (ms r.Server.Drill.recovery_s)
+    r.Server.Drill.freed_leaks r.Server.Drill.residual_leaks;
+  Printf.printf
+    "audit: %d acked keys verified over TCP, %d exempt (in-flight), %d lost%s; \
+     post-recovery probe %s\n"
+    r.Server.Drill.checked r.Server.Drill.exempt r.Server.Drill.lost
+    (if r.Server.Drill.strict then "" else " (tolerated: link-cache acks are durable only to the last flush)")
+    (if r.Server.Drill.post_ok then "ok" else "FAILED");
+  Printf.printf "verdict: %s\n%!" (if r.Server.Drill.ok then "OK" else "FAILED")
+
+let serve port workers buckets capacity mode idle_timeout duration drill conns
+    keys pipeline evict_p no_torn seed =
+  if drill then begin
+    let c =
+      {
+        Server.Drill.nworkers = workers;
+        nbuckets = buckets;
+        capacity;
+        mode;
+        nconns = conns;
+        duration = (if duration > 0. then duration else 1.0);
+        nkeys = keys;
+        pipeline;
+        seed;
+        eviction_probability = evict_p;
+        torn_op = not no_torn;
+      }
+    in
+    let r = Server.Drill.run c in
+    print_drill_report c r;
+    if not r.Server.Drill.ok then exit 1
+  end
+  else begin
+    let cfg =
+      {
+        (Server.Nvserve.default_config ()) with
+        Server.Nvserve.port;
+        nworkers = workers;
+        nbuckets = buckets;
+        capacity;
+        mode;
+        idle_timeout;
+      }
+    in
+    let srv = Server.Nvserve.start cfg in
+    Printf.printf
+      "nvlf serve: %s on 127.0.0.1:%d — %d workers/shards, %d buckets, \
+       capacity %d (Ctrl-C for graceful stop)\n%!"
+      (Lfds.Persist_mode.to_string mode)
+      (Server.Nvserve.port srv) workers buckets capacity;
+    let stop_flag = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop_flag := true) in
+    Sys.set_signal Sys.sigint handler;
+    (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+    let t0 = Unix.gettimeofday () in
+    while
+      (not !stop_flag)
+      && (duration <= 0. || Unix.gettimeofday () -. t0 < duration)
+    do
+      Unix.sleepf 0.1
+    done;
+    Server.Nvserve.stop srv;
+    Printf.printf
+      "nvlf serve: stopped after %.1fs — %d connections, %d requests, %d items; \
+       store persisted\n%!"
+      (Unix.gettimeofday () -. t0)
+      (Server.Nvserve.connections_accepted srv)
+      (Server.Nvserve.requests_served srv)
+      (Server.Shard_store.count (Server.Nvserve.store srv))
+  end
+
+(* Minimal nvlf-bench/2 document with one "loadgen" record, matching the
+   schema bench/json_out.ml writes (documented in EXPERIMENTS.md). *)
+let loadgen_json_doc path (cfg : Server.Loadgen.config) (r : Server.Loadgen.report) =
+  let b = Buffer.create 1024 in
+  let esc s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '"' -> "\\\""
+           | '\\' -> "\\\\"
+           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"nvlf-bench/2\",\"generated_unix\":%.3f,\"argv\":[%s],\"records\":[{"
+       (Unix.gettimeofday ())
+       (String.concat ","
+          (Array.to_list
+             (Array.map (fun a -> "\"" ^ esc a ^ "\"") Sys.argv))));
+  let p q = Workload.Histogram.percentile r.Server.Loadgen.hist q in
+  Buffer.add_string b
+    (String.concat ","
+       [
+         "\"kind\":\"loadgen\"";
+         Printf.sprintf "\"host\":\"%s\"" (esc cfg.Server.Loadgen.host);
+         Printf.sprintf "\"port\":%d" cfg.Server.Loadgen.port;
+         Printf.sprintf "\"conns\":%d" cfg.Server.Loadgen.nconns;
+         Printf.sprintf "\"duration\":%.6g" cfg.Server.Loadgen.duration;
+         Printf.sprintf "\"keys\":%d" cfg.Server.Loadgen.nkeys;
+         Printf.sprintf "\"set_pct\":%d" cfg.Server.Loadgen.mix.Keygen.insert_pct;
+         Printf.sprintf "\"delete_pct\":%d" cfg.Server.Loadgen.mix.Keygen.remove_pct;
+         Printf.sprintf "\"pipeline\":%d" cfg.Server.Loadgen.pipeline;
+         Printf.sprintf "\"value_bytes\":%d" cfg.Server.Loadgen.value_bytes;
+         Printf.sprintf "\"seed\":%d" cfg.Server.Loadgen.seed;
+         Printf.sprintf "\"ops\":%d" r.Server.Loadgen.ops;
+         Printf.sprintf "\"ops_per_s\":%.6g" r.Server.Loadgen.ops_per_s;
+         Printf.sprintf "\"sets\":%d" r.Server.Loadgen.sets;
+         Printf.sprintf "\"deletes\":%d" r.Server.Loadgen.deletes;
+         Printf.sprintf "\"gets\":%d" r.Server.Loadgen.gets;
+         Printf.sprintf "\"hits\":%d" r.Server.Loadgen.hits;
+         Printf.sprintf "\"misses\":%d" r.Server.Loadgen.misses;
+         Printf.sprintf "\"errors\":%d" r.Server.Loadgen.errors;
+         Printf.sprintf "\"dead_conns\":%d" r.Server.Loadgen.dead_conns;
+         Printf.sprintf "\"elapsed\":%.6g" r.Server.Loadgen.elapsed;
+         Printf.sprintf "\"p50_ns\":%.6g" (p 50.);
+         Printf.sprintf "\"p99_ns\":%.6g" (p 99.);
+         Printf.sprintf "\"p999_ns\":%.6g" (p 99.9);
+         Printf.sprintf "\"mean_ns\":%.6g" (Workload.Histogram.mean r.Server.Loadgen.hist);
+         Printf.sprintf "\"max_ns\":%.6g" (Workload.Histogram.max_ns r.Server.Loadgen.hist);
+       ]);
+  Buffer.add_string b "}]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let loadgen host port conns duration keys set_pct delete_pct pipeline
+    value_bytes seed json =
+  let cfg =
+    {
+      Server.Loadgen.host;
+      port;
+      nconns = conns;
+      duration;
+      nkeys = keys;
+      mix = { Keygen.insert_pct = set_pct; remove_pct = delete_pct };
+      pipeline;
+      value_bytes;
+      seed;
+    }
+  in
+  let r = Server.Loadgen.run cfg in
+  Printf.printf
+    "loadgen: %d ops in %.2fs = %s over %d conns (pipeline %d)\n"
+    r.Server.Loadgen.ops r.Server.Loadgen.elapsed
+    (Report.human_ops r.Server.Loadgen.ops_per_s)
+    conns pipeline;
+  Printf.printf "  %d sets, %d deletes, %d gets (%d hits / %d misses)\n"
+    r.Server.Loadgen.sets r.Server.Loadgen.deletes r.Server.Loadgen.gets
+    r.Server.Loadgen.hits r.Server.Loadgen.misses;
+  let p q = Workload.Histogram.percentile r.Server.Loadgen.hist q in
+  Printf.printf "  latency p50 %s  p99 %s  p99.9 %s  max %s\n"
+    (Report.human_ns (p 50.)) (Report.human_ns (p 99.))
+    (Report.human_ns (p 99.9))
+    (Report.human_ns (Workload.Histogram.max_ns r.Server.Loadgen.hist));
+  if r.Server.Loadgen.errors > 0 || r.Server.Loadgen.dead_conns > 0 then
+    Printf.printf "  %d errors, %d dead connections\n" r.Server.Loadgen.errors
+      r.Server.Loadgen.dead_conns;
+  (match json with None -> () | Some path -> loadgen_json_doc path cfg r);
+  if r.Server.Loadgen.errors > 0 then exit 1
+
+let port_arg =
+  Arg.(value & opt int 11211 & info [ "port" ] ~doc:"TCP port (0 = ephemeral).")
+
+let workers_arg =
+  Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker domains (= shards).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Lfds.Persist_mode.Link_persist
+    & info [ "mode" ] ~doc:"volatile | lp | lc")
+
+let conns_arg =
+  Arg.(value & opt int 4 & info [ "conns" ] ~doc:"Client connections.")
+
+let keys_arg = Arg.(value & opt int 10_000 & info [ "keys" ] ~doc:"Key-range size.")
+
+let pipeline_arg =
+  Arg.(value & opt int 8 & info [ "pipeline" ] ~doc:"Requests per batch.")
+
+let serve_cmd =
+  let buckets =
+    Arg.(value & opt int 4096 & info [ "buckets" ] ~doc:"Hash buckets (total).")
+  in
+  let capacity =
+    Arg.(value & opt int 100_000 & info [ "capacity" ] ~doc:"LRU capacity (items).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.
+      & info [ "idle-timeout" ] ~doc:"Close idle connections after SECONDS (0 = never.)")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.
+      & info [ "duration" ]
+          ~doc:"Serve for SECONDS then stop gracefully (0 = until Ctrl-C). \
+                With $(b,--drill): seconds of load before the kill.")
+  in
+  let drill =
+    Arg.(
+      value & flag
+      & info [ "drill" ]
+          ~doc:
+            "Crash-recovery drill: take load, kill the server mid-traffic, \
+             power-cut the heap, recover, restart, and audit every \
+             acknowledged mutation over TCP. Exit 1 on any loss, leak, or \
+             failed restart.")
+  in
+  let evict_p =
+    Arg.(
+      value & opt float 0.5
+      & info [ "evict-p" ] ~doc:"Drill: cache-line eviction probability at the crash.")
+  in
+  let no_torn =
+    Arg.(
+      value & flag
+      & info [ "no-torn-op" ] ~doc:"Drill: skip the injected mid-operation crash.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"NVServe: sharded memcached-protocol TCP server over the NV heap")
+    Term.(
+      const serve $ port_arg $ workers_arg $ buckets $ capacity $ mode_arg
+      $ idle_timeout $ duration $ drill $ conns_arg $ keys_arg $ pipeline_arg
+      $ evict_p $ no_torn $ seed_arg)
+
+let loadgen_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let duration =
+    Arg.(value & opt float 2. & info [ "duration" ] ~doc:"Seconds of load.")
+  in
+  let set_pct =
+    Arg.(value & opt int 20 & info [ "set-pct" ] ~doc:"Percentage of sets.")
+  in
+  let delete_pct =
+    Arg.(value & opt int 10 & info [ "delete-pct" ] ~doc:"Percentage of deletes.")
+  in
+  let value_bytes =
+    Arg.(value & opt int 24 & info [ "value-bytes" ] ~doc:"Payload size.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write an nvlf-bench/2 loadgen record.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive an NVServe instance with validated concurrent load")
+    Term.(
+      const loadgen $ host $ port_arg $ conns_arg $ duration $ keys_arg
+      $ set_pct $ delete_pct $ pipeline_arg $ value_bytes $ seed_arg $ json)
+
 let () =
   let info = Cmd.info "nvlf" ~doc:"Log-free durable data structures driver" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ stats_cmd; drill_cmd; run_cmd; sanitize_cmd; trace_cmd; top_cmd ]))
+          [
+            stats_cmd; drill_cmd; run_cmd; sanitize_cmd; trace_cmd; top_cmd;
+            serve_cmd; loadgen_cmd;
+          ]))

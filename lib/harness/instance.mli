@@ -3,9 +3,15 @@
     hooks benchmarks and tests need. Creation and recovery share the layout
     carving code, so addresses always agree. *)
 
+(** The four paper structures: Harris linked list, hash table of Harris
+    lists, Herlihy–Shavit skip list, Natarajan–Mittal BST. *)
 type structure = List | Hash | Skiplist | Bst
 
+(** Short name used in reports and CLI arguments ("linked-list",
+    "hash-table", "skip-list", "bst"). *)
 val structure_name : structure -> string
+
+(** All four, in the order benchmarks iterate them. *)
 val all_structures : structure list
 
 type flavor =
@@ -14,21 +20,24 @@ type flavor =
   | Lc  (** link cache *)
   | Log  (** lock-based algorithm + write-ahead log *)
 
+(** Short name used in reports and CLI arguments ("volatile", "lp", "lc",
+    "log"). *)
 val flavor_name : flavor -> string
 
+(** One built configuration and everything needed to drive or recover it. *)
 type t = {
   structure : structure;
   flavor : flavor;
-  cfg : Lfds.Ctx.config;
-  ctx : Lfds.Ctx.t;
-  ops : Lfds.Set_intf.ops;
+  cfg : Lfds.Ctx.config;  (** the config the context was created with *)
+  ctx : Lfds.Ctx.t;  (** the live context (heap, epochs, link cache) *)
+  ops : Lfds.Set_intf.ops;  (** insert/remove/search entry points *)
   iter_reachable : (int -> unit) -> unit;
       (** every reachable node address (interior nodes included) *)
   locate : key:int -> int option;
       (** node address holding a key, for search-based sweeps *)
-  hash_buckets : int;
-  skiplist_levels : int;
-  wal_mode : Baseline.Wal.sync_mode;
+  hash_buckets : int;  (** bucket count used (hash structure only) *)
+  skiplist_levels : int;  (** level count used (skip list only) *)
+  wal_mode : Baseline.Wal.sync_mode;  (** log sync policy (Log flavor only) *)
 }
 
 (** Build a fresh instance. [size_hint] drives heap sizing and bucket

@@ -57,6 +57,10 @@ let evict_one t cu =
       end
 
 let set_ttl t ~tid ~key ~value ~expire_at =
+  (* Size-class check up front: an oversized pair must raise before the old
+     item is removed, or a rejected overwrite would destroy the stored
+     value. *)
+  ignore (Item.words_for ~key_len:(String.length key) ~val_len:(String.length value));
   let h = Strpack.hash key in
   Ctx.with_op_c ~name:"mc.set" ~key:h t.ctx (Ctx.cursor t.ctx ~tid) (fun cu ->
       Mutex.lock t.lock;
@@ -131,20 +135,23 @@ let incr t ~tid ~key ~delta =
 
 let count t = Atomic.get t.count
 
-(** Recover a crashed NV-Memcached: restore hash-table consistency, sweep the
-    active slabs for allocated-but-unreachable items, rebuild the volatile
-    LRU and item count. Returns the recovered instance. *)
-let recover ctx ~nbuckets ~capacity ~active_pages =
+(** Every reachable node address: hash nodes plus the items their values
+    point to — the traversal the recovery sweep needs. *)
+let iter_reachable t f =
+  Durable_hash.iter_nodes t.ctx t.table (fun node ~deleted ->
+      f node;
+      if not deleted then
+        f (Nvm.Heap.load (Ctx.heap t.ctx) ~tid:0 (node + 1)))
+
+(** Re-attach to a crashed (or cleanly shut down) table: restore hash-table
+    consistency and rebuild the volatile LRU and item count, but do {e not}
+    sweep for leaked items. A single-table caller wants [recover]; a sharded
+    front end (NVServe) attaches every shard first and then runs one combined
+    sweep over the union of their reachable sets, because the active pages
+    are shared across shards. *)
+let attach ctx ~nbuckets ~capacity =
   let table = Durable_hash.attach ctx ~nbuckets in
   Durable_hash.recover_consistency ctx table;
-  (* Reachable = hash nodes plus the items their values point to. *)
-  let iter f =
-    Durable_hash.iter_nodes ctx table (fun node ~deleted ->
-        f node;
-        if not deleted then
-          f (Nvm.Heap.load (Ctx.heap ctx) ~tid:0 (node + 1)))
-  in
-  ignore (Recovery.sweep_traversal ctx ~active_pages ~iter);
   let t =
     {
       ctx;
@@ -161,6 +168,14 @@ let recover ctx ~nbuckets ~capacity ~active_pages =
         Lru.add t.lru item;
         ignore (Atomic.fetch_and_add t.count 1)
       end);
+  t
+
+(** Recover a crashed NV-Memcached: restore hash-table consistency, sweep the
+    active slabs for allocated-but-unreachable items, rebuild the volatile
+    LRU and item count. Returns the recovered instance. *)
+let recover ctx ~nbuckets ~capacity ~active_pages =
+  let t = attach ctx ~nbuckets ~capacity in
+  ignore (Recovery.sweep_traversal ctx ~active_pages ~iter:(iter_reachable t));
   t
 
 let ops ?(name = "nv-memcached") t =

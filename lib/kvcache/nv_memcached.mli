@@ -28,4 +28,17 @@ val count : t -> int
 val recover :
   Lfds.Ctx.t -> nbuckets:int -> capacity:int -> active_pages:int list -> t
 
+(** [recover] without the leak sweep: restore table consistency and rebuild
+    the volatile LRU and count only. For sharded deployments (NVServe) that
+    attach every shard and then run one combined sweep over the union of the
+    shards' reachable sets — active pages are shared across shards, so
+    per-shard sweeps would free each other's live items. *)
+val attach : Lfds.Ctx.t -> nbuckets:int -> capacity:int -> t
+
+(** Call [f] with every reachable node address — hash-table nodes and the
+    items their values point to — for recovery sweeps and leak counting. *)
+val iter_reachable : t -> (int -> unit) -> unit
+
+(** Package as the common cache interface ([name] defaults to
+    ["nv-memcached"]). *)
 val ops : ?name:string -> t -> Cache_intf.ops

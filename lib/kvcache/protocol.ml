@@ -4,13 +4,17 @@
     [replace], [get]/[gets] (multi-key), [delete], [incr]/[decr], [touch]
     via re-set, [stats], [version], [verbosity] — against a
     [Cache_intf.ops], so the same frontend drives the volatile, clht and NV
-    builds. There is no socket layer in the sealed build environment; the
-    protocol operates on request strings (a real server would feed it from
-    a connection loop), which is the part of Memcached the paper replaces
-    anyway — the network stack is identical across the compared systems.
+    builds. The protocol operates on complete request strings; the socket
+    loop that frames them out of a TCP byte stream is NVServe
+    ([Server.Nvserve]), whose workers call [handle] once per framed request.
 
     Requests are complete commands including any data block:
-    {v set greeting 0 0 5\r\nhello\r\n v} *)
+    {v set greeting 0 0 5\r\nhello\r\n v}
+
+    Malformed input — torn data blocks, negative or non-numeric byte counts,
+    missing terminators, oversized values — answers with [CLIENT_ERROR] /
+    [SERVER_ERROR] rather than raising, so a server loop survives hostile or
+    desynchronized clients. *)
 
 type t = { backend : Cache_intf.ops; start : float }
 
@@ -44,25 +48,42 @@ let parse_request req =
       (line, rest)
 
 let storage_command t ~tid ~cmd ~key ~exptime ~bytes ~data =
+  (* The data block must be exactly [bytes] long, terminated by (C)RLF;
+     anything else is a torn or misframed request. Both checks answer with
+     CLIENT_ERROR instead of raising, so a server loop survives bad input. *)
   if String.length data < bytes then "CLIENT_ERROR bad data chunk" ^ crlf
+  else if
+    (match String.sub data bytes (String.length data - bytes) with
+    | "" | "\r\n" | "\n" -> false
+    | _ -> true)
+  then "CLIENT_ERROR bad data chunk" ^ crlf
   else
     let value = String.sub data 0 bytes in
     let exists = t.backend.get ~tid ~key <> None in
-    let store () =
-      t.backend.set_ttl ~tid ~key ~value ~expire_at:(expire_of_exptime exptime);
-      "STORED" ^ crlf
+    let store value =
+      (* The item layout caps key+value size; surface the limit as the
+         memcached wire error rather than an exception. *)
+      match
+        t.backend.set_ttl ~tid ~key ~value ~expire_at:(expire_of_exptime exptime)
+      with
+      | () -> "STORED" ^ crlf
+      | exception Invalid_argument _ ->
+          "SERVER_ERROR object too large for cache" ^ crlf
     in
     match cmd with
-    | "set" -> store ()
-    | "add" -> if exists then "NOT_STORED" ^ crlf else store ()
-    | "replace" -> if exists then store () else "NOT_STORED" ^ crlf
+    | "set" -> store value
+    | "add" -> if exists then "NOT_STORED" ^ crlf else store value
+    | "replace" -> if exists then store value else "NOT_STORED" ^ crlf
     | "append" | "prepend" -> (
         match t.backend.get ~tid ~key with
         | None -> "NOT_STORED" ^ crlf
-        | Some old ->
+        | Some old -> (
+            (* Like memcached, append/prepend ignore the request's exptime. *)
             let value = if cmd = "append" then old ^ value else value ^ old in
-            t.backend.set ~tid ~key ~value;
-            "STORED" ^ crlf)
+            match t.backend.set ~tid ~key ~value with
+            | () -> "STORED" ^ crlf
+            | exception Invalid_argument _ ->
+                "SERVER_ERROR object too large for cache" ^ crlf))
     | _ -> "ERROR" ^ crlf
 
 let get_command t ~tid keys =
@@ -95,7 +116,7 @@ let handle t ~tid req =
       | ("set" | "add" | "replace" | "append" | "prepend"), [ key; _flags; exptime; bytes ]
         -> (
           match (int_of_string_opt exptime, int_of_string_opt bytes) with
-          | Some exptime, Some bytes ->
+          | Some exptime, Some bytes when bytes >= 0 ->
               storage_command t ~tid ~cmd ~key ~exptime ~bytes ~data
           | _ -> "CLIENT_ERROR bad command line format" ^ crlf)
       | ("get" | "gets"), (_ :: _ as keys) -> get_command t ~tid keys

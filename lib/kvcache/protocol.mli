@@ -1,15 +1,22 @@
 (** Memcached ASCII protocol over any cache build: [set]/[add]/[replace]/
     [append]/[prepend], [get]/[gets] (multi-key), [delete], [incr]/[decr],
     [touch], [stats], [version]. Operates on complete request strings (data
-    block included); the socket loop a real server would add is the part of
-    Memcached the paper's comparison holds constant. *)
+    block included); the socket loop that frames them out of a TCP byte
+    stream is NVServe ([Server.Nvserve] / [Server.Framing]), whose workers
+    call {!handle} once per framed request. Malformed input answers with
+    [CLIENT_ERROR] / [SERVER_ERROR] instead of raising. *)
 
 type t
 
+(** A protocol endpoint over one cache backend; [stats] uptime counts from
+    here. *)
 val create : Cache_intf.ops -> t
 
 (** Handle one complete request (e.g. ["set k 0 0 5\r\nhello\r\n"]);
-    returns the wire response. *)
+    returns the wire response. Never raises on malformed requests: torn or
+    over-long data blocks, bad byte counts and unknown commands produce
+    [ERROR] / [CLIENT_ERROR] lines, and values exceeding the item size
+    limit produce [SERVER_ERROR object too large for cache]. *)
 val handle : t -> tid:int -> string -> string
 
 (** One response per request. *)

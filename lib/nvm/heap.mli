@@ -91,10 +91,16 @@ val create : ?latency:Latency_model.t -> size_words:int -> unit -> t
     With one observer registered dispatch is a direct call; with several, one
     array walk per event. *)
 module Observer : sig
+  (** Identifies one registered observer for [remove]. *)
   type handle
 
+  (** Register an observer; runs after every primitive, in add order. *)
   val add : t -> (event -> unit) -> handle
+
+  (** Detach the observer behind [handle] (others stay). *)
   val remove : t -> handle -> unit
+
+  (** Number of currently registered observers. *)
   val count : t -> int
 end
 
@@ -105,9 +111,17 @@ val observed : t -> bool
 (** Deliver [annotation] to the observer (no-op when none is attached). *)
 val annotate : t -> tid:int -> annotation -> unit
 
+(** Heap capacity in words, as passed to [create]. *)
 val size_words : t -> int
+
+(** The latency model the heap charges on fences and misses. *)
 val latency : t -> Latency_model.t
+
+(** Select the write-back instruction the cost model simulates (default
+    [Clwb]); switch only at a quiescent point. *)
 val set_wb_instruction : t -> wb_instruction -> unit
+
+(** The currently selected write-back instruction. *)
 val wb_instruction : t -> wb_instruction
 
 (** {1 Cursors — the hot path}
@@ -116,19 +130,29 @@ val wb_instruction : t -> wb_instruction
     only fetches it. A cursor must only ever be used by the domain owning
     its [tid] (same contract as the [~tid] arguments). *)
 
+(** A domain's private handle onto the heap (see section comment above). *)
 type cursor
 
+(** Fetch the (pre-created) cursor for [tid]. O(1), allocation-free. *)
 val cursor : t -> tid:int -> cursor
 
 module Cursor : sig
+  (** The heap this cursor belongs to. *)
   val heap : cursor -> t
+
+  (** The owning domain's [tid]. *)
   val tid : cursor -> int
 
   (** The owning domain's live counter record (same record as [stats]). *)
   val stats : cursor -> Pstats.t
 
+  (** Read a word through the volatile image. *)
   val load : cursor -> int -> int
+
+  (** Write a word to the volatile image; marks its line dirty. *)
   val store : cursor -> int -> int -> unit
+
+  (** Compare-and-swap one word; returns whether it succeeded. *)
   val cas : cursor -> int -> expected:int -> desired:int -> bool
 
   (** Atomic fetch-and-add; returns the previous value. *)
@@ -145,6 +169,7 @@ module Cursor : sig
   (** [persist cu addr] = [write_back] + [fence]: one non-batched sync. *)
   val persist : cursor -> int -> unit
 
+  (** Write-backs queued but not yet fenced on this cursor. *)
   val pending_count : cursor -> int
 end
 
@@ -153,8 +178,13 @@ end
     All primitives raise [Invalid_argument] on out-of-bounds addresses and
     participate in crash injection (see [set_trip]). *)
 
+(** Read a word through the volatile image. *)
 val load : t -> tid:int -> int -> int
+
+(** Write a word to the volatile image; marks its line dirty. *)
 val store : t -> tid:int -> int -> int -> unit
+
+(** Compare-and-swap one word; returns whether it succeeded. *)
 val cas : t -> tid:int -> int -> expected:int -> desired:int -> bool
 
 (** Atomic fetch-and-add; returns the previous value. *)
@@ -167,7 +197,12 @@ val fetch_add : t -> tid:int -> int -> int -> int
     charging the NVRAM write latency once per batch (the paper's batched
     [clwb] cost model, section 6.1). *)
 
+(** Queue an asynchronous write-back of [addr]'s line (the [clwb]
+    analogue), deduplicated against the domain's pending buffer. *)
 val write_back : t -> tid:int -> int -> unit
+
+(** Drain the domain's pending write-backs into the durable image (the
+    [sfence] analogue); charges the NVRAM write latency once per batch. *)
 val fence : t -> tid:int -> unit
 
 (** [persist t ~tid addr] = [write_back] + [fence]: one non-batched sync. *)
@@ -198,9 +233,14 @@ val crash_with : t -> keep:(int -> bool) -> unit
     point, then [restore] + [crash_with] once per eviction subset.
     Single-domain use, like [crash]. *)
 
+(** An opaque full-state capture. *)
 type snapshot
 
+(** Capture the full simulator state. *)
 val snapshot : t -> snapshot
+
+(** Restore a captured state; forgets pending write-backs, disarms the
+    trip-wire. *)
 val restore : t -> snapshot -> unit
 
 (** {1 Crash injection}
@@ -210,13 +250,21 @@ val restore : t -> snapshot -> unit
     aborting the enclosing operation mid-flight (then the trip-wire disarms
     itself). Single-domain use. *)
 
+(** Arm the trip-wire [n] primitive accesses from now. *)
 val set_trip : t -> int -> unit
+
+(** Disarm a pending trip-wire (idempotent). *)
 val disarm_trip : t -> unit
 
 (** {1 Statistics} *)
 
+(** [stats t tid] is domain [tid]'s live counter record. *)
 val stats : t -> int -> Pstats.t
+
+(** Sum of all domains' counters (freshly allocated). *)
 val aggregate_stats : t -> Pstats.t
+
+(** Zero every domain's counters. *)
 val reset_stats : t -> unit
 
 (** {1 Introspection (tests)} *)
@@ -224,7 +272,10 @@ val reset_stats : t -> unit
 (** Contents of the durable image, bypassing the volatile image. *)
 val durable_load : t -> int -> int
 
+(** Whether line [line] holds volatile data not yet durable. *)
 val line_is_dirty : t -> int -> bool
+
+(** Number of dirty lines. *)
 val dirty_line_count : t -> int
 
 (** Indices of all dirty lines, ascending. *)
@@ -234,4 +285,5 @@ val dirty_lines : t -> int list
     event — the read an observer may use from inside a hook. *)
 val peek : t -> int -> int
 
+(** Write-backs queued but not yet fenced by domain [tid]. *)
 val pending_count : t -> tid:int -> int

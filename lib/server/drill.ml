@@ -1,0 +1,139 @@
+(** Crash-recovery drill (see the interface): serve, kill mid-traffic,
+    crash the heap, recover, restart, audit every acknowledged mutation. *)
+
+type config = {
+  nworkers : int;
+  nbuckets : int;
+  capacity : int;
+  mode : Lfds.Persist_mode.t;
+  nconns : int;
+  duration : float;
+  nkeys : int;
+  pipeline : int;
+  seed : int;
+  eviction_probability : float;
+  torn_op : bool;
+}
+
+let default_config () =
+  {
+    nworkers = 4;
+    nbuckets = 2048;
+    capacity = 20_000;
+    mode = Lfds.Persist_mode.Link_persist;
+    nconns = 4;
+    duration = 1.0;
+    nkeys = 2_000;
+    pipeline = 8;
+    seed = 42;
+    eviction_probability = 0.5;
+    torn_op = true;
+  }
+
+type report = {
+  load : Loadgen.report;
+  acked_keys : int;
+  inflight_keys : int;
+  torn : bool;
+  ctx_recover_s : float;
+  sweep_s : float;
+  recovery_s : float;
+  freed_leaks : int;
+  residual_leaks : int;
+  checked : int;
+  exempt : int;
+  lost : int;
+  post_ok : bool;
+  strict : bool;
+  ok : bool;
+}
+
+let run cfg =
+  if not (Lfds.Persist_mode.is_durable cfg.mode) then
+    invalid_arg "Drill.run: volatile mode has nothing to recover";
+  let scfg =
+    {
+      (Nvserve.default_config ()) with
+      Nvserve.nworkers = cfg.nworkers;
+      nbuckets = cfg.nbuckets;
+      capacity = cfg.capacity;
+      mode = cfg.mode;
+    }
+  in
+  let server = Nvserve.start scfg in
+  let port = Nvserve.port server in
+  let lcfg =
+    {
+      (Loadgen.default_config ~port) with
+      Loadgen.nconns = cfg.nconns;
+      duration = cfg.duration;
+      nkeys = cfg.nkeys;
+      pipeline = cfg.pipeline;
+      seed = cfg.seed;
+    }
+  in
+  let acks = Loadgen.make_acks () in
+  (* The load runs in its own domain so the kill lands mid-traffic; dead
+     connections end it shortly after. *)
+  let load_domain = Domain.spawn (fun () -> Loadgen.run ~acks lcfg) in
+  Unix.sleepf (cfg.duration /. 2.);
+  Nvserve.kill server;
+  let load = Domain.join load_domain in
+  let heap = Lfds.Ctx.heap (Nvserve.ctx server) in
+  (* Optionally tear one operation on top of the kill: arm the trip-wire
+     and let a store crash mid-flight, as a power cut would catch it. *)
+  let torn =
+    cfg.torn_op
+    &&
+    let ops = Shard_store.ops (Nvserve.store server) in
+    Nvm.Heap.set_trip heap 5;
+    match ops.Kvcache.Cache_intf.set ~tid:0 ~key:"drill:torn" ~value:"torn" with
+    | () ->
+        Nvm.Heap.disarm_trip heap;
+        false
+    | exception Nvm.Heap.Crashed -> true
+  in
+  Nvm.Heap.crash ~seed:cfg.seed ~eviction_probability:cfg.eviction_probability
+    heap;
+  (* Timed recovery: layout/allocator reconstruction, then table attach +
+     combined parallel leak sweep. *)
+  let hcfg = Nvserve.heap_cfg server in
+  let t0 = Unix.gettimeofday () in
+  let ctx', active_pages = Lfds.Ctx.recover heap hcfg in
+  let t1 = Unix.gettimeofday () in
+  let store', freed_leaks =
+    Shard_store.recover ctx' ~nshards:cfg.nworkers ~nbuckets:cfg.nbuckets
+      ~capacity:cfg.capacity ~active_pages ~nworkers:cfg.nworkers
+  in
+  let t2 = Unix.gettimeofday () in
+  let residual_leaks = Shard_store.leak_count store' ~active_pages in
+  (* Restart on the same port over the recovered store and audit. *)
+  let server' =
+    Nvserve.start_with { scfg with Nvserve.port } ~heap_cfg:hcfg ctx' store'
+  in
+  let checked, exempt, lost =
+    Loadgen.verify_acked ~host:"127.0.0.1" ~port ~value_bytes:lcfg.Loadgen.value_bytes
+      acks
+  in
+  let post_ok = Loadgen.probe ~host:"127.0.0.1" ~port in
+  Nvserve.stop server';
+  let strict = cfg.mode = Lfds.Persist_mode.Link_persist in
+  {
+    load;
+    acked_keys = Hashtbl.length acks.Loadgen.acked;
+    inflight_keys = Hashtbl.length acks.Loadgen.inflight;
+    torn;
+    ctx_recover_s = t1 -. t0;
+    sweep_s = t2 -. t1;
+    recovery_s = t2 -. t0;
+    freed_leaks;
+    residual_leaks;
+    checked;
+    exempt;
+    lost;
+    post_ok;
+    strict;
+    ok =
+      residual_leaks = 0 && post_ok && load.Loadgen.errors = 0
+      && ((not strict) || lost = 0);
+  }

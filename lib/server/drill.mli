@@ -1,0 +1,60 @@
+(** The crash-recovery drill: the whole durability story, end to end, in one
+    run.
+
+    A fresh NVServe instance takes live pipelined traffic from an
+    acknowledgement-logged {!Loadgen} fleet; mid-traffic the server is
+    {!Nvserve.kill}ed (no flush, no drain — connections just die),
+    optionally a deliberately torn heap operation is injected on top, and
+    the heap suffers a simulated power failure ([Nvm.Heap.crash]) that
+    evicts an arbitrary subset of the volatile cache lines. Recovery is then
+    timed — layout reconstruction ({!Lfds.Ctx.recover}), per-shard table
+    consistency restoration, and the combined parallel leak sweep
+    ({!Shard_store.recover}) — the server restarts on the same port over the
+    recovered store, and every acknowledged mutation is audited over TCP
+    ({!Loadgen.verify_acked}).
+
+    Under link-and-persist, zero acknowledged mutations may be lost and zero
+    nodes may leak; under link-cache, acknowledged operations after the last
+    cache flush are {e expected} casualties, so losses are reported but do
+    not fail the drill ([strict] is false). The server is sized so LRU
+    eviction cannot masquerade as loss. *)
+
+type config = {
+  nworkers : int;  (** server workers (= shards = recovery sweep workers) *)
+  nbuckets : int;
+  capacity : int;  (** keep well above [nkeys]: eviction would alias loss *)
+  mode : Lfds.Persist_mode.t;  (** durable modes only *)
+  nconns : int;  (** load connections *)
+  duration : float;  (** seconds of load before the kill *)
+  nkeys : int;
+  pipeline : int;
+  seed : int;
+  eviction_probability : float;  (** cache-line eviction chance at crash *)
+  torn_op : bool;  (** inject a mid-operation crash before the power cut *)
+}
+
+(** 4 workers, 2048 buckets, 20k capacity over 2k keys, link-and-persist,
+    4 connections, 1 s of load, 50% eviction, torn op on. *)
+val default_config : unit -> config
+
+type report = {
+  load : Loadgen.report;  (** the traffic the server took before dying *)
+  acked_keys : int;  (** distinct keys with an acknowledged mutation *)
+  inflight_keys : int;  (** keys mid-mutation at the kill (audit-exempt) *)
+  torn : bool;  (** a torn operation was actually injected *)
+  ctx_recover_s : float;  (** layout + allocator reconstruction *)
+  sweep_s : float;  (** table attach + combined parallel leak sweep *)
+  recovery_s : float;  (** total: crash to serving store *)
+  freed_leaks : int;  (** nodes reclaimed by the sweep *)
+  residual_leaks : int;  (** leaks remaining after the sweep — must be 0 *)
+  checked : int;  (** acknowledged keys audited over TCP *)
+  exempt : int;
+  lost : int;  (** audited keys contradicting their acknowledgement *)
+  post_ok : bool;  (** fresh set/get served after restart *)
+  strict : bool;  (** losses fail the drill (link-and-persist) *)
+  ok : bool;  (** the drill's verdict *)
+}
+
+(** Run the drill to completion; every domain it spawns is joined and both
+    server incarnations are shut down before it returns. *)
+val run : config -> report

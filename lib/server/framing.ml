@@ -1,0 +1,77 @@
+(** Incremental memcached ASCII request framing (see the interface for the
+    contract). One scan finds the command line; storage commands then wait
+    for their declared data block before the request is surfaced whole. *)
+
+let max_line_bytes = 2048
+let max_data_bytes = 16384
+
+type result =
+  | Request of { req : string; consumed : int }
+  | Reject of { response : string; consumed : int }
+  | Need_more
+  | Too_long
+
+let crlf = "\r\n"
+
+let is_storage = function
+  | "set" | "add" | "replace" | "append" | "prepend" -> true
+  | _ -> false
+
+(* First '\n' inside the window, never touching bytes past it. *)
+let find_lf buf ~pos ~len =
+  let stop = pos + len in
+  let rec go i =
+    if i >= stop then None else if Bytes.get buf i = '\n' then Some i else go (i + 1)
+  in
+  go pos
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let strip_crlf s =
+  let n = String.length s in
+  if n >= 2 && s.[n - 2] = '\r' && s.[n - 1] = '\n' then String.sub s 0 (n - 2)
+  else if n >= 1 && s.[n - 1] = '\n' then String.sub s 0 (n - 1)
+  else s
+
+let next buf ~pos ~len =
+  match find_lf buf ~pos ~len with
+  | None -> if len >= max_line_bytes then Too_long else Need_more
+  | Some lf -> (
+      let line_len = lf - pos + 1 in
+      if line_len > max_line_bytes then Too_long
+      else
+        let line = Bytes.sub_string buf pos line_len in
+        match split_words (strip_crlf line) with
+        | cmd :: args when is_storage cmd -> (
+            match args with
+            | [ _key; _flags; _exptime; bytes ] -> (
+                match int_of_string_opt bytes with
+                | Some n when n >= 0 && n <= max_data_bytes ->
+                    let total = line_len + n + 2 in
+                    if len < total then Need_more
+                    else
+                      Request { req = Bytes.sub_string buf pos total; consumed = total }
+                | Some n when n > max_data_bytes ->
+                    (* Too large to buffer: refuse the line. The data block
+                       that follows will be misread as commands until the
+                       client resyncs — same failure mode as memcached. *)
+                    Reject
+                      {
+                        response = "SERVER_ERROR object too large for cache" ^ crlf;
+                        consumed = line_len;
+                      }
+                | _ ->
+                    Reject
+                      {
+                        response = "CLIENT_ERROR bad command line format" ^ crlf;
+                        consumed = line_len;
+                      })
+            | _ ->
+                (* Wrong arity leaves the data block length unknown; reject
+                   the line alone. *)
+                Reject { response = "ERROR" ^ crlf; consumed = line_len })
+        | _ ->
+            (* Line-only commands (get, delete, stats, garbage...): the
+               protocol layer answers them, errors included. *)
+            Request { req = line; consumed = line_len })

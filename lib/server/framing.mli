@@ -1,0 +1,44 @@
+(** Incremental memcached ASCII request framing.
+
+    A connection's read buffer holds an arbitrary prefix of the client's
+    byte stream — possibly several pipelined requests, possibly a torn
+    fragment of one. {!next} extracts the leading complete request (command
+    line plus data block for storage commands) without copying more than
+    that request, so a worker can drain a readable chunk request-by-request
+    and answer each through {!Kvcache.Protocol.handle}.
+
+    Framing is where byte-stream pathologies are absorbed: lines with no
+    terminator in sight, storage commands whose byte count cannot be parsed
+    (leaving the data block unframeable), and data blocks too large to
+    buffer. Anything the protocol layer itself can answer (bad terminators,
+    unknown commands, store-layer size limits) is framed normally and left
+    to [Protocol.handle]'s own error responses. *)
+
+(** Longest accepted command line, terminator included; a buffer holding
+    this many bytes with no [\n] is a protocol violation ({!Too_long}). *)
+val max_line_bytes : int
+
+(** Largest data block the server will buffer for one request. Values past
+    the item-layout limit still frame fine below this and get the protocol's
+    [SERVER_ERROR]; past it the line is rejected outright. *)
+val max_data_bytes : int
+
+type result =
+  | Request of { req : string; consumed : int }
+      (** One complete request, exactly what [Protocol.handle] expects;
+          [consumed] bytes of the buffer belong to it. *)
+  | Reject of { response : string; consumed : int }
+      (** The leading line cannot be framed as a request (unparseable or
+          oversized byte count, wrong storage arity). Send [response],
+          discard [consumed] bytes, and keep going — the client must resync
+          itself, as with real memcached. *)
+  | Need_more  (** No complete request yet; read more bytes first. *)
+  | Too_long
+      (** No line terminator within {!max_line_bytes}: the connection is
+          not speaking the protocol and should be answered once and
+          closed. *)
+
+(** [next buf ~pos ~len] frames the leading request of [buf.[pos .. pos+len)].
+    Never reads outside that window and never consumes more than one
+    request. *)
+val next : Bytes.t -> pos:int -> len:int -> result

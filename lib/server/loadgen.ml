@@ -1,0 +1,369 @@
+(** NVServe load client (see the interface). One domain per connection;
+    blocking sockets with a receive timeout; each batch is written whole and
+    its responses parsed in order, so a connection's view of its own keys is
+    exact. *)
+
+type config = {
+  host : string;
+  port : int;
+  nconns : int;
+  duration : float;
+  nkeys : int;
+  mix : Workload.Keygen.mix;
+  pipeline : int;
+  value_bytes : int;
+  seed : int;
+}
+
+let default_config ~port =
+  {
+    host = "127.0.0.1";
+    port;
+    nconns = 4;
+    duration = 2.0;
+    nkeys = 10_000;
+    mix = { Workload.Keygen.insert_pct = 20; remove_pct = 10 };
+    pipeline = 8;
+    value_bytes = 24;
+    seed = 42;
+  }
+
+type key_state = Stored of int | Deleted
+
+type acks = {
+  acked : (string, key_state) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
+}
+
+let make_acks () = { acked = Hashtbl.create 1024; inflight = Hashtbl.create 64 }
+
+type report = {
+  ops : int;
+  sets : int;
+  deletes : int;
+  gets : int;
+  hits : int;
+  misses : int;
+  errors : int;
+  dead_conns : int;
+  elapsed : float;
+  ops_per_s : float;
+  hist : Workload.Histogram.t;
+}
+
+let key_string n = Printf.sprintf "lg-%010d" n
+
+let value_for ~n ~version ~value_bytes =
+  let base = Printf.sprintf "v%010d.%08d" n version in
+  let len = String.length base in
+  if value_bytes <= len then base
+  else base ^ String.make (value_bytes - len) 'x'
+
+(* ---------- buffered reading over a blocking socket ---------- *)
+
+type reader = { fd : Unix.file_descr; rbuf : Bytes.t; mutable rpos : int; mutable rlen : int }
+
+let reader fd = { fd; rbuf = Bytes.create 8192; rpos = 0; rlen = 0 }
+
+let refill r =
+  let n = Unix.read r.fd r.rbuf 0 (Bytes.length r.rbuf) in
+  if n = 0 then raise End_of_file;
+  r.rpos <- 0;
+  r.rlen <- n
+
+let read_line r =
+  let b = Buffer.create 64 in
+  let rec go () =
+    if r.rpos >= r.rlen then refill r;
+    let ch = Bytes.get r.rbuf r.rpos in
+    r.rpos <- r.rpos + 1;
+    if ch = '\n' then Buffer.contents b
+    else begin
+      if ch <> '\r' then Buffer.add_char b ch;
+      go ()
+    end
+  in
+  go ()
+
+let read_exact r n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Bytes.to_string b
+    else begin
+      if r.rpos >= r.rlen then refill r;
+      let take = min (n - off) (r.rlen - r.rpos) in
+      Bytes.blit r.rbuf r.rpos b off take;
+      r.rpos <- r.rpos + take;
+      go (off + take)
+    end
+  in
+  go 0
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* ---------- per-connection driver ---------- *)
+
+(* What each pipelined request expects back. For gets, the expected state is
+   the connection's own simulated view of the key at send time — exact,
+   because only this connection mutates its keys and the server answers a
+   connection's requests in order. *)
+type expect =
+  | Ack_set of { key : string; version : int }
+  | Ack_del of { key : string }
+  | Ack_get of { n : int; state : key_state option }
+
+type conn_result = {
+  c_ops : int;
+  c_sets : int;
+  c_deletes : int;
+  c_gets : int;
+  c_hits : int;
+  c_misses : int;
+  c_errors : int;
+  c_dead : bool;
+  c_hist : Workload.Histogram.t;
+  c_acked : (string, key_state) Hashtbl.t;
+  c_inflight : (string, int) Hashtbl.t;
+      (** outstanding unacked mutations per key — several can pipeline *)
+}
+
+let inflight_add tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let inflight_ack tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some n when n > 1 -> Hashtbl.replace tbl key (n - 1)
+  | Some _ -> Hashtbl.remove tbl key
+  | None -> ()
+
+let conn_loop cfg c =
+  let hist = Workload.Histogram.create () in
+  let acked = Hashtbl.create 256 in
+  let inflight = Hashtbl.create 64 in
+  let ops = ref 0 and sets = ref 0 and deletes = ref 0 and gets = ref 0 in
+  let hits = ref 0 and misses = ref 0 and errors = ref 0 and dead = ref false in
+  let per = max 1 (cfg.nkeys / cfg.nconns) in
+  let vers = Array.make per 0 in
+  let sim : key_state option array = Array.make per None in
+  let rng = Workload.Xoshiro.make ~seed:(cfg.seed + (1000 * c) + 1) in
+  (try
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+        let rd = reader fd in
+        let deadline = Unix.gettimeofday () +. cfg.duration in
+        while (not !dead) && Unix.gettimeofday () < deadline do
+          (* Build one pipelined batch. *)
+          let batch = Buffer.create 512 in
+          let expects = ref [] in
+          for _ = 1 to cfg.pipeline do
+            let j = Workload.Xoshiro.below rng per in
+            let n = (j * cfg.nconns) + c in
+            let key = key_string n in
+            match Workload.Keygen.pick rng cfg.mix with
+            | Workload.Keygen.Insert ->
+                vers.(j) <- vers.(j) + 1;
+                let version = vers.(j) in
+                let v = value_for ~n ~version ~value_bytes:cfg.value_bytes in
+                Buffer.add_string batch
+                  (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" key
+                     (String.length v) v);
+                inflight_add inflight key;
+                sim.(j) <- Some (Stored version);
+                expects := Ack_set { key; version } :: !expects
+            | Workload.Keygen.Remove ->
+                Buffer.add_string batch (Printf.sprintf "delete %s\r\n" key);
+                inflight_add inflight key;
+                sim.(j) <- Some Deleted;
+                expects := Ack_del { key } :: !expects
+            | Workload.Keygen.Search ->
+                Buffer.add_string batch (Printf.sprintf "get %s\r\n" key);
+                expects := Ack_get { n; state = sim.(j) } :: !expects
+          done;
+          let expects = List.rev !expects in
+          let t0 = Unix.gettimeofday () in
+          write_all fd (Buffer.contents batch);
+          List.iter
+            (fun e ->
+              let line = read_line rd in
+              (match e with
+              | Ack_set { key; version } ->
+                  incr ops;
+                  inflight_ack inflight key;
+                  if line = "STORED" then begin
+                    incr sets;
+                    Hashtbl.replace acked key (Stored version)
+                  end
+                  else incr errors
+              | Ack_del { key } ->
+                  incr ops;
+                  inflight_ack inflight key;
+                  if line = "DELETED" || line = "NOT_FOUND" then begin
+                    incr deletes;
+                    Hashtbl.replace acked key Deleted
+                  end
+                  else incr errors
+              | Ack_get { n; state } ->
+                  incr ops;
+                  incr gets;
+                  if String.length line >= 6 && String.sub line 0 6 = "VALUE " then begin
+                    let bytes =
+                      match String.split_on_char ' ' line with
+                      | [ _; _; _; b ] -> int_of_string_opt b
+                      | _ -> None
+                    in
+                    match bytes with
+                    | None -> incr errors
+                    | Some b ->
+                        let data = read_exact rd (b + 2) in
+                        let value = String.sub data 0 b in
+                        let fin = read_line rd in
+                        if fin <> "END" then incr errors
+                        else begin
+                          incr hits;
+                          match state with
+                          | Some (Stored v)
+                            when value
+                                 = value_for ~n ~version:v
+                                     ~value_bytes:cfg.value_bytes ->
+                              ()
+                          | _ -> incr errors (* stale, deleted, or corrupt *)
+                        end
+                  end
+                  else if line = "END" then incr misses (* eviction-legal *)
+                  else incr errors);
+              ())
+            expects;
+          let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+          List.iter
+            (fun _ -> Workload.Histogram.record hist ~ns)
+            expects
+        done
+      with
+     | End_of_file | Unix.Unix_error (_, _, _) -> dead := true);
+     try Unix.close fd with Unix.Unix_error _ -> ()
+   with Unix.Unix_error (_, _, _) -> dead := true);
+  {
+    c_ops = !ops;
+    c_sets = !sets;
+    c_deletes = !deletes;
+    c_gets = !gets;
+    c_hits = !hits;
+    c_misses = !misses;
+    c_errors = !errors;
+    c_dead = !dead;
+    c_hist = hist;
+    c_acked = acked;
+    c_inflight = inflight;
+  }
+
+let run ?acks cfg =
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init (max 1 cfg.nconns) (fun c ->
+        Domain.spawn (fun () -> conn_loop cfg c))
+  in
+  let results = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let hist = Workload.Histogram.create () in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  List.iter (fun r -> Workload.Histogram.merge ~into:hist r.c_hist) results;
+  (match acks with
+  | None -> ()
+  | Some a ->
+      List.iter
+        (fun r ->
+          Hashtbl.iter (fun k v -> Hashtbl.replace a.acked k v) r.c_acked;
+          Hashtbl.iter
+            (fun k n -> if n > 0 then Hashtbl.replace a.inflight k ())
+            r.c_inflight)
+        results);
+  let ops = sum (fun r -> r.c_ops) in
+  {
+    ops;
+    sets = sum (fun r -> r.c_sets);
+    deletes = sum (fun r -> r.c_deletes);
+    gets = sum (fun r -> r.c_gets);
+    hits = sum (fun r -> r.c_hits);
+    misses = sum (fun r -> r.c_misses);
+    errors = sum (fun r -> r.c_errors);
+    dead_conns = sum (fun r -> if r.c_dead then 1 else 0);
+    elapsed;
+    ops_per_s = (if elapsed > 0. then float_of_int ops /. elapsed else 0.);
+    hist;
+  }
+
+(* ---------- post-recovery verification ---------- *)
+
+let with_client ~host ~port f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      f fd (reader fd))
+
+(* One get over an open client; [Some value] on hit, [None] on miss.
+   Unexpected responses raise. *)
+let get_once fd rd key =
+  write_all fd (Printf.sprintf "get %s\r\n" key);
+  let line = read_line rd in
+  if String.length line >= 6 && String.sub line 0 6 = "VALUE " then begin
+    match String.split_on_char ' ' line with
+    | [ _; _; _; b ] ->
+        let b = int_of_string b in
+        let data = read_exact rd (b + 2) in
+        if read_line rd <> "END" then failwith "get: missing END";
+        Some (String.sub data 0 b)
+    | _ -> failwith ("get: bad VALUE line: " ^ line)
+  end
+  else if line = "END" then None
+  else failwith ("get: unexpected response: " ^ line)
+
+(* key_string is "lg-%010d"; recover the range index. *)
+let index_of_key key =
+  match int_of_string_opt (String.sub key 3 (String.length key - 3)) with
+  | Some n -> n
+  | None -> failwith ("verify: foreign key " ^ key)
+
+let verify_acked ~host ~port ~value_bytes (a : acks) =
+  with_client ~host ~port (fun fd rd ->
+      let checked = ref 0 and exempt = ref 0 and lost = ref 0 in
+      Hashtbl.iter
+        (fun key state ->
+          if Hashtbl.mem a.inflight key then incr exempt
+          else begin
+            incr checked;
+            let got = get_once fd rd key in
+            match (state, got) with
+            | Stored v, Some value
+              when value = value_for ~n:(index_of_key key) ~version:v ~value_bytes
+              ->
+                ()
+            | Deleted, None -> ()
+            | (Stored _ | Deleted), _ -> incr lost
+          end)
+        a.acked;
+      (!checked, !exempt, !lost))
+
+let probe ~host ~port =
+  try
+    with_client ~host ~port (fun fd rd ->
+        let key = "drill-probe" and v = "post-recovery-alive" in
+        write_all fd
+          (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" key (String.length v) v);
+        read_line rd = "STORED" && get_once fd rd key = Some v)
+  with _ -> false

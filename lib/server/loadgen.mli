@@ -1,0 +1,87 @@
+(** Built-in load client for NVServe: [nconns] blocking TCP connections,
+    one domain each, driving a memtier-style set/delete/get mix
+    ({!Workload.Keygen.mix}) over a shared key range with pipelined batches.
+
+    The key range is partitioned by connection (connection [c] owns the
+    indices congruent to [c] modulo [nconns]), so every connection knows the
+    exact expected value of every key it reads: gets are validated
+    byte-for-byte and mismatches are counted as [errors]. A miss is never an
+    error — LRU eviction can legally drop any key (size the server's
+    capacity above [nkeys] when that matters, as the crash drill does).
+
+    With an {!acks} table attached, the client also records exactly which
+    mutations the server acknowledged — the ground truth the crash drill
+    checks recovery against: [acked] holds the last acknowledged state per
+    key, and [inflight] the keys with a mutation sent but unacknowledged
+    when the connection died (such keys are exempt from verification: the
+    crash may have caught them mid-operation). *)
+
+type config = {
+  host : string;  (** dotted-quad; default loopback *)
+  port : int;
+  nconns : int;  (** client connections = client domains *)
+  duration : float;  (** seconds of load *)
+  nkeys : int;  (** key-range size, partitioned across connections *)
+  mix : Workload.Keygen.mix;
+      (** [Insert] = memcached [set], [Remove] = [delete], [Search] = [get] *)
+  pipeline : int;  (** requests per pipelined batch *)
+  value_bytes : int;  (** payload size (min 20, versioned self-validating) *)
+  seed : int;
+}
+
+(** Loopback, 4 connections, 2 s, 10k keys, 20% sets / 10% deletes / 70%
+    gets, pipeline depth 8, 24-byte values. *)
+val default_config : port:int -> config
+
+type key_state =
+  | Stored of int  (** last acknowledged set, by version *)
+  | Deleted  (** last acknowledged mutation was a delete *)
+
+type acks = {
+  acked : (string, key_state) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
+}
+
+val make_acks : unit -> acks
+
+type report = {
+  ops : int;
+  sets : int;  (** acknowledged [STORED] *)
+  deletes : int;  (** acknowledged [DELETED]/[NOT_FOUND] *)
+  gets : int;
+  hits : int;
+  misses : int;
+  errors : int;  (** unexpected responses or value mismatches *)
+  dead_conns : int;  (** connections that died before the deadline *)
+  elapsed : float;
+  ops_per_s : float;
+  hist : Workload.Histogram.t;
+      (** per-request latency; pipelined requests share their batch's
+          round-trip time *)
+}
+
+(** Key for range index [n] — stable across client runs, so a post-recovery
+    verification pass can re-derive every key. *)
+val key_string : int -> string
+
+(** The (padded, self-validating) payload of version [version] of key index
+    [n]. *)
+val value_for : n:int -> version:int -> value_bytes:int -> string
+
+(** Run the load to completion (deadline reached or every connection dead)
+    and report. Connection domains are joined before returning; [acks], when
+    given, is filled from their merged logs. *)
+val run : ?acks:acks -> config -> report
+
+(** Post-recovery audit over one TCP connection: every key in
+    [acks.acked] that has no in-flight mutation must read back exactly as
+    acknowledged — [Stored v] keys must return version [v]'s payload,
+    [Deleted] keys must miss. Returns [(checked, exempt, lost)]: [exempt]
+    keys had a mutation in flight when the crash hit (any outcome is
+    legal), [lost] keys contradict their acknowledgement. Assumes the
+    server was sized to rule out eviction. *)
+val verify_acked :
+  host:string -> port:int -> value_bytes:int -> acks -> int * int * int
+
+(** Liveness probe: set one fresh key over TCP and read it back. *)
+val probe : host:string -> port:int -> bool

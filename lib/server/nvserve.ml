@@ -1,0 +1,374 @@
+(** The NVServe TCP server (see the interface). One acceptor domain, N
+    worker domains; each worker multiplexes its connections with [select],
+    frames requests with {!Framing} and answers them with
+    {!Kvcache.Protocol.handle} on its own heap cursor. *)
+
+type config = {
+  port : int;
+  nworkers : int;
+  nbuckets : int;
+  capacity : int;
+  mode : Lfds.Persist_mode.t;
+  latency : Nvm.Latency_model.t;
+  idle_timeout : float;
+  read_chunk : int;
+}
+
+let default_config () =
+  {
+    port = 0;
+    nworkers = 4;
+    nbuckets = 4096;
+    capacity = 100_000;
+    mode = Lfds.Persist_mode.Link_persist;
+    latency = Nvm.Latency_model.no_injection ();
+    idle_timeout = 60.;
+    read_chunk = 4096;
+  }
+
+let heap_config cfg =
+  let base = Lfds.Ctx.default_config () in
+  {
+    base with
+    (* ~96 heap words per item (node + item payload + page slack) plus a
+       floor for the static carves and the allocator's working set. *)
+    Lfds.Ctx.size_words = max (1 lsl 18) ((cfg.capacity * 96) + (1 lsl 16));
+    nthreads = max 1 cfg.nworkers;
+    mode = cfg.mode;
+    latency = cfg.latency;
+    apt_entries = 8192;
+    static_words = max base.Lfds.Ctx.static_words ((4 * cfg.nbuckets) + 8192);
+  }
+
+(* A connection's buffer must hold the largest frameable request plus one
+   read chunk of slack; the frame loop compacts consumed bytes away, so a
+   [Need_more] leading request always leaves at least a chunk of room. *)
+let buf_capacity cfg =
+  Framing.max_line_bytes + Framing.max_data_bytes + 2 + cfg.read_chunk
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable len : int;  (** valid bytes at the front of [buf] *)
+  out : Buffer.t;
+  mutable out_off : int;  (** bytes of [out] already written *)
+  mutable last_active : float;
+  mutable closing : bool;  (** close once [out] drains *)
+}
+
+type state = Running | Draining | Killed
+
+type worker = {
+  idx : int;
+  inbox : Unix.file_descr Queue.t;  (** accepted fds awaiting adoption *)
+  inbox_lock : Mutex.t;
+  served : int Atomic.t;
+}
+
+type t = {
+  cfg : config;
+  hcfg : Lfds.Ctx.config;
+  ctx : Lfds.Ctx.t;
+  store_ : Shard_store.t;
+  lsock : Unix.file_descr;
+  port_ : int;
+  state : state Atomic.t;
+  workers : worker array;
+  mutable domains : unit Domain.t list;
+  accepted : int Atomic.t;
+  down : bool ref;  (** shutdown already completed (stop/kill idempotence) *)
+  down_lock : Mutex.t;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------- connection I/O ---------- *)
+
+let conn_create cfg fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  {
+    fd;
+    buf = Bytes.create (buf_capacity cfg);
+    len = 0;
+    out = Buffer.create 256;
+    out_off = 0;
+    last_active = Unix.gettimeofday ();
+    closing = false;
+  }
+
+let out_pending c = Buffer.length c.out - c.out_off
+
+(* Write as much buffered output as the socket accepts; false = connection
+   is dead. *)
+let try_write c =
+  let rec go () =
+    let n = out_pending c in
+    if n = 0 then true
+    else
+      let s = Buffer.to_bytes c.out in
+      match Unix.write c.fd s c.out_off n with
+      | written ->
+          c.out_off <- c.out_off + written;
+          if c.out_off >= Buffer.length c.out then begin
+            Buffer.clear c.out;
+            c.out_off <- 0;
+            true
+          end
+          else if written = 0 then true
+          else go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          true
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go ()
+
+let is_quit req = match String.trim req with "quit" | "QUIT" -> true | _ -> false
+
+(* Frame and answer every complete request currently buffered. Returns
+   false when the connection must close immediately (protocol violation
+   with nothing to flush is still flushed first via [closing]). *)
+let drain_requests w proto c =
+  let rec go pos =
+    if pos >= c.len then pos
+    else
+      match Framing.next c.buf ~pos ~len:(c.len - pos) with
+      | Framing.Request { req; consumed } ->
+          if is_quit req then begin
+            c.closing <- true;
+            pos + consumed
+          end
+          else begin
+            Buffer.add_string c.out (Kvcache.Protocol.handle proto ~tid:w.idx req);
+            Atomic.incr w.served;
+            go (pos + consumed)
+          end
+      | Framing.Reject { response; consumed } ->
+          Buffer.add_string c.out response;
+          Atomic.incr w.served;
+          go (pos + consumed)
+      | Framing.Need_more -> pos
+      | Framing.Too_long ->
+          Buffer.add_string c.out "CLIENT_ERROR line too long\r\n";
+          c.closing <- true;
+          c.len (* discard the unframeable stream *)
+  in
+  let consumed = go 0 in
+  if consumed > 0 then begin
+    if consumed < c.len then Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
+    c.len <- c.len - consumed
+  end
+
+(* One readable event: pull bytes, frame, answer. false = close now. *)
+let service_read cfg w proto c =
+  let room = Bytes.length c.buf - c.len in
+  let want = min cfg.read_chunk room in
+  if want = 0 then begin
+    drain_requests w proto c;
+    true
+  end
+  else
+    match Unix.read c.fd c.buf c.len want with
+    | 0 -> false (* peer closed *)
+    | n ->
+        c.len <- c.len + n;
+        c.last_active <- Unix.gettimeofday ();
+        drain_requests w proto c;
+        try_write c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        true
+    | exception Unix.Unix_error (_, _, _) -> false
+
+(* ---------- worker ---------- *)
+
+let adopt_pending w =
+  Mutex.lock w.inbox_lock;
+  let fds = Queue.fold (fun acc fd -> fd :: acc) [] w.inbox in
+  Queue.clear w.inbox;
+  Mutex.unlock w.inbox_lock;
+  fds
+
+let worker_loop t w proto =
+  let cfg = t.cfg in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    close_quiet c.fd
+  in
+  let running = ref true in
+  while !running do
+    (match Atomic.get t.state with
+    | Running -> ()
+    | Draining ->
+        (* Answer what is already buffered, flush, and leave. *)
+        Hashtbl.iter
+          (fun _ c ->
+            drain_requests w proto c;
+            ignore (try_write c))
+          conns;
+        Hashtbl.iter (fun _ c -> close_quiet c.fd) conns;
+        Hashtbl.reset conns;
+        running := false
+    | Killed ->
+        Hashtbl.iter (fun _ c -> close_quiet c.fd) conns;
+        Hashtbl.reset conns;
+        running := false);
+    if !running then begin
+      List.iter
+        (fun fd ->
+          let c = conn_create cfg fd in
+          Hashtbl.replace conns fd c)
+        (adopt_pending w);
+      let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      let wfds =
+        Hashtbl.fold
+          (fun fd c acc -> if out_pending c > 0 then fd :: acc else acc)
+          conns []
+      in
+      let readable, writable, _ =
+        try Unix.select rfds wfds [] 0.05
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c -> if not (try_write c) then close_conn c)
+        writable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c ->
+              if not (service_read cfg w proto c) then close_conn c
+              else if c.closing && out_pending c = 0 then close_conn c)
+        readable;
+      if cfg.idle_timeout > 0. then begin
+        let now = Unix.gettimeofday () in
+        let stale =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if now -. c.last_active > cfg.idle_timeout then c :: acc else acc)
+            conns []
+        in
+        List.iter close_conn stale
+      end
+    end
+  done
+
+(* ---------- acceptor ---------- *)
+
+let acceptor_loop t =
+  let next = ref 0 in
+  while Atomic.get t.state = Running do
+    match Unix.select [ t.lsock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.lsock with
+        | fd, _ ->
+            let w = t.workers.(!next mod Array.length t.workers) in
+            incr next;
+            Mutex.lock w.inbox_lock;
+            Queue.add fd w.inbox;
+            Mutex.unlock w.inbox_lock;
+            Atomic.incr t.accepted
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ---------- lifecycle ---------- *)
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let start_with cfg ~heap_cfg ctx store_ =
+  ignore_sigpipe ();
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.port));
+  Unix.listen lsock 128;
+  Unix.set_nonblock lsock;
+  let port_ =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let workers =
+    Array.init (max 1 cfg.nworkers) (fun idx ->
+        {
+          idx;
+          inbox = Queue.create ();
+          inbox_lock = Mutex.create ();
+          served = Atomic.make 0;
+        })
+  in
+  let t =
+    {
+      cfg;
+      hcfg = heap_cfg;
+      ctx;
+      store_;
+      lsock;
+      port_;
+      state = Atomic.make Running;
+      workers;
+      domains = [];
+      accepted = Atomic.make 0;
+      down = ref false;
+      down_lock = Mutex.create ();
+    }
+  in
+  let proto = Kvcache.Protocol.create (Shard_store.ops store_) in
+  let worker_domains =
+    Array.to_list
+      (Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w proto)) workers)
+  in
+  let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
+  t.domains <- acceptor :: worker_domains;
+  t
+
+let start cfg =
+  let hcfg = heap_config cfg in
+  let ctx = Lfds.Ctx.create hcfg in
+  let store_ =
+    Shard_store.create ctx ~nshards:(max 1 cfg.nworkers) ~nbuckets:cfg.nbuckets
+      ~capacity:cfg.capacity
+  in
+  start_with cfg ~heap_cfg:hcfg ctx store_
+
+let port t = t.port_
+let config t = t.cfg
+let heap_cfg t = t.hcfg
+let ctx t = t.ctx
+let store t = t.store_
+
+let requests_served t =
+  Array.fold_left (fun acc w -> acc + Atomic.get w.served) 0 t.workers
+
+let connections_accepted t = Atomic.get t.accepted
+
+let shutdown t target ~persist =
+  Mutex.lock t.down_lock;
+  let first = not !(t.down) in
+  if first then t.down := true;
+  Mutex.unlock t.down_lock;
+  if first then begin
+    Atomic.set t.state target;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    close_quiet t.lsock;
+    if persist then begin
+      (match Lfds.Ctx.link_cache t.ctx with
+      | Some lc -> Lfds.Link_cache.flush_all lc ~tid:0
+      | None -> ());
+      Nvm.Heap.flush_all (Lfds.Ctx.heap t.ctx) ~tid:0
+    end
+  end
+
+let stop t = shutdown t Draining ~persist:true
+let kill t = shutdown t Killed ~persist:false

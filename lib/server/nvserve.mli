@@ -1,0 +1,73 @@
+(** NVServe: a TCP front end for NV-Memcached.
+
+    An acceptor domain hands accepted loopback connections round-robin to
+    [nworkers] worker domains. Each worker owns one {!Shard_store} shard and
+    one heap cursor ([tid] = worker index), multiplexes its connections with
+    [select], frames requests incrementally ({!Framing}), answers through
+    {!Kvcache.Protocol.handle}, and batches pipelined responses into one
+    write per readable chunk. Idle connections are closed after
+    [idle_timeout].
+
+    Two ways down: {!stop} is the graceful path — workers answer what is
+    already buffered, flush their write buffers, close, and the store is
+    persisted (link cache flushed, every dirty line written back) before
+    returning; {!kill} abandons connections without persisting anything,
+    leaving the heap exactly as a power failure would find it — the crash
+    drill's entry point ({!Drill}). *)
+
+type config = {
+  port : int;  (** 0 = kernel-assigned ephemeral port (see {!port}) *)
+  nworkers : int;  (** worker domains = shards = heap cursors *)
+  nbuckets : int;  (** hash buckets, store total *)
+  capacity : int;  (** LRU capacity in items, store total *)
+  mode : Lfds.Persist_mode.t;
+      (** [Link_persist] acknowledges only durable writes; [Link_cache]
+          batches durability (acks are durable up to the last flush);
+          [Volatile] is the memcached-clht baseline *)
+  latency : Nvm.Latency_model.t;  (** injected NVRAM latency *)
+  idle_timeout : float;  (** seconds before an idle connection closes; 0 = never *)
+  read_chunk : int;  (** bytes read per readable event *)
+}
+
+(** 4 workers, 4096 buckets, 100k items, link-and-persist, no injected
+    latency, 60 s idle timeout, ephemeral port. *)
+val default_config : unit -> config
+
+(** Heap/context configuration a server built from [config] uses — what
+    {!Lfds.Ctx.recover} needs to re-attach the crashed heap. *)
+val heap_config : config -> Lfds.Ctx.config
+
+type t
+
+(** Create a fresh store and serve it. Binds 127.0.0.1:[port], spawns the
+    acceptor and workers, and returns once the socket is listening. *)
+val start : config -> t
+
+(** Serve an existing store — the drill's restart path: same socket setup
+    and worker spawn, no store creation. [heap_cfg] must be the
+    configuration the context was created or recovered with. *)
+val start_with : config -> heap_cfg:Lfds.Ctx.config -> Lfds.Ctx.t -> Shard_store.t -> t
+
+(** The port actually bound (resolves [port = 0]). *)
+val port : t -> int
+
+val config : t -> config
+val heap_cfg : t -> Lfds.Ctx.config
+val ctx : t -> Lfds.Ctx.t
+val store : t -> Shard_store.t
+
+(** Requests answered so far, summed over workers (monotonic, read-racy). *)
+val requests_served : t -> int
+
+(** Connections the acceptor has handed to workers. *)
+val connections_accepted : t -> int
+
+(** Graceful shutdown: drain buffered requests, flush responses, close
+    connections and the listening socket, then persist the store (link
+    cache flushed, all dirty lines written back). Idempotent. *)
+val stop : t -> unit
+
+(** Abrupt shutdown: close everything {e without} persisting — the heap is
+    left as a power failure would find it, ready for
+    [Nvm.Heap.crash]. Idempotent. *)
+val kill : t -> unit

@@ -1,0 +1,72 @@
+(** Hash-partitioned NV-Memcached shards over one shared durable heap (see
+    the interface). The shard index folds the same durable key hash the
+    tables index, taken before the tables' own per-bucket re-mix, so shard
+    choice and bucket choice stay independent. *)
+
+type t = {
+  ctx : Lfds.Ctx.t;
+  shards : Kvcache.Nv_memcached.t array;
+}
+
+let nshards t = Array.length t.shards
+
+let per_shard ~nshards ~nbuckets ~capacity =
+  let b = max 16 (nbuckets / nshards) in
+  let c = max 1 (capacity / nshards) in
+  (b, c)
+
+let create ctx ~nshards ~nbuckets ~capacity =
+  if nshards < 1 then invalid_arg "Shard_store.create: nshards < 1";
+  let b, c = per_shard ~nshards ~nbuckets ~capacity in
+  {
+    ctx;
+    shards =
+      Array.init nshards (fun _ ->
+          Kvcache.Nv_memcached.create ctx ~nbuckets:b ~capacity:c);
+  }
+
+let attach ctx ~nshards ~nbuckets ~capacity =
+  if nshards < 1 then invalid_arg "Shard_store.attach: nshards < 1";
+  let b, c = per_shard ~nshards ~nbuckets ~capacity in
+  {
+    ctx;
+    shards =
+      Array.init nshards (fun _ ->
+          Kvcache.Nv_memcached.attach ctx ~nbuckets:b ~capacity:c);
+  }
+
+let shard_index ~nshards key = Kvcache.Strpack.hash key mod nshards
+let shard_of t key = shard_index ~nshards:(nshards t) key
+let shard t key = t.shards.(shard_of t key)
+
+let count t =
+  Array.fold_left (fun acc s -> acc + Kvcache.Nv_memcached.count s) 0 t.shards
+
+let iter_reachable t f =
+  Array.iter (fun s -> Kvcache.Nv_memcached.iter_reachable s f) t.shards
+
+let recover ctx ~nshards ~nbuckets ~capacity ~active_pages ~nworkers =
+  let t = attach ctx ~nshards ~nbuckets ~capacity in
+  let freed =
+    Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages
+      ~iter:(iter_reachable t) ~nworkers
+  in
+  (t, freed)
+
+let leak_count t ~active_pages =
+  Lfds.Recovery.leak_count t.ctx ~active_pages ~iter:(iter_reachable t)
+
+let ops t =
+  {
+    Kvcache.Cache_intf.name = Printf.sprintf "nvserve-%d-shards" (nshards t);
+    set =
+      (fun ~tid ~key ~value -> Kvcache.Nv_memcached.set (shard t key) ~tid ~key ~value);
+    set_ttl =
+      (fun ~tid ~key ~value ~expire_at ->
+        Kvcache.Nv_memcached.set_ttl (shard t key) ~tid ~key ~value ~expire_at);
+    get = (fun ~tid ~key -> Kvcache.Nv_memcached.get (shard t key) ~tid ~key);
+    delete = (fun ~tid ~key -> Kvcache.Nv_memcached.delete (shard t key) ~tid ~key);
+    incr =
+      (fun ~tid ~key ~delta -> Kvcache.Nv_memcached.incr (shard t key) ~tid ~key ~delta);
+    count = (fun () -> count t);
+  }

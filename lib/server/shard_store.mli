@@ -1,0 +1,62 @@
+(** Hash-partitioned NV-Memcached shards over one shared durable heap.
+
+    NVServe gives each worker domain its own shard — an independent
+    {!Kvcache.Nv_memcached} instance (own durable hash table, own volatile
+    LRU, own slot mutex) — all carved from a single {!Lfds.Ctx} heap. A key
+    belongs to exactly one shard ({!shard_of}), so writes to different
+    shards never contend on a shard mutex, while the lock-free reads and the
+    per-thread heap cursors keep the hot path contention-local regardless of
+    which worker executes the request.
+
+    Shards share the allocator and the active page table, so crash recovery
+    attaches every shard (creation order = attach order, the layout-carving
+    discipline of {!Lfds.Ctx}) and then runs {e one} combined leak sweep
+    over the union of the shards' reachable sets — per-shard sweeps would
+    free each other's live items. *)
+
+type t
+
+(** [create ctx ~nshards ~nbuckets ~capacity] carves [nshards] fresh shards.
+    [nbuckets] and [capacity] are store totals, split evenly; per-shard LRU
+    eviction therefore approximates a global LRU only as well as the hash
+    spreads keys. *)
+val create : Lfds.Ctx.t -> nshards:int -> nbuckets:int -> capacity:int -> t
+
+(** Re-attach to a crashed (or cleanly shut down) heap: every shard's table
+    consistency is restored and its volatile LRU and count rebuilt, in
+    creation order. No leak sweep — see {!recover}. *)
+val attach : Lfds.Ctx.t -> nshards:int -> nbuckets:int -> capacity:int -> t
+
+(** [attach] plus the combined leak reclamation pass:
+    {!Lfds.Recovery.sweep_traversal_parallel} over the union of all shards'
+    reachable nodes, partitioned across [nworkers] domains. Returns the
+    store and the number of leaked nodes freed. *)
+val recover :
+  Lfds.Ctx.t ->
+  nshards:int ->
+  nbuckets:int ->
+  capacity:int ->
+  active_pages:int list ->
+  nworkers:int ->
+  t * int
+
+val nshards : t -> int
+
+(** Owning shard index of a key (stable across restarts: derived from the
+    same durable key hash the tables index). *)
+val shard_of : t -> string -> int
+
+(** Total items across shards. *)
+val count : t -> int
+
+(** Every reachable node address across all shards (hash nodes and the items
+    they point to) — the combined sweep's traversal. *)
+val iter_reachable : t -> (int -> unit) -> unit
+
+(** Allocated-but-unreachable nodes over [active_pages] considering all
+    shards — zero after {!recover} (drill assertion). *)
+val leak_count : t -> active_pages:int list -> int
+
+(** The store as one cache interface: each operation is dispatched to the
+    key's shard and runs on the calling worker's own cursor ([tid]). *)
+val ops : t -> Kvcache.Cache_intf.ops

@@ -13,6 +13,8 @@
     wrap-around. All recording is lock-free per-domain state; the read
     accessors are quiescent-only, like attach/detach. *)
 
+(** One recorded operation: its wall time and the persistence work it did
+    (counter deltas between the op's begin/end brackets). *)
 type span = {
   tid : int;
   name : string;  (** operation label, e.g. ["hash.insert"] *)
@@ -45,8 +47,10 @@ type attrib = {
   a_lc_fails : int;
 }
 
+(** A recorder attached to one heap. *)
 type t
 
+(** Default per-domain ring capacity (4096 spans). *)
 val default_ring_size : int
 
 (** Attach a recorder ([ring_size] spans per domain, default 4096). Attach
@@ -57,6 +61,7 @@ val attach : ?ring_size:int -> Nvm.Heap.t -> t
     spans and aggregates remain readable. *)
 val detach : t -> unit
 
+(** The per-domain ring capacity this recorder was attached with. *)
 val ring_size : t -> int
 
 (** Spans ever recorded, including ones the rings have overwritten. *)

@@ -222,126 +222,81 @@ let check_resp p req expected =
 
 let test_protocol_set_get () =
   let p = mk_proto () in
-  check_resp p "set greeting 0 0 5
-hello
-" "STORED
-";
-  check_resp p "get greeting" "VALUE greeting 0 5
-hello
-END
-";
-  check_resp p "get missing" "END
-"
+  check_resp p "set greeting 0 0 5\r\nhello\r\n" "STORED\r\n";
+  check_resp p "get greeting" "VALUE greeting 0 5\r\nhello\r\nEND\r\n";
+  check_resp p "get missing" "END\r\n"
 
 let test_protocol_multi_get () =
   let p = mk_proto () in
-  check_resp p "set a 0 0 1
-x
-" "STORED
-";
-  check_resp p "set b 0 0 1
-y
-" "STORED
-";
-  check_resp p "get a b zz"
-    "VALUE a 0 1
-x
-VALUE b 0 1
-y
-END
-"
+  check_resp p "set a 0 0 1\r\nx\r\n" "STORED\r\n";
+  check_resp p "set b 0 0 1\r\ny\r\n" "STORED\r\n";
+  check_resp p "get a b zz" "VALUE a 0 1\r\nx\r\nVALUE b 0 1\r\ny\r\nEND\r\n"
 
 let test_protocol_add_replace () =
   let p = mk_proto () in
-  check_resp p "add k 0 0 1
-a
-" "STORED
-";
-  check_resp p "add k 0 0 1
-b
-" "NOT_STORED
-";
-  check_resp p "replace k 0 0 1
-c
-" "STORED
-";
-  check_resp p "replace zz 0 0 1
-d
-" "NOT_STORED
-";
-  check_resp p "get k" "VALUE k 0 1
-c
-END
-"
+  check_resp p "add k 0 0 1\r\na\r\n" "STORED\r\n";
+  check_resp p "add k 0 0 1\r\nb\r\n" "NOT_STORED\r\n";
+  check_resp p "replace k 0 0 1\r\nc\r\n" "STORED\r\n";
+  check_resp p "replace zz 0 0 1\r\nd\r\n" "NOT_STORED\r\n";
+  check_resp p "get k" "VALUE k 0 1\r\nc\r\nEND\r\n"
 
 let test_protocol_append_prepend () =
   let p = mk_proto () in
-  check_resp p "set k 0 0 3
-bbb
-" "STORED
-";
-  check_resp p "append k 0 0 1
-c
-" "STORED
-";
-  check_resp p "prepend k 0 0 1
-a
-" "STORED
-";
-  check_resp p "get k" "VALUE k 0 5
-abbbc
-END
-"
+  check_resp p "set k 0 0 3\r\nbbb\r\n" "STORED\r\n";
+  check_resp p "append k 0 0 1\r\nc\r\n" "STORED\r\n";
+  check_resp p "prepend k 0 0 1\r\na\r\n" "STORED\r\n";
+  check_resp p "get k" "VALUE k 0 5\r\nabbbc\r\nEND\r\n"
 
 let test_protocol_delete_incr () =
   let p = mk_proto () in
-  check_resp p "set n 0 0 2
-41
-" "STORED
-";
-  check_resp p "incr n 1" "42
-";
-  check_resp p "decr n 2" "40
-";
-  check_resp p "delete n" "DELETED
-";
-  check_resp p "delete n" "NOT_FOUND
-";
-  check_resp p "incr n 1" "NOT_FOUND
-"
+  check_resp p "set n 0 0 2\r\n41\r\n" "STORED\r\n";
+  check_resp p "incr n 1" "42\r\n";
+  check_resp p "decr n 2" "40\r\n";
+  check_resp p "delete n" "DELETED\r\n";
+  check_resp p "delete n" "NOT_FOUND\r\n";
+  check_resp p "incr n 1" "NOT_FOUND\r\n"
 
 let test_protocol_errors () =
   let p = mk_proto () in
-  check_resp p "bogus" "ERROR
-";
-  check_resp p "set missing args" "ERROR
-";
-  check_resp p "set k 0 0 notanumber
-xx
-"
-    "CLIENT_ERROR bad command line format
-";
-  check_resp p "set k 0 0 10
-short
-" "CLIENT_ERROR bad data chunk
-";
-  check_resp p "incr k abc" "CLIENT_ERROR invalid numeric delta argument
-"
+  check_resp p "bogus" "ERROR\r\n";
+  check_resp p "set missing args" "ERROR\r\n";
+  check_resp p "set k 0 0 notanumber\r\nxx\r\n"
+    "CLIENT_ERROR bad command line format\r\n";
+  check_resp p "set k 0 0 10\r\nshort\r\n" "CLIENT_ERROR bad data chunk\r\n";
+  check_resp p "incr k abc" "CLIENT_ERROR invalid numeric delta argument\r\n"
+
+(* Framing-hostile inputs must answer with error lines, never raise: the
+   NVServe workers feed [handle] straight off the wire. *)
+let test_protocol_negative () =
+  let p = mk_proto () in
+  (* Oversized value: frames fine, exceeds the item layout limit. *)
+  let big = String.make 500 'x' in
+  check_resp p
+    (Printf.sprintf "set k 0 0 %d\r\n%s\r\n" (String.length big) big)
+    "SERVER_ERROR object too large for cache\r\n";
+  (* Exact-length data block with a bad terminator. *)
+  check_resp p "set k 0 0 3\r\nabcJUNK" "CLIENT_ERROR bad data chunk\r\n";
+  (* Declared length can't be negative. *)
+  check_resp p "set k 0 0 -1\r\n\r\n" "CLIENT_ERROR bad command line format\r\n";
+  (* Unknown command. *)
+  check_resp p "frobnicate k 1 2\r\n" "ERROR\r\n";
+  (* Oversized append onto an existing small value. *)
+  check_resp p "set k 0 0 2\r\nok\r\n" "STORED\r\n";
+  check_resp p
+    (Printf.sprintf "append k 0 0 %d\r\n%s\r\n" (String.length big) big)
+    "SERVER_ERROR object too large for cache\r\n";
+  check_resp p "get k\r\n" "VALUE k 0 2\r\nok\r\nEND\r\n"
 
 let test_protocol_misc () =
   let p = mk_proto () in
-  check_resp p "version" "VERSION nvlf-0.1
-";
-  check_resp p "verbosity 1" "OK
-";
+  check_resp p "version" "VERSION nvlf-0.1\r\n";
+  check_resp p "verbosity 1" "OK\r\n";
   let stats = Kvcache.Protocol.handle p ~tid:0 "stats" in
   check_bool "stats mentions backend" true
     (String.length stats > 0
     && String.sub stats 0 4 = "STAT");
   let responses =
-    Kvcache.Protocol.session p ~tid:0 [ "set a 0 0 1
-x
-"; "get a" ]
+    Kvcache.Protocol.session p ~tid:0 [ "set a 0 0 1\r\nx\r\n"; "get a" ]
   in
   check_int "session responses" 2 (List.length responses)
 
@@ -396,6 +351,7 @@ let () =
           Alcotest.test_case "append/prepend" `Quick test_protocol_append_prepend;
           Alcotest.test_case "delete/incr" `Quick test_protocol_delete_incr;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "negative" `Quick test_protocol_negative;
           Alcotest.test_case "misc" `Quick test_protocol_misc;
         ] );
       ( "volatile+memtier",

@@ -1,0 +1,240 @@
+(* NVServe: request framing, the sharded store, a real loopback server under
+   concurrent load, graceful-stop durability, and the crash drill. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- Framing --- *)
+
+let next s ~pos = Server.Framing.next (Bytes.of_string s) ~pos ~len:(String.length s - pos)
+
+let test_framing_pipelined () =
+  let s = "get a\r\nget b\r\n" in
+  (match next s ~pos:0 with
+  | Server.Framing.Request { req; consumed } ->
+      check_str "first" "get a\r\n" req;
+      check_int "consumed" 7 consumed
+  | _ -> Alcotest.fail "expected Request");
+  match next s ~pos:7 with
+  | Server.Framing.Request { req; _ } -> check_str "second" "get b\r\n" req
+  | _ -> Alcotest.fail "expected Request"
+
+let test_framing_storage_waits_for_data () =
+  (match next "set k 0 0 3\r\nab" ~pos:0 with
+  | Server.Framing.Need_more -> ()
+  | _ -> Alcotest.fail "torn data block should wait");
+  (match next "set k 0 0 3" ~pos:0 with
+  | Server.Framing.Need_more -> ()
+  | _ -> Alcotest.fail "torn command line should wait");
+  match next "set k 0 0 3\r\nabc\r\nget k\r\n" ~pos:0 with
+  | Server.Framing.Request { req; consumed } ->
+      check_str "whole request" "set k 0 0 3\r\nabc\r\n" req;
+      check_int "consumed" 18 consumed
+  | _ -> Alcotest.fail "expected complete storage request"
+
+let test_framing_rejects () =
+  (match next "set k 0 0 zz\r\n" ~pos:0 with
+  | Server.Framing.Reject { response; consumed } ->
+      check_str "bad count" "CLIENT_ERROR bad command line format\r\n" response;
+      check_int "line consumed" 14 consumed
+  | _ -> Alcotest.fail "unparseable byte count should reject");
+  (match next "set k 0 0 999999\r\n" ~pos:0 with
+  | Server.Framing.Reject { response; _ } ->
+      check_str "oversized" "SERVER_ERROR object too large for cache\r\n" response
+  | _ -> Alcotest.fail "unbufferable data block should reject");
+  (match next "set k 0 0\r\n" ~pos:0 with
+  | Server.Framing.Reject { response; _ } -> check_str "arity" "ERROR\r\n" response
+  | _ -> Alcotest.fail "wrong storage arity should reject");
+  (* Unknown commands frame fine — the protocol layer answers them. *)
+  match next "frobnicate\r\n" ~pos:0 with
+  | Server.Framing.Request _ -> ()
+  | _ -> Alcotest.fail "unknown command is the protocol layer's problem"
+
+let test_framing_too_long () =
+  let s = String.make Server.Framing.max_line_bytes 'a' in
+  (match next s ~pos:0 with
+  | Server.Framing.Too_long -> ()
+  | _ -> Alcotest.fail "unterminated max-length line should be Too_long");
+  match next "ab" ~pos:0 with
+  | Server.Framing.Need_more -> ()
+  | _ -> Alcotest.fail "short partial line should wait"
+
+(* --- Shard store --- *)
+
+let mk_ctx ?(nthreads = 2) () =
+  Lfds.Ctx.create
+    {
+      (Lfds.Ctx.default_config ()) with
+      size_words = 1 lsl 20;
+      nthreads;
+      apt_entries = 4096;
+      static_words = 1 lsl 15;
+    }
+
+let test_shard_store_ops () =
+  let ctx = mk_ctx () in
+  let s = Server.Shard_store.create ctx ~nshards:2 ~nbuckets:64 ~capacity:1000 in
+  let ops = Server.Shard_store.ops s in
+  for i = 0 to 99 do
+    ops.Kvcache.Cache_intf.set ~tid:0 ~key:(Printf.sprintf "k%d" i)
+      ~value:(Printf.sprintf "v%d" i)
+  done;
+  check_int "count" 100 (Server.Shard_store.count s);
+  (* Any worker reads any shard with its own cursor. *)
+  for i = 0 to 99 do
+    Alcotest.(check (option string))
+      "readback" (Some (Printf.sprintf "v%d" i))
+      (ops.Kvcache.Cache_intf.get ~tid:1 ~key:(Printf.sprintf "k%d" i))
+  done;
+  check_bool "delete" true (ops.Kvcache.Cache_intf.delete ~tid:0 ~key:"k0");
+  check_int "count after delete" 99 (Server.Shard_store.count s);
+  (* Keys spread across both shards. *)
+  let hit = Array.make 2 false in
+  for i = 0 to 99 do
+    hit.(Server.Shard_store.shard_of s (Printf.sprintf "k%d" i)) <- true
+  done;
+  check_bool "both shards used" true (hit.(0) && hit.(1))
+
+let test_shard_store_recover () =
+  let cfg =
+    {
+      (Lfds.Ctx.default_config ()) with
+      size_words = 1 lsl 20;
+      nthreads = 2;
+      apt_entries = 4096;
+      static_words = 1 lsl 15;
+    }
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  let s = Server.Shard_store.create ctx ~nshards:2 ~nbuckets:64 ~capacity:1000 in
+  let ops = Server.Shard_store.ops s in
+  for i = 0 to 49 do
+    ops.Kvcache.Cache_intf.set ~tid:0 ~key:(Printf.sprintf "k%d" i)
+      ~value:(Printf.sprintf "v%d" i)
+  done;
+  (* Worst-case power cut for link-and-persist: nothing survives except
+     what was explicitly persisted. *)
+  let heap = Lfds.Ctx.heap ctx in
+  Nvm.Heap.crash ~seed:7 ~eviction_probability:0. heap;
+  let ctx', active_pages = Lfds.Ctx.recover heap cfg in
+  let s', _freed =
+    Server.Shard_store.recover ctx' ~nshards:2 ~nbuckets:64 ~capacity:1000
+      ~active_pages ~nworkers:2
+  in
+  let ops' = Server.Shard_store.ops s' in
+  check_int "all items recovered" 50 (Server.Shard_store.count s');
+  for i = 0 to 49 do
+    Alcotest.(check (option string))
+      "recovered value" (Some (Printf.sprintf "v%d" i))
+      (ops'.Kvcache.Cache_intf.get ~tid:0 ~key:(Printf.sprintf "k%d" i))
+  done;
+  check_int "no leaks" 0 (Server.Shard_store.leak_count s' ~active_pages)
+
+(* --- Live server under concurrent load --- *)
+
+let small_server () =
+  Server.Nvserve.start
+    {
+      (Server.Nvserve.default_config ()) with
+      Server.Nvserve.nworkers = 2;
+      nbuckets = 512;
+      capacity = 8_000;
+      idle_timeout = 30.;
+    }
+
+let test_server_concurrent_load () =
+  let srv = small_server () in
+  let port = Server.Nvserve.port srv in
+  let acks = Server.Loadgen.make_acks () in
+  let report =
+    Server.Loadgen.run ~acks
+      {
+        (Server.Loadgen.default_config ~port) with
+        Server.Loadgen.nconns = 4;
+        duration = 0.4;
+        nkeys = 400;
+        pipeline = 4;
+      }
+  in
+  check_bool "did work" true (report.Server.Loadgen.ops > 100);
+  check_int "no validation errors" 0 report.Server.Loadgen.errors;
+  check_int "no dead connections" 0 report.Server.Loadgen.dead_conns;
+  check_bool "server counted requests" true
+    (Server.Nvserve.requests_served srv >= report.Server.Loadgen.ops);
+  check_int "four connections accepted" 4 (Server.Nvserve.connections_accepted srv);
+  (* Graceful stop persists everything: a worst-case crash right after stop
+     must lose nothing that was acknowledged. *)
+  Server.Nvserve.stop srv;
+  let heap = Lfds.Ctx.heap (Server.Nvserve.ctx srv) in
+  Nvm.Heap.crash ~seed:11 ~eviction_probability:0. heap;
+  let hcfg = Server.Nvserve.heap_cfg srv in
+  let scfg = Server.Nvserve.config srv in
+  let ctx', active_pages = Lfds.Ctx.recover heap hcfg in
+  let s', _ =
+    Server.Shard_store.recover ctx' ~nshards:scfg.Server.Nvserve.nworkers
+      ~nbuckets:scfg.Server.Nvserve.nbuckets
+      ~capacity:scfg.Server.Nvserve.capacity ~active_pages ~nworkers:2
+  in
+  let ops' = Server.Shard_store.ops s' in
+  let lost = ref 0 in
+  Hashtbl.iter
+    (fun key state ->
+      let got = ops'.Kvcache.Cache_intf.get ~tid:0 ~key in
+      match (state, got) with
+      | Server.Loadgen.Stored v, Some value ->
+          let n = int_of_string (String.sub key 3 (String.length key - 3)) in
+          if value <> Server.Loadgen.value_for ~n ~version:v ~value_bytes:24 then
+            incr lost
+      | Server.Loadgen.Stored _, None -> incr lost
+      | Server.Loadgen.Deleted, None -> ()
+      | Server.Loadgen.Deleted, Some _ -> incr lost)
+    acks.Server.Loadgen.acked;
+  check_int "graceful stop lost nothing" 0 !lost
+
+(* --- Crash drill --- *)
+
+let test_drill () =
+  let r =
+    Server.Drill.run
+      {
+        (Server.Drill.default_config ()) with
+        Server.Drill.nworkers = 2;
+        nbuckets = 512;
+        capacity = 5_000;
+        nconns = 2;
+        duration = 0.6;
+        nkeys = 500;
+        pipeline = 4;
+      }
+  in
+  check_bool "took traffic" true (r.Server.Drill.load.Server.Loadgen.ops > 0);
+  check_int "no load errors" 0 r.Server.Drill.load.Server.Loadgen.errors;
+  check_int "no acked losses" 0 r.Server.Drill.lost;
+  check_int "no residual leaks" 0 r.Server.Drill.residual_leaks;
+  check_bool "served after recovery" true r.Server.Drill.post_ok;
+  check_bool "strict under link-and-persist" true r.Server.Drill.strict;
+  check_bool "drill verdict" true r.Server.Drill.ok
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "pipelined" `Quick test_framing_pipelined;
+          Alcotest.test_case "storage waits" `Quick test_framing_storage_waits_for_data;
+          Alcotest.test_case "rejects" `Quick test_framing_rejects;
+          Alcotest.test_case "too long" `Quick test_framing_too_long;
+        ] );
+      ( "shard-store",
+        [
+          Alcotest.test_case "ops" `Quick test_shard_store_ops;
+          Alcotest.test_case "recover" `Quick test_shard_store_recover;
+        ] );
+      ( "nvserve",
+        [
+          Alcotest.test_case "concurrent load + stop durability" `Quick
+            test_server_concurrent_load;
+          Alcotest.test_case "crash drill" `Quick test_drill;
+        ] );
+    ]
