@@ -22,7 +22,10 @@
    /2 over /1: the substrate object grew link-cache / APT / epoch-stall
    counters and derived rates (lc_hit_rate, lines_per_batch,
    flushes_per_store, apt_hit_rate), and the latency/attribution kinds are
-   new; every /1 field is unchanged, so /1 consumers can read /2 files. *)
+   new; every /1 field is unchanged, so /1 consumers can read /2 files.
+   Additive within /2: substrate group-commit counters (group_commits,
+   group_ops, deferred_links, ops_per_commit) and the "loadgen" kind's
+   fence/batch-depth/inflight fields. *)
 
 type v = I of int | F of float | S of string | L of v list | O of (string * v) list
 
@@ -105,10 +108,14 @@ let substrate_fields (st : Nvm.Pstats.t) =
       ("allocs", I st.allocs);
       ("frees", I st.frees);
       ("epoch_stalls", I st.epoch_stalls);
+      ("group_commits", I st.group_commits);
+      ("group_ops", I st.group_ops);
+      ("deferred_links", I st.deferred_links);
       ("lc_hit_rate", F (Nvm.Pstats.lc_hit_rate st));
       ("lines_per_batch", F (Nvm.Pstats.lines_per_batch st));
       ("flushes_per_store", F (Nvm.Pstats.flushes_per_store st));
       ("apt_hit_rate", F (Nvm.Pstats.apt_hit_rate st));
+      ("ops_per_commit", F (Nvm.Pstats.ops_per_commit st));
     ]
 
 let write () =

@@ -447,7 +447,7 @@ let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
   Printf.printf "verdict: %s\n%!" (if r.Server.Drill.ok then "OK" else "FAILED")
 
 let serve port workers buckets capacity mode idle_timeout duration drill conns
-    keys pipeline evict_p no_torn seed =
+    keys pipeline evict_p no_torn max_batch max_delay_us seed =
   if drill then begin
     let c =
       {
@@ -462,6 +462,8 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
         seed;
         eviction_probability = evict_p;
         torn_op = not no_torn;
+        max_batch;
+        max_delay_us;
       }
     in
     let r = Server.Drill.run c in
@@ -478,14 +480,20 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
         capacity;
         mode;
         idle_timeout;
+        max_batch;
+        max_delay_us;
       }
     in
     let srv = Server.Nvserve.start cfg in
     Printf.printf
       "nvlf serve: %s on 127.0.0.1:%d — %d workers/shards, %d buckets, \
-       capacity %d (Ctrl-C for graceful stop)\n%!"
+       capacity %d, group commit %s (Ctrl-C for graceful stop)\n%!"
       (Lfds.Persist_mode.to_string mode)
-      (Server.Nvserve.port srv) workers buckets capacity;
+      (Server.Nvserve.port srv) workers buckets capacity
+      (if max_batch > 1 then
+         Printf.sprintf "up to %d ops/fence (max delay %d us)" max_batch
+           max_delay_us
+       else "off");
     let stop_flag = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop_flag := true) in
     Sys.set_signal Sys.sigint handler;
@@ -497,6 +505,9 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
     do
       Unix.sleepf 0.1
     done;
+    (* Fences/request from the substrate, read before the shutdown flush
+       adds its own write-backs and fence. *)
+    let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap (Server.Nvserve.ctx srv)) in
     Server.Nvserve.stop srv;
     Printf.printf
       "nvlf serve: stopped after %.1fs — %d connections, %d requests, %d items; \
@@ -504,7 +515,17 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
       (Unix.gettimeofday () -. t0)
       (Server.Nvserve.connections_accepted srv)
       (Server.Nvserve.requests_served srv)
-      (Server.Shard_store.count (Server.Nvserve.store srv))
+      (Server.Shard_store.count (Server.Nvserve.store srv));
+    let served = Server.Nvserve.requests_served srv in
+    let dh = Server.Nvserve.batch_depth_hist srv in
+    Printf.printf
+      "  persistence: %.3f fences/request (%d fences); %d group commits \
+       covering %d ops (batch depth p50 %.0f p99 %.0f mean %.1f)\n%!"
+      (float_of_int st.Nvm.Pstats.fences /. float_of_int (max 1 served))
+      st.Nvm.Pstats.fences st.Nvm.Pstats.group_commits st.Nvm.Pstats.group_ops
+      (Workload.Histogram.percentile dh 50.)
+      (Workload.Histogram.percentile dh 99.)
+      (Workload.Histogram.mean dh)
   end
 
 (* Minimal nvlf-bench/2 document with one "loadgen" record, matching the
@@ -558,6 +579,16 @@ let loadgen_json_doc path (cfg : Server.Loadgen.config) (r : Server.Loadgen.repo
          Printf.sprintf "\"p999_ns\":%.6g" (p 99.9);
          Printf.sprintf "\"mean_ns\":%.6g" (Workload.Histogram.mean r.Server.Loadgen.hist);
          Printf.sprintf "\"max_ns\":%.6g" (Workload.Histogram.max_ns r.Server.Loadgen.hist);
+         (let d q = Workload.Histogram.percentile r.Server.Loadgen.inflight q in
+          String.concat ","
+            [
+              Printf.sprintf "\"inflight_p50\":%.6g" (d 50.);
+              Printf.sprintf "\"inflight_p99\":%.6g" (d 99.);
+              Printf.sprintf "\"inflight_mean\":%.6g"
+                (Workload.Histogram.mean r.Server.Loadgen.inflight);
+              Printf.sprintf "\"inflight_max\":%.6g"
+                (Workload.Histogram.max_ns r.Server.Loadgen.inflight);
+            ]);
        ]);
   Buffer.add_string b "}]}\n";
   let oc = open_out path in
@@ -593,6 +624,11 @@ let loadgen host port conns duration keys set_pct delete_pct pipeline
     (Report.human_ns (p 50.)) (Report.human_ns (p 99.))
     (Report.human_ns (p 99.9))
     (Report.human_ns (Workload.Histogram.max_ns r.Server.Loadgen.hist));
+  let d q = Workload.Histogram.percentile r.Server.Loadgen.inflight q in
+  Printf.printf "  inflight depth p50 %.0f  p99 %.0f  mean %.1f  max %.0f\n"
+    (d 50.) (d 99.)
+    (Workload.Histogram.mean r.Server.Loadgen.inflight)
+    (Workload.Histogram.max_ns r.Server.Loadgen.inflight);
   if r.Server.Loadgen.errors > 0 || r.Server.Loadgen.dead_conns > 0 then
     Printf.printf "  %d errors, %d dead connections\n" r.Server.Loadgen.errors
       r.Server.Loadgen.dead_conns;
@@ -658,13 +694,32 @@ let serve_cmd =
       value & flag
       & info [ "no-torn-op" ] ~doc:"Drill: skip the injected mid-operation crash.")
   in
+  let max_batch =
+    Arg.(
+      value
+      & opt int (Server.Nvserve.default_config ()).Server.Nvserve.max_batch
+      & info [ "max-batch" ]
+          ~doc:
+            "Group commit: max operations under one covering fence (1 = \
+             eager per-op fences, the unbatched baseline).")
+  in
+  let max_delay_us =
+    Arg.(
+      value
+      & opt int (Server.Nvserve.default_config ()).Server.Nvserve.max_delay_us
+      & info [ "max-delay-us" ]
+          ~doc:
+            "Group commit starvation bound: microseconds an under-filled \
+             batch may be held open waiting to fill (0 = commit at every \
+             poll wakeup; responses are never delayed).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"NVServe: sharded memcached-protocol TCP server over the NV heap")
     Term.(
       const serve $ port_arg $ workers_arg $ buckets $ capacity $ mode_arg
       $ idle_timeout $ duration $ drill $ conns_arg $ keys_arg $ pipeline_arg
-      $ evict_p $ no_torn $ seed_arg)
+      $ evict_p $ no_torn $ max_batch $ max_delay_us $ seed_arg)
 
 let loadgen_cmd =
   let host =

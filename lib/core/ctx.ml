@@ -31,6 +31,7 @@ type t = {
   static : Region.t;  (** static carve-out for structure-owned spans *)
   apt_base : int;
   apt_entries : int;
+  defers : Group_commit.t array;  (** per-thread group-commit state *)
 }
 
 type config = {
@@ -121,6 +122,7 @@ let build heap (cfg : config) ~fresh ~alloc =
     static = Region.make ~base:static_base ~limit:(static_base + cfg.static_words);
     apt_base;
     apt_entries = cfg.apt_entries;
+    defers = Array.init cfg.nthreads (fun _ -> Group_commit.make ());
   }
 
 (** Create a fresh heap and context. *)
@@ -174,6 +176,10 @@ let static_limit (t : t) = t.apt_base
 (** The calling domain's heap cursor — the hot-path handle every structure
     operation should fetch once and thread through its heap accesses. *)
 let cursor (t : t) ~tid = Heap.cursor t.heap ~tid
+
+(** The calling domain's group-commit deferral state (see {!Group_commit}).
+    Single-domain use, like [cursor]. *)
+let group_commit (t : t) ~tid = t.defers.(tid)
 
 let mode (t : t) = t.mode
 let mem (t : t) = t.mem

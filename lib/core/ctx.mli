@@ -60,6 +60,10 @@ val static_limit : t -> int
     through all heap accesses — the fast path). *)
 val cursor : t -> tid:int -> Nvm.Heap.cursor
 
+(** The calling domain's group-commit deferral state (see {!Group_commit}).
+    Single-domain use, like [cursor]. *)
+val group_commit : t -> tid:int -> Group_commit.t
+
 val mode : t -> Persist_mode.t
 val mem : t -> Nv_epochs.t
 val link_cache : t -> Link_cache.t option

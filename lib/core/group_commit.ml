@@ -1,0 +1,169 @@
+(** Per-thread group-commit deferral state (NVServe batching, ISSUE 5).
+
+    Under link-and-persist every link update pays its own fence. A server
+    worker draining a pipeline of requests can do better: execute the whole
+    batch with the unflushed marks {e left in place} and the write-backs
+    parked in the cursor's pending buffer, then issue {e one} covering fence
+    and clear every deferred mark. Responses are withheld until the covering
+    fence retires, so an acked mutation is still durable before its reply
+    hits the wire — the drill's strict audit contract is unchanged while the
+    fence cost drops by the batch depth.
+
+    One record exists per thread ([Ctx] owns the array); it is only ever
+    touched by its owning domain, like a heap cursor. While a batch is open
+    ([active]), [Link_persist.cas_link_c] routes successful CASes here
+    instead of fencing: [defer_link] queues the line write-back, records the
+    {e exact marked value} it installed, and announces the deferral to any
+    attached observer ([A_lc_register], the same exemption the link cache
+    uses — the sanitizer's flush-order and deref checkers treat a registered
+    link as scheduled-for-durability rather than leaked).
+
+    Recording the installed value (not just the address) makes the commit
+    clear-pass ABA-safe: a deferred node can be helped, unlinked, retired and
+    even reallocated before the batch commits, and a blind clear could strip
+    an innocent mark from the reused word. The commit CAS only fires from
+    the exact value this thread installed, which is no weaker than the eager
+    path's two-CAS window.
+
+    Allocation fences are deferred too: [owe_alloc_fence] notes that freshly
+    initialized node lines were written back but not fenced; the debt is
+    settled by the next publishing CAS (so "durably linked implies durably
+    allocated" still holds, section 5.5) or at the covering fence, whichever
+    comes first. *)
+
+open Nvm
+
+(* The link table sits on the per-request hot path (every deferred CAS
+   records into it, every crossed unflushed link queries it), so it is a
+   flat open-addressing int table rather than a [Hashtbl]: no per-add
+   bucket allocation, no polymorphic hashing, and the commit clear-pass is
+   one linear scan. Capacity stays a power of two; a batch of [max_batch]
+   ops touches a few links each, so the table almost never grows past its
+   initial 256 slots. *)
+
+type t = {
+  mutable active : bool;  (** a batch is open; cas_link defers to us *)
+  mutable owe_fence : bool;
+      (** node-init write-backs queued but not yet fenced *)
+  mutable keys : int array;  (** link addresses; -1 = empty slot *)
+  mutable vals : int array;
+      (** marked value we installed at [keys.(i)] and must clear *)
+  mutable n : int;  (** occupied slots *)
+}
+
+let initial_slots = 256
+
+let make () =
+  {
+    active = false;
+    owe_fence = false;
+    keys = Array.make initial_slots (-1);
+    vals = Array.make initial_slots 0;
+    n = 0;
+  }
+
+let active t = t.active
+
+(* Open-addressing probe: the slot holding [link], or the empty slot where
+   it would go. [land mask] of the scrambled key is non-negative even when
+   the product overflows. *)
+let slot keys link =
+  let mask = Array.length keys - 1 in
+  let i = ref ((link * 0x2545F491) land mask) in
+  while
+    let k = Array.unsafe_get keys !i in
+    k <> -1 && k <> link
+  do
+    i := (!i + 1) land mask
+  done;
+  !i
+
+let grow t =
+  let keys' = Array.make (2 * Array.length t.keys) (-1) in
+  let vals' = Array.make (2 * Array.length t.vals) 0 in
+  Array.iteri
+    (fun i k ->
+      if k <> -1 then begin
+        let j = slot keys' k in
+        keys'.(j) <- k;
+        vals'.(j) <- t.vals.(i)
+      end)
+    t.keys;
+  t.keys <- keys';
+  t.vals <- vals'
+
+let begin_batch t =
+  t.active <- true
+
+(** Note un-fenced node-initialization write-backs (deferred
+    [persist_node]). *)
+let owe_alloc_fence t = t.owe_fence <- true
+
+(** Pay the allocation-fence debt now (before a publishing CAS makes the
+    fresh node reachable). The fence also drains any deferred-link
+    write-backs queued so far — harmless: their marks stay set and the
+    commit clear-pass still runs. *)
+let settle_alloc_fence t cu =
+  if t.owe_fence then begin
+    Heap.Cursor.fence cu;
+    t.owe_fence <- false
+  end
+
+(** The marked value this batch installed at [link], if any. *)
+let recorded_value t ~link =
+  if t.n = 0 then None
+  else
+    let i = slot t.keys link in
+    if Array.unsafe_get t.keys i = link then Some (Array.unsafe_get t.vals i)
+    else None
+
+(** Record a successful deferred link CAS: the line is queued for write-back
+    and [marked] (the value installed, unflushed bit set) must be cleared
+    after the covering fence. *)
+let defer_link t cu ~link marked =
+  Heap.Cursor.write_back cu link;
+  (* Keep the table at most half full so probes stay short. *)
+  if 2 * (t.n + 1) > Array.length t.keys then grow t;
+  let i = slot t.keys link in
+  if t.keys.(i) = -1 then begin
+    t.keys.(i) <- link;
+    t.n <- t.n + 1
+  end;
+  t.vals.(i) <- marked;
+  let st = Heap.Cursor.stats cu in
+  st.Pstats.deferred_links <- st.Pstats.deferred_links + 1;
+  let heap = Heap.Cursor.heap cu in
+  if Heap.observed heap then
+    Heap.annotate heap ~tid:(Heap.Cursor.tid cu) (Heap.A_lc_register { link })
+
+(** Close the batch: one covering fence for everything deferred, then clear
+    each recorded unflushed mark (skipping links a helper already cleared or
+    that have since changed). [ops] is the number of requests the batch
+    executed, for the [group_ops] / [ops_per_commit] accounting. *)
+let commit t cu ~ops =
+  if t.active then begin
+    let dirty = t.owe_fence || t.n > 0 || Heap.Cursor.pending_count cu > 0 in
+    if dirty then begin
+      Heap.Cursor.fence cu;
+      let keys = t.keys and vals = t.vals in
+      for i = 0 to Array.length keys - 1 do
+        let link = Array.unsafe_get keys i in
+        if link <> -1 then
+          (* Helpers may have persisted+cleared the mark already, or the link
+             may have moved on entirely; both mean nothing is owed here. *)
+          let marked = Array.unsafe_get vals i in
+          ignore
+            (Heap.Cursor.cas cu link ~expected:marked
+               ~desired:(Marked_ptr.clear_unflushed marked))
+      done;
+      let st = Heap.Cursor.stats cu in
+      st.Pstats.group_commits <- st.Pstats.group_commits + 1;
+      st.Pstats.group_ops <- st.Pstats.group_ops + ops
+    end;
+    if t.n > 0 then begin
+      Array.fill t.keys 0 (Array.length t.keys) (-1);
+      t.n <- 0
+    end;
+    t.owe_fence <- false;
+    t.active <- false
+  end

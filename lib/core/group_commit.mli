@@ -1,0 +1,49 @@
+(** Per-thread group-commit deferral state.
+
+    While a batch is open ([begin_batch] .. [commit]),
+    [Link_persist.cas_link_c] records successful link updates here with
+    their unflushed marks left set and their write-backs parked in the
+    cursor's pending buffer; [commit] issues {e one} covering fence and
+    clears every recorded mark. A server releases buffered responses only
+    after [commit] returns, so acked mutations are durable before their
+    replies leave — the fence cost of a pipelined batch drops from one per
+    mutation to one per batch.
+
+    Single-domain use only: each record belongs to one thread (fetch via
+    [Ctx.group_commit]), exactly like a heap cursor. *)
+
+type t
+
+val make : unit -> t
+
+(** Whether a batch is open on this thread. *)
+val active : t -> bool
+
+(** Open a batch (idempotent). Subsequent [cas_link_c] / [persist_node_c]
+    calls on this thread defer their fences until [commit]. *)
+val begin_batch : t -> unit
+
+(** Note that node-initialization write-backs were queued without a fence;
+    the debt is settled by the next publishing CAS or by [commit]. *)
+val owe_alloc_fence : t -> unit
+
+(** Fence now if an allocation-fence debt is outstanding ("durably linked
+    implies durably allocated" — called before a publishing CAS). *)
+val settle_alloc_fence : t -> Nvm.Heap.cursor -> unit
+
+(** The marked value this batch installed at [link], if it is still owed a
+    clear — lets the owner recognize (and skip helping) its own deferred
+    links. *)
+val recorded_value : t -> link:int -> int option
+
+(** Record a successful deferred link CAS of [marked] (unflushed bit set)
+    into [link]: queues the line write-back, remembers the value for the
+    commit clear-pass, and announces [A_lc_register] to observers. *)
+val defer_link : t -> Nvm.Heap.cursor -> link:int -> int -> unit
+
+(** Close the batch: one covering fence (skipped when nothing was deferred
+    and no write-backs are pending), then clear each recorded mark with a
+    value-matched CAS (ABA-safe; helped or moved-on links are skipped).
+    Bumps [group_commits] / [group_ops] when a fence was issued. [ops] is
+    the number of requests the batch executed. *)
+val commit : t -> Nvm.Heap.cursor -> ops:int -> unit

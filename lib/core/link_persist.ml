@@ -28,17 +28,30 @@ let read ctx ~tid link = Heap.load (Ctx.heap ctx) ~tid link
 
 (** Given value [v] just loaded from [link]: if it carries the unflushed
     mark, make the line durable and clear the mark (helping). Returns the
-    clean value currently believable for [link]. *)
+    clean value currently believable for [link].
+
+    Exception: while a group-commit batch is open, a thread re-reading a
+    link {e it deferred itself} must not help it — that would pay the very
+    fence the batch exists to amortize (an overwrite set traverses the
+    bucket its own remove just marked). The mark stays set; the batch's
+    covering fence and clear-pass will retire it. Only the exact recorded
+    value is suppressed, so foreign marks (or our link after a helper and a
+    stranger both touched it) are still helped normally. *)
 let help_unflushed_c ctx cu ~link v =
   if not (Marked_ptr.is_unflushed v) then v
   else begin
-    (match Ctx.mode ctx with
-    | Persist_mode.Volatile -> ()
-    | Persist_mode.Link_persist | Persist_mode.Link_cache ->
-        Heap.Cursor.persist cu link);
-    let clean = Marked_ptr.clear_unflushed v in
-    ignore (Heap.Cursor.cas cu link ~expected:v ~desired:clean);
-    clean
+    let gc = Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu) in
+    if Group_commit.active gc && Group_commit.recorded_value gc ~link = Some v
+    then Marked_ptr.clear_unflushed v
+    else begin
+      (match Ctx.mode ctx with
+      | Persist_mode.Volatile -> ()
+      | Persist_mode.Link_persist | Persist_mode.Link_cache ->
+          Heap.Cursor.persist cu link);
+      let clean = Marked_ptr.clear_unflushed v in
+      ignore (Heap.Cursor.cas cu link ~expected:v ~desired:clean);
+      clean
+    end
   end
 
 let help_unflushed ctx ~tid ~link v =
@@ -64,15 +77,47 @@ let cas_link_persist cu ~link ~expected ~desired =
     true
   end
 
+(* Group-commit variant of link-and-persist: install the marked value, queue
+   the write-back, and leave both the fence and the mark-clear to the batch
+   commit. Any outstanding allocation-fence debt is settled first so a fresh
+   node is durably initialized before it becomes durably reachable.
+
+   [expected] is clean (the caller read it through [help_unflushed], whose
+   self-suppression strips our own deferred mark without clearing it) — so
+   when this very batch already owns [link], memory actually still holds the
+   recorded marked value. Try that first; fall back to the clean expected
+   (a helper may have cleared the mark between our read and now). *)
+let cas_link_deferred gc cu ~link ~expected ~desired =
+  Group_commit.settle_alloc_fence gc cu;
+  let marked = Marked_ptr.with_unflushed desired in
+  let installed =
+    match Group_commit.recorded_value gc ~link with
+    | Some rv
+      when Marked_ptr.equal (Marked_ptr.clear_unflushed rv) expected
+           && Heap.Cursor.cas cu link ~expected:rv ~desired:marked ->
+        true
+    | _ -> Heap.Cursor.cas cu link ~expected ~desired:marked
+  in
+  if installed then Group_commit.defer_link gc cu ~link marked;
+  installed
+
 (** Atomically update [link] from [expected] to [desired] and make the update
     durable according to the context's persist mode. [key] identifies the
-    update for the link cache. Returns false iff the CAS failed. *)
+    update for the link cache. Returns false iff the CAS failed.
+
+    While the calling thread has a group-commit batch open (link-and-persist
+    mode only), the fence and mark-clear are deferred to the batch's
+    covering commit instead of being paid here. *)
 let cas_link_c ctx cu ~key ~link ~expected ~desired =
   assert (not (Marked_ptr.is_unflushed expected));
   assert (not (Marked_ptr.is_unflushed desired));
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> cas_plain cu ~link ~expected ~desired
-  | Persist_mode.Link_persist -> cas_link_persist cu ~link ~expected ~desired
+  | Persist_mode.Link_persist ->
+      let gc = Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu) in
+      if Group_commit.active gc then
+        cas_link_deferred gc cu ~link ~expected ~desired
+      else cas_link_persist cu ~link ~expected ~desired
   | Persist_mode.Link_cache -> (
       match Ctx.link_cache ctx with
       | None -> cas_link_persist cu ~link ~expected ~desired
@@ -111,7 +156,12 @@ let make_durable ctx ~tid ~key ?link () =
 
 (** Persist freshly initialized node contents ([size_class] words starting at
     [addr]) and wait. The fence also drains the allocator's metadata
-    write-backs, establishing "linked implies marked allocated" (sec. 5.5). *)
+    write-backs, establishing "linked implies marked allocated" (sec. 5.5).
+
+    With a group-commit batch open, the write-backs are queued but the fence
+    becomes a debt ([owe_alloc_fence]) settled by the next publishing CAS —
+    so consecutive allocations in one request (item + structure node) share
+    one fence, and "durably linked implies durably allocated" still holds. *)
 let persist_node_c ctx cu ~addr ~size_class =
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> ()
@@ -120,7 +170,35 @@ let persist_node_c ctx cu ~addr ~size_class =
       for i = 0 to lines - 1 do
         Heap.Cursor.write_back cu (addr + (i * Cacheline.words_per_line))
       done;
-      Heap.Cursor.fence cu
+      let gc = Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu) in
+      if Ctx.mode ctx = Persist_mode.Link_persist && Group_commit.active gc
+      then Group_commit.owe_alloc_fence gc
+      else Heap.Cursor.fence cu
 
 let persist_node ctx ~tid ~addr ~size_class =
   persist_node_c ctx (Ctx.cursor ctx ~tid) ~addr ~size_class
+
+(** {2 Group-commit batch brackets}
+
+    [defer_begin_c] opens a batch on the calling thread: subsequent
+    [cas_link_c] / [persist_node_c] calls defer their fences until
+    [defer_commit_c], which issues one covering fence and clears the
+    deferred marks. Only link-and-persist mode defers — the link cache has
+    its own batching and volatile mode has nothing to fence — so both
+    brackets are no-ops elsewhere and callers need not mode-switch. *)
+
+let defer_begin_c ctx cu =
+  match Ctx.mode ctx with
+  | Persist_mode.Link_persist ->
+      Group_commit.begin_batch
+        (Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu))
+  | Persist_mode.Volatile | Persist_mode.Link_cache -> ()
+
+let defer_commit_c ctx cu ~ops =
+  match Ctx.mode ctx with
+  | Persist_mode.Link_persist ->
+      Group_commit.commit (Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu)) cu ~ops
+  | Persist_mode.Volatile | Persist_mode.Link_cache -> ()
+
+let defer_begin ctx ~tid = defer_begin_c ctx (Ctx.cursor ctx ~tid)
+let defer_commit ctx ~tid ~ops = defer_commit_c ctx (Ctx.cursor ctx ~tid) ~ops

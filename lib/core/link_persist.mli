@@ -56,3 +56,23 @@ val make_durable_c :
 val persist_node : Ctx.t -> tid:int -> addr:int -> size_class:int -> unit
 
 val persist_node_c : Ctx.t -> Nvm.Heap.cursor -> addr:int -> size_class:int -> unit
+
+(** {2 Group-commit batch brackets}
+
+    [defer_begin] opens a batch on the calling thread: subsequent
+    [cas_link] / [persist_node] calls leave their unflushed marks set and
+    their write-backs pending instead of fencing; [defer_commit] issues one
+    covering fence for the whole batch, clears the deferred marks, and
+    closes the batch. A server must withhold responses until [defer_commit]
+    returns — then an acked mutation is durable before its reply leaves,
+    same contract as the eager path at a fraction of the fences.
+
+    Deferral only engages in link-and-persist mode (the link cache batches
+    on its own; volatile has nothing to fence): both brackets are no-ops
+    elsewhere, so callers need not mode-switch. [ops] is the number of
+    requests the batch executed, for [Pstats] group accounting. *)
+
+val defer_begin : Ctx.t -> tid:int -> unit
+val defer_begin_c : Ctx.t -> Nvm.Heap.cursor -> unit
+val defer_commit : Ctx.t -> tid:int -> ops:int -> unit
+val defer_commit_c : Ctx.t -> Nvm.Heap.cursor -> ops:int -> unit

@@ -15,4 +15,13 @@ type ops = {
       (** Add [delta] (may be negative) to a decimal value; [None] if the
           key is absent or not a number. *)
   count : unit -> int;
+  defer_begin : tid:int -> unit;
+      (** Open a group-commit batch on the calling thread: subsequent
+          mutations defer their persistence fences until [defer_commit].
+          The caller must withhold acks until then. No-op for builds with
+          nothing to fence (volatile) or their own batching (link cache). *)
+  defer_commit : tid:int -> ops:int -> unit;
+      (** Close the batch: one covering fence for everything deferred since
+          [defer_begin]; [ops] is the number of requests executed in it.
+          After return, every mutation in the batch is durable. *)
 }

@@ -81,4 +81,6 @@ let ops t =
     delete = (fun ~tid:_ ~key -> delete t ~key);
     incr = (fun ~tid:_ ~key ~delta -> incr t ~key ~delta);
     count = (fun () -> count t);
+    defer_begin = (fun ~tid:_ -> ());
+    defer_commit = (fun ~tid:_ ~ops:_ -> ());
   }

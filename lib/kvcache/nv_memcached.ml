@@ -187,4 +187,6 @@ let ops ?(name = "nv-memcached") t =
     delete = (fun ~tid ~key -> delete t ~tid ~key);
     incr = (fun ~tid ~key ~delta -> incr t ~tid ~key ~delta);
     count = (fun () -> count t);
+    defer_begin = (fun ~tid -> Link_persist.defer_begin t.ctx ~tid);
+    defer_commit = (fun ~tid ~ops -> Link_persist.defer_commit t.ctx ~tid ~ops);
   }

@@ -21,3 +21,19 @@ val handle : t -> tid:int -> string -> string
 
 (** One response per request. *)
 val session : t -> tid:int -> string list -> string list
+
+(** {2 Group-commit split execution}
+
+    [handle_deferred] is {!handle} with the persistence fences deferred: it
+    opens (or continues) a group-commit batch on the calling thread and
+    executes the request with unflushed marks left in place. The response
+    MUST be withheld from the client until {!commit} — which issues one
+    covering fence for everything the batch deferred — has returned; then
+    every acked mutation is durable, same contract as {!handle} at a
+    fraction of the fences. Backends with nothing to defer (volatile, link
+    cache) make both equivalent to {!handle} plus a no-op. [ops] is the
+    number of requests executed in the batch, for group accounting. *)
+
+val handle_deferred : t -> tid:int -> string -> string
+
+val commit : t -> tid:int -> ops:int -> unit

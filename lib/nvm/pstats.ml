@@ -32,6 +32,12 @@ type t = {
   mutable epoch_stalls : int;
       (** reclamation attempts blocked because some thread still sits in the
           epoch a sealed generation snapshotted — grace period not over *)
+  mutable group_commits : int;
+      (** group-commit batches retired: one covering fence each (NVServe) *)
+  mutable group_ops : int;
+      (** operations whose persistence rode a group-commit batch *)
+  mutable deferred_links : int;
+      (** link updates whose fence was deferred to a batch commit *)
 }
 
 let make () =
@@ -56,6 +62,9 @@ let make () =
     allocs = 0;
     frees = 0;
     epoch_stalls = 0;
+    group_commits = 0;
+    group_ops = 0;
+    deferred_links = 0;
   }
 
 let copy t = { t with loads = t.loads }
@@ -80,7 +89,10 @@ let reset t =
   t.lc_flushes <- 0;
   t.allocs <- 0;
   t.frees <- 0;
-  t.epoch_stalls <- 0
+  t.epoch_stalls <- 0;
+  t.group_commits <- 0;
+  t.group_ops <- 0;
+  t.deferred_links <- 0
 
 let add ~into t =
   into.loads <- into.loads + t.loads;
@@ -102,7 +114,10 @@ let add ~into t =
   into.lc_flushes <- into.lc_flushes + t.lc_flushes;
   into.allocs <- into.allocs + t.allocs;
   into.frees <- into.frees + t.frees;
-  into.epoch_stalls <- into.epoch_stalls + t.epoch_stalls
+  into.epoch_stalls <- into.epoch_stalls + t.epoch_stalls;
+  into.group_commits <- into.group_commits + t.group_commits;
+  into.group_ops <- into.group_ops + t.group_ops;
+  into.deferred_links <- into.deferred_links + t.deferred_links
 
 (* [diff newer older]: counter deltas, for interval snapshot reporting. *)
 let diff newer older =
@@ -127,6 +142,9 @@ let diff newer older =
     allocs = newer.allocs - older.allocs;
     frees = newer.frees - older.frees;
     epoch_stalls = newer.epoch_stalls - older.epoch_stalls;
+    group_commits = newer.group_commits - older.group_commits;
+    group_ops = newer.group_ops - older.group_ops;
+    deferred_links = newer.deferred_links - older.deferred_links;
   }
 
 (* Derived metrics: the ratios a reader actually wants, so reports need no
@@ -145,13 +163,17 @@ let lines_per_batch t = ratio t.lines_drained t.sync_batches
 (** [write_backs / stores]: persistence pressure of the write path. *)
 let flushes_per_store t = ratio t.write_backs t.stores
 
+(** [group_ops / group_commits]: mean operations amortized per group-commit
+    fence (0 when the server never batched). *)
+let ops_per_commit t = ratio t.group_ops t.group_commits
+
 let apt_hit_rate t = ratio t.apt_hits (t.apt_hits + t.apt_misses)
 let apt_alloc_hit_rate t = ratio t.apt_alloc_hits (t.apt_alloc_hits + t.apt_alloc_misses)
 let apt_unlink_hit_rate t = ratio t.apt_unlink_hits (t.apt_unlink_hits + t.apt_unlink_misses)
 
 (* Each domain hammers its own record on every heap primitive, so two
    records sharing a cache line means cross-domain invalidation traffic on
-   the hottest path in the repo. A counter record is 20 words (2.5 lines);
+   the hottest path in the repo. A counter record is 23 words (~3 lines);
    interleaving a two-line pad between consecutive allocations keeps any
    line from holding words of two records. The pads must stay reachable —
    dead pads would be dropped at the next minor collection and the records
@@ -184,10 +206,13 @@ let pp ppf t =
   Format.fprintf ppf
     "loads=%d stores=%d cas=%d wb=%d fences=%d syncs=%d drained=%d log=%d \
      apt_hit=%d apt_miss=%d lc_add=%d lc_fail=%d lc_flush=%d alloc=%d free=%d \
-     stalls=%d | lc_hit=%.1f%% lines/batch=%.2f wb/store=%.2f apt_hit=%.1f%%"
+     stalls=%d gc=%d gops=%d defer=%d | lc_hit=%.1f%% lines/batch=%.2f \
+     wb/store=%.2f apt_hit=%.1f%% ops/commit=%.2f"
     t.loads t.stores t.cas t.write_backs t.fences t.sync_batches
     t.lines_drained t.log_entries t.apt_hits t.apt_misses t.lc_adds t.lc_fails
-    t.lc_flushes t.allocs t.frees t.epoch_stalls
+    t.lc_flushes t.allocs t.frees t.epoch_stalls t.group_commits t.group_ops
+    t.deferred_links
     (100. *. lc_hit_rate t)
     (lines_per_batch t) (flushes_per_store t)
     (100. *. apt_hit_rate t)
+    (ops_per_commit t)

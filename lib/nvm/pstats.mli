@@ -28,6 +28,12 @@ type t = {
   mutable frees : int;
   mutable epoch_stalls : int;
       (** reclamation attempts blocked on an unfinished grace period *)
+  mutable group_commits : int;
+      (** group-commit batches retired: one covering fence each (NVServe) *)
+  mutable group_ops : int;
+      (** operations whose persistence rode a group-commit batch *)
+  mutable deferred_links : int;
+      (** link updates whose fence was deferred to a batch commit *)
 }
 
 val make : unit -> t
@@ -51,6 +57,9 @@ val lines_per_batch : t -> float
 
 (** [write_backs / stores]: persistence pressure of the write path. *)
 val flushes_per_store : t -> float
+
+(** [group_ops / group_commits]: mean operations per group-commit fence. *)
+val ops_per_commit : t -> float
 
 val apt_hit_rate : t -> float
 val apt_alloc_hit_rate : t -> float

@@ -13,6 +13,8 @@ type config = {
   seed : int;
   eviction_probability : float;
   torn_op : bool;
+  max_batch : int;
+  max_delay_us : int;
 }
 
 let default_config () =
@@ -28,6 +30,8 @@ let default_config () =
     seed = 42;
     eviction_probability = 0.5;
     torn_op = true;
+    max_batch = (Nvserve.default_config ()).Nvserve.max_batch;
+    max_delay_us = (Nvserve.default_config ()).Nvserve.max_delay_us;
   }
 
 type report = {
@@ -58,6 +62,8 @@ let run cfg =
       nbuckets = cfg.nbuckets;
       capacity = cfg.capacity;
       mode = cfg.mode;
+      max_batch = cfg.max_batch;
+      max_delay_us = cfg.max_delay_us;
     }
   in
   let server = Nvserve.start scfg in

@@ -31,10 +31,13 @@ type config = {
   seed : int;
   eviction_probability : float;  (** cache-line eviction chance at crash *)
   torn_op : bool;  (** inject a mid-operation crash before the power cut *)
+  max_batch : int;  (** server group-commit cap; 1 = eager per-op fences *)
+  max_delay_us : int;  (** server group-commit starvation bound *)
 }
 
 (** 4 workers, 2048 buckets, 20k capacity over 2k keys, link-and-persist,
-    4 connections, 1 s of load, 50% eviction, torn op on. *)
+    4 connections, 1 s of load, 50% eviction, torn op on, server-default
+    group commit. *)
 val default_config : unit -> config
 
 type report = {

@@ -25,14 +25,41 @@ let find_lf buf ~pos ~len =
   in
   go pos
 
-let split_words line =
-  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+(* The scan below runs once per framed request on the server hot path, so
+   it tokenizes the command line in place: no line string, no word list —
+   the only allocation on the fast path is the surfaced request itself. *)
 
-let strip_crlf s =
-  let n = String.length s in
-  if n >= 2 && s.[n - 2] = '\r' && s.[n - 1] = '\n' then String.sub s 0 (n - 2)
-  else if n >= 1 && s.[n - 1] = '\n' then String.sub s 0 (n - 1)
-  else s
+(* Offsets [(s, e)] of the [k]th (0-based) space-separated word in
+   buf[pos, stop), or [None]. Runs of spaces collapse, like the
+   [split_words]-based parse this replaces. *)
+let rec word buf ~pos ~stop k =
+  let s = ref pos in
+  while !s < stop && Bytes.get buf !s = ' ' do incr s done;
+  if !s >= stop then None
+  else begin
+    let e = ref !s in
+    while !e < stop && Bytes.get buf !e <> ' ' do incr e done;
+    if k = 0 then Some (!s, !e) else word buf ~pos:!e ~stop (k - 1)
+  end
+
+(* Non-negative decimal in buf[s, e); [None] on anything else (stricter
+   than [int_of_string_opt] — no sign, no hex — which only byte counts no
+   real client sends would notice). *)
+let atoi buf s e =
+  if e <= s || e - s > 10 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = s to e - 1 do
+      let c = Bytes.get buf i in
+      if c >= '0' && c <= '9' then v := (!v * 10) + (Char.code c - Char.code '0')
+      else ok := false
+    done;
+    if !ok then Some !v else None
+  end
+
+let too_large_r = "SERVER_ERROR object too large for cache" ^ crlf
+let bad_format_r = "CLIENT_ERROR bad command line format" ^ crlf
+let error_r = "ERROR" ^ crlf
 
 let next buf ~pos ~len =
   match find_lf buf ~pos ~len with
@@ -41,37 +68,35 @@ let next buf ~pos ~len =
       let line_len = lf - pos + 1 in
       if line_len > max_line_bytes then Too_long
       else
-        let line = Bytes.sub_string buf pos line_len in
-        match split_words (strip_crlf line) with
-        | cmd :: args when is_storage cmd -> (
-            match args with
-            | [ _key; _flags; _exptime; bytes ] -> (
-                match int_of_string_opt bytes with
-                | Some n when n >= 0 && n <= max_data_bytes ->
-                    let total = line_len + n + 2 in
-                    if len < total then Need_more
-                    else
-                      Request { req = Bytes.sub_string buf pos total; consumed = total }
-                | Some n when n > max_data_bytes ->
-                    (* Too large to buffer: refuse the line. The data block
-                       that follows will be misread as commands until the
-                       client resyncs — same failure mode as memcached. *)
-                    Reject
-                      {
-                        response = "SERVER_ERROR object too large for cache" ^ crlf;
-                        consumed = line_len;
-                      }
-                | _ ->
-                    Reject
-                      {
-                        response = "CLIENT_ERROR bad command line format" ^ crlf;
-                        consumed = line_len;
-                      })
-            | _ ->
-                (* Wrong arity leaves the data block length unknown; reject
-                   the line alone. *)
-                Reject { response = "ERROR" ^ crlf; consumed = line_len })
-        | _ ->
-            (* Line-only commands (get, delete, stats, garbage...): the
-               protocol layer answers them, errors included. *)
-            Request { req = line; consumed = line_len })
+        let stop =
+          if lf > pos && Bytes.get buf (lf - 1) = '\r' then lf - 1 else lf
+        in
+        let storage =
+          match word buf ~pos ~stop 0 with
+          | Some (s, e) -> is_storage (Bytes.sub_string buf s (e - s))
+          | None -> false
+        in
+        if not storage then
+          (* Line-only commands (get, delete, stats, garbage...): the
+             protocol layer answers them, errors included. *)
+          Request { req = Bytes.sub_string buf pos line_len; consumed = line_len }
+        else
+          match word buf ~pos ~stop 4 with
+          | Some (s4, e4) when word buf ~pos:e4 ~stop 0 = None -> (
+              match atoi buf s4 e4 with
+              | Some n when n <= max_data_bytes ->
+                  let total = line_len + n + 2 in
+                  if len < total then Need_more
+                  else
+                    Request
+                      { req = Bytes.sub_string buf pos total; consumed = total }
+              | Some _ ->
+                  (* Too large to buffer: refuse the line. The data block
+                     that follows will be misread as commands until the
+                     client resyncs — same failure mode as memcached. *)
+                  Reject { response = too_large_r; consumed = line_len }
+              | None -> Reject { response = bad_format_r; consumed = line_len })
+          | _ ->
+              (* Wrong arity leaves the data block length unknown; reject
+                 the line alone. *)
+              Reject { response = error_r; consumed = line_len })

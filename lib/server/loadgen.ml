@@ -49,21 +49,45 @@ type report = {
   elapsed : float;
   ops_per_s : float;
   hist : Workload.Histogram.t;
+  inflight : Workload.Histogram.t;
 }
 
 let key_string n = Printf.sprintf "lg-%010d" n
 
+(* Zero-padded decimal into [buf] at [off] without Printf — value and
+   request formatting sit on the load loop's hot path, and a formatted
+   build per request makes the *client* the bottleneck of the benchmark. *)
+let blit_zpad buf off n width =
+  let rec go i n =
+    if i >= 0 then begin
+      Bytes.unsafe_set buf (off + i) (Char.unsafe_chr (Char.code '0' + (n mod 10)));
+      go (i - 1) (n / 10)
+    end
+  in
+  go (width - 1) n
+
+(* "v%010d.%08d" padded with 'x' to [value_bytes] (min 20, the base). *)
 let value_for ~n ~version ~value_bytes =
-  let base = Printf.sprintf "v%010d.%08d" n version in
-  let len = String.length base in
-  if value_bytes <= len then base
-  else base ^ String.make (value_bytes - len) 'x'
+  let len = max 20 value_bytes in
+  let b = Bytes.make len 'x' in
+  Bytes.unsafe_set b 0 'v';
+  blit_zpad b 1 n 10;
+  Bytes.unsafe_set b 11 '.';
+  blit_zpad b 12 version 8;
+  Bytes.unsafe_to_string b
 
 (* ---------- buffered reading over a blocking socket ---------- *)
 
-type reader = { fd : Unix.file_descr; rbuf : Bytes.t; mutable rpos : int; mutable rlen : int }
+type reader = {
+  fd : Unix.file_descr;
+  rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rlen : int;
+  lbuf : Buffer.t;  (** scratch for [read_line], reused across lines *)
+}
 
-let reader fd = { fd; rbuf = Bytes.create 8192; rpos = 0; rlen = 0 }
+let reader fd =
+  { fd; rbuf = Bytes.create 8192; rpos = 0; rlen = 0; lbuf = Buffer.create 64 }
 
 let refill r =
   let n = Unix.read r.fd r.rbuf 0 (Bytes.length r.rbuf) in
@@ -72,7 +96,8 @@ let refill r =
   r.rlen <- n
 
 let read_line r =
-  let b = Buffer.create 64 in
+  let b = r.lbuf in
+  Buffer.clear b;
   let rec go () =
     if r.rpos >= r.rlen then refill r;
     let ch = Bytes.get r.rbuf r.rpos in
@@ -99,9 +124,7 @@ let read_exact r n =
   in
   go 0
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
+let write_bytes_all fd b n =
   let rec go off =
     if off < n then
       let w = Unix.write fd b off (n - off) in
@@ -109,15 +132,20 @@ let write_all fd s =
   in
   go 0
 
+let write_all fd s = write_bytes_all fd (Bytes.of_string s) (String.length s)
+
 (* ---------- per-connection driver ---------- *)
 
 (* What each pipelined request expects back. For gets, the expected state is
    the connection's own simulated view of the key at send time — exact,
    because only this connection mutates its keys and the server answers a
-   connection's requests in order. *)
+   connection's requests in order. Keys are referenced by their range index
+   [j], so the response loop tracks ack/inflight state in flat arrays — the
+   per-key hashtables the drill audit wants are built once at the end, not
+   touched per response. *)
 type expect =
-  | Ack_set of { key : string; version : int }
-  | Ack_del of { key : string }
+  | Ack_set of { j : int; version : int }
+  | Ack_del of { j : int }
   | Ack_get of { n : int; state : key_state option }
 
 type conn_result = {
@@ -130,29 +158,30 @@ type conn_result = {
   c_errors : int;
   c_dead : bool;
   c_hist : Workload.Histogram.t;
+  c_depth_hist : Workload.Histogram.t;
+      (** responses still owed when each response arrived — the pipeline
+          depth the server actually achieved (one sample per response) *)
   c_acked : (string, key_state) Hashtbl.t;
   c_inflight : (string, int) Hashtbl.t;
       (** outstanding unacked mutations per key — several can pipeline *)
 }
 
-let inflight_add tbl key =
-  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-
-let inflight_ack tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some n when n > 1 -> Hashtbl.replace tbl key (n - 1)
-  | Some _ -> Hashtbl.remove tbl key
-  | None -> ()
-
 let conn_loop cfg c =
   let hist = Workload.Histogram.create () in
-  let acked = Hashtbl.create 256 in
-  let inflight = Hashtbl.create 64 in
+  let depth_hist = Workload.Histogram.create () in
   let ops = ref 0 and sets = ref 0 and deletes = ref 0 and gets = ref 0 in
   let hits = ref 0 and misses = ref 0 and errors = ref 0 and dead = ref false in
   let per = max 1 (cfg.nkeys / cfg.nconns) in
   let vers = Array.make per 0 in
   let sim : key_state option array = Array.make per None in
+  (* Last server-acknowledged state and outstanding unacked mutation count
+     per key index; folded into the hashtables the audit expects after the
+     loop (4+ hashtable probes per mutation is client CPU the benchmark
+     would charge to the server). *)
+  let acked_st : key_state option array = Array.make per None in
+  let infl = Array.make per 0 in
+  (* This connection's keys, formatted once — not per request. *)
+  let keys = Array.init per (fun j -> key_string ((j * cfg.nconns) + c)) in
   let rng = Workload.Xoshiro.make ~seed:(cfg.seed + (1000 * c) + 1) in
   (try
      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -163,98 +192,129 @@ let conn_loop cfg c =
          with Unix.Unix_error _ -> ());
         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
         let rd = reader fd in
+        let batch = Buffer.create 4096 in
+        (* Value scratch, layout "v<n:10>.<version:8>" padded with 'x' to
+           [value_bytes]: only the two numeric fields change per request, so
+           the batch builder blits over one reused buffer instead of
+           allocating a fresh value string. *)
+        let vlen = max 20 cfg.value_bytes in
+        let vlen_str = string_of_int vlen in
+        let vscratch = Bytes.make vlen 'x' in
+        Bytes.unsafe_set vscratch 0 'v';
+        Bytes.unsafe_set vscratch 11 '.';
+        let nsent = max 1 cfg.pipeline in
+        let expects = Array.make nsent (Ack_del { j = 0 }) in
         let deadline = Unix.gettimeofday () +. cfg.duration in
         while (not !dead) && Unix.gettimeofday () < deadline do
-          (* Build one pipelined batch. *)
-          let batch = Buffer.create 512 in
-          let expects = ref [] in
-          for _ = 1 to cfg.pipeline do
+          (* Build one pipelined batch (no Printf, no per-request value or
+             expectation-list allocation — this loop must outrun the server
+             to measure it). *)
+          Buffer.clear batch;
+          for i = 0 to nsent - 1 do
             let j = Workload.Xoshiro.below rng per in
             let n = (j * cfg.nconns) + c in
-            let key = key_string n in
+            let key = keys.(j) in
             match Workload.Keygen.pick rng cfg.mix with
             | Workload.Keygen.Insert ->
                 vers.(j) <- vers.(j) + 1;
                 let version = vers.(j) in
-                let v = value_for ~n ~version ~value_bytes:cfg.value_bytes in
-                Buffer.add_string batch
-                  (Printf.sprintf "set %s 0 0 %d\r\n%s\r\n" key
-                     (String.length v) v);
-                inflight_add inflight key;
+                blit_zpad vscratch 1 n 10;
+                blit_zpad vscratch 12 version 8;
+                Buffer.add_string batch "set ";
+                Buffer.add_string batch key;
+                Buffer.add_string batch " 0 0 ";
+                Buffer.add_string batch vlen_str;
+                Buffer.add_string batch "\r\n";
+                Buffer.add_subbytes batch vscratch 0 vlen;
+                Buffer.add_string batch "\r\n";
+                infl.(j) <- infl.(j) + 1;
                 sim.(j) <- Some (Stored version);
-                expects := Ack_set { key; version } :: !expects
+                expects.(i) <- Ack_set { j; version }
             | Workload.Keygen.Remove ->
-                Buffer.add_string batch (Printf.sprintf "delete %s\r\n" key);
-                inflight_add inflight key;
+                Buffer.add_string batch "delete ";
+                Buffer.add_string batch key;
+                Buffer.add_string batch "\r\n";
+                infl.(j) <- infl.(j) + 1;
                 sim.(j) <- Some Deleted;
-                expects := Ack_del { key } :: !expects
+                expects.(i) <- Ack_del { j }
             | Workload.Keygen.Search ->
-                Buffer.add_string batch (Printf.sprintf "get %s\r\n" key);
-                expects := Ack_get { n; state = sim.(j) } :: !expects
+                Buffer.add_string batch "get ";
+                Buffer.add_string batch key;
+                Buffer.add_string batch "\r\n";
+                expects.(i) <- Ack_get { n; state = sim.(j) }
           done;
-          let expects = List.rev !expects in
           let t0 = Unix.gettimeofday () in
-          write_all fd (Buffer.contents batch);
-          List.iter
-            (fun e ->
-              let line = read_line rd in
-              (match e with
-              | Ack_set { key; version } ->
-                  incr ops;
-                  inflight_ack inflight key;
-                  if line = "STORED" then begin
-                    incr sets;
-                    Hashtbl.replace acked key (Stored version)
-                  end
-                  else incr errors
-              | Ack_del { key } ->
-                  incr ops;
-                  inflight_ack inflight key;
-                  if line = "DELETED" || line = "NOT_FOUND" then begin
-                    incr deletes;
-                    Hashtbl.replace acked key Deleted
-                  end
-                  else incr errors
-              | Ack_get { n; state } ->
-                  incr ops;
-                  incr gets;
-                  if String.length line >= 6 && String.sub line 0 6 = "VALUE " then begin
-                    let bytes =
-                      match String.split_on_char ' ' line with
-                      | [ _; _; _; b ] -> int_of_string_opt b
-                      | _ -> None
-                    in
-                    match bytes with
-                    | None -> incr errors
-                    | Some b ->
-                        let data = read_exact rd (b + 2) in
-                        let value = String.sub data 0 b in
-                        let fin = read_line rd in
-                        if fin <> "END" then incr errors
-                        else begin
-                          incr hits;
-                          match state with
-                          | Some (Stored v)
-                            when value
-                                 = value_for ~n ~version:v
-                                     ~value_bytes:cfg.value_bytes ->
-                              ()
-                          | _ -> incr errors (* stale, deleted, or corrupt *)
-                        end
-                  end
-                  else if line = "END" then incr misses (* eviction-legal *)
-                  else incr errors);
-              ())
-            expects;
+          write_bytes_all fd (Buffer.to_bytes batch) (Buffer.length batch);
+          for i = 0 to nsent - 1 do
+            (* When response [i] arrives, [nsent - i] responses of this
+               batch are still owed — the depth the server could batch. *)
+            Workload.Histogram.record depth_hist ~ns:(float_of_int (nsent - i));
+            let line = read_line rd in
+            match expects.(i) with
+            | Ack_set { j; version } ->
+                incr ops;
+                if infl.(j) > 0 then infl.(j) <- infl.(j) - 1;
+                if line = "STORED" then begin
+                  incr sets;
+                  acked_st.(j) <- Some (Stored version)
+                end
+                else incr errors
+            | Ack_del { j } ->
+                incr ops;
+                if infl.(j) > 0 then infl.(j) <- infl.(j) - 1;
+                if line = "DELETED" || line = "NOT_FOUND" then begin
+                  incr deletes;
+                  acked_st.(j) <- Some Deleted
+                end
+                else incr errors
+            | Ack_get { n; state } -> (
+                incr ops;
+                incr gets;
+                if String.length line >= 6 && String.sub line 0 6 = "VALUE "
+                then begin
+                  let bytes =
+                    match String.split_on_char ' ' line with
+                    | [ _; _; _; b ] -> int_of_string_opt b
+                    | _ -> None
+                  in
+                  match bytes with
+                  | None -> incr errors
+                  | Some b ->
+                      let data = read_exact rd (b + 2) in
+                      let value = String.sub data 0 b in
+                      let fin = read_line rd in
+                      if fin <> "END" then incr errors
+                      else begin
+                        incr hits;
+                        match state with
+                        | Some (Stored v)
+                          when value
+                               = value_for ~n ~version:v
+                                   ~value_bytes:cfg.value_bytes ->
+                            ()
+                        | _ -> incr errors (* stale, deleted, or corrupt *)
+                      end
+                end
+                else if line = "END" then incr misses (* eviction-legal *)
+                else incr errors)
+          done;
           let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-          List.iter
-            (fun _ -> Workload.Histogram.record hist ~ns)
-            expects
+          Workload.Histogram.record_n hist ~ns nsent
         done
       with
      | End_of_file | Unix.Unix_error (_, _, _) -> dead := true);
      try Unix.close fd with Unix.Unix_error _ -> ()
    with Unix.Unix_error (_, _, _) -> dead := true);
+  (* Fold the flat per-index state into the keyed tables the audit reads. *)
+  let acked = Hashtbl.create 256 in
+  let inflight = Hashtbl.create 64 in
+  Array.iteri
+    (fun j st ->
+      match st with
+      | Some s -> Hashtbl.replace acked keys.(j) s
+      | None -> ())
+    acked_st;
+  Array.iteri (fun j n -> if n > 0 then Hashtbl.replace inflight keys.(j) n) infl;
   {
     c_ops = !ops;
     c_sets = !sets;
@@ -265,6 +325,7 @@ let conn_loop cfg c =
     c_errors = !errors;
     c_dead = !dead;
     c_hist = hist;
+    c_depth_hist = depth_hist;
     c_acked = acked;
     c_inflight = inflight;
   }
@@ -278,8 +339,13 @@ let run ?acks cfg =
   let results = List.map Domain.join domains in
   let elapsed = Unix.gettimeofday () -. t0 in
   let hist = Workload.Histogram.create () in
+  let inflight = Workload.Histogram.create () in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
-  List.iter (fun r -> Workload.Histogram.merge ~into:hist r.c_hist) results;
+  List.iter
+    (fun r ->
+      Workload.Histogram.merge ~into:hist r.c_hist;
+      Workload.Histogram.merge ~into:inflight r.c_depth_hist)
+    results;
   (match acks with
   | None -> ()
   | Some a ->
@@ -303,6 +369,7 @@ let run ?acks cfg =
     elapsed;
     ops_per_s = (if elapsed > 0. then float_of_int ops /. elapsed else 0.);
     hist;
+    inflight;
   }
 
 (* ---------- post-recovery verification ---------- *)

@@ -58,6 +58,11 @@ type report = {
   hist : Workload.Histogram.t;
       (** per-request latency; pipelined requests share their batch's
           round-trip time *)
+  inflight : Workload.Histogram.t;
+      (** inflight-depth distribution: one sample per response, value = how
+          many responses of its batch were still owed when it arrived (on
+          the histogram's ns axis) — the pipeline depth the server actually
+          saw, i.e. the batching opportunity the client offered *)
 }
 
 (** Key for range index [n] — stable across client runs, so a post-recovery

@@ -1,7 +1,19 @@
 (** The NVServe TCP server (see the interface). One acceptor domain, N
     worker domains; each worker multiplexes its connections with [select],
-    frames requests with {!Framing} and answers them with
-    {!Kvcache.Protocol.handle} on its own heap cursor. *)
+    frames requests with {!Framing} and answers them on its own heap cursor.
+
+    Group commit (ISSUE 5): with [max_batch > 1] a worker executes every
+    complete pipelined request of a wakeup through
+    {!Kvcache.Protocol.handle_deferred} — link-and-persist marking without
+    the per-op fence — appending the responses {e held} in each
+    connection's {!Outbuf}. One {!Kvcache.Protocol.commit} then covers the
+    whole batch with a single fence, the held responses are released, and
+    each connection's released span goes out in one gathered write. An
+    acked mutation is therefore still durable before its reply hits the
+    wire; the fence cost drops by the batch depth. [max_batch] bounds the
+    ops under one fence (overflow commits mid-wakeup); [max_delay_us]
+    optionally lets a scarce batch ride across wakeups to fill up, bounded
+    by that starvation deadline ([0] = commit at every wakeup end). *)
 
 type config = {
   port : int;
@@ -12,6 +24,8 @@ type config = {
   latency : Nvm.Latency_model.t;
   idle_timeout : float;
   read_chunk : int;
+  max_batch : int;
+  max_delay_us : int;
 }
 
 let default_config () =
@@ -24,6 +38,8 @@ let default_config () =
     latency = Nvm.Latency_model.no_injection ();
     idle_timeout = 60.;
     read_chunk = 4096;
+    max_batch = 64;
+    max_delay_us = 0;
   }
 
 let heap_config cfg =
@@ -50,8 +66,7 @@ type conn = {
   fd : Unix.file_descr;
   buf : Bytes.t;
   mutable len : int;  (** valid bytes at the front of [buf] *)
-  out : Buffer.t;
-  mutable out_off : int;  (** bytes of [out] already written *)
+  out : Outbuf.t;  (** responses; held until the covering fence releases *)
   mutable last_active : float;
   mutable closing : bool;  (** close once [out] drains *)
 }
@@ -63,6 +78,10 @@ type worker = {
   inbox : Unix.file_descr Queue.t;  (** accepted fds awaiting adoption *)
   inbox_lock : Mutex.t;
   served : int Atomic.t;
+  commits : int Atomic.t;  (** group-commit batches this worker retired *)
+  depth_hist : Workload.Histogram.t;
+      (** batch depth (ops per commit) distribution; recorded as "ns" —
+          merge/read after the worker stopped for exact counts *)
 }
 
 type t = {
@@ -91,32 +110,25 @@ let conn_create cfg fd =
     fd;
     buf = Bytes.create (buf_capacity cfg);
     len = 0;
-    out = Buffer.create 256;
-    out_off = 0;
+    out = Outbuf.create 256;
     last_active = Unix.gettimeofday ();
     closing = false;
   }
 
-let out_pending c = Buffer.length c.out - c.out_off
+let out_pending c = Outbuf.length c.out
 
-(* Write as much buffered output as the socket accepts; false = connection
-   is dead. *)
+(* Write as much released output as the socket accepts, straight out of the
+   backing buffer (no copy); false = connection is dead. *)
 let try_write c =
   let rec go () =
-    let n = out_pending c in
+    let n = Outbuf.writable c.out in
     if n = 0 then true
     else
-      let s = Buffer.to_bytes c.out in
-      match Unix.write c.fd s c.out_off n with
+      match Unix.write c.fd (Outbuf.bytes c.out) (Outbuf.start c.out) n with
+      | 0 -> true
       | written ->
-          c.out_off <- c.out_off + written;
-          if c.out_off >= Buffer.length c.out then begin
-            Buffer.clear c.out;
-            c.out_off <- 0;
-            true
-          end
-          else if written = 0 then true
-          else go ()
+          Outbuf.consume c.out written;
+          if written < n then true else go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         ->
           true
@@ -124,62 +136,11 @@ let try_write c =
   in
   go ()
 
-let is_quit req = match String.trim req with "quit" | "QUIT" -> true | _ -> false
-
-(* Frame and answer every complete request currently buffered. Returns
-   false when the connection must close immediately (protocol violation
-   with nothing to flush is still flushed first via [closing]). *)
-let drain_requests w proto c =
-  let rec go pos =
-    if pos >= c.len then pos
-    else
-      match Framing.next c.buf ~pos ~len:(c.len - pos) with
-      | Framing.Request { req; consumed } ->
-          if is_quit req then begin
-            c.closing <- true;
-            pos + consumed
-          end
-          else begin
-            Buffer.add_string c.out (Kvcache.Protocol.handle proto ~tid:w.idx req);
-            Atomic.incr w.served;
-            go (pos + consumed)
-          end
-      | Framing.Reject { response; consumed } ->
-          Buffer.add_string c.out response;
-          Atomic.incr w.served;
-          go (pos + consumed)
-      | Framing.Need_more -> pos
-      | Framing.Too_long ->
-          Buffer.add_string c.out "CLIENT_ERROR line too long\r\n";
-          c.closing <- true;
-          c.len (* discard the unframeable stream *)
-  in
-  let consumed = go 0 in
-  if consumed > 0 then begin
-    if consumed < c.len then Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
-    c.len <- c.len - consumed
-  end
-
-(* One readable event: pull bytes, frame, answer. false = close now. *)
-let service_read cfg w proto c =
-  let room = Bytes.length c.buf - c.len in
-  let want = min cfg.read_chunk room in
-  if want = 0 then begin
-    drain_requests w proto c;
-    true
-  end
-  else
-    match Unix.read c.fd c.buf c.len want with
-    | 0 -> false (* peer closed *)
-    | n ->
-        c.len <- c.len + n;
-        c.last_active <- Unix.gettimeofday ();
-        drain_requests w proto c;
-        try_write c
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-        true
-    | exception Unix.Unix_error (_, _, _) -> false
+(* [String.trim] copies the request, so gate it on length: a quit line is
+   tiny, and this predicate runs once per framed request. *)
+let is_quit req =
+  String.length req <= 8
+  && (match String.trim req with "quit" | "QUIT" -> true | _ -> false)
 
 (* ---------- worker ---------- *)
 
@@ -192,22 +153,109 @@ let adopt_pending w =
 
 let worker_loop t w proto =
   let cfg = t.cfg in
+  let batching = cfg.max_batch > 1 in
+  let max_delay = float_of_int cfg.max_delay_us *. 1e-6 in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  (* Open-batch state: ops executed deferred but not yet covered by a fence,
+     and when the oldest of them arrived (the starvation clock). Responses
+     for those ops sit held in their connections' out buffers. *)
+  let batch_ops = ref 0 in
+  let batch_since = ref 0. in
+  let commit_batch () =
+    if !batch_ops > 0 then begin
+      Kvcache.Protocol.commit proto ~tid:w.idx ~ops:!batch_ops;
+      Atomic.incr w.commits;
+      Workload.Histogram.record w.depth_hist ~ns:(float_of_int !batch_ops);
+      batch_ops := 0
+    end;
+    (* Every held response is now covered (mutating or not): release. *)
+    Hashtbl.iter (fun _ c -> Outbuf.release_all c.out) conns
+  in
+  let answer c req =
+    if batching then begin
+      if !batch_ops = 0 then batch_since := Unix.gettimeofday ();
+      Outbuf.add_string c.out (Kvcache.Protocol.handle_deferred proto ~tid:w.idx req);
+      incr batch_ops;
+      if !batch_ops >= cfg.max_batch then commit_batch ()
+    end
+    else begin
+      Outbuf.add_string c.out (Kvcache.Protocol.handle proto ~tid:w.idx req);
+      Outbuf.release_all c.out
+    end;
+    Atomic.incr w.served
+  in
+  (* Frame and answer every complete request currently buffered. *)
+  let drain_requests c =
+    let rec go pos =
+      if pos >= c.len then pos
+      else
+        match Framing.next c.buf ~pos ~len:(c.len - pos) with
+        | Framing.Request { req; consumed } ->
+            if is_quit req then begin
+              c.closing <- true;
+              pos + consumed
+            end
+            else begin
+              answer c req;
+              go (pos + consumed)
+            end
+        | Framing.Reject { response; consumed } ->
+            Outbuf.add_string c.out response;
+            if not batching then Outbuf.release_all c.out;
+            Atomic.incr w.served;
+            go (pos + consumed)
+        | Framing.Need_more -> pos
+        | Framing.Too_long ->
+            Outbuf.add_string c.out "CLIENT_ERROR line too long\r\n";
+            if not batching then Outbuf.release_all c.out;
+            c.closing <- true;
+            c.len (* discard the unframeable stream *)
+    in
+    let consumed = go 0 in
+    if consumed > 0 then begin
+      if consumed < c.len then Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
+      c.len <- c.len - consumed
+    end
+  in
+  (* One readable event: pull bytes, frame, answer (responses stay held
+     until the batch commits; the write happens after). false = close. *)
+  let service_read c =
+    let room = Bytes.length c.buf - c.len in
+    let want = min cfg.read_chunk room in
+    if want = 0 then begin
+      drain_requests c;
+      true
+    end
+    else
+      match Unix.read c.fd c.buf c.len want with
+      | 0 -> false (* peer closed *)
+      | n ->
+          c.len <- c.len + n;
+          c.last_active <- Unix.gettimeofday ();
+          drain_requests c;
+          true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          true
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
   let close_conn c =
     Hashtbl.remove conns c.fd;
     close_quiet c.fd
+  in
+  let held_any () =
+    !batch_ops > 0
+    || Hashtbl.fold (fun _ c acc -> acc || Outbuf.held c.out > 0) conns false
   in
   let running = ref true in
   while !running do
     (match Atomic.get t.state with
     | Running -> ()
     | Draining ->
-        (* Answer what is already buffered, flush, and leave. *)
-        Hashtbl.iter
-          (fun _ c ->
-            drain_requests w proto c;
-            ignore (try_write c))
-          conns;
+        (* Answer what is already buffered, commit, flush, and leave. *)
+        Hashtbl.iter (fun _ c -> drain_requests c) conns;
+        commit_batch ();
+        Hashtbl.iter (fun _ c -> ignore (try_write c)) conns;
         Hashtbl.iter (fun _ c -> close_quiet c.fd) conns;
         Hashtbl.reset conns;
         running := false
@@ -224,11 +272,18 @@ let worker_loop t w proto =
       let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
       let wfds =
         Hashtbl.fold
-          (fun fd c acc -> if out_pending c > 0 then fd :: acc else acc)
+          (fun fd c acc -> if Outbuf.writable c.out > 0 then fd :: acc else acc)
           conns []
       in
+      (* With a starved batch held open, wake at its deadline, not later. *)
+      let timeout =
+        if !batch_ops > 0 && max_delay > 0. then
+          let remaining = !batch_since +. max_delay -. Unix.gettimeofday () in
+          max 0.001 (min 0.05 remaining)
+        else 0.05
+      in
       let readable, writable, _ =
-        try Unix.select rfds wfds [] 0.05
+        try Unix.select rfds wfds [] timeout
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
       List.iter
@@ -241,10 +296,26 @@ let worker_loop t w proto =
         (fun fd ->
           match Hashtbl.find_opt conns fd with
           | None -> ()
-          | Some c ->
-              if not (service_read cfg w proto c) then close_conn c
-              else if c.closing && out_pending c = 0 then close_conn c)
+          | Some c -> if not (service_read c) then close_conn c)
         readable;
+      (* Wakeup end: the whole ready batch has executed. Commit and release
+         unless a small batch may still ride the starvation window. *)
+      if
+        held_any ()
+        && (max_delay = 0.
+           || !batch_ops = 0
+           || Unix.gettimeofday () >= !batch_since +. max_delay)
+      then commit_batch ();
+      (* Gathered write: each connection's released span in one write. *)
+      let dead =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if Outbuf.writable c.out > 0 && not (try_write c) then c :: acc
+            else if c.closing && out_pending c = 0 then c :: acc
+            else acc)
+          conns []
+      in
+      List.iter close_conn dead;
       if cfg.idle_timeout > 0. then begin
         let now = Unix.gettimeofday () in
         let stale =
@@ -305,6 +376,8 @@ let start_with cfg ~heap_cfg ctx store_ =
           inbox = Queue.create ();
           inbox_lock = Mutex.create ();
           served = Atomic.make 0;
+          commits = Atomic.make 0;
+          depth_hist = Workload.Histogram.create ();
         })
   in
   let t =
@@ -351,6 +424,14 @@ let requests_served t =
   Array.fold_left (fun acc w -> acc + Atomic.get w.served) 0 t.workers
 
 let connections_accepted t = Atomic.get t.accepted
+
+let group_commits t =
+  Array.fold_left (fun acc w -> acc + Atomic.get w.commits) 0 t.workers
+
+let batch_depth_hist t =
+  let h = Workload.Histogram.create () in
+  Array.iter (fun w -> Workload.Histogram.merge ~into:h w.depth_hist) t.workers;
+  h
 
 let shutdown t target ~persist =
   Mutex.lock t.down_lock;

@@ -3,10 +3,23 @@
     An acceptor domain hands accepted loopback connections round-robin to
     [nworkers] worker domains. Each worker owns one {!Shard_store} shard and
     one heap cursor ([tid] = worker index), multiplexes its connections with
-    [select], frames requests incrementally ({!Framing}), answers through
-    {!Kvcache.Protocol.handle}, and batches pipelined responses into one
-    write per readable chunk. Idle connections are closed after
-    [idle_timeout].
+    [select], frames requests incrementally ({!Framing}), and answers on its
+    own cursor. Idle connections are closed after [idle_timeout].
+
+    {b Group commit.} With [max_batch > 1] (the default) a worker executes
+    every complete pipelined request of a wakeup with the persistence fence
+    {e deferred} ({!Kvcache.Protocol.handle_deferred}), holds the responses
+    in each connection's {!Outbuf}, issues {e one} covering fence for the
+    whole batch ({!Kvcache.Protocol.commit}), and only then releases the
+    responses — each connection's span leaves in one gathered write. Acked
+    mutations are still durable before their replies hit the wire, so the
+    crash drill's strict audit is unchanged while fences-per-request drops
+    by the batch depth. [max_batch] caps the ops under one fence (the batch
+    commits mid-wakeup when full); [max_delay_us] lets an under-filled batch
+    ride across wakeups until that many microseconds have passed since its
+    oldest op (0 = commit at every wakeup end — no added latency).
+    [max_batch = 1] disables deferral entirely: every request takes the
+    eager {!Kvcache.Protocol.handle} path, the honest unbatched baseline.
 
     Two ways down: {!stop} is the graceful path — workers answer what is
     already buffered, flush their write buffers, close, and the store is
@@ -27,10 +40,18 @@ type config = {
   latency : Nvm.Latency_model.t;  (** injected NVRAM latency *)
   idle_timeout : float;  (** seconds before an idle connection closes; 0 = never *)
   read_chunk : int;  (** bytes read per readable event *)
+  max_batch : int;
+      (** max ops under one covering fence; 1 = no group commit (eager
+          per-op fences) *)
+  max_delay_us : int;
+      (** starvation bound: microseconds an under-filled batch may be held
+          open across wakeups before its fence is forced (0 = commit at
+          every wakeup end) *)
 }
 
 (** 4 workers, 4096 buckets, 100k items, link-and-persist, no injected
-    latency, 60 s idle timeout, ephemeral port. *)
+    latency, 60 s idle timeout, ephemeral port, group commit up to 64 ops
+    with no cross-wakeup holding. *)
 val default_config : unit -> config
 
 (** Heap/context configuration a server built from [config] uses — what
@@ -61,6 +82,16 @@ val requests_served : t -> int
 
 (** Connections the acceptor has handed to workers. *)
 val connections_accepted : t -> int
+
+(** Group-commit batches retired so far, summed over workers (monotonic,
+    read-racy). One covering fence each. *)
+val group_commits : t -> int
+
+(** Merged batch-depth distribution: one sample per retired batch, value =
+    ops it covered (recorded on the histogram's ns axis). Percentiles are
+    exact to bucket resolution (~8%). Read after {!stop}/{!kill} for a
+    settled view; mid-run reads are racy but safe. *)
+val batch_depth_hist : t -> Workload.Histogram.t
 
 (** Graceful shutdown: drain buffered requests, flush responses, close
     connections and the listening socket, then persist the store (link

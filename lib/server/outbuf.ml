@@ -1,0 +1,63 @@
+(** Per-connection output buffer with a release watermark (see the
+    interface). Layout: one backing [Bytes.t]; [start] is the first
+    unconsumed byte, [len] the valid bytes from there, [released] the prefix
+    of those the socket may take. Appends go at [start + len]; when the tail
+    has no room, consumed space is compacted away (one blit) or the backing
+    grows by doubling. Nothing is ever copied on the write path — the socket
+    writes straight out of the backing bytes. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (** first unconsumed byte *)
+  mutable len : int;  (** valid bytes at [start ..] *)
+  mutable released : int;  (** prefix of [len] eligible for the socket *)
+}
+
+let create capacity = { buf = Bytes.create (max 64 capacity); start = 0; len = 0; released = 0 }
+
+let length t = t.len
+let writable t = t.released
+let held t = t.len - t.released
+let bytes t = t.buf
+let start t = t.start
+
+let ensure_room t need =
+  let cap = Bytes.length t.buf in
+  if t.start + t.len + need > cap then
+    if t.len + need <= cap then begin
+      (* Tail is tight but consumed space up front covers it: compact. *)
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end
+    else begin
+      let cap' = ref (max 64 (2 * cap)) in
+      while t.len + need > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let buf' = Bytes.create !cap' in
+      Bytes.blit t.buf t.start buf' 0 t.len;
+      t.buf <- buf';
+      t.start <- 0
+    end
+
+let add_string t s =
+  let n = String.length s in
+  if n > 0 then begin
+    ensure_room t n;
+    Bytes.blit_string s 0 t.buf (t.start + t.len) n;
+    t.len <- t.len + n
+  end
+
+let release_all t = t.released <- t.len
+
+let consume t n =
+  if n < 0 || n > t.released then invalid_arg "Outbuf.consume";
+  t.start <- t.start + n;
+  t.len <- t.len - n;
+  t.released <- t.released - n;
+  if t.len = 0 then t.start <- 0
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.released <- 0

@@ -1,0 +1,49 @@
+(** Per-connection output buffer with a release watermark — the server's
+    reply-release queue.
+
+    Responses are appended as they are produced ([add_string]) but the
+    socket may only take the {e released} prefix: a group-commit worker
+    appends a whole batch's responses {e held}, issues the covering fence,
+    then calls [release_all] — so no ack ever reaches the wire before the
+    mutation it acknowledges is durable.
+
+    The write path is copy-free: [bytes]/[start]/[writable] expose the
+    released span in the backing buffer for one [Unix.write], and [consume]
+    advances past what the socket took. Appends compact consumed space away
+    (one blit, only when the tail runs out) or grow the backing by doubling
+    — replacing the old per-flush [Buffer.to_bytes] copy that made a slow
+    drain O(n²). *)
+
+type t
+
+(** Fresh buffer with at least [capacity] bytes backing. *)
+val create : int -> t
+
+(** Total buffered bytes (held + released). *)
+val length : t -> int
+
+(** Released bytes the socket may take now. *)
+val writable : t -> int
+
+(** Appended-but-unreleased bytes (responses awaiting their fence). *)
+val held : t -> int
+
+(** Backing buffer; the released span is [bytes..start+writable). Invalidated
+    by the next [add_string]. *)
+val bytes : t -> Bytes.t
+
+(** Offset of the first unconsumed byte in [bytes]. *)
+val start : t -> int
+
+(** Append a response (held until the next [release_all]). *)
+val add_string : t -> string -> unit
+
+(** Release everything appended so far — call after the covering fence. *)
+val release_all : t -> unit
+
+(** Drop [n] released bytes (the socket accepted them). Raises
+    [Invalid_argument] if [n] exceeds [writable]. *)
+val consume : t -> int -> unit
+
+(** Forget everything (connection teardown). *)
+val clear : t -> unit

@@ -69,4 +69,8 @@ let ops t =
     incr =
       (fun ~tid ~key ~delta -> Kvcache.Nv_memcached.incr (shard t key) ~tid ~key ~delta);
     count = (fun () -> count t);
+    (* All shards share one ctx, so the batch brackets go to it once — the
+       covering fence spans whatever shards the batch touched. *)
+    defer_begin = (fun ~tid -> Lfds.Link_persist.defer_begin t.ctx ~tid);
+    defer_commit = (fun ~tid ~ops -> Lfds.Link_persist.defer_commit t.ctx ~tid ~ops);
   }

@@ -28,6 +28,16 @@ let record t ~ns =
   t.total <- t.total + 1;
   if ns > t.max_ns then t.max_ns <- ns
 
+(* [n] samples of the same value: one bucket lookup instead of [n] — a
+   pipelined load client records a whole batch at one latency. *)
+let record_n t ~ns n =
+  if n > 0 then begin
+    let b = bucket_of_ns ns in
+    t.counts.(b) <- t.counts.(b) + n;
+    t.total <- t.total + n;
+    if ns > t.max_ns then t.max_ns <- ns
+  end
+
 let count t = t.total
 let max_ns t = t.max_ns
 

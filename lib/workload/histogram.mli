@@ -6,6 +6,11 @@ type t
 
 val create : unit -> t
 val record : t -> ns:float -> unit
+
+(** [record_n t ~ns n] records [n] samples of the same value with one bucket
+    lookup (a pipelined client records a whole batch at one latency). *)
+val record_n : t -> ns:float -> int -> unit
+
 val count : t -> int
 
 (** Latency (ns) at percentile [p] in [0, 100]: the geometric midpoint of

@@ -60,6 +60,59 @@ let test_framing_too_long () =
   | Server.Framing.Need_more -> ()
   | _ -> Alcotest.fail "short partial line should wait"
 
+(* --- Outbuf: the reply-release queue --- *)
+
+let test_outbuf_release_watermark () =
+  let b = Server.Outbuf.create 64 in
+  Server.Outbuf.add_string b "AB";
+  check_int "held until released" 2 (Server.Outbuf.held b);
+  check_int "nothing writable yet" 0 (Server.Outbuf.writable b);
+  Server.Outbuf.release_all b;
+  check_int "released" 2 (Server.Outbuf.writable b);
+  check_int "no longer held" 0 (Server.Outbuf.held b);
+  Server.Outbuf.add_string b "CD";
+  check_int "new bytes held" 2 (Server.Outbuf.held b);
+  check_int "old bytes still writable" 2 (Server.Outbuf.writable b);
+  check_str "released span"
+    "AB"
+    (Bytes.sub_string (Server.Outbuf.bytes b) (Server.Outbuf.start b)
+       (Server.Outbuf.writable b));
+  Server.Outbuf.consume b 2;
+  check_int "consumed" 0 (Server.Outbuf.writable b);
+  check_int "held survives consume" 2 (Server.Outbuf.held b);
+  (* The socket may never take held bytes. *)
+  Alcotest.check_raises "consume past watermark"
+    (Invalid_argument "Outbuf.consume") (fun () -> Server.Outbuf.consume b 1);
+  Server.Outbuf.clear b;
+  check_int "cleared" 0 (Server.Outbuf.length b)
+
+let test_outbuf_compaction_and_growth () =
+  let b = Server.Outbuf.create 64 in
+  let a50 = String.make 50 'a' and b50 = String.make 50 'b' in
+  Server.Outbuf.add_string b a50;
+  Server.Outbuf.release_all b;
+  Server.Outbuf.consume b 40;
+  (* Tail is out of room but consumed space covers the append: compacts,
+     preserving the unconsumed released span. *)
+  Server.Outbuf.add_string b b50;
+  check_int "length after compaction" 60 (Server.Outbuf.length b);
+  check_str "released span survives compaction"
+    (String.make 10 'a')
+    (Bytes.sub_string (Server.Outbuf.bytes b) (Server.Outbuf.start b)
+       (Server.Outbuf.writable b));
+  Server.Outbuf.release_all b;
+  (* Now the backing itself is too small: grows by doubling. *)
+  Server.Outbuf.add_string b (String.make 100 'c');
+  check_int "length after growth" 160 (Server.Outbuf.length b);
+  Server.Outbuf.release_all b;
+  check_str "contents survive growth"
+    (String.make 10 'a' ^ b50 ^ String.make 100 'c')
+    (Bytes.sub_string (Server.Outbuf.bytes b) (Server.Outbuf.start b)
+       (Server.Outbuf.writable b));
+  Server.Outbuf.consume b 160;
+  check_int "drained" 0 (Server.Outbuf.length b);
+  check_int "start rewinds when empty" 0 (Server.Outbuf.start b)
+
 (* --- Shard store --- *)
 
 let mk_ctx ?(nthreads = 2) () =
@@ -131,6 +184,124 @@ let test_shard_store_recover () =
   done;
   check_int "no leaks" 0 (Server.Shard_store.leak_count s' ~active_pages)
 
+(* --- Group commit: the crash boundary between execution and fence --- *)
+
+(* A power cut after a batch executed but before its covering fence may
+   lose any of that batch's (unacked) mutations — and nothing from the
+   committed batches before it. Worst case for link-and-persist: the crash
+   evicts nothing, so only explicitly fenced lines survive. *)
+let test_group_commit_crash_boundary () =
+  List.iter
+    (fun depth ->
+      let cfg =
+        {
+          (Lfds.Ctx.default_config ()) with
+          size_words = 1 lsl 20;
+          nthreads = 2;
+          apt_entries = 4096;
+          static_words = 1 lsl 15;
+        }
+      in
+      let ctx = Lfds.Ctx.create cfg in
+      let s = Server.Shard_store.create ctx ~nshards:2 ~nbuckets:64 ~capacity:1000 in
+      let proto = Kvcache.Protocol.create (Server.Shard_store.ops s) in
+      let set_req tag i = Printf.sprintf "set %s%d 0 0 4\r\nv%03d\r\n" tag i i in
+      (* Batch 1 executes and commits: every response released = acked. *)
+      for i = 0 to depth - 1 do
+        check_str "acked batch stored" "STORED\r\n"
+          (Kvcache.Protocol.handle_deferred proto ~tid:0 (set_req "acked" i))
+      done;
+      Kvcache.Protocol.commit proto ~tid:0 ~ops:depth;
+      (* Batch 2 executes but the covering fence never happens — in the
+         server these responses would still be held in the Outbufs, so
+         nothing here was ever acknowledged. *)
+      for i = 0 to depth - 1 do
+        ignore (Kvcache.Protocol.handle_deferred proto ~tid:0 (set_req "held" i))
+      done;
+      let heap = Lfds.Ctx.heap ctx in
+      Nvm.Heap.crash ~seed:(41 + depth) ~eviction_probability:0. heap;
+      let ctx', active_pages = Lfds.Ctx.recover heap cfg in
+      let s', _freed =
+        Server.Shard_store.recover ctx' ~nshards:2 ~nbuckets:64 ~capacity:1000
+          ~active_pages ~nworkers:2
+      in
+      let ops' = Server.Shard_store.ops s' in
+      for i = 0 to depth - 1 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "depth %d: committed key %d survives" depth i)
+          (Some (Printf.sprintf "v%03d" i))
+          (ops'.Kvcache.Cache_intf.get ~tid:0 ~key:(Printf.sprintf "acked%d" i))
+      done;
+      (* Unacked keys may survive (their link line drained incidentally) or
+         vanish — but a surviving value must be whole, never torn. *)
+      for i = 0 to depth - 1 do
+        match ops'.Kvcache.Cache_intf.get ~tid:0 ~key:(Printf.sprintf "held%d" i) with
+        | None -> ()
+        | Some v ->
+            check_str (Printf.sprintf "depth %d: surviving unacked key %d is whole" depth i)
+              (Printf.sprintf "v%03d" i) v
+      done;
+      check_int
+        (Printf.sprintf "depth %d: no residual leaks" depth)
+        0
+        (Server.Shard_store.leak_count s' ~active_pages))
+    [ 2; 8; 32 ]
+
+(* NVSan (flush-order checkers, strict deref) over a batched worker: the
+   deferred marks a batch leaves in place must all be exempted by their
+   group-commit registration and cleared cleanly at commit. Doubles as the
+   fence-accounting check: many ops per covering fence. *)
+let test_group_commit_sanitized () =
+  let ctx = mk_ctx () in
+  let heap = Lfds.Ctx.heap ctx in
+  let s = Server.Shard_store.create ctx ~nshards:2 ~nbuckets:64 ~capacity:1000 in
+  let proto = Kvcache.Protocol.create (Server.Shard_store.ops s) in
+  let cfg =
+    {
+      (Sanitizer.Nvsan.default_config ~durable:true) with
+      strict_deref = true;
+      root_limit = Lfds.Ctx.static_limit ctx;
+    }
+  in
+  let san = Sanitizer.Nvsan.attach ~config:cfg heap in
+  Nvm.Heap.reset_stats heap;
+  let rng = Workload.Xoshiro.make ~seed:5 in
+  let sets = ref 0 and batches = ref 0 in
+  for _batch = 1 to 40 do
+    let n = 1 + Workload.Xoshiro.below rng 16 in
+    for _ = 1 to n do
+      let k = Workload.Xoshiro.in_range rng ~lo:0 ~hi:63 in
+      let req =
+        match Workload.Xoshiro.below rng 10 with
+        | 0 | 1 | 2 | 3 | 4 ->
+            incr sets;
+            Printf.sprintf "set k%d 0 0 4\r\nabcd\r\n" k
+        | 5 -> Printf.sprintf "delete k%d\r\n" k
+        | _ -> Printf.sprintf "get k%d\r\n" k
+      in
+      ignore (Kvcache.Protocol.handle_deferred proto ~tid:0 req)
+    done;
+    Kvcache.Protocol.commit proto ~tid:0 ~ops:n;
+    incr batches
+  done;
+  Sanitizer.Nvsan.detach san;
+  List.iter
+    (fun v ->
+      Printf.printf "group-commit: %s\n%!" (Sanitizer.Nvsan.violation_to_string v))
+    (Sanitizer.Nvsan.violations san);
+  check_int "sanitizer violations" 0 (Sanitizer.Nvsan.violation_count san);
+  let st = Nvm.Heap.aggregate_stats heap in
+  check_bool "group commits happened" true (st.Nvm.Pstats.group_commits > 0);
+  check_bool "links were deferred" true (st.Nvm.Pstats.deferred_links > 0);
+  check_bool "many ops per covering fence" true (Nvm.Pstats.ops_per_commit st > 1.);
+  (* Eager link-and-persist pays >= 2 fences per set (node persist + link
+     persist); deferral must beat that. *)
+  check_bool
+    (Printf.sprintf "fences amortized (%d fences for %d sets in %d batches)"
+       st.Nvm.Pstats.fences !sets !batches)
+    true
+    (st.Nvm.Pstats.fences < 2 * !sets)
+
 (* --- Live server under concurrent load --- *)
 
 let small_server () =
@@ -141,6 +312,9 @@ let small_server () =
       nbuckets = 512;
       capacity = 8_000;
       idle_timeout = 30.;
+      (* Group commit on, including the cross-wakeup holding path. *)
+      max_batch = 32;
+      max_delay_us = 200;
     }
 
 let test_server_concurrent_load () =
@@ -205,7 +379,11 @@ let test_drill () =
         nconns = 2;
         duration = 0.6;
         nkeys = 500;
-        pipeline = 4;
+        pipeline = 8;
+        (* The kill must land between batched executions and their fences
+           without breaking the strict audit: held responses are unacked. *)
+        max_batch = 32;
+        max_delay_us = 200;
       }
   in
   check_bool "took traffic" true (r.Server.Drill.load.Server.Loadgen.ops > 0);
@@ -226,10 +404,23 @@ let () =
           Alcotest.test_case "rejects" `Quick test_framing_rejects;
           Alcotest.test_case "too long" `Quick test_framing_too_long;
         ] );
+      ( "outbuf",
+        [
+          Alcotest.test_case "release watermark" `Quick test_outbuf_release_watermark;
+          Alcotest.test_case "compaction + growth" `Quick
+            test_outbuf_compaction_and_growth;
+        ] );
       ( "shard-store",
         [
           Alcotest.test_case "ops" `Quick test_shard_store_ops;
           Alcotest.test_case "recover" `Quick test_shard_store_recover;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "crash between execution and fence" `Quick
+            test_group_commit_crash_boundary;
+          Alcotest.test_case "sanitized batched worker" `Quick
+            test_group_commit_sanitized;
         ] );
       ( "nvserve",
         [
