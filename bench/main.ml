@@ -163,8 +163,7 @@ let throughput_point ?(mix_name = "update") opts ~structure ~flavor ~size ~nthre
         (Sanitizer.Nvsan.attach
            ~config:
              {
-               (Sanitizer.Nvsan.default_config
-                  ~durable:(match flavor with I.Lp | I.Lc -> true | _ -> false))
+               (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor))
                with
                root_limit = Lfds.Ctx.static_limit inst.ctx;
              }
@@ -786,6 +785,178 @@ let ablate opts =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Flavor shootout: the five persistence flavors (volatile / lp / lc / *)
+(* nvt / lf) head to head — fences and write-backs per operation plus  *)
+(* throughput on read-heavy and update-only mixes, and recovery time   *)
+(* vs size for the link-free rebuild against link-and-persist's sweep. *)
+
+let shootout_flavors = [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf ]
+
+(* Like [throughput_point] but returns the per-operation persistence cost
+   alongside throughput and records a "flavors" JSON row; with --latency or
+   --trace the measured window is flight-recorded for span attribution
+   ("where did the fences go"). *)
+let flavor_point opts ~structure ~flavor ~size ~nthreads ~mix ~mix_name =
+  let inst =
+    I.create ~nthreads ~size_hint:size ~latency:(latency opts) ~structure ~flavor ()
+  in
+  let heap = Lfds.Ctx.heap inst.ctx in
+  Keygen.prefill inst.ops ~size ~seed:opts.seed;
+  Nvm.Heap.reset_stats heap;
+  let tracer =
+    if opts.latency || opts.trace <> None then Some (Trace.Nvtrace.attach heap)
+    else None
+  in
+  let range = Keygen.range_for ~size in
+  let r =
+    Run.throughput ~nthreads ~duration:opts.duration
+      ~step:(Run.set_workload inst.ops ~mix ~range)
+      ~seed:opts.seed ()
+  in
+  (match tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.Nvtrace.detach tr;
+      report_tracer opts tr ~structure ~flavor ~size ~nthreads ~mix_name);
+  let st = Nvm.Heap.aggregate_stats heap in
+  let per c = float_of_int c /. float_of_int (max 1 r.Run.total_ops) in
+  let fences_per_op = per st.Nvm.Pstats.fences in
+  let wb_per_op = per st.Nvm.Pstats.write_backs in
+  if Json_out.enabled () then
+    Json_out.add ~kind:"flavors"
+      Json_out.
+        [
+          ("structure", S (I.structure_name structure));
+          ("flavor", S (I.flavor_name flavor));
+          ("size", I size);
+          ("threads", I nthreads);
+          ("mix", S mix_name);
+          ("duration", F opts.duration);
+          ("write_ns", I (base_write_ns opts));
+          ("seed", I opts.seed);
+          ("ops_per_s", F r.Run.throughput);
+          ("fences_per_op", F fences_per_op);
+          ("wb_per_op", F wb_per_op);
+          ("substrate", substrate_fields st);
+        ];
+  (r.Run.throughput, fences_per_op, wb_per_op)
+
+let flavors_shootout opts =
+  let size = 1024 in
+  let mixes =
+    [
+      ("read-heavy (10% updates)", "read-heavy", Keygen.mixed ~update_pct:10);
+      ("update-only", "update", Keygen.update_only);
+    ]
+  in
+  List.iter
+    (fun (mix_title, mix_name, mix) ->
+      List.iter
+        (fun nthreads ->
+          let rows =
+            List.concat_map
+              (fun structure ->
+                let points =
+                  List.map
+                    (fun flavor ->
+                      ( flavor,
+                        flavor_point opts ~structure ~flavor ~size ~nthreads ~mix
+                          ~mix_name ))
+                    shootout_flavors
+                in
+                let lp_fences =
+                  match List.assoc_opt I.Lp points with
+                  | Some (_, f, _) -> f
+                  | None -> 0.
+                in
+                List.map
+                  (fun (flavor, (tp, fpo, wpo)) ->
+                    [
+                      I.structure_name structure;
+                      I.flavor_name flavor;
+                      Report.human_ops tp;
+                      Printf.sprintf "%.3f" fpo;
+                      Printf.sprintf "%.3f" wpo;
+                      (if lp_fences > 0. then
+                         Printf.sprintf "%.2fx" (fpo /. lp_fences)
+                       else "-");
+                    ])
+                  points)
+              I.all_structures
+          in
+          Report.table
+            ~title:
+              (Printf.sprintf "Flavor shootout: %s, %d elems, %d thread(s)"
+                 mix_title size nthreads)
+            ~header:
+              [ "structure"; "flavor"; "ops/s"; "fences/op"; "wb/op"; "fences vs lp" ]
+            rows)
+        opts.threads)
+    mixes
+
+(* Link-free recovery is a full rebuild (reachability is reconstructed from
+   per-node validity words), so its cost grows with the number of survivors;
+   link-and-persist only restores link consistency and sweeps active pages.
+   These curves quantify the trade the fence savings buy. *)
+let flavors_recovery opts =
+  let sizes =
+    if opts.full then [ 1024; 4096; 16384; 65536 ] else [ 256; 1024; 4096 ]
+  in
+  List.iter
+    (fun structure ->
+      let rows =
+        List.concat_map
+          (fun size ->
+            List.map
+              (fun flavor ->
+                let inst =
+                  I.create ~nthreads:1 ~size_hint:size ~latency:(latency opts)
+                    ~structure ~flavor ()
+                in
+                Keygen.prefill inst.ops ~size ~seed:opts.seed;
+                let range = Keygen.range_for ~size in
+                ignore
+                  (Run.throughput ~nthreads:1 ~duration:(opts.duration /. 2.)
+                     ~step:(Run.set_workload inst.ops ~mix:Keygen.update_only ~range)
+                     ~seed:opts.seed ());
+                let inst', dt, freed = I.crash_and_recover ~seed:opts.seed inst in
+                if Json_out.enabled () then
+                  Json_out.add ~kind:"recovery"
+                    Json_out.
+                      [
+                        ("structure", S (I.structure_name structure));
+                        ("flavor", S (I.flavor_name flavor));
+                        ("size", I size);
+                        ("write_ns", I (base_write_ns opts));
+                        ("recovery_s", F dt);
+                        ("freed", I freed);
+                        ("size_after", I (inst'.ops.size ()));
+                      ];
+                [
+                  string_of_int size;
+                  I.flavor_name flavor;
+                  Report.human_ns (dt *. 1e9);
+                  string_of_int freed;
+                  string_of_int (inst'.ops.size ());
+                ])
+              [ I.Lp; I.Lf ])
+          sizes
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Recovery time vs size (%s): link-and-persist sweep vs link-free \
+              rebuild"
+             (I.structure_name structure))
+        ~header:[ "size"; "flavor"; "recovery"; "freed"; "size after" ]
+        rows)
+    [ I.Hash; I.Skiplist ]
+
+let flavors_exp opts =
+  flavors_shootout opts;
+  flavors_recovery opts
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the primitives.                        *)
 
 let micro () =
@@ -1006,6 +1177,7 @@ let run_all opts =
   sect "fig10" fig10;
   sect "fig11" fig11;
   sect "ablate" ablate;
+  sect "flavors" flavors_exp;
   micro ()
 
 open Cmdliner
@@ -1093,6 +1265,9 @@ let () =
       cmd "fig10" "Recovery times" fig10;
       cmd "fig11" "NV-Memcached throughput and recovery" fig11;
       cmd "ablate" "Design-choice ablations" ablate;
+      cmd "flavors"
+        "Five-way persistence-flavor shootout: fences/op, throughput, recovery"
+        flavors_exp;
       cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
       cmd "smoke" "Sub-second trajectory probe (fig5 hash point)" smoke;
       cmd "all" "Run every experiment" run_all;

@@ -28,12 +28,10 @@ let structure_conv =
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (I.structure_name s))
 
 let flavor_conv =
-  let parse = function
-    | "volatile" -> Ok I.Volatile
-    | "lp" | "link-persist" -> Ok I.Lp
-    | "lc" | "link-cache" -> Ok I.Lc
-    | "log" -> Ok I.Log
-    | s -> Error (`Msg ("unknown flavor: " ^ s))
+  let parse s =
+    match I.flavor_of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (I.flavor_name f))
 
@@ -93,7 +91,7 @@ let stats structure size nthreads duration seed =
         (pct st.lc_adds st.lc_fails)
         (Report.human_ns (Histogram.percentile hist 50.))
         (Report.human_ns (Histogram.percentile hist 99.)))
-    [ I.Volatile; I.Lp; I.Lc; I.Log ]
+    [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf; I.Log ]
 
 (* drill: randomized mid-operation crash + recovery verification. *)
 let drill structure rounds seed =
@@ -134,9 +132,9 @@ let drill structure rounds seed =
     (I.structure_name structure) rounds !crashes !violations;
   if !violations > 0 then exit 1
 
-(* sanitize: NVSan online pass over both durable flavors, then exhaustive
-   small-scope crash-state enumeration. Exit 1 on any violation — the CI
-   gate. *)
+(* sanitize: NVSan online pass over every durable flavor, then exhaustive
+   small-scope crash-state enumeration per flavor. Exit 1 on any violation
+   — the CI gate. *)
 let sanitize structure ops max_dirty seed =
   let failed = ref false in
   List.iter
@@ -144,7 +142,7 @@ let sanitize structure ops max_dirty seed =
       let inst = I.create ~nthreads:1 ~size_hint:256 ~structure ~flavor () in
       let cfg =
         {
-          (Sanitizer.Nvsan.default_config ~durable:true) with
+          (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor)) with
           strict_deref = true;
           root_limit = Lfds.Ctx.static_limit inst.ctx;
         }
@@ -166,12 +164,15 @@ let sanitize structure ops max_dirty seed =
       Printf.printf "sanitize %s/%s: %d ops, %d violation(s)\n%!"
         (I.structure_name structure) (I.flavor_name flavor) ops n;
       if n > 0 then failed := true)
-    [ I.Lp; I.Lc ];
-  let r = Sanitizer.Crash_enum.run ~structure ~max_dirty ~seed () in
-  Format.printf "crash-enum %s: %a@." (I.structure_name structure)
-    Sanitizer.Crash_enum.pp_result r;
-  List.iter print_endline r.Sanitizer.Crash_enum.violations;
-  if r.Sanitizer.Crash_enum.violations <> [] then failed := true;
+    [ I.Lp; I.Lc; I.Nvt; I.Lf ];
+  List.iter
+    (fun flavor ->
+      let r = Sanitizer.Crash_enum.run ~structure ~flavor ~max_dirty ~seed () in
+      Format.printf "crash-enum %s/%s: %a@." (I.structure_name structure)
+        (I.flavor_name flavor) Sanitizer.Crash_enum.pp_result r;
+      List.iter print_endline r.Sanitizer.Crash_enum.violations;
+      if r.Sanitizer.Crash_enum.violations <> [] then failed := true)
+    [ I.Lp; I.Nvt; I.Lf ];
   if !failed then exit 1
 
 (* run: one timed workload with a final summary. *)
@@ -212,8 +213,7 @@ let trace_run structure flavor size nthreads duration seed update_pct out
         (Sanitizer.Nvsan.attach
            ~config:
              {
-               (Sanitizer.Nvsan.default_config
-                  ~durable:(match flavor with I.Lp | I.Lc -> true | _ -> false))
+               (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor))
                with
                root_limit = Lfds.Ctx.static_limit inst.ctx;
              }
@@ -345,7 +345,7 @@ let sanitize_cmd =
 
 let run_cmd =
   let flavor =
-    Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|log")
+    Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|nvt|lf|log")
   in
   let update_pct =
     Arg.(value & opt int 100 & info [ "updates" ] ~doc:"Update percentage.")
@@ -356,7 +356,7 @@ let run_cmd =
       $ duration_arg $ seed_arg $ update_pct)
 
 let flavor_arg =
-  Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|log")
+  Arg.(value & opt flavor_conv I.Lc & info [ "flavor" ] ~doc:"volatile|lp|lc|nvt|lf|log")
 
 let update_pct_arg =
   Arg.(value & opt int 100 & info [ "updates" ] ~doc:"Update percentage.")
@@ -404,11 +404,18 @@ let top_cmd =
 (* --- NVServe: TCP server, load client, crash drill --- *)
 
 let mode_conv =
-  let parse = function
-    | "volatile" -> Ok Lfds.Persist_mode.Volatile
-    | "lp" | "link-persist" -> Ok Lfds.Persist_mode.Link_persist
-    | "lc" | "link-cache" -> Ok Lfds.Persist_mode.Link_cache
-    | s -> Error (`Msg ("unknown persist mode: " ^ s))
+  let parse s =
+    match Lfds.Persist_mode.of_string s with
+    | Ok
+        ((Lfds.Persist_mode.Volatile | Lfds.Persist_mode.Link_persist
+         | Lfds.Persist_mode.Link_cache) as m) ->
+        Ok m
+    | Ok ((Lfds.Persist_mode.Nvtraverse | Lfds.Persist_mode.Link_free) as m) ->
+        Error
+          (`Msg
+             (Lfds.Persist_mode.to_string m
+             ^ " is not wired into the server store yet (use volatile|lp|lc)"))
+    | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Lfds.Persist_mode.to_string m))
 
@@ -442,7 +449,10 @@ let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
     "audit: %d acked keys verified over TCP, %d exempt (in-flight), %d lost%s; \
      post-recovery probe %s\n"
     r.Server.Drill.checked r.Server.Drill.exempt r.Server.Drill.lost
-    (if r.Server.Drill.strict then "" else " (tolerated: link-cache acks are durable only to the last flush)")
+    (if r.Server.Drill.strict then ""
+     else
+       Printf.sprintf " (tolerated: %s acks are durable only to the last flush)"
+         (Lfds.Persist_mode.to_string c.Server.Drill.mode))
     (if r.Server.Drill.post_ok then "ok" else "FAILED");
   Printf.printf "verdict: %s\n%!" (if r.Server.Drill.ok then "OK" else "FAILED")
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fences/op regression guard.
+
+Compares the "flavors" records of an nvlf-bench/2 JSON document (produced
+by `dune exec bench/main.exe -- flavors --json FILE`) against the committed
+baseline in ci/fences_baseline.json. Fails (exit 1) if any durable flavor's
+fences/op regresses by more than the tolerance (default 10%) on any
+structure x mix point, or if a baselined point is missing from the run.
+
+Fence counts per operation are a property of the persistence protocol, not
+of machine speed, so they are stable across hosts at a fixed seed; the
+tolerance absorbs mix sampling noise from the timed run, not scheduling.
+
+Usage:
+    ci/check_fences.py flavors.json [--baseline ci/fences_baseline.json]
+                       [--tolerance 0.10] [--update]
+
+--update rewrites the baseline from the run instead of checking (commit the
+result when a protocol change intentionally moves the fence budget).
+"""
+
+import argparse
+import json
+import sys
+
+DURABLE = {"link-persist", "link-cache", "nvtraverse", "link-free"}
+
+
+def load_run(path):
+    doc = json.load(open(path))
+    if doc.get("schema") != "nvlf-bench/2":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    points = {}
+    for rec in doc["records"]:
+        if rec.get("kind") == "flavors" and rec["flavor"] in DURABLE:
+            key = f"{rec['structure']}/{rec['flavor']}/{rec['mix']}"
+            points[key] = rec["fences_per_op"]
+    if not points:
+        sys.exit(f"{path}: no durable-flavor 'flavors' records")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("run", help="nvlf-bench/2 JSON from the flavors subcommand")
+    ap.add_argument("--baseline", default="ci/fences_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run instead of checking")
+    args = ap.parse_args()
+
+    points = load_run(args.run)
+
+    if args.update:
+        doc = json.load(open(args.baseline))
+        doc["fences_per_op"] = {k: round(v, 4) for k, v in sorted(points.items())}
+        json.dump(doc, open(args.baseline, "w"), indent=2, sort_keys=True)
+        print(f"{args.baseline}: rewrote {len(points)} entries")
+        return
+
+    base = json.load(open(args.baseline))["fences_per_op"]
+    failures = []
+    for key, expected in sorted(base.items()):
+        got = points.get(key)
+        if got is None:
+            failures.append(f"{key}: missing from run (baseline {expected:.4f})")
+            continue
+        limit = expected * (1.0 + args.tolerance)
+        verdict = "FAIL" if got > limit else "ok"
+        print(f"{verdict:4s} {key:45s} {got:7.4f} vs baseline {expected:7.4f}"
+              f" (limit {limit:.4f})")
+        if got > limit:
+            failures.append(
+                f"{key}: {got:.4f} fences/op exceeds baseline {expected:.4f} "
+                f"by more than {args.tolerance:.0%}")
+    if failures:
+        print(f"\n{len(failures)} fences/op regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(base)} points within {args.tolerance:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

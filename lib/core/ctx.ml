@@ -99,7 +99,9 @@ let build heap (cfg : config) ~fresh ~alloc =
         Nv_epochs.set_link_cache_flusher mem (fun ~tid ->
             Link_cache.flush_all lc ~tid);
         Some lc
-    | Persist_mode.Volatile | Persist_mode.Link_persist -> None
+    | Persist_mode.Volatile | Persist_mode.Link_persist
+    | Persist_mode.Nvtraverse | Persist_mode.Link_free ->
+        None
   in
   if fresh then begin
     Heap.store heap ~tid:0 0 heap_magic;
@@ -199,6 +201,18 @@ let with_op_c ?(name = "op") ?(key = 0) (t : t) cu f =
   Nv_epochs.op_begin t.mem ~tid;
   match f cu with
   | v ->
+      (* Fence-minimal flavors defer their write-backs to one covering
+         fence on the response path: everything the op queued (links under
+         NVTraverse, validity words under link-free) becomes durable here,
+         before the response can be returned — and before [op_end_c] can
+         hand any node the op unlinked to reclamation. Reads over clean
+         lines queue nothing, so they stay fence-free. *)
+      (match t.mode with
+      | Persist_mode.Nvtraverse | Persist_mode.Link_free ->
+          if Heap.Cursor.pending_count cu > 0 then Heap.Cursor.fence cu
+      | Persist_mode.Volatile | Persist_mode.Link_persist
+      | Persist_mode.Link_cache ->
+          ());
       Nv_epochs.op_end_c t.mem cu;
       if obs then Heap.annotate t.heap ~tid Heap.A_op_end;
       v

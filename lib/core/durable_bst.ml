@@ -33,6 +33,11 @@ let key_of node = node
 let value_of node = node + 1
 let left_of node = node + 2
 let right_of node = node + 3
+
+(* Link-free validity word (a pad word of the same cache line). Only leaves
+   are ever [valid] — internal routers must not be resurrected by the
+   rebuild, so they are explicitly [invalid]. *)
+let validity_of node = node + 4
 let inf0 = Set_intf.max_key + 1
 let inf1 = Set_intf.max_key + 2
 let inf2 = Set_intf.max_key + 3
@@ -162,11 +167,16 @@ let make_leaf_edge_durable ctx cu ~k (sr : seek_record) =
 let search_c ctx t cu ~key =
   let sr = seek ctx cu t key in
   make_leaf_edge_durable ctx cu ~k:key sr;
-  if
-    read_key cu sr.leaf = key
-    && not
-         (Marked_ptr.is_deleted (Heap.Cursor.load cu (child_link cu sr.parent key)))
-  then Some (read_value cu sr.leaf)
+  if read_key cu sr.leaf = key then begin
+    let edge = Heap.Cursor.load cu (child_link cu sr.parent key) in
+    if Marked_ptr.is_deleted edge then begin
+      (* Absent because of a pending delete: under link-free, our answer
+         rides on that deletion's verdict — help-persist it. *)
+      Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of sr.leaf);
+      None
+    end
+    else Some (read_value cu sr.leaf)
+  end
   else None
 
 let search ctx t ~tid ~key = search_c ctx t (Ctx.cursor ctx ~tid) ~key
@@ -194,6 +204,8 @@ let rec insert_c ctx t cu ~key ~value =
     Heap.Cursor.store cu (value_of new_leaf) value;
     Heap.Cursor.store cu (left_of new_leaf) 0;
     Heap.Cursor.store cu (right_of new_leaf) 0;
+    Link_free.init_c ctx cu ~validity_word:(validity_of new_leaf)
+      ~state:Link_free.valid;
     let new_internal = Nv_epochs.alloc_node_c mem cu ~size_class in
     let left, right =
       if key < leaf_key then (new_leaf, sr.leaf) else (sr.leaf, new_leaf)
@@ -202,6 +214,9 @@ let rec insert_c ctx t cu ~key ~value =
     Heap.Cursor.store cu (value_of new_internal) 0;
     Heap.Cursor.store cu (left_of new_internal) left;
     Heap.Cursor.store cu (right_of new_internal) right;
+    (* A recycled slot may still read durably [valid]; kill the verdict. *)
+    Link_free.init_c ctx cu ~validity_word:(validity_of new_internal)
+      ~state:Link_free.invalid;
     (* One fence covers both nodes and the allocator metadata. *)
     Heap.Cursor.write_back cu new_leaf;
     Link_persist.persist_node_c ctx cu ~addr:new_internal ~size_class;
@@ -211,6 +226,9 @@ let rec insert_c ctx t cu ~key ~value =
         ~expected:sr.leaf ~desired:new_internal
     then true
     else begin
+      (* The pre-publish fence already made the leaf durably [valid];
+         retract the verdict before recycling the slot. *)
+      Link_free.invalidate_c ctx cu ~validity_word:(validity_of new_leaf);
       Nvalloc.free_c (Ctx.allocator ctx) cu new_leaf;
       Nvalloc.free_c (Ctx.allocator ctx) cu new_internal;
       let v = Heap.Cursor.load cu (child_link cu sr.parent key) in
@@ -238,7 +256,9 @@ let remove_c ctx t cu ~key =
       let edge = Link_persist.read_clean_c ctx cu link in
       if not (Marked_ptr.same_addr edge sr.leaf) then inject ()
       else if Marked_ptr.is_deleted edge then begin
-        (* Another delete linearized first; help it finish. *)
+        (* Another delete linearized first; help it finish. Link-free:
+           help-persist its deletion verdict, which our answer rides on. *)
+        Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of sr.leaf);
         ignore (cleanup ctx cu t key sr);
         make_leaf_edge_durable ctx cu ~k:key sr;
         false
@@ -251,6 +271,8 @@ let remove_c ctx t cu ~key =
         Link_persist.cas_link_c ctx cu ~key ~link ~expected:sr.leaf
           ~desired:(Marked_ptr.with_delete sr.leaf)
       then begin
+        (* Link-free: the deletion verdict, durable by our op-end fence. *)
+        Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of sr.leaf);
         (* Cleanup phase: splice until our victim is out of the tree. *)
         let victim = sr.leaf in
         let rec finish sr =
@@ -374,6 +396,23 @@ let recover_consistency ctx t =
   fix_root_edge (left_of t.r);
   fix_root_edge (right_of t.r);
   Heap.Cursor.fence cu
+
+(* Link-free rebuild support: the validity-word offset for slot
+   classification (internal routers read [invalid], so only user leaves
+   survive a rebuild), and a durable reset to the empty sentinel tree. *)
+let validity_off = 4
+
+let reset ctx t =
+  let tid = 0 in
+  let l0 = t.r + (2 * size_class)
+  and l1 = t.r + (3 * size_class)
+  and l2 = t.r + (4 * size_class) in
+  init_node ctx ~tid l0 ~key:inf0 ~left:0 ~right:0;
+  init_node ctx ~tid l1 ~key:inf1 ~left:0 ~right:0;
+  init_node ctx ~tid l2 ~key:inf2 ~left:0 ~right:0;
+  init_node ctx ~tid t.s ~key:inf1 ~left:l0 ~right:l1;
+  init_node ctx ~tid t.r ~key:inf2 ~left:t.s ~right:l2;
+  Heap.fence (Ctx.heap ctx) ~tid
 
 let ops ctx t =
   {

@@ -37,4 +37,11 @@ val to_list : Ctx.t -> tid:int -> t -> (int * int) list
     flagged deletions (with upward flag carry), free spliced-out nodes. *)
 val recover_consistency : Ctx.t -> t -> unit
 
+(** Link-free rebuild support: validity-word offset within a node (only
+    leaves are ever valid), and a durable reset to the empty sentinel
+    tree. *)
+val validity_off : int
+
+val reset : Ctx.t -> t -> unit
+
 val ops : Ctx.t -> t -> Set_intf.ops

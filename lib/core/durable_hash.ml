@@ -76,6 +76,21 @@ let recover_consistency ctx t =
     Durable_list.recover_consistency ctx ~head:(t.base + i)
   done
 
+(* Link-free rebuild support: per-bucket layout is the list's. *)
+let validity_off = Durable_list.validity_off
+
+let reset ctx t =
+  let heap = Ctx.heap ctx in
+  let tid = 0 in
+  for i = 0 to t.nbuckets - 1 do
+    Heap.store heap ~tid (t.base + i) 0
+  done;
+  let lines = (t.nbuckets + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
+  for l = 0 to lines - 1 do
+    Heap.write_back heap ~tid (t.base + (l * Cacheline.words_per_line))
+  done;
+  Heap.fence heap ~tid
+
 let ops ctx t =
   {
     Set_intf.name = "durable-hash(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";

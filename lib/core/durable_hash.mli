@@ -29,4 +29,10 @@ val to_list : Ctx.t -> t -> (int * int) list
 (** Post-crash normalization: fix every bucket list. *)
 val recover_consistency : Ctx.t -> t -> unit
 
+(** Link-free rebuild support: validity-word offset within a node, and a
+    durable reset to the empty table (all bucket heads zeroed, fenced). *)
+val validity_off : int
+
+val reset : Ctx.t -> t -> unit
+
 val ops : Ctx.t -> t -> Set_intf.ops

@@ -28,6 +28,7 @@ let size_class = Cacheline.words_per_line
 let key_of node = node
 let value_of node = node + 1
 let next_of node = node + 2
+let validity_of node = node + 3
 
 let read_key cu node = Heap.Cursor.load cu (key_of node)
 let read_value cu node = Heap.Cursor.load cu (value_of node)
@@ -53,6 +54,9 @@ let rec find ctx cu ~head k =
         (* curr is logically deleted: make the mark durable, then durably
            unlink it. On CAS failure the list changed under us: restart. *)
         let nv = Link_persist.help_unflushed_c ctx cu ~link:(next_of curr) nv in
+        (* Link-free: the unlink must not outrun the deletion verdict —
+           help-record it before acting on the mark. *)
+        Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of curr);
         let succ = Marked_ptr.addr nv in
         if
           Link_persist.cas_link_c ctx cu
@@ -105,6 +109,8 @@ let rec insert_c ctx cu ~head ~key ~value =
     Heap.Cursor.store cu (key_of node) key;
     Heap.Cursor.store cu (value_of node) value;
     Heap.Cursor.store cu (next_of node) f.curr;
+    Link_free.init_c ctx cu ~validity_word:(validity_of node)
+      ~state:Link_free.valid;
     (* Contents + allocator metadata reach NVRAM before the node is visible. *)
     Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
     if
@@ -112,7 +118,9 @@ let rec insert_c ctx cu ~head ~key ~value =
         ~desired:node
     then true
     else begin
-      (* Lost the race; recycle the invisible node and retry. *)
+      (* Lost the race; recycle the invisible node and retry. The durable
+         [valid] verdict must be retracted first in link-free mode. *)
+      Link_free.invalidate_c ctx cu ~validity_word:(validity_of node);
       Nvalloc.free_c (Ctx.allocator ctx) cu node;
       insert_c ctx cu ~head ~key ~value
     end
@@ -134,7 +142,9 @@ let rec remove_c ctx cu ~head ~key =
     let nv = Link_persist.read_clean_c ctx cu (next_of curr) in
     if Marked_ptr.is_deleted nv then begin
       (* Concurrently deleted; that deletion's mark is durable (we just
-         cleaned the link), so reporting absence is durably justified. *)
+         cleaned the link), so reporting absence is durably justified.
+         Link-free: help-persist the deletion verdict instead. *)
+      Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of curr);
       Link_persist.make_durable_c ctx cu ~key ~link:(next_of curr) ();
       false
     end
@@ -143,6 +153,8 @@ let rec remove_c ctx cu ~head ~key =
       Link_persist.cas_link_c ctx cu ~key ~link:(next_of curr) ~expected:nv
         ~desired:(Marked_ptr.with_delete nv)
     then begin
+      (* Link-free: the deletion verdict, durable by our op-end fence. *)
+      Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of curr);
       (* Physical deletion: best effort here, helpers finish otherwise. *)
       let succ = Marked_ptr.addr nv in
       if
@@ -217,6 +229,15 @@ let recover_consistency ctx ~head =
   in
   go head;
   Heap.Cursor.fence cu
+
+(* Link-free rebuild support: the validity-word offset for slot
+   classification, and a durable reset to the empty list. *)
+let validity_off = 3
+
+let reset ctx ~head =
+  let heap = Ctx.heap ctx in
+  Heap.store heap ~tid:0 head 0;
+  Heap.persist heap ~tid:0 head
 
 (** First-class [Set_intf.ops] over a list rooted at [head]; operations are
     epoch-bracketed. Each operation fetches the domain's cursor once. *)

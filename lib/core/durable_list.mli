@@ -44,5 +44,11 @@ val to_list : Ctx.t -> tid:int -> head:int -> (int * int) list
     Run before the leak sweep. *)
 val recover_consistency : Ctx.t -> head:int -> unit
 
+(** Link-free rebuild support: validity-word offset within a node, and a
+    durable reset to the empty list (head link zeroed and persisted). *)
+val validity_off : int
+
+val reset : Ctx.t -> head:int -> unit
+
 (** Epoch-bracketed [Set_intf.ops] over the list rooted at [head]. *)
 val ops : Ctx.t -> head:int -> Set_intf.ops

@@ -27,6 +27,7 @@ type t = { head : int; max_level : int; rng : int array }
 let key_of node = node
 let value_of node = node + 1
 let toplevel_of node = node + 2
+let validity_of node = node + 3
 let next_of node level = node + 4 + level
 
 (* A link address is either a head-tower slot or [node + 4 + level]; invert
@@ -86,6 +87,9 @@ let cas_lazy ctx cu ~link ~expected ~desired =
   if Heap.Cursor.cas cu link ~expected ~desired then begin
     (match Ctx.mode ctx with
     | Persist_mode.Volatile -> ()
+    (* Fence-minimal flavors rebuild every index level at recovery, so
+       index links carry no durability at all — not even a lazy queue. *)
+    | Persist_mode.Nvtraverse | Persist_mode.Link_free -> ()
     | Persist_mode.Link_persist | Persist_mode.Link_cache ->
         Heap.Cursor.write_back cu link);
     true
@@ -118,6 +122,10 @@ let find_once ctx t cu k ~preds ~succs =
               else nv
             in
             let succ = Marked_ptr.addr nv in
+            (* Link-free: the unlink must not outrun the deletion verdict —
+               help-record it before acting on the mark. *)
+            if level = 0 then
+              Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of curr);
             let ok =
               if level = 0 then
                 Link_persist.cas_link_c ctx cu
@@ -201,6 +209,8 @@ let rec insert_c ctx t cu ~key ~value =
     for l = 0 to levels - 1 do
       Heap.Cursor.store cu (next_of node l) succs.(l)
     done;
+    Link_free.init_c ctx cu ~validity_word:(validity_of node)
+      ~state:Link_free.valid;
     Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
     (* Linearization: link at level 0, durably. *)
     if
@@ -208,6 +218,7 @@ let rec insert_c ctx t cu ~key ~value =
         (Link_persist.cas_link_c ctx cu ~key ~link:preds.(0) ~expected:succs.(0)
            ~desired:node)
     then begin
+      Link_free.invalidate_c ctx cu ~validity_word:(validity_of node);
       Nvalloc.free_c (Ctx.allocator ctx) cu node;
       insert_c ctx t cu ~key ~value
     end
@@ -287,7 +298,10 @@ let rec remove_c ctx t cu ~key =
     let rec mark0 () =
       let v = Link_persist.read_clean_c ctx cu (next_of node 0) in
       if Marked_ptr.is_deleted v then begin
-        (* Lost to a concurrent remove; its mark is durable (just cleaned). *)
+        (* Lost to a concurrent remove; its mark is durable (just cleaned).
+           Link-free: help-persist the loser-visible deletion verdict our
+           "absent" answer relies on. *)
+        Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of node);
         Link_persist.make_durable_c ctx cu ~key ~link:(next_of node 0) ();
         false
       end
@@ -295,6 +309,8 @@ let rec remove_c ctx t cu ~key =
         Link_persist.cas_link_c ctx cu ~key ~link:(next_of node 0) ~expected:v
           ~desired:(Marked_ptr.with_delete v)
       then begin
+        (* Link-free: the deletion verdict, durable by our op-end fence. *)
+        Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of node);
         (* Physically unlink (find retires on the level-0 unlink). *)
         find ctx t cu key ~preds ~succs;
         true
@@ -381,6 +397,23 @@ let recover_consistency ctx t =
     Heap.Cursor.write_back cu last_link.(l)
   done;
   Heap.Cursor.fence cu
+
+(* Link-free rebuild support: the validity-word offset for slot
+   classification, and a durable reset to the empty list (head tower
+   zeroed; reinsertion rebuilds every level). *)
+let validity_off = 3
+
+let reset ctx t =
+  let heap = Ctx.heap ctx in
+  let tid = 0 in
+  for l = 0 to t.max_level - 1 do
+    Heap.store heap ~tid (t.head + l) 0
+  done;
+  for l = 0 to t.max_level - 1 do
+    if l mod Cacheline.words_per_line = 0 then
+      Heap.write_back heap ~tid (t.head + l)
+  done;
+  Heap.fence heap ~tid
 
 let ops ctx t =
   {

@@ -34,4 +34,10 @@ val to_list : Ctx.t -> tid:int -> t -> (int * int) list
     every index level deterministically from the survivors' stored heights. *)
 val recover_consistency : Ctx.t -> t -> unit
 
+(** Link-free rebuild support: validity-word offset within a node, and a
+    durable reset to the empty list (head tower zeroed and fenced). *)
+val validity_off : int
+
+val reset : Ctx.t -> t -> unit
+
 val ops : Ctx.t -> t -> Set_intf.ops

@@ -1,0 +1,77 @@
+(** The link-free durability discipline (Zuriel et al., OOPSLA'19): node
+    {e contents} plus a per-node validity word are persisted; links never
+    are. Recovery ignores every link and rebuilds reachability from the
+    validity words ([Recovery.rebuild_link_free]).
+
+    Each node reserves one pad word as its validity word:
+
+    - [invalid] (0): the slot holds no committed node — freshly allocated,
+      or an insert that lost its race, or an interior/router node that must
+      never be resurrected;
+    - [valid] (1): the node is a committed set member; made durable
+      together with the contents by the pre-publish fence, so a node is
+      never reachable before it is durably valid;
+    - [deleted] (2): the node was removed; made durable before the remove's
+      response by the covering fence on the response path.
+
+    Transitions are announced to an attached observer ([Heap.A_validity])
+    so the sanitizer can hold acknowledged transitions to the
+    fence-before-response contract without forking per flavor.
+
+    Nothing in this module fences: insert-side transitions ride the
+    pre-publish [Link_persist.persist_node_c] fence, delete-side ones ride
+    the op-end covering fence in [Ctx.with_op_c]. *)
+
+open Nvm
+
+let invalid = 0
+let valid = 1
+let deleted = 2
+
+let announce heap cu ~addr ~state =
+  if Heap.observed heap then
+    Heap.annotate heap ~tid:(Heap.Cursor.tid cu) (Heap.A_validity { addr; state })
+
+(* Is the context in link-free mode? Structures gate their validity writes
+   on this so the other flavors pay nothing. *)
+let active ctx = Ctx.mode ctx = Persist_mode.Link_free
+
+(** Set the validity word of a freshly initialized node {e before}
+    [Link_persist.persist_node_c]: the pre-publish fence makes contents and
+    validity durable together. Also used with [invalid] for router nodes and
+    for an insert that lost its publishing race (the slot may be a recycled
+    one whose durable image still says [valid] — the explicit store kills
+    the stale verdict). *)
+let init_c ctx cu ~validity_word ~state =
+  if active ctx then begin
+    Heap.Cursor.store cu validity_word state;
+    announce (Ctx.heap ctx) cu ~addr:validity_word ~state
+  end
+
+(** Record a deletion: store [deleted], announce, and queue the write-back.
+    Idempotent and open to helpers — any thread that observes a deleted
+    mark may call this; if the word already reads [deleted] only a dirty
+    line is re-queued (clean lines cost nothing), so steady-state
+    traversals stay free. The caller's op-end covering fence makes the
+    transition durable before any response that depends on it. *)
+let mark_deleted_c ctx cu ~validity_word =
+  if active ctx then begin
+    let heap = Ctx.heap ctx in
+    if Heap.Cursor.load cu validity_word <> deleted then begin
+      Heap.Cursor.store cu validity_word deleted;
+      announce heap cu ~addr:validity_word ~state:deleted;
+      Heap.Cursor.write_back cu validity_word
+    end
+    else if Heap.line_is_dirty heap (Cacheline.line_of_addr validity_word) then
+      Heap.Cursor.write_back cu validity_word
+  end
+
+(** Kill a node that was durably [valid] but lost its publishing race, just
+    before it is freed: store [invalid] and queue the write-back (the
+    op-end fence of the insert that is still running covers it). *)
+let invalidate_c ctx cu ~validity_word =
+  if active ctx then begin
+    Heap.Cursor.store cu validity_word invalid;
+    announce (Ctx.heap ctx) cu ~addr:validity_word ~state:invalid;
+    Heap.Cursor.write_back cu validity_word
+  end

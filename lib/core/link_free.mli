@@ -1,0 +1,27 @@
+(** Per-node validity words for [Persist_mode.Link_free]: contents are
+    persisted, links never are; recovery rebuilds reachability from the
+    validity verdicts. All functions are no-ops outside link-free mode. *)
+
+val invalid : int
+(** 0 — no committed node in this slot (fresh, raced-out, or router). *)
+
+val valid : int
+(** 1 — committed set member; durable before the node is reachable. *)
+
+val deleted : int
+(** 2 — removed; durable before the remove's response. *)
+
+val active : Ctx.t -> bool
+(** True iff the context runs in link-free mode. *)
+
+(** Set a node's validity word before [Link_persist.persist_node_c]; the
+    pre-publish fence persists contents and verdict together. *)
+val init_c : Ctx.t -> Nvm.Heap.cursor -> validity_word:int -> state:int -> unit
+
+(** Record (or help record) a deletion: store [deleted] if not already
+    there, announce [Heap.A_validity], queue the write-back. Idempotent;
+    clean already-deleted words cost nothing. *)
+val mark_deleted_c : Ctx.t -> Nvm.Heap.cursor -> validity_word:int -> unit
+
+(** Durably retract a lost-race node's [valid] verdict before freeing it. *)
+val invalidate_c : Ctx.t -> Nvm.Heap.cursor -> validity_word:int -> unit

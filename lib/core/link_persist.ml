@@ -46,6 +46,9 @@ let help_unflushed_c ctx cu ~link v =
     else begin
       (match Ctx.mode ctx with
       | Persist_mode.Volatile -> ()
+      (* The fence-minimal flavors never create unflushed marks, so helping
+         one can only mean clearing a stale bit; there is nothing to sync. *)
+      | Persist_mode.Nvtraverse | Persist_mode.Link_free -> ()
       | Persist_mode.Link_persist | Persist_mode.Link_cache ->
           Heap.Cursor.persist cu link);
       let clean = Marked_ptr.clear_unflushed v in
@@ -113,6 +116,17 @@ let cas_link_c ctx cu ~key ~link ~expected ~desired =
   assert (not (Marked_ptr.is_unflushed desired));
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> cas_plain cu ~link ~expected ~desired
+  | Persist_mode.Nvtraverse ->
+      (* Fence-free: install the clean value, queue the line; the op's
+         covering fence on the response path drains it. No unflushed mark —
+         a reader that must rely on the link queues its own write-back at
+         the boundary ([Nvtraverse.ensure_word_durable_c]). *)
+      let ok = cas_plain cu ~link ~expected ~desired in
+      if ok then Heap.Cursor.write_back cu link;
+      ok
+  | Persist_mode.Link_free ->
+      (* Links are never persisted; durability lives in the validity words. *)
+      cas_plain cu ~link ~expected ~desired
   | Persist_mode.Link_persist ->
       let gc = Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu) in
       if Group_commit.active gc then
@@ -140,6 +154,17 @@ let cas_link ctx ~tid ~key ~link ~expected ~desired =
 let make_durable_c ctx cu ~key ?link () =
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> ()
+  | Persist_mode.Nvtraverse ->
+      (* The boundary of the NVTraverse discipline: queue a write-back for
+         the adjacent link iff its line is dirty; the response-path fence
+         drains it. No fence here, and clean positions queue nothing. *)
+      (match link with
+      | Some l -> Nvtraverse.ensure_word_durable_c (Ctx.heap ctx) cu l
+      | None -> ())
+  | Persist_mode.Link_free ->
+      (* Links carry no durability; validity transitions are persisted at
+         their own sites ([Link_free.mark_deleted_c]). *)
+      ()
   | Persist_mode.Link_persist | Persist_mode.Link_cache ->
       (match Ctx.link_cache ctx with
       | Some lc -> Link_cache.scan_c lc cu ~key
@@ -165,7 +190,8 @@ let make_durable ctx ~tid ~key ?link () =
 let persist_node_c ctx cu ~addr ~size_class =
   match Ctx.mode ctx with
   | Persist_mode.Volatile -> ()
-  | Persist_mode.Link_persist | Persist_mode.Link_cache ->
+  | Persist_mode.Link_persist | Persist_mode.Link_cache
+  | Persist_mode.Nvtraverse | Persist_mode.Link_free ->
       let lines = (size_class + Cacheline.words_per_line - 1) / Cacheline.words_per_line in
       for i = 0 to lines - 1 do
         Heap.Cursor.write_back cu (addr + (i * Cacheline.words_per_line))
@@ -192,13 +218,17 @@ let defer_begin_c ctx cu =
   | Persist_mode.Link_persist ->
       Group_commit.begin_batch
         (Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu))
-  | Persist_mode.Volatile | Persist_mode.Link_cache -> ()
+  | Persist_mode.Volatile | Persist_mode.Link_cache
+  | Persist_mode.Nvtraverse | Persist_mode.Link_free ->
+      ()
 
 let defer_commit_c ctx cu ~ops =
   match Ctx.mode ctx with
   | Persist_mode.Link_persist ->
       Group_commit.commit (Ctx.group_commit ctx ~tid:(Heap.Cursor.tid cu)) cu ~ops
-  | Persist_mode.Volatile | Persist_mode.Link_cache -> ()
+  | Persist_mode.Volatile | Persist_mode.Link_cache
+  | Persist_mode.Nvtraverse | Persist_mode.Link_free ->
+      ()
 
 let defer_begin ctx ~tid = defer_begin_c ctx (Ctx.cursor ctx ~tid)
 let defer_commit ctx ~tid ~ops = defer_commit_c ctx (Ctx.cursor ctx ~tid) ~ops

@@ -1,0 +1,36 @@
+(** The traverse→critical-section boundary of the NVTraverse discipline.
+
+    Under [Persist_mode.Nvtraverse] a traversal pays no flushes and no
+    fences at all. Durability is concentrated at two points:
+
+    - the {e boundary}: just before an operation's linearizing CAS, the
+      destination nodes it is about to modify (and the links its answer
+      depends on) are queued for write-back — but only the lines that are
+      actually dirty, so a traversal over long-durable prefix nodes queues
+      nothing;
+    - the {e response path}: [Ctx.with_op_c] issues one covering fence for
+      whatever the op queued before the response is returned, so an
+      acknowledged operation is durable and a read that crossed a
+      not-yet-durable link has made it durable before answering.
+
+    Write-backs queued here ride the cursor's pending buffer; nothing in
+    this module ever fences. *)
+
+open Nvm
+
+(* Queue a write-back for [addr]'s cache line iff the line is dirty: the
+   fence-free traversal's whole point is that clean destinations cost
+   nothing. A racing writer can re-dirty the line after the check — its own
+   op's covering fence owns that durability, exactly as with helping. *)
+let ensure_word_durable_c heap cu addr =
+  if Heap.line_is_dirty heap (Cacheline.line_of_addr addr) then
+    Heap.Cursor.write_back cu addr
+
+(* Queue write-backs for every dirty line of the node at [addr]. *)
+let ensure_node_durable_c heap cu ~addr ~size_class =
+  let lines =
+    (size_class + Cacheline.words_per_line - 1) / Cacheline.words_per_line
+  in
+  for i = 0 to lines - 1 do
+    ensure_word_durable_c heap cu (addr + (i * Cacheline.words_per_line))
+  done

@@ -1,0 +1,13 @@
+(** Traverse→critical-section boundary helper for [Persist_mode.Nvtraverse]:
+    queue write-backs for the destination nodes/links an operation is about
+    to act on — dirty lines only, never fencing. The covering fence on the
+    response path ([Ctx.with_op_c]) drains whatever was queued. *)
+
+(** [ensure_word_durable_c heap cu addr] queues a write-back for [addr]'s
+    line iff it is dirty. *)
+val ensure_word_durable_c : Nvm.Heap.t -> Nvm.Heap.cursor -> int -> unit
+
+(** [ensure_node_durable_c heap cu ~addr ~size_class] queues write-backs for
+    every dirty line of the node spanning [size_class] words at [addr]. *)
+val ensure_node_durable_c :
+  Nvm.Heap.t -> Nvm.Heap.cursor -> addr:int -> size_class:int -> unit

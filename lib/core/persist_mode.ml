@@ -1,6 +1,6 @@
-(** How a log-free data structure persists its links.
+(** How a log-free data structure persists its state.
 
-    The same algorithm code runs in all three modes (the paper's structures
+    The same algorithm code runs in all modes (the paper's structures
     differ from their volatile counterparts only by added flushes):
 
     - [Volatile]: no write-backs at all — the DRAM-oriented baseline of
@@ -10,13 +10,54 @@
       helping);
     - [Link_cache]: link updates are registered in the volatile link cache of
       section 4 and written back in batches when a dependent operation needs
-      them durable. *)
+      them durable;
+    - [Nvtraverse]: the NVTraverse discipline — the traversal pays zero
+      flushes and fences; only the destination nodes an operation actually
+      modifies are persisted before the linearizing CAS, and the op's
+      remaining write-backs are drained by one covering fence on the
+      response path;
+    - [Link_free]: the link-free discipline of Zuriel et al. — node
+      contents and a per-node validity word are persisted, links never are;
+      recovery rebuilds reachability from valid node contents. *)
 
-type t = Volatile | Link_persist | Link_cache
+type t = Volatile | Link_persist | Link_cache | Nvtraverse | Link_free
+
+let all = [ Volatile; Link_persist; Link_cache; Nvtraverse; Link_free ]
 
 let to_string = function
   | Volatile -> "volatile"
   | Link_persist -> "link-and-persist"
   | Link_cache -> "link-cache"
+  | Nvtraverse -> "nvtraverse"
+  | Link_free -> "link-free"
 
-let is_durable = function Volatile -> false | Link_persist | Link_cache -> true
+let of_string = function
+  | "volatile" | "dram" -> Ok Volatile
+  | "lp" | "link-persist" | "link-and-persist" -> Ok Link_persist
+  | "lc" | "link-cache" -> Ok Link_cache
+  | "nvt" | "nvtraverse" -> Ok Nvtraverse
+  | "lf" | "link-free" -> Ok Link_free
+  | s -> Error ("unknown persist mode: " ^ s)
+
+let is_durable = function
+  | Volatile -> false
+  | Link_persist | Link_cache | Nvtraverse | Link_free -> true
+
+(* Link-cache acknowledgements are durable only up to the last flush of the
+   cache, so a crash audit must tolerate acked-but-lost mutations there;
+   every other durable mode fences before the response leaves. *)
+let acks_durable = function
+  | Volatile | Link_cache -> false
+  | Link_persist | Nvtraverse | Link_free -> true
+
+(* Which persist disciplines the sanitizer should hold the mode to. *)
+
+(* Links are published with the unflushed mark and persisted in place. *)
+let persists_links = function
+  | Link_persist | Link_cache -> true
+  | Volatile | Nvtraverse | Link_free -> false
+
+(* Deleted nodes carry a durable validity word instead of durable links. *)
+let uses_validity = function
+  | Link_free -> true
+  | Volatile | Link_persist | Link_cache | Nvtraverse -> false

@@ -1,11 +1,39 @@
-(** How a log-free structure persists its links; the same algorithm code
-    runs in all three modes (the paper's durable structures differ from
-    their volatile counterparts only by added flushes). *)
+(** How a log-free structure persists its state; the same algorithm code
+    runs in all modes (the paper's durable structures differ from their
+    volatile counterparts only by added flushes). *)
 
 type t =
   | Volatile  (** no write-backs: the DRAM-oriented baseline (Figure 7) *)
   | Link_persist  (** one link-and-persist sync per state change (§3) *)
   | Link_cache  (** batched durability through the link cache (§4) *)
+  | Nvtraverse
+      (** fence-free traversal; only destination nodes are persisted before
+          the linearizing CAS, plus one covering fence on the response path
+          (NVTraverse) *)
+  | Link_free
+      (** durable node contents + validity word, links never persisted;
+          recovery rebuilds reachability (Zuriel et al.) *)
+
+val all : t list
 
 val to_string : t -> string
+
+(** Inverse of [to_string], also accepting the short flag spellings
+    ([lp], [lc], [nvt], [lf], [dram]). The single canonical parser for every
+    CLI surface. *)
+val of_string : string -> (t, string) result
+
 val is_durable : t -> bool
+
+(** True when an acknowledged mutation is guaranteed durable at the instant
+    the response leaves — i.e. a crash audit may be strict about acked
+    losses. Link-cache acks are durable only to the last cache flush. *)
+val acks_durable : t -> bool
+
+(** True when the mode publishes links with the unflushed mark and persists
+    them in place (the link-and-persist family). *)
+val persists_links : t -> bool
+
+(** True when the mode records deletion in a durable per-node validity word
+    instead of durable links (the link-free family). *)
+val uses_validity : t -> bool

@@ -117,6 +117,43 @@ let sweep_traversal_parallel ctx ~active_pages ~iter ~nworkers =
   end;
   Array.fold_left ( + ) 0 freed
 
+(** Link-free rebuild (the recovery side of [Persist_mode.Link_free]):
+    links are never persisted, so post-crash reachability is reconstructed
+    from node contents alone. Every allocated slot of every initialized page
+    is classified by its validity word at [validity_off] — only
+    [Link_free.valid] slots survive, as (key, value) read from the uniform
+    [+0]/[+1] layout. All slots are then freed, the structure is [reset] to
+    empty, and the survivors are reinserted through the structure's own
+    [insert] (rebuilding links, towers and routers as a side effect). The
+    whole heap's worth of pages is scanned — this is the flavor's
+    recovery-time-vs-size trade, in exchange for zero link persistence at
+    run time. Returns the number of nodes rebuilt. *)
+let rebuild_link_free ctx ~validity_off ~reset ~insert =
+  let tid = 0 in
+  let alloc = Ctx.allocator ctx in
+  let heap = Ctx.heap ctx in
+  (* Collect first: freeing flips the very bitmaps being iterated. *)
+  let slots = ref [] in
+  List.iter
+    (fun page ->
+      Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+          slots := addr :: !slots))
+    (Nvalloc.initialized_pages alloc ~tid);
+  let survivors =
+    List.filter_map
+      (fun addr ->
+        if Heap.load heap ~tid (addr + validity_off) = Link_free.valid then
+          Some (Heap.load heap ~tid addr, Heap.load heap ~tid (addr + 1))
+        else None)
+      !slots
+  in
+  List.iter (fun addr -> Nvalloc.free alloc ~tid addr) !slots;
+  Heap.fence heap ~tid;
+  reset ();
+  List.iter (fun (key, value) -> insert ~key ~value) survivors;
+  Heap.fence heap ~tid;
+  List.length survivors
+
 (** Allocated nodes in active pages that the structure cannot reach —
     should be zero after a sweep (tests). *)
 let leak_count ctx ~active_pages ~iter =

@@ -21,6 +21,18 @@ val sweep_traversal :
 val sweep_traversal_parallel :
   Ctx.t -> active_pages:int list -> iter:((int -> unit) -> unit) -> nworkers:int -> int
 
+(** Link-free rebuild: classify every allocated slot of every initialized
+    page by the validity word at [validity_off]; free them all, [reset] the
+    structure to empty, reinsert the [Link_free.valid] (key, value) pairs
+    through [insert]. Scans the whole allocated heap — the flavor's
+    recovery-time-vs-size trade. Returns the number of nodes rebuilt. *)
+val rebuild_link_free :
+  Ctx.t ->
+  validity_off:int ->
+  reset:(unit -> unit) ->
+  insert:(key:int -> value:int -> unit) ->
+  int
+
 (** Allocated-but-unreachable count over active pages — zero after a sweep
     (tests). *)
 val leak_count :

@@ -19,13 +19,35 @@ let structure_name = function
 
 let all_structures = [ Hash; Skiplist; List; Bst ]
 
-type flavor = Volatile | Lp | Lc | Log
+type flavor = Volatile | Lp | Lc | Nvt | Lf | Log
 
 let flavor_name = function
   | Volatile -> "volatile"
   | Lp -> "link-persist"
   | Lc -> "link-cache"
+  | Nvt -> "nvtraverse"
+  | Lf -> "link-free"
   | Log -> "log-based"
+
+let all_flavors = [ Volatile; Lp; Lc; Nvt; Lf; Log ]
+
+(* Canonical flavor parser: Persist_mode's spellings plus the log-based
+   baseline. Every CLI surface (bench, sanitize, serve) goes through here
+   or [Persist_mode.of_string] — no ad-hoc parsers. *)
+let flavor_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "log" | "log-based" | "wal" -> Ok Log
+  | s -> (
+      match Lfds.Persist_mode.of_string s with
+      | Ok Lfds.Persist_mode.Volatile -> Ok Volatile
+      | Ok Lfds.Persist_mode.Link_persist -> Ok Lp
+      | Ok Lfds.Persist_mode.Link_cache -> Ok Lc
+      | Ok Lfds.Persist_mode.Nvtraverse -> Ok Nvt
+      | Ok Lfds.Persist_mode.Link_free -> Ok Lf
+      | Error _ ->
+          Error
+            (Printf.sprintf
+               "unknown flavor %S (expected volatile|lp|lc|nvt|lf|log)" s))
 
 type t = {
   structure : structure;
@@ -57,6 +79,8 @@ let mode_of_flavor = function
   | Volatile -> Lfds.Persist_mode.Volatile
   | Lp | Log -> Lfds.Persist_mode.Link_persist
   | Lc -> Lfds.Persist_mode.Link_cache
+  | Nvt -> Lfds.Persist_mode.Nvtraverse
+  | Lf -> Lfds.Persist_mode.Link_free
 
 let config ?(nthreads = 1) ?(size_hint = 1024) ?latency ?(mem_mode = Lfds.Nv_epochs.Nv)
     ?(lc_buckets = 32) ?(page_words = 512) ?(apt_entries = 1024)
@@ -87,8 +111,17 @@ let config ?(nthreads = 1) ?(size_hint = 1024) ?latency ?(mem_mode = Lfds.Nv_epo
    create from attach; carve order is identical either way. *)
 let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
     ~fresh ctx =
+  (* Link-free recovery is a rebuild, not a normalization: classify every
+     allocated slot by its validity word, reset the structure, reinsert the
+     valid pairs through the structure's own insert. *)
+  let lf_rebuild ctx ~validity_off ~reset ops () =
+    ignore
+      (Lfds.Recovery.rebuild_link_free ctx ~validity_off ~reset
+         ~insert:(fun ~key ~value ->
+           ignore (ops.Lfds.Set_intf.insert ~tid:0 ~key ~value)))
+  in
   match flavor with
-  | Volatile | Lp | Lc -> (
+  | Volatile | Lp | Lc | Nvt | Lf -> (
       match structure with
       | List ->
           let head =
@@ -108,7 +141,14 @@ let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
                 then found := Some n);
             !found
           in
-          (ops, iter, locate, fun () -> Lfds.Durable_list.recover_consistency ctx ~head)
+          let recover =
+            if flavor = Lf then
+              lf_rebuild ctx ~validity_off:Lfds.Durable_list.validity_off
+                ~reset:(fun () -> Lfds.Durable_list.reset ctx ~head)
+                ops
+            else fun () -> Lfds.Durable_list.recover_consistency ctx ~head
+          in
+          (ops, iter, locate, recover)
       | Hash ->
           let t =
             if fresh then Lfds.Durable_hash.create ctx ~nbuckets:hash_buckets
@@ -125,7 +165,14 @@ let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
                 then found := Some n);
             !found
           in
-          (ops, iter, locate, fun () -> Lfds.Durable_hash.recover_consistency ctx t)
+          let recover =
+            if flavor = Lf then
+              lf_rebuild ctx ~validity_off:Lfds.Durable_hash.validity_off
+                ~reset:(fun () -> Lfds.Durable_hash.reset ctx t)
+                ops
+            else fun () -> Lfds.Durable_hash.recover_consistency ctx t
+          in
+          (ops, iter, locate, recover)
       | Skiplist ->
           let t =
             if fresh then Lfds.Durable_skiplist.create ctx ~max_level:skiplist_levels ()
@@ -144,7 +191,14 @@ let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
                 then found := Some n);
             !found
           in
-          (ops, iter, locate, fun () -> Lfds.Durable_skiplist.recover_consistency ctx t)
+          let recover =
+            if flavor = Lf then
+              lf_rebuild ctx ~validity_off:Lfds.Durable_skiplist.validity_off
+                ~reset:(fun () -> Lfds.Durable_skiplist.reset ctx t)
+                ops
+            else fun () -> Lfds.Durable_skiplist.recover_consistency ctx t
+          in
+          (ops, iter, locate, recover)
       | Bst ->
           let t =
             if fresh then Lfds.Durable_bst.create ctx else Lfds.Durable_bst.attach ctx
@@ -154,7 +208,14 @@ let build_in ~structure ~flavor ~cfg:_ ~hash_buckets ~skiplist_levels ~wal_mode
              static sentinels out by address. *)
           let iter f = Lfds.Durable_bst.iter_all_nodes ctx ~tid:0 t f in
           let locate ~key:_ = None in
-          (ops, iter, locate, fun () -> Lfds.Durable_bst.recover_consistency ctx t))
+          let recover =
+            if flavor = Lf then
+              lf_rebuild ctx ~validity_off:Lfds.Durable_bst.validity_off
+                ~reset:(fun () -> Lfds.Durable_bst.reset ctx t)
+                ops
+            else fun () -> Lfds.Durable_bst.recover_consistency ctx t
+          in
+          (ops, iter, locate, recover))
   | Log -> (
       let wal =
         if fresh then Baseline.Wal.create ctx ~sync_mode:wal_mode ()
@@ -261,8 +322,15 @@ let recover_only t =
       ~wal_mode:t.wal_mode ~fresh:false ctx
   in
   recover_structure ();
+  (* The link-free rebuild already freed every slot and reinserted the
+     survivors — nothing allocated is unreachable, so the leak sweep is
+     skipped (its cost is already inside the rebuild's timing). *)
   let freed =
-    Lfds.Recovery.sweep_traversal ctx ~active_pages:active ~iter:iter_reachable
+    match t.flavor with
+    | Lf -> 0
+    | Volatile | Lp | Lc | Nvt | Log ->
+        Lfds.Recovery.sweep_traversal ctx ~active_pages:active
+          ~iter:iter_reachable
   in
   let dt = Unix.gettimeofday () -. t0 in
   ({ t with ctx; ops; iter_reachable; locate }, dt, freed)

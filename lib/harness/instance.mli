@@ -18,11 +18,23 @@ type flavor =
   | Volatile  (** no flushes (DRAM baseline) *)
   | Lp  (** link-and-persist *)
   | Lc  (** link cache *)
+  | Nvt  (** NVTraverse: fence-free traversal, covering fence per op *)
+  | Lf  (** link-free: validity words, links never persisted *)
   | Log  (** lock-based algorithm + write-ahead log *)
 
-(** Short name used in reports and CLI arguments ("volatile", "lp", "lc",
-    "log"). *)
+(** Short name used in reports and CLI arguments ("volatile",
+    "link-persist", "link-cache", "nvtraverse", "link-free", "log-based"). *)
 val flavor_name : flavor -> string
+
+(** All six, in shootout order. *)
+val all_flavors : flavor list
+
+(** The canonical CLI flavor parser: every [Persist_mode.of_string]
+    spelling plus [log]/[log-based]/[wal] for the WAL baseline. *)
+val flavor_of_string : string -> (flavor, string) result
+
+(** Persist mode a flavor runs under (Log uses link-and-persist plumbing). *)
+val mode_of_flavor : flavor -> Lfds.Persist_mode.t
 
 (** One built configuration and everything needed to drive or recover it. *)
 type t = {

@@ -70,6 +70,10 @@ type annotation =
   | A_lc_register of { link : int }
       (** [link]'s latest value is parked in the link cache: its durability
           is the cache's business until the line next drains *)
+  | A_validity of { addr : int; state : int }
+      (** the link-free validity word at [addr] transitioned to [state]
+          (0 = invalid, 1 = valid, 2 = deleted); emitted before the
+          write-back that makes the transition durable *)
   | A_op_begin of { name : string; key : int }
       (** [key] is the operation's key argument, 0 when it has none — a
           tracer attributes spans to keys with it *)

@@ -66,6 +66,9 @@ type annotation =
   | A_retire of { addr : int }
   | A_reclaim of { nodes : int list; snapshot : int array; current : int array }
   | A_lc_register of { link : int }
+  | A_validity of { addr : int; state : int }
+      (** link-free validity word at [addr] moved to [state]
+          (0 = invalid, 1 = valid, 2 = deleted) *)
   | A_op_begin of { name : string; key : int }
       (** [key] is the operation's key argument, 0 when it has none *)
   | A_op_end

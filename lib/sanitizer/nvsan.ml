@@ -29,13 +29,24 @@ type violation = {
 
 type config = {
   durable : bool;
+  require_publish_mark : bool;
   strict_deref : bool;
   root_limit : int;
   max_violations : int;
 }
 
 let default_config ~durable =
-  { durable; strict_deref = false; root_limit = max_int; max_violations = 1000 }
+  { durable; require_publish_mark = durable; strict_deref = false;
+    root_limit = max_int; max_violations = 1000 }
+
+(* One canonical mapping from persist mode to checker expectations: the
+   fence-minimal flavors are durable but never mark links, so only the
+   link-and-persist family is held to the publish-mark protocol. *)
+let config_for_mode mode =
+  {
+    (default_config ~durable:(Lfds.Persist_mode.is_durable mode)) with
+    require_publish_mark = Lfds.Persist_mode.persists_links mode;
+  }
 
 (* Shadow of one allocation, keyed by base address in [nodes]. [published]
    flips when a CAS installs the node's address in a link outside it;
@@ -69,6 +80,8 @@ type t = {
   op_name : string array;  (* per tid *)
   deref_watch : (int, int) Hashtbl.t array;
       (* per tid: node base -> marked link it was reached through *)
+  validity_watch : (int, int) Hashtbl.t array;
+      (* per tid: validity word -> state announced during the current op *)
   mutable viols : violation list;  (* newest first; reversed on read *)
   mutable nviols : int;
   mutable ndropped : int;
@@ -203,7 +216,10 @@ let on_cas t ~tid ~addr ~expected ~desired =
   | Some n ->
       (* FO3 — in durable modes the publishing CAS must announce itself with
          the unflushed mark so concurrent readers can help persist it. *)
-      if t.cfg.durable && not (Marked_ptr.is_unflushed desired) then
+      if
+        t.cfg.durable && t.cfg.require_publish_mark
+        && not (Marked_ptr.is_unflushed desired)
+      then
         report t ~vclass:Flush_order ~code:"publish-unmarked" ~addr ~tid
           (Printf.sprintf
              "link %d published node %d with a plain CAS (no unflushed mark)"
@@ -400,8 +416,31 @@ let on_note t ~tid note =
   | Heap.A_op_begin { name; key = _ } ->
       t.op_seq.(tid) <- t.op_seq.(tid) + 1;
       t.op_name.(tid) <- name;
-      Hashtbl.reset t.deref_watch.(tid)
-  | Heap.A_op_end -> ()
+      Hashtbl.reset t.deref_watch.(tid);
+      Hashtbl.reset t.validity_watch.(tid)
+  | Heap.A_validity { addr; state } ->
+      Hashtbl.replace t.validity_watch.(tid) addr state
+  | Heap.A_op_end ->
+      (* FO5 — validity-unfenced: every validity verdict announced during
+         this operation must be durable by the time the operation answers
+         (the op-end fence fires before this annotation). Program-ordered
+         drain credit, or an actual durable-image match (a helper's fence
+         may have drained the line before our event was processed). *)
+      if t.cfg.durable then
+        Hashtbl.iter
+          (fun addr _state ->
+            if
+              Bytes.get t.word_synced addr = '\000'
+              && Heap.durable_load t.heap addr <> Heap.peek t.heap addr
+            then
+              report t ~vclass:Flush_order ~code:"validity-unfenced" ~addr
+                ~tid
+                (Printf.sprintf
+                   "validity verdict on word %d announced this op but not \
+                    durable at op end"
+                   addr))
+          t.validity_watch.(tid);
+      Hashtbl.reset t.validity_watch.(tid)
 
 let handle t ev =
   match ev with
@@ -454,6 +493,7 @@ let attach ?config heap =
       op_seq = Array.make ntids 0;
       op_name = Array.make ntids "?";
       deref_watch = Array.init ntids (fun _ -> Hashtbl.create 8);
+      validity_watch = Array.init ntids (fun _ -> Hashtbl.create 8);
       viols = [];
       nviols = 0;
       ndropped = 0;

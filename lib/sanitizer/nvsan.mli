@@ -52,8 +52,14 @@ type violation = {
 
 type config = {
   durable : bool;
-      (** expect the link-and-persist protocol (false for Volatile runs:
+      (** expect a durable-persistence protocol (false for Volatile runs:
           flush-order checkers off, reclamation checkers stay on) *)
+  require_publish_mark : bool;
+      (** expect the publishing CAS to carry the link-and-persist unflushed
+          mark ([publish-unmarked]). True for link-and-persist / link-cache;
+          set false for the fence-minimal flavors (NVTraverse, link-free),
+          which never mark links — their publish-ordering obligations are
+          checked by [publish-unpersisted] and [validity-unfenced] instead. *)
   strict_deref : bool;
       (** flag loads that walk through a still-unpersisted marked link.
           Sound only single-domain: concurrent traversals legitimately read
@@ -68,6 +74,11 @@ type config = {
 }
 
 val default_config : durable:bool -> config
+
+(** The canonical checker expectations for a persist mode: [durable] per
+    [Persist_mode.is_durable], [require_publish_mark] per
+    [Persist_mode.persists_links]; other fields as [default_config]. *)
+val config_for_mode : Lfds.Persist_mode.t -> config
 
 type t
 

@@ -123,7 +123,12 @@ let run cfg =
   in
   let post_ok = Loadgen.probe ~host:"127.0.0.1" ~port in
   Nvserve.stop server';
-  let strict = cfg.mode = Lfds.Persist_mode.Link_persist in
+  (* Strictness is the persist mode's own ack contract, not a hard-coded
+     flavor split: any mode whose acks are durable at response time (lp,
+     and the fence-minimal flavors once the server adopts them) is audited
+     with zero tolerance for lost acked keys; flush-tolerant modes
+     (link-cache) only lose what the last cache flush had not covered. *)
+  let strict = Lfds.Persist_mode.acks_durable cfg.mode in
   {
     load;
     acked_keys = Hashtbl.length acks.Loadgen.acked;

@@ -13,10 +13,12 @@
     recovered store, and every acknowledged mutation is audited over TCP
     ({!Loadgen.verify_acked}).
 
-    Under link-and-persist, zero acknowledged mutations may be lost and zero
-    nodes may leak; under link-cache, acknowledged operations after the last
-    cache flush are {e expected} casualties, so losses are reported but do
-    not fail the drill ([strict] is false). The server is sized so LRU
+    Whether losses fail the drill is the persist mode's own ack contract
+    ({!Lfds.Persist_mode.acks_durable}): modes whose acks are durable at
+    response time (link-and-persist) may lose zero acknowledged mutations
+    and leak zero nodes; flush-tolerant modes (link-cache) expect to lose
+    acknowledged operations after the last cache flush, so losses are
+    reported but do not fail the drill ([strict] is false). The server is sized so LRU
     eviction cannot masquerade as loss. *)
 
 type config = {
@@ -54,7 +56,7 @@ type report = {
   exempt : int;
   lost : int;  (** audited keys contradicting their acknowledgement *)
   post_ok : bool;  (** fresh set/get served after restart *)
-  strict : bool;  (** losses fail the drill (link-and-persist) *)
+  strict : bool;  (** losses fail the drill ([Persist_mode.acks_durable]) *)
   ok : bool;  (** the drill's verdict *)
 }
 

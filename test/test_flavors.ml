@@ -1,0 +1,193 @@
+(* Fence-minimal persistence flavors: NVTraverse and link-free.
+
+   Covers the flavor-matrix plumbing added with the shootout: the canonical
+   [Persist_mode] parser round-trip, model agreement of both new flavors on
+   every structure, crash + recovery correctness (link-free recovery is a
+   full rebuild from validity words), recovery idempotence (recovering twice
+   back-to-back yields identical reachable sets and no double-frees), and
+   the fence-budget claim that NVTraverse spends strictly fewer fences per
+   operation than link-and-persist on read-heavy mixes. *)
+
+module I = Harness.Instance
+module PM = Lfds.Persist_mode
+
+(* --- satellite: Persist_mode.of_string/to_string round-trip ----------- *)
+
+let test_mode_round_trip () =
+  List.iter
+    (fun m ->
+      match PM.of_string (PM.to_string m) with
+      | Ok m' ->
+          Alcotest.(check string)
+            (PM.to_string m) (PM.to_string m) (PM.to_string m')
+      | Error e -> Alcotest.failf "round-trip %s: %s" (PM.to_string m) e)
+    PM.all;
+  (* Short flag spellings all land on the intended constructor. *)
+  List.iter
+    (fun (s, expect) ->
+      match PM.of_string s with
+      | Ok m ->
+          Alcotest.(check string) s (PM.to_string expect) (PM.to_string m)
+      | Error e -> Alcotest.failf "%s: %s" s e)
+    [
+      ("lp", PM.Link_persist);
+      ("lc", PM.Link_cache);
+      ("nvt", PM.Nvtraverse);
+      ("lf", PM.Link_free);
+      ("dram", PM.Volatile);
+    ];
+  (match PM.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "of_string must reject unknown spellings"
+  | Error _ -> ());
+  (* The harness-level parser covers every flavor plus the WAL baseline. *)
+  List.iter
+    (fun f ->
+      match I.flavor_of_string (I.flavor_name f) with
+      | Ok f' -> Alcotest.(check bool) (I.flavor_name f) true (f = f')
+      | Error e -> Alcotest.failf "flavor %s: %s" (I.flavor_name f) e)
+    I.all_flavors
+
+(* --- sequential model agreement --------------------------------------- *)
+
+let model_cases =
+  List.concat_map
+    (fun structure ->
+      List.map
+        (fun (flavor, tag) ->
+          Tutil.qt
+            (Tutil.model_property
+               ~name:
+                 (Printf.sprintf "%s/%s model" (I.structure_name structure) tag)
+               ~structure ~flavor ~count:25))
+        [ (I.Nvt, "nvt"); (I.Lf, "lf") ])
+    I.all_structures
+
+(* --- crash + recovery correctness ------------------------------------- *)
+
+let populate inst ~n =
+  for k = 1 to n do
+    ignore (inst.I.ops.Lfds.Set_intf.insert ~tid:0 ~key:k ~value:(k * 7))
+  done;
+  for k = 1 to n do
+    if k mod 3 = 0 then ignore (inst.I.ops.Lfds.Set_intf.remove ~tid:0 ~key:k)
+  done
+
+let expect ~n k = if k > n || k mod 3 = 0 then None else Some (k * 7)
+
+let check_contents name inst ~n =
+  for k = 1 to n + 8 do
+    let got = inst.I.ops.Lfds.Set_intf.search ~tid:0 ~key:k in
+    if got <> expect ~n k then
+      Alcotest.failf "%s: key %d holds %s" name k
+        (match got with None -> "nothing" | Some v -> string_of_int v)
+  done
+
+let crash_recover_case structure flavor () =
+  let inst = Tutil.mk ~size_hint:256 structure flavor in
+  let n = 240 in
+  populate inst ~n;
+  check_contents "pre-crash" inst ~n;
+  let inst, _, _ = I.crash_and_recover ~seed:0xC0FFEE inst in
+  check_contents "post-recovery" inst ~n;
+  (* The recovered structure must stay fully operational. *)
+  Alcotest.(check bool)
+    "reinsert" true
+    (inst.I.ops.Lfds.Set_intf.insert ~tid:0 ~key:3 ~value:33);
+  Alcotest.(check (option int))
+    "reinserted" (Some 33)
+    (inst.I.ops.Lfds.Set_intf.search ~tid:0 ~key:3)
+
+(* --- satellite: recovery idempotence ----------------------------------- *)
+
+(* Recover twice back-to-back (no ops in between): the reachable set must
+   be identical and nothing may be freed twice (the allocator's live count
+   must not shrink — a double-free would release survivors' slots). The
+   strict pre-crash contents check only applies to flavors whose acks are
+   durable at response time; link-cache legitimately loses acked operations
+   after the last cache flush. *)
+let idempotence_case structure flavor () =
+  let inst = Tutil.mk ~size_hint:256 structure flavor in
+  let n = 180 in
+  populate inst ~n;
+  let inst1, _, _ = I.crash_and_recover ~seed:0xFEED inst in
+  let allocated ctx =
+    Nvm.Nvalloc.allocated_count (Lfds.Ctx.allocator ctx) ~tid:0
+  in
+  let snapshot inst =
+    let l = ref [] in
+    for k = 1 to n + 8 do
+      match inst.I.ops.Lfds.Set_intf.search ~tid:0 ~key:k with
+      | Some v -> l := (k, v) :: !l
+      | None -> ()
+    done;
+    List.rev !l
+  in
+  if Lfds.Persist_mode.acks_durable (I.mode_of_flavor flavor) then
+    check_contents "first recovery" inst1 ~n;
+  let set1 = snapshot inst1 in
+  let live1 = allocated inst1.I.ctx in
+  let inst2, _, freed2 = I.recover_only inst1 in
+  Alcotest.(check int) "no leaks surfaced twice" 0 freed2;
+  Alcotest.(check bool) "identical reachable sets" true (snapshot inst2 = set1);
+  Alcotest.(check int) "live allocation count stable" live1
+    (allocated inst2.I.ctx)
+
+(* --- fence budget: nvt < lp on read-heavy mixes ------------------------ *)
+
+let fences_per_op structure flavor ~update_pct =
+  let inst = Tutil.mk ~size_hint:512 structure flavor in
+  Workload.Keygen.prefill inst.I.ops ~size:512 ~seed:11;
+  Nvm.Heap.reset_stats (Lfds.Ctx.heap inst.I.ctx);
+  let rng = Workload.Xoshiro.make ~seed:77 in
+  let ops = 4000 in
+  for _ = 1 to ops do
+    let key = 1 + Workload.Xoshiro.below rng 1024 in
+    if Workload.Xoshiro.below rng 100 < update_pct then begin
+      if Workload.Xoshiro.chance rng ~num:1 ~den:2 then
+        ignore (inst.I.ops.Lfds.Set_intf.insert ~tid:0 ~key ~value:key)
+      else ignore (inst.I.ops.Lfds.Set_intf.remove ~tid:0 ~key)
+    end
+    else ignore (inst.I.ops.Lfds.Set_intf.search ~tid:0 ~key)
+  done;
+  let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap inst.I.ctx) in
+  float_of_int st.Nvm.Pstats.fences /. float_of_int ops
+
+let fence_budget_case structure () =
+  List.iter
+    (fun update_pct ->
+      let lp = fences_per_op structure I.Lp ~update_pct in
+      let nvt = fences_per_op structure I.Nvt ~update_pct in
+      let lf = fences_per_op structure I.Lf ~update_pct in
+      if nvt >= lp then
+        Alcotest.failf "%d%% updates: nvt %.3f fences/op >= lp %.3f"
+          update_pct nvt lp;
+      if lf >= lp then
+        Alcotest.failf "%d%% updates: lf %.3f fences/op >= lp %.3f" update_pct
+          lf lp)
+    [ 10; 50 ]
+
+let all4 case flavor =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s/%s" (I.structure_name s) (I.flavor_name flavor))
+        `Quick (case s flavor))
+    I.all_structures
+
+let () =
+  Alcotest.run "flavors"
+    [
+      ( "parser",
+        [ Alcotest.test_case "persist-mode round-trip" `Quick test_mode_round_trip ] );
+      ("model", model_cases);
+      ("crash-recover", all4 crash_recover_case I.Nvt @ all4 crash_recover_case I.Lf);
+      ( "recover-idempotent",
+        List.concat_map
+          (fun f -> all4 idempotence_case f)
+          [ I.Lp; I.Lc; I.Nvt; I.Lf ] );
+      ( "fence-budget",
+        List.map
+          (fun s ->
+            Alcotest.test_case (I.structure_name s) `Quick (fence_budget_case s))
+          I.all_structures );
+    ]

@@ -32,10 +32,11 @@ let clean_single structure flavor () =
   let inst = Tutil.mk ~size_hint:256 structure flavor in
   let heap = Lfds.Ctx.heap inst.I.ctx in
   let cfg =
-    match flavor with
-    | I.Volatile ->
-        { (nvsan_config inst.I.ctx) with durable = false }
-    | _ -> nvsan_config ~strict:true inst.I.ctx
+    {
+      (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor)) with
+      strict_deref = flavor <> I.Volatile;
+      root_limit = Lfds.Ctx.static_limit inst.I.ctx;
+    }
   in
   let san = Sanitizer.Nvsan.attach ~config:cfg heap in
   let rng = Workload.Xoshiro.make ~seed:7 in
@@ -145,13 +146,14 @@ let injected_baseline () =
 
 (* ---- crash-state enumeration ------------------------------------------ *)
 
-let enum structure ~trip_stop ~trip_step () =
+let enum ?(flavor = I.Lp) structure ~trip_stop ~trip_step () =
   let r =
-    Sanitizer.Crash_enum.run ~structure ~trip_start:3 ~trip_stop ~trip_step
-      ~max_dirty:10 ()
+    Sanitizer.Crash_enum.run ~structure ~flavor ~trip_start:3 ~trip_stop
+      ~trip_step ~max_dirty:10 ()
   in
-  Printf.printf "%s: %s\n%!"
+  Printf.printf "%s/%s: %s\n%!"
     (I.structure_name structure)
+    (I.flavor_name flavor)
     (Format.asprintf "%a" Sanitizer.Crash_enum.pp_result r);
   check_bool "some trips crashed" true (r.Sanitizer.Crash_enum.crashes > 0);
   check_bool "some states enumerated" true
@@ -173,6 +175,7 @@ let () =
     [
       ( "clean-single",
         all4 clean_single I.Lp @ all4 clean_single I.Lc
+        @ all4 clean_single I.Nvt @ all4 clean_single I.Lf
         @ all4 clean_single I.Volatile );
       ( "clean-multi",
         List.map
@@ -198,5 +201,21 @@ let () =
             (enum I.Skiplist ~trip_stop:320 ~trip_step:13);
           Alcotest.test_case "bst" `Slow
             (enum I.Bst ~trip_stop:320 ~trip_step:13);
+          Alcotest.test_case "list/nvt" `Quick
+            (enum ~flavor:I.Nvt I.List ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "hash/nvt" `Quick
+            (enum ~flavor:I.Nvt I.Hash ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "skiplist/nvt" `Slow
+            (enum ~flavor:I.Nvt I.Skiplist ~trip_stop:320 ~trip_step:13);
+          Alcotest.test_case "bst/nvt" `Slow
+            (enum ~flavor:I.Nvt I.Bst ~trip_stop:320 ~trip_step:13);
+          Alcotest.test_case "list/lf" `Quick
+            (enum ~flavor:I.Lf I.List ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "hash/lf" `Quick
+            (enum ~flavor:I.Lf I.Hash ~trip_stop:240 ~trip_step:11);
+          Alcotest.test_case "skiplist/lf" `Slow
+            (enum ~flavor:I.Lf I.Skiplist ~trip_stop:320 ~trip_step:13);
+          Alcotest.test_case "bst/lf" `Slow
+            (enum ~flavor:I.Lf I.Bst ~trip_stop:320 ~trip_step:13);
         ] );
     ]
