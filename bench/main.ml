@@ -1130,6 +1130,77 @@ let smoke_loadgen opts =
     (batched_tp /. Float.max 1. eager_tp)
     (eager_fpr /. Float.max 1e-9 batched_fpr)
 
+(* Checker cost: one fixed workload (hash/lp, the fig5 smoke point) with no
+   observer, NVRace, NVSan, and both attached. The headline number is the
+   checkers-off point staying within noise of the ordinary throughput
+   path — an unobserved heap must not pay for the checkers' existence;
+   the slowdown factors of the attached runs are informational. *)
+let checkers opts =
+  let mix = Keygen.update_only in
+  let size = 1024 in
+  let structure = I.Hash and flavor = I.Lp in
+  let point checker =
+    let inst =
+      I.create ~nthreads:1 ~size_hint:size ~latency:(latency opts) ~structure
+        ~flavor ()
+    in
+    let heap = Lfds.Ctx.heap inst.ctx in
+    let root_limit = Lfds.Ctx.static_limit inst.ctx in
+    (* Attach before prefill so allocation tracking sees every node. *)
+    let det =
+      if checker = "nvrace" || checker = "nvsan+nvrace" then
+        Some
+          (Sanitizer.Nvrace.attach
+             ~config:{ (Sanitizer.Nvrace.default_config ()) with root_limit }
+             heap)
+      else None
+    in
+    let san =
+      if checker = "nvsan" || checker = "nvsan+nvrace" then
+        Some
+          (Sanitizer.Nvsan.attach
+             ~config:
+               {
+                 (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor))
+                 with
+                 root_limit;
+               }
+             heap)
+      else None
+    in
+    Keygen.prefill inst.ops ~size ~seed:opts.seed;
+    Nvm.Heap.reset_stats heap;
+    let r =
+      Run.throughput ~nthreads:1 ~duration:opts.duration
+        ~step:(Run.set_workload inst.ops ~mix ~range:(Keygen.range_for ~size))
+        ~seed:opts.seed ()
+    in
+    Option.iter Sanitizer.Nvsan.detach san;
+    Option.iter Sanitizer.Nvrace.detach det;
+    Json_out.add ~kind:"checkers"
+      Json_out.
+        [
+          ("structure", S (I.structure_name structure));
+          ("flavor", S (I.flavor_name flavor));
+          ("checker", S checker);
+          ("size", I size);
+          ("threads", I 1);
+          ("duration", F opts.duration);
+          ("write_ns", I (base_write_ns opts));
+          ("seed", I opts.seed);
+          ("ops_per_s", F r.throughput);
+        ];
+    r.throughput
+  in
+  let off = point "off" in
+  pr "checkers off: %s\n%!" (Report.human_ops off);
+  List.iter
+    (fun c ->
+      let tp = point c in
+      pr "checkers %s: %s (%.2fx slowdown)\n%!" c (Report.human_ops tp)
+        (off /. tp))
+    [ "nvrace"; "nvsan"; "nvsan+nvrace" ]
+
 let smoke opts =
   let mix = Keygen.update_only in
   let size = 1024 in
@@ -1269,6 +1340,9 @@ let () =
         "Five-way persistence-flavor shootout: fences/op, throughput, recovery"
         flavors_exp;
       cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
+      cmd "checkers"
+        "Observer overhead: checkers-off vs NVRace/NVSan-attached throughput"
+        checkers;
       cmd "smoke" "Sub-second trajectory probe (fig5 hash point)" smoke;
       cmd "all" "Run every experiment" run_all;
     ]

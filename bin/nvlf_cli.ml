@@ -134,9 +134,82 @@ let drill structure rounds seed =
 
 (* sanitize: NVSan online pass over every durable flavor, then exhaustive
    small-scope crash-state enumeration per flavor. Exit 1 on any violation
-   — the CI gate. *)
-let sanitize structure ops max_dirty seed =
+   — the CI gate. With [--races], also run NVRace: contended clean runs
+   per flavor must report zero races, and every injected racy corpus
+   variant must be flagged with its expected violation class. *)
+let sanitize structure ops max_dirty seed races =
   let failed = ref false in
+  let race_gate () =
+    (* Clean gate: the real structure under 2-domain contention. *)
+    List.iter
+      (fun flavor ->
+        let inst = I.create ~nthreads:2 ~size_hint:256 ~structure ~flavor () in
+        let det =
+          Sanitizer.Nvrace.attach
+            ~config:
+              {
+                (Sanitizer.Nvrace.default_config ()) with
+                root_limit = Lfds.Ctx.static_limit inst.ctx;
+              }
+            (Lfds.Ctx.heap inst.ctx)
+        in
+        let worker tid () =
+          let rng = Xoshiro.make ~seed:(seed + (tid * 37)) in
+          for _ = 1 to ops / 2 do
+            let key = Xoshiro.in_range rng ~lo:1 ~hi:64 in
+            match Xoshiro.below rng 3 with
+            | 0 -> ignore (inst.ops.insert ~tid ~key ~value:key)
+            | 1 -> ignore (inst.ops.remove ~tid ~key)
+            | _ -> ignore (inst.ops.search ~tid ~key)
+          done
+        in
+        let ds = List.init 2 (fun tid -> Domain.spawn (worker tid)) in
+        List.iter Domain.join ds;
+        Sanitizer.Nvrace.detach det;
+        List.iter
+          (fun v -> print_endline (Sanitizer.Nvrace.violation_to_string v))
+          (Sanitizer.Nvrace.violations det);
+        let n = Sanitizer.Nvrace.violation_count det in
+        Printf.printf "races %s/%s: %d ops over 2 domains, %d race(s)\n%!"
+          (I.structure_name structure) (I.flavor_name flavor) ops n;
+        if n > 0 then failed := true)
+      [ I.Lp; I.Lc; I.Nvt; I.Lf ];
+    (* Detection gate: every injected racy variant must be flagged. *)
+    List.iter
+      (fun race ->
+        let ctx =
+          Lfds.Ctx.create
+            {
+              (Lfds.Ctx.default_config ()) with
+              size_words = 1 lsl 18;
+              nthreads = 2;
+            }
+        in
+        let det =
+          Sanitizer.Nvrace.attach
+            ~config:
+              {
+                (Sanitizer.Nvrace.default_config ()) with
+                root_limit = Lfds.Ctx.static_limit ctx;
+              }
+            (Lfds.Ctx.heap ctx)
+        in
+        Injected.Race_list.run_scenario ctx race;
+        Sanitizer.Nvrace.detach det;
+        let want = Injected.Race_list.expected_code race in
+        let codes =
+          List.map
+            (fun v -> v.Sanitizer.Nvrace.code)
+            (Sanitizer.Nvrace.violations det)
+        in
+        let hit = List.mem want codes in
+        Printf.printf "races injected/%s: want %s, got [%s] — %s\n%!"
+          (Injected.Race_list.race_name race)
+          want (String.concat "," codes)
+          (if hit then "flagged" else "MISSED");
+        if not hit then failed := true)
+      Injected.Race_list.all_races
+  in
   List.iter
     (fun flavor ->
       let inst = I.create ~nthreads:1 ~size_hint:256 ~structure ~flavor () in
@@ -173,6 +246,42 @@ let sanitize structure ops max_dirty seed =
       List.iter print_endline r.Sanitizer.Crash_enum.violations;
       if r.Sanitizer.Crash_enum.violations <> [] then failed := true)
     [ I.Lp; I.Nvt; I.Lf ];
+  if races then race_gate ();
+  if !failed then exit 1
+
+(* lincheck: recorded-history linearizability over live multi-domain runs
+   for every flavor, then crash-composed durable linearizability for the
+   durable flavors. Exit 1 if any history fails — the CI gate. *)
+let lincheck structure nthreads ops_per_thread seed =
+  let failed = ref false in
+  let show name (o : Sanitizer.Lincheck.outcome) =
+    Printf.printf "lincheck %s: %s\n%!" name
+      (Format.asprintf "%a" Sanitizer.Lincheck.pp_outcome o);
+    if not (Sanitizer.Lincheck.ok o) then failed := true
+  in
+  List.iter
+    (fun flavor ->
+      let o =
+        Sanitizer.Lincheck.live_check ~nthreads ~ops_per_thread ~key_range:24
+          ~seed ~structure ~flavor ()
+      in
+      show
+        (Printf.sprintf "%s/%s/live" (I.structure_name structure)
+           (I.flavor_name flavor))
+        o)
+    [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf ];
+  List.iter
+    (fun flavor ->
+      let o =
+        Sanitizer.Lincheck.durable_check ~nthreads:2
+          ~total_ops:(nthreads * ops_per_thread) ~key_range:24 ~seed ~trip:400
+          ~structure ~flavor ()
+      in
+      show
+        (Printf.sprintf "%s/%s/durable" (I.structure_name structure)
+           (I.flavor_name flavor))
+        o)
+    [ I.Lp; I.Lc; I.Nvt; I.Lf ];
   if !failed then exit 1
 
 (* run: one timed workload with a final summary. *)
@@ -338,10 +447,40 @@ let sanitize_cmd =
       & info [ "max-dirty" ]
           ~doc:"Enumerate crash states for trips with up to this many dirty lines.")
   in
+  let races =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Also run NVRace: contended clean runs must be race-free and \
+             every injected racy variant must be flagged.")
+  in
   Cmd.v
     (Cmd.info "sanitize"
        ~doc:"NVSan pass + exhaustive crash-state enumeration (exit 1 on violation)")
-    Term.(const sanitize $ structure $ ops $ max_dirty $ seed_arg)
+    Term.(const sanitize $ structure $ ops $ max_dirty $ seed_arg $ races)
+
+let lincheck_cmd =
+  let structure =
+    Arg.(
+      value
+      & opt structure_conv I.Hash
+      & info [ "structure"; "struct" ] ~doc:"list | hash | skiplist | bst")
+  in
+  let nthreads =
+    Arg.(
+      value & opt int 2
+      & info [ "threads" ] ~doc:"Recording domains for the live check (2-4).")
+  in
+  let ops =
+    Arg.(value & opt int 150 & info [ "ops" ] ~doc:"Ops per thread.")
+  in
+  Cmd.v
+    (Cmd.info "lincheck"
+       ~doc:
+         "Linearizability of recorded histories (live runs per flavor, \
+          crash-composed durable runs for lp/lc/nvt/lf); exit 1 on failure")
+    Term.(const lincheck $ structure $ nthreads $ ops $ seed_arg)
 
 let run_cmd =
   let flavor =
@@ -406,15 +545,7 @@ let top_cmd =
 let mode_conv =
   let parse s =
     match Lfds.Persist_mode.of_string s with
-    | Ok
-        ((Lfds.Persist_mode.Volatile | Lfds.Persist_mode.Link_persist
-         | Lfds.Persist_mode.Link_cache) as m) ->
-        Ok m
-    | Ok ((Lfds.Persist_mode.Nvtraverse | Lfds.Persist_mode.Link_free) as m) ->
-        Error
-          (`Msg
-             (Lfds.Persist_mode.to_string m
-             ^ " is not wired into the server store yet (use volatile|lp|lc)"))
+    | Ok m -> Ok m
     | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Lfds.Persist_mode.to_string m))
@@ -438,6 +569,8 @@ let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
     (if r.Server.Drill.torn then "injected" else "not injected")
     c.Server.Drill.eviction_probability r.Server.Drill.acked_keys
     r.Server.Drill.inflight_keys;
+  Printf.printf "persistence: %d fences before the kill (%.2f per request)\n"
+    r.Server.Drill.fences r.Server.Drill.fences_per_req;
   Printf.printf
     "recovery: layout %s + attach/sweep %s = %s total; %d leaked nodes freed, \
      %d residual\n"
@@ -655,7 +788,7 @@ let mode_arg =
   Arg.(
     value
     & opt mode_conv Lfds.Persist_mode.Link_persist
-    & info [ "mode" ] ~doc:"volatile | lp | lc")
+    & info [ "mode" ] ~doc:"volatile | lp | lc | nvt | lf")
 
 let conns_arg =
   Arg.(value & opt int 4 & info [ "conns" ] ~doc:"Client connections.")
@@ -766,6 +899,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            stats_cmd; drill_cmd; run_cmd; sanitize_cmd; trace_cmd; top_cmd;
-            serve_cmd; loadgen_cmd;
+            stats_cmd; drill_cmd; run_cmd; sanitize_cmd; lincheck_cmd;
+            trace_cmd; top_cmd; serve_cmd; loadgen_cmd;
           ]))

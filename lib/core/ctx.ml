@@ -83,7 +83,7 @@ let layout (cfg : config) =
 
 let build heap (cfg : config) ~fresh ~alloc =
   let root_base, static_base, apt_base, log_base, _, _ = layout cfg in
-  let epoch = Epoch.create ~nthreads:cfg.nthreads in
+  let epoch = Epoch.create ~heap ~nthreads:cfg.nthreads () in
   let apt =
     Active_page_table.create heap ~base:apt_base ~nthreads:cfg.nthreads
       ~entries_max:cfg.apt_entries ~trim_threshold:cfg.trim_threshold ()
@@ -194,7 +194,7 @@ let allocator t = Nv_epochs.allocator t.mem
     operation for an attached heap observer (violation reports and trace
     spans name the offending op) and [key] carries its key argument; pass a
     static string, both are only consulted when an observer is attached. *)
-let with_op_c ?(name = "op") ?(key = 0) (t : t) cu f =
+let with_op_c ?(name = "op") ?(key = 0) ?ret (t : t) cu f =
   let tid = Heap.Cursor.tid cu in
   let obs = Heap.observed t.heap in
   if obs then Heap.annotate t.heap ~tid (Heap.A_op_begin { name; key });
@@ -214,7 +214,12 @@ let with_op_c ?(name = "op") ?(key = 0) (t : t) cu f =
       | Persist_mode.Link_cache ->
           ());
       Nv_epochs.op_end_c t.mem cu;
-      if obs then Heap.annotate t.heap ~tid Heap.A_op_end;
+      if obs then begin
+        let ret =
+          match ret with Some enc -> enc v | None -> Heap.op_ret_unknown
+        in
+        Heap.annotate t.heap ~tid (Heap.A_op_end { ret })
+      end;
       v
   | exception e ->
       (* A crash exception aborts mid-operation; the epoch is left odd, as a
@@ -224,9 +229,11 @@ let with_op_c ?(name = "op") ?(key = 0) (t : t) cu f =
       | Heap.Crashed -> ()
       | _ ->
           Nv_epochs.op_end_c t.mem cu;
-          if obs then Heap.annotate t.heap ~tid Heap.A_op_end);
+          if obs then
+            Heap.annotate t.heap ~tid
+              (Heap.A_op_end { ret = Heap.op_ret_unknown }));
       raise e
 
 (** Bracket an operation with epoch enter/exit. *)
-let with_op ?name ?key (t : t) ~tid f =
-  with_op_c ?name ?key t (Heap.cursor t.heap ~tid) (fun _cu -> f ())
+let with_op ?name ?key ?ret (t : t) ~tid f =
+  with_op_c ?name ?key ?ret t (Heap.cursor t.heap ~tid) (fun _cu -> f ())

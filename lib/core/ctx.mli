@@ -75,9 +75,25 @@ val allocator : t -> Nvm.Nvalloc.t
     thread would leave it. [name] labels the operation and [key] carries its
     key argument for an attached heap observer (pass a static string; both
     are only consulted when one is attached). *)
-val with_op : ?name:string -> ?key:int -> t -> tid:int -> (unit -> 'a) -> 'a
+val with_op :
+  ?name:string ->
+  ?key:int ->
+  ?ret:('a -> int) ->
+  t ->
+  tid:int ->
+  (unit -> 'a) ->
+  'a
 
 (** [with_op] threading a pre-fetched cursor to the body — structures fetch
-    the cursor once per operation and stay on the [_c] APIs inside. *)
+    the cursor once per operation and stay on the [_c] APIs inside. [ret]
+    encodes the result into [A_op_end] for history recorders (only consulted
+    when an observer is attached); without it the response is recorded as
+    [Nvm.Heap.op_ret_unknown]. *)
 val with_op_c :
-  ?name:string -> ?key:int -> t -> Nvm.Heap.cursor -> (Nvm.Heap.cursor -> 'a) -> 'a
+  ?name:string ->
+  ?key:int ->
+  ?ret:('a -> int) ->
+  t ->
+  Nvm.Heap.cursor ->
+  (Nvm.Heap.cursor -> 'a) ->
+  'a

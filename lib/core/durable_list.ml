@@ -246,15 +246,15 @@ let ops ctx ~head =
     Set_intf.name = "durable-list(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op_c ~name:"list.insert" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"list.insert" ~key ~ret:Set_intf.ret_bool ctx (Ctx.cursor ctx ~tid) (fun cu ->
             insert_c ctx cu ~head ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"list.remove" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"list.remove" ~key ~ret:Set_intf.ret_bool ctx (Ctx.cursor ctx ~tid) (fun cu ->
             remove_c ctx cu ~head ~key));
     search =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"list.search" ~key ctx (Ctx.cursor ctx ~tid) (fun cu ->
+        Ctx.with_op_c ~name:"list.search" ~key ~ret:Set_intf.ret_opt ctx (Ctx.cursor ctx ~tid) (fun cu ->
             search_c ctx cu ~head ~key));
     size = (fun () -> size ctx ~tid:0 ~head);
   }

@@ -421,15 +421,15 @@ let ops ctx t =
       "durable-skiplist(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
     insert =
       (fun ~tid ~key ~value ->
-        Ctx.with_op_c ~name:"skiplist.insert" ~key ctx (Ctx.cursor ctx ~tid)
+        Ctx.with_op_c ~name:"skiplist.insert" ~key ~ret:Set_intf.ret_bool ctx (Ctx.cursor ctx ~tid)
           (fun cu -> insert_c ctx t cu ~key ~value));
     remove =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"skiplist.remove" ~key ctx (Ctx.cursor ctx ~tid)
+        Ctx.with_op_c ~name:"skiplist.remove" ~key ~ret:Set_intf.ret_bool ctx (Ctx.cursor ctx ~tid)
           (fun cu -> remove_c ctx t cu ~key));
     search =
       (fun ~tid ~key ->
-        Ctx.with_op_c ~name:"skiplist.search" ~key ctx (Ctx.cursor ctx ~tid)
+        Ctx.with_op_c ~name:"skiplist.search" ~key ~ret:Set_intf.ret_opt ctx (Ctx.cursor ctx ~tid)
           (fun cu -> search_c ctx t cu ~key));
     size = (fun () -> size ctx ~tid:0 t);
   }

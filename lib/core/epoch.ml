@@ -6,40 +6,90 @@
     counter — i.e. once the current epoch vector dominates the vector recorded
     at unlink time on the active positions. This is the volatile core of
     NV-epochs; nothing here needs to survive a crash (a restart empties all
-    thread states by definition). *)
+    thread states by definition).
 
-type t = { counters : int Atomic.t array; nthreads : int }
+    The counters are OCaml [Atomic]s, invisible to the heap's observer
+    stream — yet they carry the happens-before edges the reclamation
+    protocol rests on (a reader's epoch exit happens-before the collector's
+    grace-period check). When a heap is supplied at [create], the counter
+    traffic is announced to attached observers as [A_hb_release] (enter /
+    exit: the thread publishes its causal past through its counter) and
+    [A_hb_acquire] (snapshot / safe: the caller happens-after every counter
+    it read), keyed by the virtual object [Nvm.Heap.epoch_hb_obj]. Race
+    detectors replay these as vector-clock joins. *)
 
-let create ~nthreads =
+type t = {
+  counters : int Atomic.t array;
+  nthreads : int;
+  heap : Nvm.Heap.t option;
+}
+
+let create ?heap ~nthreads () =
   if nthreads < 1 || nthreads > Nvm.Pstats.max_threads then
     invalid_arg "Epoch.create";
-  { counters = Array.init nthreads (fun _ -> Atomic.make 0); nthreads }
+  { counters = Array.init nthreads (fun _ -> Atomic.make 0); nthreads; heap }
 
 let nthreads t = t.nthreads
 let current t ~tid = Atomic.get t.counters.(tid)
 let is_active e = e land 1 = 1
 
+(* Announce that [tid] released through (or acquired) counter [obj_tid]'s
+   virtual sync object. Only consulted when an observer is attached. *)
+let note_release t ~tid =
+  match t.heap with
+  | Some heap when Nvm.Heap.observed heap ->
+      Nvm.Heap.annotate heap ~tid
+        (Nvm.Heap.A_hb_release { obj = Nvm.Heap.epoch_hb_obj ~tid })
+  | _ -> ()
+
+let note_acquire t ~tid ~obj_tid =
+  match t.heap with
+  | Some heap when Nvm.Heap.observed heap ->
+      Nvm.Heap.annotate heap ~tid
+        (Nvm.Heap.A_hb_acquire { obj = Nvm.Heap.epoch_hb_obj ~tid:obj_tid })
+  | _ -> ()
+
 (** Begin an operation: step the counter to odd. *)
 let enter t ~tid =
   let e = Atomic.get t.counters.(tid) in
   assert (not (is_active e));
-  Atomic.set t.counters.(tid) (e + 1)
+  Atomic.set t.counters.(tid) (e + 1);
+  note_release t ~tid
 
 (** End an operation: step the counter to even. *)
 let exit t ~tid =
   let e = Atomic.get t.counters.(tid) in
   assert (is_active e);
-  Atomic.set t.counters.(tid) (e + 1)
+  Atomic.set t.counters.(tid) (e + 1);
+  note_release t ~tid
 
-(** The current epoch vector. *)
-let snapshot t = Array.init t.nthreads (fun i -> Atomic.get t.counters.(i))
+(** The current epoch vector. [tid] names the reading thread for the
+    observer stream; callers off the reclamation path may omit it and forgo
+    the happens-before announcement. *)
+let snapshot ?tid t =
+  let snap = Array.init t.nthreads (fun i -> Atomic.get t.counters.(i)) in
+  (match tid with
+  | Some tid ->
+      for i = 0 to t.nthreads - 1 do
+        note_acquire t ~tid ~obj_tid:i
+      done
+  | None -> ());
+  snap
 
 (** [safe t snap] is true once every thread that was active (odd) in [snap]
     has advanced past its snapshotted epoch, so no references taken before
-    the snapshot can still be held. *)
-let safe t snap =
+    the snapshot can still be held. On success the caller happens-after
+    every tracked epoch exit ([A_hb_acquire] per counter when [tid] is
+    given). *)
+let safe ?tid t snap =
   let ok = ref true in
   for i = 0 to t.nthreads - 1 do
     if is_active snap.(i) && Atomic.get t.counters.(i) = snap.(i) then ok := false
   done;
+  (match tid with
+  | Some tid when !ok ->
+      for i = 0 to t.nthreads - 1 do
+        note_acquire t ~tid ~obj_tid:i
+      done
+  | _ -> ());
   !ok

@@ -1,11 +1,16 @@
 (** Epoch-based quiescence detection (paper section 5.2). Each thread's
     counter is odd while inside an operation; an unlinked node is safe to
     free once the epoch vector has advanced past the snapshot taken at
-    unlink time on all then-active positions. Volatile state only. *)
+    unlink time on all then-active positions. Volatile state only.
+
+    With a [heap] supplied at [create], counter traffic is announced to
+    attached heap observers as [A_hb_release] / [A_hb_acquire] on the
+    virtual sync object [Nvm.Heap.epoch_hb_obj] — the happens-before edges
+    a race detector needs to see the reclamation protocol's ordering. *)
 
 type t
 
-val create : nthreads:int -> t
+val create : ?heap:Nvm.Heap.t -> nthreads:int -> unit -> t
 val nthreads : t -> int
 val current : t -> tid:int -> int
 val is_active : int -> bool
@@ -16,7 +21,10 @@ val enter : t -> tid:int -> unit
 (** End an operation: step the counter to even. *)
 val exit : t -> tid:int -> unit
 
-val snapshot : t -> int array
+(** The current epoch vector. [tid] names the reading thread so the reads
+    can be announced as acquire edges; omit it off the reclamation path. *)
+val snapshot : ?tid:int -> t -> int array
 
-(** True once every thread active in the snapshot has since advanced. *)
-val safe : t -> int array -> bool
+(** True once every thread active in the snapshot has since advanced. When
+    [tid] is given, a successful check announces the acquire edges. *)
+val safe : ?tid:int -> t -> int array -> bool

@@ -28,6 +28,11 @@ let invalid = 0
 let valid = 1
 let deleted = 2
 
+(* A fourth verdict for heterogeneous heaps (the KV cache): a committed
+   {e item} payload, distinct from [valid] so a recovery scan can tell an
+   item slot from a structure-node slot by its validity word alone. *)
+let valid_item = 3
+
 let announce heap cu ~addr ~state =
   if Heap.observed heap then
     Heap.annotate heap ~tid:(Heap.Cursor.tid cu) (Heap.A_validity { addr; state })
@@ -48,18 +53,23 @@ let init_c ctx cu ~validity_word ~state =
     announce (Ctx.heap ctx) cu ~addr:validity_word ~state
   end
 
-(** Record a deletion: store [deleted], announce, and queue the write-back.
+(** Record a deletion: CAS in [deleted], announce, and queue the write-back.
     Idempotent and open to helpers — any thread that observes a deleted
-    mark may call this; if the word already reads [deleted] only a dirty
-    line is re-queued (clean lines cost nothing), so steady-state
+    mark may call this, and because concurrent helpers record the same
+    verdict the transition must be a CAS, not a plain store (two unordered
+    plain stores to a shared word are a data race, even when they agree).
+    Losing the CAS means another helper already recorded it; either way the
+    write-back is queued, and if the word already reads [deleted] only a
+    dirty line is re-queued (clean lines cost nothing), so steady-state
     traversals stay free. The caller's op-end covering fence makes the
     transition durable before any response that depends on it. *)
 let mark_deleted_c ctx cu ~validity_word =
   if active ctx then begin
     let heap = Ctx.heap ctx in
-    if Heap.Cursor.load cu validity_word <> deleted then begin
-      Heap.Cursor.store cu validity_word deleted;
-      announce heap cu ~addr:validity_word ~state:deleted;
+    let cur = Heap.Cursor.load cu validity_word in
+    if cur <> deleted then begin
+      if Heap.Cursor.cas cu validity_word ~expected:cur ~desired:deleted then
+        announce heap cu ~addr:validity_word ~state:deleted;
       Heap.Cursor.write_back cu validity_word
     end
     else if Heap.line_is_dirty heap (Cacheline.line_of_addr validity_word) then

@@ -11,6 +11,10 @@ val valid : int
 val deleted : int
 (** 2 — removed; durable before the remove's response. *)
 
+val valid_item : int
+(** 3 — committed KV-cache item payload; distinct from [valid] so a
+    recovery scan can classify slots by validity word alone. *)
+
 val active : Ctx.t -> bool
 (** True iff the context runs in link-free mode. *)
 
@@ -18,7 +22,7 @@ val active : Ctx.t -> bool
     pre-publish fence persists contents and verdict together. *)
 val init_c : Ctx.t -> Nvm.Heap.cursor -> validity_word:int -> state:int -> unit
 
-(** Record (or help record) a deletion: store [deleted] if not already
+(** Record (or help record) a deletion: CAS in [deleted] if not already
     there, announce [Heap.A_validity], queue the write-back. Idempotent;
     clean already-deleted words cost nothing. *)
 val mark_deleted_c : Ctx.t -> Nvm.Heap.cursor -> validity_word:int -> unit

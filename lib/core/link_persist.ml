@@ -19,7 +19,13 @@
 
     Every primitive has a [_c] form taking the caller's heap cursor; the
     [~tid] forms are shims for cold paths and tests. Structure traversals
-    should fetch the cursor once ([Ctx.cursor]) and stay on the [_c] API. *)
+    should fetch the cursor once ([Ctx.cursor]) and stay on the [_c] API.
+
+    Race-model contract (NVRace): every shared-link mutation in this module
+    is a CAS — including the helping path's mark-clear — never a plain
+    store. That is what lets the detector treat a plain store as a private
+    ownership claim: publishing or editing a reachable link through
+    anything but [cas_link] is, by construction, a [racy-store]. *)
 
 open Nvm
 

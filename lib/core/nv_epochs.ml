@@ -108,7 +108,7 @@ let free_generation t cu gen =
          {
            nodes = gen.nodes;
            snapshot = gen.snapshot;
-           current = Epoch.snapshot t.epoch;
+           current = Epoch.snapshot ~tid t.epoch;
          });
   List.iter (fun addr -> Nvalloc.free_c t.alloc cu addr) gen.nodes;
   Heap.Cursor.fence cu;
@@ -118,7 +118,7 @@ let try_collect t cu =
   let q = t.limbo.(Heap.Cursor.tid cu) in
   let rec loop () =
     match Queue.peek_opt q with
-    | Some gen when Epoch.safe t.epoch gen.snapshot ->
+    | Some gen when Epoch.safe ~tid:(Heap.Cursor.tid cu) t.epoch gen.snapshot ->
         ignore (Queue.pop q);
         free_generation t cu gen;
         loop ()
@@ -134,7 +134,9 @@ let try_collect t cu =
 
 let seal t ~tid =
   if t.open_count.(tid) > 0 then begin
-    let gen = { snapshot = Epoch.snapshot t.epoch; nodes = !(t.open_batch.(tid)) } in
+    let gen =
+      { snapshot = Epoch.snapshot ~tid t.epoch; nodes = !(t.open_batch.(tid)) }
+    in
     Queue.push gen t.limbo.(tid);
     t.open_batch.(tid) := [];
     t.open_count.(tid) <- 0

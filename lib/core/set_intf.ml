@@ -20,6 +20,14 @@ type ops = {
 
 let contains t ~tid ~key = Option.is_some (t.search ~tid ~key)
 
+(** [A_op_end] result encoders shared by every structure's op wrappers, so
+    history recorders (Lincheck) see one response alphabet: insert/remove
+    answer 0/1, search answers the value or [-1] for absent. Values are
+    positive (see above), so [-1] cannot collide. *)
+let ret_bool b = if b then 1 else 0
+
+let ret_opt = function None -> -1 | Some v -> v
+
 (** Minimum and maximum user keys (sentinel space is reserved outside). *)
 let min_key = 1
 

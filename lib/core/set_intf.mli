@@ -18,3 +18,11 @@ val contains : ops -> tid:int -> key:int -> bool
 val min_key : int
 
 val max_key : int
+
+(** [A_op_end] result encoders shared by every structure's op wrappers:
+    insert/remove answer 0/1, search the value or [-1] for absent (values
+    are positive, so [-1] cannot collide). One response alphabet for
+    history recorders. *)
+val ret_bool : bool -> int
+
+val ret_opt : int option -> int

@@ -7,24 +7,27 @@
     only the slabs active at crash time.
 
     Layout: {v +0 key-hash  +1 (key_len << 24) | val_len  +2 expiry (ms since
-    epoch; 0 = never)  +3.. key bytes, then value bytes v} *)
+    epoch; 0 = never)  +3 validity ([Link_free.valid_item] under link-free
+    mode, the verdict a link-free recovery scan classifies slots by)
+    +4.. key bytes, then value bytes v} *)
 
 open Nvm
 
 let hash_of item = item
 let lens_of item = item + 1
 let expiry_of item = item + 2
+let validity_of item = item + 3
 let key_words len = Strpack.words_needed len
-let key_addr item = item + 3
-let value_addr item ~key_len = item + 3 + key_words key_len
+let key_addr item = item + 4
+let value_addr item ~key_len = item + 4 + key_words key_len
 
 let words_for ~key_len ~val_len =
-  let words = 3 + key_words key_len + Strpack.words_needed val_len in
+  let words = 4 + key_words key_len + Strpack.words_needed val_len in
   let rounded =
     (words + Cacheline.words_per_line - 1)
     / Cacheline.words_per_line * Cacheline.words_per_line
   in
-  if rounded > 64 then invalid_arg "Item: key+value too large (max ~420 bytes)";
+  if rounded > 64 then invalid_arg "Item: key+value too large (max ~412 bytes)";
   rounded
 
 let key_len item cu = Heap.Cursor.load cu (lens_of item) lsr 24
@@ -40,8 +43,14 @@ let alloc_c ?(expire_at = 0.) ctx cu ~key ~value =
   Heap.Cursor.store cu (hash_of item) (Strpack.hash key);
   Heap.Cursor.store cu (lens_of item) ((key_len lsl 24) lor val_len);
   Heap.Cursor.store cu (expiry_of item) (int_of_float (expire_at *. 1000.));
+  Heap.Cursor.store cu (validity_of item) Lfds.Link_free.invalid;
   Strpack.write_c cu ~addr:(key_addr item) key;
   Strpack.write_c cu ~addr:(value_addr item ~key_len) value;
+  (* Under link-free mode the verdict word, not reachability, decides
+     recovery: stamp [valid_item] so the pre-publish fence below persists
+     payload and verdict together. (No-op in every other mode.) *)
+  Lfds.Link_free.init_c ctx cu ~validity_word:(validity_of item)
+    ~state:Lfds.Link_free.valid_item;
   Lfds.Link_persist.persist_node_c ctx cu ~addr:item ~size_class;
   (item, size_class)
 

@@ -6,8 +6,12 @@
     indexes). *)
 val hash_of : int -> int
 
-(** Slab class (words) for a key/value pair; raises past ~420 bytes. *)
+(** Slab class (words) for a key/value pair; raises past ~412 bytes. *)
 val words_for : key_len:int -> val_len:int -> int
+
+(** Address of the item's validity word — [Link_free.valid_item] once
+    committed under link-free mode, [deleted] after removal. *)
+val validity_of : int -> int
 
 (** Allocate and fully initialize an item; contents and slab metadata are
     durable before the address is returned. Returns (address, class). *)

@@ -52,6 +52,8 @@ let evict_one t cu =
   | Some victim ->
       let h = Nvm.Heap.Cursor.load cu (Item.hash_of victim) in
       if Durable_hash.remove_c t.ctx t.table cu ~key:h then begin
+        Link_free.mark_deleted_c t.ctx cu
+          ~validity_word:(Item.validity_of victim);
         Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu victim;
         ignore (Atomic.fetch_and_add t.count (-1))
       end
@@ -70,6 +72,11 @@ let set_ttl t ~tid ~key ~value ~expire_at =
           (match find_item t cu h with
           | Some old_item ->
               ignore (Durable_hash.remove_c t.ctx t.table cu ~key:h);
+              (* Link-free recovery classifies slots by verdict alone, so
+                 the replaced item must durably retract its [valid_item]
+                 before reclamation — or a crash would resurrect it. *)
+              Link_free.mark_deleted_c t.ctx cu
+                ~validity_word:(Item.validity_of old_item);
               Lru.remove t.lru old_item;
               Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu old_item;
               ignore (Atomic.fetch_and_add t.count (-1))
@@ -116,6 +123,8 @@ and delete t ~tid ~key =
           match find_item t cu h with
           | Some item when Item.key_matches_c t.ctx cu item key ->
               ignore (Durable_hash.remove_c t.ctx t.table cu ~key:h);
+              Link_free.mark_deleted_c t.ctx cu
+                ~validity_word:(Item.validity_of item);
               Lru.remove t.lru item;
               Nv_epochs.retire_node_c (Ctx.mem t.ctx) cu item;
               ignore (Atomic.fetch_and_add t.count (-1));
@@ -169,6 +178,35 @@ let attach ctx ~nbuckets ~capacity =
         ignore (Atomic.fetch_and_add t.count 1)
       end);
   t
+
+(** Re-attach under link-free mode, where the table's links are volatile
+    garbage after a crash: repeat the carve, zero the bucket heads, start
+    empty. The caller (a link-free recovery scan) re-admits surviving items
+    with [readmit]. *)
+let attach_empty ctx ~nbuckets ~capacity =
+  let table = Durable_hash.attach ctx ~nbuckets in
+  Durable_hash.reset ctx table;
+  {
+    ctx;
+    table;
+    lru = Lru.create ();
+    capacity;
+    count = Atomic.make 0;
+    lock = Mutex.create ();
+  }
+
+(** Re-admit a surviving item (address still allocated, payload durable)
+    into a freshly reset table, keyed by its stored hash word. False if the
+    hash is already bound — a duplicate from a crash mid-overwrite; the
+    caller frees the loser. *)
+let readmit t cu item =
+  let h = Nvm.Heap.Cursor.load cu (Item.hash_of item) in
+  if Durable_hash.insert_c t.ctx t.table cu ~key:h ~value:item then begin
+    Lru.add t.lru item;
+    ignore (Atomic.fetch_and_add t.count 1);
+    true
+  end
+  else false
 
 (** Recover a crashed NV-Memcached: restore hash-table consistency, sweep the
     active slabs for allocated-but-unreachable items, rebuild the volatile

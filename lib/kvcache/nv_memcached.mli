@@ -35,6 +35,16 @@ val recover :
     per-shard sweeps would free each other's live items. *)
 val attach : Lfds.Ctx.t -> nbuckets:int -> capacity:int -> t
 
+(** Re-attach under link-free mode, whose links are garbage after a crash:
+    repeat the carve, zero the bucket heads, start empty. The caller's
+    recovery scan re-admits the surviving items with {!readmit}. *)
+val attach_empty : Lfds.Ctx.t -> nbuckets:int -> capacity:int -> t
+
+(** Re-admit a surviving item into a freshly reset table by its stored hash
+    word; false if the hash is already bound (crash-mid-overwrite
+    duplicate — the caller frees the loser). *)
+val readmit : t -> Nvm.Heap.cursor -> int -> bool
+
 (** Call [f] with every reachable node address — hash-table nodes and the
     items their values point to — for recovery sweeps and leak counting. *)
 val iter_reachable : t -> (int -> unit) -> unit

@@ -77,7 +77,24 @@ type annotation =
   | A_op_begin of { name : string; key : int }
       (** [key] is the operation's key argument, 0 when it has none — a
           tracer attributes spans to keys with it *)
-  | A_op_end
+  | A_op_end of { ret : int }
+      (** [ret] is the operation's encoded result ([op_ret_unknown] when the
+          bracket had no encoder, or the op died in an exception) — a
+          linearizability checker reconstructs histories with it *)
+  | A_hb_acquire of { obj : int }
+      (** the acting thread read synchronization object [obj] and now
+          happens-after its last release ([obj] < 0 names a virtual object
+          with no heap address, e.g. an epoch counter) *)
+  | A_hb_release of { obj : int }
+      (** the acting thread published its causal past through [obj];
+          later acquirers of [obj] happen-after this point *)
+
+(** [A_op_end]'s result encoding when the operation result is unknown. *)
+let op_ret_unknown = min_int
+
+(** Virtual synchronization object standing for thread [tid]'s epoch
+    counter (an OCaml [Atomic], not a heap word — hence no address). *)
+let epoch_hb_obj ~tid = -(tid + 1)
 
 (** One observable heap event. Emitted {e after} the primitive applied, so a
     handler sees the pre-event world in its own shadow state and the

@@ -71,7 +71,20 @@ type annotation =
           (0 = invalid, 1 = valid, 2 = deleted) *)
   | A_op_begin of { name : string; key : int }
       (** [key] is the operation's key argument, 0 when it has none *)
-  | A_op_end
+  | A_op_end of { ret : int }
+      (** [ret] is the op's encoded result, [op_ret_unknown] if not encoded *)
+  | A_hb_acquire of { obj : int }
+      (** acting thread happens-after the last release of sync object [obj];
+          negative [obj] names a virtual (non-heap) object *)
+  | A_hb_release of { obj : int }
+      (** acting thread published its causal past through sync object [obj] *)
+
+(** [A_op_end]'s encoded result when the bracket had no encoder or the op
+    raised. *)
+val op_ret_unknown : int
+
+(** The virtual sync-object id for thread [tid]'s epoch counter. *)
+val epoch_hb_obj : tid:int -> int
 
 (** One observable heap event, emitted {e after} the primitive applied. *)
 type event =

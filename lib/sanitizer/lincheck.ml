@@ -1,0 +1,367 @@
+(** Lincheck implementation: history recording over the observer stream,
+    a per-key WGL-style linearizability check against the sequential set
+    spec, and the crash-composed durable-linearizability drivers. See the
+    interface for the checking model. *)
+
+open Nvm
+module I = Harness.Instance
+
+(* ---- history recording ------------------------------------------------- *)
+
+type entry = {
+  e_tid : int;
+  name : string;
+  key : int;
+  inv : int;  (** global sequence number at invocation *)
+  mutable res : int;  (** at response; [max_int] while in flight *)
+  mutable ret : int;  (** encoded result; [Heap.op_ret_unknown] in flight *)
+}
+
+type recorder = {
+  heap : Heap.t;
+  lock : Mutex.t;
+  mutable obs_handle : Heap.Observer.handle option;
+  mutable seq : int;
+  pending : entry option array;
+  mutable entries : entry list;  (** newest first *)
+  mutable nentries : int;
+  mutable crashed : bool;
+}
+
+let ntids = Pstats.max_threads
+
+let on_event r ev =
+  Mutex.lock r.lock;
+  (match ev with
+  | Heap.Ev_note { tid; note = Heap.A_op_begin { name; key } }
+    when not r.crashed ->
+      r.seq <- r.seq + 1;
+      let e =
+        {
+          e_tid = tid;
+          name;
+          key;
+          inv = r.seq;
+          res = max_int;
+          ret = Heap.op_ret_unknown;
+        }
+      in
+      r.pending.(tid) <- Some e;
+      r.entries <- e :: r.entries;
+      r.nentries <- r.nentries + 1
+  | Heap.Ev_note { tid; note = Heap.A_op_end { ret } } when not r.crashed -> (
+      r.seq <- r.seq + 1;
+      match r.pending.(tid) with
+      | Some e ->
+          e.res <- r.seq;
+          e.ret <- ret;
+          r.pending.(tid) <- None
+      | None -> ())
+  | Heap.Ev_crash ->
+      (* Whatever was invoked and never answered is in flight at the power
+         cut; recovery traffic after this is not part of the history. *)
+      r.crashed <- true
+  | _ -> ());
+  Mutex.unlock r.lock
+
+let record heap =
+  let r =
+    {
+      heap;
+      lock = Mutex.create ();
+      obs_handle = None;
+      seq = 0;
+      pending = Array.make ntids None;
+      entries = [];
+      nentries = 0;
+      crashed = false;
+    }
+  in
+  r.obs_handle <- Some (Heap.Observer.add heap (on_event r));
+  r
+
+let stop r =
+  match r.obs_handle with
+  | None -> ()
+  | Some h ->
+      Heap.Observer.remove r.heap h;
+      r.obs_handle <- None
+
+let history r = List.rev r.entries
+let recorded_ops r = r.nentries
+let saw_crash r = r.crashed
+
+(* ---- the sequential spec ----------------------------------------------- *)
+
+type kind = Insert | Remove | Search
+
+let kind_of_name name =
+  let suffix =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  match suffix with
+  | "insert" -> Some Insert
+  | "remove" -> Some Remove
+  | "search" -> Some Search
+  | _ -> None
+
+(* Per-key state: absent, present with as-yet-unconstrained value (inserts
+   don't record their value argument), or present with a value a search
+   response pinned down. *)
+let st_absent = -2
+let st_present_unknown = -1
+
+(* Post-states of applying one op with observed (encoded) response [ret] to
+   [state]; empty means the response contradicts the state. An unknown
+   response (in-flight op, or an unencoded bracket) admits every legal
+   behavior. *)
+let steps kind ret state =
+  let unknown = ret = Heap.op_ret_unknown in
+  match kind with
+  | Insert ->
+      ((if (unknown || ret = 1) && state = st_absent then [ st_present_unknown ]
+        else [])
+      @ if (unknown || ret = 0) && state <> st_absent then [ state ] else [])
+  | Remove ->
+      ((if (unknown || ret = 1) && state <> st_absent then [ st_absent ]
+        else [])
+      @ if (unknown || ret = 0) && state = st_absent then [ state ] else [])
+  | Search ->
+      if unknown then [ state ]
+      else if ret < 0 then if state = st_absent then [ state ] else []
+      else if state = st_present_unknown then [ ret ]
+      else if state = ret then [ state ]
+      else []
+
+(* ---- per-key WGL check ------------------------------------------------- *)
+
+type durable_spec = {
+  recovered : int option;  (** the key's post-recovery binding *)
+  buffered : bool;
+      (** link-cache semantics: a suffix of completed effects may be lost,
+          so any prefix state of a valid linearization may match
+          [recovered]; strict modes require the final state to *)
+}
+
+let consistent state = function
+  | None -> state = st_absent
+  | Some v -> state = st_present_unknown || state = v
+
+(* One key's ops, sorted by invocation. The check enumerates linearizations
+   with the Wing & Gong recursion: an op may be linearized next iff no
+   other still-unlinearized op responded before it was invoked — so every
+   search node is a downward-closed cut of the real-time order. Memoized on
+   (linearized-set, state[, matched]); in-flight ops (res = max_int) may be
+   linearized anywhere after invocation or dropped entirely. *)
+let max_key_ops = 62 (* mask bits in one int *)
+
+let check_key ?durable (ops : entry array) =
+  let n = Array.length ops in
+  if n > max_key_ops then
+    Error
+      (Printf.sprintf "%d ops on one key exceeds the WGL bound (%d)" n
+         max_key_ops)
+  else begin
+    let kinds =
+      Array.map
+        (fun e ->
+          match kind_of_name e.name with
+          | Some k -> k
+          | None -> invalid_arg ("Lincheck: unknown op " ^ e.name))
+        ops
+    in
+    let completed = ref 0 in
+    Array.iteri (fun i e -> if e.res < max_int then completed := !completed lor (1 lsl i)) ops;
+    let completed = !completed in
+    let memo = Hashtbl.create 256 in
+    let rec go mask state matched =
+      let matched =
+        matched
+        ||
+        match durable with
+        | Some d when d.buffered -> consistent state d.recovered
+        | _ -> false
+      in
+      let accept =
+        mask land completed = completed
+        &&
+        match durable with
+        | None -> true
+        | Some d -> if d.buffered then matched else consistent state d.recovered
+      in
+      accept
+      || (not (Hashtbl.mem memo (mask, state, matched)))
+         &&
+         (Hashtbl.replace memo (mask, state, matched) ();
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let b = 1 lsl !i in
+            if mask land b = 0 then begin
+              (* minimal in real-time order among the unlinearized? *)
+              let minimal = ref true in
+              for j = 0 to n - 1 do
+                if mask land (1 lsl j) = 0 && j <> !i then
+                  if ops.(j).res < ops.(!i).inv then minimal := false
+              done;
+              if !minimal then
+                List.iter
+                  (fun state' ->
+                    if not !ok then ok := go (mask lor b) state' matched)
+                  (steps kinds.(!i) ops.(!i).ret state)
+            end;
+            incr i
+          done;
+          !ok)
+    in
+    if go 0 st_absent false then Ok ()
+    else
+      Error
+        (Printf.sprintf "no valid linearization of %d ops (%d completed)%s" n
+           (let c = ref 0 in
+            Array.iter (fun e -> if e.res < max_int then incr c) ops;
+            !c)
+           (match durable with
+           | None -> ""
+           | Some d ->
+               Printf.sprintf " reaching recovered state %s%s"
+                 (match d.recovered with
+                 | None -> "absent"
+                 | Some v -> string_of_int v)
+                 (if d.buffered then " (buffered)" else "")))
+  end
+
+(* Group a history by key and check each key independently — sound for the
+   set spec because its keys are independent objects and linearizability is
+   local (Herlihy & Wing): a history is linearizable iff each per-object
+   subhistory is. *)
+let check ?durable entries =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let l = try Hashtbl.find by_key e.key with Not_found -> [] in
+      Hashtbl.replace by_key e.key (e :: l))
+    entries;
+  let failures = ref [] in
+  let keys = ref 0 in
+  Hashtbl.iter
+    (fun key l ->
+      incr keys;
+      let ops =
+        Array.of_list (List.sort (fun a b -> compare a.inv b.inv) l)
+      in
+      let durable =
+        match durable with None -> None | Some f -> Some (f key)
+      in
+      match check_key ?durable ops with
+      | Ok () -> ()
+      | Error msg -> failures := (key, msg) :: !failures)
+    by_key;
+  (!keys, List.sort compare !failures)
+
+(* ---- drivers ----------------------------------------------------------- *)
+
+type outcome = {
+  ops_recorded : int;
+  keys_checked : int;
+  in_flight : int;
+  crashed : bool;
+  failures : (int * string) list;  (** key, diagnosis *)
+}
+
+let ok outcome = outcome.failures = []
+
+let in_flight_count entries =
+  List.length (List.filter (fun e -> e.res = max_int) entries)
+
+let random_op rng ops ~tid ~key_range =
+  let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:key_range in
+  match Workload.Xoshiro.below rng 10 with
+  | 0 | 1 | 2 | 3 -> ignore (ops.Lfds.Set_intf.insert ~tid ~key ~value:(key * 3))
+  | 4 | 5 | 6 -> ignore (ops.Lfds.Set_intf.remove ~tid ~key)
+  | _ -> ignore (ops.Lfds.Set_intf.search ~tid ~key)
+
+(** Record a real multi-domain run and check it (no crash): [nthreads]
+    domains of [ops_per_thread] random ops over [1..key_range]. *)
+let live_check ?(nthreads = 2) ?(ops_per_thread = 150) ?(key_range = 24)
+    ?(seed = 42) ~structure ~flavor () =
+  let inst = I.create ~nthreads ~size_hint:256 ~structure ~flavor () in
+  let r = record (Lfds.Ctx.heap inst.I.ctx) in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:(seed + (tid * 7919)) in
+    for _ = 1 to ops_per_thread do
+      random_op rng inst.I.ops ~tid ~key_range
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  stop r;
+  let entries = history r in
+  let keys_checked, failures = check entries in
+  {
+    ops_recorded = recorded_ops r;
+    keys_checked;
+    in_flight = in_flight_count entries;
+    crashed = false;
+    failures;
+  }
+
+(** Durable linearizability, crash-composed: run [total_ops] ops from
+    [nthreads] {e logical} threads interleaved deterministically on the
+    calling thread, trip a crash mid-stream ([trip] counts heap
+    primitives), power-fail with seeded evictions, recover, and require the
+    recovered state of every key to be explained by a linearization of its
+    pre-crash history — final state for ack-durable flavors (lp/nvt/lf),
+    any prefix state for the buffered link-cache flavor. *)
+let durable_check ?(nthreads = 2) ?(total_ops = 200) ?(key_range = 24)
+    ?(seed = 42) ?(trip = 900) ~structure ~flavor () =
+  let mode = I.mode_of_flavor flavor in
+  if not (Lfds.Persist_mode.is_durable mode) then
+    invalid_arg "Lincheck.durable_check: volatile flavor has no crash story";
+  let inst = I.create ~nthreads ~size_hint:256 ~structure ~flavor () in
+  let heap = Lfds.Ctx.heap inst.I.ctx in
+  let r = record heap in
+  let rng = Workload.Xoshiro.make ~seed in
+  let tripped =
+    Heap.set_trip heap trip;
+    try
+      for _ = 1 to total_ops do
+        let tid = Workload.Xoshiro.below rng nthreads in
+        random_op rng inst.I.ops ~tid ~key_range
+      done;
+      Heap.disarm_trip heap;
+      false
+    with Heap.Crashed -> true
+  in
+  Heap.crash ~seed ~eviction_probability:0.5 heap;
+  stop r;
+  let entries = history r in
+  let inst', _, _ = I.recover_only inst in
+  let durable key =
+    {
+      recovered = inst'.I.ops.Lfds.Set_intf.search ~tid:0 ~key;
+      buffered = not (Lfds.Persist_mode.acks_durable mode);
+    }
+  in
+  let keys_checked, failures = check ~durable entries in
+  {
+    ops_recorded = recorded_ops r;
+    keys_checked;
+    in_flight = in_flight_count entries;
+    crashed = tripped;
+    failures;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%d ops over %d keys (%d in flight%s): %s"
+    o.ops_recorded o.keys_checked o.in_flight
+    (if o.crashed then ", crash-tripped" else "")
+    (if o.failures = [] then "linearizable"
+     else
+       String.concat "; "
+         (List.map
+            (fun (k, msg) -> Printf.sprintf "key %d: %s" k msg)
+            o.failures))

@@ -1,0 +1,110 @@
+(** Lincheck — linearizability and durable-linearizability checking from
+    recorded operation histories.
+
+    A {!recorder} rides the heap's observer multiplexer and turns the
+    [A_op_begin]/[A_op_end] brackets every structure already emits into a
+    history of timed intervals: a global sequence number at invocation and
+    response, plus the encoded result ({!Lfds.Set_intf.ret_bool} /
+    [ret_opt]). Ops still open when recording stops (or when the crash
+    event arrives) are {e in flight}: a linearization may order them
+    anywhere after their invocation or drop them entirely.
+
+    Checking is per key — the set spec's keys are independent objects, and
+    linearizability is local (Herlihy & Wing), so a history is linearizable
+    iff each per-key subhistory is. Each key runs a Wing & Gong style
+    enumeration: linearize next any op whose invocation precedes no
+    unlinearized op's response, step the sequential spec by its observed
+    result, backtrack on contradiction. States are memoized, and a key is
+    rejected outright past {!max_key_ops} ops (drivers size their key
+    ranges to stay far below it).
+
+    Durable linearizability composes the same check with a crash: the
+    recovered value of each key must be explained by some linearization of
+    the pre-crash history — its {e final} state for flavors whose acks are
+    durable (lp/nvt/lf), or {e any intermediate} state for the buffered
+    link-cache flavor, whose completed effects may still sit in the link
+    cache when power fails. (Per-key prefixes are a sound relaxation of a
+    single global cut; a cross-key consistent-cut check would be strictly
+    stronger.) *)
+
+(** {2 Histories} *)
+
+type entry = {
+  e_tid : int;
+  name : string;  (** e.g. ["list.insert"]; kind = suffix after ['.'] *)
+  key : int;
+  inv : int;  (** global sequence number at invocation *)
+  mutable res : int;  (** at response; [max_int] while in flight *)
+  mutable ret : int;  (** encoded result; [Heap.op_ret_unknown] in flight *)
+}
+
+type recorder
+
+val record : Nvm.Heap.t -> recorder
+val stop : recorder -> unit
+val history : recorder -> entry list  (** in invocation order *)
+
+val recorded_ops : recorder -> int
+val saw_crash : recorder -> bool
+
+(** {2 Checking} *)
+
+type durable_spec = {
+  recovered : int option;  (** the key's post-recovery binding *)
+  buffered : bool;  (** link-cache: any prefix state may match *)
+}
+
+val max_key_ops : int
+(** Per-key op-count bound of the WGL search (62: one int of mask bits). *)
+
+val check_key : ?durable:durable_spec -> entry array -> (unit, string) result
+(** One key's ops sorted by [inv]. [Error] carries a diagnosis. *)
+
+val check :
+  ?durable:(int -> durable_spec) ->
+  entry list ->
+  int * (int * string) list
+(** Group by key, check each; returns (keys checked, failures as
+    [(key, diagnosis)] sorted by key). *)
+
+(** {2 Drivers} *)
+
+type outcome = {
+  ops_recorded : int;
+  keys_checked : int;
+  in_flight : int;
+  crashed : bool;  (** durable driver: did the trip wire fire? *)
+  failures : (int * string) list;
+}
+
+val ok : outcome -> bool
+
+val live_check :
+  ?nthreads:int ->
+  ?ops_per_thread:int ->
+  ?key_range:int ->
+  ?seed:int ->
+  structure:Harness.Instance.structure ->
+  flavor:Harness.Instance.flavor ->
+  unit ->
+  outcome
+(** Record a real multi-domain run (defaults: 2 domains × 150 random ops
+    over keys 1..24) and check plain linearizability. *)
+
+val durable_check :
+  ?nthreads:int ->
+  ?total_ops:int ->
+  ?key_range:int ->
+  ?seed:int ->
+  ?trip:int ->
+  structure:Harness.Instance.structure ->
+  flavor:Harness.Instance.flavor ->
+  unit ->
+  outcome
+(** Durable linearizability: [nthreads] {e logical} threads interleaved
+    deterministically on the calling thread, a trip-wire crash after
+    [trip] heap primitives, seeded cache eviction, recovery, then the
+    per-key recovered-state check. Raises [Invalid_argument] for volatile
+    flavors. Fully deterministic in its parameters. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,410 @@
+(** NVRace implementation: a FastTrack-style vector-clock happens-before
+    race detector over the heap observer stream. See the interface for the
+    access model and edge catalogue.
+
+    Like NVSan, everything runs inside observer hooks: never call a heap
+    primitive from here, keep all state behind the one mutex. Events arrive
+    after the primitive applied, so conflict checks against the pre-event
+    shadow run before the shadow is updated. *)
+
+open Nvm
+
+let ntids = Pstats.max_threads
+let tid_bits = 6 (* 2^6 = Pstats.max_threads *)
+let tid_mask = (1 lsl tid_bits) - 1
+
+(* An epoch packs (clock, tid) into one int; 0 means "no access on record".
+   Clocks start at 1 so every real epoch is non-zero. *)
+let epoch ~clock ~tid = (clock lsl tid_bits) lor tid
+let epoch_clock e = e lsr tid_bits
+let epoch_tid e = e land tid_mask
+
+(* The read shadow for a word is either an epoch (> 0), nothing (0), or
+   [rd_shared] (-1): the word has unordered concurrent readers and the full
+   per-tid read clocks live in [rd_shared]. *)
+let rd_shared_sentinel = -1
+
+type violation = {
+  code : string;  (** "racy-load" | "racy-store" *)
+  addr : int;
+  tid : int;  (** the thread whose access completed the race *)
+  other_tid : int;  (** the earlier, unordered access's thread *)
+  op_seq : int;
+  op_name : string;
+  other_op : string;  (** op name of the earlier access, "?" if unrecorded *)
+  detail : string;
+}
+
+type config = {
+  root_limit : int;
+      (** first address above the pointer-bearing prefix
+          ([Lfds.Ctx.static_limit]); race checks apply to root/static words
+          and words inside allocated nodes, never to metadata *)
+  max_violations : int;
+}
+
+let default_config () = { root_limit = max_int; max_violations = 1000 }
+
+type t = {
+  heap : Heap.t;
+  cfg : config;
+  lock : Mutex.t;
+  mutable obs_handle : Heap.Observer.handle option;
+  mutable is_active : bool;
+  (* Per-thread vector clocks; [started] gates the bootstrap join that
+     stands in for the untracked Domain.spawn edge. *)
+  vc : int array array;
+  started : bool array;
+  (* Per-word shadows. *)
+  wr : int array;  (** packed last-write epoch, 0 = none *)
+  wr_atomic : Bytes.t;  (** 1 iff the last write was a successful CAS *)
+  wr_op : string array;  (** op name of the last writer, for reports *)
+  rd : int array;  (** packed last-read epoch, 0 / [rd_shared_sentinel] *)
+  rd_shared : (int, int array) Hashtbl.t;  (** word -> per-tid read clocks *)
+  word_owner : int array;  (** owning node base, -1 = unallocated *)
+  alloc_size : (int, int) Hashtbl.t;  (** node base -> size_class *)
+  (* Per-object synchronization clocks: heap addresses written by CAS, and
+     negative virtual objects ([Heap.epoch_hb_obj]). *)
+  sync : (int, int array) Hashtbl.t;
+  (* Attribution. *)
+  op_seq : int array;
+  op_name : string array;
+  mutable viols : violation list;
+  mutable nviols : int;
+  mutable ndropped : int;
+}
+
+(* ---- clock plumbing ---------------------------------------------------- *)
+
+let join dst src =
+  for i = 0 to ntids - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+(* Does [tid]'s current clock dominate packed epoch [e]? *)
+let hb_after t ~tid e = t.vc.(tid).(epoch_tid e) >= epoch_clock e
+
+let my_epoch t ~tid = epoch ~clock:t.vc.(tid).(tid) ~tid
+
+(* First event of a thread: give it a clock, and join every thread already
+   on record. The Domain.spawn edge is not in the event stream, so this
+   over-approximates it — anything that happened before the thread's first
+   observed access is treated as ordered before the whole thread. Scenario
+   drivers that need a precise boundary issue a warm-up access per thread
+   first (see test/injected). *)
+let bootstrap t ~tid =
+  if not t.started.(tid) then begin
+    t.started.(tid) <- true;
+    for u = 0 to ntids - 1 do
+      if t.started.(u) && u <> tid then join t.vc.(tid) t.vc.(u)
+    done;
+    t.vc.(tid).(tid) <- max 1 (t.vc.(tid).(tid) + 1)
+  end
+
+let acquire t ~tid ~obj =
+  match Hashtbl.find_opt t.sync obj with
+  | Some c -> join t.vc.(tid) c
+  | None -> ()
+
+let release t ~tid ~obj =
+  (match Hashtbl.find_opt t.sync obj with
+  | Some c -> join c t.vc.(tid)
+  | None -> Hashtbl.replace t.sync obj (Array.copy t.vc.(tid)));
+  (* Step the clock so later releases by this thread are distinguishable
+     from this one. *)
+  t.vc.(tid).(tid) <- t.vc.(tid).(tid) + 1
+
+(* Same pointer-bearing test as NVSan: roots/static below [root_limit], or
+   inside an allocated node. Allocator bitmaps, APT slots and log lines are
+   engineered single-writer/quiescent metadata — never race-checked. *)
+let pointer_bearing t addr =
+  t.word_owner.(addr) >= 0 || addr < t.cfg.root_limit
+
+let report t ~code ~addr ~tid ~other_tid ~other_op detail =
+  if t.nviols >= t.cfg.max_violations then t.ndropped <- t.ndropped + 1
+  else begin
+    t.viols <-
+      {
+        code;
+        addr;
+        tid;
+        other_tid;
+        op_seq = t.op_seq.(tid);
+        op_name = t.op_name.(tid);
+        other_op;
+        detail;
+      }
+      :: t.viols;
+    t.nviols <- t.nviols + 1
+  end
+
+(* ---- access shadows ---------------------------------------------------- *)
+
+(* Record a read in the FastTrack read shadow: one epoch while reads stay
+   ordered, escalating to a per-tid clock table once two unordered readers
+   coexist. *)
+let record_read t ~tid ~addr =
+  let e = t.rd.(addr) in
+  if e = rd_shared_sentinel then begin
+    match Hashtbl.find_opt t.rd_shared addr with
+    | Some arr -> arr.(tid) <- t.vc.(tid).(tid)
+    | None ->
+        (* Shared entry dropped by an alloc reset between events; demote. *)
+        t.rd.(addr) <- my_epoch t ~tid
+  end
+  else if e = 0 || epoch_tid e = tid || hb_after t ~tid e then
+    t.rd.(addr) <- my_epoch t ~tid
+  else begin
+    let arr = Array.make ntids 0 in
+    arr.(epoch_tid e) <- epoch_clock e;
+    arr.(tid) <- t.vc.(tid).(tid);
+    Hashtbl.replace t.rd_shared addr arr;
+    t.rd.(addr) <- rd_shared_sentinel
+  end
+
+let clear_read t ~addr =
+  if t.rd.(addr) = rd_shared_sentinel then Hashtbl.remove t.rd_shared addr;
+  t.rd.(addr) <- 0
+
+(* The write shadow after a checked write. *)
+let record_write t ~tid ~addr ~atomic =
+  t.wr.(addr) <- my_epoch t ~tid;
+  Bytes.unsafe_set t.wr_atomic addr (if atomic then '\001' else '\000');
+  t.wr_op.(addr) <- t.op_name.(tid);
+  clear_read t ~addr
+
+(* ---- conflict checks ---------------------------------------------------
+
+   The access model: heap loads and CASes are genuine atomics (acquire
+   reads; successful CAS = acquire + release write), while [Heap.store] is
+   the protocol's "privately owned word" claim. A race is a conflicting
+   unordered pair with a plain store on at least one side:
+
+   - load    vs unordered plain store          -> racy-load
+   - store   vs unordered prior write (any)    -> racy-store (write-write)
+   - store   vs unordered prior read  (any)    -> racy-store (read-write)
+   - CAS     vs unordered prior plain store    -> racy-store
+   - CAS/load vs CAS/load                      -> never a race *)
+
+let check_load t ~tid ~addr =
+  let e = t.wr.(addr) in
+  if
+    e <> 0
+    && Bytes.get t.wr_atomic addr = '\000'
+    && epoch_tid e <> tid
+    && not (hb_after t ~tid e)
+  then
+    report t ~code:"racy-load" ~addr ~tid ~other_tid:(epoch_tid e)
+      ~other_op:t.wr_op.(addr)
+      (Printf.sprintf
+         "load of word %d observes a plain store by tid %d with no \
+          happens-before edge (no publishing CAS or sync object orders them)"
+         addr (epoch_tid e))
+
+let check_write t ~tid ~addr ~atomic =
+  (* Write-write: a plain store conflicts with any unordered prior write; a
+     CAS only with an unordered prior {e plain} store. *)
+  let e = t.wr.(addr) in
+  if
+    e <> 0
+    && epoch_tid e <> tid
+    && ((not atomic) || Bytes.get t.wr_atomic addr = '\000')
+    && not (hb_after t ~tid e)
+  then
+    report t ~code:"racy-store" ~addr ~tid ~other_tid:(epoch_tid e)
+      ~other_op:t.wr_op.(addr)
+      (Printf.sprintf
+         "%s to word %d overlaps an unordered %s by tid %d (write-write)"
+         (if atomic then "CAS" else "plain store")
+         addr
+         (if Bytes.get t.wr_atomic addr = '\001' then "CAS" else "plain store")
+         (epoch_tid e));
+  (* Read-write: only a plain store conflicts with prior reads (loads and
+     CASes are atomic; an atomic write never races an atomic read). *)
+  if not atomic then begin
+    let r = t.rd.(addr) in
+    if r = rd_shared_sentinel then begin
+      match Hashtbl.find_opt t.rd_shared addr with
+      | Some arr ->
+          let u = ref (-1) in
+          for i = 0 to ntids - 1 do
+            if !u < 0 && i <> tid && arr.(i) > 0 && t.vc.(tid).(i) < arr.(i)
+            then u := i
+          done;
+          if !u >= 0 then
+            report t ~code:"racy-store" ~addr ~tid ~other_tid:!u ~other_op:"?"
+              (Printf.sprintf
+                 "plain store to word %d overtakes an unordered read by tid \
+                  %d (read-write)"
+                 addr !u)
+      | None -> ()
+    end
+    else if r <> 0 && epoch_tid r <> tid && not (hb_after t ~tid r) then
+      report t ~code:"racy-store" ~addr ~tid ~other_tid:(epoch_tid r)
+        ~other_op:"?"
+        (Printf.sprintf
+           "plain store to word %d overtakes an unordered read by tid %d \
+            (read-write)"
+           addr (epoch_tid r))
+  end
+
+(* ---- event handlers ---------------------------------------------------- *)
+
+let on_load t ~tid ~addr =
+  bootstrap t ~tid;
+  (* Every load acquires the word's sync clock: reading a CAS-published
+     value is the protocol's release/acquire idiom. *)
+  acquire t ~tid ~obj:addr;
+  if pointer_bearing t addr then begin
+    check_load t ~tid ~addr;
+    record_read t ~tid ~addr
+  end
+
+let on_store t ~tid ~addr =
+  bootstrap t ~tid;
+  if pointer_bearing t addr then begin
+    check_write t ~tid ~addr ~atomic:false;
+    record_write t ~tid ~addr ~atomic:false
+  end
+
+let on_cas t ~tid ~addr ~success =
+  bootstrap t ~tid;
+  acquire t ~tid ~obj:addr;
+  if success then begin
+    if pointer_bearing t addr then check_write t ~tid ~addr ~atomic:true;
+    (* Release through the word even off the pointer-bearing prefix: CASes
+       on allocator bitmaps carry real edges and are cheap to honor. *)
+    release t ~tid ~obj:addr;
+    if pointer_bearing t addr then record_write t ~tid ~addr ~atomic:true
+  end
+
+(* A new lifetime: the slot's shadow history belongs to the previous
+   occupant, and the grace period that let the allocator recycle the slot
+   is exactly the ordering evidence we lack events for (NVSan's reclamation
+   checkers audit that protocol). Start the span clean. *)
+let on_alloc t ~tid ~addr ~size_class =
+  bootstrap t ~tid;
+  Hashtbl.replace t.alloc_size addr size_class;
+  for w = addr to addr + size_class - 1 do
+    t.word_owner.(w) <- addr;
+    t.wr.(w) <- 0;
+    Bytes.unsafe_set t.wr_atomic w '\000';
+    t.wr_op.(w) <- "?";
+    clear_read t ~addr:w;
+    Hashtbl.remove t.sync w
+  done
+
+let on_free t ~addr =
+  match Hashtbl.find_opt t.alloc_size addr with
+  | None -> ()
+  | Some size ->
+      Hashtbl.remove t.alloc_size addr;
+      for w = addr to addr + size - 1 do
+        t.word_owner.(w) <- -1
+      done
+
+let on_note t ~tid note =
+  match note with
+  | Heap.A_alloc { addr; size_class } -> on_alloc t ~tid ~addr ~size_class
+  | Heap.A_free { addr } -> on_free t ~addr
+  | Heap.A_hb_acquire { obj } ->
+      bootstrap t ~tid;
+      acquire t ~tid ~obj
+  | Heap.A_hb_release { obj } ->
+      bootstrap t ~tid;
+      release t ~tid ~obj
+  | Heap.A_op_begin { name; key = _ } ->
+      t.op_seq.(tid) <- t.op_seq.(tid) + 1;
+      t.op_name.(tid) <- name
+  | Heap.A_op_end _ | Heap.A_retire _ | Heap.A_reclaim _
+  | Heap.A_lc_register _ | Heap.A_validity _ ->
+      ()
+
+let handle t ev =
+  match ev with
+  | Heap.Ev_load { tid; addr; value = _ } -> on_load t ~tid ~addr
+  | Heap.Ev_store { tid; addr; _ } -> on_store t ~tid ~addr
+  | Heap.Ev_cas { tid; addr; success; _ } -> on_cas t ~tid ~addr ~success
+  | Heap.Ev_fence _ ->
+      (* sfence orders persistence, not inter-thread visibility: stores are
+         already globally visible when issued, so fences add no
+         happens-before edge in this model. *)
+      ()
+  | Heap.Ev_write_back _ | Heap.Ev_drain _ -> ()
+  | Heap.Ev_crash ->
+      (* Recovery runs single-threaded outside the runtime protocol. *)
+      t.is_active <- false
+  | Heap.Ev_note { tid; note } -> on_note t ~tid note
+
+let on_event t ev =
+  Mutex.lock t.lock;
+  (try if t.is_active then handle t ev
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let attach ?config heap =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  let size = Heap.size_words heap in
+  let t =
+    {
+      heap;
+      cfg;
+      lock = Mutex.create ();
+      obs_handle = None;
+      is_active = true;
+      vc = Array.init ntids (fun _ -> Array.make ntids 0);
+      started = Array.make ntids false;
+      wr = Array.make size 0;
+      wr_atomic = Bytes.make size '\000';
+      wr_op = Array.make size "?";
+      rd = Array.make size 0;
+      rd_shared = Hashtbl.create 64;
+      word_owner = Array.make size (-1);
+      alloc_size = Hashtbl.create 1024;
+      sync = Hashtbl.create 1024;
+      op_seq = Array.make ntids 0;
+      op_name = Array.make ntids "?";
+      viols = [];
+      nviols = 0;
+      ndropped = 0;
+    }
+  in
+  t.obs_handle <- Some (Heap.Observer.add heap (on_event t));
+  t
+
+let detach t =
+  match t.obs_handle with
+  | None -> ()
+  | Some h ->
+      Heap.Observer.remove t.heap h;
+      t.obs_handle <- None
+
+let quiesce t ~tid =
+  Mutex.lock t.lock;
+  bootstrap t ~tid;
+  for u = 0 to ntids - 1 do
+    if t.started.(u) && u <> tid then join t.vc.(tid) t.vc.(u)
+  done;
+  Mutex.unlock t.lock
+
+let violations t = List.rev t.viols
+let violation_count t = t.nviols
+let dropped t = t.ndropped
+let active t = t.is_active
+
+let clear t =
+  Mutex.lock t.lock;
+  t.viols <- [];
+  t.nviols <- 0;
+  t.ndropped <- 0;
+  Mutex.unlock t.lock
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[race] %s: word %d tid %d op #%d %s vs tid %d %s — %s"
+    v.code v.addr v.tid v.op_seq v.op_name v.other_tid v.other_op v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v

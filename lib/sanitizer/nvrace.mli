@@ -1,0 +1,84 @@
+(** NVRace — a vector-clock happens-before race detector for the simulated
+    NVM heap, riding the same observer multiplexer as NVSan.
+
+    {2 Access model}
+
+    The heap's primitives map onto a C11-like discipline:
+
+    - [Heap.Cursor.load] is an atomic acquire read: it happens-after the
+      last successful CAS on the same word (the link-and-persist protocol's
+      publish idiom);
+    - a successful [Heap.Cursor.cas] is an atomic acquire+release
+      read-modify-write;
+    - [Heap.Cursor.store] claims the word is privately owned — node
+      initialization before publish, or recovery code. It synchronizes with
+      nothing.
+
+    A {e race} is a pair of conflicting accesses with no happens-before
+    edge and a plain store on at least one side: [racy-load] (a load
+    observes an unordered plain store), [racy-store] (a plain store
+    conflicts with an unordered prior write or read, or a CAS overlaps an
+    unordered plain store). Atomic-vs-atomic pairs never race.
+
+    {2 Happens-before edges}
+
+    - program order per thread;
+    - CAS release -> later load/CAS acquire of the same word;
+    - [A_hb_release] -> [A_hb_acquire] on the same sync object (the epoch
+      counters announce these: enter/exit release a thread's counter,
+      [Epoch.safe]/[snapshot] acquire every counter they read);
+    - allocation: [A_alloc] starts the span's shadow clean, so accesses to
+      the slot's previous lifetime never pair with the new one (the grace
+      period justifying the recycle is NVSan's reclamation check, not
+      ours); and a thread's first observed event joins all earlier-started
+      threads (the untracked [Domain.spawn] edge, over-approximated).
+
+    Fences add no edge: sfence orders persistence, not visibility.
+
+    Race checks apply only to pointer-bearing words — roots/static below
+    [root_limit] plus words inside allocated nodes — the same filter NVSan
+    uses to keep allocator bitmaps, APT slots and log lines out. *)
+
+type violation = {
+  code : string;  (** "racy-load" | "racy-store" *)
+  addr : int;
+  tid : int;  (** the access that completed the race *)
+  other_tid : int;  (** the earlier unordered access *)
+  op_seq : int;
+  op_name : string;
+  other_op : string;  (** earlier access's op name, "?" if unrecorded *)
+  detail : string;
+}
+
+type config = {
+  root_limit : int;  (** pass [Lfds.Ctx.static_limit] *)
+  max_violations : int;
+}
+
+val default_config : unit -> config
+
+type t
+
+(** Attach to [heap]'s observer multiplexer. Reports are deterministic for
+    a deterministic event stream: no timestamps, no hashing of addresses. *)
+val attach : ?config:config -> Nvm.Heap.t -> t
+
+val detach : t -> unit
+
+(** Join every tracked thread's clock into [tid]'s — the [Domain.join]
+    edge, which the event stream cannot see. Call from the joining thread
+    before it touches the structure post-join while still observed. *)
+val quiesce : t -> tid:int -> unit
+
+val violations : t -> violation list
+val violation_count : t -> int
+
+(** Violations discarded after [max_violations] was reached. *)
+val dropped : t -> int
+
+(** False once a crash event stopped the detector. *)
+val active : t -> bool
+
+val clear : t -> unit
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string

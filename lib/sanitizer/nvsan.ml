@@ -420,7 +420,7 @@ let on_note t ~tid note =
       Hashtbl.reset t.validity_watch.(tid)
   | Heap.A_validity { addr; state } ->
       Hashtbl.replace t.validity_watch.(tid) addr state
-  | Heap.A_op_end ->
+  | Heap.A_op_end _ ->
       (* FO5 — validity-unfenced: every validity verdict announced during
          this operation must be durable by the time the operation answers
          (the op-end fence fires before this annotation). Program-ordered
@@ -441,6 +441,10 @@ let on_note t ~tid note =
                    addr))
           t.validity_watch.(tid);
       Hashtbl.reset t.validity_watch.(tid)
+  | Heap.A_hb_acquire _ | Heap.A_hb_release _ ->
+      (* Happens-before edges are NVRace's input; flush-order checking has
+         no use for them. *)
+      ()
 
 let handle t ev =
   match ev with

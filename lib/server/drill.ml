@@ -38,6 +38,8 @@ type report = {
   load : Loadgen.report;
   acked_keys : int;
   inflight_keys : int;
+  fences : int;  (** heap fences issued up to the kill *)
+  fences_per_req : float;  (** fences / requests served before the kill *)
   torn : bool;
   ctx_recover_s : float;
   sweep_s : float;
@@ -86,6 +88,14 @@ let run cfg =
   Nvserve.kill server;
   let load = Domain.join load_domain in
   let heap = Lfds.Ctx.heap (Nvserve.ctx server) in
+  (* Persistence cost of the run that just died, read before the torn op
+     and the crash disturb the counters: how many fences this persist mode
+     charged per served request (the flavors' whole point of difference). *)
+  let fences = (Nvm.Heap.aggregate_stats heap).Nvm.Pstats.fences in
+  let served = Nvserve.requests_served server in
+  let fences_per_req =
+    if served = 0 then 0. else float_of_int fences /. float_of_int served
+  in
   (* Optionally tear one operation on top of the kill: arm the trip-wire
      and let a store crash mid-flight, as a power cut would catch it. *)
   let torn =
@@ -133,6 +143,8 @@ let run cfg =
     load;
     acked_keys = Hashtbl.length acks.Loadgen.acked;
     inflight_keys = Hashtbl.length acks.Loadgen.inflight;
+    fences;
+    fences_per_req;
     torn;
     ctx_recover_s = t1 -. t0;
     sweep_s = t2 -. t1;

@@ -46,6 +46,9 @@ type report = {
   load : Loadgen.report;  (** the traffic the server took before dying *)
   acked_keys : int;  (** distinct keys with an acknowledged mutation *)
   inflight_keys : int;  (** keys mid-mutation at the kill (audit-exempt) *)
+  fences : int;  (** heap fences issued up to the kill *)
+  fences_per_req : float;  (** fences per served request — the persist
+                               mode's ack cost under server traffic *)
   torn : bool;  (** a torn operation was actually injected *)
   ctx_recover_s : float;  (** layout + allocator reconstruction *)
   sweep_s : float;  (** table attach + combined parallel leak sweep *)

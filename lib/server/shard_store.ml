@@ -45,13 +45,76 @@ let count t =
 let iter_reachable t f =
   Array.iter (fun s -> Kvcache.Nv_memcached.iter_reachable s f) t.shards
 
-let recover ctx ~nshards ~nbuckets ~capacity ~active_pages ~nworkers =
-  let t = attach ctx ~nshards ~nbuckets ~capacity in
-  let freed =
-    Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages
-      ~iter:(iter_reachable t) ~nworkers
+(* Link-free recovery: the tables' links were never persisted, so attaching
+   and walking them is meaningless. Instead: reset every shard's buckets,
+   scan the allocated slots of the initialized pages, classify by validity
+   word alone ([valid_item] = committed cache item; hash-node verdicts and
+   retracted items are garbage), free the garbage, and re-admit survivors
+   into the shard their stored hash selects. Freeing before re-admitting
+   matters: re-admission allocates fresh hash nodes from the same pages. *)
+let attach_empty ctx ~nshards ~nbuckets ~capacity =
+  if nshards < 1 then invalid_arg "Shard_store.attach_empty: nshards < 1";
+  let b, c = per_shard ~nshards ~nbuckets ~capacity in
+  {
+    ctx;
+    shards =
+      Array.init nshards (fun _ ->
+          Kvcache.Nv_memcached.attach_empty ctx ~nbuckets:b ~capacity:c);
+  }
+
+let recover_link_free ctx ~nshards ~nbuckets ~capacity =
+  let t = attach_empty ctx ~nshards ~nbuckets ~capacity in
+  let tid = 0 in
+  let alloc = Lfds.Ctx.allocator ctx in
+  let heap = Lfds.Ctx.heap ctx in
+  let cu = Lfds.Ctx.cursor ctx ~tid in
+  (* Collect first: freeing flips the very bitmaps being iterated. *)
+  let slots = ref [] in
+  List.iter
+    (fun page ->
+      Nvm.Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+          slots := addr :: !slots))
+    (Nvm.Nvalloc.initialized_pages alloc ~tid);
+  let slots = List.rev !slots in
+  let survives addr =
+    Nvm.Heap.load heap ~tid (Kvcache.Item.validity_of addr)
+    = Lfds.Link_free.valid_item
   in
-  (t, freed)
+  let survivors = List.filter survives slots in
+  let freed = ref 0 in
+  List.iter
+    (fun addr ->
+      if not (survives addr) then begin
+        Nvm.Nvalloc.free alloc ~tid addr;
+        incr freed
+      end)
+    slots;
+  Nvm.Heap.fence heap ~tid;
+  List.iter
+    (fun item ->
+      let h = Nvm.Heap.load heap ~tid (Kvcache.Item.hash_of item) in
+      let shard = t.shards.(h mod Array.length t.shards) in
+      if not (Kvcache.Nv_memcached.readmit shard cu item) then begin
+        Nvm.Nvalloc.free alloc ~tid item;
+        incr freed
+      end)
+    survivors;
+  Nvm.Heap.fence heap ~tid;
+  (t, !freed)
+
+let recover ctx ~nshards ~nbuckets ~capacity ~active_pages ~nworkers =
+  match Lfds.Ctx.mode ctx with
+  | Lfds.Persist_mode.Link_free ->
+      ignore nworkers;
+      ignore active_pages;
+      recover_link_free ctx ~nshards ~nbuckets ~capacity
+  | _ ->
+      let t = attach ctx ~nshards ~nbuckets ~capacity in
+      let freed =
+        Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages
+          ~iter:(iter_reachable t) ~nworkers
+      in
+      (t, freed)
 
 let leak_count t ~active_pages =
   Lfds.Recovery.leak_count t.ctx ~active_pages ~iter:(iter_reachable t)

@@ -30,7 +30,13 @@ val attach : Lfds.Ctx.t -> nshards:int -> nbuckets:int -> capacity:int -> t
 (** [attach] plus the combined leak reclamation pass:
     {!Lfds.Recovery.sweep_traversal_parallel} over the union of all shards'
     reachable nodes, partitioned across [nworkers] domains. Returns the
-    store and the number of leaked nodes freed. *)
+    store and the number of leaked nodes freed.
+
+    Under link-free mode the links were never persisted, so this instead
+    resets every shard and rebuilds from the slab scan: slots whose
+    validity word is [Link_free.valid_item] are re-admitted to the shard
+    their stored hash selects; every other allocated slot (hash nodes,
+    retracted items, crash-mid-overwrite duplicates) is freed. *)
 val recover :
   Lfds.Ctx.t ->
   nshards:int ->

@@ -236,7 +236,7 @@ let on_end t tid =
 let on_event t = function
   | Heap.Ev_note { tid; note = Heap.A_op_begin { name; key } } ->
       on_begin t tid name key
-  | Heap.Ev_note { tid; note = Heap.A_op_end } -> on_end t tid
+  | Heap.Ev_note { tid; note = Heap.A_op_end _ } -> on_end t tid
   | _ ->
       (* Per-span costs come from Pstats baselines, so individual heap
          events need no bookkeeping here. *)

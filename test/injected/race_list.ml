@@ -1,0 +1,130 @@
+(** Race-injection corpus: a two-thread sorted-list scenario that follows
+    the durable-list protocol {e except} for one deliberately racy step.
+    The interleaving is deterministic — both logical threads run from the
+    test's single OS thread, so NVRace's verdict is reproducible — yet each
+    variant is a real race: the same access pair under a real scheduler
+    could overlap.
+
+    Both variants warm each logical thread up with a faithful operation
+    first, so the detector's thread-start bootstrap join (which
+    over-approximates the untracked [Domain.spawn] edge) lands {e before}
+    the racy section and cannot mask it.
+
+    Never use outside the sanitizer regression tests and the CLI's
+    [sanitize --races] gate. *)
+
+open Nvm
+open Lfds
+
+type race =
+  | Unfenced_publish
+      (** publish a new node with a plain store instead of a CAS: another
+          thread's traversal loads the link — and the node's fields —
+          with no release edge ordering the initialization before them *)
+  | Skip_revalidation
+      (** a remove that marks its victim, then swings the predecessor link
+          with an unconditional plain store instead of re-validating with
+          a CAS — unordered against a concurrent traversal's reads *)
+
+let race_name = function
+  | Unfenced_publish -> "unfenced-publish"
+  | Skip_revalidation -> "skip-revalidation"
+
+let all_races = [ Unfenced_publish; Skip_revalidation ]
+
+(** The violation class NVRace must produce. [Unfenced_publish] is caught
+    at the reader ([racy-load]: an acquire load observes an unordered plain
+    store); [Skip_revalidation] at the writer ([racy-store]: a plain store
+    conflicts with an unordered prior read). *)
+let expected_code = function
+  | Unfenced_publish -> "racy-load"
+  | Skip_revalidation -> "racy-store"
+
+let size_class = Cacheline.words_per_line
+let key_of node = node
+let value_of node = node + 1
+let next_of node = node + 2
+
+let find cu ~head k =
+  let rec step link =
+    let curr = Marked_ptr.addr (Heap.Cursor.load cu link) in
+    if curr = 0 then (link, 0)
+    else if Heap.Cursor.load cu (key_of curr) >= k then (link, curr)
+    else step (next_of curr)
+  in
+  step head
+
+let search_c cu ~head ~key =
+  let _, curr = find cu ~head key in
+  if curr <> 0 && Heap.Cursor.load cu (key_of curr) = key then
+    Some (Heap.Cursor.load cu (value_of curr))
+  else None
+
+(** Faithful insert: init, persist, publish with the protocol CAS. With
+    [racy:true], publish with a plain store instead. *)
+let insert_c ctx cu ?(racy = false) ~head ~key ~value () =
+  let link, curr = find cu ~head key in
+  if curr <> 0 && Heap.Cursor.load cu (key_of curr) = key then false
+  else begin
+    let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+    Heap.Cursor.store cu (key_of node) key;
+    Heap.Cursor.store cu (value_of node) value;
+    Heap.Cursor.store cu (next_of node) curr;
+    Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
+    if racy then Heap.Cursor.store cu link node
+    else
+      ignore
+        (Link_persist.cas_link_c ctx cu ~key ~link ~expected:curr
+           ~desired:node);
+    true
+  end
+
+(** The skip-revalidation remove: durably mark the victim's next pointer
+    (faithful), then swing the predecessor link with an unconditional plain
+    store where the protocol demands a re-validating CAS. The node is
+    deliberately leaked — retiring it would snapshot the epochs, whose
+    acquire edges are not part of the bug under test. *)
+let racy_remove_c ctx cu ~head ~key () =
+  let link, curr = find cu ~head key in
+  if curr = 0 || Heap.Cursor.load cu (key_of curr) <> key then false
+  else begin
+    let nv = Heap.Cursor.load cu (next_of curr) in
+    ignore
+      (Link_persist.cas_link_c ctx cu ~key ~link:(next_of curr) ~expected:nv
+         ~desired:(Marked_ptr.with_delete nv));
+    Heap.Cursor.store cu link (Marked_ptr.addr nv);
+    true
+  end
+
+(** Run the scenario on a fresh context built with [nthreads >= 2]. Lists
+    hang off root slots 0 (the contended one) and 1 (thread 1's private
+    warm-up list, so [Unfenced_publish] keeps thread 1's reads off the
+    contended link until the racy load itself). *)
+let run_scenario ctx race =
+  let head0 = Ctx.root_slot ctx 0 in
+  let head1 = Ctx.root_slot ctx 1 in
+  let cu0 = Ctx.cursor ctx ~tid:0 in
+  let cu1 = Ctx.cursor ctx ~tid:1 in
+  let op cu name f = Ctx.with_op_c ~name ctx cu f in
+  match race with
+  | Unfenced_publish ->
+      ignore
+        (op cu0 "race.insert" (fun cu ->
+             insert_c ctx cu ~head:head0 ~key:30 ~value:300 ()));
+      ignore
+        (op cu1 "race.insert" (fun cu ->
+             insert_c ctx cu ~head:head1 ~key:50 ~value:500 ()));
+      ignore
+        (op cu0 "race.insert" (fun cu ->
+             insert_c ctx cu ~racy:true ~head:head0 ~key:10 ~value:100 ()));
+      ignore (op cu1 "race.search" (fun cu -> search_c cu ~head:head0 ~key:10))
+  | Skip_revalidation ->
+      ignore
+        (op cu0 "race.insert" (fun cu ->
+             insert_c ctx cu ~head:head0 ~key:10 ~value:100 ()));
+      ignore
+        (op cu0 "race.insert" (fun cu ->
+             insert_c ctx cu ~head:head0 ~key:20 ~value:200 ()));
+      ignore (op cu1 "race.search" (fun cu -> search_c cu ~head:head0 ~key:20));
+      ignore
+        (op cu0 "race.remove" (fun cu -> racy_remove_c ctx cu ~head:head0 ~key:10 ()))

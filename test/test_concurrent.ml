@@ -114,7 +114,7 @@ let stress_link_cache () =
    reader that could hold them is still inside an operation. Indirectly
    validated by the stress tests; here we hammer enter/exit + snapshots. *)
 let stress_epochs () =
-  let e = Lfds.Epoch.create ~nthreads in
+  let e = Lfds.Epoch.create ~nthreads () in
   let stop = Atomic.make false in
   let worker tid () =
     while not (Atomic.get stop) do

@@ -9,7 +9,7 @@ let check_bool = Alcotest.(check bool)
 (* --- Epoch --- *)
 
 let test_epoch_enter_exit () =
-  let e = Lfds.Epoch.create ~nthreads:2 in
+  let e = Lfds.Epoch.create ~nthreads:2 () in
   check_int "starts even" 0 (Lfds.Epoch.current e ~tid:0);
   Lfds.Epoch.enter e ~tid:0;
   check_bool "active is odd" true (Lfds.Epoch.is_active (Lfds.Epoch.current e ~tid:0));
@@ -17,7 +17,7 @@ let test_epoch_enter_exit () =
   check_int "two steps" 2 (Lfds.Epoch.current e ~tid:0)
 
 let test_epoch_safe () =
-  let e = Lfds.Epoch.create ~nthreads:2 in
+  let e = Lfds.Epoch.create ~nthreads:2 () in
   Lfds.Epoch.enter e ~tid:1;
   let snap = Lfds.Epoch.snapshot e in
   check_bool "unsafe while tid1 active" false (Lfds.Epoch.safe e snap);
@@ -25,13 +25,13 @@ let test_epoch_safe () =
   check_bool "safe once tid1 exits" true (Lfds.Epoch.safe e snap)
 
 let test_epoch_safe_inactive_threads () =
-  let e = Lfds.Epoch.create ~nthreads:4 in
+  let e = Lfds.Epoch.create ~nthreads:4 () in
   (* Nobody active: any snapshot is immediately safe. *)
   let snap = Lfds.Epoch.snapshot e in
   check_bool "idle snapshot safe" true (Lfds.Epoch.safe e snap)
 
 let test_epoch_reentry_detection () =
-  let e = Lfds.Epoch.create ~nthreads:1 in
+  let e = Lfds.Epoch.create ~nthreads:1 () in
   Lfds.Epoch.enter e ~tid:0;
   (* double enter violates the protocol and is caught by the assert *)
   (try

@@ -1,0 +1,165 @@
+(* Lincheck regression suite: the checker itself must accept trivially
+   correct histories and reject contradictory ones (unit tests on
+   [check_key]); every structure x flavor must come out linearizable on
+   recorded multi-domain runs; and the durable flavors must come out
+   durably linearizable across a mid-stream crash + recovery. *)
+
+module I = Harness.Instance
+module L = Sanitizer.Lincheck
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- check_key unit tests --------------------------------------------- *)
+
+let entry ?(tid = 0) name ~inv ~res ~ret =
+  { L.e_tid = tid; name = "t." ^ name; key = 1; inv; res; ret }
+
+let ok_result = function Ok () -> true | Error _ -> false
+
+let seq_sanity () =
+  (* insert(1) remove(1) search(absent): fine sequentially. *)
+  let h =
+    [|
+      entry "insert" ~inv:1 ~res:2 ~ret:1;
+      entry "remove" ~inv:3 ~res:4 ~ret:1;
+      entry "search" ~inv:5 ~res:6 ~ret:(-1);
+    |]
+  in
+  check_bool "sequential history accepted" true (ok_result (L.check_key h))
+
+let seq_contradiction () =
+  (* insert succeeded, nothing removed it, search says absent: no order works
+     because all three are real-time separated. *)
+  let h =
+    [|
+      entry "insert" ~inv:1 ~res:2 ~ret:1;
+      entry "search" ~inv:3 ~res:4 ~ret:(-1);
+    |]
+  in
+  check_bool "contradictory history rejected" false (ok_result (L.check_key h))
+
+let overlap_flexibility () =
+  (* Same two ops, overlapping: search may linearize before the insert. *)
+  let h =
+    [|
+      entry "insert" ~inv:1 ~res:4 ~ret:1;
+      entry "search" ~inv:2 ~res:3 ~ret:(-1);
+    |]
+  in
+  check_bool "overlapping ops may reorder" true (ok_result (L.check_key h))
+
+let value_consistency () =
+  (* Two searches pinning different values with no intervening write. *)
+  let h =
+    [|
+      entry "insert" ~inv:1 ~res:2 ~ret:1;
+      entry "search" ~inv:3 ~res:4 ~ret:7;
+      entry "search" ~inv:5 ~res:6 ~ret:8;
+    |]
+  in
+  check_bool "conflicting observed values rejected" false
+    (ok_result (L.check_key h))
+
+let in_flight_optional () =
+  (* An in-flight remove explains the absent search; dropping it would not. *)
+  let h =
+    [|
+      entry "insert" ~inv:1 ~res:2 ~ret:1;
+      entry "remove" ~inv:3 ~res:max_int ~ret:Nvm.Heap.op_ret_unknown;
+      entry "search" ~inv:4 ~res:5 ~ret:(-1);
+    |]
+  in
+  check_bool "in-flight op linearized when needed" true
+    (ok_result (L.check_key h))
+
+let durable_strict () =
+  let h = [| entry "insert" ~inv:1 ~res:2 ~ret:1 |] in
+  check_bool "strict: completed insert must survive" false
+    (ok_result
+       (L.check_key ~durable:{ L.recovered = None; buffered = false } h));
+  check_bool "strict: surviving insert accepted" true
+    (ok_result
+       (L.check_key ~durable:{ L.recovered = Some 3; buffered = false } h))
+
+let durable_buffered () =
+  (* Buffered (link-cache) semantics: the completed insert's effect may sit
+     in the cache at the crash, so recovering 'absent' is legal — the empty
+     prefix explains it. *)
+  let h = [| entry "insert" ~inv:1 ~res:2 ~ret:1 |] in
+  check_bool "buffered: lost suffix accepted" true
+    (ok_result
+       (L.check_key ~durable:{ L.recovered = None; buffered = true } h));
+  (* But a recovered value no linearization ever reaches is still wrong. *)
+  let h2 = [| entry "remove" ~inv:1 ~res:2 ~ret:0 |] in
+  check_bool "buffered: unreachable recovered state rejected" false
+    (ok_result
+       (L.check_key ~durable:{ L.recovered = Some 9; buffered = true } h2))
+
+(* ---- live runs: every structure x flavor ------------------------------- *)
+
+let report name o =
+  if not (L.ok o) then
+    Printf.printf "%s: %s\n%!" name (Format.asprintf "%a" L.pp_outcome o)
+
+let live ?(nthreads = 2) ?(ops_per_thread = 150) structure flavor () =
+  let o =
+    L.live_check ~nthreads ~ops_per_thread ~key_range:24 ~seed:42 ~structure
+      ~flavor ()
+  in
+  let name =
+    Printf.sprintf "%s/%s/%d-domain" (I.structure_name structure)
+      (I.flavor_name flavor) nthreads
+  in
+  report name o;
+  check_int (name ^ ": ops recorded") (nthreads * ops_per_thread)
+    o.L.ops_recorded;
+  check_bool (name ^ ": linearizable") true (L.ok o)
+
+(* ---- durable runs: crash + recovery, lp/lc/nvt/lf ---------------------- *)
+
+let durable structure flavor () =
+  let o =
+    L.durable_check ~nthreads:2 ~total_ops:200 ~key_range:24 ~seed:5 ~trip:400
+      ~structure ~flavor ()
+  in
+  let name =
+    Printf.sprintf "%s/%s/durable" (I.structure_name structure)
+      (I.flavor_name flavor)
+  in
+  report name o;
+  check_bool (name ^ ": trip fired mid-run") true o.L.crashed;
+  check_bool (name ^ ": durably linearizable") true (L.ok o)
+
+let all4 f flavor tag speed =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (I.structure_name s ^ "/" ^ I.flavor_name flavor ^ tag)
+        speed (f s flavor))
+    [ I.List; I.Hash; I.Skiplist; I.Bst ]
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "check-key",
+        [
+          Alcotest.test_case "sequential sanity" `Quick seq_sanity;
+          Alcotest.test_case "sequential contradiction" `Quick
+            seq_contradiction;
+          Alcotest.test_case "overlap flexibility" `Quick overlap_flexibility;
+          Alcotest.test_case "value consistency" `Quick value_consistency;
+          Alcotest.test_case "in-flight optional" `Quick in_flight_optional;
+          Alcotest.test_case "durable strict" `Quick durable_strict;
+          Alcotest.test_case "durable buffered" `Quick durable_buffered;
+        ] );
+      ( "live",
+        all4 live I.Lp "" `Quick @ all4 live I.Lc "" `Quick
+        @ all4 live I.Nvt "" `Quick @ all4 live I.Lf "" `Quick
+        @ all4 live I.Volatile "" `Quick
+        @ all4 (live ~nthreads:4 ~ops_per_thread:100) I.Lp "/4-domain" `Slow
+        @ all4 (live ~nthreads:4 ~ops_per_thread:100) I.Lf "/4-domain" `Slow );
+      ( "durable",
+        all4 durable I.Lp "" `Quick @ all4 durable I.Lc "" `Quick
+        @ all4 durable I.Nvt "" `Quick @ all4 durable I.Lf "" `Quick );
+    ]

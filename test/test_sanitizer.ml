@@ -144,6 +144,164 @@ let injected_baseline () =
   Sanitizer.Nvsan.detach san;
   fail_on_violations "corpus-baseline" san
 
+(* ---- NVRace: clean runs, injected races, determinism ------------------- *)
+
+let nvrace_config ctx =
+  {
+    (Sanitizer.Nvrace.default_config ()) with
+    root_limit = Lfds.Ctx.static_limit ctx;
+  }
+
+let fail_on_races tag det =
+  let vs = Sanitizer.Nvrace.violations det in
+  List.iter
+    (fun v ->
+      Printf.printf "%s: %s\n%!" tag (Sanitizer.Nvrace.violation_to_string v))
+    vs;
+  check_int (tag ^ ": races") 0 (Sanitizer.Nvrace.violation_count det)
+
+(* Single-domain runs must be race-free trivially (program order covers
+   everything) — this is the smoke test that the detector's shadow-state
+   bookkeeping itself doesn't manufacture conflicts. *)
+let race_clean_single structure flavor () =
+  let inst = Tutil.mk ~size_hint:256 structure flavor in
+  let heap = Lfds.Ctx.heap inst.I.ctx in
+  let det = Sanitizer.Nvrace.attach ~config:(nvrace_config inst.I.ctx) heap in
+  let rng = Workload.Xoshiro.make ~seed:11 in
+  for _ = 1 to 800 do
+    let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:96 in
+    match Workload.Xoshiro.below rng 10 with
+    | 0 | 1 | 2 | 3 -> ignore (inst.I.ops.insert ~tid:0 ~key ~value:key)
+    | 4 | 5 | 6 -> ignore (inst.I.ops.remove ~tid:0 ~key)
+    | _ -> ignore (inst.I.ops.search ~tid:0 ~key)
+  done;
+  Sanitizer.Nvrace.detach det;
+  fail_on_races
+    (I.structure_name structure ^ "/" ^ I.flavor_name flavor ^ "/races")
+    det
+
+(* Contended runs: the real structures' publish discipline (CAS release ->
+   load acquire) must leave no unordered pair on pointer-bearing words. *)
+let race_clean_multi ?(nthreads = 2) structure flavor () =
+  let inst = Tutil.mk ~nthreads ~size_hint:256 structure flavor in
+  let heap = Lfds.Ctx.heap inst.I.ctx in
+  let det = Sanitizer.Nvrace.attach ~config:(nvrace_config inst.I.ctx) heap in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:((tid * 37) + 3) in
+    for _ = 1 to 400 do
+      let key = Workload.Xoshiro.in_range rng ~lo:1 ~hi:64 in
+      match Workload.Xoshiro.below rng 3 with
+      | 0 -> ignore (inst.I.ops.insert ~tid ~key ~value:key)
+      | 1 -> ignore (inst.I.ops.remove ~tid ~key)
+      | _ -> ignore (inst.I.ops.search ~tid ~key)
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  Sanitizer.Nvrace.detach det;
+  fail_on_races
+    (Printf.sprintf "%s/%s/%d-domain races" (I.structure_name structure)
+       (I.flavor_name flavor) nthreads)
+    det
+
+(* The corpus list's faithful path interleaved across two logical threads
+   must come out race-free — otherwise the injected-race assertions below
+   prove nothing. *)
+let race_baseline () =
+  let ctx = injected_ctx ~nthreads:2 () in
+  let det =
+    Sanitizer.Nvrace.attach ~config:(nvrace_config ctx) (Lfds.Ctx.heap ctx)
+  in
+  let head = Lfds.Ctx.root_slot ctx 0 in
+  let cu0 = Lfds.Ctx.cursor ctx ~tid:0 in
+  let cu1 = Lfds.Ctx.cursor ctx ~tid:1 in
+  let op cu name f = Lfds.Ctx.with_op_c ~name ctx cu f in
+  ignore
+    (op cu0 "good.insert" (fun cu ->
+         Injected.Race_list.insert_c ctx cu ~head ~key:10 ~value:100 ()));
+  ignore
+    (op cu1 "good.search" (fun cu ->
+         Injected.Race_list.search_c cu ~head ~key:10));
+  ignore
+    (op cu1 "good.insert" (fun cu ->
+         Injected.Race_list.insert_c ctx cu ~head ~key:20 ~value:200 ()));
+  ignore
+    (op cu0 "good.search" (fun cu ->
+         Injected.Race_list.search_c cu ~head ~key:20));
+  Sanitizer.Nvrace.detach det;
+  fail_on_races "race-baseline" det
+
+let injected_race race () =
+  let ctx = injected_ctx ~nthreads:2 () in
+  let det =
+    Sanitizer.Nvrace.attach ~config:(nvrace_config ctx) (Lfds.Ctx.heap ctx)
+  in
+  Injected.Race_list.run_scenario ctx race;
+  Sanitizer.Nvrace.detach det;
+  let want = Injected.Race_list.expected_code race in
+  let codes =
+    List.map
+      (fun v -> v.Sanitizer.Nvrace.code)
+      (Sanitizer.Nvrace.violations det)
+  in
+  check_bool
+    (Printf.sprintf "%s flagged as %s (got: %s)"
+       (Injected.Race_list.race_name race)
+       want
+       (String.concat "," codes))
+    true
+    (List.mem want codes);
+  (* ...and with only that class: the corpus is built so each variant
+     manifests exactly one kind of race. *)
+  check_bool
+    (Printf.sprintf "%s flagged only as %s (got: %s)"
+       (Injected.Race_list.race_name race)
+       want
+       (String.concat "," codes))
+    true
+    (List.for_all (( = ) want) codes)
+
+(* A deterministic 4-logical-tid schedule with repeated racy publishes must
+   produce byte-identical violation reports on every run: no timestamps, no
+   physical-address hashing, no schedule-dependent state in the reports. *)
+let four_tid_race_report () =
+  let ctx = injected_ctx ~nthreads:4 () in
+  let det =
+    Sanitizer.Nvrace.attach ~config:(nvrace_config ctx) (Lfds.Ctx.heap ctx)
+  in
+  let head = Lfds.Ctx.root_slot ctx 0 in
+  let cus = Array.init 4 (fun tid -> Lfds.Ctx.cursor ctx ~tid) in
+  let op tid name f = Lfds.Ctx.with_op_c ~name ctx cus.(tid) f in
+  (* warm-up: bootstrap every tid before the racy section *)
+  for tid = 0 to 3 do
+    ignore
+      (op tid "race.insert" (fun cu ->
+           Injected.Race_list.insert_c ctx cu ~head ~key:(100 + tid)
+             ~value:tid ()))
+  done;
+  for round = 0 to 3 do
+    ignore
+      (op 0 "race.insert" (fun cu ->
+           Injected.Race_list.insert_c ctx cu ~racy:true ~head
+             ~key:(10 + round) ~value:round ()));
+    for tid = 1 to 3 do
+      ignore
+        (op tid "race.search" (fun cu ->
+             Injected.Race_list.search_c cu ~head ~key:(10 + round)))
+    done
+  done;
+  Sanitizer.Nvrace.detach det;
+  check_bool "4-tid schedule produced races" true
+    (Sanitizer.Nvrace.violation_count det > 0);
+  String.concat "\n"
+    (List.map Sanitizer.Nvrace.violation_to_string
+       (Sanitizer.Nvrace.violations det))
+
+let race_determinism () =
+  let r1 = four_tid_race_report () in
+  let r2 = four_tid_race_report () in
+  Alcotest.(check string) "byte-identical race reports" r1 r2
+
 (* ---- crash-state enumeration ------------------------------------------ *)
 
 let enum ?(flavor = I.Lp) structure ~trip_stop ~trip_step () =
@@ -191,6 +349,38 @@ let () =
                Alcotest.test_case (Injected.Bad_list.bug_name bug) `Quick
                  (injected_bug bug))
              Injected.Bad_list.all_bugs );
+      ( "race-clean",
+        all4 race_clean_single I.Lp @ all4 race_clean_single I.Lc
+        @ all4 race_clean_single I.Nvt @ all4 race_clean_single I.Lf
+        @ all4 race_clean_single I.Volatile
+        @ List.concat_map
+            (fun s ->
+              [
+                Alcotest.test_case
+                  (I.structure_name s ^ "/lp/2-domain")
+                  `Quick
+                  (race_clean_multi s I.Lp);
+                Alcotest.test_case
+                  (I.structure_name s ^ "/lf/2-domain")
+                  `Quick
+                  (race_clean_multi s I.Lf);
+                Alcotest.test_case
+                  (I.structure_name s ^ "/lp/4-domain")
+                  `Slow
+                  (race_clean_multi ~nthreads:4 s I.Lp);
+              ])
+            [ I.List; I.Hash; I.Skiplist; I.Bst ] );
+      ( "race-injected",
+        Alcotest.test_case "faithful interleave is race-free" `Quick
+          race_baseline
+        :: Alcotest.test_case "report determinism (4 tids)" `Quick
+             race_determinism
+        :: List.map
+             (fun race ->
+               Alcotest.test_case
+                 (Injected.Race_list.race_name race)
+                 `Quick (injected_race race))
+             Injected.Race_list.all_races );
       ( "crash-enum",
         [
           Alcotest.test_case "list" `Quick
