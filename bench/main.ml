@@ -1130,6 +1130,102 @@ let smoke_loadgen opts =
     (batched_tp /. Float.max 1. eager_tp)
     (eager_fpr /. Float.max 1e-9 batched_fpr)
 
+(* Telemetry-plane overhead: the smoke loadgen point (link-and-persist,
+   set-only hot-key pipeline, server-default group commit) with the request
+   sampler off — the default-path cost of the always-on counters — vs
+   sampling 1-in-100 and sampling every request. The headline is the
+   sampler-off arm staying within bench noise of the plain server (CI gates
+   the off/sampled ratio loosely; the BENCH_*.json trajectory carries the
+   cross-PR claim); the sampled arms bound what stage attribution costs
+   when someone turns it on. Arms are interleaved best-of-5 with a
+   [Gc.compact] between trials, for the same reasons as the smoke pair. *)
+let telemetry_bench opts =
+  let nworkers = 1 and nconns = 1 and nkeys = 512 and pipeline = 64 in
+  let mix = { Keygen.insert_pct = 100; remove_pct = 0 } in
+  let trial ~sample_every =
+    let srv =
+      Server.Nvserve.start
+        {
+          (Server.Nvserve.default_config ()) with
+          Server.Nvserve.nworkers;
+          nbuckets = 2048;
+          capacity = 20_000;
+          latency = latency opts;
+          sample_every;
+        }
+    in
+    let heap = Lfds.Ctx.heap (Server.Nvserve.ctx srv) in
+    Nvm.Heap.reset_stats heap;
+    let r =
+      Server.Loadgen.run
+        {
+          (Server.Loadgen.default_config ~port:(Server.Nvserve.port srv)) with
+          Server.Loadgen.nconns = nconns;
+          duration = Float.max 1.0 opts.duration;
+          nkeys;
+          mix;
+          pipeline;
+          seed = opts.seed;
+        }
+    in
+    let tel = Server.Nvserve.telemetry srv in
+    let sampled = Server.Telemetry.counter tel Server.Telemetry.c_sampled in
+    Server.Nvserve.stop srv;
+    (r, sampled)
+  in
+  let arms = [ ("off", 0); ("1-in-100", 100); ("every-req", 1) ] in
+  let run_round () =
+    List.map
+      (fun (name, se) ->
+        Gc.compact ();
+        (name, se, trial ~sample_every:se))
+      arms
+  in
+  let best = ref (run_round ()) in
+  for _ = 2 to 5 do
+    let round = run_round () in
+    best :=
+      List.map2
+        (fun (n, se, (r0, s0)) (_, _, (r1, s1)) ->
+          if r1.Server.Loadgen.ops_per_s > r0.Server.Loadgen.ops_per_s then
+            (n, se, (r1, s1))
+          else (n, se, (r0, s0)))
+        !best round
+  done;
+  let off_tp = ref 0. in
+  List.iter
+    (fun (name, se, (r, sampled)) ->
+      if se = 0 then off_tp := r.Server.Loadgen.ops_per_s;
+      let p q = Histogram.percentile r.Server.Loadgen.hist q in
+      Json_out.add ~kind:"telemetry"
+        Json_out.
+          [
+            ("arm", S name);
+            ("sample_every", I se);
+            ("workers", I nworkers);
+            ("conns", I nconns);
+            ("pipeline", I pipeline);
+            ("keys", I nkeys);
+            ("write_ns", I (base_write_ns opts));
+            ("ops", I r.Server.Loadgen.ops);
+            ("ops_per_s", F r.Server.Loadgen.ops_per_s);
+            ("sampled_requests", I sampled);
+            ("p50_ns", F (p 50.));
+            ("p99_ns", F (p 99.));
+            ("errors", I r.Server.Loadgen.errors);
+          ];
+      pr
+        "telemetry %-9s %s  p50=%s p99=%s  sampled=%-8d errors=%d%s\n"
+        name
+        (Report.human_ops r.Server.Loadgen.ops_per_s)
+        (Report.human_ns (p 50.)) (Report.human_ns (p 99.))
+        sampled r.Server.Loadgen.errors
+        (if se = 0 || !off_tp <= 0. then ""
+         else
+           Printf.sprintf "  (%.2fx vs off)"
+             (r.Server.Loadgen.ops_per_s /. !off_tp)))
+    !best
+
 (* Checker cost: one fixed workload (hash/lp, the fig5 smoke point) with no
    observer, NVRace, NVSan, and both attached. The headline number is the
    checkers-off point staying within noise of the ordinary throughput
@@ -1344,6 +1440,9 @@ let () =
         "Observer overhead: checkers-off vs NVRace/NVSan-attached throughput"
         checkers;
       cmd "smoke" "Sub-second trajectory probe (fig5 hash point)" smoke;
+      cmd "telemetry"
+        "Telemetry-plane overhead: sampler off vs 1-in-100 vs every request"
+        telemetry_bench;
       cmd "all" "Run every experiment" run_all;
     ]
   in

@@ -388,7 +388,8 @@ let trace_run structure flavor size nthreads duration seed update_pct out
 
 (* top: run the workload while the main domain prints interval-diffed
    substrate rates, like top(1) for the persistence layer. *)
-let top structure flavor size nthreads duration seed update_pct interval =
+let top structure flavor size nthreads duration seed update_pct interval
+    show_latency =
   let inst =
     I.create ~nthreads ~size_hint:size ~latency:(calibrated_latency ())
       ~structure ~flavor ()
@@ -396,6 +397,11 @@ let top structure flavor size nthreads duration seed update_pct interval =
   let heap = Lfds.Ctx.heap inst.ctx in
   Keygen.prefill inst.ops ~size ~seed;
   Nvm.Heap.reset_stats heap;
+  (* The flight recorder attaches at this quiescent point (before the worker
+     domains spawn); each tick then diffs the *merged* per-domain histogram
+     view so the interval percentiles cover every domain's samples. *)
+  let tr = if show_latency then Some (Trace.Nvtrace.attach heap) else None in
+  let lasth = ref (Option.map (fun tr -> Trace.Metrics.hist_sample tr) tr) in
   Printf.printf "%s / %s, %d elements, %d thread(s), tick %.2fs\n"
     (I.structure_name structure) (I.flavor_name flavor) size nthreads interval;
   print_endline Trace.Metrics.header;
@@ -407,7 +413,24 @@ let top structure flavor size nthreads duration seed update_pct interval =
         let older = !last in
         last := now;
         let d, dt = Trace.Metrics.delta ~older ~newer:now in
-        Printf.printf "%6.1fs %s\n%!" elapsed (Trace.Metrics.report ~dt d))
+        Printf.printf "%6.1fs %s\n%!" elapsed (Trace.Metrics.report ~dt d);
+        match tr with
+        | None -> ()
+        | Some tr ->
+            let nowh = Trace.Metrics.hist_sample tr in
+            let olderh = match !lasth with Some s -> s | None -> nowh in
+            lasth := Some nowh;
+            let hd, _ = Trace.Metrics.hist_delta ~older:olderh ~newer:nowh in
+            List.iter
+              (fun (op, h) ->
+                if Workload.Histogram.count h > 0 then
+                  Printf.printf "         %-14s n=%-8d p50 %-10s p99 %-10s max %s\n%!"
+                    op
+                    (Workload.Histogram.count h)
+                    (Report.human_ns (Workload.Histogram.percentile h 50.))
+                    (Report.human_ns (Workload.Histogram.percentile h 99.))
+                    (Report.human_ns (Workload.Histogram.max_ns h)))
+              hd)
       ~nthreads ~duration
       ~step:
         (Run.set_workload inst.ops
@@ -415,6 +438,7 @@ let top structure flavor size nthreads duration seed update_pct interval =
            ~range:(Keygen.range_for ~size))
       ~seed ()
   in
+  (match tr with None -> () | Some tr -> Trace.Nvtrace.detach tr);
   Printf.printf "total: %s over %.2fs\n"
     (Report.human_ops r.throughput)
     r.duration
@@ -534,11 +558,19 @@ let top_cmd =
     Arg.(
       value & opt float 0.5 & info [ "interval" ] ~doc:"Seconds between ticks.")
   in
+  let latency_flag =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Also flight-record per-operation latency and print \
+             interval-diffed percentiles (all domains merged) each tick.")
+  in
   Cmd.v
     (Cmd.info "top" ~doc:"Live interval-diffed substrate rates during a run")
     Term.(
       const top $ structure_arg $ flavor_arg $ size_arg $ threads_arg
-      $ duration_arg $ seed_arg $ update_pct_arg $ interval)
+      $ duration_arg $ seed_arg $ update_pct_arg $ interval $ latency_flag)
 
 (* --- NVServe: TCP server, load client, crash drill --- *)
 
@@ -578,6 +610,18 @@ let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
     (ms r.Server.Drill.sweep_s)
     (ms r.Server.Drill.recovery_s)
     r.Server.Drill.freed_leaks r.Server.Drill.residual_leaks;
+  print_endline
+    "timeline: (crash phases, then recovery; depth-0 recovery phases sum to \
+     the total)";
+  List.iter
+    (fun (e : Nvm.Timeline.event) ->
+      Printf.printf "  %s%-16s %8.2f ms%s\n"
+        (String.make (2 * e.Nvm.Timeline.depth) ' ')
+        e.Nvm.Timeline.phase
+        (e.Nvm.Timeline.dur_s *. 1e3)
+        (if e.Nvm.Timeline.detail = "" then ""
+         else "  (" ^ e.Nvm.Timeline.detail ^ ")"))
+    r.Server.Drill.timeline;
   Printf.printf
     "audit: %d acked keys verified over TCP, %d exempt (in-flight), %d lost%s; \
      post-recovery probe %s\n"
@@ -589,8 +633,87 @@ let print_drill_report (c : Server.Drill.config) (r : Server.Drill.report) =
     (if r.Server.Drill.post_ok then "ok" else "FAILED");
   Printf.printf "verdict: %s\n%!" (if r.Server.Drill.ok then "OK" else "FAILED")
 
+(* JSON string escaping shared by the inline nvlf-bench/2 writers. *)
+let json_esc s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* Minimal nvlf-bench/2 document with one "drill" record: config, the audit
+   verdict, and the recovery timeline as structured per-phase fields
+   (EXPERIMENTS.md documents the schema). *)
+let drill_json_doc path (c : Server.Drill.config) (r : Server.Drill.report) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema\":\"nvlf-bench/2\",\"generated_unix\":%.3f,\"argv\":[%s],\"records\":[{"
+       (Unix.gettimeofday ())
+       (String.concat ","
+          (Array.to_list
+             (Array.map (fun a -> "\"" ^ json_esc a ^ "\"") Sys.argv))));
+  let timeline =
+    String.concat ","
+      (List.map
+         (fun (e : Nvm.Timeline.event) ->
+           Printf.sprintf
+             "{\"phase\":\"%s\",\"detail\":\"%s\",\"start_s\":%.6g,\"ms\":%.6g,\"depth\":%d}"
+             (json_esc e.Nvm.Timeline.phase)
+             (json_esc e.Nvm.Timeline.detail)
+             e.Nvm.Timeline.start_s
+             (e.Nvm.Timeline.dur_s *. 1e3)
+             e.Nvm.Timeline.depth)
+         r.Server.Drill.timeline)
+  in
+  Buffer.add_string b
+    (String.concat ","
+       [
+         "\"kind\":\"drill\"";
+         Printf.sprintf "\"mode\":\"%s\""
+           (Lfds.Persist_mode.to_string c.Server.Drill.mode);
+         Printf.sprintf "\"workers\":%d" c.Server.Drill.nworkers;
+         Printf.sprintf "\"buckets\":%d" c.Server.Drill.nbuckets;
+         Printf.sprintf "\"capacity\":%d" c.Server.Drill.capacity;
+         Printf.sprintf "\"keys\":%d" c.Server.Drill.nkeys;
+         Printf.sprintf "\"conns\":%d" c.Server.Drill.nconns;
+         Printf.sprintf "\"pipeline\":%d" c.Server.Drill.pipeline;
+         Printf.sprintf "\"max_batch\":%d" c.Server.Drill.max_batch;
+         Printf.sprintf "\"max_delay_us\":%d" c.Server.Drill.max_delay_us;
+         Printf.sprintf "\"evict_p\":%.6g" c.Server.Drill.eviction_probability;
+         Printf.sprintf "\"seed\":%d" c.Server.Drill.seed;
+         Printf.sprintf "\"ops\":%d" r.Server.Drill.load.Server.Loadgen.ops;
+         Printf.sprintf "\"acked_keys\":%d" r.Server.Drill.acked_keys;
+         Printf.sprintf "\"inflight_keys\":%d" r.Server.Drill.inflight_keys;
+         Printf.sprintf "\"fences\":%d" r.Server.Drill.fences;
+         Printf.sprintf "\"fences_per_req\":%.6g" r.Server.Drill.fences_per_req;
+         Printf.sprintf "\"torn\":%b" r.Server.Drill.torn;
+         Printf.sprintf "\"ctx_recover_ms\":%.6g"
+           (r.Server.Drill.ctx_recover_s *. 1e3);
+         Printf.sprintf "\"sweep_ms\":%.6g" (r.Server.Drill.sweep_s *. 1e3);
+         Printf.sprintf "\"recovery_ms\":%.6g" (r.Server.Drill.recovery_s *. 1e3);
+         Printf.sprintf "\"timeline\":[%s]" timeline;
+         Printf.sprintf "\"freed_leaks\":%d" r.Server.Drill.freed_leaks;
+         Printf.sprintf "\"residual_leaks\":%d" r.Server.Drill.residual_leaks;
+         Printf.sprintf "\"checked\":%d" r.Server.Drill.checked;
+         Printf.sprintf "\"exempt\":%d" r.Server.Drill.exempt;
+         Printf.sprintf "\"lost\":%d" r.Server.Drill.lost;
+         Printf.sprintf "\"post_ok\":%b" r.Server.Drill.post_ok;
+         Printf.sprintf "\"strict\":%b" r.Server.Drill.strict;
+         Printf.sprintf "\"ok\":%b" r.Server.Drill.ok;
+       ]);
+  Buffer.add_string b "}]}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
 let serve port workers buckets capacity mode idle_timeout duration drill conns
-    keys pipeline evict_p no_torn max_batch max_delay_us seed =
+    keys pipeline evict_p no_torn max_batch max_delay_us metrics_port
+    sample_every trace_out json seed =
   if drill then begin
     let c =
       {
@@ -611,6 +734,11 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
     in
     let r = Server.Drill.run c in
     print_drill_report c r;
+    (match json with
+    | None -> ()
+    | Some path ->
+        drill_json_doc path c r;
+        Printf.printf "drill record written to %s\n%!" path);
     if not r.Server.Drill.ok then exit 1
   end
   else begin
@@ -625,6 +753,8 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
         idle_timeout;
         max_batch;
         max_delay_us;
+        metrics_port;
+        sample_every;
       }
     in
     let srv = Server.Nvserve.start cfg in
@@ -637,6 +767,16 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
          Printf.sprintf "up to %d ops/fence (max delay %d us)" max_batch
            max_delay_us
        else "off");
+    (match Server.Nvserve.metrics_port srv with
+    | Some mp ->
+        Printf.printf "  metrics: http://127.0.0.1:%d/metrics (Prometheus text)\n%!"
+          mp
+    | None -> ());
+    if sample_every > 0 then
+      Printf.printf
+        "  sampling: 1 in %d requests per worker through \
+         queue/parse/execute/fence/respond\n%!"
+        sample_every;
     let stop_flag = ref false in
     let handler = Sys.Signal_handle (fun _ -> stop_flag := true) in
     Sys.set_signal Sys.sigint handler;
@@ -668,24 +808,41 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
       st.Nvm.Pstats.fences st.Nvm.Pstats.group_commits st.Nvm.Pstats.group_ops
       (Workload.Histogram.percentile dh 50.)
       (Workload.Histogram.percentile dh 99.)
-      (Workload.Histogram.mean dh)
+      (Workload.Histogram.mean dh);
+    let tel = Server.Nvserve.telemetry srv in
+    let rh = Server.Telemetry.req_hist tel in
+    if Workload.Histogram.count rh > 0 then begin
+      let p q = Workload.Histogram.percentile rh q /. 1e3 in
+      Printf.printf
+        "  sampled: %d requests — p50 %.1f us p99 %.1f us p99.9 %.1f us max \
+         %.1f us\n%!"
+        (Workload.Histogram.count rh)
+        (p 50.) (p 99.) (p 99.9)
+        (Workload.Histogram.max_ns rh /. 1e3);
+      Printf.printf "  stage means: %s\n%!"
+        (String.concat "  "
+           (List.init Server.Telemetry.n_stages (fun s ->
+                Printf.sprintf "%s %.1fus"
+                  Server.Telemetry.stage_names.(s)
+                  (Workload.Histogram.mean (Server.Telemetry.stage_hist tel s)
+                  /. 1e3))))
+    end;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Server.Telemetry.chrome_trace tel);
+        close_out oc;
+        Printf.printf "  trace: %d sampled requests written to %s\n%!"
+          (List.length (Server.Telemetry.samples tel))
+          path
   end
 
 (* Minimal nvlf-bench/2 document with one "loadgen" record, matching the
    schema bench/json_out.ml writes (documented in EXPERIMENTS.md). *)
 let loadgen_json_doc path (cfg : Server.Loadgen.config) (r : Server.Loadgen.report) =
   let b = Buffer.create 1024 in
-  let esc s =
-    String.concat ""
-      (List.map
-         (fun c ->
-           match c with
-           | '"' -> "\\\""
-           | '\\' -> "\\\\"
-           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
-           | c -> String.make 1 c)
-         (List.init (String.length s) (String.get s)))
-  in
+  let esc = json_esc in
   Buffer.add_string b
     (Printf.sprintf "{\"schema\":\"nvlf-bench/2\",\"generated_unix\":%.3f,\"argv\":[%s],\"records\":[{"
        (Unix.gettimeofday ())
@@ -856,13 +1013,52 @@ let serve_cmd =
              batch may be held open waiting to fill (0 = commit at every \
              poll wakeup; responses are never delayed).")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve a Prometheus text exposition of the nvlf stats counters \
+             on this loopback port (0 = ephemeral; the bound port is printed \
+             at startup).")
+  in
+  let sample_every =
+    Arg.(
+      value & opt int 0
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Trace every Nth request per worker through the \
+             queue/parse/execute/fence/respond stages; percentiles appear \
+             under $(b,stats nvlf) and in the shutdown summary (0 = sampler \
+             off).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "On stop, write the sampled requests as Chrome trace-event JSON \
+             (chrome://tracing, Perfetto); needs $(b,--sample-every).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--drill): write an nvlf-bench/2 drill record including \
+             the per-phase recovery timeline.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"NVServe: sharded memcached-protocol TCP server over the NV heap")
     Term.(
       const serve $ port_arg $ workers_arg $ buckets $ capacity $ mode_arg
       $ idle_timeout $ duration $ drill $ conns_arg $ keys_arg $ pipeline_arg
-      $ evict_p $ no_torn $ max_batch $ max_delay_us $ seed_arg)
+      $ evict_p $ no_torn $ max_batch $ max_delay_us $ metrics_port
+      $ sample_every $ trace_out $ json $ seed_arg)
 
 let loadgen_cmd =
   let host =
@@ -893,6 +1089,132 @@ let loadgen_cmd =
       const loadgen $ host $ port_arg $ conns_arg $ duration $ keys_arg
       $ set_pct $ delete_pct $ pipeline_arg $ value_bytes $ seed_arg $ json)
 
+(* --- watch: live stats-nvlf dashboard over the kv interval differ --- *)
+
+(* One stats scrape over an open connection: send the command, read to the
+   END terminator (or an ERROR line), return the STAT key/value pairs. *)
+let scrape_stats fd arg =
+  let req = (match arg with None -> "stats" | Some a -> "stats " ^ a) ^ "\r\n" in
+  let n = Unix.write_substring fd req 0 (String.length req) in
+  if n <> String.length req then failwith "watch: short write";
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let finished () =
+    let s = Buffer.contents buf in
+    let ends suffix =
+      let ls = String.length s and lx = String.length suffix in
+      ls >= lx && String.sub s (ls - lx) lx = suffix
+    in
+    ends "END\r\n" || ends "ERROR\r\n"
+  in
+  while not (finished ()) do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "watch: server closed the connection"
+    | n -> Buffer.add_subbytes buf chunk 0 n
+  done;
+  List.filter_map
+    (fun line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      match String.split_on_char ' ' line with
+      | "STAT" :: k :: rest -> Some (k, String.concat " " rest)
+      | _ -> None)
+    (String.split_on_char '\n' (Buffer.contents buf))
+
+let watch host port interval count =
+  let addr =
+    try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    with _ ->
+      Unix.ADDR_INET ((Unix.gethostbyname host).Unix.h_addr_list.(0), port)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "watch: cannot connect to %s:%d: %s\n%!" host port
+       (Unix.error_message e);
+     exit 1);
+  let kvs0 = scrape_stats fd (Some "nvlf") in
+  if kvs0 = [] then begin
+    Printf.eprintf
+      "watch: no STAT lines in response — not an NVServe stats endpoint?\n%!";
+    exit 1
+  end;
+  let get kvs k = List.assoc_opt k kvs in
+  let level kvs k =
+    Option.value (Option.bind (get kvs k) float_of_string_opt) ~default:0.
+  in
+  Printf.printf
+    "nvlf watch %s:%d — mode %s, %s workers / %s shards, up %ss (tick %gs)\n%!"
+    host port
+    (Option.value (get kvs0 "mode") ~default:"?")
+    (Option.value (get kvs0 "workers") ~default:"?")
+    (Option.value (get kvs0 "shards") ~default:"?")
+    (Option.value (get kvs0 "uptime_s") ~default:"?")
+    interval;
+  print_endline
+    "   ops/s |  get/s  set/s  hit% | fence/req ops/commit depth-p50 | conns \
+     \ items | p50-us p99-us | in-MB/s out-MB/s";
+  let last = ref (Trace.Metrics.kv_sample kvs0) in
+  let ticks = ref 0 in
+  let stop_flag = ref false in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true))
+   with Invalid_argument _ -> ());
+  while (not !stop_flag) && (count = 0 || !ticks < count) do
+    Unix.sleepf interval;
+    let kvs = scrape_stats fd (Some "nvlf") in
+    let now = Trace.Metrics.kv_sample kvs in
+    let older = !last in
+    last := now;
+    let d, dt = Trace.Metrics.kv_delta ~older ~newer:now in
+    let dv k = Option.value (List.assoc_opt k d) ~default:0. in
+    let rate k = if dt > 0. then dv k /. dt else 0. in
+    let reqs = dv "requests" in
+    let lookups = dv "get_hits" +. dv "get_misses" in
+    let commits = dv "group_commits" in
+    Printf.printf
+      "%8s | %6s %6s %4.0f%% | %9.3f %10.1f %9.0f | %5.0f %6.0f | %6.0f %6.0f \
+       | %7.2f %8.2f\n%!"
+      (Report.human_ops (rate "requests"))
+      (Report.human_ops (rate "cmd_get"))
+      (Report.human_ops (rate "cmd_set"))
+      (if lookups > 0. then 100. *. dv "get_hits" /. lookups else 0.)
+      (if reqs > 0. then dv "fences" /. reqs else 0.)
+      (if commits > 0. then dv "group_ops" /. commits else 0.)
+      (level kvs "batch_depth_p50")
+      (level kvs "open_conns")
+      (level kvs "curr_items")
+      (level kvs "req_p50_us")
+      (level kvs "req_p99_us")
+      (rate "bytes_read" /. 1e6)
+      (rate "bytes_written" /. 1e6);
+    incr ticks
+  done;
+  Unix.close fd
+
+let watch_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0 & info [ "interval" ] ~doc:"Seconds between scrapes.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~doc:"Stop after N ticks (0 = until Ctrl-C).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Live NVServe dashboard: interval-diffed rates from repeated [stats \
+          nvlf] scrapes")
+    Term.(const watch $ host $ port_arg $ interval $ count)
+
 let () =
   let info = Cmd.info "nvlf" ~doc:"Log-free durable data structures driver" in
   exit
@@ -900,5 +1222,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; drill_cmd; run_cmd; sanitize_cmd; lincheck_cmd;
-            trace_cmd; top_cmd; serve_cmd; loadgen_cmd;
+            trace_cmd; top_cmd; serve_cmd; loadgen_cmd; watch_cmd;
           ]))

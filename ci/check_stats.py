@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Stats-plane smoke checker for CI.
+
+Scrapes a live NVServe instance and validates the telemetry wire contract:
+
+  * `stats nvlf` answers a STAT list whose key sequence matches the
+    committed baseline (ci/stats_nvlf_keys.txt) exactly — the key set and
+    order are append-only wire contract, and an accidental rename/reorder
+    must fail the build;
+  * a handful of invariants on the scraped values (counters non-negative,
+    requests counted, shard items summing to curr_items);
+  * optionally, the Prometheus text exposition on --metrics-port parses
+    line-wise and carries the same counters.
+
+Usage:
+  check_stats.py --port 21513 [--metrics-port 21613] \
+                 [--baseline ci/stats_nvlf_keys.txt] [--update]
+
+--update rewrites the baseline from the live scrape instead of checking
+(run it when keys are added on purpose, and commit the refreshed file).
+"""
+
+import argparse
+import socket
+import sys
+import urllib.request
+
+
+def scrape(port, arg="nvlf"):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+        s.sendall(f"stats {arg}\r\n".encode())
+        buf = b""
+        while not (buf.endswith(b"END\r\n") or buf.endswith(b"ERROR\r\n")):
+            chunk = s.recv(4096)
+            if not chunk:
+                raise SystemExit("server closed the connection mid-scrape")
+            buf += chunk
+    kvs = []
+    for line in buf.decode().split("\r\n"):
+        parts = line.split(" ", 2)
+        if parts[0] == "STAT" and len(parts) >= 3:
+            kvs.append((parts[1], parts[2]))
+    return kvs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--metrics-port", type=int, default=None)
+    ap.add_argument("--baseline", default="ci/stats_nvlf_keys.txt")
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args()
+
+    kvs = scrape(args.port)
+    if not kvs:
+        raise SystemExit("stats nvlf returned no STAT lines")
+    keys = [k for k, _ in kvs]
+    vals = dict(kvs)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            f.write("\n".join(keys) + "\n")
+        print(f"{args.baseline} updated: {len(keys)} keys")
+        return
+
+    with open(args.baseline) as f:
+        expected = f.read().split()
+    if keys != expected:
+        extra = [k for k in keys if k not in expected]
+        missing = [k for k in expected if k not in keys]
+        print("stats nvlf key schema drifted from", args.baseline)
+        if missing:
+            print("  missing:", ", ".join(missing))
+        if extra:
+            print("  unexpected:", ", ".join(extra))
+        if not missing and not extra:
+            print("  same keys, different order")
+        print("  (rerun with --update and commit the baseline if this is",
+              "an intentional append)")
+        sys.exit(1)
+
+    # Value sanity: the scrape ran over a served workload.
+    n_shards = int(vals["shards"])
+    for key in ("requests", "requests_served", "fences", "conns_accepted"):
+        assert int(vals[key]) > 0, f"{key} = {vals[key]}, expected > 0"
+    shard_items = sum(int(vals[f"shard{s}_items"]) for s in range(n_shards))
+    assert shard_items == int(vals["curr_items"]), (
+        f"shard items {shard_items} != curr_items {vals['curr_items']}")
+    hit_rate = float(vals["get_hit_rate"])
+    assert 0.0 <= hit_rate <= 1.0, hit_rate
+
+    if args.metrics_port is not None:
+        body = urllib.request.urlopen(
+            f"http://127.0.0.1:{args.metrics_port}/metrics", timeout=10
+        ).read().decode()
+        lines = [l for l in body.splitlines() if l and not l.startswith("#")]
+        assert lines, "empty metrics exposition"
+        for line in lines:
+            name, _, value = line.partition(" ")
+            assert name.startswith("nvlf_"), line
+            if not name.startswith("nvlf_info"):
+                float(value)  # every sample parses
+        names = {l.split(" ", 1)[0] for l in lines}
+        for want in ("nvlf_requests", "nvlf_fences", "nvlf_curr_items"):
+            assert want in names, f"{want} missing from /metrics"
+        print(f"/metrics OK: {len(lines)} samples")
+
+    print(f"stats nvlf OK: {len(keys)} keys match {args.baseline}, "
+          f"{vals['requests']} requests, {vals['curr_items']} items")
+
+
+if __name__ == "__main__":
+    main()

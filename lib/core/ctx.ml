@@ -148,15 +148,26 @@ let crashed_active_pages heap (cfg : config) =
     metadata and returns a fresh context plus the set of pages that were
     active at crash time (the recovery sweep's worklist). *)
 let recover heap (cfg : config) =
-  if Heap.load heap ~tid:0 0 <> heap_magic then
-    invalid_arg "Ctx.recover: heap has no NVLF layout";
-  let active = crashed_active_pages heap cfg in
-  let _, _, _, _, alloc_base, alloc_words = layout cfg in
-  let alloc =
-    Nvalloc.recover heap ~base:alloc_base ~size_words:alloc_words
-      ~page_words:cfg.page_words ~nthreads:cfg.nthreads ()
-  in
-  (build heap cfg ~fresh:false ~alloc, active)
+  Timeline.span_current "ctx.recover" (fun () ->
+      if Heap.load heap ~tid:0 0 <> heap_magic then
+        invalid_arg "Ctx.recover: heap has no NVLF layout";
+      let active =
+        Timeline.span_current "ctx.apt"
+          ~detail:"read durable active-page table" (fun () ->
+            crashed_active_pages heap cfg)
+      in
+      let _, _, _, _, alloc_base, alloc_words = layout cfg in
+      let alloc =
+        Timeline.span_current "ctx.alloc"
+          ~detail:"rebuild allocator from page metadata" (fun () ->
+            Nvalloc.recover heap ~base:alloc_base ~size_words:alloc_words
+              ~page_words:cfg.page_words ~nthreads:cfg.nthreads ())
+      in
+      let t =
+        Timeline.span_current "ctx.layout" ~detail:"re-carve heap layout"
+          (fun () -> build heap cfg ~fresh:false ~alloc)
+      in
+      (t, active))
 
 (** Address of root slot [i] (each root lives on its own cache line). *)
 let root_slot (t : t) i =

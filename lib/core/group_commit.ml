@@ -63,6 +63,8 @@ let make () =
   }
 
 let active t = t.active
+let deferred_count t = t.n
+let owes_alloc_fence t = t.owe_fence
 
 (* Open-addressing probe: the slot holding [link], or the empty slot where
    it would go. [land mask] of the scrambled key is non-negative even when

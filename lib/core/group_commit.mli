@@ -47,3 +47,13 @@ val defer_link : t -> Nvm.Heap.cursor -> link:int -> int -> unit
     Bumps [group_commits] / [group_ops] when a fence was issued. [ops] is
     the number of requests the batch executed. *)
 val commit : t -> Nvm.Heap.cursor -> ops:int -> unit
+
+(** {2 Telemetry} *)
+
+(** Links recorded in the open batch and still owed a commit clear — the
+    batch's current link debt. *)
+val deferred_count : t -> int
+
+(** Whether an allocation-fence debt is outstanding (node-init write-backs
+    queued, no fence yet). *)
+val owes_alloc_fence : t -> bool

@@ -133,26 +133,30 @@ let rebuild_link_free ctx ~validity_off ~reset ~insert =
   let alloc = Ctx.allocator ctx in
   let heap = Ctx.heap ctx in
   (* Collect first: freeing flips the very bitmaps being iterated. *)
-  let slots = ref [] in
-  List.iter
-    (fun page ->
-      Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
-          slots := addr :: !slots))
-    (Nvalloc.initialized_pages alloc ~tid);
-  let survivors =
-    List.filter_map
-      (fun addr ->
-        if Heap.load heap ~tid (addr + validity_off) = Link_free.valid then
-          Some (Heap.load heap ~tid addr, Heap.load heap ~tid (addr + 1))
-        else None)
-      !slots
-  in
-  List.iter (fun addr -> Nvalloc.free alloc ~tid addr) !slots;
-  Heap.fence heap ~tid;
-  reset ();
-  List.iter (fun (key, value) -> insert ~key ~value) survivors;
-  Heap.fence heap ~tid;
-  List.length survivors
+  let slots = ref [] and survivors = ref [] in
+  Timeline.span_current "lf.scan" ~detail:"classify slots by validity word"
+    (fun () ->
+      List.iter
+        (fun page ->
+          Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+              slots := addr :: !slots))
+        (Nvalloc.initialized_pages alloc ~tid);
+      survivors :=
+        List.filter_map
+          (fun addr ->
+            if Heap.load heap ~tid (addr + validity_off) = Link_free.valid then
+              Some (Heap.load heap ~tid addr, Heap.load heap ~tid (addr + 1))
+            else None)
+          !slots);
+  Timeline.span_current "lf.free" ~detail:"free all slots" (fun () ->
+      List.iter (fun addr -> Nvalloc.free alloc ~tid addr) !slots;
+      Heap.fence heap ~tid);
+  Timeline.span_current "lf.reinsert" ~detail:"reset and reinsert survivors"
+    (fun () ->
+      reset ();
+      List.iter (fun (key, value) -> insert ~key ~value) !survivors);
+  Timeline.span_current "lf.fence" (fun () -> Heap.fence heap ~tid);
+  List.length !survivors
 
 (** Allocated nodes in active pages that the structure cannot reach —
     should be zero after a sweep (tests). *)

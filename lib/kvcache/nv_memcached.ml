@@ -144,6 +144,24 @@ let incr t ~tid ~key ~delta =
 
 let count t = Atomic.get t.count
 
+(** Stored payload bytes (key + value of every live item) — a stats walk
+    over the table. Racy against concurrent mutation: an item retired
+    mid-walk may read torn lengths, so each item is guarded and skipped on
+    any failure rather than raising into the stats path. *)
+let stats_bytes t ~tid =
+  let heap = Ctx.heap t.ctx in
+  let total = ref 0 in
+  Durable_hash.iter_nodes t.ctx t.table (fun node ~deleted ->
+      if not deleted then
+        try
+          let item = Nvm.Heap.load heap ~tid (node + 1) in
+          total :=
+            !total
+            + String.length (Item.read_key t.ctx ~tid item)
+            + String.length (Item.read_value t.ctx ~tid item)
+        with _ -> ());
+  !total
+
 (** Every reachable node address: hash nodes plus the items their values
     point to — the traversal the recovery sweep needs. *)
 let iter_reachable t f =

@@ -23,6 +23,11 @@ val incr : t -> tid:int -> key:string -> delta:int -> int option
 
 val count : t -> int
 
+(** Stored payload bytes (key + value of every live item): a stats walk
+    over the hash table, racy against concurrent mutation — items retired
+    mid-walk are skipped, never raised on. *)
+val stats_bytes : t -> tid:int -> int
+
 (** Recover a crashed instance: restore table consistency, sweep active
     slabs for leaked items, rebuild the LRU and count. *)
 val recover :

@@ -16,9 +16,17 @@
     [SERVER_ERROR] rather than raising, so a server loop survives hostile or
     desynchronized clients. *)
 
-type t = { backend : Cache_intf.ops; start : float }
+type t = {
+  backend : Cache_intf.ops;
+  start : float;
+  stats_ext : (tid:int -> string option -> (string * string) list option) option;
+      (** server-side stats provider: [ext ~tid None] appends keys to plain
+          [stats], [ext ~tid (Some arg)] answers [stats <arg>] ([None] =
+          unknown argument, rejected with [ERROR] per memcached) *)
+}
 
-let create backend = { backend; start = Unix.gettimeofday () }
+let create ?stats_ext backend =
+  { backend; start = Unix.gettimeofday (); stats_ext }
 
 let crlf = "\r\n"
 
@@ -119,11 +127,44 @@ let get_command t ~tid keys =
   Buffer.add_string buf "END\r\n";
   Buffer.contents buf
 
-let stats_command t =
-  Printf.sprintf
-    "STAT backend %s\r\nSTAT curr_items %d\r\nSTAT uptime %d\r\nEND\r\n"
-    t.backend.name (t.backend.count ())
-    (int_of_float (Unix.gettimeofday () -. t.start))
+let render_stats kvs =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b "STAT ";
+      Buffer.add_string b k;
+      Buffer.add_char b ' ';
+      Buffer.add_string b v;
+      Buffer.add_string b crlf)
+    kvs;
+  Buffer.add_string b end_r;
+  Buffer.contents b
+
+let stats_command t ~tid =
+  let base =
+    [
+      ("backend", t.backend.name);
+      ("curr_items", string_of_int (t.backend.count ()));
+      ("uptime", string_of_int (int_of_float (Unix.gettimeofday () -. t.start)));
+    ]
+  in
+  let extra =
+    match t.stats_ext with
+    | None -> []
+    | Some ext -> Option.value (ext ~tid None) ~default:[]
+  in
+  render_stats (base @ extra)
+
+(* [stats <arg>]: only the extension knows the sub-reports; without one —
+   or when it disowns the argument — answer ERROR, exactly as memcached
+   rejects unknown stats arguments. *)
+let stats_arg_command t ~tid arg =
+  match t.stats_ext with
+  | None -> error_r
+  | Some ext -> (
+      match ext ~tid (Some arg) with
+      | Some kvs -> render_stats kvs
+      | None -> error_r)
 
 (* General parse: splits the command line into words and dispatches. The
    regular [set]/[get] shapes short-circuit in [handle] below; everything
@@ -158,7 +199,8 @@ let handle_general t ~tid req =
                 ~expire_at:(expire_of_exptime exptime);
               touched_r
           | _ -> not_found_r)
-      | "stats", [] -> stats_command t
+      | "stats", [] -> stats_command t ~tid
+      | "stats", [ arg ] -> stats_arg_command t ~tid arg
       | "version", [] -> "VERSION nvlf-0.1" ^ crlf
       | "verbosity", [ _ ] -> ok_r
       | "flush_all", [] ->

@@ -9,8 +9,18 @@
 type t
 
 (** A protocol endpoint over one cache backend; [stats] uptime counts from
-    here. *)
-val create : Cache_intf.ops -> t
+    here.
+
+    [stats_ext] hooks a server-side stats provider into the [stats]
+    command: [ext ~tid None] supplies extra [(key, value)] pairs appended
+    to the plain [stats] report, and [ext ~tid (Some arg)] answers
+    [stats <arg>] sub-reports (NVServe wires ["nvlf"] and ["settings"]).
+    Returning [None] for an argument — and every argument when no extension
+    is installed — yields the memcached-compatible [ERROR] rejection. *)
+val create :
+  ?stats_ext:(tid:int -> string option -> (string * string) list option) ->
+  Cache_intf.ops ->
+  t
 
 (** Handle one complete request (e.g. ["set k 0 0 5\r\nhello\r\n"]);
     returns the wire response. Never raises on malformed requests: torn or

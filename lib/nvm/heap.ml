@@ -488,22 +488,28 @@ let flush_all t ~tid =
     addresses. Deterministic building block for exhaustive crash-state
     enumeration; must be called when no other domain is accessing the heap. *)
 let crash_with t ~keep =
-  t.trip <- -1;
-  for line = 0 to t.n_lines - 1 do
-    if Bytes.unsafe_get t.dirty line <> '\000' then begin
-      if keep line then Cursor.drain_line t Drain_crash line
-      else Bytes.unsafe_set t.dirty line '\000'
-    end
-  done;
-  clear_all_pending t;
-  (* Single-domain by contract, so the reload can use plain stores instead
-     of paying a seq_cst fence per word. *)
-  for a = 0 to t.size_words - 1 do
-    fenceless_set (Array.unsafe_get t.volatile a) (Array.unsafe_get t.durable a)
-  done;
-  (* A reboot empties the caches: stale invalidation state dies with them. *)
-  Bytes.fill t.invalid 0 (Bytes.length t.invalid) '\000';
-  match t.observer with None -> () | Some f -> f Ev_crash
+  Timeline.span_current "heap.crash" (fun () ->
+      t.trip <- -1;
+      Timeline.span_current "heap.evict" (fun () ->
+          for line = 0 to t.n_lines - 1 do
+            if Bytes.unsafe_get t.dirty line <> '\000' then begin
+              if keep line then Cursor.drain_line t Drain_crash line
+              else Bytes.unsafe_set t.dirty line '\000'
+            end
+          done;
+          clear_all_pending t);
+      (* Single-domain by contract, so the reload can use plain stores
+         instead of paying a seq_cst fence per word. *)
+      Timeline.span_current "heap.reload" (fun () ->
+          for a = 0 to t.size_words - 1 do
+            fenceless_set
+              (Array.unsafe_get t.volatile a)
+              (Array.unsafe_get t.durable a)
+          done);
+      (* A reboot empties the caches: stale invalidation state dies with
+         them. *)
+      Bytes.fill t.invalid 0 (Bytes.length t.invalid) '\000';
+      match t.observer with None -> () | Some f -> f Ev_crash)
 
 (** [crash t ~seed ~eviction_probability] simulates a power failure followed
     by a restart. Must be called when no other domain is accessing the heap.

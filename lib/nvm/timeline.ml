@@ -1,0 +1,66 @@
+(** Recovery/crash phase journal (see the interface). Events are collected
+    in reverse and flipped on read; the process-wide sink is a plain ref —
+    recovery is single-domain by contract, so no lock. *)
+
+type event = { phase : string; detail : string; start_s : float; dur_s : float; depth : int }
+
+type t = {
+  t0 : float;  (* gettimeofday at create *)
+  mutable rev_events : (int * event) list;  (* (start seq, event) *)
+  mutable depth : int;  (* current span-nesting level *)
+  mutable next_seq : int;  (* entry order — ticks at span START *)
+}
+
+let create () =
+  { t0 = Unix.gettimeofday (); rev_events = []; depth = 0; next_seq = 0 }
+
+(* Spans are recorded on completion, which puts a parent after its nested
+   children; re-sort by the sequence number taken at span START so readers
+   see the journal in execution order (clock timestamps can tie at
+   gettimeofday resolution, so they cannot order the list). *)
+let events t =
+  List.map snd
+    (List.sort
+       (fun (a, _) (b, _) -> compare (a : int) b)
+       t.rev_events)
+
+let total_s t =
+  List.fold_left
+    (fun acc (_, (e : event)) -> if e.depth = 0 then acc +. e.dur_s else acc)
+    0. t.rev_events
+
+let span t ?(detail = "") phase f =
+  let start = Unix.gettimeofday () in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let depth = t.depth in
+  t.depth <- depth + 1;
+  let record () =
+    t.depth <- depth;
+    let stop = Unix.gettimeofday () in
+    t.rev_events <-
+      ( seq,
+        { phase; detail; start_s = start -. t.t0; dur_s = stop -. start; depth }
+      )
+      :: t.rev_events
+  in
+  match f () with
+  | v ->
+      record ();
+      v
+  | exception e ->
+      record ();
+      raise e
+
+(* The process-wide sink. Recovery code deep in the stack (heap crash,
+   layout rebuild, slab scans) brackets itself against this so callers need
+   not thread a journal through every signature; None costs one load. *)
+let current : t option ref = ref None
+
+let with_current t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let span_current ?detail phase f =
+  match !current with None -> f () | Some t -> span t ?detail phase f

@@ -1,0 +1,48 @@
+(** Recovery/crash phase journal: timestamped, nestable phase spans.
+
+    Crash recovery used to answer with one aggregate number; an operator
+    diagnosing a slow restart needs to know {e which phase} ate the time —
+    the layout re-carve, the allocator rebuild, the table attach, the leak
+    sweep, the link-free slab scan, the re-admission pass. Every recovery
+    step ({!Heap.crash}, [Ctx.recover], [Recovery.rebuild_link_free],
+    [Shard_store.recover]) brackets itself in {!span_current}, which records
+    into whatever journal the caller installed with {!with_current} — and
+    costs one global read plus a never-taken branch when none is.
+
+    Spans nest: a top-level phase (depth 0) may contain sub-phases (depth 1,
+    2, ...). Depth-0 spans partition the journal's wall-clock, so their
+    durations sum to the total the caller reports — the drill's acceptance
+    invariant.
+
+    Single-domain use: recovery is inherently quiescent (no other domain may
+    touch the heap), and the journal inherits that contract. The current
+    sink is process-wide state; do not install one from two domains at
+    once. *)
+
+(** One recorded phase. [start_s] is seconds since the journal's creation;
+    [depth] is the span-nesting level at record time (0 = top level). *)
+type event = { phase : string; detail : string; start_s : float; dur_s : float; depth : int }
+
+type t
+
+val create : unit -> t
+
+(** Recorded events, in start order. *)
+val events : t -> event list
+
+(** Sum of depth-0 span durations — the journal's covered wall-clock. *)
+val total_s : t -> float
+
+(** [span t phase f] times [f ()] and records it as a phase (nested calls
+    record at increasing depth). The exception-safe bracket: the span is
+    recorded even if [f] raises. *)
+val span : t -> ?detail:string -> string -> (unit -> 'a) -> 'a
+
+(** Install [t] as the process-wide journal for the duration of [f]:
+    {!span_current} brackets inside [f] record into it. Restores the
+    previous sink (so journals may stack) even if [f] raises. *)
+val with_current : t -> (unit -> 'a) -> 'a
+
+(** [span t phase f] against the installed journal; when none is installed
+    this is exactly [f ()] — no timestamps, no allocation. *)
+val span_current : ?detail:string -> string -> (unit -> 'a) -> 'a

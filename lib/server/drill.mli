@@ -52,7 +52,15 @@ type report = {
   torn : bool;  (** a torn operation was actually injected *)
   ctx_recover_s : float;  (** layout + allocator reconstruction *)
   sweep_s : float;  (** table attach + combined parallel leak sweep *)
-  recovery_s : float;  (** total: crash to serving store *)
+  recovery_s : float;
+      (** total recovery time — the sum of the timeline's depth-0 recovery
+          phases (equal to the crash-to-serving wall time up to the
+          nanoseconds between phases) *)
+  timeline : Nvm.Timeline.event list;
+      (** the recovery journal: timestamped phase spans emitted by
+          [Heap.crash], [Ctx.recover] and [Shard_store.recover] — crash
+          phases first ([heap.*]), then recovery phases ([ctx.*],
+          [shards.*]); nested spans carry [depth > 0] *)
   freed_leaks : int;  (** nodes reclaimed by the sweep *)
   residual_leaks : int;  (** leaks remaining after the sweep — must be 0 *)
   checked : int;  (** acknowledged keys audited over TCP *)

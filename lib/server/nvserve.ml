@@ -26,6 +26,8 @@ type config = {
   read_chunk : int;
   max_batch : int;
   max_delay_us : int;
+  metrics_port : int option;
+  sample_every : int;
 }
 
 let default_config () =
@@ -40,6 +42,8 @@ let default_config () =
     read_chunk = 4096;
     max_batch = 64;
     max_delay_us = 0;
+    metrics_port = None;
+    sample_every = 0;
   }
 
 let heap_config cfg =
@@ -95,6 +99,9 @@ type t = {
   workers : worker array;
   mutable domains : unit Domain.t list;
   accepted : int Atomic.t;
+  tel : Telemetry.t;
+  msock : Unix.file_descr option;  (** metrics listener, when enabled *)
+  metrics_port_ : int option;
   down : bool ref;  (** shutdown already completed (stop/kill idempotence) *)
   down_lock : Mutex.t;
 }
@@ -118,8 +125,9 @@ let conn_create cfg fd =
 let out_pending c = Outbuf.length c.out
 
 (* Write as much released output as the socket accepts, straight out of the
-   backing buffer (no copy); false = connection is dead. *)
-let try_write c =
+   backing buffer (no copy); false = connection is dead. A short or refused
+   write is a stall — the peer reads slower than we produce. *)
+let try_write tw c =
   let rec go () =
     let n = Outbuf.writable c.out in
     if n = 0 then true
@@ -128,13 +136,24 @@ let try_write c =
       | 0 -> true
       | written ->
           Outbuf.consume c.out written;
-          if written < n then true else go ()
+          Telemetry.bump_n tw Telemetry.c_bytes_written written;
+          if written < n then begin
+            Telemetry.bump tw Telemetry.c_write_stalls;
+            true
+          end
+          else go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
         ->
+          Telemetry.bump tw Telemetry.c_write_stalls;
           true
       | exception Unix.Unix_error (_, _, _) -> false
   in
-  go ()
+  let alive = go () in
+  if alive then begin
+    Telemetry.note_outbuf_hwm tw (Outbuf.hwm c.out);
+    Telemetry.on_written tw c.fd ~drained:(Outbuf.writable c.out = 0)
+  end;
+  alive
 
 (* [String.trim] copies the request, so gate it on length: a quit line is
    tiny, and this predicate runs once per framed request. *)
@@ -153,6 +172,9 @@ let adopt_pending w =
 
 let worker_loop t w proto =
   let cfg = t.cfg in
+  let tw = Telemetry.worker t.tel w.idx in
+  let gc = Lfds.Ctx.group_commit t.ctx ~tid:w.idx in
+  let heap = Lfds.Ctx.heap t.ctx in
   let batching = cfg.max_batch > 1 in
   let max_delay = float_of_int cfg.max_delay_us *. 1e-6 in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
@@ -163,23 +185,39 @@ let worker_loop t w proto =
   let batch_since = ref 0. in
   let commit_batch () =
     if !batch_ops > 0 then begin
+      (* Fence debt the covering fence is about to retire: links awaiting
+         their commit clear plus cache lines parked in the cursor. *)
+      Telemetry.record_debt tw
+        (Lfds.Group_commit.deferred_count gc
+        + Nvm.Heap.pending_count heap ~tid:w.idx);
       Kvcache.Protocol.commit proto ~tid:w.idx ~ops:!batch_ops;
       Atomic.incr w.commits;
       Workload.Histogram.record w.depth_hist ~ns:(float_of_int !batch_ops);
       batch_ops := 0
     end;
+    Telemetry.on_commit tw;
     (* Every held response is now covered (mutating or not): release. *)
     Hashtbl.iter (fun _ c -> Outbuf.release_all c.out) conns
   in
   let answer c req =
+    let kind = Telemetry.kind_of req in
+    Telemetry.on_request tw ~fd:c.fd ~kind;
     if batching then begin
       if !batch_ops = 0 then batch_since := Unix.gettimeofday ();
-      Outbuf.add_string c.out (Kvcache.Protocol.handle_deferred proto ~tid:w.idx req);
+      let resp = Kvcache.Protocol.handle_deferred proto ~tid:w.idx req in
+      Telemetry.on_executed tw;
+      if kind = Telemetry.c_cmd_get then Telemetry.note_get_result tw resp;
+      Outbuf.add_string c.out resp;
       incr batch_ops;
       if !batch_ops >= cfg.max_batch then commit_batch ()
     end
     else begin
-      Outbuf.add_string c.out (Kvcache.Protocol.handle proto ~tid:w.idx req);
+      let resp = Kvcache.Protocol.handle proto ~tid:w.idx req in
+      Telemetry.on_executed tw;
+      (* Eager path: the per-op fence already ran inside the handler. *)
+      Telemetry.on_commit tw;
+      if kind = Telemetry.c_cmd_get then Telemetry.note_get_result tw resp;
+      Outbuf.add_string c.out resp;
       Outbuf.release_all c.out
     end;
     Atomic.incr w.served
@@ -188,10 +226,12 @@ let worker_loop t w proto =
   let drain_requests c =
     let rec go pos =
       if pos >= c.len then pos
-      else
+      else begin
+        Telemetry.arm tw;
         match Framing.next c.buf ~pos ~len:(c.len - pos) with
         | Framing.Request { req; consumed } ->
             if is_quit req then begin
+              Telemetry.bump tw Telemetry.c_quits;
               c.closing <- true;
               pos + consumed
             end
@@ -200,16 +240,20 @@ let worker_loop t w proto =
               go (pos + consumed)
             end
         | Framing.Reject { response; consumed } ->
+            Telemetry.bump tw Telemetry.c_requests;
+            Telemetry.bump tw Telemetry.c_rejects;
             Outbuf.add_string c.out response;
             if not batching then Outbuf.release_all c.out;
             Atomic.incr w.served;
             go (pos + consumed)
         | Framing.Need_more -> pos
         | Framing.Too_long ->
+            Telemetry.bump tw Telemetry.c_rejects;
             Outbuf.add_string c.out "CLIENT_ERROR line too long\r\n";
             if not batching then Outbuf.release_all c.out;
             c.closing <- true;
             c.len (* discard the unframeable stream *)
+      end
     in
     let consumed = go 0 in
     if consumed > 0 then begin
@@ -232,6 +276,8 @@ let worker_loop t w proto =
       | n ->
           c.len <- c.len + n;
           c.last_active <- Unix.gettimeofday ();
+          Telemetry.bump_n tw Telemetry.c_bytes_read n;
+          Telemetry.on_read tw;
           drain_requests c;
           true
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -241,7 +287,10 @@ let worker_loop t w proto =
   in
   let close_conn c =
     Hashtbl.remove conns c.fd;
-    close_quiet c.fd
+    close_quiet c.fd;
+    Telemetry.bump tw Telemetry.c_conns_closed;
+    Telemetry.note_outbuf tw ~hwm:(Outbuf.hwm c.out) ~grows:(Outbuf.grows c.out);
+    Telemetry.on_conn_gone tw c.fd
   in
   let held_any () =
     !batch_ops > 0
@@ -255,7 +304,7 @@ let worker_loop t w proto =
         (* Answer what is already buffered, commit, flush, and leave. *)
         Hashtbl.iter (fun _ c -> drain_requests c) conns;
         commit_batch ();
-        Hashtbl.iter (fun _ c -> ignore (try_write c)) conns;
+        Hashtbl.iter (fun _ c -> ignore (try_write tw c)) conns;
         Hashtbl.iter (fun _ c -> close_quiet c.fd) conns;
         Hashtbl.reset conns;
         running := false
@@ -267,8 +316,10 @@ let worker_loop t w proto =
       List.iter
         (fun fd ->
           let c = conn_create cfg fd in
+          Telemetry.bump tw Telemetry.c_conns_adopted;
           Hashtbl.replace conns fd c)
         (adopt_pending w);
+      Telemetry.set_open_conns tw (Hashtbl.length conns);
       let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
       let wfds =
         Hashtbl.fold
@@ -290,7 +341,7 @@ let worker_loop t w proto =
         (fun fd ->
           match Hashtbl.find_opt conns fd with
           | None -> ()
-          | Some c -> if not (try_write c) then close_conn c)
+          | Some c -> if not (try_write tw c) then close_conn c)
         writable;
       List.iter
         (fun fd ->
@@ -310,7 +361,7 @@ let worker_loop t w proto =
       let dead =
         Hashtbl.fold
           (fun _ c acc ->
-            if Outbuf.writable c.out > 0 && not (try_write c) then c :: acc
+            if Outbuf.writable c.out > 0 && not (try_write tw c) then c :: acc
             else if c.closing && out_pending c = 0 then c :: acc
             else acc)
           conns []
@@ -324,8 +375,13 @@ let worker_loop t w proto =
               if now -. c.last_active > cfg.idle_timeout then c :: acc else acc)
             conns []
         in
-        List.iter close_conn stale
-      end
+        List.iter
+          (fun c ->
+            Telemetry.bump tw Telemetry.c_conns_idle_closed;
+            close_conn c)
+          stale
+      end;
+      Telemetry.set_open_conns tw (Hashtbl.length conns)
     end
   done
 
@@ -351,6 +407,233 @@ let acceptor_loop t =
             ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
+
+(* ---------- aggregate views ---------- *)
+
+let requests_served t =
+  Array.fold_left (fun acc w -> acc + Atomic.get w.served) 0 t.workers
+
+let connections_accepted t = Atomic.get t.accepted
+
+let group_commits t =
+  Array.fold_left (fun acc w -> acc + Atomic.get w.commits) 0 t.workers
+
+let batch_depth_hist t =
+  let h = Workload.Histogram.create () in
+  Array.iter (fun w -> Workload.Histogram.merge ~into:h w.depth_hist) t.workers;
+  h
+
+let telemetry t = t.tel
+let metrics_port t = t.metrics_port_
+
+(* ---------- stats exposition ---------- *)
+
+let uptime_s t = Unix.gettimeofday () -. Telemetry.start_time t.tel
+
+(* memcached-standard keys appended to the plain [stats] report, so stock
+   monitoring that speaks memcached reads NVServe unmodified. *)
+let basic_stats t =
+  let c = Telemetry.counters t.tel in
+  let i k id = (k, string_of_int c.(id)) in
+  [
+    ("pid", string_of_int (Unix.getpid ()));
+    ("threads", string_of_int (Array.length t.workers));
+    ("curr_connections", string_of_int (Telemetry.open_conns t.tel));
+    ("total_connections", string_of_int (Atomic.get t.accepted));
+    i "cmd_get" Telemetry.c_cmd_get;
+    i "cmd_set" Telemetry.c_cmd_set;
+    i "get_hits" Telemetry.c_get_hits;
+    i "get_misses" Telemetry.c_get_misses;
+    i "bytes_read" Telemetry.c_bytes_read;
+    i "bytes_written" Telemetry.c_bytes_written;
+  ]
+
+(* The [stats nvlf] schema. Key set and order are part of the wire contract
+   (CI diffs a scrape against a committed baseline; [nvlf watch] diffs
+   successive scrapes) — extend by appending to the relevant group, never by
+   renaming or reordering. *)
+let nvlf_stats t ~tid =
+  let c = Telemetry.counters t.tel in
+  let tc k id = (k, string_of_int c.(id)) in
+  let i k v = (k, string_of_int v) in
+  let f k v = (k, Printf.sprintf "%.3f" v) in
+  let rate k num den =
+    (k, Printf.sprintf "%.4f" (if den = 0 then 0. else float_of_int num /. float_of_int den))
+  in
+  let us k ns = (k, Printf.sprintf "%.1f" (ns /. 1e3)) in
+  let st = Nvm.Heap.aggregate_stats (Lfds.Ctx.heap t.ctx) in
+  let served = requests_served t in
+  let depth = batch_depth_hist t in
+  let pct h p = Workload.Histogram.percentile h p in
+  let req = Telemetry.req_hist t.tel in
+  let debt = Telemetry.debt_hist t.tel in
+  let items = Shard_store.items_per_shard t.store_ in
+  let bytes = Shard_store.bytes_per_shard t.store_ ~tid in
+  let shard_kvs =
+    List.concat
+      (List.init (Array.length items) (fun s ->
+           [
+             i (Printf.sprintf "shard%d_items" s) items.(s);
+             i (Printf.sprintf "shard%d_bytes" s) bytes.(s);
+           ]))
+  in
+  let stage_kvs =
+    List.init Telemetry.n_stages (fun s ->
+        us
+          ("stage_" ^ Telemetry.stage_names.(s) ^ "_us")
+          (Workload.Histogram.mean (Telemetry.stage_hist t.tel s)))
+  in
+  [
+    ("mode", Lfds.Persist_mode.to_string t.cfg.mode);
+    i "workers" (Array.length t.workers);
+    i "shards" (Shard_store.nshards t.store_);
+    i "port" t.port_;
+    i "max_batch" t.cfg.max_batch;
+    i "max_delay_us" t.cfg.max_delay_us;
+    i "sample_every" (Telemetry.sample_every t.tel);
+    f "uptime_s" (uptime_s t);
+    i "conns_accepted" (Atomic.get t.accepted);
+    tc "conns_adopted" Telemetry.c_conns_adopted;
+    tc "conns_closed" Telemetry.c_conns_closed;
+    tc "conns_idle_closed" Telemetry.c_conns_idle_closed;
+    i "open_conns" (Telemetry.open_conns t.tel);
+    tc "requests" Telemetry.c_requests;
+    i "requests_served" served;
+    tc "rejects" Telemetry.c_rejects;
+    tc "quits" Telemetry.c_quits;
+    tc "bytes_read" Telemetry.c_bytes_read;
+    tc "bytes_written" Telemetry.c_bytes_written;
+    tc "write_stalls" Telemetry.c_write_stalls;
+    tc "outbuf_grows" Telemetry.c_outbuf_grows;
+    i "outbuf_hwm" (Telemetry.outbuf_hwm t.tel);
+    tc "cmd_get" Telemetry.c_cmd_get;
+    tc "cmd_set" Telemetry.c_cmd_set;
+    tc "cmd_delete" Telemetry.c_cmd_delete;
+    tc "cmd_incr" Telemetry.c_cmd_incr;
+    tc "cmd_stats" Telemetry.c_cmd_stats;
+    tc "cmd_other" Telemetry.c_cmd_other;
+    tc "get_hits" Telemetry.c_get_hits;
+    tc "get_misses" Telemetry.c_get_misses;
+    rate "get_hit_rate" c.(Telemetry.c_get_hits)
+      (c.(Telemetry.c_get_hits) + c.(Telemetry.c_get_misses));
+    i "fences" st.Nvm.Pstats.fences;
+    i "write_backs" st.Nvm.Pstats.write_backs;
+    i "sync_batches" st.Nvm.Pstats.sync_batches;
+    i "lines_drained" st.Nvm.Pstats.lines_drained;
+    i "allocs" st.Nvm.Pstats.allocs;
+    i "frees" st.Nvm.Pstats.frees;
+    i "epoch_stalls" st.Nvm.Pstats.epoch_stalls;
+    i "group_commits" st.Nvm.Pstats.group_commits;
+    i "group_ops" st.Nvm.Pstats.group_ops;
+    i "deferred_links" st.Nvm.Pstats.deferred_links;
+    i "lc_adds" st.Nvm.Pstats.lc_adds;
+    i "lc_fails" st.Nvm.Pstats.lc_fails;
+    i "lc_flushes" st.Nvm.Pstats.lc_flushes;
+    rate "lc_hit_rate" st.Nvm.Pstats.lc_adds
+      (st.Nvm.Pstats.lc_adds + st.Nvm.Pstats.lc_fails);
+    rate "fences_per_req" st.Nvm.Pstats.fences served;
+    rate "wbs_per_req" st.Nvm.Pstats.write_backs served;
+    rate "ops_per_commit" st.Nvm.Pstats.group_ops st.Nvm.Pstats.group_commits;
+    i "batch_depth_p50" (int_of_float (pct depth 50.));
+    i "batch_depth_p99" (int_of_float (pct depth 99.));
+    i "batch_depth_max" (int_of_float (Workload.Histogram.max_ns depth));
+    i "curr_items" (Shard_store.count t.store_);
+  ]
+  @ shard_kvs
+  @ [
+      tc "sampled_requests" Telemetry.c_sampled;
+      i "fence_debt_p50" (int_of_float (pct debt 50.));
+      i "fence_debt_p99" (int_of_float (pct debt 99.));
+      us "req_p50_us" (pct req 50.);
+      us "req_p99_us" (pct req 99.);
+      us "req_p999_us" (pct req 99.9);
+      us "req_max_us" (Workload.Histogram.max_ns req);
+    ]
+  @ stage_kvs
+
+let settings_stats t =
+  [
+    ("port", string_of_int t.port_);
+    ( "metrics_port",
+      match t.metrics_port_ with None -> "off" | Some p -> string_of_int p );
+    ("nworkers", string_of_int t.cfg.nworkers);
+    ("nbuckets", string_of_int t.cfg.nbuckets);
+    ("capacity", string_of_int t.cfg.capacity);
+    ("mode", Lfds.Persist_mode.to_string t.cfg.mode);
+    ("idle_timeout", Printf.sprintf "%g" t.cfg.idle_timeout);
+    ("read_chunk", string_of_int t.cfg.read_chunk);
+    ("max_batch", string_of_int t.cfg.max_batch);
+    ("max_delay_us", string_of_int t.cfg.max_delay_us);
+    ("sample_every", string_of_int t.cfg.sample_every);
+  ]
+
+let stats_ext t ~tid arg =
+  match arg with
+  | None -> Some (basic_stats t)
+  | Some "nvlf" -> Some (nvlf_stats t ~tid)
+  | Some "settings" -> Some (settings_stats t)
+  | Some _ -> None (* unknown argument: Protocol answers ERROR *)
+
+(* ---------- Prometheus text exposition ---------- *)
+
+(* Every numeric [stats nvlf] key, prefixed [nvlf_]; the non-numeric mode
+   rides as a label on [nvlf_info]. One-shot HTTP answer, so both
+   [curl http://127.0.0.1:PORT/metrics] and netcat work. *)
+let prometheus_body t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "# HELP nvlf_info NVServe configuration\n";
+  Buffer.add_string b "# TYPE nvlf_info gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "nvlf_info{mode=\"%s\",workers=\"%d\"} 1\n"
+       (Lfds.Persist_mode.to_string t.cfg.mode)
+       (Array.length t.workers));
+  List.iter
+    (fun (k, v) ->
+      match float_of_string_opt v with
+      | None -> ()
+      | Some _ ->
+          Buffer.add_string b "nvlf_";
+          Buffer.add_string b k;
+          Buffer.add_char b ' ';
+          Buffer.add_string b v;
+          Buffer.add_char b '\n')
+    (nvlf_stats t ~tid:0);
+  Buffer.contents b
+
+let metrics_loop t msock =
+  let buf = Bytes.create 1024 in
+  while Atomic.get t.state = Running do
+    match Unix.select [ msock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept msock with
+        | fd, _ ->
+            (* One-shot exchange: drain whatever request line arrived (with
+               a short timeout, so a silent peer cannot wedge the scraper),
+               answer, close. *)
+            (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+             with Unix.Unix_error _ -> ());
+            (try ignore (Unix.read fd buf 0 (Bytes.length buf))
+             with Unix.Unix_error _ -> ());
+            let body = prometheus_body t in
+            let resp =
+              Printf.sprintf
+                "HTTP/1.0 200 OK\r\n\
+                 Content-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: %d\r\n\
+                 Connection: close\r\n\r\n%s"
+                (String.length body) body
+            in
+            (try ignore (Unix.write_substring fd resp 0 (String.length resp))
+             with Unix.Unix_error _ -> ());
+            close_quiet fd
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  close_quiet msock
 
 (* ---------- lifecycle ---------- *)
 
@@ -380,6 +663,23 @@ let start_with cfg ~heap_cfg ctx store_ =
           depth_hist = Workload.Histogram.create ();
         })
   in
+  let tel =
+    Telemetry.create ~nworkers:(max 1 cfg.nworkers) ~sample_every:cfg.sample_every
+  in
+  let msock, metrics_port_ =
+    match cfg.metrics_port with
+    | None -> (None, None)
+    | Some p ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+        Unix.listen s 16;
+        Unix.set_nonblock s;
+        let p' =
+          match Unix.getsockname s with Unix.ADDR_INET (_, q) -> q | _ -> p
+        in
+        (Some s, Some p')
+  in
   let t =
     {
       cfg;
@@ -392,17 +692,27 @@ let start_with cfg ~heap_cfg ctx store_ =
       workers;
       domains = [];
       accepted = Atomic.make 0;
+      tel;
+      msock;
+      metrics_port_;
       down = ref false;
       down_lock = Mutex.create ();
     }
   in
-  let proto = Kvcache.Protocol.create (Shard_store.ops store_) in
+  let proto =
+    Kvcache.Protocol.create ~stats_ext:(stats_ext t) (Shard_store.ops store_)
+  in
   let worker_domains =
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w proto)) workers)
   in
+  let metrics_domains =
+    match msock with
+    | None -> []
+    | Some s -> [ Domain.spawn (fun () -> metrics_loop t s) ]
+  in
   let acceptor = Domain.spawn (fun () -> acceptor_loop t) in
-  t.domains <- acceptor :: worker_domains;
+  t.domains <- (acceptor :: metrics_domains) @ worker_domains;
   t
 
 let start cfg =
@@ -419,19 +729,6 @@ let config t = t.cfg
 let heap_cfg t = t.hcfg
 let ctx t = t.ctx
 let store t = t.store_
-
-let requests_served t =
-  Array.fold_left (fun acc w -> acc + Atomic.get w.served) 0 t.workers
-
-let connections_accepted t = Atomic.get t.accepted
-
-let group_commits t =
-  Array.fold_left (fun acc w -> acc + Atomic.get w.commits) 0 t.workers
-
-let batch_depth_hist t =
-  let h = Workload.Histogram.create () in
-  Array.iter (fun w -> Workload.Histogram.merge ~into:h w.depth_hist) t.workers;
-  h
 
 let shutdown t target ~persist =
   Mutex.lock t.down_lock;

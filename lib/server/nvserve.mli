@@ -47,11 +47,19 @@ type config = {
       (** starvation bound: microseconds an under-filled batch may be held
           open across wakeups before its fence is forced (0 = commit at
           every wakeup end) *)
+  metrics_port : int option;
+      (** serve a Prometheus-style text exposition of the [stats nvlf]
+          counters on this loopback port ([Some 0] = ephemeral, resolved by
+          {!metrics_port}); [None] = no metrics listener *)
+  sample_every : int;
+      (** trace every Nth request per worker through the
+          queue/parse/execute/fence/respond stages ({!Telemetry}); [0]
+          disables the sampler (counters stay live) *)
 }
 
 (** 4 workers, 4096 buckets, 100k items, link-and-persist, no injected
     latency, 60 s idle timeout, ephemeral port, group commit up to 64 ops
-    with no cross-wakeup holding. *)
+    with no cross-wakeup holding, no metrics listener, sampler off. *)
 val default_config : unit -> config
 
 (** Heap/context configuration a server built from [config] uses — what
@@ -86,6 +94,14 @@ val connections_accepted : t -> int
 (** Group-commit batches retired so far, summed over workers (monotonic,
     read-racy). One covering fence each. *)
 val group_commits : t -> int
+
+(** The server's telemetry plane: live counters, gauges, stage histograms
+    and the sampled-request ring. Reads are racy-but-safe from any domain. *)
+val telemetry : t -> Telemetry.t
+
+(** The bound metrics-exposition port, when [config.metrics_port] asked for
+    one (resolves [Some 0]). *)
+val metrics_port : t -> int option
 
 (** Merged batch-depth distribution: one sample per retired batch, value =
     ops it covered (recorded on the histogram's ns axis). Percentiles are

@@ -11,15 +11,27 @@ type t = {
   mutable start : int;  (** first unconsumed byte *)
   mutable len : int;  (** valid bytes at [start ..] *)
   mutable released : int;  (** prefix of [len] eligible for the socket *)
+  mutable hwm : int;  (** queue-depth high-water mark: max [len] ever seen *)
+  mutable grows : int;  (** times the backing grew (telemetry) *)
 }
 
-let create capacity = { buf = Bytes.create (max 64 capacity); start = 0; len = 0; released = 0 }
+let create capacity =
+  {
+    buf = Bytes.create (max 64 capacity);
+    start = 0;
+    len = 0;
+    released = 0;
+    hwm = 0;
+    grows = 0;
+  }
 
 let length t = t.len
 let writable t = t.released
 let held t = t.len - t.released
 let bytes t = t.buf
 let start t = t.start
+let hwm t = t.hwm
+let grows t = t.grows
 
 let ensure_room t need =
   let cap = Bytes.length t.buf in
@@ -37,7 +49,8 @@ let ensure_room t need =
       let buf' = Bytes.create !cap' in
       Bytes.blit t.buf t.start buf' 0 t.len;
       t.buf <- buf';
-      t.start <- 0
+      t.start <- 0;
+      t.grows <- t.grows + 1
     end
 
 let add_string t s =
@@ -45,7 +58,8 @@ let add_string t s =
   if n > 0 then begin
     ensure_room t n;
     Bytes.blit_string s 0 t.buf (t.start + t.len) n;
-    t.len <- t.len + n
+    t.len <- t.len + n;
+    if t.len > t.hwm then t.hwm <- t.len
   end
 
 let release_all t = t.released <- t.len

@@ -47,3 +47,13 @@ val consume : t -> int -> unit
 
 (** Forget everything (connection teardown). *)
 val clear : t -> unit
+
+(** {2 Telemetry} *)
+
+(** Queue-depth high-water mark: the largest [length] this buffer ever
+    reached (bytes buffered awaiting fence or socket). *)
+val hwm : t -> int
+
+(** Times the backing array had to grow (a growing buffer means the peer
+    reads slower than the server produces). *)
+val grows : t -> int

@@ -42,6 +42,11 @@ let shard t key = t.shards.(shard_of t key)
 let count t =
   Array.fold_left (fun acc s -> acc + Kvcache.Nv_memcached.count s) 0 t.shards
 
+let items_per_shard t = Array.map Kvcache.Nv_memcached.count t.shards
+
+let bytes_per_shard t ~tid =
+  Array.map (fun s -> Kvcache.Nv_memcached.stats_bytes s ~tid) t.shards
+
 let iter_reachable t f =
   Array.iter (fun s -> Kvcache.Nv_memcached.iter_reachable s f) t.shards
 
@@ -63,43 +68,59 @@ let attach_empty ctx ~nshards ~nbuckets ~capacity =
   }
 
 let recover_link_free ctx ~nshards ~nbuckets ~capacity =
-  let t = attach_empty ctx ~nshards ~nbuckets ~capacity in
+  let t =
+    Nvm.Timeline.span_current "shards.reset"
+      ~detail:"re-create empty shard tables" (fun () ->
+        attach_empty ctx ~nshards ~nbuckets ~capacity)
+  in
   let tid = 0 in
   let alloc = Lfds.Ctx.allocator ctx in
   let heap = Lfds.Ctx.heap ctx in
   let cu = Lfds.Ctx.cursor ctx ~tid in
-  (* Collect first: freeing flips the very bitmaps being iterated. *)
-  let slots = ref [] in
-  List.iter
-    (fun page ->
-      Nvm.Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
-          slots := addr :: !slots))
-    (Nvm.Nvalloc.initialized_pages alloc ~tid);
-  let slots = List.rev !slots in
-  let survives addr =
-    Nvm.Heap.load heap ~tid (Kvcache.Item.validity_of addr)
-    = Lfds.Link_free.valid_item
+  let slots, survivors =
+    Nvm.Timeline.span_current "shards.scan"
+      ~detail:"classify allocated slots by validity word" (fun () ->
+        (* Collect first: freeing flips the very bitmaps being iterated. *)
+        let slots = ref [] in
+        List.iter
+          (fun page ->
+            Nvm.Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+                slots := addr :: !slots))
+          (Nvm.Nvalloc.initialized_pages alloc ~tid);
+        let slots = List.rev !slots in
+        let survives addr =
+          Nvm.Heap.load heap ~tid (Kvcache.Item.validity_of addr)
+          = Lfds.Link_free.valid_item
+        in
+        (slots, List.filter survives slots))
   in
-  let survivors = List.filter survives slots in
   let freed = ref 0 in
-  List.iter
-    (fun addr ->
-      if not (survives addr) then begin
-        Nvm.Nvalloc.free alloc ~tid addr;
-        incr freed
-      end)
-    slots;
-  Nvm.Heap.fence heap ~tid;
-  List.iter
-    (fun item ->
-      let h = Nvm.Heap.load heap ~tid (Kvcache.Item.hash_of item) in
-      let shard = t.shards.(h mod Array.length t.shards) in
-      if not (Kvcache.Nv_memcached.readmit shard cu item) then begin
-        Nvm.Nvalloc.free alloc ~tid item;
-        incr freed
-      end)
-    survivors;
-  Nvm.Heap.fence heap ~tid;
+  Nvm.Timeline.span_current "shards.free" ~detail:"free garbage slots + fence"
+    (fun () ->
+      let survives addr =
+        Nvm.Heap.load heap ~tid (Kvcache.Item.validity_of addr)
+        = Lfds.Link_free.valid_item
+      in
+      List.iter
+        (fun addr ->
+          if not (survives addr) then begin
+            Nvm.Nvalloc.free alloc ~tid addr;
+            incr freed
+          end)
+        slots;
+      Nvm.Heap.fence heap ~tid);
+  Nvm.Timeline.span_current "shards.readmit"
+    ~detail:"reinsert survivors into hash-selected shards + fence" (fun () ->
+      List.iter
+        (fun item ->
+          let h = Nvm.Heap.load heap ~tid (Kvcache.Item.hash_of item) in
+          let shard = t.shards.(h mod Array.length t.shards) in
+          if not (Kvcache.Nv_memcached.readmit shard cu item) then begin
+            Nvm.Nvalloc.free alloc ~tid item;
+            incr freed
+          end)
+        survivors;
+      Nvm.Heap.fence heap ~tid);
   (t, !freed)
 
 let recover ctx ~nshards ~nbuckets ~capacity ~active_pages ~nworkers =
@@ -109,10 +130,16 @@ let recover ctx ~nshards ~nbuckets ~capacity ~active_pages ~nworkers =
       ignore active_pages;
       recover_link_free ctx ~nshards ~nbuckets ~capacity
   | _ ->
-      let t = attach ctx ~nshards ~nbuckets ~capacity in
+      let t =
+        Nvm.Timeline.span_current "shards.attach"
+          ~detail:"re-bind shard tables to recovered heap" (fun () ->
+            attach ctx ~nshards ~nbuckets ~capacity)
+      in
       let freed =
-        Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages
-          ~iter:(iter_reachable t) ~nworkers
+        Nvm.Timeline.span_current "shards.sweep"
+          ~detail:"parallel traversal sweep of active pages" (fun () ->
+            Lfds.Recovery.sweep_traversal_parallel ctx ~active_pages
+              ~iter:(iter_reachable t) ~nworkers)
       in
       (t, freed)
 

@@ -55,6 +55,14 @@ val shard_of : t -> string -> int
 (** Total items across shards. *)
 val count : t -> int
 
+(** Live item count of each shard, indexed by shard (stats scrape). *)
+val items_per_shard : t -> int array
+
+(** Stored payload bytes of each shard (key + value of live items): a racy
+    stats walk on the calling worker's [tid]; mutation-torn items are
+    skipped, not raised on. *)
+val bytes_per_shard : t -> tid:int -> int array
+
 (** Every reachable node address across all shards (hash nodes and the items
     they point to) — the combined sweep's traversal. *)
 val iter_reachable : t -> (int -> unit) -> unit

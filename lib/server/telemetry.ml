@@ -1,0 +1,355 @@
+(** NVServe telemetry plane (see the interface).
+
+    Layout per worker: one [int array] of counters, one [int array] of
+    gauges, one unboxed [float array] of sampler stamps — all single-writer
+    (the owning worker domain), read racily by scrapers. No boxed floats on
+    the hot path: mixed-record float fields would box on every store, so
+    every stamp and duration lives in the flat [stamps] array. *)
+
+(* ---------- counter ids ---------- *)
+
+let c_requests = 0
+let c_cmd_get = 1
+let c_cmd_set = 2
+let c_cmd_delete = 3
+let c_cmd_incr = 4
+let c_cmd_stats = 5
+let c_cmd_other = 6
+let c_get_hits = 7
+let c_get_misses = 8
+let c_rejects = 9
+let c_quits = 10
+let c_conns_adopted = 11
+let c_conns_closed = 12
+let c_conns_idle_closed = 13
+let c_bytes_read = 14
+let c_bytes_written = 15
+let c_write_stalls = 16
+let c_outbuf_grows = 17
+let c_sampled = 18
+let n_counters = 19
+
+let counter_names =
+  [|
+    "requests";
+    "cmd_get";
+    "cmd_set";
+    "cmd_delete";
+    "cmd_incr";
+    "cmd_stats";
+    "cmd_other";
+    "get_hits";
+    "get_misses";
+    "rejects";
+    "quits";
+    "conns_adopted";
+    "conns_closed";
+    "conns_idle_closed";
+    "bytes_read";
+    "bytes_written";
+    "write_stalls";
+    "outbuf_grows";
+    "sampled_requests";
+  |]
+
+(* First three bytes decide the command class; "gets" rides with "get",
+   "decr" with "incr", storage variants with "set". Runs once per framed
+   request, so no splitting or allocation. *)
+let kind_of req =
+  if String.length req < 3 then c_cmd_other
+  else
+    match (String.unsafe_get req 0, String.unsafe_get req 1, String.unsafe_get req 2) with
+    | 'g', 'e', 't' -> c_cmd_get
+    | 's', 'e', 't' -> c_cmd_set
+    | 'a', 'd', 'd' | 'r', 'e', 'p' | 'a', 'p', 'p' | 'p', 'r', 'e' -> c_cmd_set
+    | 'd', 'e', 'l' -> c_cmd_delete
+    | 'i', 'n', 'c' | 'd', 'e', 'c' -> c_cmd_incr
+    | 's', 't', 'a' -> c_cmd_stats
+    | _ -> c_cmd_other
+
+(* ---------- gauges ---------- *)
+
+let g_open_conns = 0
+let g_outbuf_hwm = 1
+let n_gauges = 2
+
+(* ---------- stages ---------- *)
+
+let s_queue = 0
+let s_parse = 1
+let s_execute = 2
+let s_fence = 3
+let s_respond = 4
+let n_stages = 5
+let stage_names = [| "queue"; "parse"; "execute"; "fence"; "respond" |]
+
+(* ---------- sampler stamp slots (unboxed float array) ---------- *)
+
+let st_read = 0 (* wakeup read time — sample clock zero *)
+let st_arm = 1 (* parse start of the would-be-sampled request *)
+let st_t0 = 2 (* open sample: its st_read *)
+let st_queue = 3 (* durations, ns *)
+let st_parse = 4
+let st_execute = 5
+let st_fence = 6
+let st_mark = 7 (* end of the last completed stage (absolute) *)
+let n_stamps = 8
+
+(* Sample phases. *)
+let ph_idle = 0
+let ph_executing = 1
+let ph_awaiting_fence = 2
+let ph_awaiting_write = 3
+
+type sample = {
+  worker : int;
+  kind : int;
+  t0_s : float;
+  queue_ns : float;
+  parse_ns : float;
+  execute_ns : float;
+  fence_ns : float;
+  respond_ns : float;
+  total_ns : float;
+}
+
+let ring_cap = 512
+
+type w = {
+  idx : int;
+  counters : int array;
+  gauges : int array;
+  stamps : float array;
+  req_hist : Workload.Histogram.t;
+  stage_hists : Workload.Histogram.t array;
+  debt_hist : Workload.Histogram.t;
+  sample_every : int;
+  mutable countdown : int;
+  mutable phase : int;
+  mutable s_fd : Unix.file_descr;
+  mutable s_kind : int;
+  ring : sample option array;
+  mutable ring_n : int;  (** total samples ever pushed *)
+}
+
+type t = { workers : w array; sample_every_ : int; start : float }
+
+let create ~nworkers ~sample_every =
+  let sample_every = max 0 sample_every in
+  {
+    sample_every_ = sample_every;
+    start = Unix.gettimeofday ();
+    workers =
+      Array.init (max 1 nworkers) (fun idx ->
+          {
+            idx;
+            counters = Array.make n_counters 0;
+            gauges = Array.make n_gauges 0;
+            stamps = Array.make n_stamps 0.;
+            req_hist = Workload.Histogram.create ();
+            stage_hists = Array.init n_stages (fun _ -> Workload.Histogram.create ());
+            debt_hist = Workload.Histogram.create ();
+            sample_every;
+            countdown = sample_every;
+            phase = ph_idle;
+            s_fd = Unix.stdin;
+            s_kind = c_cmd_other;
+            ring = Array.make ring_cap None;
+            ring_n = 0;
+          });
+  }
+
+let worker t i = t.workers.(i)
+let sample_every t = t.sample_every_
+let start_time t = t.start
+
+(* ---------- counters / gauges ---------- *)
+
+let bump w id = w.counters.(id) <- w.counters.(id) + 1
+let bump_n w id n = w.counters.(id) <- w.counters.(id) + n
+
+let note_get_result w resp =
+  if String.length resp > 0 then
+    match String.unsafe_get resp 0 with
+    | 'V' -> bump w c_get_hits
+    | 'E' when String.length resp > 1 && String.unsafe_get resp 1 = 'N' ->
+        bump w c_get_misses
+    | _ -> ()
+
+let counter t id =
+  Array.fold_left (fun acc w -> acc + w.counters.(id)) 0 t.workers
+
+let counters t =
+  let out = Array.make n_counters 0 in
+  Array.iter
+    (fun w ->
+      for id = 0 to n_counters - 1 do
+        out.(id) <- out.(id) + w.counters.(id)
+      done)
+    t.workers;
+  out
+
+let set_open_conns w n = w.gauges.(g_open_conns) <- n
+
+let note_outbuf_hwm w n =
+  if n > w.gauges.(g_outbuf_hwm) then w.gauges.(g_outbuf_hwm) <- n
+
+let note_outbuf w ~hwm ~grows =
+  bump_n w c_outbuf_grows grows;
+  note_outbuf_hwm w hwm
+
+let open_conns t =
+  Array.fold_left (fun acc w -> acc + w.gauges.(g_open_conns)) 0 t.workers
+
+let outbuf_hwm t =
+  Array.fold_left (fun acc w -> max acc w.gauges.(g_outbuf_hwm)) 0 t.workers
+
+(* ---------- histograms ---------- *)
+
+let record_debt w n = Workload.Histogram.record w.debt_hist ~ns:(float_of_int n)
+
+let merged pick t =
+  let h = Workload.Histogram.create () in
+  Array.iter (fun w -> Workload.Histogram.merge ~into:h (pick w)) t.workers;
+  h
+
+let debt_hist t = merged (fun w -> w.debt_hist) t
+let req_hist t = merged (fun w -> w.req_hist) t
+let stage_hist t s = merged (fun w -> w.stage_hists.(s)) t
+
+(* ---------- sampler ---------- *)
+
+let now () = Unix.gettimeofday ()
+let ns_of d = d *. 1e9
+
+let on_read w = if w.sample_every > 0 then w.stamps.(st_read) <- now ()
+
+let arm w =
+  if w.sample_every > 0 && w.countdown = 1 && w.phase = ph_idle then
+    w.stamps.(st_arm) <- now ()
+
+let open_sample w ~fd ~kind =
+  let t = now () in
+  let t_read = w.stamps.(st_read) in
+  (* The arm stamp is only fresh when [arm] ran for this request; a stale
+     or missing stamp degrades queue/parse to one combined bucket. *)
+  let t_arm = w.stamps.(st_arm) in
+  let t_arm = if t_arm >= t_read && t_arm <= t then t_arm else t_read in
+  w.stamps.(st_t0) <- t_read;
+  w.stamps.(st_queue) <- ns_of (t_arm -. t_read);
+  w.stamps.(st_parse) <- ns_of (t -. t_arm);
+  w.stamps.(st_mark) <- t;
+  w.phase <- ph_executing;
+  w.s_fd <- fd;
+  w.s_kind <- kind
+
+let on_request w ~fd ~kind =
+  bump w c_requests;
+  bump w kind;
+  if w.sample_every > 0 then begin
+    w.countdown <- w.countdown - 1;
+    if w.countdown <= 0 then begin
+      w.countdown <- w.sample_every;
+      (* One sample in flight per worker: a turn that lands while one is
+         still open is skipped, keeping the cadence honest. *)
+      if w.phase = ph_idle then open_sample w ~fd ~kind
+    end
+  end
+
+let on_executed w =
+  if w.phase = ph_executing then begin
+    let t = now () in
+    w.stamps.(st_execute) <- ns_of (t -. w.stamps.(st_mark));
+    w.stamps.(st_mark) <- t;
+    w.phase <- ph_awaiting_fence
+  end
+
+let on_commit w =
+  if w.phase = ph_awaiting_fence then begin
+    let t = now () in
+    w.stamps.(st_fence) <- ns_of (t -. w.stamps.(st_mark));
+    w.stamps.(st_mark) <- t;
+    w.phase <- ph_awaiting_write
+  end
+
+let close_sample w =
+  let t = now () in
+  let respond_ns = ns_of (t -. w.stamps.(st_mark)) in
+  let total_ns = ns_of (t -. w.stamps.(st_t0)) in
+  Workload.Histogram.record w.req_hist ~ns:total_ns;
+  Workload.Histogram.record w.stage_hists.(s_queue) ~ns:w.stamps.(st_queue);
+  Workload.Histogram.record w.stage_hists.(s_parse) ~ns:w.stamps.(st_parse);
+  Workload.Histogram.record w.stage_hists.(s_execute) ~ns:w.stamps.(st_execute);
+  Workload.Histogram.record w.stage_hists.(s_fence) ~ns:w.stamps.(st_fence);
+  Workload.Histogram.record w.stage_hists.(s_respond) ~ns:respond_ns;
+  bump w c_sampled;
+  w.ring.(w.ring_n mod ring_cap) <-
+    Some
+      {
+        worker = w.idx;
+        kind = w.s_kind;
+        t0_s = w.stamps.(st_t0);
+        queue_ns = w.stamps.(st_queue);
+        parse_ns = w.stamps.(st_parse);
+        execute_ns = w.stamps.(st_execute);
+        fence_ns = w.stamps.(st_fence);
+        respond_ns;
+        total_ns;
+      };
+  w.ring_n <- w.ring_n + 1;
+  w.phase <- ph_idle
+
+let on_written w fd ~drained =
+  if w.phase = ph_awaiting_write && drained && w.s_fd = fd then close_sample w
+
+let on_conn_gone w fd =
+  if w.phase <> ph_idle && w.s_fd = fd then w.phase <- ph_idle
+
+let samples t =
+  let all = ref [] in
+  Array.iter
+    (fun w ->
+      Array.iter (function None -> () | Some s -> all := s :: !all) w.ring)
+    t.workers;
+  List.sort (fun a b -> compare a.t0_s b.t0_s) !all
+
+(* ---------- Chrome trace export ---------- *)
+
+(* Complete ("ph":"X") events, microsecond timestamps relative to server
+   start; one tid per worker, stage slices nested under a whole-request
+   slice by virtue of containment. *)
+let chrome_trace t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let event ~name ~tid ~ts_us ~dur_us =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"cat\":\"req\"}"
+         name tid ts_us dur_us)
+  in
+  List.iter
+    (fun s ->
+      let base_us = (s.t0_s -. t.start) *. 1e6 in
+      let kind = counter_names.(s.kind) in
+      event ~name:kind ~tid:s.worker ~ts_us:base_us ~dur_us:(s.total_ns /. 1e3);
+      let cursor = ref base_us in
+      List.iter
+        (fun (stage, ns) ->
+          let dur_us = ns /. 1e3 in
+          event
+            ~name:(kind ^ "/" ^ stage)
+            ~tid:s.worker ~ts_us:!cursor ~dur_us;
+          cursor := !cursor +. dur_us)
+        [
+          ("queue", s.queue_ns);
+          ("parse", s.parse_ns);
+          ("execute", s.execute_ns);
+          ("fence", s.fence_ns);
+          ("respond", s.respond_ns);
+        ])
+    (samples t);
+  Buffer.add_string b "]\n";
+  Buffer.contents b

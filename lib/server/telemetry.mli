@@ -1,0 +1,188 @@
+(** NVServe's telemetry plane: per-worker, allocation-free counters, gauges
+    and latency histograms, plus a 1-in-N request sampler that attributes
+    server-side latency to pipeline stages.
+
+    Each worker domain owns a {!w} view — flat [int array] counters, an
+    [int array] gauge block and unboxed [float array] stamp slots — so the
+    hot path never allocates and never contends: writes are single-writer
+    per location, reads ({!counters}, {!req_hist}, ...) are racy-but-safe
+    snapshots from any domain (OCaml guarantees word-atomic loads, and a
+    reader's successive loads of one location never go backwards, so
+    counters read monotone and gauges cannot tear).
+
+    {b Sampling.} With [sample_every = N > 0] each worker opens a sample on
+    every Nth framed request and stamps it through the pipeline:
+
+    {v queue -> parse -> execute -> fence -> respond v}
+
+    [queue] is time the request's bytes waited buffered behind earlier
+    requests of the same wakeup, [parse] the framing of the sampled request
+    itself, [execute] the backend call, [fence] from execution end to the
+    covering group-commit fence (≈0 on the eager path, which fences inside
+    execute), and [respond] from release to the socket taking the last
+    released byte. One sample is in flight per worker at a time; a request
+    whose turn falls while one is still open is skipped without disturbing
+    the cadence. Closed samples land in per-stage histograms and a bounded
+    ring for Chrome-trace export. *)
+
+type t
+type w
+
+(** [create ~nworkers ~sample_every] — [sample_every = 0] disables the
+    sampler entirely (stage hooks become cheap no-ops); counters and gauges
+    are always live. *)
+val create : nworkers:int -> sample_every:int -> t
+
+val worker : t -> int -> w
+val sample_every : t -> int
+val start_time : t -> float
+
+(** {2 Counters}
+
+    Ids index both a worker's counter block and {!counter_names}. *)
+
+val c_requests : int  (** framed requests answered, rejects included *)
+
+val c_cmd_get : int
+
+(** set / add / replace / append / prepend *)
+val c_cmd_set : int
+
+val c_cmd_delete : int
+
+(** incr / decr *)
+val c_cmd_incr : int
+
+val c_cmd_stats : int
+val c_cmd_other : int
+
+(** get responses carrying at least one VALUE *)
+val c_get_hits : int
+
+val c_get_misses : int
+
+(** framing rejects + overlong lines *)
+val c_rejects : int
+
+val c_quits : int
+val c_conns_adopted : int
+val c_conns_closed : int
+val c_conns_idle_closed : int
+val c_bytes_read : int
+val c_bytes_written : int
+
+(** short or EAGAIN socket writes (backpressure) *)
+val c_write_stalls : int
+
+(** output-buffer growths, folded in at close *)
+val c_outbuf_grows : int
+
+(** samples closed by the 1-in-N tracer *)
+val c_sampled : int
+
+val n_counters : int
+val counter_names : string array
+
+(** Command-kind counter id for a raw request ([c_cmd_get] ... [c_cmd_other]). *)
+val kind_of : string -> int
+
+val bump : w -> int -> unit
+val bump_n : w -> int -> int -> unit
+
+(** Classify a get response: first byte ['V'] bumps [c_get_hits], an
+    [END]-only reply bumps [c_get_misses]; errors bump neither. *)
+val note_get_result : w -> string -> unit
+
+(** Counter [id] summed across workers. *)
+val counter : t -> int -> int
+
+(** All counters summed across workers, indexed like {!counter_names}. *)
+val counters : t -> int array
+
+(** {2 Gauges} *)
+
+val set_open_conns : w -> int -> unit
+val note_outbuf_hwm : w -> int -> unit  (** monotone max, bytes *)
+
+(** Fold a closing connection's output-buffer telemetry into this worker:
+    [grows] adds to [c_outbuf_grows], [hwm] feeds the high-water gauge. *)
+val note_outbuf : w -> hwm:int -> grows:int -> unit
+
+val open_conns : t -> int  (** summed across workers *)
+
+val outbuf_hwm : t -> int  (** max across workers *)
+
+(** {2 Histograms}
+
+    Merged copies — safe to read while workers run. *)
+
+(** Fence debt observed at each group commit: deferred links plus pending
+    write-backs the covering fence retired (recorded on the ns axis). *)
+val record_debt : w -> int -> unit
+
+val debt_hist : t -> Workload.Histogram.t
+
+(** Sampled whole-request latency (read wakeup to last response byte). *)
+val req_hist : t -> Workload.Histogram.t
+
+val s_queue : int
+val s_parse : int
+val s_execute : int
+val s_fence : int
+val s_respond : int
+val n_stages : int
+val stage_names : string array
+val stage_hist : t -> int -> Workload.Histogram.t
+
+(** {2 Sampler stage hooks}
+
+    All are cheap no-ops when [sample_every = 0]. Single-domain: call only
+    from the owning worker. *)
+
+(** A readable wakeup pulled bytes for this connection — the sampled
+    request's clock zero. *)
+val on_read : w -> unit
+
+(** About to frame the next request; stamps the parse start when the next
+    framed request will be sampled. *)
+val arm : w -> unit
+
+(** A request was framed: bumps [c_requests] and its [kind] counter, and
+    opens a sample when this request's turn came up. *)
+val on_request : w -> fd:Unix.file_descr -> kind:int -> unit
+
+(** The backend call for the just-framed request returned. *)
+val on_executed : w -> unit
+
+(** The covering fence for everything executed so far retired (group
+    commit), or — eager path — the per-op fence already ran. *)
+val on_commit : w -> unit
+
+(** A socket write pass finished for [fd]; [drained] when no released bytes
+    remain. Closes the open sample when it was waiting on this conn. *)
+val on_written : w -> Unix.file_descr -> drained:bool -> unit
+
+(** The connection died; abort any sample still riding it. *)
+val on_conn_gone : w -> Unix.file_descr -> unit
+
+(** {2 Sampled spans} *)
+
+type sample = {
+  worker : int;
+  kind : int;  (** command-kind counter id *)
+  t0_s : float;  (** absolute start (unix seconds) *)
+  queue_ns : float;
+  parse_ns : float;
+  execute_ns : float;
+  fence_ns : float;
+  respond_ns : float;
+  total_ns : float;
+}
+
+(** Most recent closed samples across workers (bounded ring per worker),
+    oldest first. *)
+val samples : t -> sample list
+
+(** Render samples as a Chrome [chrome://tracing] / Perfetto JSON document:
+    one pid per server, one tid per worker, one slice per stage. *)
+val chrome_trace : t -> string

@@ -17,6 +17,70 @@ let sample heap = { at = Unix.gettimeofday (); counters = Heap.aggregate_stats h
 let delta ~older ~newer =
   (Pstats.diff newer.counters older.counters, newer.at -. older.at)
 
+(* ---------- flight-recorder histogram intervals ----------
+
+   [Nvtrace.histograms] merges the per-domain aggregates on every read, so
+   an interval differ must snapshot the {e merged} view and subtract bucket
+   counts — diffing any single domain's histogram would drop every other
+   domain's samples from the interval. *)
+
+type hist_sample = {
+  h_at : float;  (** [Unix.gettimeofday] stamp *)
+  hists : (string * Workload.Histogram.t) list;
+      (** per-op-name merged histograms, frozen copies *)
+}
+
+let hist_sample tr =
+  {
+    h_at = Unix.gettimeofday ();
+    hists =
+      List.map (fun (n, h) -> (n, Workload.Histogram.copy h)) (Nvtrace.histograms tr);
+  }
+
+(** Per-op-name histograms of the interval between two snapshots (bucket
+    subtraction; an op name absent from [older] contributes its full
+    histogram), and the elapsed seconds. *)
+let hist_delta ~older ~newer =
+  let d =
+    List.map
+      (fun (n, h) ->
+        match List.assoc_opt n older.hists with
+        | None -> (n, Workload.Histogram.copy h)
+        | Some o -> (n, Workload.Histogram.sub h o))
+      newer.hists
+  in
+  (d, newer.h_at -. older.h_at)
+
+(* ---------- scraped key/value intervals (nvlf watch) ---------- *)
+
+type kv_sample = {
+  k_at : float;
+  kvs : (string * string) list;  (** a [stats]-style scrape, order kept *)
+}
+
+let kv_sample kvs = { k_at = Unix.gettimeofday (); kvs }
+
+(** Numeric increments from [older] to [newer], in [newer]'s key order
+    (non-numeric values are skipped; a key new to [newer] counts from 0),
+    and the elapsed seconds. Gauges scraped this way yield deltas too — the
+    caller decides which keys to render as rates vs levels. *)
+let kv_delta ~older ~newer =
+  let d =
+    List.filter_map
+      (fun (k, v) ->
+        match float_of_string_opt v with
+        | None -> None
+        | Some nv ->
+            let ov =
+              match List.assoc_opt k older.kvs with
+              | None -> 0.
+              | Some o -> Option.value (float_of_string_opt o) ~default:0.
+            in
+            Some (k, nv -. ov))
+      newer.kvs
+  in
+  (d, newer.k_at -. older.k_at)
+
 let per f d = if d <= 0 then 0. else f /. float_of_int d
 
 (** One interval as derived rates. [ops] is the operation count of the

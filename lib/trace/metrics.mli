@@ -9,6 +9,43 @@ val sample : Nvm.Heap.t -> sample
 (** Counter increments and elapsed seconds from [older] to [newer]. *)
 val delta : older:sample -> newer:sample -> Nvm.Pstats.t * float
 
+(** {2 Flight-recorder histogram intervals}
+
+    {!Nvtrace.histograms} merges the per-domain aggregates on every read;
+    these snapshot that merged view so interval differencing covers every
+    domain's samples (diffing one domain's histogram would silently drop
+    the rest). *)
+
+type hist_sample = {
+  h_at : float;
+  hists : (string * Workload.Histogram.t) list;  (** frozen merged copies *)
+}
+
+val hist_sample : Nvtrace.t -> hist_sample
+
+(** Per-op-name histograms of the samples recorded between two snapshots
+    (bucket subtraction; op names new to [newer] contribute in full), and
+    the elapsed seconds. *)
+val hist_delta :
+  older:hist_sample ->
+  newer:hist_sample ->
+  (string * Workload.Histogram.t) list * float
+
+(** {2 Scraped key/value intervals}
+
+    The [nvlf watch] building block: snapshot a [stats nvlf] scrape, diff
+    two snapshots into numeric increments. *)
+
+type kv_sample = { k_at : float; kvs : (string * string) list }
+
+val kv_sample : (string * string) list -> kv_sample
+
+(** Numeric increments from [older] to [newer] in [newer]'s key order
+    (non-numeric values skipped, keys new to [newer] count from zero), and
+    the elapsed seconds. *)
+val kv_delta :
+  older:kv_sample -> newer:kv_sample -> (string * float) list * float
+
 (** Render one interval's deltas as derived rates (flushes/op, link-cache
     hit rate, fence batching factor, epoch stalls/s, APT hit rate). [ops]
     is the interval's operation count; omit when unknown. *)

@@ -71,6 +71,24 @@ let merge ~into t =
   into.total <- into.total + t.total;
   if t.max_ns > into.max_ns then into.max_ns <- t.max_ns
 
+let copy t = { counts = Array.copy t.counts; total = t.total; max_ns = t.max_ns }
+
+(* Interval differencing over two snapshots of the same growing histogram:
+   [newer]'s counts minus [older]'s, clamped at zero per bucket (a racy
+   snapshot pair taken while a recorder is live may be momentarily
+   inconsistent; clamping keeps the delta a valid histogram). *)
+let sub newer older =
+  let d = create () in
+  let total = ref 0 in
+  for b = 0 to buckets - 1 do
+    let c = max 0 (newer.counts.(b) - older.counts.(b)) in
+    d.counts.(b) <- c;
+    total := !total + c
+  done;
+  d.total <- !total;
+  d.max_ns <- newer.max_ns;
+  d
+
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%s p50=%s p99=%s p99.9=%s max=%s" t.total
     (Report.human_ns (mean t))

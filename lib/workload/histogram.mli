@@ -21,4 +21,14 @@ val percentile : t -> float -> float
 val mean : t -> float
 val max_ns : t -> float
 val merge : into:t -> t -> unit
+
+(** Independent copy (snapshot for interval differencing). *)
+val copy : t -> t
+
+(** [sub newer older] is the bucket-wise delta of two snapshots of the same
+    growing histogram — the samples recorded in the interval between them.
+    Clamped at zero per bucket; [max_ns] is [newer]'s (the interval's own
+    maximum is not recoverable from bucket counts). *)
+val sub : t -> t -> t
+
 val pp : Format.formatter -> t -> unit

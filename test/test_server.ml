@@ -366,6 +366,172 @@ let test_server_concurrent_load () =
     acks.Server.Loadgen.acked;
   check_int "graceful stop lost nothing" 0 !lost
 
+(* --- Stats protocol + telemetry plane over a live server --- *)
+
+let connect_to port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let recv_until fd stop =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  while not (stop (Buffer.contents buf)) do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> failwith "server closed the connection early"
+    | n -> Buffer.add_subbytes buf chunk 0 n
+  done;
+  Buffer.contents buf
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let ends_with hay suffix =
+  let hl = String.length hay and sl = String.length suffix in
+  hl >= sl && String.sub hay (hl - sl) sl = suffix
+
+let stat_kvs resp =
+  List.filter_map
+    (fun line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      match String.split_on_char ' ' line with
+      | "STAT" :: k :: rest -> Some (k, String.concat " " rest)
+      | _ -> None)
+    (String.split_on_char '\n' resp)
+
+(* The [stats nvlf] wire contract for an [nshards]-shard server: the exact
+   key list in exact order. Appending new keys is fine; renaming, removing
+   or reordering these is a breaking change this test (and the CI scrape
+   baseline) must catch. *)
+let expected_nvlf_keys ~nshards =
+  [
+    "mode"; "workers"; "shards"; "port"; "max_batch"; "max_delay_us";
+    "sample_every"; "uptime_s"; "conns_accepted"; "conns_adopted";
+    "conns_closed"; "conns_idle_closed"; "open_conns"; "requests";
+    "requests_served"; "rejects"; "quits"; "bytes_read"; "bytes_written";
+    "write_stalls"; "outbuf_grows"; "outbuf_hwm"; "cmd_get"; "cmd_set";
+    "cmd_delete"; "cmd_incr"; "cmd_stats"; "cmd_other"; "get_hits";
+    "get_misses"; "get_hit_rate"; "fences"; "write_backs"; "sync_batches";
+    "lines_drained"; "allocs"; "frees"; "epoch_stalls"; "group_commits";
+    "group_ops"; "deferred_links"; "lc_adds"; "lc_fails"; "lc_flushes";
+    "lc_hit_rate"; "fences_per_req"; "wbs_per_req"; "ops_per_commit";
+    "batch_depth_p50"; "batch_depth_p99"; "batch_depth_max"; "curr_items";
+  ]
+  @ List.concat_map
+      (fun s ->
+        [ Printf.sprintf "shard%d_items" s; Printf.sprintf "shard%d_bytes" s ])
+      (List.init nshards Fun.id)
+  @ [
+      "sampled_requests"; "fence_debt_p50"; "fence_debt_p99"; "req_p50_us";
+      "req_p99_us"; "req_p999_us"; "req_max_us"; "stage_queue_us";
+      "stage_parse_us"; "stage_execute_us"; "stage_fence_us";
+      "stage_respond_us";
+    ]
+
+let test_stats_protocol () =
+  let srv =
+    Server.Nvserve.start
+      {
+        (Server.Nvserve.default_config ()) with
+        Server.Nvserve.nworkers = 2;
+        nbuckets = 512;
+        capacity = 8_000;
+        metrics_port = Some 0;
+        sample_every = 1;
+      }
+  in
+  let port = Server.Nvserve.port srv in
+  let fd = connect_to port in
+  (* Stats requests pipelined between storage operations on one connection:
+     replies must come back in order, and an unknown stats argument answers
+     ERROR without wedging the stream. *)
+  let req =
+    "set k1 0 0 3\r\nabc\r\nstats\r\nget k1\r\nstats bogus\r\nstats nvlf\r\n"
+  in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let resp =
+    recv_until fd (fun s -> contains s "stage_respond_us" && ends_with s "END\r\n")
+  in
+  check_bool "set answered first" true
+    (String.length resp >= 8 && String.sub resp 0 8 = "STORED\r\n");
+  check_bool "get served between stats" true
+    (contains resp "VALUE k1 0 3\r\nabc\r\n");
+  check_bool "unknown stats arg answers ERROR" true (contains resp "ERROR\r\n");
+  (* Plain [stats] carries the memcached-standard keys. *)
+  let basic = stat_kvs resp in
+  List.iter
+    (fun k ->
+      check_bool (k ^ " present") true (List.mem_assoc k basic))
+    [ "pid"; "threads"; "curr_connections"; "cmd_get"; "cmd_set"; "bytes_read" ];
+  check_str "one set counted when stats ran" "1" (List.assoc "cmd_set" basic);
+  (* [stats nvlf] key schema: exact list, exact order. *)
+  let nvlf_resp =
+    let marker = "ERROR\r\n" in
+    let ml = String.length marker in
+    let rec find i =
+      if i + ml > String.length resp then Alcotest.fail "no ERROR reply"
+      else if String.sub resp i ml = marker then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    String.sub resp (i + ml) (String.length resp - i - ml)
+  in
+  Alcotest.(check (list string))
+    "stats nvlf key schema (ordered)"
+    (expected_nvlf_keys ~nshards:2)
+    (List.map fst (stat_kvs nvlf_resp));
+  (* A second scrape after the first batch's responses drained: the sampler
+     (1-in-1) must have closed samples by now, and the live gauges agree
+     with this connection being open. *)
+  ignore (Unix.write_substring fd "stats nvlf\r\n" 0 12);
+  let resp2 =
+    recv_until fd (fun s -> contains s "stage_respond_us" && ends_with s "END\r\n")
+  in
+  let kvs2 = stat_kvs resp2 in
+  check_str "one open connection" "1" (List.assoc "open_conns" kvs2);
+  check_bool "requests counted" true
+    (int_of_string (List.assoc "requests" kvs2) >= 5);
+  check_bool "sampled requests closed" true
+    (int_of_string (List.assoc "sampled_requests" kvs2) >= 1);
+  check_bool "sampled p50 positive" true
+    (float_of_string (List.assoc "req_p50_us" kvs2) > 0.);
+  check_str "curr_items tracks the store" "1" (List.assoc "curr_items" kvs2);
+  (* The telemetry API agrees with the wire view. *)
+  let tel = Server.Nvserve.telemetry srv in
+  check_bool "cmd_stats counted via API" true
+    (Server.Telemetry.counter tel Server.Telemetry.c_cmd_stats >= 3);
+  (* Prometheus text exposition over the metrics listener. *)
+  (match Server.Nvserve.metrics_port srv with
+  | None -> Alcotest.fail "metrics port not bound"
+  | Some mp ->
+      let mfd = connect_to mp in
+      let http = "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring mfd http 0 (String.length http));
+      let body = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read mfd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes body chunk 0 n;
+            drain ()
+      in
+      drain ();
+      Unix.close mfd;
+      let doc = Buffer.contents body in
+      check_bool "HTTP 200" true (contains doc "200 OK");
+      check_bool "exposition type line" true (contains doc "# TYPE nvlf_info gauge");
+      check_bool "counters exported" true (contains doc "nvlf_requests ");
+      check_bool "per-shard gauges exported" true (contains doc "nvlf_shard1_items "));
+  Unix.close fd;
+  Server.Nvserve.stop srv
+
 (* --- Crash drill --- *)
 
 let test_drill () =
@@ -392,7 +558,32 @@ let test_drill () =
   check_int "no residual leaks" 0 r.Server.Drill.residual_leaks;
   check_bool "served after recovery" true r.Server.Drill.post_ok;
   check_bool "strict under link-and-persist" true r.Server.Drill.strict;
-  check_bool "drill verdict" true r.Server.Drill.ok
+  check_bool "drill verdict" true r.Server.Drill.ok;
+  (* The recovery journal: crash phases plus recovery phases, in start
+     order, whose depth-0 recovery spans sum to the reported recovery
+     time — the invariant the drill report advertises. *)
+  let tl = r.Server.Drill.timeline in
+  let has phase =
+    List.exists (fun (e : Nvm.Timeline.event) -> e.Nvm.Timeline.phase = phase) tl
+  in
+  check_bool "crash phase journaled" true (has "heap.crash");
+  check_bool "layout phase journaled" true (has "ctx.recover");
+  check_bool "sweep phase journaled" true (has "shards.sweep");
+  let phase_sum =
+    List.fold_left
+      (fun acc (e : Nvm.Timeline.event) ->
+        let crash_phase =
+          String.length e.Nvm.Timeline.phase >= 5
+          && String.sub e.Nvm.Timeline.phase 0 5 = "heap."
+        in
+        if e.Nvm.Timeline.depth = 0 && not crash_phase then
+          acc +. e.Nvm.Timeline.dur_s
+        else acc)
+      0. tl
+  in
+  Alcotest.(check (float 1e-9))
+    "depth-0 recovery phases sum to recovery_s" r.Server.Drill.recovery_s
+    phase_sum
 
 let () =
   Alcotest.run "server"
@@ -426,6 +617,8 @@ let () =
         [
           Alcotest.test_case "concurrent load + stop durability" `Quick
             test_server_concurrent_load;
+          Alcotest.test_case "stats protocol + telemetry plane" `Quick
+            test_stats_protocol;
           Alcotest.test_case "crash drill" `Quick test_drill;
         ] );
     ]

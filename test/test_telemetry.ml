@@ -1,0 +1,300 @@
+(* Telemetry plane: allocation-free counters/gauges read racily across
+   domains, the 1-in-N request sampler's stage machine, and the recovery
+   timeline journal the drill report renders. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+module T = Server.Telemetry
+
+(* --- counters: monotone summed reads, exact totals --- *)
+
+let test_counters_multidomain () =
+  let tel = T.create ~nworkers:4 ~sample_every:0 in
+  let per = 100_000 in
+  let stop = Atomic.make false in
+  let monotone_ok = Atomic.make true in
+  (* A reader polls the summed view while four workers bump: per-location
+     monotone word reads mean the sum may lag but never goes backwards. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let lastv = ref 0 in
+        while not (Atomic.get stop) do
+          let v = T.counter tel T.c_requests in
+          if v < !lastv then Atomic.set monotone_ok false;
+          lastv := v
+        done)
+  in
+  let doms =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let w = T.worker tel i in
+            for _ = 1 to per do
+              T.bump w T.c_requests;
+              T.bump_n w T.c_bytes_read 10
+            done))
+  in
+  List.iter Domain.join doms;
+  Atomic.set stop true;
+  Domain.join reader;
+  check_bool "summed counter monotone under load" true (Atomic.get monotone_ok);
+  check_int "exact request total" (4 * per) (T.counter tel T.c_requests);
+  check_int "exact byte total" (40 * per) (T.counter tel T.c_bytes_read);
+  check_int "untouched counter still zero" 0 (T.counter tel T.c_rejects)
+
+let test_counter_names_cover_ids () =
+  check_int "one name per counter" T.n_counters (Array.length T.counter_names);
+  Array.iter
+    (fun n -> check_bool "non-empty name" true (String.length n > 0))
+    T.counter_names
+
+(* --- gauges: concurrent stores never yield a torn sum --- *)
+
+let test_gauges_not_torn () =
+  let tel = T.create ~nworkers:4 ~sample_every:0 in
+  for i = 0 to 3 do
+    T.set_open_conns (T.worker tel i) 3
+  done;
+  let stop = Atomic.make false in
+  let ok = Atomic.make true in
+  (* Workers flip their gauge between 3 and 7: any untorn sum is 12 + 4k,
+     k in 0..4 — a reader seeing anything else read a torn word. *)
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let v = T.open_conns tel in
+          if v < 12 || v > 28 || v mod 4 <> 0 then Atomic.set ok false
+        done)
+  in
+  let doms =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let w = T.worker tel i in
+            for n = 1 to 200_000 do
+              T.set_open_conns w (if n land 1 = 0 then 3 else 7)
+            done;
+            T.set_open_conns w 3))
+  in
+  List.iter Domain.join doms;
+  Atomic.set stop true;
+  Domain.join reader;
+  check_bool "gauge sum never torn" true (Atomic.get ok);
+  check_int "settled sum" 12 (T.open_conns tel)
+
+(* --- command-kind classification --- *)
+
+let test_kind_of () =
+  check_int "get" T.c_cmd_get (T.kind_of "get k1");
+  check_int "set" T.c_cmd_set (T.kind_of "set k1 0 0 3");
+  check_int "delete" T.c_cmd_delete (T.kind_of "delete k1");
+  check_int "incr" T.c_cmd_incr (T.kind_of "incr k1 1");
+  check_int "stats" T.c_cmd_stats (T.kind_of "stats nvlf");
+  check_int "unknown" T.c_cmd_other (T.kind_of "bogus")
+
+(* --- the sampler's stage machine --- *)
+
+let null_fd () = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0
+
+let test_sampler_flow () =
+  let tel = T.create ~nworkers:1 ~sample_every:1 in
+  let w = T.worker tel 0 in
+  let fd = null_fd () in
+  T.on_read w;
+  T.arm w;
+  T.on_request w ~fd ~kind:(T.kind_of "get x");
+  T.on_executed w;
+  T.on_commit w;
+  T.on_written w fd ~drained:true;
+  Unix.close fd;
+  check_int "one sample closed" 1 (T.counter tel T.c_sampled);
+  match T.samples tel with
+  | [ s ] ->
+      check_int "worker id" 0 s.T.worker;
+      check_int "kind recorded" T.c_cmd_get s.T.kind;
+      check_bool "stages non-negative" true
+        (s.T.queue_ns >= 0. && s.T.parse_ns >= 0. && s.T.execute_ns >= 0.
+        && s.T.fence_ns >= 0. && s.T.respond_ns >= 0.);
+      check_float "stages partition the total"
+        s.T.total_ns
+        (s.T.queue_ns +. s.T.parse_ns +. s.T.execute_ns +. s.T.fence_ns
+       +. s.T.respond_ns);
+      check_int "request histogram counted it" 1
+        (Workload.Histogram.count (T.req_hist tel));
+      check_int "every stage histogram counted it" T.n_stages
+        (List.fold_left ( + ) 0
+           (List.init T.n_stages (fun st ->
+                Workload.Histogram.count (T.stage_hist tel st))))
+  | l -> Alcotest.failf "expected one sample, got %d" (List.length l)
+
+let test_sampler_cadence_and_abort () =
+  let tel = T.create ~nworkers:1 ~sample_every:2 in
+  let w = T.worker tel 0 in
+  let fd = null_fd () in
+  let request ?(drained = true) () =
+    T.on_read w;
+    T.arm w;
+    T.on_request w ~fd ~kind:T.c_cmd_set;
+    T.on_executed w;
+    T.on_commit w;
+    T.on_written w fd ~drained
+  in
+  for _ = 1 to 8 do
+    request ()
+  done;
+  check_int "1-in-2 cadence" 4 (T.counter tel T.c_sampled);
+  (* A dead connection aborts the open sample without wedging the sampler. *)
+  T.on_read w;
+  T.arm w;
+  T.on_request w ~fd ~kind:T.c_cmd_set;
+  (* skipped turn *)
+  T.on_read w;
+  T.arm w;
+  T.on_request w ~fd ~kind:T.c_cmd_set;
+  T.on_executed w;
+  T.on_commit w;
+  T.on_conn_gone w fd;
+  check_int "aborted sample not counted" 4 (T.counter tel T.c_sampled);
+  request ();
+  request ();
+  check_int "sampler re-arms after the abort" 5 (T.counter tel T.c_sampled);
+  Unix.close fd
+
+let test_sampler_off_records_nothing () =
+  let tel = T.create ~nworkers:1 ~sample_every:0 in
+  let w = T.worker tel 0 in
+  let fd = null_fd () in
+  for _ = 1 to 50 do
+    T.on_read w;
+    T.arm w;
+    T.on_request w ~fd ~kind:T.c_cmd_get;
+    T.on_executed w;
+    T.on_commit w;
+    T.on_written w fd ~drained:true
+  done;
+  Unix.close fd;
+  check_int "no samples" 0 (T.counter tel T.c_sampled);
+  check_int "empty ring" 0 (List.length (T.samples tel));
+  check_int "empty request histogram" 0 (Workload.Histogram.count (T.req_hist tel))
+
+let test_chrome_trace_export () =
+  let tel = T.create ~nworkers:2 ~sample_every:1 in
+  let fd = null_fd () in
+  List.iter
+    (fun i ->
+      let w = T.worker tel i in
+      T.on_read w;
+      T.arm w;
+      T.on_request w ~fd ~kind:T.c_cmd_get;
+      T.on_executed w;
+      T.on_commit w;
+      T.on_written w fd ~drained:true)
+    [ 0; 1 ];
+  Unix.close fd;
+  let doc = T.chrome_trace tel in
+  check_bool "complete-slice events" true
+    (String.length doc > 2
+    && doc.[0] = '['
+    && doc.[String.length doc - 2] = ']');
+  let contains needle =
+    let nl = String.length needle and dl = String.length doc in
+    let rec go i = i + nl <= dl && (String.sub doc i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "whole-request slice" true (contains "\"cmd_get\"");
+  check_bool "stage slice" true (contains "\"cmd_get/execute\"");
+  check_bool "one tid per worker" true (contains "\"tid\":1")
+
+(* --- debt histogram --- *)
+
+let test_debt_hist () =
+  let tel = T.create ~nworkers:2 ~sample_every:0 in
+  T.record_debt (T.worker tel 0) 3;
+  T.record_debt (T.worker tel 1) 5;
+  let h = T.debt_hist tel in
+  check_int "both workers merged" 2 (Workload.Histogram.count h);
+  check_bool "max holds the deepest debt" true
+    (Workload.Histogram.max_ns h >= 5.)
+
+(* --- recovery timeline journal --- *)
+
+let test_timeline_spans () =
+  let tl = Nvm.Timeline.create () in
+  let r =
+    Nvm.Timeline.with_current tl (fun () ->
+        let x =
+          Nvm.Timeline.span_current "a" (fun () ->
+              Nvm.Timeline.span_current ~detail:"inner" "b" (fun () -> 21))
+        in
+        Nvm.Timeline.span_current "c" (fun () -> ());
+        2 * x)
+  in
+  check_int "value threads through" 42 r;
+  match Nvm.Timeline.events tl with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "outer first in start order" "a" a.Nvm.Timeline.phase;
+      Alcotest.(check string) "nested next" "b" b.Nvm.Timeline.phase;
+      Alcotest.(check string) "sibling last" "c" c.Nvm.Timeline.phase;
+      check_int "outer depth" 0 a.Nvm.Timeline.depth;
+      check_int "nested depth" 1 b.Nvm.Timeline.depth;
+      check_int "sibling depth" 0 c.Nvm.Timeline.depth;
+      Alcotest.(check string) "detail kept" "inner" b.Nvm.Timeline.detail;
+      check_bool "nested within outer" true
+        (b.Nvm.Timeline.start_s >= a.Nvm.Timeline.start_s
+        && b.Nvm.Timeline.dur_s <= a.Nvm.Timeline.dur_s);
+      check_float "depth-0 spans sum to the total"
+        (Nvm.Timeline.total_s tl)
+        (a.Nvm.Timeline.dur_s +. c.Nvm.Timeline.dur_s)
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+let test_timeline_no_sink () =
+  (* Without a sink, span_current is a passthrough — recovery code pays one
+     load and no journal entries. *)
+  check_int "passthrough value" 7 (Nvm.Timeline.span_current "x" (fun () -> 7));
+  let tl = Nvm.Timeline.create () in
+  check_int "sink untouched" 0 (List.length (Nvm.Timeline.events tl))
+
+let test_timeline_restores_on_raise () =
+  let tl = Nvm.Timeline.create () in
+  (try
+     Nvm.Timeline.with_current tl (fun () ->
+         Nvm.Timeline.span_current "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (match Nvm.Timeline.events tl with
+  | [ e ] ->
+      Alcotest.(check string) "span recorded despite raise" "boom"
+        e.Nvm.Timeline.phase
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  (* The process-wide sink is restored: this span lands nowhere. *)
+  Nvm.Timeline.span_current "after" (fun () -> ());
+  check_int "sink restored after raise" 1 (List.length (Nvm.Timeline.events tl))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "multidomain monotone + exact" `Quick
+            test_counters_multidomain;
+          Alcotest.test_case "names cover ids" `Quick test_counter_names_cover_ids;
+          Alcotest.test_case "gauges never torn" `Quick test_gauges_not_torn;
+          Alcotest.test_case "command kinds" `Quick test_kind_of;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "stage flow" `Quick test_sampler_flow;
+          Alcotest.test_case "cadence + conn-death abort" `Quick
+            test_sampler_cadence_and_abort;
+          Alcotest.test_case "off records nothing" `Quick
+            test_sampler_off_records_nothing;
+          Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
+          Alcotest.test_case "fence-debt histogram" `Quick test_debt_hist;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "nested spans" `Quick test_timeline_spans;
+          Alcotest.test_case "no sink passthrough" `Quick test_timeline_no_sink;
+          Alcotest.test_case "restores on raise" `Quick
+            test_timeline_restores_on_raise;
+        ] );
+    ]

@@ -340,6 +340,70 @@ let test_ring_size_validation () =
   (* idempotent *)
   check_int "observer gone" 0 (Nvm.Heap.Observer.count h)
 
+(* --- interval differs (Metrics.hist_delta / kv_delta) --- *)
+
+(* Exact-reference cross-domain interval: snapshot the merged histogram
+   view, let every domain contribute a known op count, snapshot again — the
+   delta must cover all domains' samples, not just domain 0's. *)
+let test_hist_delta_cross_domain () =
+  let nthreads = 4 in
+  let inst = Tutil.mk ~nthreads ~size_hint:256 I.Hash I.Lc in
+  let tr = Trace.Nvtrace.attach (Lfds.Ctx.heap inst.ctx) in
+  let older = Trace.Metrics.hist_sample tr in
+  let per = 500 in
+  let doms =
+    List.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for k = 1 to per do
+              ignore (inst.ops.insert ~tid ~key:((tid * per) + k) ~value:k)
+            done))
+  in
+  List.iter Domain.join doms;
+  let newer = Trace.Metrics.hist_sample tr in
+  Trace.Nvtrace.detach tr;
+  let d, dt = Trace.Metrics.hist_delta ~older ~newer in
+  check_bool "elapsed non-negative" true (dt >= 0.);
+  let total =
+    List.fold_left (fun acc (_, h) -> acc + Workload.Histogram.count h) 0 d
+  in
+  check_int "interval covers every domain's ops" (nthreads * per) total;
+  (* Snapshots are frozen copies: an interval over an unchanged tracer is
+     empty, and re-diffing the same pair is stable. *)
+  let d2, _ =
+    Trace.Metrics.hist_delta ~older:newer ~newer:(Trace.Metrics.hist_sample tr)
+  in
+  let total2 =
+    List.fold_left (fun acc (_, h) -> acc + Workload.Histogram.count h) 0 d2
+  in
+  check_int "quiet interval is empty" 0 total2;
+  let d3, _ = Trace.Metrics.hist_delta ~older ~newer in
+  let total3 =
+    List.fold_left (fun acc (_, h) -> acc + Workload.Histogram.count h) 0 d3
+  in
+  check_int "re-diffing the same pair is stable" (nthreads * per) total3
+
+let test_kv_delta () =
+  let older =
+    Trace.Metrics.kv_sample
+      [ ("requests", "100"); ("mode", "lp"); ("gone", "5"); ("p50", "1.5") ]
+  in
+  let newer =
+    Trace.Metrics.kv_sample
+      [ ("requests", "250"); ("mode", "lp"); ("fresh", "7"); ("p50", "2.0") ]
+  in
+  let d, _dt = Trace.Metrics.kv_delta ~older ~newer in
+  (match d with
+  | [ ("requests", dr); ("fresh", df); ("p50", dp) ] ->
+      Alcotest.(check (float 1e-9)) "counter increment" 150. dr;
+      Alcotest.(check (float 1e-9)) "key new to newer counts from zero" 7. df;
+      Alcotest.(check (float 1e-9)) "float values diff too" 0.5 dp
+  | _ ->
+      Alcotest.failf "unexpected delta shape: %s"
+        (String.concat ";" (List.map fst d)));
+  (* Non-numeric values are skipped; keys gone from newer are dropped. *)
+  check_bool "mode skipped" true (not (List.mem_assoc "mode" d));
+  check_bool "gone dropped" true (not (List.mem_assoc "gone" d))
+
 let () =
   Alcotest.run "trace"
     [
@@ -360,5 +424,11 @@ let () =
         [
           Alcotest.test_case "sums to aggregate" `Quick
             test_attribution_sums_to_aggregate;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "hist delta merges all domains" `Quick
+            test_hist_delta_cross_domain;
+          Alcotest.test_case "kv delta" `Quick test_kv_delta;
         ] );
     ]
