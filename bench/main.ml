@@ -957,6 +957,204 @@ let flavors_exp opts =
   flavors_recovery opts
 
 (* ------------------------------------------------------------------ *)
+(* Queue/deque family: producer-consumer throughput, per-op fence      *)
+(* budget across the five flavors, and crash-recovery cost.            *)
+
+module QI = Harness.Queue_instance
+
+let queue_flavors = [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf ]
+
+(* The deque's owner keeps the standing population under this bound so the
+   hard 56-item buffer class is never exhausted mid-run; the MPMC producer
+   in the mpsc mix uses a looser bound for the same reason (a lone producer
+   would otherwise outrun consumption and the heap). *)
+let deque_soft_cap = 40
+let mpmc_soft_cap = 512
+
+(* One workload step per (structure, mix). Values encode the producer and a
+   per-thread counter, as in the crash drill. *)
+let queue_step structure inst counters ~mix_name =
+  let fresh tid =
+    let c = counters.(tid) + 1 in
+    counters.(tid) <- c;
+    ((tid + 1) * 1_000_000) + c
+  in
+  match (structure, mix_name) with
+  | QI.Mpmc, "mpsc" ->
+      (* Thread 0 produces (bounded), everyone else consumes. *)
+      fun ~tid ~rng:_ ->
+        if tid = 0 && QI.size inst < mpmc_soft_cap then
+          QI.put inst ~tid ~value:(fresh tid)
+        else ignore (QI.steal inst ~tid)
+  | QI.Mpmc, _ ->
+      (* enq-deq-50-50: every thread flips a coin. *)
+      fun ~tid ~rng ->
+        if Xoshiro.below rng 2 = 0 then QI.put inst ~tid ~value:(fresh tid)
+        else ignore (QI.steal inst ~tid)
+  | QI.Deque, "steal-heavy" ->
+      (* The owner only feeds; every other thread steals. *)
+      fun ~tid ~rng:_ ->
+        if tid = 0 then
+          if QI.size inst < deque_soft_cap then
+            QI.put inst ~tid ~value:(fresh tid)
+          else ignore (QI.take inst ~tid)
+        else ignore (QI.steal inst ~tid)
+  | QI.Deque, _ ->
+      (* owner-mixed: the owner interleaves push and pop 2:1. *)
+      fun ~tid ~rng ->
+        if tid = 0 then begin
+          if Xoshiro.below rng 3 < 2 && QI.size inst < deque_soft_cap then
+            QI.put inst ~tid ~value:(fresh tid)
+          else ignore (QI.take inst ~tid)
+        end
+        else ignore (QI.steal inst ~tid)
+
+let queue_mixes = function
+  | QI.Mpmc -> [ "enq-deq-50-50"; "mpsc" ]
+  | QI.Deque -> [ "owner-mixed"; "steal-heavy" ]
+
+(* Standing population at measurement start. *)
+let queue_prefill = function QI.Mpmc -> 256 | QI.Deque -> 24
+
+let queue_point opts ~structure ~flavor ~nthreads ~mix_name =
+  let inst =
+    QI.create ~nthreads ~size_hint:1024 ~latency:(latency opts) ~structure
+      ~flavor ()
+  in
+  let heap = Lfds.Ctx.heap inst.QI.ctx in
+  for v = 1 to queue_prefill structure do
+    QI.put inst ~tid:0 ~value:v
+  done;
+  Nvm.Heap.reset_stats heap;
+  let counters = Array.make (max 1 nthreads) 0 in
+  let r =
+    Run.throughput ~nthreads ~duration:opts.duration
+      ~step:(queue_step structure inst counters ~mix_name)
+      ~seed:opts.seed ()
+  in
+  let st = Nvm.Heap.aggregate_stats heap in
+  let per c = float_of_int c /. float_of_int (max 1 r.Run.total_ops) in
+  let fences_per_op = per st.Nvm.Pstats.fences in
+  let wb_per_op = per st.Nvm.Pstats.write_backs in
+  if Json_out.enabled () then
+    Json_out.add ~kind:"queues"
+      Json_out.
+        [
+          ("structure", S (QI.structure_name structure));
+          ("flavor", S (I.flavor_name flavor));
+          ("threads", I nthreads);
+          ("mix", S mix_name);
+          ("duration", F opts.duration);
+          ("write_ns", I (base_write_ns opts));
+          ("seed", I opts.seed);
+          ("ops_per_s", F r.Run.throughput);
+          ("fences_per_op", F fences_per_op);
+          ("wb_per_op", F wb_per_op);
+          ("substrate", substrate_fields st);
+        ];
+  (r.Run.throughput, fences_per_op, wb_per_op)
+
+let queues_shootout opts =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun mix_name ->
+          List.iter
+            (fun nthreads ->
+              (* The deque needs a thief for the steal-heavy mix to consume
+                 anything; skip single-thread points there. *)
+              if not (structure = QI.Deque && mix_name = "steal-heavy" && nthreads < 2)
+              then begin
+                let points =
+                  List.map
+                    (fun flavor ->
+                      ( flavor,
+                        queue_point opts ~structure ~flavor ~nthreads ~mix_name ))
+                    queue_flavors
+                in
+                let lp_fences =
+                  match List.assoc_opt I.Lp points with
+                  | Some (_, f, _) -> f
+                  | None -> 0.
+                in
+                Report.table
+                  ~title:
+                    (Printf.sprintf "Queue shootout: %s, %s, %d thread(s)"
+                       (QI.structure_name structure) mix_name nthreads)
+                  ~header:
+                    [ "flavor"; "ops/s"; "fences/op"; "wb/op"; "fences vs lp" ]
+                  (List.map
+                     (fun (flavor, (tp, fpo, wpo)) ->
+                       [
+                         I.flavor_name flavor;
+                         Report.human_ops tp;
+                         Printf.sprintf "%.3f" fpo;
+                         Printf.sprintf "%.3f" wpo;
+                         (if lp_fences > 0. then
+                            Printf.sprintf "%.2fx" (fpo /. lp_fences)
+                          else "-");
+                       ])
+                     points)
+              end)
+            opts.threads)
+        (queue_mixes structure))
+    QI.all_structures
+
+(* Crash + recovery cost of a standing population: the stamp-scan
+   normalization (lp/nvt) against the link-free rebuild. *)
+let queues_recovery opts =
+  let rows =
+    List.concat_map
+      (fun structure ->
+        let items =
+          match structure with
+          | QI.Mpmc -> if opts.full then 16384 else 2048
+          | QI.Deque -> 56
+        in
+        List.map
+          (fun flavor ->
+            let inst =
+              QI.create ~nthreads:1 ~size_hint:(max 1024 items)
+                ~latency:(latency opts) ~structure ~flavor ()
+            in
+            for v = 1 to items do
+              QI.put inst ~tid:0 ~value:v
+            done;
+            let inst', dt, freed = QI.crash_and_recover ~seed:opts.seed inst in
+            let size_after = QI.size inst' in
+            if Json_out.enabled () then
+              Json_out.add ~kind:"queue-recovery"
+                Json_out.
+                  [
+                    ("structure", S (QI.structure_name structure));
+                    ("flavor", S (I.flavor_name flavor));
+                    ("items", I items);
+                    ("write_ns", I (base_write_ns opts));
+                    ("recovery_s", F dt);
+                    ("freed", I freed);
+                    ("size_after", I size_after);
+                  ];
+            [
+              QI.structure_name structure;
+              I.flavor_name flavor;
+              string_of_int items;
+              Report.human_ns (dt *. 1e9);
+              string_of_int freed;
+              string_of_int size_after;
+            ])
+          [ I.Lp; I.Nvt; I.Lf ])
+      QI.all_structures
+  in
+  Report.table
+    ~title:"Queue recovery: stamp-scan normalization vs link-free rebuild"
+    ~header:[ "structure"; "flavor"; "items"; "recovery"; "freed"; "size after" ]
+    rows
+
+let queues_exp opts =
+  queues_shootout opts;
+  queues_recovery opts
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the primitives.                        *)
 
 let micro () =
@@ -1345,6 +1543,7 @@ let run_all opts =
   sect "fig11" fig11;
   sect "ablate" ablate;
   sect "flavors" flavors_exp;
+  sect "queues" queues_exp;
   micro ()
 
 open Cmdliner
@@ -1435,6 +1634,9 @@ let () =
       cmd "flavors"
         "Five-way persistence-flavor shootout: fences/op, throughput, recovery"
         flavors_exp;
+      cmd "queues"
+        "Queue/deque producer-consumer track: mixes, fences/op, recovery"
+        queues_exp;
       cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
       cmd "checkers"
         "Observer overhead: checkers-off vs NVRace/NVSan-attached throughput"

@@ -2,6 +2,7 @@
 
      nvlf stats  --structure skiplist --size 1024      per-flavor cost profile
      nvlf drill  --structure bst --rounds 200          crash-point fuzzing
+     nvlf queue-drill --struct both --ops 300          producer-consumer crash drill
      nvlf run      --structure hash --flavor lc ...    one workload run
      nvlf sanitize --struct list --max-dirty 10        NVSan + crash-state enum
      nvlf trace  --structure hash --out trace.json     flight-record a run
@@ -131,6 +132,32 @@ let drill structure rounds seed =
   Printf.printf "%s: %d rounds, %d crashes, %d violations\n"
     (I.structure_name structure) rounds !crashes !violations;
   if !violations > 0 then exit 1
+
+(* queue-drill: producer-consumer crash drill over the FIFO shapes. Real
+   domains stream tagged values through the queue/deque, the trip-wire
+   kills one mid-operation, the machine power-fails with seeded evictions,
+   and the audit cross-checks acked productions against acked consumptions
+   plus the recovered drain (duplication / loss / per-producer order). *)
+let queue_drill structures producers consumers ops trip seed =
+  let module QI = Harness.Queue_instance in
+  let module QD = Sanitizer.Queue_drill in
+  let failed = ref false in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun flavor ->
+          let r =
+            QD.run ~producers ~consumers ~ops_per_producer:ops ~seed ~trip
+              ~structure ~flavor ()
+          in
+          Format.printf "%a@." QD.pp_report r;
+          if not (QD.ok r) then failed := true)
+        [ I.Lp; I.Lc; I.Nvt; I.Lf ])
+    structures;
+  if !failed then begin
+    Printf.eprintf "queue-drill: violations detected\n";
+    exit 1
+  end
 
 (* sanitize: NVSan online pass over every durable flavor, then exhaustive
    small-scope crash-state enumeration per flavor. Exit 1 on any violation
@@ -453,6 +480,54 @@ let drill_cmd =
   let rounds = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Rounds.") in
   Cmd.v (Cmd.info "drill" ~doc:"Randomized crash-point fuzzing")
     Term.(const drill $ structure_arg $ rounds $ seed_arg)
+
+let queue_drill_cmd =
+  let module QI = Harness.Queue_instance in
+  let structures_conv =
+    let parse = function
+      | "mpmc" -> Ok [ QI.Mpmc ]
+      | "deque" -> Ok [ QI.Deque ]
+      | "both" -> Ok [ QI.Mpmc; QI.Deque ]
+      | s -> Error (`Msg ("unknown queue structure: " ^ s))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf ss ->
+          Format.pp_print_string ppf
+            (String.concat "," (List.map QI.structure_name ss)) )
+  in
+  let structures =
+    Arg.(
+      value
+      & opt structures_conv [ QI.Mpmc; QI.Deque ]
+      & info [ "structure"; "struct" ] ~doc:"mpmc | deque | both")
+  in
+  let producers =
+    Arg.(
+      value & opt int 2
+      & info [ "producers" ] ~doc:"Producer domains (the deque forces 1).")
+  in
+  let consumers =
+    Arg.(value & opt int 2 & info [ "consumers" ] ~doc:"Consumer domains.")
+  in
+  let ops =
+    Arg.(value & opt int 300 & info [ "ops" ] ~doc:"Ops per producer.")
+  in
+  let trip =
+    Arg.(
+      value & opt int 4000
+      & info [ "trip" ]
+          ~doc:"Kill a domain after this many persisted-memory primitives.")
+  in
+  Cmd.v
+    (Cmd.info "queue-drill"
+       ~doc:
+         "Producer-consumer crash drill: stream tagged values through the \
+          MPMC queue / work-stealing deque, power-fail mid-traffic, audit \
+          acked vs recovered items (exit 1 on violation)")
+    Term.(
+      const queue_drill $ structures $ producers $ consumers $ ops $ trip
+      $ seed_arg)
 
 let sanitize_cmd =
   let structure =
@@ -1221,6 +1296,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            stats_cmd; drill_cmd; run_cmd; sanitize_cmd; lincheck_cmd;
-            trace_cmd; top_cmd; serve_cmd; loadgen_cmd; watch_cmd;
+            stats_cmd; drill_cmd; queue_drill_cmd; run_cmd; sanitize_cmd;
+            lincheck_cmd; trace_cmd; top_cmd; serve_cmd; loadgen_cmd;
+            watch_cmd;
           ]))

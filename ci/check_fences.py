@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
 """Fences/op regression guard.
 
-Compares the "flavors" records of an nvlf-bench/2 JSON document (produced
-by `dune exec bench/main.exe -- flavors --json FILE`) against the committed
-baseline in ci/fences_baseline.json. Fails (exit 1) if any durable flavor's
-fences/op regresses by more than the tolerance (default 10%) on any
-structure x mix point, or if a baselined point is missing from the run.
+Compares the "flavors" and "queues" records of one or more nvlf-bench/2
+JSON documents (produced by `dune exec bench/main.exe -- flavors --json
+FILE` and `-- queues --json FILE`) against the committed baseline in
+ci/fences_baseline.json. Fails (exit 1) if any durable flavor's fences/op
+regresses by more than the tolerance (default 10%) on any structure x mix
+point, or if a baselined point is missing from the run.
 
 Fence counts per operation are a property of the persistence protocol, not
 of machine speed, so they are stable across hosts at a fixed seed; the
 tolerance absorbs mix sampling noise from the timed run, not scheduling.
+Only single-thread points are baselined: multi-thread interleavings move
+the help/steal ratios with scheduling.
 
 Usage:
-    ci/check_fences.py flavors.json [--baseline ci/fences_baseline.json]
+    ci/check_fences.py flavors.json [queues.json ...]
+                       [--baseline ci/fences_baseline.json]
                        [--tolerance 0.10] [--update]
 
---update rewrites the baseline from the run instead of checking (commit the
-result when a protocol change intentionally moves the fence budget).
+--update rewrites the baseline from the runs instead of checking (commit
+the result when a protocol change intentionally moves the fence budget).
 """
 
 import argparse
@@ -24,32 +28,38 @@ import json
 import sys
 
 DURABLE = {"link-persist", "link-cache", "nvtraverse", "link-free"}
+KINDS = {"flavors", "queues"}
 
 
-def load_run(path):
-    doc = json.load(open(path))
-    if doc.get("schema") != "nvlf-bench/2":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+def load_runs(paths):
     points = {}
-    for rec in doc["records"]:
-        if rec.get("kind") == "flavors" and rec["flavor"] in DURABLE:
-            key = f"{rec['structure']}/{rec['flavor']}/{rec['mix']}"
-            points[key] = rec["fences_per_op"]
-    if not points:
-        sys.exit(f"{path}: no durable-flavor 'flavors' records")
+    for path in paths:
+        doc = json.load(open(path))
+        if doc.get("schema") != "nvlf-bench/2":
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        found = 0
+        for rec in doc["records"]:
+            if (rec.get("kind") in KINDS and rec["flavor"] in DURABLE
+                    and rec.get("threads", 1) == 1):
+                key = f"{rec['structure']}/{rec['flavor']}/{rec['mix']}"
+                points[key] = rec["fences_per_op"]
+                found += 1
+        if not found:
+            sys.exit(f"{path}: no single-thread durable-flavor records")
     return points
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("run", help="nvlf-bench/2 JSON from the flavors subcommand")
+    ap.add_argument("runs", nargs="+",
+                    help="nvlf-bench/2 JSON from the flavors/queues subcommands")
     ap.add_argument("--baseline", default="ci/fences_baseline.json")
     ap.add_argument("--tolerance", type=float, default=0.10)
     ap.add_argument("--update", action="store_true",
-                    help="rewrite the baseline from this run instead of checking")
+                    help="rewrite the baseline from these runs instead of checking")
     args = ap.parse_args()
 
-    points = load_run(args.run)
+    points = load_runs(args.runs)
 
     if args.update:
         doc = json.load(open(args.baseline))

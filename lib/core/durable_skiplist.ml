@@ -87,10 +87,16 @@ let cas_lazy ctx cu ~link ~expected ~desired =
   if Heap.Cursor.cas cu link ~expected ~desired then begin
     (match Ctx.mode ctx with
     | Persist_mode.Volatile -> ()
-    (* Fence-minimal flavors rebuild every index level at recovery, so
-       index links carry no durability at all — not even a lazy queue. *)
-    | Persist_mode.Nvtraverse | Persist_mode.Link_free -> ()
-    | Persist_mode.Link_persist | Persist_mode.Link_cache ->
+    (* Link-free rebuilds every index level at recovery and readers never
+       consult link durability, so index links carry none at all. *)
+    | Persist_mode.Link_free -> ()
+    (* NVTraverse readers DO check dirtiness at the traversal boundary, and
+       index words share cache lines with level-0 links — leave the line
+       dirty and every later search pays a write-back + covering fence for
+       it. Queue the write-back here instead: it drains under the enclosing
+       update's existing covering fence, costing no extra fence. *)
+    | Persist_mode.Nvtraverse | Persist_mode.Link_persist
+    | Persist_mode.Link_cache ->
         Heap.Cursor.write_back cu link);
     true
   end

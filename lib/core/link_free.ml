@@ -72,7 +72,7 @@ let mark_deleted_c ctx cu ~validity_word =
         announce heap cu ~addr:validity_word ~state:deleted;
       Heap.Cursor.write_back cu validity_word
     end
-    else if Heap.line_is_dirty heap (Cacheline.line_of_addr validity_word) then
+    else if Heap.line_is_dirty heap validity_word then
       Heap.Cursor.write_back cu validity_word
   end
 

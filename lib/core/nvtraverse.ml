@@ -23,8 +23,7 @@ open Nvm
    nothing. A racing writer can re-dirty the line after the check — its own
    op's covering fence owns that durability, exactly as with helping. *)
 let ensure_word_durable_c heap cu addr =
-  if Heap.line_is_dirty heap (Cacheline.line_of_addr addr) then
-    Heap.Cursor.write_back cu addr
+  if Heap.line_is_dirty heap addr then Heap.Cursor.write_back cu addr
 
 (* Queue write-backs for every dirty line of the node at [addr]. *)
 let ensure_node_durable_c heap cu ~addr ~size_class =

@@ -128,7 +128,7 @@ let sweep_traversal_parallel ctx ~active_pages ~iter ~nworkers =
     whole heap's worth of pages is scanned — this is the flavor's
     recovery-time-vs-size trade, in exchange for zero link persistence at
     run time. Returns the number of nodes rebuilt. *)
-let rebuild_link_free ctx ~validity_off ~reset ~insert =
+let rebuild_link_free ?(ordered = false) ctx ~validity_off ~reset ~insert =
   let tid = 0 in
   let alloc = Ctx.allocator ctx in
   let heap = Ctx.heap ctx in
@@ -154,7 +154,14 @@ let rebuild_link_free ctx ~validity_off ~reset ~insert =
   Timeline.span_current "lf.reinsert" ~detail:"reset and reinsert survivors"
     (fun () ->
       reset ();
-      List.iter (fun (key, value) -> insert ~key ~value) !survivors);
+      (* FIFO shapes store an arrival sequence number in the key word and
+         need it respected on reinsertion; sets don't care about order. *)
+      let survivors =
+        if ordered then
+          List.sort (fun (a, _) (b, _) -> compare a b) !survivors
+        else !survivors
+      in
+      List.iter (fun (key, value) -> insert ~key ~value) survivors);
   Timeline.span_current "lf.fence" (fun () -> Heap.fence heap ~tid);
   List.length !survivors
 

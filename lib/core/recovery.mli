@@ -25,8 +25,13 @@ val sweep_traversal_parallel :
     page by the validity word at [validity_off]; free them all, [reset] the
     structure to empty, reinsert the [Link_free.valid] (key, value) pairs
     through [insert]. Scans the whole allocated heap — the flavor's
-    recovery-time-vs-size trade. Returns the number of nodes rebuilt. *)
+    recovery-time-vs-size trade. Returns the number of nodes rebuilt.
+
+    [~ordered:true] reinserts survivors sorted by their key word — FIFO
+    shapes (queue, deque) stamp an arrival sequence number there and need
+    it respected; sets are order-indifferent (the default). *)
 val rebuild_link_free :
+  ?ordered:bool ->
   Ctx.t ->
   validity_off:int ->
   reset:(unit -> unit) ->

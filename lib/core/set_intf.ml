@@ -28,6 +28,10 @@ let ret_bool b = if b then 1 else 0
 
 let ret_opt = function None -> -1 | Some v -> v
 
+(** Encoder for operations whose only answer is completion (enqueue, push):
+    recorded as 1, the success code, so recorders keep one alphabet. *)
+let ret_unit () = 1
+
 (** Minimum and maximum user keys (sentinel space is reserved outside). *)
 let min_key = 1
 

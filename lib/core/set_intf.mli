@@ -26,3 +26,8 @@ val max_key : int
 val ret_bool : bool -> int
 
 val ret_opt : int option -> int
+
+(** Encoder for operations whose only answer is completion (a queue's
+    enqueue, a deque's push): records 1, the same code as a successful
+    insert, so recorders need no third alphabet. *)
+val ret_unit : unit -> int

@@ -1,0 +1,190 @@
+(** Uniform construction and crash-recovery of the FIFO-shape
+    configurations — the queue/deque analogue of [Instance]: a structure
+    (MPMC queue or work-stealing deque) x a persist flavor, its context,
+    and the hooks benchmarks, sanitizers and crash drills need. Creation
+    and recovery share the layout carving code, so addresses always
+    agree.
+
+    Flavors reuse [Instance.flavor]; the log-based WAL baseline has no
+    queue counterpart and is rejected at [create]. *)
+
+open Nvm
+
+type structure = Mpmc | Deque
+
+let structure_name = function Mpmc -> "mpmc-queue" | Deque -> "ws-deque"
+let all_structures = [ Mpmc; Deque ]
+
+let structure_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "mpmc" | "queue" | "mpmc-queue" | "fifo" -> Ok Mpmc
+  | "deque" | "ws-deque" | "chase-lev" -> Ok Deque
+  | s ->
+      Error (Printf.sprintf "unknown queue structure %S (expected mpmc|deque)" s)
+
+(* The built shape: handle + first-class ops, kept together so the uniform
+   drivers below can dispatch without re-deriving either. *)
+type shape =
+  | Q of Nvqueue.Durable_queue.t * Nvqueue.Queue_intf.queue_ops
+  | D of Nvqueue.Durable_deque.t * Nvqueue.Queue_intf.deque_ops
+
+type t = {
+  structure : structure;
+  flavor : Instance.flavor;
+  cfg : Lfds.Ctx.config;
+  ctx : Lfds.Ctx.t;
+  shape : shape;
+}
+
+(* Heap sizing: one cache line per item plus slack for deque buffers,
+   recycled-slot churn and the static areas. *)
+let default_heap_words ~size =
+  let nodes = max 1024 (4 * size) in
+  Nvm.Cacheline.align_up ((nodes * 16) + (1 lsl 18))
+
+let config ?(nthreads = 1) ?(size_hint = 1024) ?latency
+    ?(mem_mode = Lfds.Nv_epochs.Nv) ?(lc_buckets = 32) ?(page_words = 512)
+    ?(apt_entries = 1024) ?(trim_threshold = 64) ?heap_words ~flavor () =
+  let latency =
+    match latency with Some l -> l | None -> Latency_model.no_injection ()
+  in
+  let size_words =
+    match heap_words with
+    | Some w -> w
+    | None -> default_heap_words ~size:size_hint
+  in
+  {
+    (Lfds.Ctx.default_config ()) with
+    size_words;
+    nthreads;
+    mode = Instance.mode_of_flavor flavor;
+    mem_mode;
+    latency;
+    lc_buckets;
+    page_words;
+    apt_entries;
+    trim_threshold;
+    (* FIFO shapes live entirely in root slots + allocated nodes; no static
+       carves, so keep the region minimal (small heaps enumerate crashes). *)
+    static_words = Nvm.Cacheline.align_up 512;
+  }
+
+(* Build the shape inside an existing context; [fresh] distinguishes create
+   from attach. Returns the shape and its recovery hook. *)
+let build_in ~structure ~flavor ~fresh ctx =
+  match structure with
+  | Mpmc ->
+      let q =
+        if fresh then Nvqueue.Durable_queue.create ctx ~root:0
+        else Nvqueue.Durable_queue.attach ctx ~root:0
+      in
+      let ops = Nvqueue.Durable_queue.ops ctx q in
+      let recover =
+        if flavor = Instance.Lf then fun () ->
+          (* FIFO rebuild must respect arrival order: survivors sorted by
+             their stamp word before re-enqueueing. *)
+          ignore
+            (Lfds.Recovery.rebuild_link_free ctx ~ordered:true
+               ~validity_off:Nvqueue.Durable_queue.validity_off
+               ~reset:(fun () -> Nvqueue.Durable_queue.reset ctx q)
+               ~insert:(fun ~key:_ ~value ->
+                 Nvqueue.Durable_queue.enqueue ctx ~tid:0 q ~value))
+        else fun () -> Nvqueue.Durable_queue.recover_consistency ctx q
+      in
+      (Q (q, ops), recover)
+  | Deque ->
+      let d =
+        if fresh then Nvqueue.Durable_deque.create ctx ~root:0
+        else Nvqueue.Durable_deque.attach ctx ~root:0
+      in
+      let ops = Nvqueue.Durable_deque.ops ctx d in
+      let recover =
+        if flavor = Instance.Lf then fun () ->
+          ignore (Nvqueue.Durable_deque.rebuild_link_free ctx d)
+        else fun () -> Nvqueue.Durable_deque.recover_consistency ctx d
+      in
+      (D (d, ops), recover)
+
+let create ?nthreads ?size_hint ?latency ?mem_mode ?lc_buckets ?page_words
+    ?apt_entries ?trim_threshold ?heap_words ~structure ~flavor () =
+  if flavor = Instance.Log then
+    invalid_arg "Queue_instance.create: no log-based queue baseline";
+  let cfg =
+    config ?nthreads ?size_hint ?latency ?mem_mode ?lc_buckets ?page_words
+      ?apt_entries ?trim_threshold ?heap_words ~flavor ()
+  in
+  let ctx = Lfds.Ctx.create cfg in
+  let shape, _recover = build_in ~structure ~flavor ~fresh:true ctx in
+  { structure; flavor; cfg; ctx; shape }
+
+(* Uniform drivers: [put]/[take] are the producer/consumer pair of either
+   shape ([take] is owner-side pop on a deque); [steal] is the
+   any-thread consumption path (plain dequeue on a queue). *)
+let name t = match t.shape with Q (_, o) -> o.name | D (_, o) -> o.name
+let put t ~tid ~value =
+  match t.shape with
+  | Q (_, o) -> o.enqueue ~tid ~value
+  | D (_, o) -> o.push ~tid ~value
+
+let take t ~tid =
+  match t.shape with Q (_, o) -> o.dequeue ~tid | D (_, o) -> o.pop ~tid
+
+let steal t ~tid =
+  match t.shape with Q (_, o) -> o.dequeue ~tid | D (_, o) -> o.steal ~tid
+
+let size t = match t.shape with Q (_, o) -> o.size () | D (_, o) -> o.size ()
+
+let to_list t =
+  match t.shape with
+  | Q (q, _) -> Nvqueue.Durable_queue.to_list t.ctx ~tid:0 q
+  | D (d, _) -> Nvqueue.Durable_deque.to_list t.ctx ~tid:0 d
+
+(* Consume everything oldest-first (dequeue-all / steal-all), through the
+   epoch-bracketed ops so recorders see the drain. *)
+let drain t ~tid =
+  let rec go acc =
+    match steal t ~tid with None -> List.rev acc | Some v -> go (v :: acc)
+  in
+  go []
+
+(* Root words carrying raw integer indices (deque top/bottom) — sanitizers
+   must not read their CASes as mark-protocol traffic. *)
+let index_words t =
+  match t.shape with
+  | Q _ -> []
+  | D (d, _) -> Nvqueue.Durable_deque.index_words d
+
+let iter_reachable t f =
+  match t.shape with
+  | Q (q, _) ->
+      Nvqueue.Durable_queue.iter_nodes t.ctx ~tid:0 q (fun n ~sentinel:_ ->
+          f n)
+  | D (d, _) -> Nvqueue.Durable_deque.iter_nodes t.ctx ~tid:0 d f
+
+(** Recover a heap that has already crashed (caller chose the eviction
+    outcome): re-attach the layout, restore shape consistency, sweep the
+    active pages for leaks. Returns the new instance, the recovery time in
+    seconds and the number of leaked nodes freed. *)
+let recover_only t =
+  let t0 = Unix.gettimeofday () in
+  let ctx, active = Lfds.Ctx.recover (Lfds.Ctx.heap t.ctx) t.cfg in
+  let shape, recover_structure =
+    build_in ~structure:t.structure ~flavor:t.flavor ~fresh:false ctx
+  in
+  recover_structure ();
+  let t' = { t with ctx; shape } in
+  (* The link-free rebuild freed every slot itself; others sweep. *)
+  let freed =
+    match t.flavor with
+    | Instance.Lf -> 0
+    | _ ->
+        Lfds.Recovery.sweep_traversal ctx ~active_pages:active
+          ~iter:(fun f -> iter_reachable t' f)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (t', dt, freed)
+
+(** Power-fail the heap (random evictions) and fully recover. *)
+let crash_and_recover ?(seed = 0xDEAD) ?(eviction_probability = 0.5) t =
+  Heap.crash (Lfds.Ctx.heap t.ctx) ~seed ~eviction_probability;
+  recover_only t

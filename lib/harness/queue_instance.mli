@@ -1,0 +1,91 @@
+(** Uniform construction and crash-recovery of the FIFO-shape
+    configurations — the queue/deque analogue of {!Instance}. Flavors
+    reuse [Instance.flavor]; the log-based WAL baseline has no queue
+    counterpart and is rejected at [create]. *)
+
+(** The two FIFO shapes: durable MPMC Michael-Scott queue, durable
+    Chase-Lev work-stealing deque. *)
+type structure = Mpmc | Deque
+
+(** Short name used in reports and CLI arguments ("mpmc-queue",
+    "ws-deque"). *)
+val structure_name : structure -> string
+
+(** Both, in bench order. *)
+val all_structures : structure list
+
+(** CLI parser: [mpmc]/[queue]/[fifo] and [deque]/[ws-deque]/[chase-lev]. *)
+val structure_of_string : string -> (structure, string) result
+
+(** The built shape: handle plus first-class epoch-bracketed ops. *)
+type shape =
+  | Q of Nvqueue.Durable_queue.t * Nvqueue.Queue_intf.queue_ops
+  | D of Nvqueue.Durable_deque.t * Nvqueue.Queue_intf.deque_ops
+
+(** One built configuration and everything needed to drive or recover it. *)
+type t = {
+  structure : structure;
+  flavor : Instance.flavor;
+  cfg : Lfds.Ctx.config;
+  ctx : Lfds.Ctx.t;
+  shape : shape;
+}
+
+(** Build a fresh instance. [size_hint] drives heap sizing; knobs mirror
+    [Lfds.Ctx.config]. Raises [Invalid_argument] on [Instance.Log]. *)
+val create :
+  ?nthreads:int ->
+  ?size_hint:int ->
+  ?latency:Nvm.Latency_model.t ->
+  ?mem_mode:Lfds.Nv_epochs.mem_mode ->
+  ?lc_buckets:int ->
+  ?page_words:int ->
+  ?apt_entries:int ->
+  ?trim_threshold:int ->
+  ?heap_words:int ->
+  structure:structure ->
+  flavor:Instance.flavor ->
+  unit ->
+  t
+
+val name : t -> string
+(** Display name of the built shape, flavor included. *)
+
+val put : t -> tid:int -> value:int -> unit
+(** Producer op: enqueue / owner push. *)
+
+val take : t -> tid:int -> int option
+(** Consumer op at the structure's primary end: dequeue / owner pop. *)
+
+val steal : t -> tid:int -> int option
+(** Any-thread consumption: dequeue on a queue, steal on a deque. *)
+
+val size : t -> int
+(** Element count; quiescent use only. *)
+
+val to_list : t -> int list
+(** Contents oldest-first; quiescent use only. *)
+
+val drain : t -> tid:int -> int list
+(** Consume everything oldest-first through the bracketed ops (dequeue-all
+    / steal-all); quiescent producers assumed. *)
+
+val index_words : t -> int list
+(** Root words holding raw monotonic indices (deque [top]/[bottom]; empty
+    for the queue). Sanitizers must exempt them from mark-protocol
+    interpretation ([Sanitizer.Nvsan.declare_index_word]). *)
+
+val iter_reachable : t -> (int -> unit) -> unit
+(** Every reachable allocation (nodes, deque buffer) — the recovery
+    sweep's reachability source. *)
+
+val recover_only : t -> t * float * int
+(** Recover a heap that has already crashed — the caller chose the
+    eviction outcome: re-attach the layout, restore shape consistency
+    (stamp-scan normalization, or the link-free rebuild), sweep active
+    pages. Returns the recovered instance, the recovery time in seconds
+    and the number of leaked nodes freed. *)
+
+val crash_and_recover :
+  ?seed:int -> ?eviction_probability:float -> t -> t * float * int
+(** Power-fail the heap (random evictions) and fully recover. *)

@@ -288,7 +288,7 @@ val reset_stats : t -> unit
 (** Contents of the durable image, bypassing the volatile image. *)
 val durable_load : t -> int -> int
 
-(** Whether line [line] holds volatile data not yet durable. *)
+(** Whether [addr]'s cache line holds volatile data not yet durable. *)
 val line_is_dirty : t -> int -> bool
 
 (** Number of dirty lines. *)

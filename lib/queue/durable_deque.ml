@@ -1,0 +1,373 @@
+(** Durable Chase-Lev work-stealing deque. See the interface for the
+    persistence protocol.
+
+    Shape: [top]/[bottom] are monotonic indices in two root slots; a third
+    root points at the current circular buffer — an allocator slot of
+    size class 16/32/64 whose first line is a header ({v +0 cap  +3 0 v})
+    and whose remaining words are one link per logical index (index [i]
+    lives at physical word [i mod cap]). Items are one-line nodes with the
+    queue's uniform layout {v +0 idx  +1 value  +2 0  +3 validity v},
+    persisted before being published into their slot with
+    [Lfds.Link_persist.cas_link_c] — so every slot edge follows the link
+    discipline and NVSan/NVRace see ordinary link traffic.
+
+    Single owner: [push]/[pop] work at [bottom]; thieves [steal] at [top]
+    (index CASes carry the happens-before edges NVRace needs). A stolen
+    node is {e not} retired by the thief (its slot still references it);
+    the owner retires it when the slot is overwritten after wrap-around,
+    and the recovery sweep reclaims whatever a crash leaves behind. *)
+
+open Nvm
+open Lfds
+
+exception Deque_full
+
+let node_words = Cacheline.words_per_line
+let seq_of node = node
+let value_of node = node + 1
+let validity_of node = node + 3
+let validity_off = 3
+
+(* Buffer geometry: one header line, then [cap] one-word slots. Size
+   classes 16/32/64 give capacities 8/24/56; [Deque_full] past the top. *)
+let hdr_words = Cacheline.words_per_line
+let min_class = 2 * Cacheline.words_per_line
+let max_class = 64
+let max_cap = max_class - hdr_words
+
+type t = { top : int; bottom : int; bufp : int }
+
+(* The two roots holding raw indices rather than links — sanitizers must
+   not read their integer CASes as mark-protocol traffic. *)
+let index_words d = [ d.top; d.bottom ]
+
+let cap_of cu buf = Heap.Cursor.load cu buf
+let slot_addr buf ~cap i = buf + hdr_words + (i mod cap)
+let read_value cu node = Heap.Cursor.load cu (value_of node)
+let read_seq cu node = Heap.Cursor.load cu (seq_of node)
+
+(* Allocate and durably initialize an empty buffer of [size_class] words.
+   Recycled slots may hold stale bytes, so every word is rewritten. *)
+let init_buffer ctx cu ~size_class =
+  let buf = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+  for i = 0 to size_class - 1 do
+    Heap.Cursor.store cu (buf + i) 0
+  done;
+  Heap.Cursor.store cu buf (size_class - hdr_words);
+  Link_persist.persist_node_c ctx cu ~addr:buf ~size_class;
+  buf
+
+let current_buffer ctx cu d =
+  Marked_ptr.addr (Link_persist.read_clean_c ctx cu d.bufp)
+
+(* Double the buffer (owner only, called when [b - t = cap]): copy the live
+   window into a fresh larger buffer, persist it whole, publish it through
+   the buffer link, retire the old one. Every old physical slot is live at
+   grow time (the deque is full), so nothing is orphaned. *)
+let grow ctx cu d ~buf ~cap ~t ~b =
+  let size_class = 2 * (cap + hdr_words) in
+  if size_class > max_class then raise Deque_full;
+  let nbuf = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+  let ncap = size_class - hdr_words in
+  for i = 0 to size_class - 1 do
+    Heap.Cursor.store cu (nbuf + i) 0
+  done;
+  Heap.Cursor.store cu nbuf ncap;
+  for i = t to b - 1 do
+    let node =
+      Marked_ptr.addr (Link_persist.read_clean_c ctx cu (slot_addr buf ~cap i))
+    in
+    Heap.Cursor.store cu (slot_addr nbuf ~cap:ncap i) node
+  done;
+  Link_persist.persist_node_c ctx cu ~addr:nbuf ~size_class;
+  ignore
+    (Link_persist.cas_link_c ctx cu ~key:0 ~link:d.bufp ~expected:buf
+       ~desired:nbuf);
+  Nv_epochs.retire_node_c (Ctx.mem ctx) cu buf;
+  nbuf
+
+(* Durably consume the node a slot references: clear the slot through the
+   link discipline (lp fences here — the op's ack durability), record the
+   link-free verdict, hand the node to reclamation. *)
+let take_slot ctx cu ~slot ~node =
+  ignore
+    (Link_persist.cas_link_c ctx cu ~key:(read_seq cu node) ~link:slot
+       ~expected:node ~desired:0);
+  Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of node);
+  Nv_epochs.retire_node_c (Ctx.mem ctx) cu node
+
+(** [push_c ctx cu d ~value] — owner only. Raises [Deque_full] past the
+    largest buffer class. *)
+let push_c ctx cu d ~value =
+  let b = Heap.Cursor.load cu d.bottom in
+  let t = Heap.Cursor.load cu d.top in
+  let buf = current_buffer ctx cu d in
+  let cap = cap_of cu buf in
+  let buf, cap =
+    if b - t >= cap then
+      let nbuf = grow ctx cu d ~buf ~cap ~t ~b in
+      (nbuf, cap_of cu nbuf)
+    else (buf, cap)
+  in
+  let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class:node_words in
+  Heap.Cursor.store cu (seq_of node) b;
+  Heap.Cursor.store cu (value_of node) value;
+  Heap.Cursor.store cu (node + 2) 0;
+  Link_free.init_c ctx cu ~validity_word:(validity_of node)
+    ~state:Link_free.valid;
+  Link_persist.persist_node_c ctx cu ~addr:node ~size_class:node_words;
+  let slot = slot_addr buf ~cap b in
+  let old = Marked_ptr.addr (Link_persist.read_clean_c ctx cu slot) in
+  ignore
+    (Link_persist.cas_link_c ctx cu ~key:b ~link:slot ~expected:old
+       ~desired:node);
+  (* A displaced reference can only be a long-stolen node (its index is
+     [b - cap] < top): reclaim it now that nothing points at it. *)
+  if old <> 0 then Nv_epochs.retire_node_c (Ctx.mem ctx) cu old;
+  ignore (Heap.Cursor.cas cu d.bottom ~expected:b ~desired:(b + 1))
+
+let push ctx ~tid d ~value = push_c ctx (Ctx.cursor ctx ~tid) d ~value
+
+(** [pop_c ctx cu d] — owner only; takes the youngest value. *)
+let pop_c ctx cu d =
+  let b = Heap.Cursor.load cu d.bottom in
+  let t0 = Heap.Cursor.load cu d.top in
+  if b <= t0 then None
+  else begin
+    let b' = b - 1 in
+    ignore (Heap.Cursor.cas cu d.bottom ~expected:b ~desired:b');
+    let t = Heap.Cursor.load cu d.top in
+    if b' < t then begin
+      (* Thieves emptied it while we were reserving. *)
+      ignore (Heap.Cursor.cas cu d.bottom ~expected:b' ~desired:b);
+      None
+    end
+    else begin
+      let buf = current_buffer ctx cu d in
+      let cap = cap_of cu buf in
+      let slot = slot_addr buf ~cap b' in
+      let node = Marked_ptr.addr (Link_persist.read_clean_c ctx cu slot) in
+      let v = read_value cu node in
+      if b' > t then begin
+        take_slot ctx cu ~slot ~node;
+        Some v
+      end
+      else begin
+        (* Last element: race the thieves on [top]. Winning consumes index
+           [t] — a steal in disguise, so the new [top] must be durable with
+           the ack, or recovery would read the durably-cleared slot [t] as
+           the window's empty start and drop every later stamp. The queued
+           write-back rides [take_slot]'s fence (lp) or the op-end covering
+           fence (nvt). *)
+        let won = Heap.Cursor.cas cu d.top ~expected:t ~desired:(t + 1) in
+        ignore (Heap.Cursor.cas cu d.bottom ~expected:b' ~desired:b);
+        if won then begin
+          (match Ctx.mode ctx with
+          | Persist_mode.Volatile | Persist_mode.Link_free -> ()
+          | Persist_mode.Link_persist | Persist_mode.Link_cache ->
+              Heap.Cursor.write_back cu d.top
+          | Persist_mode.Nvtraverse ->
+              Nvtraverse.ensure_word_durable_c (Ctx.heap ctx) cu d.top);
+          take_slot ctx cu ~slot ~node;
+          Some v
+        end
+        else None
+      end
+    end
+  end
+
+let pop ctx ~tid d = pop_c ctx (Ctx.cursor ctx ~tid) d
+
+(** [steal_c ctx cu d] — any thread; takes the oldest value. An acked steal
+    persists the consumption before responding: lp/nvt make the new [top]
+    durable (fence / covering fence), link-free marks the node's validity
+    verdict instead; link-cache write-backs are buffered (acks not
+    durable); volatile does nothing. *)
+let rec steal_c ctx cu d =
+  let t = Heap.Cursor.load cu d.top in
+  let b = Heap.Cursor.load cu d.bottom in
+  if t >= b then None
+  else begin
+    let buf = current_buffer ctx cu d in
+    let cap = cap_of cu buf in
+    let node =
+      Marked_ptr.addr (Link_persist.read_clean_c ctx cu (slot_addr buf ~cap t))
+    in
+    if node = 0 || read_seq cu node <> t then
+      (* The window moved under us (pop or wrap-around); retry fresh. *)
+      steal_c ctx cu d
+    else begin
+      let v = read_value cu node in
+      if Heap.Cursor.cas cu d.top ~expected:t ~desired:(t + 1) then begin
+        (match Ctx.mode ctx with
+        | Persist_mode.Volatile -> ()
+        | Persist_mode.Link_persist ->
+            Heap.Cursor.write_back cu d.top;
+            Heap.Cursor.fence cu
+        | Persist_mode.Link_cache -> Heap.Cursor.write_back cu d.top
+        | Persist_mode.Nvtraverse ->
+            Nvtraverse.ensure_word_durable_c (Ctx.heap ctx) cu d.top
+        | Persist_mode.Link_free ->
+            Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of node));
+        (* The slot still references the node: the owner retires it when
+           the slot is overwritten (or the recovery sweep frees it). *)
+        Some v
+      end
+      else steal_c ctx cu d
+    end
+  end
+
+let steal ctx ~tid d = steal_c ctx (Ctx.cursor ctx ~tid) d
+
+let size ctx ~tid d =
+  let cu = Ctx.cursor ctx ~tid in
+  max 0 (Heap.Cursor.load cu d.bottom - Heap.Cursor.load cu d.top)
+
+(* Quiescent physical scan: the buffer, then every node any slot still
+   references (live window and not-yet-reclaimed stolen nodes alike) — the
+   recovery sweep's reachability source. *)
+let iter_nodes ctx ~tid d f =
+  let cu = Ctx.cursor ctx ~tid in
+  let buf = Marked_ptr.addr (Heap.Cursor.load cu d.bufp) in
+  f buf;
+  let cap = cap_of cu buf in
+  for p = 0 to cap - 1 do
+    let node = Marked_ptr.addr (Heap.Cursor.load cu (buf + hdr_words + p)) in
+    if node <> 0 then f node
+  done
+
+let to_list ctx ~tid d =
+  let cu = Ctx.cursor ctx ~tid in
+  let buf = Marked_ptr.addr (Heap.Cursor.load cu d.bufp) in
+  let cap = cap_of cu buf in
+  let t = Heap.Cursor.load cu d.top in
+  let b = Heap.Cursor.load cu d.bottom in
+  List.init (max 0 (b - t)) (fun k ->
+      read_value cu
+        (Marked_ptr.addr (Heap.Cursor.load cu (slot_addr buf ~cap (t + k)))))
+
+(* Fresh empty deque: indices zero, minimal buffer. Used by [create] and by
+   the link-free rebuild. *)
+let init_empty ctx d =
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let buf = init_buffer ctx cu ~size_class:min_class in
+  Heap.Cursor.store cu d.top 0;
+  Heap.Cursor.store cu d.bottom 0;
+  Heap.Cursor.store cu d.bufp buf;
+  Heap.Cursor.write_back cu d.top;
+  Heap.Cursor.write_back cu d.bottom;
+  Heap.Cursor.write_back cu d.bufp;
+  Heap.Cursor.fence cu
+
+(* Post-crash normalization (all flavors but link-free): believe the
+   durable [top], walk indices upward while slots carry correctly-stamped
+   nodes (a single owner makes unacked pushes a suffix, so the first
+   mismatch is the true durable bottom), then null out every slot outside
+   the live window so the leak sweep can free stale stolen nodes. *)
+let recover_consistency ctx d =
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let buf = Marked_ptr.addr (Link_persist.read_clean_c ctx cu d.bufp) in
+  let cap = cap_of cu buf in
+  let t = Heap.Cursor.load cu d.top in
+  let rec scan i =
+    if i - t >= cap then i
+    else
+      let v = Link_persist.read_clean_c ctx cu (slot_addr buf ~cap i) in
+      let node = Marked_ptr.addr v in
+      if node = 0 || read_seq cu node <> i then i else scan (i + 1)
+  in
+  let b = scan t in
+  Heap.Cursor.store cu d.bottom b;
+  Heap.Cursor.write_back cu d.bottom;
+  for p = 0 to cap - 1 do
+    let i = t + (((p - (t mod cap)) + cap) mod cap) in
+    let live = i < b in
+    if (not live) && Heap.Cursor.load cu (buf + hdr_words + p) <> 0 then begin
+      Heap.Cursor.store cu (buf + hdr_words + p) 0;
+      Heap.Cursor.write_back cu (buf + hdr_words + p)
+    end
+  done;
+  Heap.Cursor.write_back cu d.top;
+  Heap.Cursor.fence cu
+
+(* Link-free rebuild: classify every allocated slot by validity word (the
+   buffer header keeps an [invalid] verdict there, so buffers never pass),
+   free everything, reset, re-push survivors in stamp order. Valid nodes can
+   outnumber the largest capacity only when in-flight steals were cut by
+   the crash — those are exactly the lowest stamps, and dropping them
+   linearizes the interrupted steals as completed. Returns nodes rebuilt. *)
+let rebuild_link_free ctx d =
+  let tid = 0 in
+  let alloc = Ctx.allocator ctx in
+  let heap = Ctx.heap ctx in
+  let slots = ref [] in
+  List.iter
+    (fun page ->
+      Nvalloc.iter_allocated alloc ~tid ~page (fun addr ->
+          slots := addr :: !slots))
+    (Nvalloc.initialized_pages alloc ~tid);
+  let survivors =
+    List.filter_map
+      (fun addr ->
+        if Heap.load heap ~tid (addr + validity_off) = Link_free.valid then
+          Some (Heap.load heap ~tid addr, Heap.load heap ~tid (addr + 1))
+        else None)
+      !slots
+  in
+  List.iter (fun addr -> Nvalloc.free alloc ~tid addr) !slots;
+  Heap.fence heap ~tid;
+  init_empty ctx d;
+  let survivors = List.sort compare survivors in
+  let n = List.length survivors in
+  let drop = max 0 (n - max_cap) in
+  let cu = Ctx.cursor ctx ~tid in
+  List.iteri
+    (fun k (_, value) -> if k >= drop then push_c ctx cu d ~value)
+    survivors;
+  Heap.fence heap ~tid;
+  n - drop
+
+let reset ctx d = init_empty ctx d
+
+(** First-class [Queue_intf.deque_ops]; operations are epoch-bracketed, the
+    pushed value riding the bracket's [~key] annotation. *)
+let ops ctx d =
+  {
+    Queue_intf.name =
+      "ws-deque(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
+    push =
+      (fun ~tid ~value ->
+        Ctx.with_op_c ~name:"deque.push" ~key:value ~ret:Set_intf.ret_unit ctx
+          (Ctx.cursor ctx ~tid) (fun cu -> push_c ctx cu d ~value));
+    pop =
+      (fun ~tid ->
+        Ctx.with_op_c ~name:"deque.pop" ~key:0 ~ret:Set_intf.ret_opt ctx
+          (Ctx.cursor ctx ~tid) (fun cu -> pop_c ctx cu d));
+    steal =
+      (fun ~tid ->
+        Ctx.with_op_c ~name:"deque.steal" ~key:0 ~ret:Set_intf.ret_opt ctx
+          (Ctx.cursor ctx ~tid) (fun cu -> steal_c ctx cu d));
+    size = (fun () -> size ctx ~tid:0 d);
+  }
+
+(** Create a fresh empty deque on root slots [root] (top), [root + 1]
+    (bottom) and [root + 2] (buffer link). *)
+let create ctx ~root =
+  let d =
+    {
+      top = Ctx.root_slot ctx root;
+      bottom = Ctx.root_slot ctx (root + 1);
+      bufp = Ctx.root_slot ctx (root + 2);
+    }
+  in
+  init_empty ctx d;
+  d
+
+(** Roots of an existing deque after a crash (run [recover_consistency] or
+    [rebuild_link_free] next). *)
+let attach ctx ~root =
+  {
+    top = Ctx.root_slot ctx root;
+    bottom = Ctx.root_slot ctx (root + 1);
+    bufp = Ctx.root_slot ctx (root + 2);
+  }

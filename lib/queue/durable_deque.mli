@@ -1,0 +1,117 @@
+(** Durable Chase-Lev work-stealing deque: single owner pushing and popping
+    at the bottom, any thread stealing from the top, over a growable
+    circular buffer — with the link-and-persist discipline on every
+    pointer the structure publishes.
+
+    Layout: [top] and [bottom] are monotonic indices in two root slots; a
+    third root links to the current buffer, an allocator slot of size class
+    16/32/64 words (one header line + 8/24/56 one-word item links; logical
+    index [i] lives at physical word [i mod cap]). Items are one-line nodes
+    {v +0 idx  +1 value  +2 0  +3 validity v} persisted {e before} being
+    published into their slot through [Lfds.Link_persist.cas_link_c].
+
+    Persistence protocol, by flavor ([Lfds.Persist_mode]):
+
+    - Push persists the node (index stamp included) before the slot link
+      CAS; bottom is volatile metadata recomputed at recovery by scanning
+      stamps upward from the durable top (single ownership makes unacked
+      pushes a suffix of the index window).
+    - Pop's durable linearization is the slot-clearing link CAS (lp fences
+      it, nvt rides the op-end covering fence, lc parks it in the cache);
+      link-free marks the node's validity verdict instead.
+    - Steal's durable linearization is the new [top] (lp write-back +
+      fence, nvt covering fence, lc buffered write-back); link-free marks
+      the stolen node [deleted]. A thief never reclaims: the slot still
+      references the node, so the owner retires it when the slot is
+      overwritten after wrap-around, and the recovery sweep frees whatever
+      a crash leaves behind.
+    - Buffer growth doubles the size class, copies the live window, persists
+      the new buffer whole and publishes it through the buffer link; the
+      deque is full at grow time, so no slot is orphaned. [Deque_full] is
+      raised past the largest (64-word) class.
+
+    Acked operations are durable before their response in lp/nvt/lf;
+    link-cache acks are buffered; volatile is the DRAM baseline. Operations
+    must run inside [Lfds.Ctx.with_op] brackets — the exported [ops]
+    wrapper does this. *)
+
+exception Deque_full
+(** Raised by push when the largest buffer size class is exhausted. *)
+
+type t
+(** Deque handle: the top, bottom and buffer-link root-slot addresses. *)
+
+val node_words : int
+(** Words per item node (one cache line). *)
+
+val max_cap : int
+(** Largest buffer capacity in items (largest size class minus header). *)
+
+val validity_off : int
+(** Offset of the validity word inside an item node. The buffer header
+    keeps [Lfds.Link_free.invalid] at the same offset so a link-free
+    rebuild never mistakes a buffer for an item. *)
+
+val index_words : t -> int list
+(** The root words holding raw monotonic indices ([top] and [bottom])
+    rather than links. Sanitizers must exempt them from mark-protocol
+    interpretation (see [Sanitizer.Nvsan.declare_index_word]): an integer
+    decrement can flip exactly the bit that reads as an unflushed mark. *)
+
+val create : Lfds.Ctx.t -> root:int -> t
+(** [create ctx ~root] builds a fresh empty deque on root slots [root]
+    (top), [root + 1] (bottom) and [root + 2] (buffer link). *)
+
+val attach : Lfds.Ctx.t -> root:int -> t
+(** Roots of an existing deque after a crash; run [recover_consistency]
+    (or [rebuild_link_free]) before operating. *)
+
+val push : Lfds.Ctx.t -> tid:int -> t -> value:int -> unit
+(** Owner only: append [value] at the bottom (bare operation — no epoch
+    bracket; prefer [ops]). Raises [Deque_full]. *)
+
+val push_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> t -> value:int -> unit
+(** [push] on a caller-supplied heap cursor (the hot path). *)
+
+val pop : Lfds.Ctx.t -> tid:int -> t -> int option
+(** Owner only: take the youngest value, or [None] on empty. *)
+
+val pop_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> t -> int option
+(** [pop] on a caller-supplied heap cursor. *)
+
+val steal : Lfds.Ctx.t -> tid:int -> t -> int option
+(** Any thread: take the oldest value, or [None] on empty or lost race. *)
+
+val steal_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> t -> int option
+(** [steal] on a caller-supplied heap cursor. *)
+
+val ops : Lfds.Ctx.t -> t -> Queue_intf.deque_ops
+(** First-class epoch-bracketed operations; the pushed value rides the
+    bracket's [~key] annotation for history recorders. *)
+
+val iter_nodes : Lfds.Ctx.t -> tid:int -> t -> (int -> unit) -> unit
+(** Quiescent physical scan: the buffer, then every node any slot still
+    references (live and not-yet-reclaimed stolen nodes alike) — the
+    recovery sweep's reachability source. *)
+
+val size : Lfds.Ctx.t -> tid:int -> t -> int
+(** Element count ([bottom - top]); quiescent use only. *)
+
+val to_list : Lfds.Ctx.t -> tid:int -> t -> int list
+(** Contents oldest-first (steal order); quiescent use only. *)
+
+val recover_consistency : Lfds.Ctx.t -> t -> unit
+(** Post-crash normalization for every flavor but link-free: believe the
+    durable [top], walk indices upward while slots carry correctly-stamped
+    nodes to recompute [bottom], null out slots outside the live window so
+    the leak sweep can free stale stolen nodes, one fence at the end. *)
+
+val rebuild_link_free : Lfds.Ctx.t -> t -> int
+(** Link-free recovery: classify every allocated slot by validity word,
+    free all of them, reset to empty, re-push valid survivors in stamp
+    order. Survivors beyond [max_cap] can only be steals cut mid-flight by
+    the crash (the lowest stamps); they are dropped, linearizing those
+    steals as completed. Returns the number of items rebuilt. *)
+
+val reset : Lfds.Ctx.t -> t -> unit
+(** Durable reset to the empty deque (fresh minimal buffer). *)

@@ -1,0 +1,228 @@
+(** Durable lock-free MPMC FIFO queue (Michael-Scott + link-and-persist).
+    See the interface for the persistence protocol; layout and idioms follow
+    [Lfds.Durable_list].
+
+    Node layout (one cache line):
+    {v +0 seq   +1 value   +2 next (marked)   +3 validity   +4..7 pad v}
+
+    [seq] is the arrival stamp: the predecessor's stamp + 1, assigned under
+    the winning link CAS, so stamps along the chain are consecutive. One
+    line per node means node contents are persisted atomically; the stamp
+    check at recovery is defense in depth against recycled-slot masquerade
+    and out-of-order link-cache flushes. *)
+
+open Nvm
+open Lfds
+
+let size_class = Cacheline.words_per_line
+let seq_of node = node
+let value_of node = node + 1
+let next_of node = node + 2
+let validity_of node = node + 3
+let validity_off = 3
+
+type t = { head : int; tail : int }
+
+let read_value cu node = Heap.Cursor.load cu (value_of node)
+let read_seq cu node = Heap.Cursor.load cu (seq_of node)
+
+(* Swing the tail root over a freshly linked node. The tail must never move
+   past a link that is not yet durable, or a later enqueuer could append
+   beyond a volatile link and ack an item recovery cannot reach (the
+   chain-prefix rule): in lp the link CAS already fenced (and helpers read
+   it clean), in nvt its write-back may still be pending — drain it first.
+   lc acks are buffered and lf never persists links, so both swing plainly.
+   The tail root itself is volatile metadata: recovery recomputes it. *)
+let advance_tail ctx cu q ~t ~next =
+  (match Ctx.mode ctx with
+  | Persist_mode.Nvtraverse ->
+      Nvtraverse.ensure_word_durable_c (Ctx.heap ctx) cu (next_of t);
+      Heap.Cursor.fence cu
+  | Persist_mode.Volatile | Persist_mode.Link_persist
+  | Persist_mode.Link_cache | Persist_mode.Link_free ->
+      ());
+  ignore (Heap.Cursor.cas cu q.tail ~expected:t ~desired:next)
+
+(* Last node of the chain, helping lagging tails forward (MS discipline).
+   Helped links are made durable by [advance_tail] before the swing. *)
+let rec find_tail ctx cu q =
+  let t = Marked_ptr.addr (Heap.Cursor.load cu q.tail) in
+  let nv = Link_persist.read_clean_c ctx cu (next_of t) in
+  let next = Marked_ptr.addr nv in
+  if next = 0 then t
+  else begin
+    advance_tail ctx cu q ~t ~next;
+    find_tail ctx cu q
+  end
+
+(** [enqueue_c ctx cu q ~value] appends a node carrying [value]. *)
+let enqueue_c ctx cu q ~value =
+  let node = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+  Heap.Cursor.store cu (value_of node) value;
+  Heap.Cursor.store cu (next_of node) 0;
+  let rec attempt () =
+    let t = find_tail ctx cu q in
+    let seq = read_seq cu t + 1 in
+    Heap.Cursor.store cu (seq_of node) seq;
+    Link_free.init_c ctx cu ~validity_word:(validity_of node)
+      ~state:Link_free.valid;
+    (* Contents (stamp included) + allocator metadata reach NVRAM before
+       the node is visible; a durable link therefore always has durable
+       contents behind it. *)
+    Link_persist.persist_node_c ctx cu ~addr:node ~size_class;
+    if
+      Link_persist.cas_link_c ctx cu ~key:seq ~link:(next_of t) ~expected:0
+        ~desired:node
+    then advance_tail ctx cu q ~t ~next:node
+    else attempt ()
+  in
+  attempt ()
+
+let enqueue ctx ~tid q ~value = enqueue_c ctx (Ctx.cursor ctx ~tid) q ~value
+
+(** [dequeue_c ctx cu q] takes the head value; [None] on empty. The head
+    swing is the durable linearization (lp fences it, nvt rides the op-end
+    covering fence); in link-free mode the consumed node's validity verdict
+    is what persists instead. *)
+let rec dequeue_c ctx cu q =
+  let h = Marked_ptr.addr (Link_persist.read_clean_c ctx cu q.head) in
+  let nv = Link_persist.read_clean_c ctx cu (next_of h) in
+  let next = Marked_ptr.addr nv in
+  if next = 0 then
+    (* Empty. No durability debt: a next link only ever goes 0 -> node, and
+       node contents (next = 0 included) persist pre-publish, so the
+       durable image of this word is 0 whenever the volatile one is. *)
+    None
+  else begin
+    (* Keep the tail ahead of the sentinel we are about to consume. *)
+    let t = Marked_ptr.addr (Heap.Cursor.load cu q.tail) in
+    if t = h then advance_tail ctx cu q ~t:h ~next;
+    let v = read_value cu next in
+    let key = read_seq cu next in
+    if
+      Link_persist.cas_link_c ctx cu ~key ~link:q.head ~expected:h
+        ~desired:next
+    then begin
+      (* Link-free: the consumption verdict, durable by our op-end fence. *)
+      Link_free.mark_deleted_c ctx cu ~validity_word:(validity_of next);
+      (* The old sentinel is unreachable from the durable head before any
+         later op can reclaim it: our fence (cas_link's or the covering
+         one) orders before reclamation, which only runs at op ends. *)
+      Nv_epochs.retire_node_c (Ctx.mem ctx) cu h;
+      Some v
+    end
+    else dequeue_c ctx cu q
+  end
+
+let dequeue ctx ~tid q = dequeue_c ctx (Ctx.cursor ctx ~tid) q
+
+(* Quiescent traversal (tests, recovery, size). [f] sees every reachable
+   node, sentinel first. *)
+let iter_nodes ctx ~tid q f =
+  let cu = Ctx.cursor ctx ~tid in
+  let rec go node ~sentinel =
+    if node <> 0 then begin
+      f node ~sentinel;
+      go (Marked_ptr.addr (Heap.Cursor.load cu (next_of node))) ~sentinel:false
+    end
+  in
+  go (Marked_ptr.addr (Heap.Cursor.load cu q.head)) ~sentinel:true
+
+let size ctx ~tid q =
+  let n = ref 0 in
+  iter_nodes ctx ~tid q (fun _ ~sentinel -> if not sentinel then incr n);
+  !n
+
+let to_list ctx ~tid q =
+  let cu = Ctx.cursor ctx ~tid in
+  let acc = ref [] in
+  iter_nodes ctx ~tid q (fun node ~sentinel ->
+      if not sentinel then acc := read_value cu node :: !acc);
+  List.rev !acc
+
+(* Fresh empty queue state: a dummy sentinel (stamp 0, validity invalid so a
+   link-free rebuild never resurrects it) with both roots on it. Used by
+   [create] and by the link-free rebuild's reset. *)
+let init_empty ctx q =
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let dummy = Nv_epochs.alloc_node_c (Ctx.mem ctx) cu ~size_class in
+  Heap.Cursor.store cu (seq_of dummy) 0;
+  Heap.Cursor.store cu (value_of dummy) 0;
+  Heap.Cursor.store cu (next_of dummy) 0;
+  Heap.Cursor.store cu (validity_of dummy) Link_free.invalid;
+  Link_persist.persist_node_c ctx cu ~addr:dummy ~size_class;
+  Heap.Cursor.store cu q.head dummy;
+  Heap.Cursor.store cu q.tail dummy;
+  Heap.Cursor.write_back cu q.head;
+  Heap.Cursor.write_back cu q.tail;
+  Heap.Cursor.fence cu
+
+(* Post-crash normalization (all flavors but link-free): believe the durable
+   head, clear unflushed marks along the chain, truncate at the first
+   arrival-stamp discontinuity (a link whose target is not predecessor + 1
+   can only be a recycled-slot masquerade or an out-of-order link-cache
+   flush), and recompute the tail as the last chain node. *)
+let recover_consistency ctx q =
+  let cu = Ctx.cursor ctx ~tid:0 in
+  let clean link =
+    let v = Heap.Cursor.load cu link in
+    if Marked_ptr.is_unflushed v then begin
+      let c = Marked_ptr.clear_unflushed v in
+      Heap.Cursor.store cu link c;
+      Heap.Cursor.write_back cu link;
+      c
+    end
+    else v
+  in
+  let h = Marked_ptr.addr (clean q.head) in
+  let rec walk prev =
+    let node = Marked_ptr.addr (clean (next_of prev)) in
+    if node = 0 then prev
+    else if read_seq cu node <> read_seq cu prev + 1 then begin
+      Heap.Cursor.store cu (next_of prev) 0;
+      Heap.Cursor.write_back cu (next_of prev);
+      prev
+    end
+    else walk node
+  in
+  let last = walk h in
+  Heap.Cursor.store cu q.tail last;
+  Heap.Cursor.write_back cu q.tail;
+  Heap.Cursor.fence cu
+
+(* Link-free rebuild support: reset to empty (fresh sentinel); survivors are
+   re-enqueued by [Lfds.Recovery.rebuild_link_free ~ordered:true], sorted by
+   their stamp word. *)
+let reset ctx q = init_empty ctx q
+
+(** First-class [Queue_intf.queue_ops]; operations are epoch-bracketed, with
+    the enqueued value carried in the bracket's [~key] annotation so history
+    recorders can match enqueues to dequeues. *)
+let ops ctx q =
+  {
+    Queue_intf.name =
+      "mpmc-queue(" ^ Persist_mode.to_string (Ctx.mode ctx) ^ ")";
+    enqueue =
+      (fun ~tid ~value ->
+        Ctx.with_op_c ~name:"queue.enqueue" ~key:value ~ret:Set_intf.ret_unit
+          ctx (Ctx.cursor ctx ~tid) (fun cu -> enqueue_c ctx cu q ~value));
+    dequeue =
+      (fun ~tid ->
+        Ctx.with_op_c ~name:"queue.dequeue" ~key:0 ~ret:Set_intf.ret_opt ctx
+          (Ctx.cursor ctx ~tid) (fun cu -> dequeue_c ctx cu q));
+    size = (fun () -> size ctx ~tid:0 q);
+  }
+
+(** Create a fresh empty queue on root slots [root] (head) and [root + 1]
+    (tail). *)
+let create ctx ~root =
+  let q =
+    { head = Ctx.root_slot ctx root; tail = Ctx.root_slot ctx (root + 1) }
+  in
+  init_empty ctx q;
+  q
+
+(** Roots of an existing queue after a crash (run [recover_consistency] or
+    the link-free rebuild next). *)
+let attach ctx ~root =
+  { head = Ctx.root_slot ctx root; tail = Ctx.root_slot ctx (root + 1) }

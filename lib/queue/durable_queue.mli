@@ -1,0 +1,84 @@
+(** Durable lock-free MPMC FIFO queue: Michael & Scott's queue with the
+    link-and-persist discipline layered on top, after "Durable Queues: The
+    Second Amendment" (PAPERS.md).
+
+    Persistence protocol, by flavor ([Lfds.Persist_mode]):
+
+    - Enqueue allocates a one-line node {v +0 seq  +1 value  +2 next  +3
+      validity v}, persists its contents (arrival stamp included) {e before}
+      linking it with [Lfds.Link_persist.cas_link_c], so a durable link
+      always has durable contents behind it. The tail root is volatile
+      metadata, but it never swings past a link that is not yet durable
+      (lp: the CAS fenced; nvt: the pending write-back is drained first) —
+      the chain-prefix rule that keeps every acked enqueue reachable from
+      the durable head.
+    - Dequeue's durable linearization is the head-root swing (lp fences it,
+      nvt rides the operation's covering fence, lc parks it in the link
+      cache); in link-free mode the consumed node's [deleted] validity
+      verdict persists instead and links are never written back.
+    - Recovery for lp/lc/nvt walks the durable head chain, clears unflushed
+      marks, truncates at the first arrival-stamp discontinuity and
+      recomputes the tail ([recover_consistency]); link-free recovery is a
+      rebuild — classify slots by validity word and re-enqueue survivors in
+      stamp order ([Lfds.Recovery.rebuild_link_free] with [~ordered:true]).
+
+    Acked operations are durable before their response in lp/nvt/lf;
+    link-cache acks are buffered (a crash may lose a suffix of completed
+    effects); volatile is the DRAM baseline. Operations must run inside
+    [Lfds.Ctx.with_op] brackets — the exported [ops] wrapper does this. *)
+
+type t
+(** Queue handle: the head and tail root-slot addresses. *)
+
+val size_class : int
+(** Words per node (one cache line). *)
+
+val validity_off : int
+(** Offset of the validity word inside a node — the link-free rebuild's
+    classification key. *)
+
+val create : Lfds.Ctx.t -> root:int -> t
+(** [create ctx ~root] builds a fresh empty queue on root slots [root]
+    (head) and [root + 1] (tail), with a durably-persisted sentinel. *)
+
+val attach : Lfds.Ctx.t -> root:int -> t
+(** Roots of an existing queue after a crash; run [recover_consistency]
+    (or the link-free rebuild) before operating. *)
+
+val enqueue : Lfds.Ctx.t -> tid:int -> t -> value:int -> unit
+(** Append [value] at the tail (bare operation — no epoch bracket; prefer
+    [ops]). *)
+
+val enqueue_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> t -> value:int -> unit
+(** [enqueue] on a caller-supplied heap cursor (the hot path). *)
+
+val dequeue : Lfds.Ctx.t -> tid:int -> t -> int option
+(** Take the head value, or [None] on empty (bare operation). *)
+
+val dequeue_c : Lfds.Ctx.t -> Nvm.Heap.cursor -> t -> int option
+(** [dequeue] on a caller-supplied heap cursor. *)
+
+val ops : Lfds.Ctx.t -> t -> Queue_intf.queue_ops
+(** First-class epoch-bracketed operations; the enqueued value rides the
+    bracket's [~key] annotation so history recorders (Lincheck) can match
+    enqueues to dequeues. *)
+
+val iter_nodes :
+  Lfds.Ctx.t -> tid:int -> t -> (int -> sentinel:bool -> unit) -> unit
+(** Quiescent walk over every reachable node address, sentinel first — the
+    recovery sweep's reachability source. *)
+
+val size : Lfds.Ctx.t -> tid:int -> t -> int
+(** Element count; quiescent use only. *)
+
+val to_list : Lfds.Ctx.t -> tid:int -> t -> int list
+(** Queue contents front-first; quiescent use only. *)
+
+val recover_consistency : Lfds.Ctx.t -> t -> unit
+(** Post-crash normalization for every flavor but link-free: believe the
+    durable head, clear unflushed marks, truncate at the first stamp
+    discontinuity, recompute the tail, one fence at the end. *)
+
+val reset : Lfds.Ctx.t -> t -> unit
+(** Durable reset to the empty queue (fresh sentinel) — the link-free
+    rebuild's [reset] hook. *)

@@ -1,0 +1,19 @@
+(** Common runtime interface of the FIFO shapes (see the interface). *)
+
+type queue_ops = {
+  name : string;
+  enqueue : tid:int -> value:int -> unit;
+  dequeue : tid:int -> int option;
+  size : unit -> int;
+}
+
+type deque_ops = {
+  name : string;
+  push : tid:int -> value:int -> unit;
+  pop : tid:int -> int option;
+  steal : tid:int -> int option;
+  size : unit -> int;
+}
+
+let min_value = 1
+let max_value = 1 lsl 48

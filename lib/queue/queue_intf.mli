@@ -1,0 +1,40 @@
+(** Common runtime interface of the FIFO shapes — the queue/deque analogue
+    of [Lfds.Set_intf]: first-class records rather than functors, so the
+    bench harness, the sanitizers and the crash drills drive any flavor
+    through one code path.
+
+    Values are positive integers (same convention as set values), so the
+    [-1] absent code of [Lfds.Set_intf.ret_opt] cannot collide; history
+    recorders see enqueue/push as [Lfds.Set_intf.ret_unit] (the value
+    travels in the op's [~key] annotation) and dequeue/pop/steal as
+    [ret_opt]. *)
+
+(** A multi-producer multi-consumer FIFO queue. *)
+type queue_ops = {
+  name : string;
+  enqueue : tid:int -> value:int -> unit;
+      (** Append [value] at the tail. Total: an unbounded queue never
+          refuses. *)
+  dequeue : tid:int -> int option;
+      (** Take the head value, or [None] on empty. *)
+  size : unit -> int;  (** Element count; quiescent use only. *)
+}
+
+(** A work-stealing deque: one owner thread pushes and pops at the bottom,
+    any other thread steals from the top. *)
+type deque_ops = {
+  name : string;
+  push : tid:int -> value:int -> unit;
+      (** Owner only: append at the bottom. Raises
+          [Durable_deque.Deque_full] past the largest buffer size class. *)
+  pop : tid:int -> int option;
+      (** Owner only: take the youngest value, or [None] on empty. *)
+  steal : tid:int -> int option;
+      (** Any thread: take the oldest value, or [None] on empty/lost race. *)
+  size : unit -> int;  (** Element count; quiescent use only. *)
+}
+
+(** User value bounds (mirrors [Lfds.Set_intf.min_key]/[max_key]). *)
+val min_value : int
+
+val max_value : int

@@ -141,3 +141,157 @@ let run ?(flavor = Harness.Instance.Lp) ?(ops_per_trip = 48) ?(key_range = 48)
     max_dirty_seen = !max_dirty_seen;
     violations = List.rev !violations;
   }
+
+(* ---- FIFO shapes -------------------------------------------------------- *)
+
+module QI = Harness.Queue_instance
+
+(* The single in-flight operation's possible durable effect. *)
+type q_effect = E_put of int | E_take | E_pop
+
+let without_last l = match List.rev l with [] -> [] | _ :: r -> List.rev r
+
+(* Replay the scripted single-thread history on a FIFO shape, updating
+   [model] (contents oldest-first) only for completed operations. The deque
+   script mixes owner push/pop with same-thread steals (functionally just
+   the other consumption end); its model bound keeps [Deque_full]
+   unreachable. *)
+let replay_queue inst ~model ~ops_per_trip ~seed =
+  let rng = ref seed in
+  let counter = ref 0 in
+  let crashed_on = ref None in
+  let fresh () =
+    incr counter;
+    1000 + !counter
+  in
+  try
+    for _ = 1 to ops_per_trip do
+      let pick = next rng mod 10 in
+      (match inst.QI.structure with
+      | QI.Mpmc ->
+          if pick < 6 then begin
+            let v = fresh () in
+            crashed_on := Some (E_put v);
+            QI.put inst ~tid:0 ~value:v;
+            model := !model @ [ v ]
+          end
+          else begin
+            crashed_on := Some E_take;
+            match QI.steal inst ~tid:0 with
+            | Some _ -> model := List.tl !model
+            | None -> ()
+          end
+      | QI.Deque ->
+          if pick < 5 && List.length !model < 40 then begin
+            let v = fresh () in
+            crashed_on := Some (E_put v);
+            QI.put inst ~tid:0 ~value:v;
+            model := !model @ [ v ]
+          end
+          else if pick < 8 then begin
+            crashed_on := Some E_pop;
+            match QI.take inst ~tid:0 with
+            | Some _ -> model := without_last !model
+            | None -> ()
+          end
+          else begin
+            crashed_on := Some E_take;
+            match QI.steal inst ~tid:0 with
+            | Some _ -> model := List.tl !model
+            | None -> ()
+          end);
+      crashed_on := None
+    done;
+    None
+  with Heap.Crashed -> Some (Option.get !crashed_on)
+
+let q_effect_name = function
+  | E_put v -> Printf.sprintf "put %d" v
+  | E_take -> "take-front"
+  | E_pop -> "pop-back"
+
+(** FIFO-shape enumerator: same model as {!run}, but the consistency check
+    compares the {e drained} recovered contents against the completed-ops
+    model, with the single in-flight operation free to have happened or
+    not. Only ack-durable flavors (lp/nvt/lf) qualify. *)
+let run_queue ?(flavor = Harness.Instance.Lp) ?(ops_per_trip = 48)
+    ?(trip_start = 1) ?(trip_stop = 600) ?(trip_step = 7) ?(max_dirty = 10)
+    ?(max_reports = 32) ?(seed = 0x5EED) ~structure () =
+  if not (Lfds.Persist_mode.acks_durable (Harness.Instance.mode_of_flavor flavor))
+  then
+    invalid_arg "Crash_enum.run_queue: needs an ack-durable flavor (lp/nvt/lf)";
+  let trips_attempted = ref 0 in
+  let crashes = ref 0 in
+  let states_checked = ref 0 in
+  let skipped_large = ref 0 in
+  let max_dirty_seen = ref 0 in
+  let violations = ref [] in
+  let nviol = ref 0 in
+  let report msg =
+    incr nviol;
+    if !nviol <= max_reports then violations := msg :: !violations
+  in
+  let trip = ref trip_start in
+  while !trip <= trip_stop do
+    incr trips_attempted;
+    let inst =
+      QI.create ~nthreads:1 ~size_hint:64 ~heap_words:(1 lsl 15)
+        ~apt_entries:64 ~structure ~flavor ()
+    in
+    let heap = Lfds.Ctx.heap inst.QI.ctx in
+    let model = ref [] in
+    Heap.set_trip heap !trip;
+    (match replay_queue inst ~model ~ops_per_trip ~seed with
+    | None -> Heap.disarm_trip heap
+    | Some inflight ->
+        incr crashes;
+        (* The in-flight op's effect may or may not be durable. *)
+        let acceptable =
+          !model
+          ::
+          (match inflight with
+          | E_put v -> [ !model @ [ v ] ]
+          | E_take -> ( match !model with [] -> [] | _ :: tl -> [ tl ])
+          | E_pop -> ( match !model with [] -> [] | l -> [ without_last l ]))
+        in
+        let snap = Heap.snapshot heap in
+        let dirty = Array.of_list (Heap.dirty_lines heap) in
+        let n = Array.length dirty in
+        if n > !max_dirty_seen then max_dirty_seen := n;
+        if n > max_dirty then incr skipped_large
+        else
+          for mask = 0 to (1 lsl n) - 1 do
+            Heap.restore heap snap;
+            Heap.crash_with heap ~keep:(fun line ->
+                let rec idx i =
+                  if i >= n then -1
+                  else if dirty.(i) = line then i
+                  else idx (i + 1)
+                in
+                let i = idx 0 in
+                i >= 0 && mask land (1 lsl i) <> 0);
+            let rec_inst, _dt, _freed = QI.recover_only inst in
+            incr states_checked;
+            let got = QI.drain rec_inst ~tid:0 in
+            if not (List.mem got acceptable) then
+              report
+                (Printf.sprintf
+                   "%s/%s trip %d mask %#x: recovered [%s], expected [%s] \
+                    (in-flight op: %s)"
+                   (QI.structure_name structure)
+                   (Harness.Instance.flavor_name flavor)
+                   !trip mask
+                   (String.concat ";" (List.map string_of_int got))
+                   (String.concat ";" (List.map string_of_int !model))
+                   (q_effect_name inflight))
+          done);
+    trip := !trip + trip_step
+  done;
+  {
+    trips_attempted = !trips_attempted;
+    crashes = !crashes;
+    states_checked = !states_checked;
+    skipped_large = !skipped_large;
+    max_dirty_seen = !max_dirty_seen;
+    violations = List.rev !violations;
+  }

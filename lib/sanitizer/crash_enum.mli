@@ -45,3 +45,23 @@ val run :
   structure:Harness.Instance.structure ->
   unit ->
   result
+
+(** FIFO-shape enumerator (MPMC queue / work-stealing deque): the same
+    2^n-image model, but consistency compares the {e drained} recovered
+    contents (oldest-first) against the completed-ops model list, with the
+    single in-flight operation free to have happened or not. The deque
+    script mixes owner push/pop with same-thread steals. Raises
+    [Invalid_argument] for flavors whose acks are not durable (volatile
+    and link-cache). *)
+val run_queue :
+  ?flavor:Harness.Instance.flavor ->
+  ?ops_per_trip:int ->
+  ?trip_start:int ->
+  ?trip_stop:int ->
+  ?trip_step:int ->
+  ?max_dirty:int ->
+  ?max_reports:int ->
+  ?seed:int ->
+  structure:Harness.Queue_instance.structure ->
+  unit ->
+  result

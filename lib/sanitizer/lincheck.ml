@@ -261,6 +261,144 @@ let check ?durable entries =
     by_key;
   (!keys, List.sort compare !failures)
 
+(* ---- FIFO shapes (queue / work-stealing deque) ------------------------- *)
+
+(* FIFO order couples every operation to every other, so the check is a
+   whole-history WGL over an int-list state (contents oldest-first) rather
+   than the per-key decomposition sets enjoy. Producer entries carry their
+   value in [key] ([Set_intf.ret_unit] acks with 1); consumers answer
+   through [ret_opt]. *)
+
+type qkind = Enqueue | Dequeue | Push | Pop | Steal
+
+let qkind_of_name name =
+  let suffix =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  match suffix with
+  | "enqueue" -> Some Enqueue
+  | "dequeue" -> Some Dequeue
+  | "push" -> Some Push
+  | "pop" -> Some Pop
+  | "steal" -> Some Steal
+  | _ -> None
+
+let without_last l =
+  match List.rev l with [] -> [] | _ :: r -> List.rev r
+
+let last_opt l = match List.rev l with [] -> None | v :: _ -> Some v
+
+(* Post-states of linearizing one op against [state]. In-flight ops that
+   are never linearized are simply dropped by the search; offered steps are
+   therefore full effects only. Dequeue/steal consume the front, pop the
+   back. *)
+let steps_fifo kind (e : entry) state =
+  let unknown = e.ret = Heap.op_ret_unknown in
+  match kind with
+  | Enqueue | Push ->
+      if unknown || e.ret = 1 then [ state @ [ e.key ] ] else []
+  | Dequeue | Steal -> (
+      if unknown then
+        match state with [] -> [ state ] | _ :: tl -> [ state; tl ]
+      else if e.ret < 0 then if state = [] then [ state ] else []
+      else
+        match state with
+        | v :: tl when v = e.ret -> [ tl ]
+        | _ -> [])
+  | Pop -> (
+      if unknown then
+        match state with [] -> [ state ] | _ -> [ state; without_last state ]
+      else if e.ret < 0 then if state = [] then [ state ] else []
+      else
+        match last_opt state with
+        | Some v when v = e.ret -> [ without_last state ]
+        | _ -> [])
+
+type fifo_durable = {
+  q_recovered : int list;  (** post-recovery contents, oldest-first *)
+  q_buffered : bool;
+      (** accept any intermediate state of the linearization — a per-object
+          relaxation that is {e not} sound for link-cache queues (durable
+          images can be windows no interleaving point reached), so durable
+          drivers reject lc outright *)
+}
+
+let check_fifo ?durable entries =
+  let ops =
+    Array.of_list (List.sort (fun a b -> compare a.inv b.inv) entries)
+  in
+  let n = Array.length ops in
+  if n > max_key_ops then
+    Error
+      (Printf.sprintf "%d ops exceeds the whole-history WGL bound (%d)" n
+         max_key_ops)
+  else begin
+    let qkinds =
+      Array.map
+        (fun e ->
+          match qkind_of_name e.name with
+          | Some k -> k
+          | None -> invalid_arg ("Lincheck: unknown queue op " ^ e.name))
+        ops
+    in
+    let completed = ref 0 in
+    Array.iteri
+      (fun i e -> if e.res < max_int then completed := !completed lor (1 lsl i))
+      ops;
+    let completed = !completed in
+    let memo = Hashtbl.create 1024 in
+    let rec go mask state matched =
+      let matched =
+        matched
+        ||
+        match durable with
+        | Some d when d.q_buffered -> state = d.q_recovered
+        | _ -> false
+      in
+      let accept =
+        mask land completed = completed
+        &&
+        match durable with
+        | None -> true
+        | Some d -> if d.q_buffered then matched else state = d.q_recovered
+      in
+      accept
+      || (not (Hashtbl.mem memo (mask, state, matched)))
+         &&
+         (Hashtbl.replace memo (mask, state, matched) ();
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let b = 1 lsl !i in
+            if mask land b = 0 then begin
+              let minimal = ref true in
+              for j = 0 to n - 1 do
+                if mask land (1 lsl j) = 0 && j <> !i then
+                  if ops.(j).res < ops.(!i).inv then minimal := false
+              done;
+              if !minimal then
+                List.iter
+                  (fun state' ->
+                    if not !ok then ok := go (mask lor b) state' matched)
+                  (steps_fifo qkinds.(!i) ops.(!i) state)
+            end;
+            incr i
+          done;
+          !ok)
+    in
+    if go 0 [] false then Ok ()
+    else
+      Error
+        (Printf.sprintf "no valid linearization of %d queue ops%s" n
+           (match durable with
+           | None -> ""
+           | Some d ->
+               Printf.sprintf " reaching recovered contents [%s]"
+                 (String.concat ";" (List.map string_of_int d.q_recovered))))
+  end
+
 (* ---- drivers ----------------------------------------------------------- *)
 
 type outcome = {
@@ -349,6 +487,111 @@ let durable_check ?(nthreads = 2) ?(total_ops = 200) ?(key_range = 24)
   {
     ops_recorded = recorded_ops r;
     keys_checked;
+    in_flight = in_flight_count entries;
+    crashed = tripped;
+    failures;
+  }
+
+(* ---- queue / deque drivers --------------------------------------------- *)
+
+module QI = Harness.Queue_instance
+
+(* Producer values are distinct (thread id x per-thread counter), which
+   keeps the whole-history search narrow and failures diagnosable. The
+   deque owner (tid 0) bounds its outstanding items well under the largest
+   buffer class so [Deque_full] cannot fire. *)
+let deque_soft_cap = 40
+
+let random_fifo_op rng inst ~tid ~counter =
+  let fresh_value () =
+    incr counter;
+    (100 * (tid + 1)) + !counter
+  in
+  match inst.QI.structure with
+  | QI.Mpmc ->
+      if Workload.Xoshiro.below rng 2 = 0 then
+        QI.put inst ~tid ~value:(fresh_value ())
+      else ignore (QI.steal inst ~tid)
+  | QI.Deque ->
+      if tid = 0 then
+        if Workload.Xoshiro.below rng 3 < 2 && QI.size inst < deque_soft_cap
+        then QI.put inst ~tid ~value:(fresh_value ())
+        else ignore (QI.take inst ~tid)
+      else ignore (QI.steal inst ~tid)
+
+(** Record a real multi-domain run over a FIFO shape and check the whole
+    history (no crash). The deque's owner is domain 0; other domains only
+    steal. *)
+let queue_live_check ?(nthreads = 2) ?(ops_per_thread = 24) ?(seed = 42)
+    ~structure ~flavor () =
+  let inst = QI.create ~nthreads ~size_hint:256 ~structure ~flavor () in
+  let r = record (Lfds.Ctx.heap inst.QI.ctx) in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:(seed + (tid * 7919)) in
+    let counter = ref 0 in
+    for _ = 1 to ops_per_thread do
+      random_fifo_op rng inst ~tid ~counter
+    done
+  in
+  let ds = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  stop r;
+  let entries = history r in
+  let failures =
+    match check_fifo entries with Ok () -> [] | Error msg -> [ (0, msg) ]
+  in
+  {
+    ops_recorded = recorded_ops r;
+    keys_checked = 1;
+    in_flight = in_flight_count entries;
+    crashed = false;
+    failures;
+  }
+
+(** Durable linearizability of a FIFO shape, crash-composed: logical
+    threads interleaved deterministically, a trip-wire crash mid-stream,
+    seeded evictions, recovery, then a whole-history check requiring the
+    drained post-recovery contents to be the final state of some
+    linearization. Only ack-durable flavors (lp/nvt/lf) qualify: volatile
+    has no crash story, and link-cache queue images can be windows no
+    interleaving point reached (see {!fifo_durable}). *)
+let queue_durable_check ?(nthreads = 2) ?(total_ops = 48) ?(seed = 42)
+    ?(trip = 700) ~structure ~flavor () =
+  let mode = I.mode_of_flavor flavor in
+  if not (Lfds.Persist_mode.acks_durable mode) then
+    invalid_arg
+      "Lincheck.queue_durable_check: needs an ack-durable flavor (lp/nvt/lf)";
+  let inst = QI.create ~nthreads ~size_hint:256 ~structure ~flavor () in
+  let heap = Lfds.Ctx.heap inst.QI.ctx in
+  let r = record heap in
+  let rng = Workload.Xoshiro.make ~seed in
+  let counters = Array.init nthreads (fun _ -> ref 0) in
+  let tripped =
+    Heap.set_trip heap trip;
+    try
+      for _ = 1 to total_ops do
+        let tid = Workload.Xoshiro.below rng nthreads in
+        random_fifo_op rng inst ~tid ~counter:counters.(tid)
+      done;
+      Heap.disarm_trip heap;
+      false
+    with Heap.Crashed -> true
+  in
+  Heap.crash ~seed ~eviction_probability:0.5 heap;
+  stop r;
+  let entries = history r in
+  let inst', _, _ = QI.recover_only inst in
+  let durable =
+    { q_recovered = QI.drain inst' ~tid:0; q_buffered = false }
+  in
+  let failures =
+    match check_fifo ~durable entries with
+    | Ok () -> []
+    | Error msg -> [ (0, msg) ]
+  in
+  {
+    ops_recorded = recorded_ops r;
+    keys_checked = 1;
     in_flight = in_flight_count entries;
     crashed = tripped;
     failures;

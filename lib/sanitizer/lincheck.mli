@@ -67,6 +67,28 @@ val check :
 (** Group by key, check each; returns (keys checked, failures as
     [(key, diagnosis)] sorted by key). *)
 
+(** {2 FIFO shapes}
+
+    FIFO order couples every operation to every other, so queue/deque
+    histories are checked whole (one WGL search over an int-list state,
+    contents oldest-first) rather than per key. Producer entries carry
+    their value in [key] and ack with [Lfds.Set_intf.ret_unit]; consumers
+    answer through [ret_opt]. Dequeue and steal consume the front, pop the
+    back. *)
+
+type fifo_durable = {
+  q_recovered : int list;  (** post-recovery contents, oldest-first *)
+  q_buffered : bool;
+      (** accept any intermediate state of the linearization — a per-object
+          relaxation that is {e not} sound for link-cache queues (a durable
+          image can be a window of the item sequence that no interleaving
+          point reached), so the durable driver rejects lc outright *)
+}
+
+val check_fifo : ?durable:fifo_durable -> entry list -> (unit, string) result
+(** Whole-history check of queue/deque entries ([Error] past
+    {!max_key_ops} ops or on an inexplicable history). *)
+
 (** {2 Drivers} *)
 
 type outcome = {
@@ -106,5 +128,33 @@ val durable_check :
     [trip] heap primitives, seeded cache eviction, recovery, then the
     per-key recovered-state check. Raises [Invalid_argument] for volatile
     flavors. Fully deterministic in its parameters. *)
+
+val queue_live_check :
+  ?nthreads:int ->
+  ?ops_per_thread:int ->
+  ?seed:int ->
+  structure:Harness.Queue_instance.structure ->
+  flavor:Harness.Instance.flavor ->
+  unit ->
+  outcome
+(** Record a real multi-domain run over a FIFO shape (defaults: 2 domains
+    × 24 ops — whole-history checking bounds total ops by
+    {!max_key_ops}) and check plain linearizability. The deque's owner is
+    domain 0; other domains only steal. *)
+
+val queue_durable_check :
+  ?nthreads:int ->
+  ?total_ops:int ->
+  ?seed:int ->
+  ?trip:int ->
+  structure:Harness.Queue_instance.structure ->
+  flavor:Harness.Instance.flavor ->
+  unit ->
+  outcome
+(** Durable linearizability of a FIFO shape: deterministic logical-thread
+    interleave, trip-wire crash, seeded evictions, recovery, then the
+    whole-history check against the drained post-recovery contents.
+    Raises [Invalid_argument] for flavors whose acks are not durable
+    (volatile and link-cache). Fully deterministic in its parameters. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

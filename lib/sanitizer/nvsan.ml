@@ -76,6 +76,12 @@ type t = {
   nodes : (int, node) Hashtbl.t;
   incoming : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* node base -> links *)
   lc_registered : (int, unit) Hashtbl.t;  (* links owned by link-cache entries *)
+  index_words : (int, unit) Hashtbl.t;
+      (* root/static words declared to hold monotonic integer indices
+         (deque top/bottom): their payloads are not pointers, so CASes on
+         them are exempt from mark-protocol and reachability interpretation
+         (an index decrement like 6 -> 5 flips what reads as the unflushed
+         bit over an identical "address" part). *)
   op_seq : int array;  (* per tid *)
   op_name : string array;  (* per tid *)
   deref_watch : (int, int) Hashtbl.t array;
@@ -138,7 +144,8 @@ let remove_edge t ~link ~target =
    test — their integer payloads must not be read as mark-protocol traffic
    or reachability edges. *)
 let pointer_bearing t link =
-  t.word_owner.(link) >= 0 || link < t.cfg.root_limit
+  (not (Hashtbl.mem t.index_words link))
+  && (t.word_owner.(link) >= 0 || link < t.cfg.root_limit)
 
 (* A written word is an edge iff it is pointer-bearing and its address part
    is a tracked node base. Mark-only rewrites (same address part) leave the
@@ -494,6 +501,7 @@ let attach ?config heap =
       nodes = Hashtbl.create 1024;
       incoming = Hashtbl.create 1024;
       lc_registered = Hashtbl.create 64;
+      index_words = Hashtbl.create 8;
       op_seq = Array.make ntids 0;
       op_name = Array.make ntids "?";
       deref_watch = Array.init ntids (fun _ -> Hashtbl.create 8);
@@ -505,6 +513,28 @@ let attach ?config heap =
   in
   t.obs_handle <- Some (Heap.Observer.add heap (on_event t));
   t
+
+(* Register an allocation that predates the attach (a sentinel, a deque
+   buffer): counted as already published with a durably-synced span, so
+   links inside it participate in the checkers and a later CAS installing
+   its address elsewhere is not mistaken for a first publish. *)
+let seed_node t ~base ~size =
+  Mutex.lock t.lock;
+  let n =
+    { base; size; published = true; retired = false; freed = false;
+      reclaim_ok = false }
+  in
+  Hashtbl.replace t.nodes base n;
+  for w = base to base + size - 1 do
+    Bytes.unsafe_set t.word_synced w '\001';
+    t.word_owner.(w) <- base
+  done;
+  Mutex.unlock t.lock
+
+let declare_index_word t addr =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.index_words addr ();
+  Mutex.unlock t.lock
 
 let detach t =
   match t.obs_handle with

@@ -92,6 +92,24 @@ val attach : ?config:config -> Nvm.Heap.t -> t
     stay registered). Recorded violations remain readable; idempotent. *)
 val detach : t -> unit
 
+(** Register an allocation that predates the attach — a sentinel node, a
+    deque buffer. Its span counts as durably synced and the node as
+    already published, so links inside it participate in the checkers and
+    a later CAS installing its address elsewhere (e.g. a volatile tail
+    root catching up) is not mistaken for a first publish. Call right
+    after {!attach}, at the same quiescent point, for every allocation the
+    structure's reachability iterator reports. *)
+val seed_node : t -> base:int -> size:int -> unit
+
+(** Declare a root or static word whose payload is a monotonic integer
+    index (a Chase-Lev [top]/[bottom]), not a pointer. Small integers are
+    indistinguishable from marked null pointers — decrementing 6 to 5
+    reads as clearing the unflushed bit over an identical address part —
+    so the sanitizer must be told to exempt such words from mark-protocol
+    and reachability interpretation. Call alongside {!seed_node}, at the
+    quiescent attach point. *)
+val declare_index_word : t -> int -> unit
+
 (** Recorded violations, oldest first. *)
 val violations : t -> violation list
 

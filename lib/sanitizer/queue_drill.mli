@@ -1,0 +1,57 @@
+(** Producer-consumer crash drill over the FIFO shapes.
+
+    Real domains stream tagged values (producer id x sequence number)
+    through an MPMC queue or a work-stealing deque (single owner producing,
+    thieves consuming). The heap trip-wire kills one domain mid-operation;
+    the rest stop at operation boundaries; then the machine power-fails
+    with seeded evictions and recovery runs. The audit compares three
+    records: per-producer {e acked} productions, per-consumer {e acked}
+    consumptions, and the drained post-recovery contents.
+
+    Audit rules:
+    - {e No duplication}: a value consumed by two consumers, or recovered
+      twice, is a logic bug in every flavor. A value both consumed-acked
+      and recovered is a violation only for ack-durable flavors (lp / nvt /
+      lf) — link-cache is at-least-once (a consumed ack may be durably
+      lost, resurrecting the item).
+    - {e No acked item lost} (ack-durable flavors): every acked production
+      must be acked-consumed or recovered, minus at most one item the
+      killed domain may have durably consumed without delivering its ack.
+    - {e Per-producer FIFO order}: each producer's subsequence is strictly
+      increasing in every consumer's stream and in the recovered drain;
+      ack-durable flavors additionally require every consumed item of a
+      producer to precede every recovered one. *)
+
+type report = {
+  structure : string;
+  flavor : string;
+  produced : int;  (** acked enqueues/pushes across producers *)
+  consumed : int;  (** acked dequeues/steals across consumers *)
+  recovered : int;  (** items drained after recovery *)
+  lost_inflight : int;
+      (** acked productions in neither record (ack-durable flavors; at most
+          1 is legitimate) *)
+  tripped : bool;  (** did the trip-wire actually kill a domain? *)
+  freed : int;  (** leaked nodes freed by the recovery sweep *)
+  recovery_s : float;
+  violations : string list;
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+(** Run the drill. Defaults: 2 producers (forced to 1 for the deque) + 2
+    consumers, 300 ops per producer, trip after 4000 persisted-memory
+    primitives, eviction probability 0.5. Deterministic apart from domain
+    scheduling. *)
+val run :
+  ?producers:int ->
+  ?consumers:int ->
+  ?ops_per_producer:int ->
+  ?seed:int ->
+  ?trip:int ->
+  ?eviction_probability:float ->
+  structure:Harness.Queue_instance.structure ->
+  flavor:Harness.Instance.flavor ->
+  unit ->
+  report

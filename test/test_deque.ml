@@ -1,0 +1,325 @@
+(* Durable Chase-Lev deque: owner LIFO / thief FIFO semantics, buffer
+   growth to its hard cap, sequential model agreement with wrap-around,
+   owner-vs-thief stress, crash + recovery idempotence, whole-history
+   linearizability, sanitizer cleanliness, crash enumeration and the
+   producer-consumer drill. *)
+
+module I = Harness.Instance
+module QI = Harness.Queue_instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_flavors = [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf ]
+let strict_flavors = [ I.Lp; I.Nvt; I.Lf ]
+
+let mkd ?(nthreads = 1) flavor =
+  QI.create ~nthreads ~size_hint:512 ~structure:QI.Deque ~flavor ()
+
+(* ---- sequential semantics ---------------------------------------------- *)
+
+let test_ends flavor () =
+  let d = mkd flavor in
+  for v = 1 to 10 do
+    QI.put d ~tid:0 ~value:v
+  done;
+  check_int "size" 10 (QI.size d);
+  Alcotest.(check (option int)) "pop is LIFO" (Some 10) (QI.take d ~tid:0);
+  Alcotest.(check (option int)) "steal is FIFO" (Some 1) (QI.steal d ~tid:0);
+  Alcotest.(check (option int)) "pop again" (Some 9) (QI.take d ~tid:0);
+  Alcotest.(check (option int)) "steal again" (Some 2) (QI.steal d ~tid:0);
+  check_int "size after" 6 (QI.size d);
+  Alcotest.(check (list int)) "window" [ 3; 4; 5; 6; 7; 8 ] (QI.to_list d)
+
+(* Growth doubles through the 16/32/64-word classes; past the largest cap
+   the owner is refused. *)
+let test_grow_to_cap flavor () =
+  let d = mkd flavor in
+  for v = 1 to 56 do
+    QI.put d ~tid:0 ~value:v
+  done;
+  check_int "at cap" 56 (QI.size d);
+  Alcotest.check_raises "refused past cap" Nvqueue.Durable_deque.Deque_full
+    (fun () -> QI.put d ~tid:0 ~value:57);
+  Alcotest.(check (list int)) "survived the copies"
+    (List.init 56 (fun i -> i + 1))
+    (QI.to_list d);
+  (* Drain from both ends and refill: indices wrap physical slots. *)
+  for _ = 1 to 30 do
+    ignore (QI.steal d ~tid:0)
+  done;
+  for v = 100 to 110 do
+    QI.put d ~tid:0 ~value:v
+  done;
+  Alcotest.(check (option int)) "steal after wrap" (Some 31) (QI.steal d ~tid:0);
+  Alcotest.(check (option int)) "pop after wrap" (Some 110) (QI.take d ~tid:0)
+
+(* Random push/pop/steal stream against a list model (front = steal end). *)
+let test_model flavor () =
+  let d = mkd flavor in
+  let model = ref [] in
+  let rng = Workload.Xoshiro.make ~seed:37 in
+  let counter = ref 0 in
+  let without_last l =
+    match List.rev l with [] -> [] | _ :: r -> List.rev r
+  in
+  let last_opt l = match List.rev l with [] -> None | v :: _ -> Some v in
+  for _ = 1 to 2000 do
+    match Workload.Xoshiro.below rng 4 with
+    | 0 | 1 when List.length !model < 50 ->
+        incr counter;
+        QI.put d ~tid:0 ~value:!counter;
+        model := !model @ [ !counter ]
+    | 2 ->
+        Alcotest.(check (option int))
+          "pop agrees" (last_opt !model) (QI.take d ~tid:0);
+        model := without_last !model
+    | _ ->
+        Alcotest.(check (option int))
+          "steal agrees"
+          (match !model with [] -> None | v :: _ -> Some v)
+          (QI.steal d ~tid:0);
+        model := (match !model with [] -> [] | _ :: tl -> tl)
+  done;
+  Alcotest.(check (list int)) "final window" !model (QI.to_list d)
+
+(* ---- owner vs thieves -------------------------------------------------- *)
+
+let test_stress flavor () =
+  let pushes = 600 in
+  let d = mkd ~nthreads:4 flavor in
+  let owner_done = Atomic.make false in
+  let taken = Array.make 4 [] in
+  let owner () =
+    let rng = Workload.Xoshiro.make ~seed:17 in
+    let n = ref 0 in
+    while !n < pushes do
+      if Workload.Xoshiro.below rng 3 < 2 then begin
+        if QI.size d < 40 then begin
+          incr n;
+          QI.put d ~tid:0 ~value:!n
+        end
+        else Domain.cpu_relax ()
+      end
+      else
+        match QI.take d ~tid:0 with
+        | Some v -> taken.(0) <- v :: taken.(0)
+        | None -> ()
+    done;
+    Atomic.set owner_done true
+  in
+  let thief tid () =
+    let continue = ref true in
+    while !continue do
+      match QI.steal d ~tid with
+      | Some v -> taken.(tid) <- v :: taken.(tid)
+      | None ->
+          if Atomic.get owner_done then continue := false
+          else Domain.cpu_relax ()
+    done
+  in
+  let ds =
+    Domain.spawn owner :: List.init 3 (fun i -> Domain.spawn (thief (i + 1)))
+  in
+  List.iter Domain.join ds;
+  let leftover = QI.drain d ~tid:0 in
+  let all = List.concat (Array.to_list (Array.map List.rev taken)) @ leftover in
+  check_int "every push accounted for" pushes (List.length all);
+  check_int "no duplicates" pushes (List.length (List.sort_uniq compare all));
+  (* Each thief's stream is increasing: steals take the oldest. *)
+  Array.iteri
+    (fun tid l ->
+      if tid > 0 then
+        ignore
+          (List.fold_left
+             (fun prev v ->
+               check_bool "thief stream increasing" true (v > prev);
+               v)
+             0 (List.rev l)))
+    taken
+
+(* ---- crash + recovery -------------------------------------------------- *)
+
+let test_crash_recover_twice flavor () =
+  let d = mkd flavor in
+  for v = 1 to 30 do
+    QI.put d ~tid:0 ~value:v
+  done;
+  for _ = 1 to 5 do
+    ignore (QI.steal d ~tid:0)
+  done;
+  for _ = 1 to 3 do
+    ignore (QI.take d ~tid:0)
+  done;
+  let d, _, _ = QI.crash_and_recover ~seed:31 d in
+  Alcotest.(check (list int)) "first recovery"
+    (List.init 22 (fun i -> i + 6))
+    (QI.to_list d);
+  for _ = 1 to 4 do
+    ignore (QI.steal d ~tid:0)
+  done;
+  for v = 101 to 108 do
+    QI.put d ~tid:0 ~value:v
+  done;
+  let d, _, _ = QI.crash_and_recover ~seed:32 d in
+  Alcotest.(check (list int)) "second recovery"
+    (List.init 18 (fun i -> i + 10) @ List.init 8 (fun i -> i + 101))
+    (QI.to_list d)
+
+(* ---- linearizability --------------------------------------------------- *)
+
+let test_lincheck_live flavor () =
+  let o =
+    Sanitizer.Lincheck.queue_live_check ~nthreads:2 ~ops_per_thread:24
+      ~structure:QI.Deque ~flavor ()
+  in
+  if not (Sanitizer.Lincheck.ok o) then
+    Alcotest.failf "%a" Sanitizer.Lincheck.pp_outcome o
+
+let test_lincheck_durable flavor () =
+  let o =
+    Sanitizer.Lincheck.queue_durable_check ~nthreads:2 ~total_ops:48
+      ~structure:QI.Deque ~flavor ()
+  in
+  if not (Sanitizer.Lincheck.ok o) then
+    Alcotest.failf "%a" Sanitizer.Lincheck.pp_outcome o
+
+(* ---- sanitizers -------------------------------------------------------- *)
+
+(* Pre-attach allocations (the initial buffer) must be seeded — see
+   test_queue.ml. *)
+let seed_preexisting san inst =
+  let alloc = Lfds.Ctx.allocator inst.QI.ctx in
+  QI.iter_reachable inst (fun base ->
+      Sanitizer.Nvsan.seed_node san ~base
+        ~size:(Nvm.Nvalloc.size_class_of alloc ~tid:0 base));
+  (* top/bottom hold raw indices: integer CASes there must not read as
+     mark-protocol traffic. *)
+  List.iter
+    (Sanitizer.Nvsan.declare_index_word san)
+    (QI.index_words inst)
+
+let test_nvsan_clean flavor () =
+  let d = mkd flavor in
+  let heap = Lfds.Ctx.heap d.QI.ctx in
+  let cfg =
+    {
+      (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor)) with
+      strict_deref = flavor <> I.Volatile;
+      root_limit = Lfds.Ctx.static_limit d.QI.ctx;
+    }
+  in
+  let san = Sanitizer.Nvsan.attach ~config:cfg heap in
+  seed_preexisting san d;
+  let rng = Workload.Xoshiro.make ~seed:13 in
+  let counter = ref 0 in
+  for _ = 1 to 600 do
+    match Workload.Xoshiro.below rng 4 with
+    | 0 | 1 when QI.size d < 40 ->
+        incr counter;
+        QI.put d ~tid:0 ~value:!counter
+    | 2 -> ignore (QI.take d ~tid:0)
+    | _ -> ignore (QI.steal d ~tid:0)
+  done;
+  Sanitizer.Nvsan.detach san;
+  List.iter
+    (fun v ->
+      Printf.printf "nvsan: %s\n%!" (Sanitizer.Nvsan.violation_to_string v))
+    (Sanitizer.Nvsan.violations san);
+  check_int
+    ("ws-deque/" ^ I.flavor_name flavor ^ ": violations")
+    0
+    (Sanitizer.Nvsan.violation_count san)
+
+let test_nvrace_clean flavor () =
+  let d = mkd ~nthreads:4 flavor in
+  let heap = Lfds.Ctx.heap d.QI.ctx in
+  let det =
+    Sanitizer.Nvrace.attach
+      ~config:
+        {
+          (Sanitizer.Nvrace.default_config ()) with
+          root_limit = Lfds.Ctx.static_limit d.QI.ctx;
+        }
+      heap
+  in
+  let owner () =
+    let rng = Workload.Xoshiro.make ~seed:3 in
+    let counter = ref 0 in
+    for _ = 1 to 300 do
+      if Workload.Xoshiro.below rng 3 < 2 && QI.size d < 40 then begin
+        incr counter;
+        QI.put d ~tid:0 ~value:!counter
+      end
+      else ignore (QI.take d ~tid:0)
+    done
+  in
+  let thief tid () =
+    for _ = 1 to 200 do
+      ignore (QI.steal d ~tid)
+    done
+  in
+  let ds =
+    Domain.spawn owner :: List.init 3 (fun i -> Domain.spawn (thief (i + 1)))
+  in
+  List.iter Domain.join ds;
+  Sanitizer.Nvrace.detach det;
+  List.iter
+    (fun v ->
+      Printf.printf "race: %s\n%!" (Sanitizer.Nvrace.violation_to_string v))
+    (Sanitizer.Nvrace.violations det);
+  check_int
+    ("ws-deque/" ^ I.flavor_name flavor ^ ": races")
+    0
+    (Sanitizer.Nvrace.violation_count det)
+
+(* ---- exhaustive crash enumeration -------------------------------------- *)
+
+let test_crash_enum flavor () =
+  let r =
+    Sanitizer.Crash_enum.run_queue ~flavor ~ops_per_trip:24 ~trip_start:1
+      ~trip_stop:90 ~trip_step:13 ~max_dirty:8 ~structure:QI.Deque ()
+  in
+  List.iter (Printf.printf "crash-enum: %s\n%!") r.Sanitizer.Crash_enum.violations;
+  check_int "violations" 0 (List.length r.Sanitizer.Crash_enum.violations);
+  check_bool "some crashes enumerated" true
+    (r.Sanitizer.Crash_enum.states_checked > 0)
+
+(* ---- producer-consumer drill ------------------------------------------- *)
+
+let test_drill flavor () =
+  let r =
+    Sanitizer.Queue_drill.run ~consumers:2 ~ops_per_producer:120 ~trip:2500
+      ~structure:QI.Deque ~flavor ()
+  in
+  if not (Sanitizer.Queue_drill.ok r) then
+    Alcotest.failf "%a" Sanitizer.Queue_drill.pp_report r;
+  check_bool "produced something" true (r.Sanitizer.Queue_drill.produced > 0)
+
+(* ---- suite ------------------------------------------------------------- *)
+
+let per_flavor name flavors f =
+  List.map
+    (fun fl ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (I.flavor_name fl))
+        `Quick (f fl))
+    flavors
+
+let () =
+  Alcotest.run "deque"
+    [
+      ("ends", per_flavor "pop LIFO / steal FIFO" all_flavors test_ends);
+      ("grow", per_flavor "to hard cap" all_flavors test_grow_to_cap);
+      ("model", per_flavor "random stream" all_flavors test_model);
+      ("stress", per_flavor "owner + 3 thieves" [ I.Lp; I.Lf ] test_stress);
+      ("crash", per_flavor "recover twice" strict_flavors test_crash_recover_twice);
+      ( "lincheck",
+        per_flavor "live" [ I.Lp; I.Lf ] test_lincheck_live
+        @ per_flavor "durable" strict_flavors test_lincheck_durable );
+      ( "sanitizer",
+        per_flavor "nvsan clean" all_flavors test_nvsan_clean
+        @ per_flavor "nvrace clean" [ I.Lp ] test_nvrace_clean );
+      ("crash-enum", per_flavor "small scope" strict_flavors test_crash_enum);
+      ("drill", per_flavor "owner + thieves" [ I.Lp; I.Lf ] test_drill);
+    ]

@@ -1,0 +1,305 @@
+(* Durable MPMC queue: sequential model agreement in every flavor,
+   multi-domain stress, crash + recovery idempotence, whole-history
+   linearizability (live and durable), sanitizer cleanliness, exhaustive
+   small-scope crash enumeration, and the producer-consumer drill. *)
+
+module I = Harness.Instance
+module QI = Harness.Queue_instance
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_flavors = [ I.Volatile; I.Lp; I.Lc; I.Nvt; I.Lf ]
+let strict_flavors = [ I.Lp; I.Nvt; I.Lf ]
+
+let mkq ?(nthreads = 1) flavor =
+  QI.create ~nthreads ~size_hint:512 ~structure:QI.Mpmc ~flavor ()
+
+(* ---- sequential semantics ---------------------------------------------- *)
+
+let test_fifo_basic flavor () =
+  let q = mkq flavor in
+  for v = 1 to 100 do
+    QI.put q ~tid:0 ~value:v
+  done;
+  check_int "size" 100 (QI.size q);
+  Alcotest.(check (list int)) "contents" (List.init 100 (fun i -> i + 1))
+    (QI.to_list q);
+  for v = 1 to 100 do
+    Alcotest.(check (option int)) "fifo order" (Some v) (QI.take q ~tid:0)
+  done;
+  Alcotest.(check (option int)) "empty" None (QI.take q ~tid:0);
+  check_int "empty size" 0 (QI.size q)
+
+(* Random enqueue/dequeue stream against a Stdlib.Queue model. *)
+let test_model flavor () =
+  let q = mkq flavor in
+  let model = Queue.create () in
+  let rng = Workload.Xoshiro.make ~seed:91 in
+  let counter = ref 0 in
+  for _ = 1 to 2000 do
+    if Workload.Xoshiro.below rng 2 = 0 then begin
+      incr counter;
+      QI.put q ~tid:0 ~value:!counter;
+      Queue.add !counter model
+    end
+    else
+      Alcotest.(check (option int))
+        "model agreement" (Queue.take_opt model) (QI.take q ~tid:0)
+  done;
+  check_int "final size" (Queue.length model) (QI.size q);
+  Alcotest.(check (list int)) "final contents"
+    (List.of_seq (Queue.to_seq model))
+    (QI.to_list q)
+
+(* ---- multi-domain stress ----------------------------------------------- *)
+
+(* 2 producers x 2 consumers; afterwards every produced value is consumed or
+   drained exactly once, in per-producer order. *)
+let test_stress flavor () =
+  let per_producer = 500 in
+  let q = mkq ~nthreads:4 flavor in
+  let producers_left = Atomic.make 2 in
+  let consumed = Array.make 2 [] in
+  let producer pid () =
+    for n = 1 to per_producer do
+      QI.put q ~tid:pid ~value:(((pid + 1) * 1_000_000) + n)
+    done;
+    Atomic.decr producers_left
+  in
+  let consumer cid () =
+    let tid = 2 + cid in
+    let continue = ref true in
+    while !continue do
+      match QI.take q ~tid with
+      | Some v -> consumed.(cid) <- v :: consumed.(cid)
+      | None ->
+          if Atomic.get producers_left = 0 then continue := false
+          else Domain.cpu_relax ()
+    done
+  in
+  let ds =
+    [
+      Domain.spawn (producer 0);
+      Domain.spawn (producer 1);
+      Domain.spawn (consumer 0);
+      Domain.spawn (consumer 1);
+    ]
+  in
+  List.iter Domain.join ds;
+  let all = List.concat [ List.rev consumed.(0); List.rev consumed.(1) ] in
+  check_int "everything consumed" (2 * per_producer) (List.length all);
+  check_int "drained" 0 (QI.size q);
+  let sorted = List.sort_uniq compare all in
+  check_int "no duplicates" (2 * per_producer) (List.length sorted);
+  (* Per-consumer streams respect each producer's order. *)
+  Array.iter
+    (fun l ->
+      let last = Hashtbl.create 4 in
+      List.iter
+        (fun v ->
+          let p = v / 1_000_000 and n = v mod 1_000_000 in
+          (match Hashtbl.find_opt last p with
+          | Some m -> check_bool "per-producer order" true (n > m)
+          | None -> ());
+          Hashtbl.replace last p n)
+        (List.rev l))
+    consumed
+
+(* ---- crash + recovery -------------------------------------------------- *)
+
+(* Ack-durable flavors: quiescent crash must preserve contents exactly, and
+   recovery must be repeatable (operate, crash again, recover again). *)
+let test_crash_recover_twice flavor () =
+  let q = mkq flavor in
+  for v = 1 to 50 do
+    QI.put q ~tid:0 ~value:v
+  done;
+  for _ = 1 to 20 do
+    ignore (QI.take q ~tid:0)
+  done;
+  let q, _, _ = QI.crash_and_recover ~seed:21 q in
+  Alcotest.(check (list int)) "first recovery"
+    (List.init 30 (fun i -> i + 21))
+    (QI.to_list q);
+  for _ = 1 to 10 do
+    ignore (QI.take q ~tid:0)
+  done;
+  for v = 51 to 60 do
+    QI.put q ~tid:0 ~value:v
+  done;
+  let q, _, _ = QI.crash_and_recover ~seed:22 q in
+  Alcotest.(check (list int)) "second recovery"
+    (List.init 20 (fun i -> i + 31) @ List.init 10 (fun i -> i + 51))
+    (QI.to_list q)
+
+(* Link-cache: a crash may lose a suffix of buffered effects, but what
+   recovers must be an ordered duplicate-free window of the acked stream. *)
+let test_crash_recover_lc () =
+  let q = mkq I.Lc in
+  for v = 1 to 60 do
+    QI.put q ~tid:0 ~value:v
+  done;
+  for _ = 1 to 25 do
+    ignore (QI.take q ~tid:0)
+  done;
+  let q, _, _ = QI.crash_and_recover ~seed:23 q in
+  let got = QI.to_list q in
+  check_bool "subset of produced" true
+    (List.for_all (fun v -> v >= 1 && v <= 60) got);
+  check_bool "strictly increasing" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) v -> (ok && v > prev, v))
+          (true, 0) got))
+
+(* ---- linearizability --------------------------------------------------- *)
+
+let test_lincheck_live flavor () =
+  let o =
+    Sanitizer.Lincheck.queue_live_check ~nthreads:2 ~ops_per_thread:24
+      ~structure:QI.Mpmc ~flavor ()
+  in
+  if not (Sanitizer.Lincheck.ok o) then
+    Alcotest.failf "%a" Sanitizer.Lincheck.pp_outcome o;
+  check_bool "recorded some ops" true (o.Sanitizer.Lincheck.ops_recorded > 0)
+
+let test_lincheck_durable flavor () =
+  let o =
+    Sanitizer.Lincheck.queue_durable_check ~nthreads:2 ~total_ops:48
+      ~structure:QI.Mpmc ~flavor ()
+  in
+  if not (Sanitizer.Lincheck.ok o) then
+    Alcotest.failf "%a" Sanitizer.Lincheck.pp_outcome o
+
+(* ---- sanitizers -------------------------------------------------------- *)
+
+(* Allocations that predate the attach (the sentinel) must be seeded, or
+   the volatile tail root catching up over one would read as an unmarked
+   first publish. *)
+let seed_preexisting san inst =
+  let alloc = Lfds.Ctx.allocator inst.QI.ctx in
+  QI.iter_reachable inst (fun base ->
+      Sanitizer.Nvsan.seed_node san ~base
+        ~size:(Nvm.Nvalloc.size_class_of alloc ~tid:0 base));
+  List.iter
+    (Sanitizer.Nvsan.declare_index_word san)
+    (QI.index_words inst)
+
+let fail_on_violations tag san =
+  List.iter
+    (fun v ->
+      Printf.printf "%s: %s\n%!" tag (Sanitizer.Nvsan.violation_to_string v))
+    (Sanitizer.Nvsan.violations san);
+  check_int (tag ^ ": violations") 0 (Sanitizer.Nvsan.violation_count san)
+
+let test_nvsan_clean flavor () =
+  let q = mkq flavor in
+  let heap = Lfds.Ctx.heap q.QI.ctx in
+  let cfg =
+    {
+      (Sanitizer.Nvsan.config_for_mode (I.mode_of_flavor flavor)) with
+      strict_deref = flavor <> I.Volatile;
+      root_limit = Lfds.Ctx.static_limit q.QI.ctx;
+    }
+  in
+  let san = Sanitizer.Nvsan.attach ~config:cfg heap in
+  seed_preexisting san q;
+  let rng = Workload.Xoshiro.make ~seed:5 in
+  let counter = ref 0 in
+  for _ = 1 to 600 do
+    if Workload.Xoshiro.below rng 2 = 0 then begin
+      incr counter;
+      QI.put q ~tid:0 ~value:!counter
+    end
+    else ignore (QI.take q ~tid:0)
+  done;
+  Sanitizer.Nvsan.detach san;
+  fail_on_violations ("mpmc-queue/" ^ I.flavor_name flavor) san
+
+let test_nvrace_clean flavor () =
+  let q = mkq ~nthreads:4 flavor in
+  let heap = Lfds.Ctx.heap q.QI.ctx in
+  let det =
+    Sanitizer.Nvrace.attach
+      ~config:
+        {
+          (Sanitizer.Nvrace.default_config ()) with
+          root_limit = Lfds.Ctx.static_limit q.QI.ctx;
+        }
+      heap
+  in
+  let worker tid () =
+    let rng = Workload.Xoshiro.make ~seed:((tid * 31) + 5) in
+    let counter = ref 0 in
+    for _ = 1 to 250 do
+      if Workload.Xoshiro.below rng 2 = 0 then begin
+        incr counter;
+        QI.put q ~tid ~value:((tid * 100_000) + !counter)
+      end
+      else ignore (QI.take q ~tid)
+    done
+  in
+  let ds = List.init 4 (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  Sanitizer.Nvrace.detach det;
+  List.iter
+    (fun v ->
+      Printf.printf "race: %s\n%!" (Sanitizer.Nvrace.violation_to_string v))
+    (Sanitizer.Nvrace.violations det);
+  check_int
+    ("mpmc-queue/" ^ I.flavor_name flavor ^ ": races")
+    0
+    (Sanitizer.Nvrace.violation_count det)
+
+(* ---- exhaustive crash enumeration -------------------------------------- *)
+
+let test_crash_enum flavor () =
+  let r =
+    Sanitizer.Crash_enum.run_queue ~flavor ~ops_per_trip:24 ~trip_start:1
+      ~trip_stop:90 ~trip_step:13 ~max_dirty:8 ~structure:QI.Mpmc ()
+  in
+  List.iter (Printf.printf "crash-enum: %s\n%!") r.Sanitizer.Crash_enum.violations;
+  check_int "violations" 0 (List.length r.Sanitizer.Crash_enum.violations);
+  check_bool "some crashes enumerated" true
+    (r.Sanitizer.Crash_enum.states_checked > 0)
+
+(* ---- producer-consumer drill ------------------------------------------- *)
+
+let test_drill flavor () =
+  let r =
+    Sanitizer.Queue_drill.run ~producers:2 ~consumers:2 ~ops_per_producer:120
+      ~trip:2500 ~structure:QI.Mpmc ~flavor ()
+  in
+  if not (Sanitizer.Queue_drill.ok r) then
+    Alcotest.failf "%a" Sanitizer.Queue_drill.pp_report r;
+  check_bool "produced something" true (r.Sanitizer.Queue_drill.produced > 0)
+
+(* ---- suite ------------------------------------------------------------- *)
+
+let per_flavor name flavors f =
+  List.map
+    (fun fl ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (I.flavor_name fl))
+        `Quick (f fl))
+    flavors
+
+let () =
+  Alcotest.run "queue"
+    [
+      ("fifo", per_flavor "basic order" all_flavors test_fifo_basic);
+      ("model", per_flavor "random stream" all_flavors test_model);
+      ("stress", per_flavor "4-domain" [ I.Lp; I.Lf ] test_stress);
+      ( "crash",
+        per_flavor "recover twice" strict_flavors test_crash_recover_twice
+        @ [ Alcotest.test_case "lc window" `Quick test_crash_recover_lc ] );
+      ( "lincheck",
+        per_flavor "live" [ I.Lp; I.Lf ] test_lincheck_live
+        @ per_flavor "durable" strict_flavors test_lincheck_durable );
+      ( "sanitizer",
+        per_flavor "nvsan clean" all_flavors test_nvsan_clean
+        @ per_flavor "nvrace clean" [ I.Lp ] test_nvrace_clean );
+      ("crash-enum", per_flavor "small scope" strict_flavors test_crash_enum);
+      ("drill", per_flavor "producer-consumer" [ I.Lp; I.Lc; I.Lf ] test_drill);
+    ]
