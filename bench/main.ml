@@ -1150,8 +1150,80 @@ let queues_recovery opts =
     ~header:[ "structure"; "flavor"; "items"; "recovery"; "freed"; "size after" ]
     rows
 
+(* Steal latency on the volatile scheduler deque — the run-queue twin of
+   the durable deque benched above (same owner/steal discipline, no persist
+   points). One owner domain works the bottom under a population bound; one
+   thief times {e every} steal attempt with the monotonic clock, failed
+   races included — the failures are the cost an idle NVServe domain pays
+   per empty raid. The record rides the "queues" kind with [threads = 2]
+   and a volatile flavor, which keeps it outside the CI fences baseline
+   (that gate reads durable single-thread rows only). *)
+let steal_latency_point opts =
+  let module D = Server.Scheduler.Ws_deque in
+  let dq : int D.t = D.create () in
+  let stop = Atomic.make false in
+  let owner =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop) do
+          if D.size dq < deque_soft_cap then begin
+            incr n;
+            D.push dq !n
+          end
+          else ignore (D.pop dq)
+        done)
+  in
+  let hist = Histogram.create () in
+  let steals = ref 0 and fails = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. Float.max 0.2 opts.duration in
+  while Unix.gettimeofday () < t_end do
+    (* Check the wall clock once per block, not per attempt. *)
+    for _ = 1 to 256 do
+      let a = Server.Sys_poll.monotonic_ns () in
+      let got = D.steal dq in
+      let b = Server.Sys_poll.monotonic_ns () in
+      Histogram.record hist ~ns:(float_of_int (b - a));
+      match got with Some _ -> incr steals | None -> incr fails
+    done
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set stop true;
+  Domain.join owner;
+  let attempts = !steals + !fails in
+  let p q = Histogram.percentile hist q in
+  if Json_out.enabled () then
+    Json_out.add ~kind:"queues"
+      Json_out.
+        [
+          ("structure", S "sched-deque");
+          ("flavor", S "volatile");
+          ("threads", I 2);
+          ("mix", S "steal-latency");
+          ("duration", F opts.duration);
+          ("write_ns", I (base_write_ns opts));
+          ("seed", I opts.seed);
+          ("ops_per_s", F (float_of_int !steals /. Float.max 1e-9 elapsed));
+          ("attempts_per_s", F (float_of_int attempts /. Float.max 1e-9 elapsed));
+          ("steals", I !steals);
+          ("steal_fails", I !fails);
+          ("steal_p50_ns", F (p 50.));
+          ("steal_p99_ns", F (p 99.));
+          ("steal_p999_ns", F (p 99.9));
+          ("steal_max_ns", F (Histogram.max_ns hist));
+        ];
+  pr
+    "steal latency (sched-deque, 1 owner + 1 thief): %d steals, %d failed \
+     races  p50=%s p99=%s p99.9=%s max=%s\n"
+    !steals !fails
+    (Report.human_ns (p 50.))
+    (Report.human_ns (p 99.))
+    (Report.human_ns (p 99.9))
+    (Report.human_ns (Histogram.max_ns hist))
+
 let queues_exp opts =
   queues_shootout opts;
+  steal_latency_point opts;
   queues_recovery opts
 
 (* ------------------------------------------------------------------ *)
@@ -1424,6 +1496,226 @@ let telemetry_bench opts =
              (r.Server.Loadgen.ops_per_s /. !off_tp)))
     !best
 
+(* ------------------------------------------------------------------ *)
+(* Connection scaling: the C10K track. How does throughput over a hot   *)
+(* subset hold up as the wall of open-but-idle connections grows from   *)
+(* 100 to 10 000?                                                       *)
+
+(* The server runs in a CHILD process (this binary re-executed with the
+   hidden [serve-child] command): at the 10k point the server and client
+   each hold ~10k fds, and a single process would blow through the
+   container's immovable 20k RLIMIT_NOFILE. The child prints its bound port
+   on stdout and serves until its stdin closes; fences and scheduler
+   counters come back over the wire via [stats nvlf] scrapes diffed around
+   the load window. *)
+
+let conns_child_main workers runtime max_batch write_ns =
+  let runtime =
+    match Server.Nvserve.runtime_of_string runtime with
+    | Some r -> r
+    | None ->
+        prerr_endline ("serve-child: unknown runtime " ^ runtime);
+        exit 2
+  in
+  let lat = Nvm.Latency_model.default () in
+  if write_ns > 0 then lat.nvram_write_ns <- write_ns;
+  let srv =
+    Server.Nvserve.start
+      {
+        (Server.Nvserve.default_config ()) with
+        Server.Nvserve.nworkers = workers;
+        nbuckets = 8192;
+        capacity = 100_000;
+        idle_timeout = 0. (* the idle wall must stay up *);
+        latency = lat;
+        max_batch;
+        runtime;
+      }
+  in
+  Printf.printf "PORT %d\n%!" (Server.Nvserve.port srv);
+  (try ignore (input_line stdin) with End_of_file -> ());
+  Server.Nvserve.kill srv
+
+type child = {
+  ch_pid : int;
+  ch_stdin : Unix.file_descr;  (** closing it stops the child *)
+  ch_out : in_channel;
+  ch_port : int;
+}
+
+let spawn_server_child ~runtime ~workers ~max_batch ~write_ns =
+  let exe = Sys.executable_name in
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "serve-child";
+        "--workers"; string_of_int workers;
+        "--runtime"; runtime;
+        "--max-batch"; string_of_int max_batch;
+        "--write-ns"; string_of_int write_ns;
+      |]
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  let ch_out = Unix.in_channel_of_descr out_r in
+  let line = input_line ch_out in
+  let ch_port = Scanf.sscanf line "PORT %d" Fun.id in
+  { ch_pid = pid; ch_stdin = in_w; ch_out; ch_port }
+
+let stop_server_child ch =
+  (try Unix.close ch.ch_stdin with Unix.Unix_error _ -> ());
+  (try close_in ch.ch_out with Sys_error _ -> ());
+  ignore (Unix.waitpid [] ch.ch_pid)
+
+(* One [stats nvlf] scrape over a throwaway connection. *)
+let scrape_nvlf ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let req = "stats nvlf\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let ends_with s suf =
+        let ls = String.length s and lu = String.length suf in
+        ls >= lu && String.sub s (ls - lu) lu = suf
+      in
+      while not (ends_with (Buffer.contents buf) "END\r\n") do
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "conns: stats scrape: connection closed";
+        Buffer.add_subbytes buf chunk 0 n
+      done;
+      List.filter_map
+        (fun line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | "STAT" :: k :: rest -> Some (k, String.concat " " rest)
+          | _ -> None)
+        (String.split_on_char '\n' (Buffer.contents buf)))
+
+let conns_workers = 2
+let conns_hot = 100
+let conns_drivers = 8
+
+let conns_point opts ~runtime ~conns =
+  let max_batch = (Server.Nvserve.default_config ()).Server.Nvserve.max_batch in
+  let ch =
+    spawn_server_child ~runtime ~workers:conns_workers ~max_batch
+      ~write_ns:(base_write_ns opts)
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_server_child ch)
+    (fun () ->
+      let before = scrape_nvlf ~port:ch.ch_port in
+      let r =
+        Server.Loadgen.run
+          {
+            (Server.Loadgen.default_config ~port:ch.ch_port) with
+            Server.Loadgen.nconns = conns_drivers;
+            duration = Float.max 1.0 opts.duration;
+            nkeys = 4096;
+            pipeline = 8;
+            seed = opts.seed;
+            open_conns = conns;
+            hot = min conns_hot conns;
+          }
+      in
+      let after = scrape_nvlf ~port:ch.ch_port in
+      let diff key =
+        let get kvs = int_of_string (List.assoc key kvs) in
+        get after - get before
+      in
+      let fences = diff "fences" in
+      let steals = diff "sched_steals" in
+      let steal_fails = diff "sched_steal_fails" in
+      let migrations = diff "sched_migrations" in
+      let fences_per_req = float_of_int fences /. float_of_int (max 1 r.Server.Loadgen.ops) in
+      let steals_per_s = float_of_int steals /. Float.max 1e-9 r.Server.Loadgen.elapsed in
+      let p q = Histogram.percentile r.Server.Loadgen.hist q in
+      if Json_out.enabled () then
+        Json_out.add ~kind:"conns"
+          Json_out.
+            [
+              ("runtime", S runtime);
+              ("conns", I conns);
+              ("hot", I (min conns_hot conns));
+              ("drivers", I conns_drivers);
+              ("workers", I conns_workers);
+              ("pipeline", I 8);
+              ("max_batch", I max_batch);
+              ("write_ns", I (base_write_ns opts));
+              ("duration", F (Float.max 1.0 opts.duration));
+              ("seed", I opts.seed);
+              ("ops", I r.Server.Loadgen.ops);
+              ("ops_per_s", F r.Server.Loadgen.ops_per_s);
+              ("p50_ns", F (p 50.));
+              ("p99_ns", F (p 99.));
+              ("p999_ns", F (p 99.9));
+              ("errors", I r.Server.Loadgen.errors);
+              ("dead_conns", I r.Server.Loadgen.dead_conns);
+              ("open_failures", I r.Server.Loadgen.open_failures);
+              ("open_s", F r.Server.Loadgen.open_s);
+              ("fences", I fences);
+              ("fences_per_req", F fences_per_req);
+              ("sched_steals", I steals);
+              ("sched_steal_fails", I steal_fails);
+              ("sched_migrations", I migrations);
+              ("steals_per_s", F steals_per_s);
+            ];
+      ( r.Server.Loadgen.ops_per_s,
+        p 99.,
+        fences_per_req,
+        steals_per_s,
+        r.Server.Loadgen.errors + r.Server.Loadgen.open_failures
+        + r.Server.Loadgen.dead_conns ))
+
+(* The select runtime refuses fds at or past its FD_SETSIZE guard, so its
+   arm stops where the guard starts — which is the point of the exercise. *)
+let conns_exp opts =
+  let sched_points =
+    if opts.full then [ 100; 1000; 3000; 10_000 ] else [ 100; 1000; 10_000 ]
+  in
+  let select_points = [ 100; 800 ] in
+  let rows = ref [] in
+  let run_arm runtime points =
+    List.iter
+      (fun conns ->
+        let tp, p99, fpr, sps, bad = conns_point opts ~runtime ~conns in
+        pr
+          "conns %-6s %6d open / %3d hot: %s  p99=%s  %.3f fences/req  \
+           %.0f steals/s%s\n%!"
+          runtime conns (min conns_hot conns) (Report.human_ops tp)
+          (Report.human_ns p99) fpr sps
+          (if bad > 0 then Printf.sprintf "  [%d errors/failures]" bad else "");
+        rows :=
+          [
+            runtime;
+            string_of_int conns;
+            Report.human_ops tp;
+            Report.human_ns p99;
+            Printf.sprintf "%.3f" fpr;
+            Printf.sprintf "%.0f" sps;
+            string_of_int bad;
+          ]
+          :: !rows)
+      points
+  in
+  run_arm "select" select_points;
+  run_arm "sched" sched_points;
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Connection scaling: %d-hot throughput vs open connections (%d \
+          workers)"
+         conns_hot conns_workers)
+    ~header:[ "runtime"; "conns"; "ops/s"; "p99"; "fences/req"; "steals/s"; "errors" ]
+    (List.rev !rows)
+
 (* Checker cost: one fixed workload (hash/lp, the fig5 smoke point) with no
    observer, NVRace, NVSan, and both attached. The headline number is the
    checkers-off point staying within noise of the ordinary throughput
@@ -1637,6 +1929,28 @@ let () =
       cmd "queues"
         "Queue/deque producer-consumer track: mixes, fences/op, recovery"
         queues_exp;
+      cmd "conns"
+        "Connection scaling (C10K): hot-subset throughput vs open connections, \
+         sched vs select runtime"
+        conns_exp;
+      (let workers =
+         Arg.(value & opt int 2 & info [ "workers" ] ~doc:"Worker domains.")
+       in
+       let runtime =
+         Arg.(value & opt string "sched" & info [ "runtime" ] ~doc:"sched | select.")
+       in
+       let max_batch =
+         Arg.(value & opt int 64 & info [ "max-batch" ] ~doc:"Group-commit cap.")
+       in
+       let write_ns =
+         Arg.(value & opt int 0 & info [ "write-ns" ] ~doc:"Injected write latency.")
+       in
+       Cmd.v
+         (Cmd.info "serve-child"
+            ~doc:
+              "Internal: NVServe in a child process for the conns track \
+               (prints PORT, serves until stdin closes).")
+         Term.(const conns_child_main $ workers $ runtime $ max_batch $ write_ns));
       cmd "micro" "Bechamel micro-benchmarks" (fun _ -> micro ());
       cmd "checkers"
         "Observer overhead: checkers-off vs NVRace/NVSan-attached throughput"

@@ -788,7 +788,14 @@ let drill_json_doc path (c : Server.Drill.config) (r : Server.Drill.report) =
 
 let serve port workers buckets capacity mode idle_timeout duration drill conns
     keys pipeline evict_p no_torn max_batch max_delay_us metrics_port
-    sample_every trace_out json seed =
+    sample_every trace_out json runtime seed =
+  let runtime =
+    match Server.Nvserve.runtime_of_string runtime with
+    | Some r -> r
+    | None ->
+        Printf.eprintf "serve: unknown --runtime %S (sched | select)\n" runtime;
+        exit 2
+  in
   if drill then begin
     let c =
       {
@@ -830,14 +837,16 @@ let serve port workers buckets capacity mode idle_timeout duration drill conns
         max_delay_us;
         metrics_port;
         sample_every;
+        runtime;
       }
     in
     let srv = Server.Nvserve.start cfg in
     Printf.printf
       "nvlf serve: %s on 127.0.0.1:%d — %d workers/shards, %d buckets, \
-       capacity %d, group commit %s (Ctrl-C for graceful stop)\n%!"
+       capacity %d, %s runtime, group commit %s (Ctrl-C for graceful stop)\n%!"
       (Lfds.Persist_mode.to_string mode)
       (Server.Nvserve.port srv) workers buckets capacity
+      (Server.Nvserve.runtime_to_string runtime)
       (if max_batch > 1 then
          Printf.sprintf "up to %d ops/fence (max delay %d us)" max_batch
            max_delay_us
@@ -948,6 +957,10 @@ let loadgen_json_doc path (cfg : Server.Loadgen.config) (r : Server.Loadgen.repo
          Printf.sprintf "\"misses\":%d" r.Server.Loadgen.misses;
          Printf.sprintf "\"errors\":%d" r.Server.Loadgen.errors;
          Printf.sprintf "\"dead_conns\":%d" r.Server.Loadgen.dead_conns;
+         Printf.sprintf "\"open_conns\":%d" cfg.Server.Loadgen.open_conns;
+         Printf.sprintf "\"hot\":%d" cfg.Server.Loadgen.hot;
+         Printf.sprintf "\"open_failures\":%d" r.Server.Loadgen.open_failures;
+         Printf.sprintf "\"open_s\":%.6g" r.Server.Loadgen.open_s;
          Printf.sprintf "\"elapsed\":%.6g" r.Server.Loadgen.elapsed;
          Printf.sprintf "\"p50_ns\":%.6g" (p 50.);
          Printf.sprintf "\"p99_ns\":%.6g" (p 99.);
@@ -971,26 +984,42 @@ let loadgen_json_doc path (cfg : Server.Loadgen.config) (r : Server.Loadgen.repo
   close_out oc
 
 let loadgen host port conns duration keys set_pct delete_pct pipeline
-    value_bytes seed json =
+    value_bytes seed hot drivers json =
+  (* --hot flips open-many mode: --conns is then the total connections to
+     open and hold, --hot the driven subset, --drivers the driver domains. *)
+  let open_many = hot > 0 in
   let cfg =
     {
       Server.Loadgen.host;
       port;
-      nconns = conns;
+      nconns = (if open_many then drivers else conns);
       duration;
       nkeys = keys;
       mix = { Keygen.insert_pct = set_pct; remove_pct = delete_pct };
       pipeline;
       value_bytes;
       seed;
+      open_conns = (if open_many then conns else 0);
+      hot;
     }
   in
   let r = Server.Loadgen.run cfg in
-  Printf.printf
-    "loadgen: %d ops in %.2fs = %s over %d conns (pipeline %d)\n"
-    r.Server.Loadgen.ops r.Server.Loadgen.elapsed
-    (Report.human_ops r.Server.Loadgen.ops_per_s)
-    conns pipeline;
+  if open_many then
+    Printf.printf
+      "loadgen: %d ops in %.2fs = %s over %d open conns (%d hot, %d drivers, \
+       pipeline %d; opened in %.2fs)\n"
+      r.Server.Loadgen.ops r.Server.Loadgen.elapsed
+      (Report.human_ops r.Server.Loadgen.ops_per_s)
+      conns hot cfg.Server.Loadgen.nconns pipeline r.Server.Loadgen.open_s
+  else
+    Printf.printf
+      "loadgen: %d ops in %.2fs = %s over %d conns (pipeline %d)\n"
+      r.Server.Loadgen.ops r.Server.Loadgen.elapsed
+      (Report.human_ops r.Server.Loadgen.ops_per_s)
+      conns pipeline;
+  if r.Server.Loadgen.open_failures > 0 then
+    Printf.printf "  %d connections failed to open\n"
+      r.Server.Loadgen.open_failures;
   Printf.printf "  %d sets, %d deletes, %d gets (%d hits / %d misses)\n"
     r.Server.Loadgen.sets r.Server.Loadgen.deletes r.Server.Loadgen.gets
     r.Server.Loadgen.hits r.Server.Loadgen.misses;
@@ -1008,7 +1037,8 @@ let loadgen host port conns duration keys set_pct delete_pct pipeline
     Printf.printf "  %d errors, %d dead connections\n" r.Server.Loadgen.errors
       r.Server.Loadgen.dead_conns;
   (match json with None -> () | Some path -> loadgen_json_doc path cfg r);
-  if r.Server.Loadgen.errors > 0 then exit 1
+  if r.Server.Loadgen.errors > 0 || r.Server.Loadgen.open_failures > 0 then
+    exit 1
 
 let port_arg =
   Arg.(value & opt int 11211 & info [ "port" ] ~doc:"TCP port (0 = ephemeral).")
@@ -1126,6 +1156,16 @@ let serve_cmd =
             "With $(b,--drill): write an nvlf-bench/2 drill record including \
              the per-phase recovery timeline.")
   in
+  let runtime =
+    Arg.(
+      value & opt string "sched"
+      & info [ "runtime" ] ~docv:"RUNTIME"
+          ~doc:
+            "Connection-multiplexing runtime: $(b,sched) (work-stealing run \
+             queues over epoll, poll(2) fallback; scales past FD_SETSIZE) or \
+             $(b,select) (legacy per-worker select loop, capped below 1024 \
+             fds).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"NVServe: sharded memcached-protocol TCP server over the NV heap")
@@ -1133,7 +1173,7 @@ let serve_cmd =
       const serve $ port_arg $ workers_arg $ buckets $ capacity $ mode_arg
       $ idle_timeout $ duration $ drill $ conns_arg $ keys_arg $ pipeline_arg
       $ evict_p $ no_torn $ max_batch $ max_delay_us $ metrics_port
-      $ sample_every $ trace_out $ json $ seed_arg)
+      $ sample_every $ trace_out $ json $ runtime $ seed_arg)
 
 let loadgen_cmd =
   let host =
@@ -1157,12 +1197,30 @@ let loadgen_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write an nvlf-bench/2 loadgen record.")
   in
+  let hot =
+    Arg.(
+      value & opt int 0
+      & info [ "hot" ] ~docv:"N"
+          ~doc:
+            "Open-many mode: open $(b,--conns) connections, hold them all, \
+             but drive only N of them — the C10K mostly-idle shape (0 = \
+             classic mode, every connection driven by its own domain).")
+  in
+  let drivers =
+    Arg.(
+      value & opt int 8
+      & info [ "drivers" ] ~docv:"N"
+          ~doc:
+            "Open-many mode: driver domains rotating over the hot subset \
+             (ignored without $(b,--hot)).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive an NVServe instance with validated concurrent load")
     Term.(
       const loadgen $ host $ port_arg $ conns_arg $ duration $ keys_arg
-      $ set_pct $ delete_pct $ pipeline_arg $ value_bytes $ seed_arg $ json)
+      $ set_pct $ delete_pct $ pipeline_arg $ value_bytes $ seed_arg $ hot
+      $ drivers $ json)
 
 (* --- watch: live stats-nvlf dashboard over the kv interval differ --- *)
 

@@ -13,6 +13,8 @@ type config = {
   pipeline : int;
   value_bytes : int;
   seed : int;
+  open_conns : int;
+  hot : int;
 }
 
 let default_config ~port =
@@ -26,6 +28,8 @@ let default_config ~port =
     pipeline = 8;
     value_bytes = 24;
     seed = 42;
+    open_conns = 0;
+    hot = 0;
   }
 
 type key_state = Stored of int | Deleted
@@ -46,6 +50,8 @@ type report = {
   misses : int;
   errors : int;
   dead_conns : int;
+  open_failures : int;
+  open_s : float;
   elapsed : float;
   ops_per_s : float;
   hist : Workload.Histogram.t;
@@ -134,13 +140,15 @@ let write_bytes_all fd b n =
 
 let write_all fd s = write_bytes_all fd (Bytes.of_string s) (String.length s)
 
-(* ---------- per-connection driver ---------- *)
+(* ---------- per-driver load loop ---------- *)
 
 (* What each pipelined request expects back. For gets, the expected state is
-   the connection's own simulated view of the key at send time — exact,
-   because only this connection mutates its keys and the server answers a
-   connection's requests in order. Keys are referenced by their range index
-   [j], so the response loop tracks ack/inflight state in flat arrays — the
+   the driver's own simulated view of the key at send time — exact, because
+   only this driver mutates its keys and it never has two batches in flight
+   at once: a batch's responses are fully read (so its mutations are
+   applied) before the next batch goes out, even when the driver rotates
+   over several connections. Keys are referenced by their range index [j],
+   so the response loop tracks ack/inflight state in flat arrays — the
    per-key hashtables the drill audit wants are built once at the end, not
    touched per response. *)
 type expect =
@@ -166,12 +174,29 @@ type conn_result = {
       (** outstanding unacked mutations per key — several can pipeline *)
 }
 
-let conn_loop cfg c =
+(* One connected, tuned client socket. *)
+let connect_to cfg =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* Driver [d] of [ndrivers] owns key indices congruent to [d] and rotates
+   its pipelined batches round-robin over [fds] (one socket in the classic
+   mode, a hot subset of many in open-many mode). The driver closes its
+   sockets on the way out. *)
+let driver_loop cfg ~d ~ndrivers fds =
   let hist = Workload.Histogram.create () in
   let depth_hist = Workload.Histogram.create () in
   let ops = ref 0 and sets = ref 0 and deletes = ref 0 and gets = ref 0 in
-  let hits = ref 0 and misses = ref 0 and errors = ref 0 and dead = ref false in
-  let per = max 1 (cfg.nkeys / cfg.nconns) in
+  let hits = ref 0 and misses = ref 0 and errors = ref 0 in
+  let dead = ref (Array.length fds = 0) in
+  let per = max 1 (cfg.nkeys / ndrivers) in
   let vers = Array.make per 0 in
   let sim : key_state option array = Array.make per None in
   (* Last server-acknowledged state and outstanding unacked mutation count
@@ -180,18 +205,13 @@ let conn_loop cfg c =
      would charge to the server). *)
   let acked_st : key_state option array = Array.make per None in
   let infl = Array.make per 0 in
-  (* This connection's keys, formatted once — not per request. *)
-  let keys = Array.init per (fun j -> key_string ((j * cfg.nconns) + c)) in
-  let rng = Workload.Xoshiro.make ~seed:(cfg.seed + (1000 * c) + 1) in
+  (* This driver's keys, formatted once — not per request. *)
+  let keys = Array.init per (fun j -> key_string ((j * ndrivers) + d)) in
+  let rng = Workload.Xoshiro.make ~seed:(cfg.seed + (1000 * d) + 1) in
   (try
-     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-     (try
-        Unix.connect fd
-          (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
-        let rd = reader fd in
+     if not !dead then begin
+        let rds = Array.map reader fds in
+        let batch_no = ref 0 in
         let batch = Buffer.create 4096 in
         (* Value scratch, layout "v<n:10>.<version:8>" padded with 'x' to
            [value_bytes]: only the two numeric fields change per request, so
@@ -206,13 +226,17 @@ let conn_loop cfg c =
         let expects = Array.make nsent (Ack_del { j = 0 }) in
         let deadline = Unix.gettimeofday () +. cfg.duration in
         while (not !dead) && Unix.gettimeofday () < deadline do
+          let cur = !batch_no mod Array.length fds in
+          incr batch_no;
+          let fd = fds.(cur) in
+          let rd = rds.(cur) in
           (* Build one pipelined batch (no Printf, no per-request value or
              expectation-list allocation — this loop must outrun the server
              to measure it). *)
           Buffer.clear batch;
           for i = 0 to nsent - 1 do
             let j = Workload.Xoshiro.below rng per in
-            let n = (j * cfg.nconns) + c in
+            let n = (j * ndrivers) + d in
             let key = keys.(j) in
             match Workload.Keygen.pick rng cfg.mix with
             | Workload.Keygen.Insert ->
@@ -301,10 +325,9 @@ let conn_loop cfg c =
           let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
           Workload.Histogram.record_n hist ~ns nsent
         done
-      with
-     | End_of_file | Unix.Unix_error (_, _, _) -> dead := true);
-     try Unix.close fd with Unix.Unix_error _ -> ()
-   with Unix.Unix_error (_, _, _) -> dead := true);
+     end
+   with End_of_file | Unix.Unix_error (_, _, _) -> dead := true);
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
   (* Fold the flat per-index state into the keyed tables the audit reads. *)
   let acked = Hashtbl.create 256 in
   let inflight = Hashtbl.create 64 in
@@ -332,12 +355,76 @@ let conn_loop cfg c =
 
 let run ?acks cfg =
   let t0 = Unix.gettimeofday () in
-  let domains =
-    List.init (max 1 cfg.nconns) (fun c ->
-        Domain.spawn (fun () -> conn_loop cfg c))
+  (* [elapsed] is the driving window only: in open-many mode the sequential
+     open phase is real time but not load time, and folding it into the
+     denominator would understate throughput in exact proportion to the
+     connection count — the quantity this mode exists to measure. The open
+     phase is reported separately as [open_s]. *)
+  let results, open_failures, open_s, elapsed =
+    if cfg.open_conns > 0 then begin
+      (* Open-many mode: open [open_conns] sockets from this domain, drive
+         only the first [hot] of them with [nconns] driver domains, and just
+         hold the rest open — the C10K shape: a wall of idle connections the
+         server must keep resident while a hot subset runs at full speed. *)
+      (* The client process needs one fd per held connection; lift the soft
+         RLIMIT_NOFILE toward the wall size before opening (a 1024 default
+         would otherwise turn most of a C10K wall into open failures). *)
+      ignore (Sys_poll.ensure_fd_capacity (cfg.open_conns + 64));
+      let opened = ref [] in
+      let failures = ref 0 in
+      for i = 1 to cfg.open_conns do
+        (match connect_to cfg with
+        | fd -> opened := fd :: !opened
+        | exception (Unix.Unix_error _ | Failure _) -> incr failures);
+        (* Brief pause every few hundred opens so the server's acceptor
+           keeps ahead of the listen backlog. *)
+        if i mod 512 = 0 then Unix.sleepf 0.002
+      done;
+      let all = Array.of_list (List.rev !opened) in
+      let nopen = Array.length all in
+      let t_open = Unix.gettimeofday () in
+      if nopen = 0 then ([], !failures, t_open -. t0, 0.)
+      else begin
+        let hot = min (if cfg.hot > 0 then cfg.hot else nopen) nopen in
+        let ndrivers = max 1 (min cfg.nconns hot) in
+        let assigned =
+          Array.init ndrivers (fun d ->
+              let mine = ref [] in
+              let i = ref d in
+              while !i < hot do
+                mine := all.(!i) :: !mine;
+                i := !i + ndrivers
+              done;
+              Array.of_list (List.rev !mine))
+        in
+        let domains =
+          List.init ndrivers (fun d ->
+              Domain.spawn (fun () -> driver_loop cfg ~d ~ndrivers assigned.(d)))
+        in
+        let results = List.map Domain.join domains in
+        let driven = Unix.gettimeofday () -. t_open in
+        (* The idle wall comes down only after the drivers finish. *)
+        for i = hot to nopen - 1 do
+          try Unix.close all.(i) with Unix.Unix_error _ -> ()
+        done;
+        (results, !failures, t_open -. t0, driven)
+      end
+    end
+    else
+      let ndrivers = max 1 cfg.nconns in
+      let domains =
+        List.init ndrivers (fun d ->
+            Domain.spawn (fun () ->
+                let fds =
+                  match connect_to cfg with
+                  | fd -> [| fd |]
+                  | exception Unix.Unix_error _ -> [||]
+                in
+                driver_loop cfg ~d ~ndrivers fds))
+      in
+      let results = List.map Domain.join domains in
+      (results, 0, 0., Unix.gettimeofday () -. t0)
   in
-  let results = List.map Domain.join domains in
-  let elapsed = Unix.gettimeofday () -. t0 in
   let hist = Workload.Histogram.create () in
   let inflight = Workload.Histogram.create () in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
@@ -366,6 +453,8 @@ let run ?acks cfg =
     misses = sum (fun r -> r.c_misses);
     errors = sum (fun r -> r.c_errors);
     dead_conns = sum (fun r -> if r.c_dead then 1 else 0);
+    open_failures;
+    open_s;
     elapsed;
     ops_per_s = (if elapsed > 0. then float_of_int ops /. elapsed else 0.);
     hist;

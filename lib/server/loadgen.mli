@@ -1,13 +1,23 @@
-(** Built-in load client for NVServe: [nconns] blocking TCP connections,
-    one domain each, driving a memtier-style set/delete/get mix
+(** Built-in load client for NVServe: [nconns] driver domains over blocking
+    TCP connections, driving a memtier-style set/delete/get mix
     ({!Workload.Keygen.mix}) over a shared key range with pipelined batches.
 
-    The key range is partitioned by connection (connection [c] owns the
-    indices congruent to [c] modulo [nconns]), so every connection knows the
+    The key range is partitioned by driver (driver [d] owns the indices
+    congruent to [d] modulo the driver count), so every driver knows the
     exact expected value of every key it reads: gets are validated
     byte-for-byte and mismatches are counted as [errors]. A miss is never an
     error — LRU eviction can legally drop any key (size the server's
     capacity above [nkeys] when that matters, as the crash drill does).
+
+    {b Open-many mode} ([open_conns > 0], the C10K shape): the client first
+    opens [open_conns] connections and keeps them {e all} open, then drives
+    only the first [hot] of them — the [nconns] driver domains rotate their
+    batches round-robin over the hot subset while the rest sit idle,
+    resident in the server's pollers. Exactness is preserved: a driver
+    never has two batches in flight at once, so its simulated view of its
+    own keys stays accurate across the connections it rotates over.
+    Connections that fail to open are counted in [open_failures], never
+    silently dropped.
 
     With an {!acks} table attached, the client also records exactly which
     mutations the server acknowledged — the ground truth the crash drill
@@ -27,10 +37,16 @@ type config = {
   pipeline : int;  (** requests per pipelined batch *)
   value_bytes : int;  (** payload size (min 20, versioned self-validating) *)
   seed : int;
+  open_conns : int;
+      (** total connections to open and hold; 0 = classic mode (one
+          connection per driver domain) *)
+  hot : int;
+      (** connections of the open set actually driven (clamped to
+          [open_conns]); 0 = drive them all; ignored in classic mode *)
 }
 
 (** Loopback, 4 connections, 2 s, 10k keys, 20% sets / 10% deletes / 70%
-    gets, pipeline depth 8, 24-byte values. *)
+    gets, pipeline depth 8, 24-byte values, classic mode. *)
 val default_config : port:int -> config
 
 type key_state =
@@ -52,8 +68,14 @@ type report = {
   hits : int;
   misses : int;
   errors : int;  (** unexpected responses or value mismatches *)
-  dead_conns : int;  (** connections that died before the deadline *)
+  dead_conns : int;  (** drivers that died before the deadline *)
+  open_failures : int;
+      (** open-many connections that failed to connect (0 in classic mode) *)
+  open_s : float;
+      (** seconds the open-many connect phase took (0 in classic mode) *)
   elapsed : float;
+      (** the driving window only — the open-many connect phase is excluded
+          (it is real time but not load time) *)
   ops_per_s : float;
   hist : Workload.Histogram.t;
       (** per-request latency; pipelined requests share their batch's

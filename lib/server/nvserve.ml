@@ -1,9 +1,26 @@
 (** The NVServe TCP server (see the interface). One acceptor domain, N
-    worker domains; each worker multiplexes its connections with [select],
-    frames requests with {!Framing} and answers them on its own heap cursor.
+    worker domains.
+
+    {b Scheduler runtime} (the default): connections are resumable tasks on
+    {!Scheduler}'s per-domain run queues. The acceptor round-robins accepted
+    fds into per-domain injectors; each worker drains its injector, runs
+    every task in its deque, steals from peers when empty, and parks in the
+    scheduler's poll(2)-backed {!Scheduler.wait} — so thousands of
+    mostly-idle connections multiplex over a few domains, hot connections
+    migrate toward idle domains, and one group-commit batch forms across
+    {e every} connection a domain drains in a turn, not just one select
+    wakeup's worth. Connections carrying responses that still await their
+    covering fence are {e pinned}: a thief that steals one forwards it back
+    to its home domain instead of running it, so held responses are only
+    ever released by the fence that covers them.
+
+    {b Select runtime} ([runtime = Select]): the pre-scheduler per-worker
+    select loop, kept as the measurable baseline. [Unix.select] cannot
+    represent fds >= FD_SETSIZE (1024), so this runtime refuses connections
+    whose fd number would overflow the set rather than corrupting it.
 
     Group commit (ISSUE 5): with [max_batch > 1] a worker executes every
-    complete pipelined request of a wakeup through
+    complete pipelined request of a turn through
     {!Kvcache.Protocol.handle_deferred} — link-and-persist marking without
     the per-op fence — appending the responses {e held} in each
     connection's {!Outbuf}. One {!Kvcache.Protocol.commit} then covers the
@@ -11,9 +28,18 @@
     each connection's released span goes out in one gathered write. An
     acked mutation is therefore still durable before its reply hits the
     wire; the fence cost drops by the batch depth. [max_batch] bounds the
-    ops under one fence (overflow commits mid-wakeup); [max_delay_us]
-    optionally lets a scarce batch ride across wakeups to fill up, bounded
-    by that starvation deadline ([0] = commit at every wakeup end). *)
+    ops under one fence (overflow commits mid-turn); [max_delay_us]
+    optionally lets a scarce batch ride across turns to fill up, bounded
+    by that starvation deadline ([0] = commit at every turn end). *)
+
+type runtime = Sched | Select
+
+let runtime_to_string = function Sched -> "sched" | Select -> "select"
+
+let runtime_of_string = function
+  | "sched" -> Some Sched
+  | "select" -> Some Select
+  | _ -> None
 
 type config = {
   port : int;
@@ -28,6 +54,7 @@ type config = {
   max_delay_us : int;
   metrics_port : int option;
   sample_every : int;
+  runtime : runtime;
 }
 
 let default_config () =
@@ -44,6 +71,7 @@ let default_config () =
     max_delay_us = 0;
     metrics_port = None;
     sample_every = 0;
+    runtime = Sched;
   }
 
 let heap_config cfg =
@@ -62,25 +90,32 @@ let heap_config cfg =
 
 (* A connection's buffer must hold the largest frameable request plus one
    read chunk of slack; the frame loop compacts consumed bytes away, so a
-   [Need_more] leading request always leaves at least a chunk of room. *)
+   [Need_more] leading request always leaves at least a chunk of room. The
+   buffer starts one chunk small and doubles on demand — at C10K counts a
+   mostly-idle connection must not pay the full ~22 KB up front. *)
 let buf_capacity cfg =
   Framing.max_line_bytes + Framing.max_data_bytes + 2 + cfg.read_chunk
 
 type conn = {
   fd : Unix.file_descr;
-  buf : Bytes.t;
+  mutable buf : Bytes.t;  (** grows by doubling up to {!buf_capacity} *)
   mutable len : int;  (** valid bytes at the front of [buf] *)
   out : Outbuf.t;  (** responses; held until the covering fence releases *)
   mutable last_active : float;
   mutable closing : bool;  (** close once [out] drains *)
+  mutable home : int;  (** owning worker; held responses pin the conn here *)
+  mutable in_held : bool;  (** already on its home's held list this batch *)
+  mutable parked : bool;  (** registered in its home's one-shot watch set *)
 }
+
+(* A schedulable task: an accepted fd awaiting adoption, or a connection
+   whose socket turned ready. *)
+type item = Accept of Unix.file_descr | Conn of conn
 
 type state = Running | Draining | Killed
 
 type worker = {
   idx : int;
-  inbox : Unix.file_descr Queue.t;  (** accepted fds awaiting adoption *)
-  inbox_lock : Mutex.t;
   served : int Atomic.t;
   commits : int Atomic.t;  (** group-commit batches this worker retired *)
   depth_hist : Workload.Histogram.t;
@@ -97,6 +132,7 @@ type t = {
   port_ : int;
   state : state Atomic.t;
   workers : worker array;
+  sched : item Scheduler.t;
   mutable domains : unit Domain.t list;
   accepted : int Atomic.t;
   tel : Telemetry.t;
@@ -110,16 +146,19 @@ let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* ---------- connection I/O ---------- *)
 
-let conn_create cfg fd =
+let conn_create cfg fd ~home =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   {
     fd;
-    buf = Bytes.create (buf_capacity cfg);
+    buf = Bytes.create (min (max 256 cfg.read_chunk) (buf_capacity cfg));
     len = 0;
     out = Outbuf.create 256;
     last_active = Unix.gettimeofday ();
     closing = false;
+    home;
+    in_held = false;
+    parked = false;
   }
 
 let out_pending c = Outbuf.length c.out
@@ -161,28 +200,41 @@ let is_quit req =
   String.length req <= 8
   && (match String.trim req with "quit" | "QUIT" -> true | _ -> false)
 
-(* ---------- worker ---------- *)
+(* ---------- the per-worker request engine ----------
 
-let adopt_pending w =
-  Mutex.lock w.inbox_lock;
-  let fds = Queue.fold (fun acc fd -> fd :: acc) [] w.inbox in
-  Queue.clear w.inbox;
-  Mutex.unlock w.inbox_lock;
-  fds
+   Framing, protocol dispatch and group-commit batching, shared by both
+   runtimes. The open batch covers ops executed deferred on this worker's
+   cursor; their responses sit held in the connections on [held] until
+   [commit_batch] fences and releases them ([after_release] then lets the
+   scheduler runtime flush and re-arm parked connections — the select
+   runtime's gathered-write sweep does it by table walk). *)
 
-let worker_loop t w proto =
+type engine = {
+  drain_requests : conn -> unit;
+  service_read : conn -> bool;
+  commit_batch : unit -> unit;
+  maybe_commit : unit -> unit;
+      (** end-of-turn commit, unless a scarce batch may ride the starvation
+          window *)
+  wait_timeout : unit -> float;
+      (** park duration: the starvation deadline when a batch is open *)
+}
+
+let make_engine t w proto tw ~after_release =
   let cfg = t.cfg in
-  let tw = Telemetry.worker t.tel w.idx in
   let gc = Lfds.Ctx.group_commit t.ctx ~tid:w.idx in
   let heap = Lfds.Ctx.heap t.ctx in
   let batching = cfg.max_batch > 1 in
   let max_delay = float_of_int cfg.max_delay_us *. 1e-6 in
-  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
-  (* Open-batch state: ops executed deferred but not yet covered by a fence,
-     and when the oldest of them arrived (the starvation clock). Responses
-     for those ops sit held in their connections' out buffers. *)
   let batch_ops = ref 0 in
   let batch_since = ref 0. in
+  let held : conn list ref = ref [] in
+  let hold c =
+    if batching && not c.in_held then begin
+      c.in_held <- true;
+      held := c :: !held
+    end
+  in
   let commit_batch () =
     if !batch_ops > 0 then begin
       (* Fence debt the covering fence is about to retire: links awaiting
@@ -197,7 +249,14 @@ let worker_loop t w proto =
     end;
     Telemetry.on_commit tw;
     (* Every held response is now covered (mutating or not): release. *)
-    Hashtbl.iter (fun _ c -> Outbuf.release_all c.out) conns
+    let covered = !held in
+    held := [];
+    List.iter
+      (fun c ->
+        c.in_held <- false;
+        Outbuf.release_all c.out)
+      covered;
+    List.iter after_release covered
   in
   let answer c req =
     let kind = Telemetry.kind_of req in
@@ -208,6 +267,7 @@ let worker_loop t w proto =
       Telemetry.on_executed tw;
       if kind = Telemetry.c_cmd_get then Telemetry.note_get_result tw resp;
       Outbuf.add_string c.out resp;
+      hold c;
       incr batch_ops;
       if !batch_ops >= cfg.max_batch then commit_batch ()
     end
@@ -243,14 +303,14 @@ let worker_loop t w proto =
             Telemetry.bump tw Telemetry.c_requests;
             Telemetry.bump tw Telemetry.c_rejects;
             Outbuf.add_string c.out response;
-            if not batching then Outbuf.release_all c.out;
+            if batching then hold c else Outbuf.release_all c.out;
             Atomic.incr w.served;
             go (pos + consumed)
         | Framing.Need_more -> pos
         | Framing.Too_long ->
             Telemetry.bump tw Telemetry.c_rejects;
             Outbuf.add_string c.out "CLIENT_ERROR line too long\r\n";
-            if not batching then Outbuf.release_all c.out;
+            if batching then hold c else Outbuf.release_all c.out;
             c.closing <- true;
             c.len (* discard the unframeable stream *)
       end
@@ -264,6 +324,13 @@ let worker_loop t w proto =
   (* One readable event: pull bytes, frame, answer (responses stay held
      until the batch commits; the write happens after). false = close. *)
   let service_read c =
+    (* Grow a full buffer toward its frame-capacity ceiling. *)
+    if c.len = Bytes.length c.buf && Bytes.length c.buf < buf_capacity cfg then begin
+      let nlen = min (buf_capacity cfg) (Bytes.length c.buf * 2) in
+      let nb = Bytes.create nlen in
+      Bytes.blit c.buf 0 nb 0 c.len;
+      c.buf <- nb
+    end;
     let room = Bytes.length c.buf - c.len in
     let want = min cfg.read_chunk room in
     if want = 0 then begin
@@ -285,16 +352,191 @@ let worker_loop t w proto =
           true
       | exception Unix.Unix_error (_, _, _) -> false
   in
+  let held_any () = !batch_ops > 0 || !held <> [] in
+  let maybe_commit () =
+    if
+      held_any ()
+      && (max_delay = 0.
+         || !batch_ops = 0
+         || Unix.gettimeofday () >= !batch_since +. max_delay)
+    then commit_batch ()
+  in
+  (* With a starved batch held open, wake at its deadline, not later. *)
+  let wait_timeout () =
+    if !batch_ops > 0 && max_delay > 0. then
+      let remaining = !batch_since +. max_delay -. Unix.gettimeofday () in
+      max 0.001 (min 0.05 remaining)
+    else 0.05
+  in
+  { drain_requests; service_read; commit_batch; maybe_commit; wait_timeout }
+
+let conn_telemetry_close tw c =
+  Telemetry.bump tw Telemetry.c_conns_closed;
+  Telemetry.note_outbuf tw ~hwm:(Outbuf.hwm c.out) ~grows:(Outbuf.grows c.out);
+  Telemetry.on_conn_gone tw c.fd
+
+(* ---------- scheduler runtime ---------- *)
+
+let worker_sched_loop t w proto =
+  let cfg = t.cfg in
+  let tw = Telemetry.worker t.tel w.idx in
+  let d = Scheduler.dom t.sched w.idx in
+  let close_conn c =
+    close_quiet c.fd;
+    conn_telemetry_close tw c
+  in
+  let rearm c =
+    if c.closing && out_pending c = 0 then close_conn c
+    else begin
+      c.parked <- true;
+      Scheduler.watch d c.fd ~read:(not c.closing)
+        ~write:(Outbuf.writable c.out > 0)
+        (Conn c)
+    end
+  in
+  (* A parked connection whose held responses just released: flush now and
+     refresh its interest set — it will not pass through run_conn. *)
+  let after_release c =
+    if c.parked then begin
+      if not (try_write tw c) then begin
+        Scheduler.unwatch d c.fd;
+        c.parked <- false;
+        close_conn c
+      end
+      else if c.closing && out_pending c = 0 then begin
+        Scheduler.unwatch d c.fd;
+        c.parked <- false;
+        close_conn c
+      end
+      else
+        Scheduler.watch d c.fd ~read:(not c.closing)
+          ~write:(Outbuf.writable c.out > 0)
+          (Conn c)
+    end
+  in
+  let eng = make_engine t w proto tw ~after_release in
+  let adopt fd =
+    let c = conn_create cfg fd ~home:w.idx in
+    Telemetry.bump tw Telemetry.c_conns_adopted;
+    rearm c
+  in
+  let run_conn c =
+    if Outbuf.held c.out > 0 && c.home <> w.idx then
+      (* Pinned: its held responses await its home domain's covering fence —
+         forward instead of running, so release order stays fence-correct. *)
+      Scheduler.inject t.sched ~dom:c.home (Conn c)
+    else begin
+      if c.home <> w.idx then begin
+        c.home <- w.idx;
+        Telemetry.bump tw Telemetry.c_sched_migrations
+      end;
+      if not (try_write tw c) then close_conn c
+      else if not (eng.service_read c) then close_conn c
+      else rearm c
+    end
+  in
+  let run_item = function Conn c -> run_conn c | Accept fd -> adopt fd in
+  (* Pull every resident connection into the open: injected tasks, queued
+     tasks, parked watches. Used by the shutdown paths. *)
+  let residents () =
+    let mine = ref [] in
+    let take = function
+      | Accept fd -> close_quiet fd
+      | Conn c -> mine := c :: !mine
+    in
+    ignore (Scheduler.drain_injector d take);
+    let rec drain () =
+      match Scheduler.pop d with
+      | Some it ->
+          take it;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    Scheduler.iter_watches d (fun _ it -> take it);
+    !mine
+  in
+  let scan_period = max 0.5 (cfg.idle_timeout /. 4.) in
+  let last_scan = ref (Unix.gettimeofday ()) in
+  let running = ref true in
+  while !running do
+    match Atomic.get t.state with
+    | Draining ->
+        (* Answer what is already buffered, commit, flush, and leave. *)
+        let mine = residents () in
+        List.iter eng.drain_requests mine;
+        eng.commit_batch ();
+        List.iter
+          (fun c ->
+            ignore (try_write tw c);
+            close_quiet c.fd)
+          mine;
+        running := false
+    | Killed ->
+        List.iter (fun c -> close_quiet c.fd) (residents ());
+        running := false
+    | Running ->
+        let injected = Scheduler.drain_injector d run_item in
+        if injected > 0 then Telemetry.bump_n tw Telemetry.c_sched_injected injected;
+        (* Drain the run queue, then raid the peers: everything runnable
+           this turn lands in one covering batch. *)
+        let turning = ref true in
+        while !turning do
+          match Scheduler.pop d with
+          | Some it -> run_item it
+          | None -> (
+              match Scheduler.try_steal t.sched d with
+              | Some it, fails ->
+                  Telemetry.bump tw Telemetry.c_sched_steals;
+                  if fails > 0 then
+                    Telemetry.bump_n tw Telemetry.c_sched_steal_fails fails;
+                  run_item it
+              | None, fails ->
+                  if fails > 0 then
+                    Telemetry.bump_n tw Telemetry.c_sched_steal_fails fails;
+                  turning := false)
+        done;
+        eng.maybe_commit ();
+        Telemetry.set_run_queue_depth tw (Scheduler.depth d);
+        Telemetry.set_open_conns tw (Scheduler.watched d + Scheduler.depth d);
+        Scheduler.wait d ~timeout_s:(eng.wait_timeout ())
+          ~on_ready:(fun it ~readable:_ ~writable:_ ->
+            (match it with Conn c -> c.parked <- false | Accept _ -> ());
+            Scheduler.push d it);
+        if cfg.idle_timeout > 0. then begin
+          let now = Unix.gettimeofday () in
+          if now -. !last_scan > scan_period then begin
+            last_scan := now;
+            let stale = ref [] in
+            Scheduler.iter_watches d (fun _ it ->
+                match it with
+                | Conn c when now -. c.last_active > cfg.idle_timeout ->
+                    stale := c :: !stale
+                | _ -> ());
+            List.iter
+              (fun c ->
+                Scheduler.unwatch d c.fd;
+                c.parked <- false;
+                Telemetry.bump tw Telemetry.c_conns_idle_closed;
+                close_conn c)
+              !stale;
+            Telemetry.set_open_conns tw (Scheduler.watched d + Scheduler.depth d)
+          end
+        end
+  done
+
+(* ---------- select runtime (legacy baseline) ---------- *)
+
+let worker_select_loop t w proto =
+  let cfg = t.cfg in
+  let tw = Telemetry.worker t.tel w.idx in
+  let d = Scheduler.dom t.sched w.idx in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let eng = make_engine t w proto tw ~after_release:(fun _ -> ()) in
   let close_conn c =
     Hashtbl.remove conns c.fd;
     close_quiet c.fd;
-    Telemetry.bump tw Telemetry.c_conns_closed;
-    Telemetry.note_outbuf tw ~hwm:(Outbuf.hwm c.out) ~grows:(Outbuf.grows c.out);
-    Telemetry.on_conn_gone tw c.fd
-  in
-  let held_any () =
-    !batch_ops > 0
-    || Hashtbl.fold (fun _ c acc -> acc || Outbuf.held c.out > 0) conns false
+    conn_telemetry_close tw c
   in
   let running = ref true in
   while !running do
@@ -302,8 +544,12 @@ let worker_loop t w proto =
     | Running -> ()
     | Draining ->
         (* Answer what is already buffered, commit, flush, and leave. *)
-        Hashtbl.iter (fun _ c -> drain_requests c) conns;
-        commit_batch ();
+        ignore
+          (Scheduler.drain_injector d (function
+            | Accept fd -> close_quiet fd
+            | Conn c -> close_quiet c.fd));
+        Hashtbl.iter (fun _ c -> eng.drain_requests c) conns;
+        eng.commit_batch ();
         Hashtbl.iter (fun _ c -> ignore (try_write tw c)) conns;
         Hashtbl.iter (fun _ c -> close_quiet c.fd) conns;
         Hashtbl.reset conns;
@@ -313,12 +559,17 @@ let worker_loop t w proto =
         Hashtbl.reset conns;
         running := false);
     if !running then begin
-      List.iter
-        (fun fd ->
-          let c = conn_create cfg fd in
-          Telemetry.bump tw Telemetry.c_conns_adopted;
-          Hashtbl.replace conns fd c)
-        (adopt_pending w);
+      let injected =
+        Scheduler.drain_injector d (function
+          | Accept fd ->
+              let c = conn_create cfg fd ~home:w.idx in
+              Telemetry.bump tw Telemetry.c_conns_adopted;
+              Hashtbl.replace conns fd c
+          | Conn c ->
+              (* Unreachable under this runtime; adopt defensively. *)
+              Hashtbl.replace conns c.fd c)
+      in
+      if injected > 0 then Telemetry.bump_n tw Telemetry.c_sched_injected injected;
       Telemetry.set_open_conns tw (Hashtbl.length conns);
       let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
       let wfds =
@@ -326,15 +577,8 @@ let worker_loop t w proto =
           (fun fd c acc -> if Outbuf.writable c.out > 0 then fd :: acc else acc)
           conns []
       in
-      (* With a starved batch held open, wake at its deadline, not later. *)
-      let timeout =
-        if !batch_ops > 0 && max_delay > 0. then
-          let remaining = !batch_since +. max_delay -. Unix.gettimeofday () in
-          max 0.001 (min 0.05 remaining)
-        else 0.05
-      in
       let readable, writable, _ =
-        try Unix.select rfds wfds [] timeout
+        try Unix.select rfds wfds [] (eng.wait_timeout ())
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
       List.iter
@@ -347,16 +591,11 @@ let worker_loop t w proto =
         (fun fd ->
           match Hashtbl.find_opt conns fd with
           | None -> ()
-          | Some c -> if not (service_read c) then close_conn c)
+          | Some c -> if not (eng.service_read c) then close_conn c)
         readable;
       (* Wakeup end: the whole ready batch has executed. Commit and release
          unless a small batch may still ride the starvation window. *)
-      if
-        held_any ()
-        && (max_delay = 0.
-           || !batch_ops = 0
-           || Unix.gettimeofday () >= !batch_since +. max_delay)
-      then commit_batch ();
+      eng.maybe_commit ();
       (* Gathered write: each connection's released span in one write. *)
       let dead =
         Hashtbl.fold
@@ -385,26 +624,58 @@ let worker_loop t w proto =
     end
   done
 
+let worker_loop t w proto =
+  match t.cfg.runtime with
+  | Sched -> worker_sched_loop t w proto
+  | Select -> worker_select_loop t w proto
+
 (* ---------- acceptor ---------- *)
+
+(* Fd numbers at or above FD_SETSIZE would silently corrupt a select set;
+   the select runtime refuses them with a one-line notice instead. *)
+let select_fd_guard = 1000
 
 let acceptor_loop t =
   let next = ref 0 in
+  let nw = Array.length t.workers in
+  let warned = ref false in
   while Atomic.get t.state = Running do
     match Unix.select [ t.lsock ] [] [] 0.05 with
     | [], _, _ -> ()
-    | _ -> (
-        match Unix.accept t.lsock with
-        | fd, _ ->
-            let w = t.workers.(!next mod Array.length t.workers) in
-            incr next;
-            Mutex.lock w.inbox_lock;
-            Queue.add fd w.inbox;
-            Mutex.unlock w.inbox_lock;
-            Atomic.incr t.accepted
-        | exception
-            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-          ->
-            ())
+    | _ ->
+        (* Drain the backlog in one wakeup: one accept per select round
+           caps the accept rate at ~20 conns/s, useless at C10K. *)
+        let more = ref true in
+        let burst = ref 0 in
+        while !more && !burst < 1024 do
+          incr burst;
+          match Unix.accept t.lsock with
+          | fd, _ ->
+              if
+                t.cfg.runtime = Select
+                && Sys_poll.int_of_fd fd >= select_fd_guard
+              then begin
+                if not !warned then begin
+                  warned := true;
+                  Printf.eprintf
+                    "nvserve: select runtime refuses fd %d >= %d \
+                     (FD_SETSIZE); use the sched runtime for more \
+                     connections\n\
+                     %!"
+                    (Sys_poll.int_of_fd fd) select_fd_guard
+                end;
+                close_quiet fd
+              end
+              else begin
+                Scheduler.inject t.sched ~dom:(!next mod nw) (Accept fd);
+                incr next;
+                Atomic.incr t.accepted
+              end
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              more := false
+        done
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
@@ -550,6 +821,15 @@ let nvlf_stats t ~tid =
       us "req_max_us" (Workload.Histogram.max_ns req);
     ]
   @ stage_kvs
+  @ [
+      (* Scheduler-runtime group (PR 10) — appended, per the contract. *)
+      ("runtime", runtime_to_string t.cfg.runtime);
+      tc "sched_steals" Telemetry.c_sched_steals;
+      tc "sched_steal_fails" Telemetry.c_sched_steal_fails;
+      tc "sched_migrations" Telemetry.c_sched_migrations;
+      tc "sched_injected" Telemetry.c_sched_injected;
+      i "run_queue_depth" (Telemetry.run_queue_depth t.tel);
+    ]
 
 let settings_stats t =
   [
@@ -565,6 +845,7 @@ let settings_stats t =
     ("max_batch", string_of_int t.cfg.max_batch);
     ("max_delay_us", string_of_int t.cfg.max_delay_us);
     ("sample_every", string_of_int t.cfg.sample_every);
+    ("runtime", runtime_to_string t.cfg.runtime);
   ]
 
 let stats_ext t ~tid arg =
@@ -584,9 +865,10 @@ let prometheus_body t =
   Buffer.add_string b "# HELP nvlf_info NVServe configuration\n";
   Buffer.add_string b "# TYPE nvlf_info gauge\n";
   Buffer.add_string b
-    (Printf.sprintf "nvlf_info{mode=\"%s\",workers=\"%d\"} 1\n"
+    (Printf.sprintf "nvlf_info{mode=\"%s\",workers=\"%d\",runtime=\"%s\"} 1\n"
        (Lfds.Persist_mode.to_string t.cfg.mode)
-       (Array.length t.workers));
+       (Array.length t.workers)
+       (runtime_to_string t.cfg.runtime));
   List.iter
     (fun (k, v) ->
       match float_of_string_opt v with
@@ -642,10 +924,14 @@ let ignore_sigpipe () =
 
 let start_with cfg ~heap_cfg ctx store_ =
   ignore_sigpipe ();
+  (* C10K housekeeping: lift the soft fd limit toward the hard cap (best
+     effort — a refusal just means fewer concurrent connections). *)
+  if cfg.runtime = Sched then
+    ignore (Sys_poll.ensure_fd_capacity (min (Sys_poll.fd_limit_max ()) 65536));
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt lsock Unix.SO_REUSEADDR true;
   Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.port));
-  Unix.listen lsock 128;
+  Unix.listen lsock 1024;
   Unix.set_nonblock lsock;
   let port_ =
     match Unix.getsockname lsock with
@@ -656,8 +942,6 @@ let start_with cfg ~heap_cfg ctx store_ =
     Array.init (max 1 cfg.nworkers) (fun idx ->
         {
           idx;
-          inbox = Queue.create ();
-          inbox_lock = Mutex.create ();
           served = Atomic.make 0;
           commits = Atomic.make 0;
           depth_hist = Workload.Histogram.create ();
@@ -690,6 +974,7 @@ let start_with cfg ~heap_cfg ctx store_ =
       port_;
       state = Atomic.make Running;
       workers;
+      sched = Scheduler.create ~ndomains:(max 1 cfg.nworkers);
       domains = [];
       accepted = Atomic.make 0;
       tel;
@@ -737,9 +1022,20 @@ let shutdown t target ~persist =
   Mutex.unlock t.down_lock;
   if first then begin
     Atomic.set t.state target;
+    Scheduler.wake_all t.sched;
     List.iter Domain.join t.domains;
     t.domains <- [];
     close_quiet t.lsock;
+    (* Tasks injected during the final worker turns (an accept racing the
+       state flip, a forward crossing a drained injector): close their fds
+       so nothing leaks. *)
+    for i = 0 to Scheduler.ndomains t.sched - 1 do
+      ignore
+        (Scheduler.drain_injector (Scheduler.dom t.sched i) (function
+          | Accept fd -> close_quiet fd
+          | Conn c -> close_quiet c.fd))
+    done;
+    Scheduler.close t.sched;
     if persist then begin
       (match Lfds.Ctx.link_cache t.ctx with
       | Some lc -> Lfds.Link_cache.flush_all lc ~tid:0

@@ -1,10 +1,29 @@
 (** NVServe: a TCP front end for NV-Memcached.
 
-    An acceptor domain hands accepted loopback connections round-robin to
+    An acceptor domain round-robins accepted loopback connections into
     [nworkers] worker domains. Each worker owns one {!Shard_store} shard and
-    one heap cursor ([tid] = worker index), multiplexes its connections with
-    [select], frames requests incrementally ({!Framing}), and answers on its
-    own cursor. Idle connections are closed after [idle_timeout].
+    one heap cursor ([tid] = worker index), frames requests incrementally
+    ({!Framing}), and answers on its own cursor. Idle connections are closed
+    after [idle_timeout].
+
+    {b Scheduler runtime} ([runtime = Sched], the default): connections are
+    resumable tasks on {!Scheduler}'s per-domain run queues. The acceptor
+    injects accepted fds into per-domain injectors; each worker turn drains
+    its injector, runs every ready task in its deque, steals from peers'
+    deques when its own runs dry, then parks in the scheduler's
+    poll(2)-backed waiter with every resident connection registered as a
+    one-shot fd watch. Thousands of mostly-idle connections therefore cost
+    one pollfd each, hot connections migrate toward idle domains, and one
+    group-commit batch covers {e everything} a domain ran in a turn. A
+    connection holding unreleased (pre-fence) responses is pinned to its
+    home domain — a thief forwards it back instead of running it, so held
+    bytes are only ever released by the fence of the cursor that executed
+    them.
+
+    {b Select runtime} ([runtime = Select]): the pre-scheduler per-worker
+    [Unix.select] loop, kept as the measurable baseline. [select] cannot
+    represent fds >= FD_SETSIZE (1024); this runtime refuses such
+    connections at accept rather than corrupting the fd set.
 
     {b Group commit.} With [max_batch > 1] (the default) a worker executes
     every complete pipelined request of a wakeup with the persistence fence
@@ -20,6 +39,9 @@
     oldest op (0 = commit at every wakeup end — no added latency).
     [max_batch = 1] disables deferral entirely: every request takes the
     eager {!Kvcache.Protocol.handle} path, the honest unbatched baseline.
+    Under the scheduler runtime a "wakeup" is a worker turn — injector
+    drain, run-queue drain and steals included — so batches form across
+    every runnable connection a domain holds, not one fd set's worth.
 
     Two ways down: {!stop} is the graceful path — workers answer what is
     already buffered, flush their write buffers, close, and the store is
@@ -27,6 +49,16 @@
     returning; {!kill} abandons connections without persisting anything,
     leaving the heap exactly as a power failure would find it — the crash
     drill's entry point ({!Drill}). *)
+
+(** Connection-multiplexing runtime: [Sched] is the work-stealing scheduler
+    over poll(2); [Select] the legacy per-worker select loop (capped below
+    FD_SETSIZE). *)
+type runtime = Sched | Select
+
+val runtime_to_string : runtime -> string
+
+(** ["sched"] or ["select"]. *)
+val runtime_of_string : string -> runtime option
 
 type config = {
   port : int;  (** 0 = kernel-assigned ephemeral port (see {!port}) *)
@@ -55,11 +87,13 @@ type config = {
       (** trace every Nth request per worker through the
           queue/parse/execute/fence/respond stages ({!Telemetry}); [0]
           disables the sampler (counters stay live) *)
+  runtime : runtime;  (** connection-multiplexing runtime (see above) *)
 }
 
 (** 4 workers, 4096 buckets, 100k items, link-and-persist, no injected
     latency, 60 s idle timeout, ephemeral port, group commit up to 64 ops
-    with no cross-wakeup holding, no metrics listener, sampler off. *)
+    with no cross-wakeup holding, no metrics listener, sampler off,
+    scheduler runtime. *)
 val default_config : unit -> config
 
 (** Heap/context configuration a server built from [config] uses — what

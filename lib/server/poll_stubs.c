@@ -1,0 +1,253 @@
+/* poll(2), RLIMIT_NOFILE and a monotonic clock for NVServe.
+ *
+ * OCaml's Unix library multiplexes with select(2), which cannot represent
+ * file descriptors >= FD_SETSIZE (1024) — a hard wall for C10K connection
+ * counts.  The scheduler's per-domain poller therefore drives poll(2)
+ * directly over a struct pollfd array living in a Bigarray: Bigarray data
+ * is malloc'd outside the OCaml heap, so the buffer neither moves under the
+ * GC nor needs copying across caml_release_runtime_system.
+ *
+ * The entry layout stays private to this file; OCaml indexes entries, never
+ * bytes.
+ */
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <time.h>
+#include <sys/resource.h>
+
+#include <caml/bigarray.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+CAMLprim value nvlf_sizeof_pollfd(value unit)
+{
+  (void)unit;
+  return Val_long(sizeof(struct pollfd));
+}
+
+/* events bit 0 = readable interest, bit 1 = writable interest. */
+CAMLprim value nvlf_pollfd_set(value buf, value i, value fd, value events)
+{
+  struct pollfd *p = (struct pollfd *)Caml_ba_data_val(buf);
+  long e = Long_val(events);
+  p[Long_val(i)].fd = Long_val(fd);
+  p[Long_val(i)].events =
+      ((e & 1) ? POLLIN : 0) | ((e & 2) ? POLLOUT : 0);
+  p[Long_val(i)].revents = 0;
+  return Val_unit;
+}
+
+CAMLprim value nvlf_pollfd_fd(value buf, value i)
+{
+  struct pollfd *p = (struct pollfd *)Caml_ba_data_val(buf);
+  return Val_long(p[Long_val(i)].fd);
+}
+
+/* revents bit 0 = readable, bit 1 = writable.  Error and hangup conditions
+ * set both bits: the caller attempts the I/O and takes the error from the
+ * syscall, which is the path that already knows how to close the
+ * connection. */
+CAMLprim value nvlf_pollfd_revents(value buf, value i)
+{
+  struct pollfd *p = (struct pollfd *)Caml_ba_data_val(buf);
+  short r = p[Long_val(i)].revents;
+  long out = 0;
+  if (r & (POLLIN | POLLPRI | POLLERR | POLLHUP | POLLNVAL)) out |= 1;
+  if (r & (POLLOUT | POLLERR | POLLHUP | POLLNVAL)) out |= 2;
+  return Val_long(out);
+}
+
+/* Returns the ready count, or -errno.  Releases the runtime lock: other
+ * domains keep executing OCaml while this one sleeps in the kernel. */
+CAMLprim value nvlf_poll(value buf, value nfds, value timeout_ms)
+{
+  struct pollfd *p = (struct pollfd *)Caml_ba_data_val(buf);
+  long n = Long_val(nfds);
+  int t = Int_val(timeout_ms);
+  int r;
+  caml_release_runtime_system();
+  r = poll(p, (nfds_t)n, t);
+  caml_acquire_runtime_system();
+  return Val_long(r >= 0 ? r : -errno);
+}
+
+/* epoll: O(ready) readiness for the C10K path.  poll(2) above remains the
+ * portable fallback, but every poll(2) wait rescans the full registered set
+ * — the dominant cost once tens of thousands of mostly-idle connections are
+ * resident and only a handful are ready per wakeup.  epoll keeps the
+ * interest set in the kernel across waits and returns only ready entries.
+ *
+ * Non-Linux builds return -ENOSYS from nvlf_epoll_create and the scheduler
+ * falls back to the poll(2) path. */
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+CAMLprim value nvlf_epoll_create(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  return Val_long(fd >= 0 ? fd : -errno);
+#else
+  return Val_long(-38 /* ENOSYS */);
+#endif
+}
+
+/* events bit 0 = readable interest, bit 1 = writable interest,
+ * bit 2 = one-shot (disarm on delivery; re-arming goes through here again).
+ * ADD falls back to MOD on EEXIST: a one-shot entry that fired stays
+ * registered but disarmed, and the re-watch after the task runs must update
+ * it in place. */
+CAMLprim value nvlf_epoll_arm(value epfd, value fd, value events)
+{
+#ifdef __linux__
+  struct epoll_event ev;
+  long e = Long_val(events);
+  memset(&ev, 0, sizeof ev);
+  ev.events = ((e & 1) ? EPOLLIN : 0) | ((e & 2) ? EPOLLOUT : 0) |
+              ((e & 4) ? EPOLLONESHOT : 0);
+  ev.data.fd = Int_val(fd);
+  if (epoll_ctl(Int_val(epfd), EPOLL_CTL_ADD, Int_val(fd), &ev) == 0)
+    return Val_long(0);
+  if (errno == EEXIST &&
+      epoll_ctl(Int_val(epfd), EPOLL_CTL_MOD, Int_val(fd), &ev) == 0)
+    return Val_long(0);
+  return Val_long(-errno);
+#else
+  (void)epfd; (void)fd; (void)events;
+  return Val_long(-38);
+#endif
+}
+
+/* Deregister.  ENOENT and EBADF are not errors here: the fd may never have
+ * been armed, or the kernel already dropped it when the fd closed. */
+CAMLprim value nvlf_epoll_del(value epfd, value fd)
+{
+#ifdef __linux__
+  if (epoll_ctl(Int_val(epfd), EPOLL_CTL_DEL, Int_val(fd), NULL) == 0)
+    return Val_long(0);
+  if (errno == ENOENT || errno == EBADF) return Val_long(0);
+  return Val_long(-errno);
+#else
+  (void)epfd; (void)fd;
+  return Val_long(-38);
+#endif
+}
+
+CAMLprim value nvlf_sizeof_epoll_event(value unit)
+{
+  (void)unit;
+#ifdef __linux__
+  return Val_long(sizeof(struct epoll_event));
+#else
+  return Val_long(16); /* placeholder so module init never divides by zero */
+#endif
+}
+
+/* Fills [buf] with up to [maxevents] ready events; returns the count or
+ * -errno.  Releases the runtime lock while sleeping, like nvlf_poll. */
+CAMLprim value nvlf_epoll_wait(value epfd, value buf, value maxevents,
+                               value timeout_ms)
+{
+#ifdef __linux__
+  struct epoll_event *evs = (struct epoll_event *)Caml_ba_data_val(buf);
+  int ep = Int_val(epfd);
+  int n = Int_val(maxevents);
+  int t = Int_val(timeout_ms);
+  int r;
+  caml_release_runtime_system();
+  r = epoll_wait(ep, evs, n, t);
+  caml_acquire_runtime_system();
+  return Val_long(r >= 0 ? r : -errno);
+#else
+  (void)epfd; (void)buf; (void)maxevents; (void)timeout_ms;
+  return Val_long(-38);
+#endif
+}
+
+CAMLprim value nvlf_epoll_event_fd(value buf, value i)
+{
+#ifdef __linux__
+  struct epoll_event *evs = (struct epoll_event *)Caml_ba_data_val(buf);
+  return Val_long(evs[Long_val(i)].data.fd);
+#else
+  (void)buf; (void)i;
+  return Val_long(-1);
+#endif
+}
+
+/* Same readable/writable encoding as nvlf_pollfd_revents: errors and
+ * hangups read as both, so the caller's next I/O attempt takes the error. */
+CAMLprim value nvlf_epoll_event_revents(value buf, value i)
+{
+#ifdef __linux__
+  struct epoll_event *evs = (struct epoll_event *)Caml_ba_data_val(buf);
+  unsigned r = evs[Long_val(i)].events;
+  long out = 0;
+  if (r & (EPOLLIN | EPOLLPRI | EPOLLERR | EPOLLHUP)) out |= 1;
+  if (r & (EPOLLOUT | EPOLLERR | EPOLLHUP)) out |= 2;
+  return Val_long(out);
+#else
+  (void)buf; (void)i;
+  return Val_long(0);
+#endif
+}
+
+static long clamp_rlim(rlim_t v)
+{
+  if (v == RLIM_INFINITY || v > (rlim_t)Max_long) return Max_long;
+  return (long)v;
+}
+
+CAMLprim value nvlf_nofile_soft(value unit)
+{
+  struct rlimit rl;
+  (void)unit;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-errno);
+  return Val_long(clamp_rlim(rl.rlim_cur));
+}
+
+CAMLprim value nvlf_nofile_hard(value unit)
+{
+  struct rlimit rl;
+  (void)unit;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-errno);
+  return Val_long(clamp_rlim(rl.rlim_max));
+}
+
+/* Raise the soft fd limit toward [n]: first try lifting the hard limit too
+ * (privileged), then settle for the existing hard cap.  Returns the soft
+ * limit actually in force afterwards. */
+CAMLprim value nvlf_set_nofile(value n)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(n);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-errno);
+  if (want > rl.rlim_max) {
+    struct rlimit up = { want, want };
+    if (setrlimit(RLIMIT_NOFILE, &up) == 0) return Val_long(clamp_rlim(want));
+  }
+  rl.rlim_cur = want > rl.rlim_max ? rl.rlim_max : want;
+  if (setrlimit(RLIMIT_NOFILE, &rl) != 0) {
+    struct rlimit cur;
+    if (getrlimit(RLIMIT_NOFILE, &cur) == 0)
+      return Val_long(clamp_rlim(cur.rlim_cur));
+    return Val_long(-errno);
+  }
+  return Val_long(clamp_rlim(rl.rlim_cur));
+}
+
+/* CLOCK_MONOTONIC in integer nanoseconds — 63 bits hold ~292 years, and the
+ * steal-latency histogram needs sub-microsecond resolution gettimeofday
+ * cannot give. */
+CAMLprim value nvlf_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

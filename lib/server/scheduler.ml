@@ -1,0 +1,276 @@
+(** Work-stealing run queues over one-shot pollers (see the interface). *)
+
+(* The volatile Chase-Lev deque. Same owner/steal discipline as
+   [Durable_deque] (owner works the bottom, thieves CAS the top, the
+   bottom-vs-top race on the last element resolves through the top CAS) —
+   minus the persist points, since scheduler state is reconstructed from
+   live connections, never recovered. OCaml [Atomic] operations are
+   sequentially consistent, which subsumes the fences of the C11 original.
+
+   Growth keeps old buffers untouched: indices are absolute (modulo the
+   buffer the reader saw), and a thief's claim is validated by the top CAS —
+   the owner cannot overwrite index class [t mod cap] in place while [top]
+   still equals [t], because that write would need [bottom - top > cap],
+   which triggers growth instead. *)
+module Ws_deque = struct
+  type 'a t = {
+    top : int Atomic.t;
+    bottom : int Atomic.t;
+    buf : 'a option Atomic.t array Atomic.t;
+  }
+
+  let slot_make () = Atomic.make None
+
+  let create () =
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      buf = Atomic.make (Array.init 64 (fun _ -> slot_make ()));
+    }
+
+  let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+  let grow t ~top_ ~bottom_ =
+    let old = Atomic.get t.buf in
+    let ocap = Array.length old in
+    let nu = Array.init (ocap * 2) (fun _ -> slot_make ()) in
+    for i = top_ to bottom_ - 1 do
+      Atomic.set nu.(i mod (ocap * 2)) (Atomic.get old.(i mod ocap))
+    done;
+    Atomic.set t.buf nu
+
+  let push t v =
+    let b = Atomic.get t.bottom in
+    let tp = Atomic.get t.top in
+    let a = Atomic.get t.buf in
+    let a =
+      if b - tp >= Array.length a then begin
+        grow t ~top_:tp ~bottom_:b;
+        Atomic.get t.buf
+      end
+      else a
+    in
+    Atomic.set a.(b mod Array.length a) (Some v);
+    Atomic.set t.bottom (b + 1)
+
+  let pop t =
+    let b = Atomic.get t.bottom - 1 in
+    Atomic.set t.bottom b;
+    let tp = Atomic.get t.top in
+    if b < tp then begin
+      (* Empty: restore. *)
+      Atomic.set t.bottom tp;
+      None
+    end
+    else begin
+      let a = Atomic.get t.buf in
+      let slot = a.(b mod Array.length a) in
+      let v = Atomic.get slot in
+      if b > tp then begin
+        Atomic.set slot None;
+        v
+      end
+      else if
+        (* Last element: race the thieves through the top CAS. *)
+        Atomic.compare_and_set t.top tp (tp + 1)
+      then begin
+        Atomic.set t.bottom (tp + 1);
+        Atomic.set slot None;
+        v
+      end
+      else begin
+        Atomic.set t.bottom (tp + 1);
+        None
+      end
+    end
+
+  let steal t =
+    let tp = Atomic.get t.top in
+    let b = Atomic.get t.bottom in
+    if tp >= b then None
+    else begin
+      let a = Atomic.get t.buf in
+      let v = Atomic.get a.(tp mod Array.length a) in
+      if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+    end
+end
+
+type 'a watch = { wdata : 'a; want_read : bool; want_write : bool }
+
+type 'a dom = {
+  idx : int;
+  deque : 'a Ws_deque.t;
+  inj : 'a Queue.t;
+  inj_lock : Mutex.t;
+  parked : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  watches : (Unix.file_descr, 'a watch) Hashtbl.t;
+  pollbuf : Sys_poll.t;
+  ep : Sys_poll.Epoll.t option;  (** O(ready) fast path; [pollbuf] fallback *)
+  mutable victim : int;  (** steal-rotation cursor *)
+  drain_buf : Bytes.t;
+}
+
+type 'a t = { doms : 'a dom array }
+
+let mk_dom idx =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let ep = Sys_poll.Epoll.create () in
+  (* The wakeup pipe is the one persistent (non-one-shot) registration. *)
+  (match ep with
+  | Some e -> Sys_poll.Epoll.arm e wake_r ~read:true ~write:false ~oneshot:false
+  | None -> ());
+  {
+    ep;
+    idx;
+    deque = Ws_deque.create ();
+    inj = Queue.create ();
+    inj_lock = Mutex.create ();
+    parked = Atomic.make false;
+    wake_r;
+    wake_w;
+    watches = Hashtbl.create 64;
+    pollbuf = Sys_poll.create ();
+    victim = (idx + 1);
+    drain_buf = Bytes.create 64;
+  }
+
+let create ~ndomains = { doms = Array.init (max 1 ndomains) mk_dom }
+let ndomains t = Array.length t.doms
+let dom t i = t.doms.(i)
+
+(* ---------- run queue ---------- *)
+
+let push d v = Ws_deque.push d.deque v
+let pop d = Ws_deque.pop d.deque
+let depth d = Ws_deque.size d.deque
+
+let wake_byte = Bytes.make 1 '!'
+
+let wake d =
+  try ignore (Unix.write d.wake_w wake_byte 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    (* Pipe already full: the wakeup is pending anyway. *)
+    ()
+
+let inject t ~dom v =
+  let d = t.doms.(dom) in
+  Mutex.lock d.inj_lock;
+  Queue.add v d.inj;
+  Mutex.unlock d.inj_lock;
+  (* The enqueue above happens before this read; the owner sets [parked]
+     before re-checking its injector — so either we see it parked and wake
+     it, or it sees our task. *)
+  if Atomic.get d.parked then wake d
+
+let drain_injector d f =
+  Mutex.lock d.inj_lock;
+  let n = Queue.length d.inj in
+  if n = 0 then begin
+    Mutex.unlock d.inj_lock;
+    0
+  end
+  else begin
+    let items = Queue.fold (fun acc v -> v :: acc) [] d.inj in
+    Queue.clear d.inj;
+    Mutex.unlock d.inj_lock;
+    List.iter f (List.rev items);
+    n
+  end
+
+let try_steal t d =
+  let n = Array.length t.doms in
+  let fails = ref 0 in
+  let won = ref None in
+  let i = ref 0 in
+  while !won = None && !i < n - 1 do
+    let v = (d.victim + !i) mod n in
+    if v <> d.idx then begin
+      match Ws_deque.steal t.doms.(v).deque with
+      | Some _ as got ->
+          won := got;
+          d.victim <- v
+      | None -> incr fails
+    end;
+    incr i
+  done;
+  if !won = None then d.victim <- d.victim + 1;
+  (!won, !fails)
+
+(* ---------- one-shot watches ---------- *)
+
+let watch d fd ~read ~write v =
+  Hashtbl.replace d.watches fd { wdata = v; want_read = read; want_write = write };
+  match d.ep with
+  | Some e -> Sys_poll.Epoll.arm e fd ~read ~write ~oneshot:true
+  | None -> ()
+
+let unwatch d fd =
+  Hashtbl.remove d.watches fd;
+  match d.ep with Some e -> Sys_poll.Epoll.del e fd | None -> ()
+let watched d = Hashtbl.length d.watches
+let iter_watches d f = Hashtbl.iter (fun fd w -> f fd w.wdata) d.watches
+
+let drain_wake d =
+  let rec go () =
+    match Unix.read d.wake_r d.drain_buf 0 (Bytes.length d.drain_buf) with
+    | n when n = Bytes.length d.drain_buf -> go ()
+    | _ -> ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  go ()
+
+let wait d ~timeout_s ~on_ready =
+  Atomic.set d.parked true;
+  (* Dekker handshake with [inject]: the flag is up, so anything already
+     enqueued must be visible now — if so, just poll without sleeping. *)
+  Mutex.lock d.inj_lock;
+  let pending = not (Queue.is_empty d.inj) in
+  Mutex.unlock d.inj_lock;
+  let timeout_ms =
+    if pending || timeout_s <= 0. then 0
+    else max 1 (int_of_float (timeout_s *. 1000.))
+  in
+  let dispatch fd ~readable ~writable =
+    if fd = d.wake_r then drain_wake d
+    else
+      match Hashtbl.find_opt d.watches fd with
+      | None -> ()
+      | Some w ->
+          (* One-shot: whoever runs the task re-arms the fd. A fired epoll
+             entry stays registered but disarmed; {!watch} updates it in
+             place on re-arm, and closing the fd drops it. *)
+          Hashtbl.remove d.watches fd;
+          on_ready w.wdata ~readable ~writable
+  in
+  match d.ep with
+  | Some e ->
+      let ready = Sys_poll.Epoll.wait e ~timeout_ms in
+      Atomic.set d.parked false;
+      if ready > 0 then Sys_poll.Epoll.iter_ready e dispatch
+  | None ->
+      Sys_poll.reset d.pollbuf;
+      Sys_poll.add d.pollbuf d.wake_r ~read:true ~write:false;
+      Hashtbl.iter
+        (fun fd w ->
+          Sys_poll.add d.pollbuf fd ~read:w.want_read ~write:w.want_write)
+        d.watches;
+      let ready = Sys_poll.wait d.pollbuf ~timeout_ms in
+      Atomic.set d.parked false;
+      if ready > 0 then Sys_poll.iter_ready d.pollbuf dispatch
+
+let wake_all t = Array.iter wake t.doms
+
+let close t =
+  Array.iter
+    (fun d ->
+      (match d.ep with Some e -> Sys_poll.Epoll.close e | None -> ());
+      (try Unix.close d.wake_r with Unix.Unix_error _ -> ());
+      try Unix.close d.wake_w with Unix.Unix_error _ -> ())
+    t.doms

@@ -1,0 +1,99 @@
+(** A per-domain run-queue scheduler with work stealing — the volatile twin
+    of {!Durable_deque}'s owner/steal discipline, driving NVServe's
+    connection tasks.
+
+    Each domain owns a Chase-Lev deque (owner pushes and pops the bottom,
+    thieves CAS the top), a mutex-guarded injector queue any thread may
+    append to (the acceptor's hand-off path, and the forwarding path for
+    pinned tasks), and a one-shot fd poller — epoll where available
+    ({!Sys_poll.Epoll}, O(ready) per wakeup), falling back to a poll(2)
+    buffer rebuilt per wait (O(watched) per wakeup). An idle domain
+    first drains its injector, then pops its own deque, then steals from
+    peers, and finally parks in {!wait} — woken early by a self-pipe byte
+    whenever someone injects into it.
+
+    Watches are {b one-shot}: a ready fd is deregistered before its task is
+    surfaced, so whichever domain ends up running the task (owner or thief)
+    re-registers the fd with {e its own} poller — this is what makes task
+    migration safe without any shared fd bookkeeping.
+
+    Ownership rules mirror the durable deque: {!push}, {!pop},
+    {!drain_injector}, {!watch}, {!unwatch}, {!iter_watches} and {!wait} are
+    owner-only (the domain bound to that handle); {!inject} and {!try_steal}
+    are safe from any domain. *)
+
+(** The volatile Chase-Lev deque, exposed for the scheduler's unit tests.
+    Owner-only [push]/[pop] at the bottom; any thread may [steal] the top. *)
+module Ws_deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+
+  (** [None] = empty or lost the race to a concurrent taker. *)
+  val steal : 'a t -> 'a option
+
+  (** Approximate occupancy (racy read of both indices). *)
+  val size : 'a t -> int
+end
+
+type 'a t
+
+(** One domain's handle: its deque, injector, poller and park flag. *)
+type 'a dom
+
+val create : ndomains:int -> 'a t
+val ndomains : 'a t -> int
+
+(** [dom t i] — the handle domain [i] binds to (call from that domain). *)
+val dom : 'a t -> int -> 'a dom
+
+(** {2 Run queue} *)
+
+val push : 'a dom -> 'a -> unit
+val pop : 'a dom -> 'a option
+
+(** Deque occupancy (the run-queue depth gauge). *)
+val depth : 'a dom -> int
+
+(** Append a task to domain [dom]'s injector from any thread, waking it if
+    parked. *)
+val inject : 'a t -> dom:int -> 'a -> unit
+
+(** Move every injected task into the owner's hands; returns the count. *)
+val drain_injector : 'a dom -> ('a -> unit) -> int
+
+(** One steal sweep over the peers (rotating start): the first task won, if
+    any, plus the number of failed attempts — empty peeks and lost CAS races
+    both count, feeding the steal-fail telemetry. *)
+val try_steal : 'a t -> 'a dom -> 'a option * int
+
+(** {2 One-shot fd watches} *)
+
+(** Register (or re-arm) [fd] with the given interest; the task value is
+    surfaced by {!wait} when the fd turns ready, after the watch is
+    removed. *)
+val watch : 'a dom -> Unix.file_descr -> read:bool -> write:bool -> 'a -> unit
+
+val unwatch : 'a dom -> Unix.file_descr -> unit
+val watched : 'a dom -> int
+
+(** Owner-only iteration over parked watches (idle scans, draining). *)
+val iter_watches : 'a dom -> (Unix.file_descr -> 'a -> unit) -> unit
+
+(** Park until an fd turns ready, a task is injected, or [timeout_s]
+    elapses. Ready watches are removed and handed to [on_ready]. Returns
+    immediately when the injector is non-empty. *)
+val wait :
+  'a dom ->
+  timeout_s:float ->
+  on_ready:('a -> readable:bool -> writable:bool -> unit) ->
+  unit
+
+(** Wake every parked domain (shutdown broadcast). *)
+val wake_all : 'a t -> unit
+
+(** Close the wake pipes and epoll instances. Call after the domains using
+    the handles have exited. *)
+val close : 'a t -> unit

@@ -1,0 +1,129 @@
+(** poll(2) over a Bigarray pollfd buffer (see the interface). *)
+
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external sizeof_pollfd : unit -> int = "nvlf_sizeof_pollfd"
+
+external pollfd_set : buf -> int -> int -> int -> unit = "nvlf_pollfd_set"
+  [@@noalloc]
+
+external pollfd_fd : buf -> int -> int = "nvlf_pollfd_fd" [@@noalloc]
+
+external pollfd_revents : buf -> int -> int = "nvlf_pollfd_revents"
+  [@@noalloc]
+
+external poll_exec : buf -> int -> int -> int = "nvlf_poll"
+external nofile_soft : unit -> int = "nvlf_nofile_soft"
+external nofile_hard : unit -> int = "nvlf_nofile_hard"
+external set_nofile : int -> int = "nvlf_set_nofile"
+external monotonic_ns : unit -> int = "nvlf_monotonic_ns" [@@noalloc]
+
+(* On Unix a [Unix.file_descr] is the fd number itself. *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+let entry_size = sizeof_pollfd ()
+
+type t = { mutable buf : buf; mutable n : int }
+
+let alloc_bytes n = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n
+let alloc entries = alloc_bytes (entries * entry_size)
+
+let create () = { buf = alloc 64; n = 0 }
+let reset t = t.n <- 0
+let length t = t.n
+
+let add t fd ~read ~write =
+  let cap = Bigarray.Array1.dim t.buf / entry_size in
+  if t.n >= cap then begin
+    let nb = alloc (cap * 2) in
+    Bigarray.Array1.blit t.buf (Bigarray.Array1.sub nb 0 (cap * entry_size));
+    t.buf <- nb
+  end;
+  pollfd_set t.buf t.n (int_of_fd fd)
+    ((if read then 1 else 0) lor if write then 2 else 0);
+  t.n <- t.n + 1
+
+let eintr = 4
+
+let wait t ~timeout_ms =
+  let r = poll_exec t.buf t.n timeout_ms in
+  if r >= 0 then r
+  else if r = -eintr then 0
+  else
+    raise
+      (Unix.Unix_error (Unix.EUNKNOWNERR (-r), "poll", string_of_int t.n))
+
+let iter_ready t f =
+  for i = 0 to t.n - 1 do
+    let r = pollfd_revents t.buf i in
+    if r <> 0 then
+      f
+        (fd_of_int (pollfd_fd t.buf i))
+        ~readable:(r land 1 <> 0) ~writable:(r land 2 <> 0)
+  done
+
+module Epoll = struct
+  external ep_create : unit -> int = "nvlf_epoll_create"
+  external ep_arm : int -> int -> int -> int = "nvlf_epoll_arm" [@@noalloc]
+  external ep_del : int -> int -> int = "nvlf_epoll_del" [@@noalloc]
+  external ep_wait : int -> buf -> int -> int -> int = "nvlf_epoll_wait"
+  external sizeof_event : unit -> int = "nvlf_sizeof_epoll_event"
+
+  external ev_fd : buf -> int -> int = "nvlf_epoll_event_fd" [@@noalloc]
+
+  external ev_revents : buf -> int -> int = "nvlf_epoll_event_revents"
+    [@@noalloc]
+
+  (* More ready events than this per wait just roll over to the next turn:
+     epoll keeps undelivered readiness in the kernel. *)
+  let max_events = 512
+
+  type t = { epfd : int; evbuf : buf; mutable ready : int }
+
+  let create () =
+    let epfd = ep_create () in
+    if epfd < 0 then None
+    else
+      Some
+        { epfd; evbuf = alloc_bytes (max_events * sizeof_event ()); ready = 0 }
+
+  let err name r detail =
+    raise (Unix.Unix_error (Unix.EUNKNOWNERR (-r), name, string_of_int detail))
+
+  let arm e fd ~read ~write ~oneshot =
+    let bits =
+      (if read then 1 else 0)
+      lor (if write then 2 else 0)
+      lor if oneshot then 4 else 0
+    in
+    let r = ep_arm e.epfd (int_of_fd fd) bits in
+    if r < 0 then err "epoll_ctl" r (int_of_fd fd)
+
+  let del e fd = ignore (ep_del e.epfd (int_of_fd fd))
+
+  let wait e ~timeout_ms =
+    let r = ep_wait e.epfd e.evbuf max_events timeout_ms in
+    let n = if r = -eintr then 0 else r in
+    if n < 0 then err "epoll_wait" n e.epfd;
+    e.ready <- n;
+    n
+
+  let iter_ready e f =
+    for i = 0 to e.ready - 1 do
+      let r = ev_revents e.evbuf i in
+      f
+        (fd_of_int (ev_fd e.evbuf i))
+        ~readable:(r land 1 <> 0) ~writable:(r land 2 <> 0)
+    done
+
+  let close e = try Unix.close (fd_of_int e.epfd) with Unix.Unix_error _ -> ()
+end
+
+let fd_limit () = nofile_soft ()
+let fd_limit_max () = nofile_hard ()
+
+let ensure_fd_capacity n =
+  let soft = nofile_soft () in
+  if soft >= n then soft else set_nofile n

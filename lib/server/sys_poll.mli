@@ -1,0 +1,93 @@
+(** poll(2) for the scheduler's per-domain pollers, plus the RLIMIT_NOFILE
+    and monotonic-clock plumbing the C10K paths need.
+
+    [Unix.select] cannot represent file descriptors >= FD_SETSIZE (1024), so
+    a server holding thousands of open connections must multiplex with
+    poll(2) — which the OCaml standard library does not expose. The pollfd
+    array lives in a Bigarray (off-heap, immovable), rebuilt per wait by the
+    owning domain; the wait itself releases the OCaml runtime lock. *)
+
+(** A reusable pollfd buffer. Not thread-safe: one per domain. *)
+type t
+
+val create : unit -> t
+
+(** Forget all registered entries (the buffer is reused across waits). *)
+val reset : t -> unit
+
+(** Append one fd with the given interest set. *)
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+(** Registered entries since the last {!reset}. *)
+val length : t -> int
+
+(** Block until an entry is ready or [timeout_ms] elapses ([0] = just poll,
+    [-1] = forever). Returns the number of ready entries; [EINTR] reads as
+    [0]. *)
+val wait : t -> timeout_ms:int -> int
+
+(** Visit every entry the last {!wait} reported ready. Error/hangup
+    conditions read as both readable and writable, so the caller's next I/O
+    attempt surfaces the failure. *)
+val iter_ready :
+  t -> (Unix.file_descr -> readable:bool -> writable:bool -> unit) -> unit
+
+(** {2 epoll}
+
+    poll(2) scans every registered fd on every wait — O(open connections)
+    per wakeup even when only a handful are ready. epoll keeps the interest
+    set in the kernel across waits and reports only ready entries, which is
+    what makes 10k mostly-idle resident connections cheap. Linux-only; on
+    other systems {!Epoll.create} returns [None] and callers fall back to
+    the poll(2) buffer above. *)
+
+module Epoll : sig
+  (** One epoll instance plus its event buffer. Not thread-safe: one per
+      domain, like {!t}. *)
+  type t
+
+  (** [None] when the platform has no epoll. *)
+  val create : unit -> t option
+
+  (** Register interest, or update it if [fd] is already registered
+      (including a fired one-shot entry left disarmed). [oneshot] entries
+      are disarmed by the kernel on delivery and must be re-armed here. *)
+  val arm : t -> Unix.file_descr -> read:bool -> write:bool -> oneshot:bool -> unit
+
+  (** Deregister. Never-registered and already-closed fds are fine. *)
+  val del : t -> Unix.file_descr -> unit
+
+  (** Block until something is ready or [timeout_ms] elapses ([0] = just
+      poll, [-1] = forever). Returns the ready count; [EINTR] reads as [0].
+      At most 512 events surface per wait — the rest stay queued in the
+      kernel for the next one. *)
+  val wait : t -> timeout_ms:int -> int
+
+  (** Visit every entry the last {!wait} reported ready. Error/hangup read
+      as both readable and writable, like {!iter_ready}. *)
+  val iter_ready :
+    t -> (Unix.file_descr -> readable:bool -> writable:bool -> unit) -> unit
+
+  val close : t -> unit
+end
+
+(** {2 File-descriptor capacity} *)
+
+(** Current soft RLIMIT_NOFILE. *)
+val fd_limit : unit -> int
+
+(** Hard RLIMIT_NOFILE cap. *)
+val fd_limit_max : unit -> int
+
+(** [ensure_fd_capacity n] raises the soft fd limit toward [n] (through the
+    hard cap when privileged) and returns the capacity actually in force —
+    callers opening many sockets size themselves to the result. *)
+val ensure_fd_capacity : int -> int
+
+(** The numeric value of an fd — the select/FD_SETSIZE guard needs it. *)
+val int_of_fd : Unix.file_descr -> int
+
+(** {2 Monotonic clock} *)
+
+(** CLOCK_MONOTONIC, integer nanoseconds. *)
+val monotonic_ns : unit -> int

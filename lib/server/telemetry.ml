@@ -27,7 +27,11 @@ let c_bytes_written = 15
 let c_write_stalls = 16
 let c_outbuf_grows = 17
 let c_sampled = 18
-let n_counters = 19
+let c_sched_steals = 19
+let c_sched_steal_fails = 20
+let c_sched_migrations = 21
+let c_sched_injected = 22
+let n_counters = 23
 
 let counter_names =
   [|
@@ -50,6 +54,10 @@ let counter_names =
     "write_stalls";
     "outbuf_grows";
     "sampled_requests";
+    "sched_steals";
+    "sched_steal_fails";
+    "sched_migrations";
+    "sched_injected";
   |]
 
 (* First three bytes decide the command class; "gets" rides with "get",
@@ -71,7 +79,8 @@ let kind_of req =
 
 let g_open_conns = 0
 let g_outbuf_hwm = 1
-let n_gauges = 2
+let g_run_queue = 2
+let n_gauges = 3
 
 (* ---------- stages ---------- *)
 
@@ -190,6 +199,7 @@ let counters t =
   out
 
 let set_open_conns w n = w.gauges.(g_open_conns) <- n
+let set_run_queue_depth w n = w.gauges.(g_run_queue) <- n
 
 let note_outbuf_hwm w n =
   if n > w.gauges.(g_outbuf_hwm) then w.gauges.(g_outbuf_hwm) <- n
@@ -203,6 +213,9 @@ let open_conns t =
 
 let outbuf_hwm t =
   Array.fold_left (fun acc w -> max acc w.gauges.(g_outbuf_hwm)) 0 t.workers
+
+let run_queue_depth t =
+  Array.fold_left (fun acc w -> acc + w.gauges.(g_run_queue)) 0 t.workers
 
 (* ---------- histograms ---------- *)
 
@@ -250,6 +263,11 @@ let on_request w ~fd ~kind =
     w.countdown <- w.countdown - 1;
     if w.countdown <= 0 then begin
       w.countdown <- w.sample_every;
+      (* A sample rides its connection; if that connection migrated to
+         another domain mid-flight, the closing write happens over there and
+         this worker would stay wedged — abandon stale samples. *)
+      if w.phase <> ph_idle && now () -. w.stamps.(st_t0) > 1. then
+        w.phase <- ph_idle;
       (* One sample in flight per worker: a turn that lands while one is
          still open is skipped, keeping the cadence honest. *)
       if w.phase = ph_idle then open_sample w ~fd ~kind

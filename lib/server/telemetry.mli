@@ -80,6 +80,18 @@ val c_outbuf_grows : int
 (** samples closed by the 1-in-N tracer *)
 val c_sampled : int
 
+(** tasks this worker stole from peers' run queues *)
+val c_sched_steals : int
+
+(** steal attempts that found nothing or lost the race *)
+val c_sched_steal_fails : int
+
+(** stolen connections this worker adopted from another domain *)
+val c_sched_migrations : int
+
+(** tasks drained from this worker's injector queue *)
+val c_sched_injected : int
+
 val n_counters : int
 val counter_names : string array
 
@@ -102,6 +114,10 @@ val counters : t -> int array
 (** {2 Gauges} *)
 
 val set_open_conns : w -> int -> unit
+
+(** Run-queue depth at the worker's last loop turn. *)
+val set_run_queue_depth : w -> int -> unit
+
 val note_outbuf_hwm : w -> int -> unit  (** monotone max, bytes *)
 
 (** Fold a closing connection's output-buffer telemetry into this worker:
@@ -111,6 +127,8 @@ val note_outbuf : w -> hwm:int -> grows:int -> unit
 val open_conns : t -> int  (** summed across workers *)
 
 val outbuf_hwm : t -> int  (** max across workers *)
+
+val run_queue_depth : t -> int  (** summed across workers *)
 
 (** {2 Histograms}
 

@@ -74,7 +74,15 @@ let test_stress flavor () =
       match QI.take q ~tid with
       | Some v -> consumed.(cid) <- v :: consumed.(cid)
       | None ->
-          if Atomic.get producers_left = 0 then continue := false
+          if Atomic.get producers_left = 0 then begin
+            (* Every put happens-before the producer's decrement, so a None
+               observed AFTER reading 0 means genuinely drained. A None
+               observed before the flag read proves nothing — the last items
+               may have been published in between. *)
+            match QI.take q ~tid with
+            | Some v -> consumed.(cid) <- v :: consumed.(cid)
+            | None -> continue := false
+          end
           else Domain.cpu_relax ()
     done
   in

@@ -1,0 +1,262 @@
+(* The volatile work-stealing scheduler under NVServe: Chase-Lev deque
+   semantics and exactly-once delivery under 4 domains, injector hand-off
+   with park/unpark wakeups, steal sweeps, and the one-shot fd watch
+   discipline over the epoll/poll wait path. *)
+
+module S = Server.Scheduler
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- volatile Chase-Lev deque ----------------------------------------- *)
+
+let test_deque_ends () =
+  let d = S.Ws_deque.create () in
+  for v = 1 to 10 do
+    S.Ws_deque.push d v
+  done;
+  check_int "size" 10 (S.Ws_deque.size d);
+  Alcotest.(check (option int)) "pop is LIFO" (Some 10) (S.Ws_deque.pop d);
+  Alcotest.(check (option int)) "steal is FIFO" (Some 1) (S.Ws_deque.steal d);
+  Alcotest.(check (option int)) "pop again" (Some 9) (S.Ws_deque.pop d);
+  Alcotest.(check (option int)) "steal again" (Some 2) (S.Ws_deque.steal d);
+  check_int "size after" 6 (S.Ws_deque.size d);
+  Alcotest.(check (option int)) "empty pop" None
+    (let rec drain () =
+       match S.Ws_deque.pop d with Some _ -> drain () | None -> None
+     in
+     drain ())
+
+(* Growth: the initial 64-slot buffer doubles transparently; contents
+   survive the copy with absolute indices intact. *)
+let test_deque_growth () =
+  let d = S.Ws_deque.create () in
+  for v = 1 to 1000 do
+    S.Ws_deque.push d v
+  done;
+  check_int "grew" 1000 (S.Ws_deque.size d);
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (S.Ws_deque.steal d);
+  Alcotest.(check (option int)) "pop newest" (Some 1000) (S.Ws_deque.pop d);
+  let sum = ref 0 in
+  let rec drain () =
+    match S.Ws_deque.pop d with
+    | Some v ->
+        sum := !sum + v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* 2..999 *)
+  check_int "survived the copies" ((999 * 1000 / 2) - 1) !sum
+
+(* Exactly-once under contention: one owner (pushing and popping), three
+   thieves. Every pushed value must surface exactly once across all four
+   takers. *)
+let test_deque_exactly_once () =
+  let d = S.Ws_deque.create () in
+  let n = 20_000 in
+  let seen = Array.make n 0 in
+  let mark = function
+    | Some v -> seen.(v) <- seen.(v) + 1
+    | None -> ()
+  in
+  let stop = Atomic.make false in
+  let thief () =
+    let mine = ref [] in
+    while not (Atomic.get stop) do
+      match S.Ws_deque.steal d with
+      | Some v -> mine := v :: !mine
+      | None -> Domain.cpu_relax ()
+    done;
+    !mine
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  (* Owner: push everything, popping a burst every so often. *)
+  for v = 0 to n - 1 do
+    S.Ws_deque.push d v;
+    if v mod 7 = 0 then mark (S.Ws_deque.pop d)
+  done;
+  let rec drain () =
+    match S.Ws_deque.pop d with
+    | Some v ->
+        seen.(v) <- seen.(v) + 1;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter
+    (fun t -> List.iter (fun v -> seen.(v) <- seen.(v) + 1) (Domain.join t))
+    thieves;
+  let missing = ref 0 and dup = ref 0 in
+  Array.iter
+    (fun c ->
+      if c = 0 then incr missing;
+      if c > 1 then incr dup)
+    seen;
+  check_int "no value lost" 0 !missing;
+  check_int "no value duplicated" 0 !dup
+
+(* ---- injector + steal sweep ------------------------------------------- *)
+
+let test_injector_and_steal () =
+  let t = S.create ~ndomains:2 in
+  let d0 = S.dom t 0 and d1 = S.dom t 1 in
+  for v = 1 to 10 do
+    S.inject t ~dom:0 v
+  done;
+  let got = ref [] in
+  check_int "drained count" 10
+    (S.drain_injector d0 (fun v -> got := v :: !got));
+  Alcotest.(check (list int)) "in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !got);
+  check_int "drained empty" 0 (S.drain_injector d0 (fun _ -> assert false));
+  (* Steal sweep: d1 raids d0's deque. *)
+  List.iter (S.push d0) [ 1; 2; 3 ];
+  check_int "depth" 3 (S.depth d0);
+  (match S.try_steal t d1 with
+  | Some v, _ -> check_int "stole oldest" 1 v
+  | None, _ -> Alcotest.fail "steal found nothing");
+  let won, fails = S.try_steal t d1 in
+  check_bool "stole again" true (won = Some 2);
+  check_int "no failed attempts" 0 fails;
+  ignore (S.try_steal t d1);
+  let won, fails = S.try_steal t d1 in
+  check_bool "empty sweep" true (won = None);
+  check_bool "failed attempt counted" true (fails >= 1);
+  S.close t
+
+(* Park/unpark under 4 domains: three worker domains park in [wait]; the
+   main domain injects tasks at them. Every task must be taken promptly —
+   the inject-side wakeup must interrupt a 5 s park, so a run that
+   completes is proof the handshake works (lost wakeups would stall until
+   the long timeout and blow the test budget). *)
+let test_park_unpark () =
+  let t = S.create ~ndomains:3 in
+  let per_dom = 200 in
+  let stop = Atomic.make false in
+  let taken = Atomic.make 0 in
+  let worker i () =
+    let d = S.dom t i in
+    while not (Atomic.get stop) do
+      let n = S.drain_injector d (fun _ -> Atomic.incr taken) in
+      if n = 0 then S.wait d ~timeout_s:5.0 ~on_ready:(fun _ ~readable:_ ~writable:_ -> ())
+    done
+  in
+  let started = Unix.gettimeofday () in
+  let workers = List.init 3 (fun i -> Domain.spawn (worker i)) in
+  for v = 0 to (3 * per_dom) - 1 do
+    S.inject t ~dom:(v mod 3) v;
+    if v mod 50 = 0 then Unix.sleepf 0.001
+  done;
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get taken < 3 * per_dom && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Atomic.set stop true;
+  S.wake_all t;
+  List.iter Domain.join workers;
+  check_int "every injected task taken" (3 * per_dom) (Atomic.get taken);
+  check_bool "woken well before the park timeout" true
+    (Unix.gettimeofday () -. started < 8.);
+  S.close t
+
+(* ---- one-shot watches -------------------------------------------------- *)
+
+let test_watch_one_shot () =
+  let t = S.create ~ndomains:1 in
+  let d = S.dom t 0 in
+  let r, w = Unix.pipe () in
+  let fired = ref [] in
+  let on_ready v ~readable ~writable:_ =
+    check_bool "readable" true readable;
+    fired := v :: !fired
+  in
+  S.watch d r ~read:true ~write:false 42;
+  check_int "registered" 1 (S.watched d);
+  (* Nothing ready: a zero-ish timeout must come back empty-handed. *)
+  S.wait d ~timeout_s:0.01 ~on_ready;
+  check_int "no event yet" 0 (List.length !fired);
+  ignore (Unix.write w (Bytes.of_string "x") 0 1);
+  S.wait d ~timeout_s:2.0 ~on_ready;
+  Alcotest.(check (list int)) "fired once" [ 42 ] !fired;
+  check_int "watch consumed" 0 (S.watched d);
+  (* One-shot: still-readable data does not re-fire without a re-arm. *)
+  S.wait d ~timeout_s:0.01 ~on_ready;
+  Alcotest.(check (list int)) "no re-fire" [ 42 ] !fired;
+  (* Re-arm: the same fd watches again (the epoll path must MOD the
+     disarmed registration in place). *)
+  S.watch d r ~read:true ~write:false 43;
+  S.wait d ~timeout_s:2.0 ~on_ready;
+  Alcotest.(check (list int)) "re-armed and re-fired" [ 43; 42 ] !fired;
+  (* Unwatched fds stay silent even when ready. *)
+  S.watch d r ~read:true ~write:false 44;
+  S.unwatch d r;
+  check_int "deregistered" 0 (S.watched d);
+  S.wait d ~timeout_s:0.01 ~on_ready;
+  Alcotest.(check (list int)) "silent after unwatch" [ 43; 42 ] !fired;
+  Unix.close r;
+  Unix.close w;
+  S.close t
+
+(* fd-number reuse across a close: the successor conn's watch must fire
+   even though a prior registration for the same number was consumed. *)
+let test_watch_fd_reuse () =
+  let t = S.create ~ndomains:1 in
+  let d = S.dom t 0 in
+  let fired = ref 0 in
+  let on_ready v ~readable:_ ~writable:_ = fired := v in
+  let r1, w1 = Unix.pipe () in
+  S.watch d r1 ~read:true ~write:false 1;
+  ignore (Unix.write w1 (Bytes.of_string "x") 0 1);
+  S.wait d ~timeout_s:2.0 ~on_ready;
+  check_int "first fd fired" 1 !fired;
+  S.unwatch d r1;
+  Unix.close r1;
+  Unix.close w1;
+  (* The fresh pipe typically reuses the closed descriptor numbers. *)
+  let r2, w2 = Unix.pipe () in
+  S.watch d r2 ~read:true ~write:false 2;
+  ignore (Unix.write w2 (Bytes.of_string "y") 0 1);
+  S.wait d ~timeout_s:2.0 ~on_ready;
+  check_int "successor fd fired" 2 !fired;
+  Unix.close r2;
+  Unix.close w2;
+  S.close t
+
+let test_watch_write_interest () =
+  let t = S.create ~ndomains:1 in
+  let d = S.dom t 0 in
+  let r, w = Unix.pipe () in
+  let fired = ref 0 in
+  S.watch d w ~read:false ~write:true 7;
+  S.wait d ~timeout_s:2.0 ~on_ready:(fun v ~readable:_ ~writable ->
+      check_bool "writable" true writable;
+      fired := v);
+  check_int "write interest fired" 7 !fired;
+  Unix.close r;
+  Unix.close w;
+  S.close t
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "ws-deque",
+        [
+          Alcotest.test_case "ends" `Quick test_deque_ends;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "exactly-once x4 domains" `Quick
+            test_deque_exactly_once;
+        ] );
+      ( "run-queue",
+        [
+          Alcotest.test_case "injector + steal" `Quick test_injector_and_steal;
+          Alcotest.test_case "park/unpark x4 domains" `Quick test_park_unpark;
+        ] );
+      ( "watches",
+        [
+          Alcotest.test_case "one-shot lifecycle" `Quick test_watch_one_shot;
+          Alcotest.test_case "fd reuse" `Quick test_watch_fd_reuse;
+          Alcotest.test_case "write interest" `Quick test_watch_write_interest;
+        ] );
+    ]
